@@ -1,0 +1,44 @@
+//! Experiments F1–F2 — the paper's Figures 1–2 "Data Center System".
+//!
+//! Solves the full two-level hierarchical model (4 level-1 blocks, the
+//! 19-block Server Box subdiagram), prints the per-block availability
+//! table and system measures, and times the end-to-end solve.
+
+use criterion::{criterion_group, Criterion};
+use rascad_core::{report, solve_spec};
+use rascad_library::datacenter::data_center;
+
+fn print_experiment() {
+    println!("=== F1-F2: Data Center System (paper Figures 1-2) ===");
+    let spec = data_center();
+    println!(
+        "level-1 blocks: {}; Server Box subdiagram blocks: {}",
+        spec.root.len(),
+        spec.root.blocks[0].subdiagram.as_ref().expect("dark block").len()
+    );
+    let sol = solve_spec(&spec).expect("library model solves");
+    print!("{}", report::system_report(&spec.root.name, &sol));
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = data_center();
+    let mut group = c.benchmark_group("datacenter");
+    group.sample_size(20);
+    group.bench_function("solve_full_hierarchy", |b| {
+        b.iter(|| solve_spec(std::hint::black_box(&spec)).unwrap())
+    });
+    group.bench_function("parse_dsl", |b| {
+        let text = spec.to_dsl();
+        b.iter(|| rascad_spec::SystemSpec::from_dsl(std::hint::black_box(&text)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_experiment();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,102 @@
+//! Experiment T-VAL2 — Section 5 field-data validation.
+//!
+//! The paper compares model predictions with "field data collected from
+//! two large operational E10000 servers for 15 months". This bench
+//! generates that data synthetically (two simulated E10000 servers, 15
+//! months, deterministic repair durations), runs the field-data
+//! estimator, and compares against the MG prediction — repeated over
+//! many seeds so the sampling spread is visible. A 15-month window on
+//! two machines carries few outages, so single-window comparisons are
+//! noisy (as real field comparisons are); the seed-averaged estimate
+//! must bracket the prediction.
+
+use criterion::{criterion_group, Criterion};
+use rascad_core::solve_spec;
+use rascad_fielddata::{analyze, compare, OutageLog};
+use rascad_library::e10000::e10000;
+use rascad_sim::fieldgen::{generate_field_data, FieldDataOptions};
+use rascad_sim::stats::Estimate;
+
+fn field_logs(seed: u64) -> Vec<OutageLog> {
+    let spec = e10000();
+    let records = generate_field_data(
+        &spec,
+        &FieldDataOptions { months: 15.0, servers: 2, seed, deterministic_repairs: true },
+    )
+    .expect("library model simulates");
+    records
+        .iter()
+        .map(|r| {
+            let events: Vec<(f64, bool)> =
+                r.log.events.iter().map(|e| (e.time_hours, e.up)).collect();
+            OutageLog::from_events(r.log.horizon_hours, &events)
+        })
+        .collect()
+}
+
+fn print_experiment() {
+    println!("=== T-VAL2: E10000 field-data validation (2 servers x 15 months) ===");
+    let spec = e10000();
+    let predicted = solve_spec(&spec).expect("solves").system;
+    println!(
+        "model prediction: availability {:.6}, yearly downtime {:.1} min",
+        predicted.availability, predicted.yearly_downtime_minutes
+    );
+    println!(
+        "{:>6} {:>8} {:>12} {:>14} {:>10}",
+        "seed", "outages", "avail", "dt min/y", "in 95%CI"
+    );
+    let mut avails = Vec::new();
+    for seed in 0..20u64 {
+        let logs = field_logs(seed * 7919 + 1);
+        let field = analyze(&logs);
+        let cmp = compare(predicted.availability, &field);
+        avails.push(field.availability);
+        println!(
+            "{:>6} {:>8} {:>12.6} {:>14.1} {:>10}",
+            seed,
+            field.outages,
+            field.availability,
+            field.yearly_downtime_minutes,
+            if cmp.within_confidence_interval { "yes" } else { "no" }
+        );
+    }
+    let est = Estimate::from_samples(&avails);
+    println!(
+        "seed-averaged field availability: {:.6} ± {:.2e}; model {:.6} -> {}",
+        est.mean,
+        est.ci_half_width,
+        predicted.availability,
+        if (est.mean - predicted.availability).abs() <= 3.0 * est.ci_half_width.max(1e-6) {
+            "CONSISTENT"
+        } else {
+            "INCONSISTENT"
+        }
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fielddata");
+    group.sample_size(10);
+    group.bench_function("generate_2x15months", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            field_logs(std::hint::black_box(seed))
+        })
+    });
+    group.bench_function("analyze_logs", |b| {
+        let logs = field_logs(42);
+        b.iter(|| analyze(std::hint::black_box(&logs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_experiment();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

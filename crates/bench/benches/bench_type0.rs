@@ -1,0 +1,55 @@
+//! Experiment F3 — paper Figure 3: Markov Model Type 0.
+//!
+//! Regenerates the Type 0 chain for the non-redundant reference block,
+//! prints its structure (the figure's content) and measures, and times
+//! generation + solution.
+
+use criterion::{criterion_group, Criterion};
+use rascad_bench::{globals, type0_block};
+use rascad_core::generator::generate_block;
+use rascad_core::measures::steady_state_measures;
+use rascad_markov::SteadyStateMethod;
+
+fn print_experiment() {
+    println!("=== F3: Markov Model Type 0 (paper Figure 3) ===");
+    let model = generate_block(&type0_block(), &globals()).expect("reference block");
+    println!("states ({}):", model.state_count());
+    for s in model.chain.states() {
+        println!("  {:<14} reward {}", s.label, s.reward);
+    }
+    println!("transitions ({}):", model.transition_count());
+    for t in model.chain.transitions() {
+        println!(
+            "  {:<14} -> {:<14} rate {:.6e}",
+            model.chain.states()[t.from].label,
+            model.chain.states()[t.to].label,
+            t.rate
+        );
+    }
+    let m = steady_state_measures(&model, SteadyStateMethod::Gth).expect("solvable");
+    println!("steady-state availability : {:.9}", m.availability);
+    println!("yearly downtime           : {:.2} min", m.yearly_downtime_minutes);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let g = globals();
+    let p = type0_block();
+    c.bench_function("type0/generate", |b| {
+        b.iter(|| generate_block(std::hint::black_box(&p), &g).unwrap())
+    });
+    let model = generate_block(&p, &g).unwrap();
+    c.bench_function("type0/solve_gth", |b| {
+        b.iter(|| {
+            steady_state_measures(std::hint::black_box(&model), SteadyStateMethod::Gth).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_experiment();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,66 @@
+//! Experiment F4 — paper Figure 4: Markov Model Type 3 (N = 2, K = 1).
+//!
+//! Regenerates the Type 3 chain, checks its state set against the nine
+//! states the paper enumerates, prints every transition, and times
+//! generation + both steady-state solvers + the transient solver.
+
+use criterion::{criterion_group, Criterion};
+use rascad_bench::{globals, type3_block};
+use rascad_core::generator::generate_block;
+use rascad_core::measures::{interval_measures, steady_state_measures};
+use rascad_markov::SteadyStateMethod;
+
+const PAPER_STATES: [&str; 9] =
+    ["Ok", "TF1", "AR1", "SPF", "Latent1", "PF1", "TF2", "PF2", "ServiceError"];
+
+fn print_experiment() {
+    println!("=== F4: Markov Model Type 3 (paper Figure 4, N=2, K=1) ===");
+    let model = generate_block(&type3_block(), &globals()).expect("reference block");
+    let mut ours: Vec<&str> = model.chain.states().iter().map(|s| s.label.as_str()).collect();
+    ours.sort_unstable();
+    let mut paper = PAPER_STATES.to_vec();
+    paper.sort_unstable();
+    println!("paper state set : {paper:?}");
+    println!("our state set   : {ours:?}");
+    println!("match           : {}", if ours == paper { "EXACT" } else { "MISMATCH" });
+    println!("transitions ({}):", model.transition_count());
+    for t in model.chain.transitions() {
+        println!(
+            "  {:<14} -> {:<14} rate {:.6e}",
+            model.chain.states()[t.from].label,
+            model.chain.states()[t.to].label,
+            t.rate
+        );
+    }
+    let m = steady_state_measures(&model, SteadyStateMethod::Gth).expect("solvable");
+    println!("steady-state availability : {:.9}", m.availability);
+    println!("yearly downtime           : {:.3} min", m.yearly_downtime_minutes);
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let g = globals();
+    let p = type3_block();
+    c.bench_function("type3/generate", |b| {
+        b.iter(|| generate_block(std::hint::black_box(&p), &g).unwrap())
+    });
+    let model = generate_block(&p, &g).unwrap();
+    for (name, method) in
+        [("type3/solve_gth", SteadyStateMethod::Gth), ("type3/solve_lu", SteadyStateMethod::Lu)]
+    {
+        c.bench_function(name, |b| {
+            b.iter(|| steady_state_measures(std::hint::black_box(&model), method).unwrap())
+        });
+    }
+    c.bench_function("type3/interval_1year", |b| {
+        b.iter(|| interval_measures(std::hint::black_box(&model), 8760.0).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_experiment();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

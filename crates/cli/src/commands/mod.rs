@@ -1,0 +1,275 @@
+//! Command dispatch and implementations.
+//!
+//! Every command is a pure function from parsed arguments to an output
+//! string, so the whole CLI is unit-testable without spawning
+//! processes.
+
+use std::fmt;
+
+mod fielddata;
+mod simulate;
+mod solve;
+mod sweep;
+
+/// CLI error: a message for the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<rascad_spec::SpecError> for CliError {
+    fn from(e: rascad_spec::SpecError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<rascad_core::CoreError> for CliError {
+    fn from(e: rascad_core::CoreError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+const USAGE: &str = "\
+rascad — automatic generation of availability models (RAScad, DSN 2002)
+
+USAGE:
+    rascad <COMMAND> [ARGS]
+
+COMMANDS:
+    check <spec.rascad>                 validate a specification
+    solve <spec.rascad>                 solve and print the availability report
+    dot <spec.rascad> <block-path>      print the generated Markov chain as Graphviz DOT
+    modes <spec.rascad> <block-path>    first-failure mode attribution for one block
+    importance <spec.rascad>            rank blocks by system-level importance
+    sweep <spec.rascad> <block-path> <param> <from> <to> <points> [--log]
+                                        parametric sweep (param: mtbf|tresp|pcd)
+    compare <a.rascad> <b.rascad>       solve two candidate architectures and diff the measures
+    simulate <spec.rascad> [horizon-hours [replications [seed]]]
+                                        Monte-Carlo cross-check of the analytic solution
+    fielddata <spec.rascad> [months [servers [seed]]]
+                                        generate synthetic field data and compare with the model
+    library [name]                      print a library model as DSL
+                                        (names: datacenter, e10000, cluster, workgroup)
+    reference                           print the DSL parameter reference (Markdown)
+    help                                show this message
+";
+
+/// Runs a command line; returns the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message for bad usage, bad
+/// specs, or solver failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help" | "--help" | "-h") => Ok(USAGE.to_string()),
+        Some("check") => {
+            let spec = load(it.next())?;
+            spec.validate()?;
+            Ok(format!(
+                "ok: {} blocks across {} level(s)\n",
+                spec.root.total_blocks(),
+                spec.root.depth()
+            ))
+        }
+        Some("solve") => solve::solve(&load(it.next())?),
+        Some("dot") => {
+            let spec = load(it.next())?;
+            let path = it
+                .next()
+                .ok_or_else(|| CliError("dot needs a block path".into()))?;
+            solve::dot(&spec, path)
+        }
+        Some("modes") => {
+            let spec = load(it.next())?;
+            let path = it
+                .next()
+                .ok_or_else(|| CliError("modes needs a block path".into()))?;
+            solve::modes(&spec, path)
+        }
+        Some("importance") => {
+            let spec = load(it.next())?;
+            solve::importance(&spec)
+        }
+        Some("compare") => {
+            let a = load(it.next())?;
+            let b = load(it.next())?;
+            let cmp = rascad_core::compare_architectures(
+                a.root.name.clone(),
+                &a,
+                b.root.name.clone(),
+                &b,
+            )?;
+            Ok(format!("{cmp}\n"))
+        }
+        Some("sweep") => {
+            let spec = load(it.next())?;
+            let rest: Vec<&str> = it.collect();
+            sweep::sweep(&spec, &rest)
+        }
+        Some("simulate") => {
+            let spec = load(it.next())?;
+            let rest: Vec<&str> = it.collect();
+            simulate::simulate(&spec, &rest)
+        }
+        Some("fielddata") => {
+            let spec = load(it.next())?;
+            let rest: Vec<&str> = it.collect();
+            fielddata::fielddata(&spec, &rest)
+        }
+        Some("library") => {
+            let name = it.next().unwrap_or("datacenter");
+            library(name)
+        }
+        Some("reference") => Ok(rascad_spec::dsl::reference::markdown()),
+        Some(other) => Err(CliError(format!("unknown command `{other}`; try `rascad help`"))),
+    }
+}
+
+fn load(path: Option<&str>) -> Result<rascad_spec::SystemSpec, CliError> {
+    let path = path.ok_or_else(|| CliError("missing spec file argument".into()))?;
+    let text = std::fs::read_to_string(path)?;
+    let spec = if path.ends_with(".json") {
+        rascad_spec::SystemSpec::from_json(&text)?
+    } else {
+        rascad_spec::SystemSpec::from_dsl(&text)?
+    };
+    Ok(spec)
+}
+
+fn library(name: &str) -> Result<String, CliError> {
+    let spec = match name {
+        "datacenter" => rascad_library::datacenter::data_center(),
+        "e10000" => rascad_library::e10000::e10000(),
+        "cluster" => {
+            rascad_library::cluster::two_node_cluster(rascad_library::cluster::ClusterConfig::default())
+        }
+        "workgroup" => rascad_library::workgroup::workgroup(),
+        other => {
+            return Err(CliError(format!(
+                "unknown library model `{other}` (datacenter, e10000, cluster, workgroup)"
+            )));
+        }
+    };
+    Ok(spec.to_dsl())
+}
+
+/// Parses a positional numeric argument with a default.
+pub(crate) fn num_arg<T: std::str::FromStr>(
+    args: &[&str],
+    index: usize,
+    default: T,
+    what: &str,
+) -> Result<T, CliError> {
+    match args.get(index) {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| CliError(format!("bad {what}: `{s}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(ToString::to_string).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert!(run_strs(&[]).unwrap().contains("USAGE"));
+        assert!(run_strs(&["help"]).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command() {
+        assert!(run_strs(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn library_models_print_dsl() {
+        for name in ["datacenter", "e10000", "cluster", "workgroup"] {
+            let out = run_strs(&["library", name]).unwrap();
+            assert!(out.contains("diagram"), "{name}");
+            // Output must be parseable again.
+            rascad_spec::SystemSpec::from_dsl(&out).unwrap();
+        }
+        assert!(run_strs(&["library", "nope"]).is_err());
+    }
+
+    #[test]
+    fn check_solve_dot_roundtrip_via_tempfile() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rascad_cli_test.rascad");
+        let spec = rascad_library::datacenter::data_center();
+        std::fs::write(&path, spec.to_dsl()).unwrap();
+        let p = path.to_str().unwrap();
+
+        let out = run_strs(&["check", p]).unwrap();
+        assert!(out.contains("ok:"));
+
+        let out = run_strs(&["solve", p]).unwrap();
+        assert!(out.contains("Yearly downtime"));
+
+        let out = run_strs(&["dot", p, "Server Box/CPU Module"]).unwrap();
+        assert!(out.starts_with("digraph"));
+
+        assert!(run_strs(&["dot", p, "No/Such/Block"]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reference_is_markdown() {
+        let out = run_strs(&["reference"]).unwrap();
+        assert!(out.starts_with("# `.rascad` parameter reference"));
+        assert!(out.contains("p_correct_diagnosis"));
+    }
+
+    #[test]
+    fn compare_two_specs() {
+        let dir = std::env::temp_dir();
+        let pa = dir.join("rascad_cmp_a.rascad");
+        let pb = dir.join("rascad_cmp_b.rascad");
+        std::fs::write(&pa, rascad_library::e10000::e10000().to_dsl()).unwrap();
+        std::fs::write(&pb, rascad_library::e10000::e10000_no_redundancy().to_dsl()).unwrap();
+        let out =
+            run_strs(&["compare", pa.to_str().unwrap(), pb.to_str().unwrap()]).unwrap();
+        assert!(out.contains("winner on downtime"));
+        assert!(out.contains("E10000 Server"));
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+    }
+
+    #[test]
+    fn missing_file_reported() {
+        assert!(run_strs(&["solve", "/no/such/file.rascad"]).is_err());
+        assert!(run_strs(&["solve"]).is_err());
+    }
+
+    #[test]
+    fn json_specs_accepted() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rascad_cli_test.json");
+        let spec = rascad_library::cluster::two_node_cluster(Default::default());
+        std::fs::write(&path, spec.to_json().unwrap()).unwrap();
+        let out = run_strs(&["check", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("ok:"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,104 @@
+//! `solve` and `dot` commands.
+
+use rascad_core::{generator::generate_block, report, solve_spec};
+use rascad_spec::SystemSpec;
+
+use super::CliError;
+
+/// Solves a spec and renders the report.
+pub fn solve(spec: &SystemSpec) -> Result<String, CliError> {
+    let sol = solve_spec(spec)?;
+    Ok(report::system_report(&spec.root.name, &sol))
+}
+
+/// Renders one block's generated chain as DOT.
+pub fn dot(spec: &SystemSpec, block_path: &str) -> Result<String, CliError> {
+    let block = spec
+        .root
+        .find(block_path)
+        .ok_or_else(|| CliError(format!("no block at path `{block_path}`")))?;
+    let model = generate_block(&block.params, &spec.globals)?;
+    Ok(report::chain_dot(&model))
+}
+
+/// Prints the first-failure mode attribution for one block.
+pub fn modes(spec: &SystemSpec, block_path: &str) -> Result<String, CliError> {
+    let block = spec
+        .root
+        .find(block_path)
+        .ok_or_else(|| CliError(format!("no block at path `{block_path}`")))?;
+    let model = generate_block(&block.params, &spec.globals)?;
+    let attribution = rascad_core::measures::failure_mode_attribution(&model)?;
+    let mut out = format!(
+        "first-failure mode attribution for \"{}\" (type {}, {} states):\n",
+        block_path,
+        model.model_type,
+        model.state_count()
+    );
+    for (label, p) in attribution {
+        out.push_str(&format!("  {label:<16} {:>7.3}%\n", p * 100.0));
+    }
+    Ok(out)
+}
+
+/// Prints the system-level block importance ranking.
+pub fn importance(spec: &SystemSpec) -> Result<String, CliError> {
+    let sol = solve_spec(spec)?;
+    let ranking = sol.block_importance()?;
+    let mut out = format!(
+        "system-level block importance for \"{}\" (availability {:.9}):\n",
+        spec.root.name, sol.system.availability
+    );
+    out.push_str(&format!(
+        "{:<52} {:>12} {:>12} {:>12}\n",
+        "block", "birnbaum", "criticality", "improvement"
+    ));
+    for (name, c) in ranking {
+        out.push_str(&format!(
+            "{:<52} {:>12.6} {:>12.6} {:>12.3e}\n",
+            name, c.birnbaum, c.criticality, c.improvement_potential
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_library::datacenter::data_center;
+
+    #[test]
+    fn solve_renders_report() {
+        let out = solve(&data_center()).unwrap();
+        assert!(out.contains("System steady-state availability"));
+        assert!(out.contains("Data Center System"));
+    }
+
+    #[test]
+    fn dot_renders_chain() {
+        let out = dot(&data_center(), "Server Box/System Board").unwrap();
+        assert!(out.contains("digraph"));
+        assert!(out.contains("Ok"));
+    }
+
+    #[test]
+    fn dot_unknown_block() {
+        assert!(dot(&data_center(), "Ghost").is_err());
+    }
+
+    #[test]
+    fn importance_ranks_all_blocks() {
+        let out = importance(&data_center()).unwrap();
+        assert!(out.contains("criticality"));
+        // Every block path appears.
+        assert_eq!(out.matches("Data Center System/").count(), 23);
+    }
+
+    #[test]
+    fn modes_renders_attribution() {
+        let out = modes(&data_center(), "Server Box/System Board").unwrap();
+        assert!(out.contains("first-failure mode attribution"));
+        assert!(out.contains('%'));
+        assert!(modes(&data_center(), "Ghost").is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! `rascad` — command-line front end for the RAScad reproduction.
+//!
+//! Replaces the paper's web GUI with a scriptable interface over the
+//! same pipeline: parse an engineering spec, generate the availability
+//! models, solve, and report.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! End-to-end tests of the compiled `rascad` binary.
+
+use std::process::Command;
+
+fn rascad(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rascad"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_exits_zero() {
+    let (ok, stdout, _) = rascad(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_stderr() {
+    let (ok, _, stderr) = rascad(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+}
+
+#[test]
+fn pipeline_library_to_solve() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("rascad_binary_test.rascad");
+
+    let (ok, dsl, _) = rascad(&["library", "cluster"]);
+    assert!(ok);
+    std::fs::write(&path, &dsl).unwrap();
+
+    let p = path.to_str().unwrap();
+    let (ok, report, _) = rascad(&["solve", p]);
+    assert!(ok);
+    assert!(report.contains("Yearly downtime"));
+
+    let (ok, dot, _) = rascad(&["dot", p, "Cluster Node"]);
+    assert!(ok);
+    assert!(dot.starts_with("digraph"));
+
+    let (ok, modes, _) = rascad(&["modes", p, "Cluster Node"]);
+    assert!(ok);
+    assert!(modes.contains('%'));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let (ok, _, stderr) = rascad(&["solve", "/definitely/not/here.rascad"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+}

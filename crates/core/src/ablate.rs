@@ -1,0 +1,149 @@
+//! Ablation transforms — isolate the contribution of each modeled RAS
+//! mechanism.
+//!
+//! The generator models seven RAS characteristics (paper Section 2:
+//! redundancy, fault type, detection, recovery, logistics, repair,
+//! reintegration). Each transform below switches one of them off across
+//! a whole specification, so experiments can measure how much each
+//! mechanism contributes to the predicted downtime. Used by the
+//! `bench_ablation` experiment.
+
+use rascad_spec::units::{Fit, Hours, Minutes};
+use rascad_spec::{Scenario, SystemSpec};
+
+/// Returns a copy with perfect diagnosis everywhere (`Pcd = 1`):
+/// removes the service-error mechanism.
+pub fn perfect_diagnosis(spec: &SystemSpec) -> SystemSpec {
+    transform(spec, |p| p.p_correct_diagnosis = 1.0)
+}
+
+/// Returns a copy with no latent faults (`Plf = 0`): every fault is
+/// detected immediately.
+pub fn no_latent_faults(spec: &SystemSpec) -> SystemSpec {
+    transform(spec, |p| {
+        if let Some(r) = &mut p.redundancy {
+            r.p_latent_fault = 0.0;
+        }
+    })
+}
+
+/// Returns a copy with no transient faults (`λt = 0`).
+pub fn no_transients(spec: &SystemSpec) -> SystemSpec {
+    transform(spec, |p| p.transient_fit = Fit(0.0))
+}
+
+/// Returns a copy where every automatic recovery is transparent and
+/// perfect (no failover downtime, no SPF risk).
+pub fn perfect_recovery(spec: &SystemSpec) -> SystemSpec {
+    transform(spec, |p| {
+        if let Some(r) = &mut p.redundancy {
+            r.recovery = Scenario::Transparent;
+            r.failover_time = Minutes(0.0);
+            r.p_spf = 0.0;
+        }
+    })
+}
+
+/// Returns a copy with instantaneous logistics (`Tresp = MTTM = 0`):
+/// spare parts and service are always on site.
+pub fn instant_logistics(spec: &SystemSpec) -> SystemSpec {
+    let mut out = transform(spec, |p| p.service_response = Hours(0.0));
+    out.globals.mttm = Hours(0.0);
+    out
+}
+
+/// Returns a copy with every redundancy stripped (`K := N`, redundancy
+/// parameters removed): measures what the spares buy.
+pub fn strip_redundancy(spec: &SystemSpec) -> SystemSpec {
+    transform(spec, |p| {
+        p.min_quantity = p.quantity;
+        p.redundancy = None;
+    })
+}
+
+fn transform(
+    spec: &SystemSpec,
+    f: impl Fn(&mut rascad_spec::BlockParams) + Copy,
+) -> SystemSpec {
+    let mut out = spec.clone();
+    out.root.walk_mut(&mut |b| f(&mut b.params));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::solve_spec;
+    use rascad_spec::units::{Fit, Hours, Minutes};
+    use rascad_spec::{BlockParams, Diagram, GlobalParams, RedundancyParams};
+
+    fn baseline() -> SystemSpec {
+        let mut d = Diagram::new("Sys");
+        d.push(
+            BlockParams::new("Pair", 2, 1)
+                .with_mtbf(Hours(8_000.0))
+                .with_transient_fit(Fit(10_000.0))
+                .with_mttr_parts(Minutes(60.0), Minutes(60.0), Minutes(0.0))
+                .with_service_response(Hours(6.0))
+                .with_p_correct_diagnosis(0.9)
+                .with_redundancy(RedundancyParams {
+                    p_latent_fault: 0.1,
+                    mttdlf: Hours(48.0),
+                    recovery: Scenario::Nontransparent,
+                    failover_time: Minutes(10.0),
+                    p_spf: 0.05,
+                    spf_recovery_time: Minutes(30.0),
+                    repair: Scenario::Nontransparent,
+                    reintegration_time: Minutes(10.0),
+                }),
+        );
+        d.push(BlockParams::new("Single", 1, 1).with_mtbf(Hours(50_000.0)));
+        SystemSpec::new(d, GlobalParams::default())
+    }
+
+    fn downtime(spec: &SystemSpec) -> f64 {
+        solve_spec(spec).unwrap().system.yearly_downtime_minutes
+    }
+
+    #[test]
+    fn every_ablation_validates_and_helps() {
+        let base = baseline();
+        let base_dt = downtime(&base);
+        for (name, ablated) in [
+            ("perfect_diagnosis", perfect_diagnosis(&base)),
+            ("no_latent_faults", no_latent_faults(&base)),
+            ("no_transients", no_transients(&base)),
+            ("perfect_recovery", perfect_recovery(&base)),
+            ("instant_logistics", instant_logistics(&base)),
+        ] {
+            ablated.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let dt = downtime(&ablated);
+            assert!(dt <= base_dt + 1e-9, "{name}: {dt} vs baseline {base_dt}");
+        }
+    }
+
+    #[test]
+    fn stripping_redundancy_hurts() {
+        let base = baseline();
+        let stripped = strip_redundancy(&base);
+        stripped.validate().unwrap();
+        assert!(downtime(&stripped) > downtime(&base));
+    }
+
+    #[test]
+    fn ablations_compose() {
+        let base = baseline();
+        let all = perfect_recovery(&no_transients(&no_latent_faults(&perfect_diagnosis(&base))));
+        all.validate().unwrap();
+        assert!(downtime(&all) < downtime(&base));
+    }
+
+    #[test]
+    fn original_spec_unchanged() {
+        let base = baseline();
+        let copy = base.clone();
+        let _ = perfect_diagnosis(&base);
+        let _ = strip_redundancy(&base);
+        assert_eq!(base, copy);
+    }
+}

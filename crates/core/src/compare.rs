@@ -1,0 +1,150 @@
+//! Architecture comparison.
+//!
+//! MG "is intended for use to analytically assess and *compare* RAS
+//! quantities achievable by the computer architectures under design"
+//! (paper Section 2). This module solves two candidate architectures
+//! and reports the deltas on every headline measure.
+
+use std::fmt;
+
+use rascad_spec::SystemSpec;
+
+use crate::error::CoreError;
+use crate::hierarchy::{solve_spec, SystemMeasures};
+
+/// Side-by-side measures of two candidate architectures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchComparison {
+    /// Name of candidate A.
+    pub name_a: String,
+    /// Name of candidate B.
+    pub name_b: String,
+    /// Measures of candidate A.
+    pub a: SystemMeasures,
+    /// Measures of candidate B.
+    pub b: SystemMeasures,
+}
+
+impl ArchComparison {
+    /// Yearly downtime delta `B − A` in minutes (negative = B better).
+    pub fn downtime_delta_minutes(&self) -> f64 {
+        self.b.yearly_downtime_minutes - self.a.yearly_downtime_minutes
+    }
+
+    /// Ratio of B's unavailability to A's (`< 1` = B better).
+    pub fn unavailability_ratio(&self) -> f64 {
+        if self.a.unavailability > 0.0 {
+            self.b.unavailability / self.a.unavailability
+        } else if self.b.unavailability > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    /// Which candidate has less downtime.
+    pub fn winner(&self) -> &str {
+        if self.b.yearly_downtime_minutes < self.a.yearly_downtime_minutes {
+            &self.name_b
+        } else {
+            &self.name_a
+        }
+    }
+}
+
+impl fmt::Display for ArchComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "architecture comparison: {} vs {}", self.name_a, self.name_b)?;
+        let row = |f: &mut fmt::Formatter<'_>, label: &str, a: f64, b: f64, unit: &str| {
+            writeln!(f, "  {label:<28} {a:>14.6} {b:>14.6} {unit}")
+        };
+        writeln!(f, "  {:<28} {:>14} {:>14}", "measure", self.name_a, self.name_b)?;
+        row(f, "availability", self.a.availability, self.b.availability, "")?;
+        row(
+            f,
+            "yearly downtime",
+            self.a.yearly_downtime_minutes,
+            self.b.yearly_downtime_minutes,
+            "min",
+        )?;
+        row(f, "MTBF", self.a.mtbf_hours, self.b.mtbf_hours, "h")?;
+        row(f, "MTTF", self.a.mttf_hours, self.b.mttf_hours, "h")?;
+        row(
+            f,
+            "reliability at mission",
+            self.a.reliability_at_mission,
+            self.b.reliability_at_mission,
+            "",
+        )?;
+        write!(
+            f,
+            "  winner on downtime: {} ({:+.2} min/yr, unavailability ratio {:.3})",
+            self.winner(),
+            self.downtime_delta_minutes(),
+            self.unavailability_ratio()
+        )
+    }
+}
+
+/// Solves both candidates and assembles the comparison.
+///
+/// # Errors
+///
+/// Propagates solve errors from either spec.
+pub fn compare_architectures(
+    name_a: impl Into<String>,
+    spec_a: &SystemSpec,
+    name_b: impl Into<String>,
+    spec_b: &SystemSpec,
+) -> Result<ArchComparison, CoreError> {
+    Ok(ArchComparison {
+        name_a: name_a.into(),
+        name_b: name_b.into(),
+        a: solve_spec(spec_a)?.system,
+        b: solve_spec(spec_b)?.system,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_spec::units::Hours;
+    use rascad_spec::{BlockParams, Diagram, GlobalParams};
+
+    fn spec(mtbf: f64) -> SystemSpec {
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1).with_mtbf(Hours(mtbf)));
+        SystemSpec::new(d, GlobalParams::default())
+    }
+
+    #[test]
+    fn better_mtbf_wins() {
+        let cmp =
+            compare_architectures("cheap", &spec(10_000.0), "premium", &spec(100_000.0)).unwrap();
+        assert_eq!(cmp.winner(), "premium");
+        assert!(cmp.downtime_delta_minutes() < 0.0);
+        assert!(cmp.unavailability_ratio() < 1.0);
+    }
+
+    #[test]
+    fn identical_specs_tie() {
+        let cmp = compare_architectures("a", &spec(10_000.0), "b", &spec(10_000.0)).unwrap();
+        assert!((cmp.unavailability_ratio() - 1.0).abs() < 1e-12);
+        assert!(cmp.downtime_delta_minutes().abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_all_measures() {
+        let cmp = compare_architectures("a", &spec(10_000.0), "b", &spec(20_000.0)).unwrap();
+        let s = cmp.to_string();
+        for needle in ["availability", "yearly downtime", "MTBF", "MTTF", "winner"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn invalid_candidate_surfaces_error() {
+        let bad = SystemSpec::new(Diagram::new("Empty"), GlobalParams::default());
+        assert!(compare_architectures("a", &spec(1e4), "b", &bad).is_err());
+    }
+}

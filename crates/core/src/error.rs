@@ -1,0 +1,81 @@
+//! Error type for model generation and solution.
+
+use std::fmt;
+
+use rascad_markov::MarkovError;
+use rascad_rbd::RbdError;
+use rascad_spec::SpecError;
+
+/// Error produced by the Model Generator pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The input specification failed validation.
+    Spec(SpecError),
+    /// A generated Markov chain could not be built or solved.
+    Markov {
+        /// Path of the block whose chain failed.
+        block: String,
+        /// The underlying solver error.
+        source: MarkovError,
+    },
+    /// An RBD evaluation failed.
+    Rbd(RbdError),
+    /// A sweep or measure request was malformed.
+    InvalidRequest {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Spec(e) => write!(f, "specification error: {e}"),
+            CoreError::Markov { block, source } => {
+                write!(f, "markov solver error in block \"{block}\": {source}")
+            }
+            CoreError::Rbd(e) => write!(f, "rbd error: {e}"),
+            CoreError::InvalidRequest { what } => write!(f, "invalid request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Spec(e) => Some(e),
+            CoreError::Markov { source, .. } => Some(source),
+            CoreError::Rbd(e) => Some(e),
+            CoreError::InvalidRequest { .. } => None,
+        }
+    }
+}
+
+impl From<SpecError> for CoreError {
+    fn from(e: SpecError) -> Self {
+        CoreError::Spec(e)
+    }
+}
+
+impl From<RbdError> for CoreError {
+    fn from(e: RbdError) -> Self {
+        CoreError::Rbd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = CoreError::Markov { block: "Sys/CPU".into(), source: MarkovError::Singular };
+        assert!(e.to_string().contains("Sys/CPU"));
+        assert!(e.source().is_some());
+        let e2 = CoreError::InvalidRequest { what: "negative horizon".into() };
+        assert!(e2.source().is_none());
+        assert!(!e2.to_string().is_empty());
+    }
+}

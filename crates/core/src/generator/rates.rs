@@ -1,0 +1,195 @@
+//! Derived per-block rates and durations.
+//!
+//! Collapses the engineering parameters (block + global) into the raw
+//! quantities the chain templates consume. All durations are in hours,
+//! all rates per hour.
+
+use rascad_spec::{BlockParams, GlobalParams, Scenario};
+
+/// Rates and durations derived from one block's parameters plus the
+/// global parameters (paper Section 4: "the parameters in the model are
+/// either derived or directly obtained from the block and global
+/// parameters").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rates {
+    /// Per-component permanent failure rate `λp = 1/MTBF`.
+    pub lambda_p: f64,
+    /// Per-component transient failure rate `λt` (from FIT).
+    pub lambda_t: f64,
+    /// Total repair hands-on time (diagnosis + corrective +
+    /// verification), hours.
+    pub mttr: f64,
+    /// Service response time `Tresp`, hours.
+    pub tresp: f64,
+    /// Service restriction time `MTTM`, hours (global).
+    pub mttm: f64,
+    /// Mean time to repair from incorrect diagnosis, hours (global).
+    pub mttrfid: f64,
+    /// System reboot time `Tboot`, hours (global).
+    pub tboot: f64,
+    /// Probability of correct diagnosis `Pcd`.
+    pub pcd: f64,
+    /// Probability of latent fault `Plf` (0 for non-redundant blocks).
+    pub plf: f64,
+    /// Mean time to detect a latent fault, hours.
+    pub mttdlf: f64,
+    /// AR/failover downtime `Tfo`, hours (0 under a transparent recovery
+    /// scenario).
+    pub tfo: f64,
+    /// Probability of single point of failure during AR, `Pspf`.
+    pub pspf: f64,
+    /// SPF state recovery time `Tspf`, hours.
+    pub tspf: f64,
+    /// Reintegration downtime `Treint`, hours (0 under a transparent
+    /// repair scenario).
+    pub treint: f64,
+    /// Whether the automatic-recovery scenario is transparent.
+    pub transparent_recovery: bool,
+    /// Whether the repair scenario is transparent.
+    pub transparent_repair: bool,
+}
+
+impl Rates {
+    /// Derives the rate set from a block and the globals.
+    pub fn derive(params: &BlockParams, globals: &GlobalParams) -> Rates {
+        let r = params.redundancy;
+        let transparent_recovery =
+            r.is_none_or(|r| r.recovery == Scenario::Transparent);
+        let transparent_repair = r.is_none_or(|r| r.repair == Scenario::Transparent);
+        Rates {
+            lambda_p: params.permanent_rate(),
+            lambda_t: params.transient_rate(),
+            mttr: params.mttr_total().0,
+            tresp: params.service_response.0,
+            mttm: globals.mttm.0,
+            mttrfid: globals.mttrfid.0,
+            tboot: globals.reboot_time.to_hours().0,
+            pcd: params.p_correct_diagnosis,
+            plf: r.map_or(0.0, |r| r.p_latent_fault),
+            mttdlf: r.map_or(0.0, |r| r.mttdlf.0),
+            tfo: r.map_or(0.0, |r| {
+                if r.recovery == Scenario::Nontransparent {
+                    r.failover_time.to_hours().0
+                } else {
+                    0.0
+                }
+            }),
+            pspf: r.map_or(0.0, |r| r.p_spf),
+            tspf: r.map_or(0.0, |r| r.spf_recovery_time.to_hours().0),
+            treint: r.map_or(0.0, |r| {
+                if r.repair == Scenario::Nontransparent {
+                    r.reintegration_time.to_hours().0
+                } else {
+                    0.0
+                }
+            }),
+            transparent_recovery,
+            transparent_repair,
+        }
+    }
+
+    /// Scheduled repair logistic + hands-on duration for a redundant
+    /// component: `MTTM + Tresp + MTTR` (paper: "the logistic event
+    /// duration is thus the sum of service restriction time and service
+    /// response time", followed by the repair itself).
+    pub fn scheduled_repair_time(&self) -> f64 {
+        self.mttm + self.tresp + self.mttr
+    }
+
+    /// Immediate repair duration when the system is down: `Tresp + MTTR`
+    /// ("a call to the customer service should be placed immediately").
+    pub fn immediate_repair_time(&self) -> f64 {
+        self.tresp + self.mttr
+    }
+
+    /// Effective `Pspf` — zero when the SPF state has no duration (the
+    /// state is then elided).
+    pub fn effective_pspf(&self) -> f64 {
+        if self.tspf > 0.0 {
+            self.pspf
+        } else {
+            0.0
+        }
+    }
+
+    /// Effective probability of entering the service-error state — zero
+    /// when `MTTRFID` is zero (the state is then elided).
+    pub fn effective_service_error(&self) -> f64 {
+        if self.mttrfid > 0.0 {
+            1.0 - self.pcd
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_spec::units::{Fit, Hours, Minutes};
+    use rascad_spec::RedundancyParams;
+
+    #[test]
+    fn derives_basic_rates() {
+        let p = BlockParams::new("X", 2, 2)
+            .with_mtbf(Hours(10_000.0))
+            .with_transient_fit(Fit(500.0))
+            .with_mttr_parts(Minutes(30.0), Minutes(20.0), Minutes(10.0))
+            .with_service_response(Hours(4.0))
+            .with_p_correct_diagnosis(0.95);
+        let g = GlobalParams::default();
+        let r = Rates::derive(&p, &g);
+        assert!((r.lambda_p - 1e-4).abs() < 1e-18);
+        assert!((r.lambda_t - 5e-7).abs() < 1e-18);
+        assert_eq!(r.mttr, 1.0);
+        assert_eq!(r.tresp, 4.0);
+        assert_eq!(r.pcd, 0.95);
+        // Non-redundant: no latent/AR parameters.
+        assert_eq!(r.plf, 0.0);
+        assert_eq!(r.tfo, 0.0);
+        assert!(r.transparent_recovery && r.transparent_repair);
+        assert_eq!(r.immediate_repair_time(), 5.0);
+        assert_eq!(r.scheduled_repair_time(), 53.0);
+    }
+
+    #[test]
+    fn transparent_scenarios_zero_downtimes() {
+        let mut red = RedundancyParams::default();
+        red.recovery = Scenario::Transparent;
+        red.repair = Scenario::Transparent;
+        red.failover_time = Minutes(30.0);
+        red.reintegration_time = Minutes(30.0);
+        let p = BlockParams::new("X", 2, 1).with_redundancy(red);
+        let r = Rates::derive(&p, &GlobalParams::default());
+        // Transparent scenarios elide the downtime regardless of the
+        // configured durations.
+        assert_eq!(r.tfo, 0.0);
+        assert_eq!(r.treint, 0.0);
+    }
+
+    #[test]
+    fn nontransparent_scenarios_keep_downtimes() {
+        let mut red = RedundancyParams::default();
+        red.recovery = Scenario::Nontransparent;
+        red.repair = Scenario::Nontransparent;
+        red.failover_time = Minutes(30.0);
+        red.reintegration_time = Minutes(15.0);
+        let p = BlockParams::new("X", 2, 1).with_redundancy(red);
+        let r = Rates::derive(&p, &GlobalParams::default());
+        assert_eq!(r.tfo, 0.5);
+        assert_eq!(r.treint, 0.25);
+        assert!(!r.transparent_recovery && !r.transparent_repair);
+    }
+
+    #[test]
+    fn effective_probabilities_gate_on_durations() {
+        let mut red = RedundancyParams::default();
+        red.p_spf = 0.1;
+        red.spf_recovery_time = Minutes(0.0);
+        let p = BlockParams::new("X", 2, 1).with_redundancy(red);
+        let g = GlobalParams { mttrfid: Hours(0.0), ..Default::default() };
+        let r = Rates::derive(&p, &g);
+        assert_eq!(r.effective_pspf(), 0.0);
+        assert_eq!(r.effective_service_error(), 0.0);
+    }
+}

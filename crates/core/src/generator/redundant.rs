@@ -1,0 +1,515 @@
+//! Markov Model Types 1–4 — redundant blocks (paper Figure 4 shows
+//! Type 3).
+//!
+//! States are organized in *levels*: level `j` means `j` components have
+//! permanently failed (and been recovered around), `j = 0 ..= M` with
+//! `M = N − K` the redundancy margin; the system is up at every level
+//! `≤ M` and down at level `M + 1`. The paper notes "the number of
+//! states in the model is determined by N and K. For example, if
+//! N − K > 1, states TF1, AR1, PF1 and Latent1 will be repeated in the
+//! model" — exactly the replication performed here.
+//!
+//! Per level (entered from up-state `U_j`, which is `Ok` for `j = 0` and
+//! `PFj` otherwise, with `n_j = N − j` survivors):
+//!
+//! * detected permanent fault → `AR(j+1)` (down for `Tfo` under
+//!   nontransparent recovery; elided under transparent recovery), then
+//!   `PF(j+1)` or, with probability `Pspf`, `SPF(j+1)` (down `Tspf`);
+//! * latent fault (probability `Plf`) → `Latent(j+1)` (up), detected
+//!   after `MTTDLF`, then through the AR path;
+//! * transient fault → `TF(j+1)` (down `Tfo`, returns to `U_j`;
+//!   `Pspf` branch lands in `SPF`), or — under transparent recovery —
+//!   no downtime at all except the `Pspf` branch through `TSPFj` (down
+//!   `Tspf`, returns to `U_j`);
+//! * scheduled repair from `PFj` after `MTTM + Tresp + MTTR`, with
+//!   imperfect diagnosis routing through `ServiceError_j` (down
+//!   `MTTRFID`) and — under nontransparent repair — reintegration
+//!   through `RIj` (down `Treint`);
+//! * at level `M` any further permanent fault is system-down
+//!   (`PF(M+1)`), repaired with an *immediate* service call
+//!   (`Tresp + MTTR`, plus `Treint` under nontransparent repair).
+//!
+//! For `N = 2, K = 1`, Type 3 yields exactly the paper's nine states:
+//! `Ok, TF1, AR1, SPF, Latent1, PF1, TF2, PF2, ServiceError`.
+
+use rascad_markov::StateId;
+use rascad_spec::BlockParams;
+
+use super::{ModelBuilder, Rates};
+
+/// Builds a Type 1–4 chain into `mb`.
+///
+/// # Panics
+///
+/// Panics if called for a non-redundant block (`N == K`); the dispatcher
+/// guarantees this cannot happen.
+pub(crate) fn build(mb: &mut ModelBuilder, params: &BlockParams, r: &Rates) {
+    let n = params.quantity;
+    let k = params.min_quantity;
+    assert!(n > k, "redundant template requires N > K");
+    let margin = (n - k) as usize;
+
+    let g = Gen { mb, r, n, margin };
+    g.build();
+}
+
+struct Gen<'a> {
+    mb: &'a mut ModelBuilder,
+    r: &'a Rates,
+    n: u32,
+    margin: usize,
+}
+
+impl Gen<'_> {
+    fn build(self) {
+        let Gen { mb, r, n, margin } = self;
+        let pspf = r.effective_pspf();
+        let p_se = r.effective_service_error();
+
+        // Pre-create the up states in level order so `Ok` is state 0 and
+        // the level structure reads naturally in dumps.
+        let up: Vec<StateId> = (0..=margin)
+            .map(|j| {
+                if j == 0 {
+                    mb.state("Ok", 1.0)
+                } else {
+                    mb.state(&format!("PF{j}"), 1.0)
+                }
+            })
+            .collect();
+        let down = mb.state(&format!("PF{}", margin + 1), 0.0);
+
+        // SPF state of level j (down, Tspf, exits to PFj). Created lazily.
+        let spf = |mb: &mut ModelBuilder, j: usize| -> StateId {
+            let label = if margin == 1 { "SPF".to_string() } else { format!("SPF{j}") };
+            
+            mb.state(&label, 0.0)
+        };
+
+        // --- Failure arcs out of each up level -----------------------
+        for j in 0..=margin {
+            let nj = f64::from(n) - j as f64;
+            let perm = nj * r.lambda_p;
+            let trans = nj * r.lambda_t;
+
+            if j < margin {
+                // Detected permanent fault -> AR path into level j+1.
+                let detected = perm * (1.0 - r.plf);
+                self_enter_ar(mb, r, up[j], detected, j + 1, up[j + 1], pspf, &spf, margin);
+
+                // Latent fault -> Latent(j+1).
+                if r.plf > 0.0 {
+                    let latent = mb.state(&format!("Latent{}", j + 1), 1.0);
+                    mb.transition(up[j], latent, perm * r.plf);
+                    // Detection after MTTDLF -> AR path into level j+1
+                    // (the latent component is at level j+1 already).
+                    if r.mttdlf > 0.0 {
+                        self_enter_ar(
+                            mb,
+                            r,
+                            latent,
+                            1.0 / r.mttdlf,
+                            j + 1,
+                            up[j + 1],
+                            pspf,
+                            &spf,
+                            margin,
+                        );
+                    }
+                    // Further faults while latent.
+                    let nj1 = f64::from(n) - (j + 1) as f64;
+                    if j + 2 <= margin {
+                        self_enter_ar(
+                            mb,
+                            r,
+                            latent,
+                            nj1 * r.lambda_p,
+                            j + 2,
+                            up[j + 2],
+                            pspf,
+                            &spf,
+                            margin,
+                        );
+                    } else {
+                        mb.transition(latent, down, nj1 * r.lambda_p);
+                    }
+                    if r.lambda_t > 0.0 {
+                        self_enter_tf(
+                            mb,
+                            r,
+                            latent,
+                            nj1 * r.lambda_t,
+                            j + 2,
+                            up[j + 1],
+                            pspf,
+                            &spf,
+                            margin,
+                        );
+                    }
+                }
+            } else {
+                // Level M: margin exhausted — any further permanent
+                // fault takes the system down, detected or not.
+                mb.transition(up[j], down, perm);
+            }
+
+            // Transient fault at level j.
+            if trans > 0.0 {
+                self_enter_tf(mb, r, up[j], trans, j + 1, up[j], pspf, &spf, margin);
+            }
+        }
+
+        // --- Repair arcs ---------------------------------------------
+        let trep = r.scheduled_repair_time();
+        for j in 1..=margin {
+            let target = up[j - 1];
+            let success_rate = (1.0 - p_se) / trep;
+            if r.treint > 0.0 {
+                let ri = mb.state(&format!("RI{j}"), 0.0);
+                mb.transition(up[j], ri, success_rate);
+                mb.transition(ri, target, 1.0 / r.treint);
+            } else {
+                mb.transition(up[j], target, success_rate);
+            }
+            if p_se > 0.0 {
+                let label =
+                    if margin == 1 { "ServiceError".to_string() } else { format!("ServiceError{j}") };
+                let se = mb.state(&label, 0.0);
+                mb.transition(up[j], se, p_se / trep);
+                mb.transition(se, target, 1.0 / r.mttrfid);
+            }
+        }
+
+        // Down-state repair: immediate service call; reintegration time
+        // is spent while already down, so it extends the sojourn.
+        let tdown = r.immediate_repair_time() + r.treint;
+        mb.transition(down, up[margin], 1.0 / tdown);
+    }
+}
+
+/// Adds the automatic-recovery path from `from` (at `rate`) into level
+/// `level`: through `AR{level}` when the recovery is nontransparent
+/// (`Tfo > 0`), splitting on `Pspf` into `SPF{level}`.
+#[allow(clippy::too_many_arguments)]
+fn self_enter_ar(
+    mb: &mut ModelBuilder,
+    r: &Rates,
+    from: StateId,
+    rate: f64,
+    level: usize,
+    level_up: StateId,
+    pspf: f64,
+    spf: &impl Fn(&mut ModelBuilder, usize) -> StateId,
+    _margin: usize,
+) {
+    if rate <= 0.0 {
+        return;
+    }
+    if r.tfo > 0.0 {
+        let ar = mb.state(&format!("AR{level}"), 0.0);
+        mb.transition(from, ar, rate);
+        // AR exits are added idempotently: ModelBuilder dedupes states,
+        // and duplicate exit transitions are avoided by adding them only
+        // when the state is first created. Simplest correct approach:
+        // add exits every call but guard with a marker label; instead we
+        // rely on `add_ar_exits` tracking below.
+        add_exit_once(mb, ar, |mb| {
+            let sp = if pspf > 0.0 { Some(spf(mb, level)) } else { None };
+            let mut exits = vec![(level_up, (1.0 - pspf) / r.tfo)];
+            if let Some(s) = sp {
+                exits.push((s, pspf / r.tfo));
+                add_exit_once(mb, s, |mb| vec![(level_up_of(mb, level), 1.0 / r.tspf)]);
+            }
+            exits
+        });
+    } else {
+        // Transparent (or zero-time) recovery: no AR state.
+        mb.transition(from, level_up, rate * (1.0 - pspf));
+        if pspf > 0.0 {
+            let s = spf(mb, level);
+            mb.transition(from, s, rate * pspf);
+            add_exit_once(mb, s, |mb| vec![(level_up_of(mb, level), 1.0 / r.tspf)]);
+        }
+    }
+}
+
+/// Adds the transient-fault path from `from` (at `rate`), indexed
+/// `TF{tf_index}`, returning to `return_to`. Under nontransparent
+/// recovery the TF state is down for `Tfo`; under transparent recovery
+/// only the `Pspf` branch materializes, through `TSPF` back to
+/// `return_to`.
+#[allow(clippy::too_many_arguments)]
+fn self_enter_tf(
+    mb: &mut ModelBuilder,
+    r: &Rates,
+    from: StateId,
+    rate: f64,
+    tf_index: usize,
+    return_to: StateId,
+    pspf: f64,
+    spf: &impl Fn(&mut ModelBuilder, usize) -> StateId,
+    margin: usize,
+) {
+    if rate <= 0.0 {
+        return;
+    }
+    let spf_level = tf_index.min(margin);
+    if r.tfo > 0.0 {
+        let tf = mb.state(&format!("TF{tf_index}"), 0.0);
+        mb.transition(from, tf, rate);
+        add_exit_once(mb, tf, |mb| {
+            let mut exits = vec![(return_to, (1.0 - pspf) / r.tfo)];
+            if pspf > 0.0 {
+                let s = spf(mb, spf_level);
+                exits.push((s, pspf / r.tfo));
+                add_exit_once(mb, s, |mb| vec![(level_up_of(mb, spf_level), 1.0 / r.tspf)]);
+            }
+            exits
+        });
+    } else if pspf > 0.0 {
+        // Transparent recovery: the transient itself is free; only the
+        // failed-AR branch costs time, returning to where we came from.
+        let label = format!("TSPF{}", tf_index - 1);
+        let t = mb.state(&label, 0.0);
+        mb.transition(from, t, rate * pspf);
+        add_exit_once(mb, t, |_| vec![(return_to, 1.0 / r.tspf)]);
+    }
+}
+
+/// The up state of a level (used by SPF exits).
+fn level_up_of(mb: &mut ModelBuilder, level: usize) -> StateId {
+    if level == 0 {
+        mb.state("Ok", 1.0)
+    } else {
+        mb.state(&format!("PF{level}"), 1.0)
+    }
+}
+
+/// Runs `exits` and installs the produced transitions only the first
+/// time it is called for `state` (subsequent calls are no-ops), keyed by
+/// a per-builder marker set.
+fn add_exit_once(
+    mb: &mut ModelBuilder,
+    state: StateId,
+    exits: impl FnOnce(&mut ModelBuilder) -> Vec<(StateId, f64)>,
+) {
+    if mb.mark_exits_added(state) {
+        let list = exits(mb);
+        for (to, rate) in list {
+            mb.transition(state, to, rate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_block;
+    use rascad_markov::SteadyStateMethod;
+    use rascad_spec::units::{Fit, Hours, Minutes};
+    use rascad_spec::{GlobalParams, RedundancyParams, Scenario};
+
+    fn redundancy(recovery: Scenario, repair: Scenario) -> RedundancyParams {
+        RedundancyParams {
+            p_latent_fault: 0.05,
+            mttdlf: Hours(24.0),
+            recovery,
+            failover_time: Minutes(6.0),
+            p_spf: 0.02,
+            spf_recovery_time: Minutes(12.0),
+            repair,
+            reintegration_time: Minutes(10.0),
+        }
+    }
+
+    fn params(n: u32, k: u32, recovery: Scenario, repair: Scenario) -> BlockParams {
+        BlockParams::new("X", n, k)
+            .with_mtbf(Hours(20_000.0))
+            .with_transient_fit(Fit(5_000.0))
+            .with_mttr_parts(Minutes(30.0), Minutes(20.0), Minutes(10.0))
+            .with_service_response(Hours(4.0))
+            .with_p_correct_diagnosis(0.95)
+            .with_redundancy(redundancy(recovery, repair))
+    }
+
+    #[test]
+    fn type3_two_of_one_matches_paper_state_set() {
+        // N = 2, K = 1, Type 3: the paper's Figure 4 state set.
+        let p = params(2, 1, Scenario::Nontransparent, Scenario::Transparent);
+        let m = generate_block(&p, &GlobalParams::default()).unwrap();
+        let mut labels: Vec<_> =
+            m.chain.states().iter().map(|s| s.label.clone()).collect();
+        labels.sort();
+        let mut expect = vec![
+            "Ok", "TF1", "AR1", "SPF", "Latent1", "PF1", "TF2", "PF2", "ServiceError",
+        ];
+        expect.sort_unstable();
+        assert_eq!(labels, expect);
+        assert_eq!(m.state_count(), 9);
+    }
+
+    #[test]
+    fn type2_has_reintegration_but_no_ar_states() {
+        // Transparent recovery elides AR/TF downtime states;
+        // nontransparent repair adds RI.
+        let p = params(2, 1, Scenario::Transparent, Scenario::Nontransparent);
+        let m = generate_block(&p, &GlobalParams::default()).unwrap();
+        assert!(m.chain.state_by_label("AR1").is_none());
+        assert!(m.chain.state_by_label("TF1").is_none());
+        assert!(m.chain.state_by_label("RI1").is_some());
+        // Transient SPF branches survive as TSPF states.
+        assert!(m.chain.state_by_label("TSPF0").is_some());
+    }
+
+    #[test]
+    fn type1_minimal_structure() {
+        let p = params(2, 1, Scenario::Transparent, Scenario::Transparent);
+        let m = generate_block(&p, &GlobalParams::default()).unwrap();
+        for absent in ["AR1", "TF1", "TF2", "RI1"] {
+            assert!(m.chain.state_by_label(absent).is_none(), "{absent} should be elided");
+        }
+        for present in ["Ok", "PF1", "PF2", "Latent1", "SPF", "ServiceError"] {
+            assert!(m.chain.state_by_label(present).is_some(), "missing {present}");
+        }
+    }
+
+    #[test]
+    fn type4_adds_reintegration_state() {
+        let p = params(2, 1, Scenario::Nontransparent, Scenario::Nontransparent);
+        let m = generate_block(&p, &GlobalParams::default()).unwrap();
+        assert!(m.chain.state_by_label("RI1").is_some());
+        assert_eq!(m.state_count(), 10);
+    }
+
+    #[test]
+    fn type1_is_smallest_type4_is_largest() {
+        // The paper: "the complexity of the model increases from type 1
+        // to type 4".
+        let sizes: Vec<usize> = [
+            (Scenario::Transparent, Scenario::Transparent),
+            (Scenario::Transparent, Scenario::Nontransparent),
+            (Scenario::Nontransparent, Scenario::Transparent),
+            (Scenario::Nontransparent, Scenario::Nontransparent),
+        ]
+        .iter()
+        .map(|&(rec, rep)| {
+            generate_block(&params(2, 1, rec, rep), &GlobalParams::default())
+                .unwrap()
+                .state_count()
+        })
+        .collect();
+        assert!(sizes[0] <= sizes[1], "{sizes:?}");
+        assert!(sizes[1] <= sizes[3], "{sizes:?}");
+        assert!(sizes[0] <= sizes[2], "{sizes:?}");
+        assert!(sizes[2] <= sizes[3], "{sizes:?}");
+    }
+
+    #[test]
+    fn states_replicate_with_margin() {
+        // N-K > 1 replicates TF/AR/PF/Latent per level, as the paper
+        // states.
+        let p = params(4, 1, Scenario::Nontransparent, Scenario::Transparent);
+        let m = generate_block(&p, &GlobalParams::default()).unwrap();
+        for lbl in ["PF1", "PF2", "PF3", "AR1", "AR2", "AR3", "Latent1", "Latent2",
+            "Latent3", "TF1", "TF2", "TF3", "TF4", "PF4"]
+        {
+            assert!(m.chain.state_by_label(lbl).is_some(), "missing {lbl}");
+        }
+    }
+
+    #[test]
+    fn all_types_solve_to_high_availability() {
+        for (rec, rep) in [
+            (Scenario::Transparent, Scenario::Transparent),
+            (Scenario::Transparent, Scenario::Nontransparent),
+            (Scenario::Nontransparent, Scenario::Transparent),
+            (Scenario::Nontransparent, Scenario::Nontransparent),
+        ] {
+            for (n, k) in [(2, 1), (3, 2), (4, 2), (6, 3)] {
+                let p = params(n, k, rec, rep);
+                let m = generate_block(&p, &GlobalParams::default()).unwrap();
+                let pi = m.chain.steady_state(SteadyStateMethod::Gth).unwrap();
+                let a = m.chain.expected_reward(&pi);
+                assert!(
+                    a > 0.99 && a < 1.0,
+                    "N={n} K={k} type {} gave {a}",
+                    m.model_type
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transparent_recovery_beats_nontransparent() {
+        let g = GlobalParams::default();
+        let a = |rec, rep| {
+            let m = generate_block(&params(2, 1, rec, rep), &g).unwrap();
+            let pi = m.chain.steady_state(SteadyStateMethod::Gth).unwrap();
+            m.chain.expected_reward(&pi)
+        };
+        let a1 = a(Scenario::Transparent, Scenario::Transparent);
+        let a2 = a(Scenario::Transparent, Scenario::Nontransparent);
+        let a3 = a(Scenario::Nontransparent, Scenario::Transparent);
+        let a4 = a(Scenario::Nontransparent, Scenario::Nontransparent);
+        assert!(a1 > a2 && a1 > a3 && a2 > a4 && a3 > a4, "{a1} {a2} {a3} {a4}");
+    }
+
+    #[test]
+    fn redundancy_beats_no_redundancy() {
+        let g = GlobalParams::default();
+        let redundant = generate_block(
+            &params(2, 1, Scenario::Transparent, Scenario::Transparent),
+            &g,
+        )
+        .unwrap();
+        let single = generate_block(
+            &BlockParams::new("X", 1, 1)
+                .with_mtbf(Hours(20_000.0))
+                .with_mttr_parts(Minutes(30.0), Minutes(20.0), Minutes(10.0))
+                .with_service_response(Hours(4.0))
+                .with_p_correct_diagnosis(0.95),
+            &g,
+        )
+        .unwrap();
+        let a_red = {
+            let pi = redundant.chain.steady_state(SteadyStateMethod::Gth).unwrap();
+            redundant.chain.expected_reward(&pi)
+        };
+        let a_single = {
+            let pi = single.chain.steady_state(SteadyStateMethod::Gth).unwrap();
+            single.chain.expected_reward(&pi)
+        };
+        assert!(a_red > a_single, "{a_red} vs {a_single}");
+    }
+
+    #[test]
+    fn zero_probability_states_elided() {
+        let mut red = redundancy(Scenario::Nontransparent, Scenario::Transparent);
+        red.p_latent_fault = 0.0;
+        red.p_spf = 0.0;
+        let p = BlockParams::new("X", 2, 1)
+            .with_p_correct_diagnosis(1.0)
+            .with_transient_fit(Fit(0.0))
+            .with_redundancy(red);
+        let m = generate_block(&p, &GlobalParams::default()).unwrap();
+        for lbl in ["Latent1", "SPF", "ServiceError", "TF1", "TF2"] {
+            assert!(m.chain.state_by_label(lbl).is_none(), "{lbl} should be elided");
+        }
+        // Just Ok, AR1, PF1, PF2.
+        assert_eq!(m.state_count(), 4);
+    }
+
+    #[test]
+    fn growth_is_linear_in_margin() {
+        let g = GlobalParams::default();
+        let count = |n: u32| {
+            generate_block(&params(n, 1, Scenario::Nontransparent, Scenario::Nontransparent), &g)
+                .unwrap()
+                .state_count()
+        };
+        let (c2, c4, c8) = (count(2), count(4), count(8));
+        // Linear: each extra unit of margin adds a constant state group.
+        assert_eq!(c4 - c2, 2 * (c8 - c4) / 4, "c2={c2} c4={c4} c8={c8}");
+        assert!(c8 > c4 && c4 > c2);
+    }
+}

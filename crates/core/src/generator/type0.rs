@@ -1,0 +1,158 @@
+//! Markov Model Type 0 — non-redundant blocks (paper Figure 3).
+//!
+//! `N == K`: every unit is required, so any permanent fault takes the
+//! system down until service arrives and the repair completes, and any
+//! transient fault costs a reboot. State set (states elided when
+//! unreachable):
+//!
+//! ```text
+//! Ok ──(N·λp)──▶ Waiting ──(1/Tresp)──▶ Repair ──(Pcd/MTTR)──▶ Ok
+//!                                         │
+//!                                         └─((1−Pcd)/MTTR)──▶ ServiceError ──(1/MTTRFID)──▶ Ok
+//! Ok ──(N·λt)──▶ Reboot ──(1/Tboot)──▶ Ok
+//! ```
+
+use rascad_spec::BlockParams;
+
+use super::{ModelBuilder, Rates};
+
+/// State labels used by the Type 0 template.
+pub mod labels {
+    /// Everything working.
+    pub const OK: &str = "Ok";
+    /// Down, waiting for service (duration `Tresp`).
+    pub const WAITING: &str = "Waiting";
+    /// Down, repair in progress (duration MTTR).
+    pub const REPAIR: &str = "Repair";
+    /// Down, repair went wrong (duration MTTRFID).
+    pub const SERVICE_ERROR: &str = "ServiceError";
+    /// Down, rebooting after a transient fault (duration `Tboot`).
+    pub const REBOOT: &str = "Reboot";
+}
+
+/// Builds the Type 0 chain into `mb`.
+pub(crate) fn build(mb: &mut ModelBuilder, params: &BlockParams, r: &Rates) {
+    let n = f64::from(params.quantity);
+    let ok = mb.state(labels::OK, 1.0);
+
+    // Permanent-fault path.
+    let repair = mb.state(labels::REPAIR, 0.0);
+    let perm_rate = n * r.lambda_p;
+    if r.tresp > 0.0 {
+        let waiting = mb.state(labels::WAITING, 0.0);
+        mb.transition(ok, waiting, perm_rate);
+        mb.transition(waiting, repair, 1.0 / r.tresp);
+    } else {
+        mb.transition(ok, repair, perm_rate);
+    }
+    let p_se = r.effective_service_error();
+    mb.transition(repair, ok, (1.0 - p_se) / r.mttr);
+    if p_se > 0.0 {
+        let se = mb.state(labels::SERVICE_ERROR, 0.0);
+        mb.transition(repair, se, p_se / r.mttr);
+        mb.transition(se, ok, 1.0 / r.mttrfid);
+    }
+
+    // Transient-fault path.
+    if r.lambda_t > 0.0 && r.tboot > 0.0 {
+        let reboot = mb.state(labels::REBOOT, 0.0);
+        mb.transition(ok, reboot, n * r.lambda_t);
+        mb.transition(reboot, ok, 1.0 / r.tboot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_block;
+    use rascad_markov::SteadyStateMethod;
+    use rascad_spec::units::{Fit, Hours, Minutes};
+    use rascad_spec::GlobalParams;
+
+    fn base_params() -> BlockParams {
+        BlockParams::new("X", 1, 1)
+            .with_mtbf(Hours(10_000.0))
+            .with_transient_fit(Fit(2_000.0))
+            .with_mttr_parts(Minutes(30.0), Minutes(20.0), Minutes(10.0))
+            .with_service_response(Hours(4.0))
+            .with_p_correct_diagnosis(0.95)
+    }
+
+    #[test]
+    fn full_state_set_matches_figure() {
+        let m = generate_block(&base_params(), &GlobalParams::default()).unwrap();
+        let labels: Vec<_> = m.chain.states().iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["Ok", "Repair", "Waiting", "ServiceError", "Reboot"]);
+        assert_eq!(m.chain.up_states(), vec![0]);
+    }
+
+    #[test]
+    fn perfect_diagnosis_elides_service_error() {
+        let p = base_params().with_p_correct_diagnosis(1.0);
+        let m = generate_block(&p, &GlobalParams::default()).unwrap();
+        assert!(m.chain.state_by_label("ServiceError").is_none());
+    }
+
+    #[test]
+    fn no_transients_elides_reboot() {
+        let p = base_params().with_transient_fit(Fit(0.0));
+        let m = generate_block(&p, &GlobalParams::default()).unwrap();
+        assert!(m.chain.state_by_label("Reboot").is_none());
+    }
+
+    #[test]
+    fn zero_response_time_elides_waiting() {
+        let p = base_params().with_service_response(Hours(0.0));
+        let m = generate_block(&p, &GlobalParams::default()).unwrap();
+        assert!(m.chain.state_by_label("Waiting").is_none());
+    }
+
+    #[test]
+    fn availability_matches_renewal_closed_form() {
+        // With Pcd = 1 and no transients, the model is an alternating
+        // renewal process: A = MTBF/N / (MTBF/N + Tresp + MTTR).
+        let p = base_params()
+            .with_p_correct_diagnosis(1.0)
+            .with_transient_fit(Fit(0.0));
+        let m = generate_block(&p, &GlobalParams::default()).unwrap();
+        let pi = m.chain.steady_state(SteadyStateMethod::Gth).unwrap();
+        let a = m.chain.expected_reward(&pi);
+        let up = 10_000.0;
+        let down = 4.0 + 1.0;
+        assert!((a - up / (up + down)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantity_scales_failure_rate() {
+        // N units in series: N times the failure frequency.
+        let one = generate_block(&base_params(), &GlobalParams::default()).unwrap();
+        let mut p3 = base_params();
+        p3.quantity = 3;
+        p3.min_quantity = 3;
+        let three = generate_block(&p3, &GlobalParams::default()).unwrap();
+        let pi1 = one.chain.steady_state(SteadyStateMethod::Gth).unwrap();
+        let pi3 = three.chain.steady_state(SteadyStateMethod::Gth).unwrap();
+        let f1 = one.chain.failure_rate(&pi1);
+        let f3 = three.chain.failure_rate(&pi3);
+        // Not exactly 3x because availability of Ok differs slightly.
+        assert!(f3 / f1 > 2.9 && f3 / f1 < 3.0 + 1e-9, "ratio {}", f3 / f1);
+    }
+
+    #[test]
+    fn imperfect_diagnosis_lowers_availability() {
+        let perfect = base_params().with_p_correct_diagnosis(1.0);
+        let sloppy = base_params().with_p_correct_diagnosis(0.8);
+        let g = GlobalParams::default();
+        let a_perfect = {
+            let m = generate_block(&perfect, &g).unwrap();
+            let pi = m.chain.steady_state(SteadyStateMethod::Gth).unwrap();
+            m.chain.expected_reward(&pi)
+        };
+        let a_sloppy = {
+            let m = generate_block(&sloppy, &g).unwrap();
+            let pi = m.chain.steady_state(SteadyStateMethod::Gth).unwrap();
+            m.chain.expected_reward(&pi)
+        };
+        assert!(a_sloppy < a_perfect);
+    }
+}

@@ -1,0 +1,161 @@
+//! Parametric analysis — re-solve a specification across a parameter
+//! range ("graphical output and parametric analysis capability").
+
+use rascad_spec::SystemSpec;
+
+use crate::error::CoreError;
+use crate::hierarchy::{solve_spec, SystemSolution};
+
+/// One point of a parametric sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The parameter value this point was solved at.
+    pub value: f64,
+    /// The full system solution at this value.
+    pub solution: SystemSolution,
+}
+
+/// Sweeps a parameter: for each value, `apply(spec, value)` mutates a
+/// copy of the base spec, which is then solved.
+///
+/// The `apply` closure typically adjusts one block parameter through
+/// [`rascad_spec::Diagram::find_mut`]:
+///
+/// ```
+/// use rascad_core::sweep;
+/// use rascad_spec::units::Hours;
+/// use rascad_spec::{BlockParams, Diagram, GlobalParams, SystemSpec};
+///
+/// # fn main() -> Result<(), rascad_core::CoreError> {
+/// let mut d = Diagram::new("Sys");
+/// d.push(BlockParams::new("A", 1, 1));
+/// let base = SystemSpec::new(d, GlobalParams::default());
+/// let points = sweep(&base, &[1.0, 2.0, 4.0], |spec, v| {
+///     spec.root.find_mut("A").unwrap().params.service_response = Hours(v);
+/// })?;
+/// assert!(points[0].solution.system.availability
+///     > points[2].solution.system.availability);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidRequest`] when `values` is empty.
+/// * Any solve error from the mutated spec (e.g. the closure produced an
+///   invalid parameter).
+pub fn sweep(
+    base: &SystemSpec,
+    values: &[f64],
+    mut apply: impl FnMut(&mut SystemSpec, f64),
+) -> Result<Vec<SweepPoint>, CoreError> {
+    if values.is_empty() {
+        return Err(CoreError::InvalidRequest { what: "sweep over an empty value list".into() });
+    }
+    values
+        .iter()
+        .map(|&value| {
+            let mut spec = base.clone();
+            apply(&mut spec, value);
+            Ok(SweepPoint { value, solution: solve_spec(&spec)? })
+        })
+        .collect()
+}
+
+/// Generates `count` logarithmically spaced values in `[lo, hi]` — the
+/// usual axis for MTBF/MTTR sweeps.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidRequest`] unless `0 < lo < hi` and
+/// `count >= 2`.
+pub fn log_space(lo: f64, hi: f64, count: usize) -> Result<Vec<f64>, CoreError> {
+    if !(lo > 0.0 && hi > lo) || count < 2 {
+        return Err(CoreError::InvalidRequest {
+            what: format!("log_space({lo}, {hi}, {count})"),
+        });
+    }
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    Ok((0..count)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (count - 1) as f64).exp())
+        .collect())
+}
+
+/// Generates `count` linearly spaced values in `[lo, hi]`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidRequest`] unless `lo < hi` and
+/// `count >= 2`.
+pub fn lin_space(lo: f64, hi: f64, count: usize) -> Result<Vec<f64>, CoreError> {
+    if !(hi > lo) || count < 2 {
+        return Err(CoreError::InvalidRequest {
+            what: format!("lin_space({lo}, {hi}, {count})"),
+        });
+    }
+    Ok((0..count)
+        .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_spec::units::Hours;
+    use rascad_spec::{BlockParams, Diagram, GlobalParams};
+
+    fn base() -> SystemSpec {
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1).with_mtbf(Hours(10_000.0)));
+        SystemSpec::new(d, GlobalParams::default())
+    }
+
+    #[test]
+    fn downtime_grows_with_service_response() {
+        let points = sweep(&base(), &[0.0, 4.0, 24.0], |s, v| {
+            s.root.find_mut("A").unwrap().params.service_response = Hours(v);
+        })
+        .unwrap();
+        let dt: Vec<f64> =
+            points.iter().map(|p| p.solution.system.yearly_downtime_minutes).collect();
+        assert!(dt[0] < dt[1] && dt[1] < dt[2], "{dt:?}");
+    }
+
+    #[test]
+    fn availability_grows_with_mtbf() {
+        let points = sweep(&base(), &log_space(1_000.0, 1_000_000.0, 4).unwrap(), |s, v| {
+            s.root.find_mut("A").unwrap().params.mtbf = Hours(v);
+        })
+        .unwrap();
+        for w in points.windows(2) {
+            assert!(w[1].solution.system.availability > w[0].solution.system.availability);
+        }
+    }
+
+    #[test]
+    fn empty_values_rejected() {
+        assert!(matches!(
+            sweep(&base(), &[], |_, _| {}),
+            Err(CoreError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn closure_induced_invalid_spec_surfaces() {
+        let r = sweep(&base(), &[-1.0], |s, v| {
+            s.root.find_mut("A").unwrap().params.mtbf = Hours(v);
+        });
+        assert!(matches!(r, Err(CoreError::Spec(_))));
+    }
+
+    #[test]
+    fn spacing_helpers() {
+        let ls = lin_space(0.0, 10.0, 5).unwrap();
+        assert_eq!(ls, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        let gs = log_space(1.0, 100.0, 3).unwrap();
+        assert!((gs[1] - 10.0).abs() < 1e-9);
+        assert!(log_space(0.0, 1.0, 3).is_err());
+        assert!(lin_space(1.0, 1.0, 3).is_err());
+        assert!(log_space(1.0, 10.0, 1).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Model-vs-field comparison.
+
+use std::fmt;
+
+use crate::estimate::FieldEstimate;
+
+/// Verdict of a model-vs-field comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Model-predicted availability.
+    pub predicted_availability: f64,
+    /// Field-measured availability.
+    pub measured_availability: f64,
+    /// Model-predicted yearly downtime, minutes.
+    pub predicted_yearly_downtime_minutes: f64,
+    /// Field-measured yearly downtime, minutes.
+    pub measured_yearly_downtime_minutes: f64,
+    /// Relative error of the model's yearly downtime against the
+    /// measurement (the statistic the paper reports as < 0.2% for its
+    /// tool cross-validation).
+    pub downtime_relative_error: f64,
+    /// Whether the prediction lies within the measurement's 95%
+    /// confidence interval.
+    pub within_confidence_interval: bool,
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "model-vs-field comparison")?;
+        writeln!(
+            f,
+            "  availability : predicted {:.9}, measured {:.9}",
+            self.predicted_availability, self.measured_availability
+        )?;
+        writeln!(
+            f,
+            "  yearly downtime : predicted {:.1} min, measured {:.1} min ({:+.2}% rel. err.)",
+            self.predicted_yearly_downtime_minutes,
+            self.measured_yearly_downtime_minutes,
+            self.downtime_relative_error * 100.0
+        )?;
+        write!(
+            f,
+            "  prediction within 95% CI of the measurement: {}",
+            if self.within_confidence_interval { "yes" } else { "no" }
+        )
+    }
+}
+
+/// Compares a model-predicted availability against a field estimate.
+pub fn compare(predicted_availability: f64, field: &FieldEstimate) -> Comparison {
+    let predicted_dt = (1.0 - predicted_availability) * 365.0 * 24.0 * 60.0;
+    let measured_dt = field.yearly_downtime_minutes;
+    let rel = if measured_dt > 0.0 {
+        (predicted_dt - measured_dt) / measured_dt
+    } else if predicted_dt > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let within = (predicted_availability - field.availability).abs()
+        <= field.availability_ci_half_width;
+    Comparison {
+        predicted_availability,
+        measured_availability: field.availability,
+        predicted_yearly_downtime_minutes: predicted_dt,
+        measured_yearly_downtime_minutes: measured_dt,
+        downtime_relative_error: rel,
+        within_confidence_interval: within,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::analyze;
+    use crate::log::OutageLog;
+
+    fn field() -> FieldEstimate {
+        let mut l = OutageLog::new(10_000.0);
+        l.record(100.0, 5.0);
+        l.record(4_000.0, 5.0);
+        analyze(&[l])
+    }
+
+    #[test]
+    fn perfect_prediction_has_zero_error() {
+        let f = field();
+        let c = compare(f.availability, &f);
+        assert!(c.downtime_relative_error.abs() < 1e-12);
+        assert!(c.within_confidence_interval);
+    }
+
+    #[test]
+    fn biased_prediction_reports_relative_error() {
+        let f = field();
+        // Predict half the downtime.
+        let predicted = 1.0 - (1.0 - f.availability) / 2.0;
+        let c = compare(predicted, &f);
+        assert!((c.downtime_relative_error + 0.5).abs() < 1e-9, "{}", c.downtime_relative_error);
+    }
+
+    #[test]
+    fn zero_measured_downtime_edge() {
+        let f = analyze(&[OutageLog::new(100.0)]);
+        let c = compare(1.0, &f);
+        assert_eq!(c.downtime_relative_error, 0.0);
+        let c2 = compare(0.999, &f);
+        assert_eq!(c2.downtime_relative_error, f64::INFINITY);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let f = field();
+        let c = compare(f.availability, &f);
+        let s = c.to_string();
+        assert!(s.contains("yearly downtime"));
+        assert!(s.contains("95% CI"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Point estimates and confidence intervals from outage logs.
+
+use crate::log::OutageLog;
+
+/// Aggregate field estimates over one or more monitored systems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldEstimate {
+    /// Total observation time across systems, hours.
+    pub observation_hours: f64,
+    /// Total downtime across systems, hours.
+    pub downtime_hours: f64,
+    /// Pooled empirical availability.
+    pub availability: f64,
+    /// Yearly downtime implied by the pooled availability, minutes.
+    pub yearly_downtime_minutes: f64,
+    /// Total number of outages observed.
+    pub outages: usize,
+    /// Empirical MTBF (observation / outages), hours; infinite with no
+    /// outages.
+    pub mtbf_hours: f64,
+    /// Empirical mean outage duration (MTTR), hours; zero with no
+    /// outages.
+    pub mttr_hours: f64,
+    /// 95% CI half-width on the outage *rate* (per hour), from the
+    /// Poisson normal approximation `sqrt(k)/T`.
+    pub rate_ci_half_width: f64,
+    /// 95% CI half-width on availability, propagated from the rate CI
+    /// at the observed mean outage duration.
+    pub availability_ci_half_width: f64,
+}
+
+/// Pools several logs (e.g. the paper's two servers) into one estimate.
+///
+/// # Panics
+///
+/// Panics if `logs` is empty.
+pub fn analyze(logs: &[OutageLog]) -> FieldEstimate {
+    assert!(!logs.is_empty(), "need at least one log");
+    let observation: f64 = logs.iter().map(OutageLog::observation_hours).sum();
+    let downtime: f64 = logs.iter().map(OutageLog::downtime_hours).sum();
+    let outages: usize = logs.iter().map(|l| l.outages().len()).sum();
+    let availability = 1.0 - downtime / observation;
+    let mtbf = if outages > 0 { observation / outages as f64 } else { f64::INFINITY };
+    let mttr = if outages > 0 { downtime / outages as f64 } else { 0.0 };
+    // Poisson CI on the outage count: k ± 1.96 sqrt(k).
+    let rate_ci = if outages > 0 { 1.96 * (outages as f64).sqrt() / observation } else { 0.0 };
+    FieldEstimate {
+        observation_hours: observation,
+        downtime_hours: downtime,
+        availability,
+        yearly_downtime_minutes: (1.0 - availability) * 365.0 * 24.0 * 60.0,
+        outages,
+        mtbf_hours: mtbf,
+        mttr_hours: mttr,
+        rate_ci_half_width: rate_ci,
+        availability_ci_half_width: rate_ci * mttr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(observation: f64, outages: &[(f64, f64)]) -> OutageLog {
+        let mut l = OutageLog::new(observation);
+        for &(s, d) in outages {
+            l.record(s, d);
+        }
+        l
+    }
+
+    #[test]
+    fn single_log_estimates() {
+        let l = log_with(10_000.0, &[(100.0, 2.0), (5_000.0, 4.0)]);
+        let e = analyze(&[l]);
+        assert_eq!(e.outages, 2);
+        assert!((e.availability - (1.0 - 6.0 / 10_000.0)).abs() < 1e-12);
+        assert!((e.mtbf_hours - 5_000.0).abs() < 1e-9);
+        assert!((e.mttr_hours - 3.0).abs() < 1e-12);
+        assert!(e.rate_ci_half_width > 0.0);
+        assert!(e.availability_ci_half_width > 0.0);
+    }
+
+    #[test]
+    fn pooling_two_servers() {
+        let a = log_with(1_000.0, &[(10.0, 1.0)]);
+        let b = log_with(1_000.0, &[(20.0, 3.0)]);
+        let e = analyze(&[a, b]);
+        assert_eq!(e.outages, 2);
+        assert!((e.observation_hours - 2_000.0).abs() < 1e-12);
+        assert!((e.downtime_hours - 4.0).abs() < 1e-12);
+        assert!((e.mtbf_hours - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_outages_degenerate() {
+        let e = analyze(&[OutageLog::new(500.0)]);
+        assert_eq!(e.availability, 1.0);
+        assert_eq!(e.mtbf_hours, f64::INFINITY);
+        assert_eq!(e.mttr_hours, 0.0);
+        assert_eq!(e.rate_ci_half_width, 0.0);
+        assert_eq!(e.yearly_downtime_minutes, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one log")]
+    fn empty_input_panics() {
+        let _ = analyze(&[]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Field-data analysis for the RAScad reproduction.
+//!
+//! RAScad's validation compares model predictions to measurements from
+//! operational servers. This crate does the measurement half: it takes
+//! up/down outage logs (real or synthetic), estimates availability,
+//! outage rates, MTBF and MTTR with confidence intervals, and produces
+//! model-vs-field comparison verdicts.
+//!
+//! The crate deliberately has no dependency on the modeling stack; logs
+//! are plain `(time, up/down)` sequences, so any log source can feed
+//! it.
+//!
+//! # Example
+//!
+//! ```
+//! use rascad_fielddata::{OutageLog, estimate};
+//!
+//! let mut log = OutageLog::new(10_000.0);
+//! log.record(100.0, 4.0);   // outage at t=100 h lasting 4 h
+//! log.record(5_000.0, 2.0);
+//! let est = estimate::analyze(&[log]);
+//! assert!((est.availability - (1.0 - 6.0 / 10_000.0)).abs() < 1e-12);
+//! assert_eq!(est.outages, 2);
+//! ```
+
+pub mod compare;
+pub mod estimate;
+pub mod log;
+
+pub use compare::{compare, Comparison};
+pub use estimate::{analyze, FieldEstimate};
+pub use log::OutageLog;

@@ -1,0 +1,71 @@
+//! Property-based tests for field-data estimation.
+
+use proptest::prelude::*;
+use rascad_fielddata::{analyze, compare, OutageLog};
+
+/// Random log: sorted non-overlapping outages inside the window.
+fn arb_log() -> impl Strategy<Value = OutageLog> {
+    (100.0..10_000.0f64, proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 0..10))
+        .prop_map(|(window, raw)| {
+            let mut log = OutageLog::new(window);
+            let mut cursor = 0.0;
+            for (gap_frac, dur_frac) in raw {
+                let gap = gap_frac * window / 12.0;
+                let dur = dur_frac * window / 50.0;
+                let start = cursor + gap;
+                if start + dur > window {
+                    break;
+                }
+                log.record(start, dur);
+                cursor = start + dur;
+            }
+            log
+        })
+}
+
+proptest! {
+    /// Estimates are internally consistent for any log set.
+    #[test]
+    fn estimates_are_consistent(logs in proptest::collection::vec(arb_log(), 1..5)) {
+        let e = analyze(&logs);
+        prop_assert!((0.0..=1.0).contains(&e.availability));
+        prop_assert!(e.downtime_hours >= 0.0);
+        prop_assert!(
+            (e.observation_hours
+                - logs.iter().map(OutageLog::observation_hours).sum::<f64>())
+            .abs()
+                < 1e-9
+        );
+        let outages: usize = logs.iter().map(|l| l.outages().len()).sum();
+        prop_assert_eq!(e.outages, outages);
+        if outages > 0 {
+            prop_assert!((e.mtbf_hours - e.observation_hours / outages as f64).abs() < 1e-9);
+            prop_assert!((e.mttr_hours - e.downtime_hours / outages as f64).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(e.availability, 1.0);
+        }
+        prop_assert!(
+            (e.yearly_downtime_minutes - (1.0 - e.availability) * 525_600.0).abs() < 1e-6
+        );
+    }
+
+    /// Pooling more observation time never widens the rate CI (for a
+    /// fixed outage pattern, duplicated logs).
+    #[test]
+    fn pooling_narrows_rate_ci(log in arb_log()) {
+        prop_assume!(!log.outages().is_empty());
+        let one = analyze(&[log.clone()]);
+        let four = analyze(&[log.clone(), log.clone(), log.clone(), log]);
+        prop_assert!(four.rate_ci_half_width <= one.rate_ci_half_width + 1e-12);
+    }
+
+    /// A perfect prediction always has zero relative error and sits in
+    /// the CI.
+    #[test]
+    fn self_comparison_is_exact(logs in proptest::collection::vec(arb_log(), 1..4)) {
+        let e = analyze(&logs);
+        let c = compare(e.availability, &e);
+        prop_assert!(c.downtime_relative_error.abs() < 1e-9);
+        prop_assert!(c.within_confidence_interval);
+    }
+}

@@ -1,0 +1,127 @@
+//! Graphviz DOT export — GMB's "graphical output".
+
+use std::fmt::Write as _;
+
+use rascad_markov::Ctmc;
+
+use crate::registry::{RbdSpec, Value};
+
+/// Renders a CTMC as Graphviz DOT. Up states are ellipses, down states
+/// are boxes; edges are labelled with their rates.
+pub fn ctmc_dot(name: &str, chain: &Ctmc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(name));
+    let _ = writeln!(out, "    rankdir=LR;");
+    for (i, s) in chain.states().iter().enumerate() {
+        let shape = if s.reward > 0.0 { "ellipse" } else { "box" };
+        let _ = writeln!(out, "    s{i} [label=\"{}\", shape={shape}];", sanitize(&s.label));
+    }
+    for t in chain.transitions() {
+        let _ = writeln!(out, "    s{} -> s{} [label=\"{:.4e}\"];", t.from, t.to, t.rate);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an RBD spec as Graphviz DOT (a tree of gates and leaves).
+pub fn rbd_dot(name: &str, rbd: &RbdSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(name));
+    let _ = writeln!(out, "    rankdir=TB;");
+    let mut counter = 0usize;
+    emit(&mut out, rbd, &mut counter);
+    out.push_str("}\n");
+    out
+}
+
+fn emit(out: &mut String, node: &RbdSpec, counter: &mut usize) -> usize {
+    let id = *counter;
+    *counter += 1;
+    match node {
+        RbdSpec::Leaf(v) => {
+            let label = match v {
+                Value::Const(c) => format!("{c:.6}"),
+                Value::Param(p) => format!("${p}"),
+                Value::Model(m) => format!("@{m}"),
+            };
+            let _ = writeln!(out, "    n{id} [label=\"{}\", shape=box];", sanitize(&label));
+        }
+        RbdSpec::Series(ch) => {
+            let _ = writeln!(out, "    n{id} [label=\"SERIES\", shape=diamond];");
+            for c in ch {
+                let cid = emit(out, c, counter);
+                let _ = writeln!(out, "    n{id} -> n{cid};");
+            }
+        }
+        RbdSpec::Parallel(ch) => {
+            let _ = writeln!(out, "    n{id} [label=\"PARALLEL\", shape=diamond];");
+            for c in ch {
+                let cid = emit(out, c, counter);
+                let _ = writeln!(out, "    n{id} -> n{cid};");
+            }
+        }
+        RbdSpec::KOfN { k, children } => {
+            let _ = writeln!(
+                out,
+                "    n{id} [label=\"{k}-of-{}\", shape=diamond];",
+                children.len()
+            );
+            for c in children {
+                let cid = emit(out, c, counter);
+                let _ = writeln!(out, "    n{id} -> n{cid};");
+            }
+        }
+    }
+    id
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_markov::CtmcBuilder;
+
+    #[test]
+    fn ctmc_dot_shapes_by_reward() {
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up", 1.0);
+        let down = b.add_state("down", 0.0);
+        b.add_transition(up, down, 0.5);
+        b.add_transition(down, up, 2.0);
+        let dot = ctmc_dot("two", &b.build().unwrap());
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("shape=box"));
+        assert_eq!(dot.matches(" -> ").count(), 2);
+    }
+
+    #[test]
+    fn rbd_dot_renders_all_node_kinds() {
+        let rbd = RbdSpec::series(vec![
+            RbdSpec::leaf(Value::constant(0.9)),
+            RbdSpec::parallel(vec![
+                RbdSpec::leaf(Value::param("a")),
+                RbdSpec::leaf(Value::model("m")),
+            ]),
+            RbdSpec::k_of_n(2, vec![
+                RbdSpec::leaf(Value::constant(0.8)),
+                RbdSpec::leaf(Value::constant(0.8)),
+                RbdSpec::leaf(Value::constant(0.8)),
+            ]),
+        ]);
+        let dot = rbd_dot("tree", &rbd);
+        assert!(dot.contains("SERIES"));
+        assert!(dot.contains("PARALLEL"));
+        assert!(dot.contains("2-of-3"));
+        assert!(dot.contains("$a"));
+        assert!(dot.contains("@m"));
+    }
+
+    #[test]
+    fn quotes_sanitized() {
+        let dot = rbd_dot("a\"b", &RbdSpec::leaf(Value::constant(0.5)));
+        assert!(!dot.contains("a\"b"));
+    }
+}

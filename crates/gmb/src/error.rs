@@ -1,0 +1,97 @@
+//! Error type for the GMB workbench.
+
+use std::fmt;
+
+use rascad_markov::MarkovError;
+use rascad_rbd::RbdError;
+
+/// Error produced by GMB model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GmbError {
+    /// A referenced model name is not registered.
+    UnknownModel {
+        /// The missing name.
+        name: String,
+    },
+    /// A referenced parameter is not set.
+    UnknownParameter {
+        /// The missing parameter name.
+        name: String,
+    },
+    /// Two models were registered under the same name.
+    DuplicateModel {
+        /// The clashing name.
+        name: String,
+    },
+    /// Model references form a cycle.
+    CyclicReference {
+        /// A model on the cycle.
+        name: String,
+    },
+    /// An underlying Markov solve failed.
+    Markov {
+        /// The model that failed.
+        model: String,
+        /// The solver error.
+        source: MarkovError,
+    },
+    /// An underlying RBD evaluation failed.
+    Rbd {
+        /// The model that failed.
+        model: String,
+        /// The evaluation error.
+        source: RbdError,
+    },
+}
+
+impl fmt::Display for GmbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmbError::UnknownModel { name } => write!(f, "unknown model \"{name}\""),
+            GmbError::UnknownParameter { name } => write!(f, "unknown parameter \"{name}\""),
+            GmbError::DuplicateModel { name } => {
+                write!(f, "model \"{name}\" registered twice")
+            }
+            GmbError::CyclicReference { name } => {
+                write!(f, "cyclic model reference through \"{name}\"")
+            }
+            GmbError::Markov { model, source } => {
+                write!(f, "markov error in model \"{model}\": {source}")
+            }
+            GmbError::Rbd { model, source } => {
+                write!(f, "rbd error in model \"{model}\": {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GmbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GmbError::Markov { source, .. } => Some(source),
+            GmbError::Rbd { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let cases = [
+            GmbError::UnknownModel { name: "x".into() },
+            GmbError::UnknownParameter { name: "p".into() },
+            GmbError::DuplicateModel { name: "x".into() },
+            GmbError::CyclicReference { name: "x".into() },
+            GmbError::Markov { model: "m".into(), source: MarkovError::Singular },
+            GmbError::Rbd { model: "r".into(), source: RbdError::EmptyGate },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

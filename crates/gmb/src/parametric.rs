@@ -1,0 +1,104 @@
+//! Parametric analysis over registry parameters.
+
+use crate::error::GmbError;
+use crate::registry::ModelRegistry;
+
+/// One point of a parametric curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// The swept parameter's value.
+    pub value: f64,
+    /// The model availability at that value.
+    pub availability: f64,
+    /// Yearly downtime in minutes at that value.
+    pub yearly_downtime_minutes: f64,
+}
+
+/// Sweeps a named parameter of the registry and solves `model` at each
+/// value. The registry is left at its original parameter value.
+///
+/// # Errors
+///
+/// * [`GmbError::UnknownParameter`] if the parameter was never set.
+/// * Solve errors from the model.
+pub fn sweep_parameter(
+    registry: &mut ModelRegistry,
+    model: &str,
+    parameter: &str,
+    values: &[f64],
+) -> Result<Vec<CurvePoint>, GmbError> {
+    let original = registry
+        .parameter(parameter)
+        .ok_or_else(|| GmbError::UnknownParameter { name: parameter.to_string() })?;
+    let mut out = Vec::with_capacity(values.len());
+    for &v in values {
+        registry.set_parameter(parameter, v);
+        let availability = match registry.availability(model) {
+            Ok(a) => a,
+            Err(e) => {
+                registry.set_parameter(parameter, original);
+                return Err(e);
+            }
+        };
+        out.push(CurvePoint {
+            value: v,
+            availability,
+            yearly_downtime_minutes: (1.0 - availability) * 365.0 * 24.0 * 60.0,
+        });
+    }
+    registry.set_parameter(parameter, original);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MarkovSpec, Value};
+
+    fn registry() -> ModelRegistry {
+        let mut reg = ModelRegistry::new();
+        reg.set_parameter("lambda", 0.001);
+        let mut m = MarkovSpec::new();
+        let up = m.state("up", 1.0);
+        let down = m.state("down", 0.0);
+        m.transition(up, down, Value::param("lambda"));
+        m.transition(down, up, Value::constant(0.5));
+        reg.add_markov("m", m).unwrap();
+        reg
+    }
+
+    #[test]
+    fn sweep_produces_monotone_curve() {
+        let mut reg = registry();
+        let pts = sweep_parameter(&mut reg, "m", "lambda", &[1e-4, 1e-3, 1e-2]).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].availability > pts[1].availability);
+        assert!(pts[1].availability > pts[2].availability);
+        assert!(pts[2].yearly_downtime_minutes > pts[1].yearly_downtime_minutes);
+    }
+
+    #[test]
+    fn parameter_restored_after_sweep() {
+        let mut reg = registry();
+        sweep_parameter(&mut reg, "m", "lambda", &[0.5]).unwrap();
+        assert_eq!(reg.parameter("lambda"), Some(0.001));
+    }
+
+    #[test]
+    fn parameter_restored_even_on_error() {
+        let mut reg = registry();
+        // Negative rate makes the chain builder fail mid-sweep.
+        let r = sweep_parameter(&mut reg, "m", "lambda", &[0.1, -1.0]);
+        assert!(r.is_err());
+        assert_eq!(reg.parameter("lambda"), Some(0.001));
+    }
+
+    #[test]
+    fn unknown_parameter_rejected() {
+        let mut reg = registry();
+        assert!(matches!(
+            sweep_parameter(&mut reg, "m", "ghost", &[1.0]).unwrap_err(),
+            GmbError::UnknownParameter { .. }
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! Documentation generation for registries.
+
+use std::fmt::Write as _;
+
+use crate::error::GmbError;
+use crate::registry::ModelRegistry;
+
+/// Renders an availability summary for every model in the registry.
+///
+/// # Errors
+///
+/// Propagates the first solve error.
+pub fn registry_report(registry: &ModelRegistry) -> Result<String, GmbError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "GMB model registry report");
+    let _ = writeln!(out, "=========================");
+    let _ = writeln!(out, "{:<32} {:>14} {:>16}", "model", "availability", "downtime min/y");
+    for name in registry.model_names() {
+        let a = registry.availability(name)?;
+        let _ = writeln!(
+            out,
+            "{:<32} {:>14.9} {:>16.3}",
+            name,
+            a,
+            (1.0 - a) * 365.0 * 24.0 * 60.0
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MarkovSpec, RbdSpec, Value};
+
+    #[test]
+    fn report_lists_every_model() {
+        let mut reg = ModelRegistry::new();
+        let mut m = MarkovSpec::new();
+        let up = m.state("up", 1.0);
+        let down = m.state("down", 0.0);
+        m.transition(up, down, Value::constant(0.001));
+        m.transition(down, up, Value::constant(1.0));
+        reg.add_markov("server", m).unwrap();
+        reg.add_rbd(
+            "site",
+            RbdSpec::parallel(vec![
+                RbdSpec::leaf(Value::model("server")),
+                RbdSpec::leaf(Value::model("server")),
+            ]),
+        )
+        .unwrap();
+        let report = registry_report(&reg).unwrap();
+        assert!(report.contains("server"));
+        assert!(report.contains("site"));
+    }
+
+    #[test]
+    fn report_propagates_errors() {
+        let mut reg = ModelRegistry::new();
+        reg.add_rbd("broken", RbdSpec::leaf(Value::model("ghost"))).unwrap();
+        assert!(registry_report(&reg).is_err());
+    }
+}

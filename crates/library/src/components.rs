@@ -1,0 +1,170 @@
+//! The embedded component (FRU) MTBF database.
+//!
+//! RAScad integrates with Sun's component MTBF database; this module
+//! embeds a representative equivalent with publicly plausible values
+//! for enterprise-server FRUs of the early-2000s era. Values are
+//! *representative*, chosen to exercise the same orders of magnitude
+//! the tool was built for (10⁵–10⁷ hour MTBFs against minute-to-hour
+//! repair times).
+
+use rascad_spec::units::{Fit, Hours, Minutes};
+use rascad_spec::BlockParams;
+
+/// One database record for a field-replaceable unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentRecord {
+    /// Canonical FRU name.
+    pub name: &'static str,
+    /// Part number.
+    pub part_number: &'static str,
+    /// Permanent-fault MTBF, hours.
+    pub mtbf: Hours,
+    /// Transient failure rate, FIT.
+    pub transient_fit: Fit,
+    /// Diagnosis time, minutes.
+    pub diagnosis: Minutes,
+    /// Corrective action time, minutes.
+    pub corrective: Minutes,
+    /// Verification time, minutes.
+    pub verification: Minutes,
+}
+
+impl ComponentRecord {
+    /// Instantiates block parameters for `quantity`/`min_quantity` units
+    /// of this FRU. Redundant blocks receive default redundancy
+    /// parameters the caller can refine.
+    pub fn block(&self, quantity: u32, min_quantity: u32) -> BlockParams {
+        BlockParams::new(self.name, quantity, min_quantity)
+            .with_part_number(self.part_number)
+            .with_mtbf(self.mtbf)
+            .with_transient_fit(self.transient_fit)
+            .with_mttr_parts(self.diagnosis, self.corrective, self.verification)
+    }
+}
+
+/// The embedded FRU database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentDb {
+    records: Vec<ComponentRecord>,
+}
+
+impl ComponentDb {
+    /// Loads the embedded database.
+    pub fn embedded() -> ComponentDb {
+        ComponentDb { records: RECORDS.to_vec() }
+    }
+
+    /// Looks a record up by name.
+    pub fn find(&self, name: &str) -> Option<&ComponentRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ComponentRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database is empty (never true for the embedded one).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+const fn rec(
+    name: &'static str,
+    part_number: &'static str,
+    mtbf_hours: f64,
+    fit: f64,
+    diagnosis: f64,
+    corrective: f64,
+    verification: f64,
+) -> ComponentRecord {
+    ComponentRecord {
+        name,
+        part_number,
+        mtbf: Hours(mtbf_hours),
+        transient_fit: Fit(fit),
+        diagnosis: Minutes(diagnosis),
+        corrective: Minutes(corrective),
+        verification: Minutes(verification),
+    }
+}
+
+/// Representative FRU records.
+const RECORDS: &[ComponentRecord] = &[
+    rec("System Board", "501-4300", 180_000.0, 800.0, 30.0, 45.0, 20.0),
+    rec("CPU Module", "501-5675", 1_000_000.0, 1_500.0, 20.0, 30.0, 15.0),
+    rec("Memory Module", "501-2653", 2_500_000.0, 3_000.0, 20.0, 20.0, 15.0),
+    rec("L2 Cache Module", "501-2781", 1_800_000.0, 1_200.0, 20.0, 25.0, 15.0),
+    rec("Power Supply", "300-1301", 250_000.0, 100.0, 10.0, 15.0, 5.0),
+    rec("AC Input Module", "300-1231", 400_000.0, 50.0, 10.0, 20.0, 5.0),
+    rec("Fan Tray", "540-2592", 350_000.0, 0.0, 5.0, 10.0, 5.0),
+    rec("Blower Assembly", "540-3614", 300_000.0, 0.0, 5.0, 15.0, 5.0),
+    rec("Centerplane", "501-4914", 1_200_000.0, 200.0, 60.0, 120.0, 30.0),
+    rec("Control Board", "501-4882", 500_000.0, 400.0, 30.0, 30.0, 15.0),
+    rec("System Controller", "501-5710", 450_000.0, 500.0, 30.0, 30.0, 20.0),
+    rec("Clock Board", "501-4946", 900_000.0, 150.0, 30.0, 40.0, 15.0),
+    rec("I/O Board", "501-4266", 350_000.0, 600.0, 30.0, 35.0, 20.0),
+    rec("PCI Card", "375-0005", 600_000.0, 300.0, 15.0, 15.0, 10.0),
+    rec("Disk Drive", "540-3024", 300_000.0, 0.0, 15.0, 20.0, 30.0),
+    rec("Boot Drive", "540-4177", 350_000.0, 0.0, 15.0, 20.0, 30.0),
+    rec("DVD/Tape Unit", "390-0028", 200_000.0, 0.0, 10.0, 15.0, 5.0),
+    rec("Service Processor", "501-5567", 550_000.0, 700.0, 25.0, 30.0, 15.0),
+    rec("Interconnect Cable", "530-2842", 2_000_000.0, 50.0, 20.0, 20.0, 10.0),
+    rec("Operating System", "SOLARIS-8", 8_000.0, 12_000.0, 15.0, 30.0, 15.0),
+    rec("Storage Controller", "375-3032", 400_000.0, 450.0, 20.0, 25.0, 15.0),
+    rec("Network Interface", "501-5524", 700_000.0, 350.0, 15.0, 15.0, 10.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_has_the_expected_records() {
+        let db = ComponentDb::embedded();
+        assert!(db.len() >= 20);
+        assert!(!db.is_empty());
+        assert!(db.find("CPU Module").is_some());
+        assert!(db.find("Flux Capacitor").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let db = ComponentDb::embedded();
+        let mut names: Vec<_> = db.records().iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), db.len());
+    }
+
+    #[test]
+    fn block_instantiation_carries_values() {
+        let db = ComponentDb::embedded();
+        let cpu = db.find("CPU Module").unwrap();
+        let b = cpu.block(4, 3);
+        assert_eq!(b.quantity, 4);
+        assert_eq!(b.min_quantity, 3);
+        assert_eq!(b.mtbf, cpu.mtbf);
+        assert!(b.redundancy.is_some());
+        assert_eq!(b.part_number.as_deref(), Some("501-5675"));
+        let single = cpu.block(1, 1);
+        assert!(single.redundancy.is_none());
+    }
+
+    #[test]
+    fn all_records_make_valid_blocks() {
+        use rascad_spec::{Diagram, GlobalParams, SystemSpec};
+        let db = ComponentDb::embedded();
+        let mut d = Diagram::new("All FRUs");
+        for r in db.records() {
+            d.push(r.block(1, 1));
+        }
+        SystemSpec::new(d, GlobalParams::default()).validate().unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! The "Data Center System" model of the paper's Figures 1–2.
+//!
+//! Level 1 (Figure 1) has four blocks: *Server Box* (dark — it has a
+//! subdiagram), *Boot Drives, RAID1*, *Storage 1, RAID5*, and
+//! *Storage 2, RAID5*. Level 2 (Figure 2) is the Server Box subdiagram
+//! with 19 blocks (System Board, CPU Module, …).
+
+use rascad_spec::units::{Hours, Minutes};
+use rascad_spec::{Block, BlockParams, Diagram, GlobalParams, RedundancyParams, Scenario, SystemSpec};
+
+use crate::components::ComponentDb;
+use crate::storage::{raid1, raid5};
+
+/// Builds the complete two-level Data Center System specification.
+pub fn data_center() -> SystemSpec {
+    let mut root = Diagram::new("Data Center System");
+    root.push_block(Block::with_subdiagram(server_box_params(), server_box_subdiagram()));
+    root.push_block({
+        let mut b = raid1("Boot Drives, RAID1");
+        b.params.service_response = Hours(4.0);
+        b
+    });
+    root.push_block({
+        let mut b = raid5("Storage 1, RAID5", 8);
+        b.params.service_response = Hours(4.0);
+        b
+    });
+    root.push_block({
+        let mut b = raid5("Storage 2, RAID5", 8);
+        b.params.service_response = Hours(4.0);
+        b
+    });
+    SystemSpec::new(root, globals())
+}
+
+/// Global parameters used by the data-center model.
+pub fn globals() -> GlobalParams {
+    GlobalParams {
+        reboot_time: Minutes(10.0),
+        mttm: Hours(48.0),
+        mttrfid: Hours(8.0),
+        mission_time: Hours(Hours::PER_YEAR),
+    }
+}
+
+/// The enclosure-level parameters of the Server Box block. The box
+/// itself (chassis, interconnect) contributes little; the subdiagram
+/// carries the content.
+fn server_box_params() -> BlockParams {
+    BlockParams::new("Server Box", 1, 1)
+        .with_part_number("E6500")
+        .with_description("high-end server enclosure")
+        .with_mtbf(Hours(5_000_000.0))
+        .with_mttr_parts(Minutes(30.0), Minutes(60.0), Minutes(30.0))
+        .with_service_response(Hours(4.0))
+        .with_p_correct_diagnosis(0.99)
+}
+
+/// The 19-block Server Box subdiagram of Figure 2.
+pub fn server_box_subdiagram() -> Diagram {
+    let db = ComponentDb::embedded();
+    let mut d = Diagram::new("Server Box Internals");
+
+    // Helper for redundancy parameter sets.
+    let hot_swap_transparent = RedundancyParams {
+        p_latent_fault: 0.02,
+        mttdlf: Hours(24.0),
+        recovery: Scenario::Transparent,
+        failover_time: Minutes(0.0),
+        p_spf: 0.005,
+        spf_recovery_time: Minutes(15.0),
+        repair: Scenario::Transparent,
+        reintegration_time: Minutes(0.0),
+    };
+    let reboot_recovery = RedundancyParams {
+        p_latent_fault: 0.05,
+        mttdlf: Hours(48.0),
+        recovery: Scenario::Nontransparent,
+        failover_time: Minutes(10.0),
+        p_spf: 0.01,
+        spf_recovery_time: Minutes(30.0),
+        repair: Scenario::Nontransparent,
+        reintegration_time: Minutes(10.0),
+    };
+
+    let mut add = |name: &str, n: u32, k: u32, red: Option<RedundancyParams>, tresp: f64| {
+        let mut b = db.find(name).unwrap_or_else(|| panic!("unknown FRU {name}")).block(n, k);
+        if let Some(r) = red {
+            b.redundancy = Some(r);
+        }
+        b.service_response = Hours(tresp);
+        d.push(b);
+    };
+
+    // 19 blocks: the compute complex, power/cooling, control, and I/O.
+    add("System Board", 4, 3, Some(reboot_recovery), 4.0);
+    add("CPU Module", 8, 6, Some(reboot_recovery), 4.0);
+    add("Memory Module", 16, 15, Some(reboot_recovery), 4.0);
+    add("L2 Cache Module", 8, 7, Some(reboot_recovery), 4.0);
+    add("Centerplane", 1, 1, None, 4.0);
+    add("Clock Board", 2, 1, Some(reboot_recovery), 4.0);
+    add("Control Board", 2, 1, Some(hot_swap_transparent), 4.0);
+    add("System Controller", 2, 1, Some(hot_swap_transparent), 4.0);
+    add("Power Supply", 4, 3, Some(hot_swap_transparent), 4.0);
+    add("AC Input Module", 2, 1, Some(hot_swap_transparent), 4.0);
+    add("Fan Tray", 6, 5, Some(hot_swap_transparent), 4.0);
+    add("Blower Assembly", 2, 1, Some(hot_swap_transparent), 4.0);
+    add("I/O Board", 2, 1, Some(reboot_recovery), 4.0);
+    add("PCI Card", 4, 3, Some(hot_swap_transparent), 4.0);
+    add("Network Interface", 2, 1, Some(hot_swap_transparent), 4.0);
+    add("Service Processor", 1, 1, None, 4.0);
+    add("DVD/Tape Unit", 1, 1, None, 24.0);
+    add("Interconnect Cable", 1, 1, None, 4.0);
+    add("Operating System", 1, 1, None, 0.0);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_core::solve_spec;
+
+    #[test]
+    fn matches_figure_structure() {
+        let spec = data_center();
+        spec.validate().unwrap();
+        // Figure 1: four level-1 blocks.
+        assert_eq!(spec.root.len(), 4);
+        // Figure 2: 19 blocks inside the Server Box.
+        let sub = spec.root.blocks[0].subdiagram.as_ref().unwrap();
+        assert_eq!(sub.len(), 19);
+        assert_eq!(spec.root.depth(), 2);
+        assert_eq!(spec.root.total_blocks(), 23);
+    }
+
+    #[test]
+    fn solves_to_enterprise_availability() {
+        let sol = solve_spec(&data_center()).unwrap();
+        let a = sol.system.availability;
+        // Enterprise class: between two and five nines, dominated by the
+        // non-redundant OS/centerplane blocks.
+        assert!(a > 0.99 && a < 0.99999, "a={a}");
+        assert_eq!(sol.blocks.len(), 23);
+    }
+
+    #[test]
+    fn os_dominates_downtime() {
+        let sol = solve_spec(&data_center()).unwrap();
+        let os = sol.block("Data Center System/Server Box/Operating System").unwrap();
+        let total: f64 = sol.blocks.iter().map(|b| b.measures.yearly_downtime_minutes).sum();
+        assert!(
+            os.measures.yearly_downtime_minutes > 0.4 * total,
+            "os {} of {total}",
+            os.measures.yearly_downtime_minutes
+        );
+    }
+
+    #[test]
+    fn dsl_roundtrip_of_the_model() {
+        let spec = data_center();
+        let text = spec.to_dsl();
+        let back = SystemSpec::from_dsl(&text).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,37 @@
+//! Model library for the RAScad reproduction.
+//!
+//! The paper lists "a library of models for existing Sun products and
+//! integration with the component MTBF database" among RAScad's
+//! features. This crate provides the equivalent:
+//!
+//! * [`components`] — an embedded FRU (field-replaceable unit) database
+//!   with representative MTBF/MTTR figures.
+//! * [`datacenter`] — the two-level "Data Center System" model of the
+//!   paper's Figures 1–2: a Server Box with a 19-block subdiagram, a
+//!   RAID-1 boot-drive pair, and two RAID-5 storage arrays.
+//! * [`e10000`] — an E10000-class (Starfire) high-end server spec, the
+//!   system whose field data the paper validates against.
+//! * [`cluster`] — a two-node cluster model (the paper calls
+//!   primary/standby generation "work in progress"; here it is modeled
+//!   with the redundant nontransparent-recovery template).
+//! * [`storage`] — RAID-1/RAID-5 array spec builders.
+//!
+//! All models validate and solve out of the box:
+//!
+//! ```
+//! use rascad_library::datacenter;
+//!
+//! let spec = datacenter::data_center();
+//! spec.validate().unwrap();
+//! assert_eq!(spec.root.blocks.len(), 4);            // Figure 1
+//! assert_eq!(spec.root.blocks[0].subdiagram.as_ref().unwrap().len(), 19); // Figure 2
+//! ```
+
+pub mod cluster;
+pub mod components;
+pub mod datacenter;
+pub mod e10000;
+pub mod storage;
+pub mod workgroup;
+
+pub use components::{ComponentDb, ComponentRecord};

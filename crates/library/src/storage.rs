@@ -1,0 +1,146 @@
+//! RAID array spec builders.
+
+use rascad_spec::units::{Hours, Minutes};
+use rascad_spec::{Block, BlockParams, Diagram, RedundancyParams, Scenario};
+
+use crate::components::ComponentDb;
+
+/// Builds a RAID-1 (mirrored pair) block: 2 drives, 1 required,
+/// transparent recovery (the mirror absorbs the failure) and
+/// transparent repair (hot-pluggable drives with automatic resync).
+pub fn raid1(name: impl Into<String>) -> Block {
+    let db = ComponentDb::embedded();
+    let drive = db.find("Boot Drive").expect("embedded record");
+    let mut params = drive.block(2, 1);
+    params.name = name.into();
+    params.redundancy = Some(RedundancyParams {
+        p_latent_fault: 0.02,
+        mttdlf: Hours(24.0),
+        recovery: Scenario::Transparent,
+        failover_time: Minutes(0.0),
+        p_spf: 0.005,
+        spf_recovery_time: Minutes(20.0),
+        repair: Scenario::Transparent,
+        reintegration_time: Minutes(0.0),
+    });
+    Block::leaf(params)
+}
+
+/// Builds a RAID-5 array block: `disks` drives with one parity drive
+/// (`disks − 1` required). Recovery is transparent (parity absorbs one
+/// failure); repair is transparent (hot-plug rebuild).
+///
+/// # Panics
+///
+/// Panics if `disks < 3` (RAID-5 needs at least three drives).
+pub fn raid5(name: impl Into<String>, disks: u32) -> Block {
+    assert!(disks >= 3, "raid5 needs at least 3 disks");
+    let db = ComponentDb::embedded();
+    let drive = db.find("Disk Drive").expect("embedded record");
+    let mut params = drive.block(disks, disks - 1);
+    params.name = name.into();
+    params.redundancy = Some(RedundancyParams {
+        p_latent_fault: 0.05,
+        mttdlf: Hours(48.0),
+        recovery: Scenario::Transparent,
+        failover_time: Minutes(0.0),
+        p_spf: 0.01,
+        spf_recovery_time: Minutes(30.0),
+        repair: Scenario::Transparent,
+        reintegration_time: Minutes(0.0),
+    });
+    Block::leaf(params)
+}
+
+/// Builds a full storage-array subsystem: a controller pair in front of
+/// a RAID-5 disk group, as a diagram.
+pub fn storage_array(name: impl Into<String>, disks: u32) -> Diagram {
+    let db = ComponentDb::embedded();
+    let mut d = Diagram::new(name);
+    let mut controller = db.find("Storage Controller").expect("embedded record").block(2, 1);
+    controller.redundancy = Some(RedundancyParams {
+        p_latent_fault: 0.02,
+        mttdlf: Hours(24.0),
+        recovery: Scenario::Nontransparent,
+        failover_time: Minutes(2.0),
+        p_spf: 0.01,
+        spf_recovery_time: Minutes(15.0),
+        repair: Scenario::Transparent,
+        reintegration_time: Minutes(0.0),
+    });
+    d.push(controller);
+    d.push_block(raid5("Disk Group", disks));
+    d
+}
+
+/// Convenience: block parameters for a non-redundant component drawn
+/// from the embedded database.
+///
+/// # Panics
+///
+/// Panics if `fru` is not in the embedded database.
+pub fn single(fru: &str) -> BlockParams {
+    ComponentDb::embedded()
+        .find(fru)
+        .unwrap_or_else(|| panic!("unknown FRU {fru}"))
+        .block(1, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_core::solve_spec;
+    use rascad_spec::{GlobalParams, SystemSpec};
+
+    #[test]
+    fn raid1_is_redundant_and_solvable() {
+        let mut d = Diagram::new("Test");
+        d.push_block(raid1("Mirror"));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        let sol = solve_spec(&spec).unwrap();
+        // A mirrored pair should be very available.
+        assert!(sol.system.availability > 0.999999);
+    }
+
+    #[test]
+    fn raid5_tolerates_one_disk() {
+        let b = raid5("Array", 6);
+        assert_eq!(b.params.quantity, 6);
+        assert_eq!(b.params.min_quantity, 5);
+        assert!(b.params.is_redundant());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn raid5_minimum_size() {
+        let _ = raid5("Tiny", 2);
+    }
+
+    #[test]
+    fn bigger_raid5_groups_are_less_available() {
+        // More disks under the same single-parity protection = more
+        // exposure.
+        let avail = |disks| {
+            let mut d = Diagram::new("T");
+            d.push_block(raid5("A", disks));
+            solve_spec(&SystemSpec::new(d, GlobalParams::default()))
+                .unwrap()
+                .system
+                .availability
+        };
+        assert!(avail(4) > avail(12));
+    }
+
+    #[test]
+    fn storage_array_diagram_solves() {
+        let mut root = Diagram::new("Root");
+        root.push_block(Block::with_subdiagram(
+            BlockParams::new("Storage", 1, 1).with_mtbf(Hours(1e9)),
+            storage_array("Array Internals", 8),
+        ));
+        let spec = SystemSpec::new(root, GlobalParams::default());
+        let sol = solve_spec(&spec).unwrap();
+        assert!(sol.system.availability > 0.9999);
+        assert_eq!(sol.blocks.len(), 3); // Storage + controller + disk group
+    }
+}

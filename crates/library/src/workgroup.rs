@@ -1,0 +1,77 @@
+//! A low-end workgroup server — the bottom of the product line the
+//! paper's tool spans (RAScad "has been used to develop availability
+//! models for a variety of Sun system products").
+//!
+//! Minimal redundancy: one board, one CPU, a mirrored disk pair, a
+//! single power supply. Useful as the contrast case against the
+//! high-end [`crate::e10000`] in architecture comparisons.
+
+use rascad_spec::units::{Hours, Minutes};
+use rascad_spec::{Diagram, GlobalParams, SystemSpec};
+
+use crate::components::ComponentDb;
+use crate::storage::raid1;
+
+/// Builds the workgroup-server specification.
+pub fn workgroup() -> SystemSpec {
+    let db = ComponentDb::embedded();
+    let mut d = Diagram::new("Workgroup Server");
+
+    let mut add_single = |name: &str, tresp: f64| {
+        let mut b = db.find(name).unwrap_or_else(|| panic!("unknown FRU {name}")).block(1, 1);
+        b.service_response = Hours(tresp);
+        d.push(b);
+    };
+    // Next-business-day service contract: long response times.
+    add_single("System Board", 24.0);
+    add_single("CPU Module", 24.0);
+    add_single("Memory Module", 24.0);
+    add_single("Power Supply", 24.0);
+    add_single("Network Interface", 24.0);
+    add_single("Operating System", 0.0);
+    let mut disks = raid1("Boot Disks, RAID1");
+    disks.params.service_response = Hours(24.0);
+    d.push_block(disks);
+
+    SystemSpec::new(
+        d,
+        GlobalParams {
+            reboot_time: Minutes(5.0),
+            mttm: Hours(72.0),
+            mttrfid: Hours(12.0),
+            mission_time: Hours(Hours::PER_YEAR),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_core::{compare_architectures, solve_spec};
+
+    #[test]
+    fn validates_and_solves() {
+        let spec = workgroup();
+        spec.validate().unwrap();
+        let sol = solve_spec(&spec).unwrap();
+        // Low-end box on a slow service contract: about three nines.
+        assert!(
+            sol.system.availability > 0.98 && sol.system.availability < 0.9999,
+            "a={}",
+            sol.system.availability
+        );
+    }
+
+    #[test]
+    fn high_end_server_beats_workgroup_box() {
+        let cmp = compare_architectures(
+            "workgroup",
+            &workgroup(),
+            "e10000",
+            &crate::e10000::e10000(),
+        )
+        .unwrap();
+        assert_eq!(cmp.winner(), "e10000");
+        assert!(cmp.unavailability_ratio() < 0.8, "ratio {}", cmp.unavailability_ratio());
+    }
+}

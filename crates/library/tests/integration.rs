@@ -1,0 +1,76 @@
+//! Cross-model checks over the whole library.
+
+use rascad_core::solve_spec;
+use rascad_library::{cluster, datacenter, e10000, workgroup};
+use rascad_spec::SystemSpec;
+
+fn all_models() -> Vec<(&'static str, SystemSpec)> {
+    vec![
+        ("datacenter", datacenter::data_center()),
+        ("e10000", e10000::e10000()),
+        ("e10000-stripped", e10000::e10000_no_redundancy()),
+        ("cluster", cluster::two_node_cluster(cluster::ClusterConfig::default())),
+        ("workgroup", workgroup::workgroup()),
+    ]
+}
+
+#[test]
+fn every_model_validates_solves_and_roundtrips() {
+    for (name, spec) in all_models() {
+        spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let sol = solve_spec(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            sol.system.availability > 0.9 && sol.system.availability < 1.0,
+            "{name}: availability {}",
+            sol.system.availability
+        );
+        // DSL round trip.
+        let again = SystemSpec::from_dsl(&spec.to_dsl()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(spec, again, "{name}");
+        // JSON round trip.
+        let via_json =
+            SystemSpec::from_json(&spec.to_json().unwrap()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(spec, via_json, "{name}");
+    }
+}
+
+#[test]
+fn availability_ordering_across_the_product_line() {
+    let solve =
+        |s: &SystemSpec| solve_spec(s).unwrap().system.yearly_downtime_minutes;
+    let e10k = solve(&e10000::e10000());
+    let stripped = solve(&e10000::e10000_no_redundancy());
+    let wg = solve(&workgroup::workgroup());
+    // High-end beats low-end; stripping redundancy hurts the high-end
+    // machine severely.
+    assert!(e10k < wg, "e10000 {e10k} vs workgroup {wg}");
+    assert!(stripped > 2.0 * e10k, "stripped {stripped} vs full {e10k}");
+}
+
+#[test]
+fn every_model_measures_are_finite_and_ordered() {
+    for (name, spec) in all_models() {
+        let m = solve_spec(&spec).unwrap().system;
+        assert!(m.mtbf_hours.is_finite() && m.mtbf_hours > 0.0, "{name}");
+        assert!(m.mttf_hours.is_finite() && m.mttf_hours > 0.0, "{name}");
+        // First failure comes no later than the steady-state cycle.
+        assert!(m.mttf_hours <= m.mtbf_hours * 1.5, "{name}: {0} vs {1}", m.mttf_hours, m.mtbf_hours);
+        assert!(m.interval_availability >= m.availability - 1e-9, "{name}");
+        assert!((0.0..=1.0).contains(&m.reliability_at_mission), "{name}");
+    }
+}
+
+#[test]
+fn component_database_values_are_physical() {
+    let db = rascad_library::ComponentDb::embedded();
+    for r in db.records() {
+        assert!(r.mtbf.0 >= 1_000.0, "{}: implausibly low MTBF", r.name);
+        assert!(r.transient_fit.0 >= 0.0, "{}", r.name);
+        let mttr_minutes = r.diagnosis.0 + r.corrective.0 + r.verification.0;
+        assert!(
+            mttr_minutes > 0.0 && mttr_minutes < 24.0 * 60.0,
+            "{}: MTTR {mttr_minutes} min",
+            r.name
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! Absorbing-chain (reliability) analysis.
+//!
+//! For the *reliability* model RAScad reports MTTF, reliability at the
+//! mission time `T`, interval failure rate over `(0, T)`, and the hazard
+//! rate for a time increment. These come from the chain obtained by
+//! making every down state absorbing: the time to absorption is the time
+//! to first system failure.
+
+use crate::ctmc::{Ctmc, CtmcBuilder, StateId};
+use crate::dense::DenseMatrix;
+use crate::error::MarkovError;
+use crate::transient::{self, TransientOptions};
+
+/// Reliability measures of a chain whose down states are absorbing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsorbingAnalysis {
+    /// Mean time to (first) failure from the given initial distribution.
+    pub mttf: f64,
+    /// Ids of the transient (up) states in the original chain.
+    pub up_states: Vec<StateId>,
+    /// Ids of the absorbing (down) states in the original chain.
+    pub down_states: Vec<StateId>,
+}
+
+/// A sampled reliability curve `R(t)` with derived failure measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityCurve {
+    /// Sample times.
+    pub times: Vec<f64>,
+    /// `R(t)`: probability the system has not yet failed by each time.
+    pub reliability: Vec<f64>,
+    /// Interval failure rate over `(0, t)`: `-ln R(t) / t` (the constant
+    /// rate that would produce the same `R(t)`).
+    pub interval_failure_rate: Vec<f64>,
+    /// Hazard rate at each time, estimated over the local increment:
+    /// `h ≈ (R(t_i) - R(t_{i+1})) / (Δt · R(t_i))`, reported at the
+    /// left endpoint (last point repeats the previous estimate).
+    pub hazard_rate: Vec<f64>,
+}
+
+/// Builds the absorbing ("reliability") variant of `chain`: all
+/// transitions out of down states are removed, so down states absorb.
+pub fn make_absorbing(chain: &Ctmc) -> Ctmc {
+    let up: Vec<bool> = chain.states().iter().map(|s| s.reward > 0.0).collect();
+    let mut b = CtmcBuilder::new();
+    for s in chain.states() {
+        b.add_state(s.label.clone(), s.reward);
+    }
+    for t in chain.transitions() {
+        if up[t.from] {
+            b.add_transition(t.from, t.to, t.rate);
+        }
+    }
+    b.build().expect("absorbing variant of a valid chain is valid")
+}
+
+/// Computes the MTTF from an initial distribution concentrated on state
+/// `start` (usually the all-working `Ok` state).
+///
+/// Solves `(-Q_UU) m = 1` where `Q_UU` is the generator restricted to up
+/// states and `m` the vector of expected absorption times.
+///
+/// # Errors
+///
+/// * [`MarkovError::MissingStates`] if the chain has no up or no down
+///   states, or if `start` is not an up state.
+/// * [`MarkovError::Singular`] if some up state cannot reach any down
+///   state (MTTF would be infinite).
+pub fn mttf(chain: &Ctmc, start: StateId) -> Result<AbsorbingAnalysis, MarkovError> {
+    let up_states = chain.up_states();
+    let down_states = chain.down_states();
+    if up_states.is_empty() {
+        return Err(MarkovError::MissingStates { what: "no up states".into() });
+    }
+    if down_states.is_empty() {
+        return Err(MarkovError::MissingStates { what: "no down (absorbing) states".into() });
+    }
+    let Some(start_pos) = up_states.iter().position(|&s| s == start) else {
+        return Err(MarkovError::MissingStates {
+            what: format!("start state {start} is not an up state"),
+        });
+    };
+
+    // Index map original -> position among up states.
+    let mut pos = vec![usize::MAX; chain.len()];
+    for (i, &s) in up_states.iter().enumerate() {
+        pos[s] = i;
+    }
+    let nu = up_states.len();
+    let mut a = DenseMatrix::zeros(nu, nu); // -Q_UU
+    for t in chain.transitions() {
+        let pf = pos[t.from];
+        if pf == usize::MAX {
+            continue;
+        }
+        a[(pf, pf)] += t.rate; // -( -sum of exit rates )
+        let pt = pos[t.to];
+        if pt != usize::MAX {
+            a[(pf, pt)] -= t.rate;
+        }
+    }
+    let ones = vec![1.0; nu];
+    let m = a.solve(&ones)?;
+    let value = m[start_pos];
+    if !value.is_finite() || value < 0.0 {
+        return Err(MarkovError::Singular);
+    }
+    Ok(AbsorbingAnalysis { mttf: value, up_states, down_states })
+}
+
+/// Probability that the *first* system failure lands in each down
+/// state, starting from `start` — failure-mode attribution.
+///
+/// Solves `B = (−Q_UU)⁻¹ Q_UD` row by row: entry `(u, d)` is the
+/// probability of being absorbed in down state `d` from up state `u`.
+///
+/// Returns `(down_state_id, probability)` pairs summing to 1, sorted by
+/// probability descending.
+///
+/// # Errors
+///
+/// Same conditions as [`mttf`].
+pub fn failure_modes(
+    chain: &Ctmc,
+    start: StateId,
+) -> Result<Vec<(StateId, f64)>, MarkovError> {
+    let up_states = chain.up_states();
+    let down_states = chain.down_states();
+    if up_states.is_empty() {
+        return Err(MarkovError::MissingStates { what: "no up states".into() });
+    }
+    if down_states.is_empty() {
+        return Err(MarkovError::MissingStates { what: "no down (absorbing) states".into() });
+    }
+    let Some(start_pos) = up_states.iter().position(|&s| s == start) else {
+        return Err(MarkovError::MissingStates {
+            what: format!("start state {start} is not an up state"),
+        });
+    };
+
+    let mut pos = vec![usize::MAX; chain.len()];
+    for (i, &s) in up_states.iter().enumerate() {
+        pos[s] = i;
+    }
+    let nu = up_states.len();
+    let mut a = DenseMatrix::zeros(nu, nu); // -Q_UU
+    for t in chain.transitions() {
+        let pf = pos[t.from];
+        if pf == usize::MAX {
+            continue;
+        }
+        a[(pf, pf)] += t.rate;
+        let pt = pos[t.to];
+        if pt != usize::MAX {
+            a[(pf, pt)] -= t.rate;
+        }
+    }
+
+    let mut out = Vec::with_capacity(down_states.len());
+    for &d in &down_states {
+        // Right-hand side: rates from each up state into d.
+        let mut b = vec![0.0; nu];
+        for t in chain.transitions() {
+            if t.to == d {
+                let pf = pos[t.from];
+                if pf != usize::MAX {
+                    b[pf] += t.rate;
+                }
+            }
+        }
+        let x = a.solve(&b)?;
+        out.push((d, x[start_pos].clamp(0.0, 1.0)));
+    }
+    // Normalize away roundoff and sort by contribution.
+    let total: f64 = out.iter().map(|&(_, p)| p).sum();
+    if total > 0.0 {
+        for (_, p) in &mut out {
+            *p /= total;
+        }
+    }
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
+    Ok(out)
+}
+
+/// Reliability `R(t)` at a single mission time, starting from `start`.
+///
+/// # Errors
+///
+/// Propagates [`MarkovError`] from the transient solver, and
+/// [`MarkovError::MissingStates`] as in [`mttf`].
+pub fn reliability_at(chain: &Ctmc, start: StateId, t: f64) -> Result<f64, MarkovError> {
+    let curve = reliability_curve(chain, start, &[t])?;
+    Ok(curve.reliability[0])
+}
+
+/// Samples the reliability curve at the given times.
+///
+/// # Errors
+///
+/// * [`MarkovError::MissingStates`] if the chain has no down states or
+///   `start` is not an up state.
+/// * Errors from the transient solver for invalid times.
+pub fn reliability_curve(
+    chain: &Ctmc,
+    start: StateId,
+    times: &[f64],
+) -> Result<ReliabilityCurve, MarkovError> {
+    if chain.down_states().is_empty() {
+        return Err(MarkovError::MissingStates { what: "no down states".into() });
+    }
+    if start >= chain.len() || chain.states()[start].reward == 0.0 {
+        return Err(MarkovError::MissingStates {
+            what: format!("start state {start} is not an up state"),
+        });
+    }
+    let abs = make_absorbing(chain);
+    let mut p0 = vec![0.0; abs.len()];
+    p0[start] = 1.0;
+    let mut rel = Vec::with_capacity(times.len());
+    for &t in times {
+        let sol = transient::solve(&abs, &p0, t, TransientOptions::default())?;
+        // R(t) = probability of still being in an up state.
+        let r: f64 = abs
+            .up_states()
+            .iter()
+            .map(|&s| sol.probabilities[s])
+            .sum();
+        rel.push(r.clamp(0.0, 1.0));
+    }
+
+    let interval_failure_rate = times
+        .iter()
+        .zip(&rel)
+        .map(|(&t, &r)| {
+            if t <= 0.0 {
+                0.0
+            } else if r <= 0.0 {
+                f64::INFINITY
+            } else {
+                -r.ln() / t
+            }
+        })
+        .collect();
+
+    let mut hazard_rate = Vec::with_capacity(times.len());
+    for i in 0..times.len() {
+        if i + 1 < times.len() {
+            let dt = times[i + 1] - times[i];
+            let h = if dt > 0.0 && rel[i] > 0.0 {
+                (rel[i] - rel[i + 1]) / (dt * rel[i])
+            } else {
+                0.0
+            };
+            hazard_rate.push(h.max(0.0));
+        } else {
+            hazard_rate.push(*hazard_rate.last().unwrap_or(&0.0));
+        }
+    }
+
+    Ok(ReliabilityCurve {
+        times: times.to_vec(),
+        reliability: rel,
+        interval_failure_rate,
+        hazard_rate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up", 1.0);
+        let down = b.add_state("down", 0.0);
+        b.add_transition(up, down, lambda);
+        b.add_transition(down, up, mu);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mttf_of_single_component_is_one_over_lambda() {
+        let c = two_state(0.01, 5.0);
+        let a = mttf(&c, 0).unwrap();
+        assert!((a.mttf - 100.0).abs() < 1e-9);
+        assert_eq!(a.up_states, vec![0]);
+        assert_eq!(a.down_states, vec![1]);
+    }
+
+    #[test]
+    fn mttf_of_parallel_pair() {
+        // Two hot-spare components, no repair before system failure:
+        // states 2-up, 1-up, 0-up(absorbing); MTTF = 1/(2l) + 1/l.
+        let l = 0.2;
+        let mut b = CtmcBuilder::new();
+        let s2 = b.add_state("2up", 1.0);
+        let s1 = b.add_state("1up", 1.0);
+        let s0 = b.add_state("0up", 0.0);
+        b.add_transition(s2, s1, 2.0 * l);
+        b.add_transition(s1, s0, l);
+        b.add_transition(s0, s2, 1.0); // repair (ignored by reliability model)
+        let c = b.build().unwrap();
+        let a = mttf(&c, s2).unwrap();
+        assert!((a.mttf - (1.0 / (2.0 * l) + 1.0 / l)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mttf_with_repair_in_up_states() {
+        // 2-up <-> 1-up with repair mu, then failure to absorbing.
+        // Known closed form: MTTF = (3l + mu) / (2 l^2).
+        let (l, mu) = (0.1, 2.0);
+        let mut b = CtmcBuilder::new();
+        let s2 = b.add_state("2up", 1.0);
+        let s1 = b.add_state("1up", 1.0);
+        let s0 = b.add_state("down", 0.0);
+        b.add_transition(s2, s1, 2.0 * l);
+        b.add_transition(s1, s2, mu);
+        b.add_transition(s1, s0, l);
+        b.add_transition(s0, s1, 1.0);
+        let c = b.build().unwrap();
+        let a = mttf(&c, s2).unwrap();
+        assert!((a.mttf - (3.0 * l + mu) / (2.0 * l * l)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn reliability_is_exponential_for_single_component() {
+        let l = 0.05;
+        let c = two_state(l, 3.0);
+        let times = [1.0, 5.0, 10.0, 50.0];
+        let curve = reliability_curve(&c, 0, &times).unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            assert!((curve.reliability[i] - (-l * t).exp()).abs() < 1e-10);
+            // Constant hazard = lambda; interval failure rate = lambda.
+            assert!((curve.interval_failure_rate[i] - l).abs() < 1e-9);
+        }
+        // Hazard estimates need a fine grid: with constant hazard l the
+        // finite-difference estimate is (1 - e^{-l dt}) / dt.
+        let fine: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let fine_curve = reliability_curve(&c, 0, &fine).unwrap();
+        for &h in &fine_curve.hazard_rate {
+            assert!((h - l).abs() < l * 0.01, "h={h}");
+        }
+    }
+
+    #[test]
+    fn reliability_at_zero_is_one() {
+        let c = two_state(0.1, 1.0);
+        assert!((reliability_at(&c, 0, 0.0).unwrap() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn no_down_states_rejected() {
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a", 1.0);
+        let c = b.add_state("b", 1.0);
+        b.add_transition(a, c, 1.0);
+        b.add_transition(c, a, 1.0);
+        let chain = b.build().unwrap();
+        assert!(matches!(mttf(&chain, 0), Err(MarkovError::MissingStates { .. })));
+        assert!(matches!(
+            reliability_curve(&chain, 0, &[1.0]),
+            Err(MarkovError::MissingStates { .. })
+        ));
+    }
+
+    #[test]
+    fn start_must_be_up() {
+        let c = two_state(0.1, 1.0);
+        assert!(matches!(mttf(&c, 1), Err(MarkovError::MissingStates { .. })));
+        assert!(matches!(
+            reliability_curve(&c, 1, &[1.0]),
+            Err(MarkovError::MissingStates { .. })
+        ));
+    }
+
+    #[test]
+    fn failure_modes_sum_to_one_and_rank_correctly() {
+        // Up state with two competing failure modes: fast (rate 3) and
+        // slow (rate 1). First-failure attribution must be 3/4 vs 1/4.
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up", 1.0);
+        let fast = b.add_state("fast", 0.0);
+        let slow = b.add_state("slow", 0.0);
+        b.add_transition(up, fast, 3.0);
+        b.add_transition(up, slow, 1.0);
+        b.add_transition(fast, up, 10.0);
+        b.add_transition(slow, up, 10.0);
+        let c = b.build().unwrap();
+        let modes = failure_modes(&c, up).unwrap();
+        assert_eq!(modes[0].0, fast);
+        assert!((modes[0].1 - 0.75).abs() < 1e-12);
+        assert!((modes[1].1 - 0.25).abs() < 1e-12);
+        let sum: f64 = modes.iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_modes_through_intermediate_up_states() {
+        // up -> degraded -> down_b, up -> down_a directly.
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up", 1.0);
+        let degraded = b.add_state("degraded", 1.0);
+        let down_a = b.add_state("down_a", 0.0);
+        let down_b = b.add_state("down_b", 0.0);
+        b.add_transition(up, down_a, 1.0);
+        b.add_transition(up, degraded, 1.0);
+        b.add_transition(degraded, down_b, 5.0);
+        b.add_transition(degraded, up, 0.0001);
+        b.add_transition(down_a, up, 1.0);
+        b.add_transition(down_b, up, 1.0);
+        let c = b.build().unwrap();
+        let modes = failure_modes(&c, up).unwrap();
+        // From up: 1/2 direct to a; 1/2 to degraded, which almost surely
+        // falls to b.
+        let map: std::collections::HashMap<_, _> = modes.into_iter().collect();
+        assert!((map[&down_a] - 0.5).abs() < 1e-4);
+        assert!((map[&down_b] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn failure_modes_errors() {
+        let c = two_state(0.1, 1.0);
+        assert!(failure_modes(&c, 1).is_err()); // start not up
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a", 1.0);
+        let x = b.add_state("b", 1.0);
+        b.add_transition(a, x, 1.0);
+        b.add_transition(x, a, 1.0);
+        let all_up = b.build().unwrap();
+        assert!(failure_modes(&all_up, 0).is_err());
+    }
+
+    #[test]
+    fn mttf_matches_reliability_integral() {
+        // MTTF = integral of R(t); check with a fine trapezoid.
+        let (l, mu) = (0.5, 4.0);
+        let mut b = CtmcBuilder::new();
+        let s2 = b.add_state("2up", 1.0);
+        let s1 = b.add_state("1up", 1.0);
+        let s0 = b.add_state("down", 0.0);
+        b.add_transition(s2, s1, 2.0 * l);
+        b.add_transition(s1, s2, mu);
+        b.add_transition(s1, s0, l);
+        b.add_transition(s0, s2, 0.5);
+        let c = b.build().unwrap();
+        let analytic = mttf(&c, 0).unwrap().mttf;
+        let times: Vec<f64> = (0..=4000).map(|i| i as f64 * 0.05).collect();
+        let curve = reliability_curve(&c, 0, &times).unwrap();
+        let mut integral = 0.0;
+        for i in 1..times.len() {
+            integral += 0.5 * (curve.reliability[i] + curve.reliability[i - 1]) * 0.05;
+        }
+        assert!(
+            (integral - analytic).abs() / analytic < 1e-3,
+            "integral {integral} vs analytic {analytic}"
+        );
+    }
+}

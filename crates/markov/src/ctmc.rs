@@ -1,0 +1,598 @@
+//! Labelled continuous-time Markov chains with reward rates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dense::DenseMatrix;
+use crate::error::MarkovError;
+use crate::gth;
+use crate::matrix::SparseMatrix;
+
+/// Identifier of a state inside one [`Ctmc`] (a dense index).
+pub type StateId = usize;
+
+/// Which direct steady-state algorithm to use.
+///
+/// Two independent algorithms are provided so higher layers can
+/// cross-validate results — mirroring the paper's validation of RAScad
+/// against SHARPE and MEADEP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SteadyStateMethod {
+    /// Grassmann–Taksar–Heyman elimination. Subtraction-free, hence
+    /// numerically robust even for stiff availability models where rates
+    /// span many orders of magnitude. The default.
+    #[default]
+    Gth,
+    /// Dense LU factorization of the balance equations `pi * Q = 0`,
+    /// `sum(pi) = 1` (one balance equation replaced by normalization).
+    Lu,
+    /// Power iteration on the uniformized DTMC `P = I + Q/Λ` until the
+    /// iterates stop moving. Iterative rather than direct — the third
+    /// independent numerical path used by the validation experiments.
+    /// Slow for stiff chains; accuracy ~1e-12 in the iterate delta.
+    Power,
+}
+
+/// One state of a chain: a label plus a reward rate.
+///
+/// In availability models the reward rate is 1 for operational ("up")
+/// states and 0 for failure ("down") states, following the Markov-reward
+/// formulation the paper cites (Goyal/Lavenberg/Trivedi; Reibman/Smith/
+/// Trivedi).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct State {
+    /// Human-readable label, e.g. `"PF1"` or `"ServiceError"`.
+    pub label: String,
+    /// Non-negative reward rate; 1.0 = up, 0.0 = down.
+    pub reward: f64,
+}
+
+/// A transition with its rate (per hour in RAScad models).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// Exponential rate, must be positive and finite.
+    pub rate: f64,
+}
+
+/// Incrementally builds a [`Ctmc`].
+///
+/// # Example
+///
+/// ```
+/// use rascad_markov::CtmcBuilder;
+///
+/// # fn main() -> Result<(), rascad_markov::MarkovError> {
+/// let mut b = CtmcBuilder::new();
+/// let up = b.add_state("up", 1.0);
+/// let down = b.add_state("down", 0.0);
+/// b.add_transition(up, down, 0.001);
+/// b.add_transition(down, up, 0.5);
+/// let chain = b.build()?;
+/// assert_eq!(chain.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CtmcBuilder {
+    states: Vec<State>,
+    transitions: Vec<Transition>,
+}
+
+impl CtmcBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self, label: impl Into<String>, reward: f64) -> StateId {
+        self.states.push(State { label: label.into(), reward });
+        self.states.len() - 1
+    }
+
+    /// Adds a transition `from -> to` with the given exponential `rate`.
+    ///
+    /// Zero-rate transitions are accepted and silently dropped at
+    /// [`build`](Self::build) time, which lets generators emit optional
+    /// edges (e.g. a `Pspf` branch with `Pspf = 0`) without special
+    /// casing.
+    pub fn add_transition(&mut self, from: StateId, to: StateId, rate: f64) -> &mut Self {
+        self.transitions.push(Transition { from, to, rate });
+        self
+    }
+
+    /// Number of states added so far.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no states have been added.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Validates and finalizes the chain.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::EmptyChain`] if there are no states.
+    /// * [`MarkovError::UnknownState`] for out-of-range endpoints.
+    /// * [`MarkovError::InvalidRate`] for negative/NaN/infinite rates.
+    /// * [`MarkovError::InvalidReward`] for negative/NaN/infinite rewards.
+    /// * [`MarkovError::SelfLoop`] for `from == to` transitions.
+    pub fn build(&self) -> Result<Ctmc, MarkovError> {
+        if self.states.is_empty() {
+            return Err(MarkovError::EmptyChain);
+        }
+        let n = self.states.len();
+        for (i, s) in self.states.iter().enumerate() {
+            if !s.reward.is_finite() || s.reward < 0.0 {
+                return Err(MarkovError::InvalidReward { state: i, reward: s.reward });
+            }
+        }
+        let mut kept = Vec::with_capacity(self.transitions.len());
+        for t in &self.transitions {
+            if t.from >= n {
+                return Err(MarkovError::UnknownState { id: t.from, len: n });
+            }
+            if t.to >= n {
+                return Err(MarkovError::UnknownState { id: t.to, len: n });
+            }
+            if !t.rate.is_finite() || t.rate < 0.0 {
+                return Err(MarkovError::InvalidRate { from: t.from, to: t.to, rate: t.rate });
+            }
+            if t.from == t.to {
+                return Err(MarkovError::SelfLoop { state: t.from });
+            }
+            if t.rate > 0.0 {
+                kept.push(*t);
+            }
+        }
+        Ok(Ctmc { states: self.states.clone(), transitions: kept })
+    }
+}
+
+/// A validated continuous-time Markov chain with reward rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ctmc {
+    states: Vec<State>,
+    transitions: Vec<Transition>,
+}
+
+impl Ctmc {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the chain has no states (never true for a built chain).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Number of (positive-rate) transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The states in id order.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// The transitions in insertion order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Finds a state id by its label.
+    pub fn state_by_label(&self, label: &str) -> Option<StateId> {
+        self.states.iter().position(|s| s.label == label)
+    }
+
+    /// The reward (row) vector indexed by state id.
+    pub fn rewards(&self) -> Vec<f64> {
+        self.states.iter().map(|s| s.reward).collect()
+    }
+
+    /// Ids of states with a strictly positive reward ("up" states).
+    pub fn up_states(&self) -> Vec<StateId> {
+        (0..self.len()).filter(|&i| self.states[i].reward > 0.0).collect()
+    }
+
+    /// Ids of states with zero reward ("down" states).
+    pub fn down_states(&self) -> Vec<StateId> {
+        (0..self.len()).filter(|&i| self.states[i].reward == 0.0).collect()
+    }
+
+    /// Builds the infinitesimal generator `Q` in sparse form
+    /// (off-diagonal rates, diagonal = −(row sum)).
+    pub fn generator(&self) -> SparseMatrix {
+        let n = self.len();
+        let mut trips = Vec::with_capacity(self.transitions.len() * 2);
+        let mut diag = vec![0.0; n];
+        for t in &self.transitions {
+            trips.push((t.from, t.to, t.rate));
+            diag[t.from] += t.rate;
+        }
+        for (i, d) in diag.iter().enumerate() {
+            if *d > 0.0 {
+                trips.push((i, i, -d));
+            }
+        }
+        SparseMatrix::from_triplets(n, n, &trips)
+    }
+
+    /// Total exit rate of each state.
+    pub fn exit_rates(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.len()];
+        for t in &self.transitions {
+            out[t.from] += t.rate;
+        }
+        out
+    }
+
+    /// Checks that every state can reach every other state (strong
+    /// connectivity of the transition digraph), which guarantees a unique
+    /// stationary distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Reducible`] naming a state outside the
+    /// single strongly-connected component.
+    pub fn check_irreducible(&self) -> Result<(), MarkovError> {
+        let n = self.len();
+        let mut fwd = vec![Vec::new(); n];
+        let mut bwd = vec![Vec::new(); n];
+        for t in &self.transitions {
+            fwd[t.from].push(t.to);
+            bwd[t.to].push(t.from);
+        }
+        let reach = |adj: &Vec<Vec<usize>>| {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(s) = stack.pop() {
+                for &d in &adj[s] {
+                    if !seen[d] {
+                        seen[d] = true;
+                        stack.push(d);
+                    }
+                }
+            }
+            seen
+        };
+        let f = reach(&fwd);
+        let b = reach(&bwd);
+        for i in 0..n {
+            if !(f[i] && b[i]) {
+                return Err(MarkovError::Reducible { state: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves for the stationary distribution `pi` with `pi * Q = 0`,
+    /// `sum(pi) = 1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::Reducible`] if the chain is not irreducible.
+    /// * [`MarkovError::Singular`] if the LU path hits a singular system.
+    pub fn steady_state(&self, method: SteadyStateMethod) -> Result<Vec<f64>, MarkovError> {
+        if self.len() == 1 {
+            return Ok(vec![1.0]);
+        }
+        self.check_irreducible()?;
+        match method {
+            SteadyStateMethod::Gth => gth::stationary_gth(self),
+            SteadyStateMethod::Lu => self.steady_state_lu(),
+            SteadyStateMethod::Power => self.steady_state_power(),
+        }
+    }
+
+    fn steady_state_power(&self) -> Result<Vec<f64>, MarkovError> {
+        let uni = crate::transient::uniformize(self);
+        let n = self.len();
+        let mut pi = vec![1.0 / n as f64; n];
+        // Uniformization keeps diagonals positive, so the DTMC is
+        // aperiodic and plain power iteration converges; the iteration
+        // cap guards against extreme stiffness.
+        let max_iter = 50_000_000usize / n.max(1);
+        for _ in 0..max_iter {
+            let next = uni.dtmc.vec_mul(&pi);
+            let delta: f64 =
+                next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
+            pi = next;
+            if delta < 1e-14 {
+                let z: f64 = pi.iter().sum();
+                for p in &mut pi {
+                    *p /= z;
+                }
+                return Ok(pi);
+            }
+        }
+        Err(MarkovError::InvalidOption {
+            what: "power iteration did not converge (chain too stiff; use GTH)".into(),
+        })
+    }
+
+    fn steady_state_lu(&self) -> Result<Vec<f64>, MarkovError> {
+        let n = self.len();
+        // Solve Q^T x = 0 with the last equation replaced by sum(x) = 1.
+        let q = self.generator().to_dense();
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = q[(j, i)];
+            }
+        }
+        for j in 0..n {
+            a[(n - 1, j)] = 1.0;
+        }
+        let mut b = vec![0.0; n];
+        b[n - 1] = 1.0;
+        let mut pi = a.solve(&b)?;
+        // Clamp tiny negatives from roundoff and renormalize.
+        let mut sum = 0.0;
+        for p in &mut pi {
+            if *p < 0.0 && *p > -1e-9 {
+                *p = 0.0;
+            }
+            sum += *p;
+        }
+        if !(sum.is_finite() && sum > 0.0) {
+            return Err(MarkovError::Singular);
+        }
+        for p in &mut pi {
+            *p /= sum;
+        }
+        Ok(pi)
+    }
+
+    /// Expected steady-state reward `sum(pi_i * r_i)`; with 0/1 rewards
+    /// this is the steady-state availability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != self.len()`.
+    pub fn expected_reward(&self, pi: &[f64]) -> f64 {
+        assert_eq!(pi.len(), self.len(), "dimension mismatch");
+        pi.iter().zip(&self.states).map(|(p, s)| p * s.reward).sum()
+    }
+
+    /// Steady-state system *failure rate*: the rate of up→down
+    /// transitions, `sum_{i up} pi_i * sum_{j down} q_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != self.len()`.
+    pub fn failure_rate(&self, pi: &[f64]) -> f64 {
+        assert_eq!(pi.len(), self.len(), "dimension mismatch");
+        self.boundary_flow(pi, true)
+    }
+
+    /// Steady-state system *recovery rate*: the rate of down→up
+    /// transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != self.len()`.
+    pub fn recovery_rate(&self, pi: &[f64]) -> f64 {
+        assert_eq!(pi.len(), self.len(), "dimension mismatch");
+        self.boundary_flow(pi, false)
+    }
+
+    fn boundary_flow(&self, pi: &[f64], up_to_down: bool) -> f64 {
+        let up: Vec<bool> = self.states.iter().map(|s| s.reward > 0.0).collect();
+        self.transitions
+            .iter()
+            .filter(|t| {
+                if up_to_down {
+                    up[t.from] && !up[t.to]
+                } else {
+                    !up[t.from] && up[t.to]
+                }
+            })
+            .map(|t| pi[t.from] * t.rate)
+            .sum()
+    }
+
+    /// Mean time between system failures implied by the stationary
+    /// distribution: `A / failure_rate` is mean up time; this returns the
+    /// full cycle `1 / failure_rate`.
+    ///
+    /// Returns `f64::INFINITY` when the failure rate is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != self.len()`.
+    pub fn mtbf(&self, pi: &[f64]) -> f64 {
+        let fr = self.failure_rate(pi);
+        if fr > 0.0 {
+            1.0 / fr
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up", 1.0);
+        let down = b.add_state("down", 0.0);
+        b.add_transition(up, down, lambda);
+        b.add_transition(down, up, mu);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_state_availability_closed_form() {
+        let (l, m) = (2e-4, 0.25);
+        let c = two_state(l, m);
+        for method in [SteadyStateMethod::Gth, SteadyStateMethod::Lu] {
+            let pi = c.steady_state(method).unwrap();
+            let a = c.expected_reward(&pi);
+            assert!((a - m / (l + m)).abs() < 1e-13, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn failure_and_recovery_rates_balance() {
+        let c = two_state(1e-3, 0.1);
+        let pi = c.steady_state(SteadyStateMethod::Gth).unwrap();
+        let f = c.failure_rate(&pi);
+        let r = c.recovery_rate(&pi);
+        // In steady state the up->down flow equals the down->up flow.
+        assert!((f - r).abs() < 1e-15);
+        assert!((f - pi[0] * 1e-3).abs() < 1e-18);
+        assert!((c.mtbf(&pi) - 1.0 / f).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert_eq!(CtmcBuilder::new().build().unwrap_err(), MarkovError::EmptyChain);
+    }
+
+    #[test]
+    fn bad_transitions_rejected() {
+        let mut b = CtmcBuilder::new();
+        let s = b.add_state("s", 1.0);
+        b.add_transition(s, 7, 1.0);
+        assert!(matches!(b.build().unwrap_err(), MarkovError::UnknownState { id: 7, .. }));
+
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a", 1.0);
+        let c = b.add_state("c", 0.0);
+        b.add_transition(a, c, -2.0);
+        assert!(matches!(b.build().unwrap_err(), MarkovError::InvalidRate { .. }));
+
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a", 1.0);
+        b.add_state("b", 0.0);
+        b.add_transition(a, a, 1.0);
+        assert!(matches!(b.build().unwrap_err(), MarkovError::SelfLoop { state: 0 }));
+    }
+
+    #[test]
+    fn bad_reward_rejected() {
+        let mut b = CtmcBuilder::new();
+        b.add_state("s", -1.0);
+        assert!(matches!(b.build().unwrap_err(), MarkovError::InvalidReward { .. }));
+    }
+
+    #[test]
+    fn zero_rate_transitions_dropped() {
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a", 1.0);
+        let c = b.add_state("b", 0.0);
+        b.add_transition(a, c, 0.0);
+        b.add_transition(a, c, 1.0);
+        b.add_transition(c, a, 1.0);
+        let chain = b.build().unwrap();
+        assert_eq!(chain.transition_count(), 2);
+    }
+
+    #[test]
+    fn reducible_chain_detected() {
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a", 1.0);
+        let c = b.add_state("b", 0.0);
+        b.add_transition(a, c, 1.0); // no way back
+        let chain = b.build().unwrap();
+        assert!(matches!(
+            chain.steady_state(SteadyStateMethod::Gth).unwrap_err(),
+            MarkovError::Reducible { .. }
+        ));
+    }
+
+    #[test]
+    fn single_state_chain_is_trivial() {
+        let mut b = CtmcBuilder::new();
+        b.add_state("only", 1.0);
+        let chain = b.build().unwrap();
+        assert_eq!(chain.steady_state(SteadyStateMethod::Lu).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn generator_rows_sum_to_zero() {
+        let c = two_state(0.3, 0.7);
+        for s in c.generator().row_sums() {
+            assert!(s.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn state_lookup_by_label() {
+        let c = two_state(1.0, 2.0);
+        assert_eq!(c.state_by_label("down"), Some(1));
+        assert_eq!(c.state_by_label("nope"), None);
+        assert_eq!(c.up_states(), vec![0]);
+        assert_eq!(c.down_states(), vec![1]);
+    }
+
+    #[test]
+    fn gth_and_lu_agree_on_cyclic_chain() {
+        // 4-state cycle with asymmetric rates.
+        let mut b = CtmcBuilder::new();
+        for i in 0..4 {
+            b.add_state(format!("s{i}"), if i < 2 { 1.0 } else { 0.0 });
+        }
+        let rates = [0.5, 1.5, 2.5, 3.5];
+        for i in 0..4 {
+            b.add_transition(i, (i + 1) % 4, rates[i]);
+        }
+        let c = b.build().unwrap();
+        let g = c.steady_state(SteadyStateMethod::Gth).unwrap();
+        let l = c.steady_state(SteadyStateMethod::Lu).unwrap();
+        for (a, b) in g.iter().zip(&l) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // pi_i proportional to 1/rate_i for a cycle.
+        let z: f64 = rates.iter().map(|r| 1.0 / r).sum();
+        for (i, &r) in rates.iter().enumerate() {
+            assert!((g[i] - (1.0 / r) / z).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_iteration_agrees_with_direct_methods() {
+        let c = two_state(2e-3, 0.4);
+        let gth = c.steady_state(SteadyStateMethod::Gth).unwrap();
+        let pow = c.steady_state(SteadyStateMethod::Power).unwrap();
+        for (a, b) in gth.iter().zip(&pow) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+
+        // A bigger random-ish chain.
+        let mut b = CtmcBuilder::new();
+        for i in 0..6 {
+            b.add_state(format!("s{i}"), (i % 2) as f64);
+        }
+        for i in 0..6usize {
+            b.add_transition(i, (i + 1) % 6, 0.2 + i as f64 * 0.15);
+            b.add_transition(i, (i + 3) % 6, 0.05 + i as f64 * 0.02);
+        }
+        let c = b.build().unwrap();
+        let gth = c.steady_state(SteadyStateMethod::Gth).unwrap();
+        let pow = c.steady_state(SteadyStateMethod::Power).unwrap();
+        for (a, b) in gth.iter().zip(&pow) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = two_state(0.1, 0.9);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Ctmc = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,300 @@
+//! Minimal dense linear algebra: row-major matrices and LU solves.
+//!
+//! The chains RAScad generates are small (tens to a few hundred states),
+//! so a dense LU with partial pivoting is both sufficient and simple to
+//! audit. Implemented in-house to keep the numerical core dependency-free.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MarkovError;
+
+/// A dense, row-major `rows x cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let n = rows.checked_mul(cols).expect("matrix size overflow");
+        DenseMatrix { rows, cols, data: vec![0.0; n] }
+    }
+
+    /// Creates an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the `i`-th row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns the `i`-th row as a mutable slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Computes `self * v` for a column vector `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Computes the row vector `v * self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()`.
+    pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (j, &a) in self.row(i).iter().enumerate() {
+                out[j] += vi * a;
+            }
+        }
+        out
+    }
+
+    /// Solves `self * x = b` by LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Singular`] if the matrix is singular to
+    /// working precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != rows`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(b.len(), self.rows, "dimension mismatch");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot: largest |a[i][k]| for i >= k.
+            let mut p = k;
+            let mut max = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max == 0.0 || !max.is_finite() {
+                return Err(MarkovError::Singular);
+            }
+            if p != k {
+                perm.swap(p, k);
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(p, j)];
+                    a[(p, j)] = tmp;
+                }
+                x.swap(p, k);
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[(i, k)] = 0.0;
+                for j in (k + 1)..n {
+                    let akj = a[(k, j)];
+                    a[(i, j)] -= factor * akj;
+                }
+                x[i] -= factor * x[k];
+            }
+        }
+
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut s = x[k];
+            for j in (k + 1)..n {
+                s -= a[(k, j)] * x[j];
+            }
+            let pivot = a[(k, k)];
+            if pivot == 0.0 || !pivot.is_finite() {
+                return Err(MarkovError::Singular);
+            }
+            x[k] = s / pivot;
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let m = DenseMatrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(m.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solves_small_system() {
+        // 2x + y = 5 ; x + 3y = 10 -> x = 1, y = 3
+        let m = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = m.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let m = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = m.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(m.solve(&[1.0, 2.0]), Err(MarkovError::Singular));
+    }
+
+    #[test]
+    fn mul_vec_and_vec_mul_agree_with_transpose() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let v = vec![1.0, -1.0];
+        let left = m.vec_mul(&v);
+        let right = m.transpose().mul_vec(&v);
+        assert_eq!(left, right);
+        assert_eq!(left, vec![-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn ill_conditioned_but_solvable() {
+        let eps = 1e-12;
+        let m = DenseMatrix::from_rows(&[vec![eps, 1.0], vec![1.0, 1.0]]);
+        let x = m.solve(&[1.0, 2.0]).unwrap();
+        // Exact solution: x0 = 1/(1-eps), x1 = (1-2eps)/(1-eps).
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_rows_roundtrip_indexing() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn random_spd_solve_residual_small() {
+        // Deterministic pseudo-random fill; diagonally dominant so it is
+        // well conditioned.
+        let n = 25;
+        let mut m = DenseMatrix::zeros(n, n);
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for i in 0..n {
+            let mut sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = rnd();
+                    m[(i, j)] = v;
+                    sum += v.abs();
+                }
+            }
+            m[(i, i)] = sum + 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = m.solve(&b).unwrap();
+        let r = m.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-9, "residual too large");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type shared by every solver in this crate.
+
+use std::fmt;
+
+/// Error returned by chain construction and by the numerical solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarkovError {
+    /// The chain has no states.
+    EmptyChain,
+    /// A transition referenced a state id that does not exist.
+    UnknownState {
+        /// The offending state index.
+        id: usize,
+        /// Number of states in the chain.
+        len: usize,
+    },
+    /// A transition rate was negative, NaN, or infinite.
+    InvalidRate {
+        /// Source state index of the offending transition.
+        from: usize,
+        /// Destination state index of the offending transition.
+        to: usize,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A reward rate was negative, NaN, or infinite.
+    InvalidReward {
+        /// State index with the offending reward.
+        state: usize,
+        /// The offending reward.
+        reward: f64,
+    },
+    /// A self-loop transition was supplied (diagonal entries are derived,
+    /// never user-specified).
+    SelfLoop {
+        /// The offending state index.
+        state: usize,
+    },
+    /// The chain is reducible: the stationary distribution is not unique
+    /// (some state cannot reach, or be reached from, the rest).
+    Reducible {
+        /// A state in the unreachable/absorbing component, if identified.
+        state: usize,
+    },
+    /// The linear system was singular to working precision.
+    Singular,
+    /// A probability was outside `[0, 1]` or a probability vector did not
+    /// sum to 1.
+    InvalidProbability {
+        /// Human-readable description of what was invalid.
+        what: String,
+    },
+    /// A requested analysis needs at least one state of a kind the chain
+    /// does not have (for example MTTF with no absorbing states).
+    MissingStates {
+        /// Human-readable description of what is missing.
+        what: String,
+    },
+    /// An option passed to a solver was out of range.
+    InvalidOption {
+        /// Human-readable description of the bad option.
+        what: String,
+    },
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::EmptyChain => write!(f, "chain has no states"),
+            MarkovError::UnknownState { id, len } => {
+                write!(f, "state id {id} out of range for chain with {len} states")
+            }
+            MarkovError::InvalidRate { from, to, rate } => {
+                write!(f, "invalid rate {rate} on transition {from} -> {to}")
+            }
+            MarkovError::InvalidReward { state, reward } => {
+                write!(f, "invalid reward {reward} on state {state}")
+            }
+            MarkovError::SelfLoop { state } => {
+                write!(f, "self-loop transition on state {state}")
+            }
+            MarkovError::Reducible { state } => {
+                write!(f, "chain is reducible (state {state} splits it)")
+            }
+            MarkovError::Singular => write!(f, "linear system is singular"),
+            MarkovError::InvalidProbability { what } => {
+                write!(f, "invalid probability: {what}")
+            }
+            MarkovError::MissingStates { what } => write!(f, "missing states: {what}"),
+            MarkovError::InvalidOption { what } => write!(f, "invalid option: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            MarkovError::EmptyChain,
+            MarkovError::UnknownState { id: 3, len: 2 },
+            MarkovError::InvalidRate { from: 0, to: 1, rate: -1.0 },
+            MarkovError::InvalidReward { state: 0, reward: f64::NAN },
+            MarkovError::SelfLoop { state: 1 },
+            MarkovError::Reducible { state: 0 },
+            MarkovError::Singular,
+            MarkovError::InvalidProbability { what: "sum".into() },
+            MarkovError::MissingStates { what: "absorbing".into() },
+            MarkovError::InvalidOption { what: "epsilon".into() },
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MarkovError>();
+    }
+}

@@ -1,0 +1,172 @@
+//! Grassmann–Taksar–Heyman (GTH) stationary-distribution algorithm.
+//!
+//! GTH is a Gaussian-elimination variant that never subtracts, so no
+//! cancellation can occur; it is the method of choice for stiff
+//! availability chains whose rates span ten or more orders of magnitude
+//! (FIT-scale failure rates against per-minute repair rates, as in
+//! RAScad models).
+
+use crate::ctmc::Ctmc;
+use crate::dense::DenseMatrix;
+use crate::error::MarkovError;
+
+/// Computes the stationary distribution of an irreducible CTMC by GTH
+/// elimination on its generator.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::Singular`] if elimination encounters a zero
+/// pivot (which cannot happen for a truly irreducible generator but can
+/// arise from pathological inputs).
+pub fn stationary_gth(chain: &Ctmc) -> Result<Vec<f64>, MarkovError> {
+    let q = chain.generator().to_dense();
+    stationary_gth_dense(&q)
+}
+
+/// GTH elimination on a dense generator matrix (rows sum to zero,
+/// off-diagonals non-negative).
+///
+/// # Errors
+///
+/// Returns [`MarkovError::EmptyChain`] for a 0×0 input and
+/// [`MarkovError::Singular`] on a zero pivot.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn stationary_gth_dense(q: &DenseMatrix) -> Result<Vec<f64>, MarkovError> {
+    let n = q.rows();
+    assert_eq!(n, q.cols(), "generator must be square");
+    if n == 0 {
+        return Err(MarkovError::EmptyChain);
+    }
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+
+    // Work on a copy holding only the off-diagonal rates; the diagonal is
+    // re-derived as the (positive) row sum of the remaining states, which
+    // is what makes GTH subtraction-free.
+    let mut a = q.clone();
+
+    // Forward elimination: eliminate states n-1, n-2, ..., 1. `pivots[k]`
+    // keeps the total censored exit rate of state k at elimination time,
+    // needed again during back substitution.
+    let mut pivots = vec![0.0; n];
+    for k in (1..n).rev() {
+        // s = total rate out of k into states 0..k.
+        let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
+        if s <= 0.0 || !s.is_finite() {
+            return Err(MarkovError::Singular);
+        }
+        pivots[k] = s;
+        for j in 0..k {
+            a[(k, j)] /= s;
+        }
+        for i in 0..k {
+            let aik = a[(i, k)];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                let akj = a[(k, j)];
+                a[(i, j)] += aik * akj;
+            }
+        }
+    }
+
+    // Back substitution: flow balance of the censored chain on {0..k}
+    // gives pi[k] * s_k = sum_{i<k} pi[i] * q[i][k].
+    let mut pi = vec![0.0; n];
+    pi[0] = 1.0;
+    for k in 1..n {
+        let mut s = 0.0;
+        for i in 0..k {
+            s += pi[i] * a[(i, k)];
+        }
+        pi[k] = s / pivots[k];
+    }
+
+    let total: f64 = pi.iter().sum();
+    if !(total.is_finite() && total > 0.0) {
+        return Err(MarkovError::Singular);
+    }
+    for p in &mut pi {
+        *p /= total;
+    }
+    Ok(pi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::{CtmcBuilder, SteadyStateMethod};
+
+    #[test]
+    fn gth_matches_closed_form_birth_death() {
+        // Birth-death chain: pi_i proportional to prod(lambda_j/mu_{j+1}).
+        let lambdas = [3.0, 2.0, 1.0];
+        let mus = [4.0, 5.0, 6.0];
+        let mut b = CtmcBuilder::new();
+        for i in 0..4 {
+            b.add_state(format!("n{i}"), 1.0);
+        }
+        for i in 0..3 {
+            b.add_transition(i, i + 1, lambdas[i]);
+            b.add_transition(i + 1, i, mus[i]);
+        }
+        let chain = b.build().unwrap();
+        let pi = stationary_gth(&chain).unwrap();
+        let mut expect = vec![1.0];
+        for i in 0..3 {
+            let last = *expect.last().unwrap();
+            expect.push(last * lambdas[i] / mus[i]);
+        }
+        let z: f64 = expect.iter().sum();
+        for (p, e) in pi.iter().zip(&expect) {
+            assert!((p - e / z).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gth_handles_stiff_rates() {
+        // Rates spanning 12 orders of magnitude: a FIT-scale failure rate
+        // versus a per-minute repair rate.
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up", 1.0);
+        let down = b.add_state("down", 0.0);
+        let repair = b.add_state("repair", 0.0);
+        b.add_transition(up, down, 1e-9);
+        b.add_transition(down, repair, 12.0);
+        b.add_transition(repair, up, 4.0);
+        let chain = b.build().unwrap();
+        let pi = chain.steady_state(SteadyStateMethod::Gth).unwrap();
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-15);
+        // Unavailability ~ 1e-9 * (1/12 + 1/4).
+        let unavail = pi[1] + pi[2];
+        assert!((unavail - 1e-9 * (1.0 / 12.0 + 0.25)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn gth_single_state() {
+        let q = DenseMatrix::zeros(1, 1);
+        assert_eq!(stationary_gth_dense(&q).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn gth_empty_rejected() {
+        let q = DenseMatrix::zeros(0, 0);
+        assert!(matches!(stationary_gth_dense(&q), Err(MarkovError::EmptyChain)));
+    }
+
+    #[test]
+    fn gth_zero_pivot_detected() {
+        // State 1 has no outgoing rate at all: elimination hits s = 0.
+        let q = DenseMatrix::from_rows(&[vec![-1.0, 1.0], vec![0.0, 0.0]]);
+        assert!(matches!(stationary_gth_dense(&q), Err(MarkovError::Singular)));
+    }
+}

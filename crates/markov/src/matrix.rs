@@ -1,0 +1,217 @@
+//! Sparse matrix support (compressed sparse row) for transition-rate
+//! matrices.
+//!
+//! The paper notes that "due to the variation on the model size, the
+//! internal matrix representation, instead of the graphical
+//! representation, of the Markov models are generated". This module is
+//! that internal representation: chains are assembled as triplets and
+//! compressed to CSR for the iterative (uniformization) solver.
+
+use crate::dense::DenseMatrix;
+
+/// A sparse matrix in compressed-sparse-row form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers: entries of row `i` live in `indices/values[row_ptr[i]..row_ptr[i+1]]`.
+    row_ptr: Vec<usize>,
+    /// Column index of each stored entry.
+    indices: Vec<usize>,
+    /// Value of each stored entry.
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed; explicit zeros are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            per_row[r].push((c, v));
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = 0.0;
+                while i < row.len() && row[i].0 == c {
+                    v += row[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(indices.len());
+        }
+        SparseMatrix { rows, cols, row_ptr, indices, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the stored entries of row `i` as `(col, value)`.
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Returns the entry at `(i, j)` (zero if not stored).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.row_entries(i).find(|&(c, _)| c == j).map_or(0.0, |(_, v)| v)
+    }
+
+    /// Computes the row vector `v * self` (the orientation used by
+    /// uniformization, where `v` is a probability row vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()`.
+    pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (c, a) in self.row_entries(i) {
+                out[c] += vi * a;
+            }
+        }
+        out
+    }
+
+    /// Computes `self * v` for a column vector `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row_entries(i).map(|(c, a)| a * v[c]).sum())
+            .collect()
+    }
+
+    /// Converts to a dense matrix (used by the direct solvers).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (c, v) in self.row_entries(i) {
+                d[(i, c)] += v;
+            }
+        }
+        d
+    }
+
+    /// Sum of each row (for generator matrices this should be ~0).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row_entries(i).map(|(_, v)| v).sum()).collect()
+    }
+
+    /// Largest absolute diagonal entry (the uniformization rate bound).
+    pub fn max_abs_diagonal(&self) -> f64 {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        SparseMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 2.0), (0, 0, -2.0), (1, 0, 1.0), (1, 1, -1.0), (2, 2, 0.0)],
+        )
+    }
+
+    #[test]
+    fn triplets_compress_and_drop_zeros() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4); // the explicit zero is dropped
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(2, 2), 0.0);
+        assert_eq!(m.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = SparseMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.get(0, 1), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn vec_mul_matches_dense() {
+        let m = sample();
+        let v = vec![0.2, 0.3, 0.5];
+        let sparse = m.vec_mul(&v);
+        let dense = m.to_dense().vec_mul(&v);
+        for (a, b) in sparse.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = sample();
+        let v = vec![1.0, -1.0, 2.0];
+        let sparse = m.mul_vec(&v);
+        let dense = m.to_dense().mul_vec(&v);
+        for (a, b) in sparse.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn row_sums_of_generator_are_zero() {
+        let m = sample();
+        let sums = m.row_sums();
+        assert!(sums[0].abs() < 1e-15);
+        assert!(sums[1].abs() < 1e-15);
+        assert!(sums[2].abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_abs_diagonal() {
+        let m = sample();
+        assert_eq!(m.max_abs_diagonal(), 2.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = SparseMatrix::from_triplets(0, 0, &[]);
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.nnz(), 0);
+    }
+}

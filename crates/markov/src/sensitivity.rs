@@ -1,0 +1,169 @@
+//! Sensitivity of steady-state measures to transition rates.
+//!
+//! RAScad offers "graphical output and parametric analysis capability".
+//! Parametric sweeps re-solve the model; this module supplements them
+//! with *derivatives*: how fast the stationary distribution (and hence
+//! availability) moves when one transition rate changes. The derivative
+//! solves the linear system obtained by differentiating the balance
+//! equations: `(dπ/dθ)·Q = −π·(dQ/dθ)` with `Σ dπ/dθ = 0`.
+
+use crate::ctmc::{Ctmc, StateId};
+use crate::dense::DenseMatrix;
+use crate::error::MarkovError;
+
+/// Derivative of the stationary distribution with respect to the rate of
+/// the transition `from -> to`.
+///
+/// Returns `dπ/dθ` where `θ` is the rate of the given edge (the edge
+/// need not currently exist; a zero-rate edge's derivative describes the
+/// effect of introducing it).
+///
+/// # Errors
+///
+/// * [`MarkovError::UnknownState`] for out-of-range endpoints.
+/// * [`MarkovError::InvalidOption`] for `from == to`.
+/// * Steady-state solver errors for reducible/singular chains.
+pub fn stationary_derivative(
+    chain: &Ctmc,
+    pi: &[f64],
+    from: StateId,
+    to: StateId,
+) -> Result<Vec<f64>, MarkovError> {
+    let n = chain.len();
+    if from >= n {
+        return Err(MarkovError::UnknownState { id: from, len: n });
+    }
+    if to >= n {
+        return Err(MarkovError::UnknownState { id: to, len: n });
+    }
+    if from == to {
+        return Err(MarkovError::InvalidOption { what: "derivative of a self-loop".into() });
+    }
+    assert_eq!(pi.len(), n, "pi length mismatch");
+
+    // v = pi * dQ with dQ = e_from (e_to - e_from)^T.
+    let mut v = vec![0.0; n];
+    v[to] += pi[from];
+    v[from] -= pi[from];
+
+    // Solve x * Q = -v with sum(x) = 0, i.e. Q^T x^T = -v^T with the
+    // last balance equation replaced by the normalization row.
+    let q = chain.generator().to_dense();
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = q[(j, i)];
+        }
+    }
+    for j in 0..n {
+        a[(n - 1, j)] = 1.0;
+    }
+    let mut b: Vec<f64> = v.iter().map(|x| -x).collect();
+    b[n - 1] = 0.0;
+    a.solve(&b)
+}
+
+/// Derivative of the steady-state expected reward (availability) with
+/// respect to the rate of `from -> to`.
+///
+/// # Errors
+///
+/// Propagates [`stationary_derivative`] errors.
+pub fn availability_derivative(
+    chain: &Ctmc,
+    pi: &[f64],
+    from: StateId,
+    to: StateId,
+) -> Result<f64, MarkovError> {
+    let dpi = stationary_derivative(chain, pi, from, to)?;
+    Ok(dpi.iter().zip(chain.states()).map(|(d, s)| d * s.reward).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::{CtmcBuilder, SteadyStateMethod};
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up", 1.0);
+        let down = b.add_state("down", 0.0);
+        b.add_transition(up, down, lambda);
+        b.add_transition(down, up, mu);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_closed_form_two_state() {
+        // A = mu/(l+mu); dA/dl = -mu/(l+mu)^2 ; dA/dmu = l/(l+mu)^2.
+        let (l, mu) = (0.3, 1.7);
+        let c = two_state(l, mu);
+        let pi = c.steady_state(SteadyStateMethod::Gth).unwrap();
+        let da_dl = availability_derivative(&c, &pi, 0, 1).unwrap();
+        let da_dmu = availability_derivative(&c, &pi, 1, 0).unwrap();
+        let s = l + mu;
+        assert!((da_dl + mu / (s * s)).abs() < 1e-12);
+        assert!((da_dmu - l / (s * s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_finite_difference_on_random_chain() {
+        let mut b = CtmcBuilder::new();
+        for i in 0..4 {
+            b.add_state(format!("s{i}"), if i < 2 { 1.0 } else { 0.0 });
+        }
+        let mut rates = Vec::new();
+        for i in 0..4usize {
+            for j in 0..4usize {
+                if i != j {
+                    let r = 0.1 + ((i * 4 + j) as f64) * 0.13;
+                    rates.push((i, j, r));
+                }
+            }
+        }
+        for &(i, j, r) in &rates {
+            b.add_transition(i, j, r);
+        }
+        let c = b.build().unwrap();
+        let pi = c.steady_state(SteadyStateMethod::Gth).unwrap();
+        let a0 = c.expected_reward(&pi);
+
+        let h = 1e-7;
+        for &(i, j, r) in &rates {
+            let analytic = availability_derivative(&c, &pi, i, j).unwrap();
+            // Rebuild with a perturbed rate.
+            let mut b2 = CtmcBuilder::new();
+            for k in 0..4 {
+                b2.add_state(format!("s{k}"), if k < 2 { 1.0 } else { 0.0 });
+            }
+            for &(x, y, rr) in &rates {
+                let rr = if (x, y) == (i, j) { r + h } else { rr };
+                b2.add_transition(x, y, rr);
+            }
+            let c2 = b2.build().unwrap();
+            let pi2 = c2.steady_state(SteadyStateMethod::Gth).unwrap();
+            let fd = (c2.expected_reward(&pi2) - a0) / h;
+            assert!(
+                (analytic - fd).abs() < 1e-4 * (1.0 + analytic.abs()),
+                "edge ({i},{j}): analytic {analytic} vs fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_sums_to_zero() {
+        let c = two_state(0.2, 0.9);
+        let pi = c.steady_state(SteadyStateMethod::Gth).unwrap();
+        let d = stationary_derivative(&c, &pi, 0, 1).unwrap();
+        assert!(d.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_edges_rejected() {
+        let c = two_state(0.2, 0.9);
+        let pi = c.steady_state(SteadyStateMethod::Gth).unwrap();
+        assert!(stationary_derivative(&c, &pi, 0, 0).is_err());
+        assert!(stationary_derivative(&c, &pi, 0, 9).is_err());
+        assert!(stationary_derivative(&c, &pi, 9, 0).is_err());
+    }
+}

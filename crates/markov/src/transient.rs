@@ -1,0 +1,553 @@
+//! Transient analysis by uniformization (randomization).
+//!
+//! RAScad reports *interval availability* over `(0, T)` where `T` is the
+//! user's Mission Time. Uniformization computes state probabilities
+//! `p(t) = p(0) e^{Qt}` as a Poisson mixture of DTMC powers,
+//! `p(t) = Σ_k Poisson(Λt; k) · p(0) P^k` with `P = I + Q/Λ`,
+//! and the *expected cumulative reward* (the integral availability) with
+//! the standard one-extra-term recurrence. All terms are non-negative,
+//! so the method is numerically stable for stiff availability chains.
+
+use crate::ctmc::Ctmc;
+use crate::error::MarkovError;
+use crate::matrix::SparseMatrix;
+
+/// Options for the uniformization solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Truncation error bound for the Poisson series (total mass left
+    /// out). Default `1e-12`.
+    pub epsilon: f64,
+    /// Hard cap on the number of series terms (guards against absurd
+    /// `Λt`). Default `10_000_000`.
+    pub max_terms: usize,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        TransientOptions { epsilon: 1e-12, max_terms: 10_000_000 }
+    }
+}
+
+/// Result of a transient solve at one time point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSolution {
+    /// Time the solution refers to.
+    pub time: f64,
+    /// State probabilities at `time`.
+    pub probabilities: Vec<f64>,
+    /// Expected instantaneous reward at `time` (point availability for
+    /// 0/1 rewards).
+    pub point_reward: f64,
+    /// Expected time-averaged cumulative reward over `(0, time)`
+    /// (interval availability for 0/1 rewards).
+    pub interval_reward: f64,
+}
+
+/// Uniformized DTMC: `P = I + Q/Λ` with `Λ ≥ max_i |q_ii|`.
+#[derive(Debug, Clone)]
+pub struct Uniformized {
+    /// The uniformization rate Λ.
+    pub rate: f64,
+    /// The DTMC matrix `P` (rows sum to 1).
+    pub dtmc: SparseMatrix,
+}
+
+/// Builds the uniformized DTMC of a chain.
+///
+/// The uniformization rate is `1.02 × max |q_ii|` (a small margin keeps
+/// every diagonal of `P` strictly positive, which makes the chain
+/// aperiodic and the series better behaved). A chain with no transitions
+/// gets `Λ = 1` and `P = I`.
+pub fn uniformize(chain: &Ctmc) -> Uniformized {
+    let q = chain.generator();
+    let maxd = q.max_abs_diagonal();
+    let rate = if maxd > 0.0 { maxd * 1.02 } else { 1.0 };
+    let n = chain.len();
+    let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+    let mut diag = vec![1.0; n];
+    for t in chain.transitions() {
+        trips.push((t.from, t.to, t.rate / rate));
+        diag[t.from] -= t.rate / rate;
+    }
+    for (i, d) in diag.iter().enumerate() {
+        trips.push((i, i, *d));
+    }
+    Uniformized { rate, dtmc: SparseMatrix::from_triplets(n, n, &trips) }
+}
+
+/// Solves for state probabilities and rewards at time `t`, starting from
+/// the distribution `p0`.
+///
+/// # Errors
+///
+/// * [`MarkovError::InvalidOption`] for negative `t`, bad `epsilon`, or a
+///   series that exceeds `max_terms`.
+/// * [`MarkovError::InvalidProbability`] if `p0` is not a distribution.
+pub fn solve(
+    chain: &Ctmc,
+    p0: &[f64],
+    t: f64,
+    opts: TransientOptions,
+) -> Result<TransientSolution, MarkovError> {
+    check_distribution(p0, chain.len())?;
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(MarkovError::InvalidOption { what: format!("time {t} must be >= 0") });
+    }
+    if !(opts.epsilon > 0.0 && opts.epsilon < 1.0) {
+        return Err(MarkovError::InvalidOption {
+            what: format!("epsilon {} must be in (0,1)", opts.epsilon),
+        });
+    }
+    let rewards = chain.rewards();
+    if t == 0.0 {
+        let point = dot(p0, &rewards);
+        return Ok(TransientSolution {
+            time: 0.0,
+            probabilities: p0.to_vec(),
+            point_reward: point,
+            interval_reward: point,
+        });
+    }
+
+    let uni = uniformize(chain);
+    let lt = uni.rate * t;
+
+    // Poisson weights with scaling: iterate w_k = e^{-lt} (lt)^k / k!
+    // in log space start, then multiply up. For large lt use the
+    // steady-state-free straightforward recurrence with renormalization
+    // guard (f64 handles lt up to ~700 in exp; beyond that, start from
+    // the mode with scaling).
+    let mut probs = p0.to_vec();
+    let mut point_acc = vec![0.0; chain.len()];
+    // cumulative-reward accumulator: L(t) = (1/Λ) Σ_k W_k p0 P^k with
+    // W_k = Σ_{j>k} poisson(j) = 1 - CDF(k).
+    let mut cum_acc = vec![0.0; chain.len()];
+
+    let weights = poisson_weights(lt, opts.epsilon, opts.max_terms)?;
+    // tail[k] = sum_{j > k} w_j  (computed as suffix sums over the
+    // truncated series; truncation error <= epsilon).
+    let kmax = weights.len() - 1;
+    let mut tail = vec![0.0; kmax + 1];
+    let mut run = 0.0;
+    for k in (0..=kmax).rev() {
+        tail[k] = run;
+        run += weights[k];
+    }
+    // tail2[k] = sum_{j >= k} tail[j], for closing the cumulative
+    // series when steady state is detected early.
+    let mut tail2 = vec![0.0; kmax + 2];
+    for k in (0..=kmax).rev() {
+        tail2[k] = tail2[k + 1] + tail[k];
+    }
+
+    for k in 0..=kmax {
+        for i in 0..chain.len() {
+            point_acc[i] += weights[k] * probs[i];
+            cum_acc[i] += tail[k] * probs[i];
+        }
+        if k < kmax {
+            let next = uni.dtmc.vec_mul(&probs);
+            // Steady-state detection: once the DTMC iterates stop
+            // moving, all remaining Poisson mass lands on the same
+            // vector — close both series in one step.
+            let delta: f64 = next.iter().zip(&probs).map(|(a, b)| (a - b).abs()).sum();
+            probs = next;
+            if delta < opts.epsilon * 1e-3 {
+                for i in 0..chain.len() {
+                    point_acc[i] += tail[k] * probs[i];
+                    cum_acc[i] += tail2[k + 1] * probs[i];
+                }
+                break;
+            }
+        }
+    }
+
+    // Normalize the point distribution against truncation loss.
+    let mass: f64 = point_acc.iter().sum();
+    if mass > 0.0 {
+        for p in &mut point_acc {
+            *p /= mass;
+        }
+    }
+    let point = dot(&point_acc, &rewards);
+    let cumulative: f64 = cum_acc
+        .iter()
+        .zip(&rewards)
+        .map(|(c, r)| c * r)
+        .sum::<f64>()
+        / uni.rate;
+    let interval = cumulative / t;
+
+    Ok(TransientSolution {
+        time: t,
+        probabilities: point_acc,
+        point_reward: point,
+        interval_reward: interval.clamp(0.0, rewards.iter().cloned().fold(0.0, f64::max)),
+    })
+}
+
+/// Solves at each of several time points (reusing nothing across points;
+/// the chains here are small enough that clarity wins).
+///
+/// # Errors
+///
+/// Propagates errors from [`solve`].
+pub fn solve_many(
+    chain: &Ctmc,
+    p0: &[f64],
+    times: &[f64],
+    opts: TransientOptions,
+) -> Result<Vec<TransientSolution>, MarkovError> {
+    times.iter().map(|&t| solve(chain, p0, t, opts)).collect()
+}
+
+/// Solves at many time points in a *single* uniformization pass.
+///
+/// The DTMC power sequence `p0 · Pᵏ` is computed once and shared across
+/// every requested time; each time point only contributes its own
+/// Poisson weights. For a grid of `m` points this is ~`m×` cheaper than
+/// [`solve_many`], which restarts the power iteration per point.
+///
+/// Results are returned in the order of `times` (which need not be
+/// sorted).
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn solve_grid(
+    chain: &Ctmc,
+    p0: &[f64],
+    times: &[f64],
+    opts: TransientOptions,
+) -> Result<Vec<TransientSolution>, MarkovError> {
+    check_distribution(p0, chain.len())?;
+    if !(opts.epsilon > 0.0 && opts.epsilon < 1.0) {
+        return Err(MarkovError::InvalidOption {
+            what: format!("epsilon {} must be in (0,1)", opts.epsilon),
+        });
+    }
+    for &t in times {
+        if !(t >= 0.0) || !t.is_finite() {
+            return Err(MarkovError::InvalidOption { what: format!("time {t} must be >= 0") });
+        }
+    }
+    let rewards = chain.rewards();
+    let uni = uniformize(chain);
+
+    // Per-time Poisson weights and suffix (tail) sums.
+    let mut weights: Vec<Vec<f64>> = Vec::with_capacity(times.len());
+    let mut tails: Vec<Vec<f64>> = Vec::with_capacity(times.len());
+    let mut kmax = 0usize;
+    for &t in times {
+        let w = poisson_weights(uni.rate * t, opts.epsilon, opts.max_terms)?;
+        kmax = kmax.max(w.len() - 1);
+        let mut tail = vec![0.0; w.len()];
+        let mut run = 0.0;
+        for k in (0..w.len()).rev() {
+            tail[k] = run;
+            run += w[k];
+        }
+        weights.push(w);
+        tails.push(tail);
+    }
+
+    let n = chain.len();
+    let mut point_acc = vec![vec![0.0; n]; times.len()];
+    let mut cum_acc = vec![vec![0.0; n]; times.len()];
+    let mut probs = p0.to_vec();
+    for k in 0..=kmax {
+        for (i, w) in weights.iter().enumerate() {
+            if k < w.len() {
+                let (wk, tk) = (w[k], tails[i][k]);
+                for s in 0..n {
+                    point_acc[i][s] += wk * probs[s];
+                    cum_acc[i][s] += tk * probs[s];
+                }
+            }
+        }
+        if k < kmax {
+            probs = uni.dtmc.vec_mul(&probs);
+        }
+    }
+
+    let max_reward = rewards.iter().cloned().fold(0.0, f64::max);
+    Ok(times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let mut p = point_acc[i].clone();
+            let mass: f64 = p.iter().sum();
+            if mass > 0.0 {
+                for x in &mut p {
+                    *x /= mass;
+                }
+            }
+            let point = dot(&p, &rewards);
+            let interval = if t > 0.0 {
+                (dot(&cum_acc[i], &rewards) / uni.rate / t).clamp(0.0, max_reward)
+            } else {
+                point
+            };
+            TransientSolution {
+                time: t,
+                probabilities: p,
+                point_reward: point,
+                interval_reward: interval,
+            }
+        })
+        .collect())
+}
+
+/// Poisson pmf values `w_k = e^{-m} m^k / k!` for `k = 0..=kmax`, where
+/// `kmax` is chosen so the truncated tail mass is below `epsilon`.
+///
+/// Uses left/right truncation with scaling for large `m` (Fox–Glynn
+/// style, simplified: start at the mode with weight 1, extend both ways,
+/// then normalize by the total).
+fn poisson_weights(m: f64, epsilon: f64, max_terms: usize) -> Result<Vec<f64>, MarkovError> {
+    if m <= 0.0 {
+        return Ok(vec![1.0]);
+    }
+    if m < 400.0 {
+        // Direct recurrence is safe: e^{-400} is representable.
+        let mut w = Vec::with_capacity(64);
+        let mut wk = (-m).exp();
+        let mut acc = wk;
+        w.push(wk);
+        let mut k = 1usize;
+        while 1.0 - acc > epsilon {
+            if k > max_terms {
+                return Err(MarkovError::InvalidOption {
+                    what: format!("poisson series for m={m} exceeded {max_terms} terms"),
+                });
+            }
+            wk *= m / k as f64;
+            w.push(wk);
+            acc += wk;
+            k += 1;
+        }
+        Ok(w)
+    } else {
+        // Scaled: weights relative to the mode, normalized at the end.
+        let mode = m.floor();
+        let spread = (6.0 * m.sqrt()).ceil() as usize + 40;
+        let lo = (mode as isize - spread as isize).max(0) as usize;
+        let hi = mode as usize + spread;
+        if hi - lo > max_terms {
+            return Err(MarkovError::InvalidOption {
+                what: format!("poisson series for m={m} exceeded {max_terms} terms"),
+            });
+        }
+        let mut w = vec![0.0; hi + 1];
+        w[mode as usize] = 1.0;
+        for k in (mode as usize + 1)..=hi {
+            w[k] = w[k - 1] * m / k as f64;
+        }
+        for k in (lo..mode as usize).rev() {
+            w[k] = w[k + 1] * (k as f64 + 1.0) / m;
+        }
+        let total: f64 = w.iter().sum();
+        for x in &mut w {
+            *x /= total;
+        }
+        Ok(w)
+    }
+}
+
+fn check_distribution(p: &[f64], n: usize) -> Result<(), MarkovError> {
+    if p.len() != n {
+        return Err(MarkovError::InvalidProbability {
+            what: format!("initial vector has {} entries, chain has {n}", p.len()),
+        });
+    }
+    let mut sum = 0.0;
+    for &x in p {
+        if !(0.0..=1.0 + 1e-12).contains(&x) || !x.is_finite() {
+            return Err(MarkovError::InvalidProbability { what: format!("entry {x}") });
+        }
+        sum += x;
+    }
+    if (sum - 1.0).abs() > 1e-9 {
+        return Err(MarkovError::InvalidProbability { what: format!("sum {sum} != 1") });
+    }
+    Ok(())
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::{CtmcBuilder, SteadyStateMethod};
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up", 1.0);
+        let down = b.add_state("down", 0.0);
+        b.add_transition(up, down, lambda);
+        b.add_transition(down, up, mu);
+        b.build().unwrap()
+    }
+
+    /// Closed-form point availability of the 2-state machine:
+    /// A(t) = mu/(l+mu) + l/(l+mu) e^{-(l+mu)t}.
+    fn a_point(l: f64, mu: f64, t: f64) -> f64 {
+        mu / (l + mu) + l / (l + mu) * (-(l + mu) * t).exp()
+    }
+
+    /// Closed-form interval availability of the 2-state machine.
+    fn a_interval(l: f64, mu: f64, t: f64) -> f64 {
+        let s = l + mu;
+        mu / s + l / (s * s * t) * (1.0 - (-s * t).exp())
+    }
+
+    #[test]
+    fn point_availability_matches_closed_form() {
+        let (l, mu) = (0.02, 0.4);
+        let c = two_state(l, mu);
+        for &t in &[0.1, 1.0, 5.0, 20.0, 100.0] {
+            let sol = solve(&c, &[1.0, 0.0], t, TransientOptions::default()).unwrap();
+            assert!(
+                (sol.point_reward - a_point(l, mu, t)).abs() < 1e-10,
+                "t={t}: {} vs {}",
+                sol.point_reward,
+                a_point(l, mu, t)
+            );
+        }
+    }
+
+    #[test]
+    fn interval_availability_matches_closed_form() {
+        let (l, mu) = (0.05, 0.8);
+        let c = two_state(l, mu);
+        for &t in &[0.5, 2.0, 10.0, 50.0] {
+            let sol = solve(&c, &[1.0, 0.0], t, TransientOptions::default()).unwrap();
+            assert!(
+                (sol.interval_reward - a_interval(l, mu, t)).abs() < 1e-9,
+                "t={t}: {} vs {}",
+                sol.interval_reward,
+                a_interval(l, mu, t)
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let c = two_state(0.1, 0.9);
+        let pi = c.steady_state(SteadyStateMethod::Gth).unwrap();
+        let sol = solve(&c, &[1.0, 0.0], 500.0, TransientOptions::default()).unwrap();
+        for (p, q) in sol.probabilities.iter().zip(&pi) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn time_zero_returns_initial() {
+        let c = two_state(0.1, 0.9);
+        let sol = solve(&c, &[0.0, 1.0], 0.0, TransientOptions::default()).unwrap();
+        assert_eq!(sol.probabilities, vec![0.0, 1.0]);
+        assert_eq!(sol.point_reward, 0.0);
+    }
+
+    #[test]
+    fn large_lt_uses_scaled_weights() {
+        // lt ~ 1000: forces the scaled Poisson branch.
+        let c = two_state(1.0, 1.0);
+        let sol = solve(&c, &[1.0, 0.0], 500.0, TransientOptions::default()).unwrap();
+        assert!((sol.point_reward - 0.5).abs() < 1e-9);
+        let sum: f64 = sol.probabilities.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let c = two_state(0.1, 0.9);
+        assert!(solve(&c, &[0.5, 0.4], 1.0, TransientOptions::default()).is_err());
+        assert!(solve(&c, &[1.0], 1.0, TransientOptions::default()).is_err());
+        assert!(solve(&c, &[1.0, 0.0], -1.0, TransientOptions::default()).is_err());
+        let bad = TransientOptions { epsilon: 0.0, ..Default::default() };
+        assert!(solve(&c, &[1.0, 0.0], 1.0, bad).is_err());
+    }
+
+    #[test]
+    fn probabilities_remain_a_distribution() {
+        let mut b = CtmcBuilder::new();
+        for i in 0..5 {
+            b.add_state(format!("s{i}"), (i % 2) as f64);
+        }
+        for i in 0..5usize {
+            for j in 0..5usize {
+                if i != j {
+                    b.add_transition(i, j, 0.1 + (i * 5 + j) as f64 * 0.05);
+                }
+            }
+        }
+        let c = b.build().unwrap();
+        let sol = solve(&c, &[0.2; 5], 3.7, TransientOptions::default()).unwrap();
+        let sum: f64 = sol.probabilities.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for &p in &sol.probabilities {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn solve_many_is_pointwise_solve() {
+        let c = two_state(0.3, 0.7);
+        let times = [0.0, 1.0, 10.0];
+        let many = solve_many(&c, &[1.0, 0.0], &times, TransientOptions::default()).unwrap();
+        assert_eq!(many.len(), 3);
+        for (sol, &t) in many.iter().zip(&times) {
+            let single = solve(&c, &[1.0, 0.0], t, TransientOptions::default()).unwrap();
+            assert_eq!(sol, &single);
+        }
+    }
+
+    #[test]
+    fn solve_grid_matches_solve_many() {
+        let mut b = CtmcBuilder::new();
+        for i in 0..4 {
+            b.add_state(format!("s{i}"), (i % 2) as f64);
+        }
+        for i in 0..4usize {
+            b.add_transition(i, (i + 1) % 4, 0.4 + i as f64 * 0.3);
+        }
+        b.add_transition(2, 0, 1.1);
+        let c = b.build().unwrap();
+        let p0 = [1.0, 0.0, 0.0, 0.0];
+        let times = [0.0, 0.7, 3.0, 12.0, 80.0];
+        let grid = solve_grid(&c, &p0, &times, TransientOptions::default()).unwrap();
+        let many = solve_many(&c, &p0, &times, TransientOptions::default()).unwrap();
+        for (g, m) in grid.iter().zip(&many) {
+            assert_eq!(g.time, m.time);
+            assert!((g.point_reward - m.point_reward).abs() < 1e-10);
+            assert!((g.interval_reward - m.interval_reward).abs() < 1e-9);
+            for (a, b) in g.probabilities.iter().zip(&m.probabilities) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_grid_unsorted_times_and_errors() {
+        let c = two_state(0.1, 0.9);
+        let out =
+            solve_grid(&c, &[1.0, 0.0], &[5.0, 1.0], TransientOptions::default()).unwrap();
+        assert_eq!(out[0].time, 5.0);
+        assert_eq!(out[1].time, 1.0);
+        assert!(solve_grid(&c, &[1.0, 0.0], &[-1.0], TransientOptions::default()).is_err());
+        assert!(solve_grid(&c, &[0.9, 0.0], &[1.0], TransientOptions::default()).is_err());
+    }
+
+    #[test]
+    fn poisson_weights_sum_to_one() {
+        for &m in &[0.5, 5.0, 50.0, 399.0, 401.0, 5000.0] {
+            let w = poisson_weights(m, 1e-12, 10_000_000).unwrap();
+            let s: f64 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "m={m}, sum={s}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Reliability block diagram (RBD) substrate for the RAScad
+//! reproduction.
+//!
+//! RAScad models each MG *diagram* as a serial RBD of its blocks, and the
+//! GMB module lets experts draw arbitrary RBDs. This crate provides:
+//!
+//! * [`Rbd`] — a combinatorial block-diagram tree (series, parallel,
+//!   k-of-n, components), with exact availability evaluation that remains
+//!   correct when the same component appears in several places (Shannon
+//!   decomposition on repeated components).
+//! * [`structure`] — the boolean structure function and monotonicity
+//!   checks.
+//! * [`paths`] — minimal path sets and minimal cut sets.
+//! * [`factoring`] — two-terminal network reliability via the factoring
+//!   (pivotal decomposition) algorithm with series-parallel reductions,
+//!   handling non-series-parallel topologies such as the bridge.
+//! * [`importance`] — Birnbaum, criticality, and improvement-potential
+//!   importance measures.
+//! * [`time_dep`] — time-dependent (mission) reliability with
+//!   exponential and Weibull component lifetimes.
+//!
+//! # Example
+//!
+//! ```
+//! use rascad_rbd::{Rbd, ComponentTable};
+//!
+//! # fn main() -> Result<(), rascad_rbd::RbdError> {
+//! let mut table = ComponentTable::new();
+//! let cpu = table.add("cpu", 0.999);
+//! let psu_a = table.add("psu-a", 0.995);
+//! let psu_b = table.add("psu-b", 0.995);
+//! // Two redundant PSUs in parallel, in series with the CPU.
+//! let system = Rbd::series(vec![
+//!     Rbd::component(cpu),
+//!     Rbd::parallel(vec![Rbd::component(psu_a), Rbd::component(psu_b)]),
+//! ]);
+//! let a = system.availability(&table)?;
+//! assert!((a - 0.999 * (1.0 - 0.005f64 * 0.005)).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod block;
+pub mod error;
+pub mod factoring;
+pub mod importance;
+pub mod paths;
+pub mod structure;
+pub mod time_dep;
+
+pub use block::{ComponentId, ComponentTable, Rbd};
+pub use error::RbdError;
+pub use factoring::Network;
+pub use importance::ImportanceReport;
+pub use time_dep::{Lifetime, MissionProfile};

@@ -1,0 +1,227 @@
+//! Minimal path sets and minimal cut sets of RBD trees.
+//!
+//! A *path set* is a set of components whose joint functioning makes the
+//! system function; a *cut set* is a set whose joint failure fails the
+//! system. Minimal sets carry the qualitative structure of the diagram
+//! and feed bounds and importance analysis.
+
+use std::collections::BTreeSet;
+
+use crate::block::{ComponentId, Rbd};
+
+/// A set of component ids (sorted, deduplicated).
+pub type ComponentSet = BTreeSet<ComponentId>;
+
+/// Computes the minimal path sets of the tree.
+///
+/// Complexity is exponential in the worst case; intended for the small
+/// diagrams MG generates per level.
+pub fn minimal_path_sets(rbd: &Rbd) -> Vec<ComponentSet> {
+    minimize(path_sets(rbd))
+}
+
+/// Computes the minimal cut sets of the tree.
+pub fn minimal_cut_sets(rbd: &Rbd) -> Vec<ComponentSet> {
+    minimize(cut_sets(rbd))
+}
+
+fn path_sets(rbd: &Rbd) -> Vec<ComponentSet> {
+    match rbd {
+        Rbd::Component(id) => vec![std::iter::once(*id).collect()],
+        Rbd::Series(ch) => cross_union(ch.iter().map(path_sets)),
+        Rbd::Parallel(ch) => ch.iter().flat_map(path_sets).collect(),
+        Rbd::KOfN { k, children } => {
+            let per_child: Vec<Vec<ComponentSet>> = children.iter().map(path_sets).collect();
+            let mut out = Vec::new();
+            for subset in k_subsets(children.len(), *k as usize) {
+                let chosen = subset.iter().map(|&i| per_child[i].clone());
+                out.extend(cross_union(chosen));
+            }
+            out
+        }
+    }
+}
+
+fn cut_sets(rbd: &Rbd) -> Vec<ComponentSet> {
+    match rbd {
+        Rbd::Component(id) => vec![std::iter::once(*id).collect()],
+        // Duality: cuts of a series are the union of children's cuts.
+        Rbd::Series(ch) => ch.iter().flat_map(cut_sets).collect(),
+        Rbd::Parallel(ch) => cross_union(ch.iter().map(cut_sets)),
+        Rbd::KOfN { k, children } => {
+            // The system fails when n-k+1 children fail.
+            let need = children.len() - *k as usize + 1;
+            let per_child: Vec<Vec<ComponentSet>> = children.iter().map(cut_sets).collect();
+            let mut out = Vec::new();
+            for subset in k_subsets(children.len(), need) {
+                let chosen = subset.iter().map(|&i| per_child[i].clone());
+                out.extend(cross_union(chosen));
+            }
+            out
+        }
+    }
+}
+
+/// Cartesian product of families, unioning the picked sets.
+fn cross_union(families: impl Iterator<Item = Vec<ComponentSet>>) -> Vec<ComponentSet> {
+    let mut acc: Vec<ComponentSet> = vec![ComponentSet::new()];
+    for family in families {
+        let mut next = Vec::with_capacity(acc.len() * family.len());
+        for base in &acc {
+            for add in &family {
+                let mut s = base.clone();
+                s.extend(add.iter().copied());
+                next.push(s);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+/// All k-element index subsets of `0..n`.
+fn k_subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, k, &mut cur, &mut out);
+    out
+}
+
+/// Removes supersets and duplicates, leaving only minimal sets.
+fn minimize(mut sets: Vec<ComponentSet>) -> Vec<ComponentSet> {
+    sets.sort_by_key(BTreeSet::len);
+    let mut out: Vec<ComponentSet> = Vec::new();
+    for s in sets {
+        if !out.iter().any(|m| m.is_subset(&s)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Lower/upper availability bounds from minimal cut/path sets
+/// (Esary–Proschan). Exact for trees without repeated components when
+/// the system is series-parallel; otherwise bounds.
+pub fn esary_proschan_bounds(
+    paths: &[ComponentSet],
+    cuts: &[ComponentSet],
+    avail: &[f64],
+) -> (f64, f64) {
+    // Lower bound: product over cuts of P(cut not all failed).
+    let lower: f64 = cuts
+        .iter()
+        .map(|c| 1.0 - c.iter().map(|&i| 1.0 - avail[i]).product::<f64>())
+        .product();
+    // Upper bound: 1 - product over paths of P(path not all working).
+    let upper: f64 = 1.0
+        - paths
+            .iter()
+            .map(|p| 1.0 - p.iter().map(|&i| avail[i]).product::<f64>())
+            .product::<f64>();
+    (lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::ComponentTable;
+
+    fn set(ids: &[usize]) -> ComponentSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn series_paths_and_cuts() {
+        let r = Rbd::series(vec![Rbd::component(0), Rbd::component(1)]);
+        assert_eq!(minimal_path_sets(&r), vec![set(&[0, 1])]);
+        let cuts = minimal_cut_sets(&r);
+        assert!(cuts.contains(&set(&[0])) && cuts.contains(&set(&[1])));
+        assert_eq!(cuts.len(), 2);
+    }
+
+    #[test]
+    fn parallel_paths_and_cuts() {
+        let r = Rbd::parallel(vec![Rbd::component(0), Rbd::component(1)]);
+        let paths = minimal_path_sets(&r);
+        assert!(paths.contains(&set(&[0])) && paths.contains(&set(&[1])));
+        assert_eq!(minimal_cut_sets(&r), vec![set(&[0, 1])]);
+    }
+
+    #[test]
+    fn two_of_three_sets() {
+        let r = Rbd::k_of_n(2, vec![Rbd::component(0), Rbd::component(1), Rbd::component(2)]);
+        let paths = minimal_path_sets(&r);
+        assert_eq!(paths.len(), 3);
+        assert!(paths.contains(&set(&[0, 1])));
+        assert!(paths.contains(&set(&[0, 2])));
+        assert!(paths.contains(&set(&[1, 2])));
+        let cuts = minimal_cut_sets(&r);
+        assert_eq!(cuts.len(), 3);
+        assert!(cuts.contains(&set(&[0, 1])));
+    }
+
+    #[test]
+    fn nested_structure() {
+        // a in series with (b parallel c).
+        let r = Rbd::series(vec![
+            Rbd::component(0),
+            Rbd::parallel(vec![Rbd::component(1), Rbd::component(2)]),
+        ]);
+        let paths = minimal_path_sets(&r);
+        assert_eq!(paths, vec![set(&[0, 1]), set(&[0, 2])]);
+        let cuts = minimal_cut_sets(&r);
+        assert!(cuts.contains(&set(&[0])));
+        assert!(cuts.contains(&set(&[1, 2])));
+        assert_eq!(cuts.len(), 2);
+    }
+
+    #[test]
+    fn supersets_are_pruned() {
+        // parallel(a, series(a, b)): path {0} makes {0,1} non-minimal.
+        let r = Rbd::parallel(vec![
+            Rbd::component(0),
+            Rbd::series(vec![Rbd::component(0), Rbd::component(1)]),
+        ]);
+        assert_eq!(minimal_path_sets(&r), vec![set(&[0])]);
+    }
+
+    #[test]
+    fn bounds_bracket_exact_availability() {
+        let mut t = ComponentTable::new();
+        for i in 0..3 {
+            t.add(format!("c{i}"), 0.9 - 0.05 * i as f64);
+        }
+        let r = Rbd::series(vec![
+            Rbd::component(0),
+            Rbd::parallel(vec![Rbd::component(1), Rbd::component(2)]),
+        ]);
+        let exact = r.availability(&t).unwrap();
+        let (lo, hi) = esary_proschan_bounds(
+            &minimal_path_sets(&r),
+            &minimal_cut_sets(&r),
+            t.availabilities(),
+        );
+        assert!(lo <= exact + 1e-12, "lo={lo} exact={exact}");
+        assert!(hi >= exact - 1e-12, "hi={hi} exact={exact}");
+        // Series-parallel without repetition: the lower bound is exact.
+        assert!((lo - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_subsets_counts() {
+        assert_eq!(k_subsets(4, 2).len(), 6);
+        assert_eq!(k_subsets(5, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(k_subsets(3, 3).len(), 1);
+    }
+}

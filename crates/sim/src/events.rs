@@ -1,0 +1,138 @@
+//! System up/down event logs — the artifact "field data" consists of.
+
+/// One event in a system log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemEvent {
+    /// Simulation time, hours since start.
+    pub time_hours: f64,
+    /// `true` = the system came up, `false` = the system went down.
+    pub up: bool,
+}
+
+/// A chronological up/down event log over an observation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLog {
+    /// Total observation window, hours.
+    pub horizon_hours: f64,
+    /// Events in time order; the system starts up at time 0.
+    pub events: Vec<SystemEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log (system up for the whole window).
+    pub fn new(horizon_hours: f64) -> Self {
+        EventLog { horizon_hours, events: Vec::new() }
+    }
+
+    /// Appends an event; times must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_hours` is before the last event or beyond the
+    /// horizon.
+    pub fn push(&mut self, time_hours: f64, up: bool) {
+        if let Some(last) = self.events.last() {
+            assert!(time_hours >= last.time_hours, "events out of order");
+        }
+        assert!(time_hours <= self.horizon_hours, "event beyond horizon");
+        self.events.push(SystemEvent { time_hours, up });
+    }
+
+    /// Total downtime over the window, hours.
+    pub fn downtime_hours(&self) -> f64 {
+        let mut down_since: Option<f64> = None;
+        let mut total = 0.0;
+        for e in &self.events {
+            match (e.up, down_since) {
+                (false, None) => down_since = Some(e.time_hours),
+                (true, Some(t0)) => {
+                    total += e.time_hours - t0;
+                    down_since = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(t0) = down_since {
+            total += self.horizon_hours - t0;
+        }
+        total
+    }
+
+    /// Empirical availability over the window.
+    pub fn availability(&self) -> f64 {
+        1.0 - self.downtime_hours() / self.horizon_hours
+    }
+
+    /// Number of outages (down events).
+    pub fn outage_count(&self) -> usize {
+        self.events.iter().filter(|e| !e.up).count()
+    }
+
+    /// Durations of completed outages, hours.
+    pub fn outage_durations(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut down_since: Option<f64> = None;
+        for e in &self.events {
+            match (e.up, down_since) {
+                (false, None) => down_since = Some(e.time_hours),
+                (true, Some(t0)) => {
+                    out.push(e.time_hours - t0);
+                    down_since = None;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_fully_available() {
+        let log = EventLog::new(100.0);
+        assert_eq!(log.availability(), 1.0);
+        assert_eq!(log.outage_count(), 0);
+        assert!(log.outage_durations().is_empty());
+    }
+
+    #[test]
+    fn downtime_accumulates() {
+        let mut log = EventLog::new(100.0);
+        log.push(10.0, false);
+        log.push(12.0, true);
+        log.push(50.0, false);
+        log.push(53.0, true);
+        assert!((log.downtime_hours() - 5.0).abs() < 1e-12);
+        assert!((log.availability() - 0.95).abs() < 1e-12);
+        assert_eq!(log.outage_count(), 2);
+        assert_eq!(log.outage_durations(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn open_outage_counts_to_horizon() {
+        let mut log = EventLog::new(100.0);
+        log.push(90.0, false);
+        assert!((log.downtime_hours() - 10.0).abs() < 1e-12);
+        assert!(log.outage_durations().is_empty()); // not completed
+    }
+
+    #[test]
+    fn duplicate_down_events_ignored_in_accounting() {
+        let mut log = EventLog::new(10.0);
+        log.push(1.0, false);
+        log.push(2.0, false); // still down
+        log.push(3.0, true);
+        assert!((log.downtime_hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_rejected() {
+        let mut log = EventLog::new(10.0);
+        log.push(5.0, false);
+        log.push(4.0, true);
+    }
+}

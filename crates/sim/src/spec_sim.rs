@@ -1,0 +1,400 @@
+//! Component-level *semantic* simulation of a block.
+//!
+//! [`crate::ctmc_sim`] validates the solvers by simulating the generated
+//! chain itself. This module goes one level deeper: it simulates the
+//! block's RAS semantics directly at the component level — N physical
+//! units failing, getting detected (or not), triggering AR windows,
+//! waiting for logistics, being repaired in parallel, reintegrating —
+//! *without ever constructing the Markov chain*. Agreement between this
+//! simulator and the generated chain therefore validates the chain
+//! abstraction itself.
+//!
+//! Known abstraction deltas (intentional, see `DESIGN.md`): the chain
+//! serializes repairs (one service action at a time) while physical
+//! units here repair in parallel, and the chain routes failed-AR
+//! transients through the shared SPF state toward `PF1`. Both effects
+//! are second-order in the failure rates, so unavailabilities agree to
+//! first order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rascad_spec::{BlockParams, GlobalParams};
+
+use rascad_core::generator::Rates;
+
+use crate::ctmc_sim::sample_exp;
+use crate::stats::Estimate;
+
+/// Options for a semantic block simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SemanticSimOptions {
+    /// Simulated time per replication, hours.
+    pub horizon_hours: f64,
+    /// Number of replications.
+    pub replications: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SemanticSimOptions {
+    fn default() -> Self {
+        SemanticSimOptions { horizon_hours: 200_000.0, replications: 32, seed: 0xb10c }
+    }
+}
+
+/// Estimates a block's availability by component-level DES.
+pub fn simulate_block_semantics(
+    params: &BlockParams,
+    globals: &GlobalParams,
+    opts: &SemanticSimOptions,
+) -> Estimate {
+    let samples: Vec<f64> = (0..opts.replications)
+        .map(|r| {
+            let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(r as u64 * 0x51_7cc1));
+            one_replication(params, globals, opts.horizon_hours, &mut rng)
+        })
+        .collect();
+    Estimate::from_samples(&samples)
+}
+
+/// Event queue ordering: earliest time first; ties broken by sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct At(f64, u64);
+
+impl Eq for At {}
+
+impl Ord for At {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for At {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Permanent fault of unit `c` (valid only if the unit is working).
+    PermanentFault(usize),
+    /// Transient fault touching unit `c`.
+    Transient(usize),
+    /// A latent fault on unit `c` gets detected.
+    LatentDetect(usize),
+    /// Unit `c` comes back from repair.
+    RepairDone(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum UnitState {
+    Working,
+    /// Failed, undetected; no repair in progress.
+    Latent,
+    /// Failed, in the repair pipeline.
+    InRepair,
+}
+
+fn one_replication(
+    params: &BlockParams,
+    globals: &GlobalParams,
+    horizon: f64,
+    rng: &mut StdRng,
+) -> f64 {
+    let r = Rates::derive(params, globals);
+    let n = params.quantity as usize;
+    let k = params.min_quantity as usize;
+
+    let mut units = vec![UnitState::Working; n];
+    let mut queue: BinaryHeap<Reverse<(At, usize)>> = BinaryHeap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut seq = 0u64;
+
+    let push = |queue: &mut BinaryHeap<Reverse<(At, usize)>>,
+                    events: &mut Vec<Event>,
+                    seq: &mut u64,
+                    t: f64,
+                    e: Event| {
+        events.push(e);
+        queue.push(Reverse((At(t, *seq), events.len() - 1)));
+        *seq += 1;
+    };
+
+    // Downtime windows (AR, SPF, reboot, reintegration) and structural
+    // outages (fewer than K working units).
+    let mut windows: Vec<(f64, f64)> = Vec::new();
+    let mut down_since: Option<f64> = None;
+
+    // Seed initial fault events.
+    for c in 0..n {
+        if r.lambda_p > 0.0 {
+            push(&mut queue, &mut events, &mut seq, sample_exp(r.lambda_p, rng), Event::PermanentFault(c));
+        }
+        if r.lambda_t > 0.0 {
+            push(&mut queue, &mut events, &mut seq, sample_exp(r.lambda_t, rng), Event::Transient(c));
+        }
+    }
+
+    let working = |units: &[UnitState]| units.iter().filter(|&&u| u == UnitState::Working).count();
+
+    while let Some(Reverse((At(t, _), idx))) = queue.pop() {
+        if t >= horizon {
+            break;
+        }
+        match events[idx] {
+            Event::PermanentFault(c) => {
+                if units[c] != UnitState::Working {
+                    continue;
+                }
+                let was_up = working(&units) >= k;
+                let latent = params.is_redundant() && rng.gen::<f64>() < r.plf;
+                if latent {
+                    units[c] = UnitState::Latent;
+                    if r.mttdlf > 0.0 {
+                        push(
+                            &mut queue,
+                            &mut events,
+                            &mut seq,
+                            t + sample_exp(1.0 / r.mttdlf, rng),
+                            Event::LatentDetect(c),
+                        );
+                    }
+                } else {
+                    units[c] = UnitState::InRepair;
+                    detected_fault_windows(&r, t, rng, &mut windows, working(&units) >= k);
+                    let done =
+                        start_repair(&r, t, rng, working(&units) >= k, &mut windows);
+                    push(&mut queue, &mut events, &mut seq, done, Event::RepairDone(c));
+                }
+                if was_up && working(&units) < k {
+                    down_since = Some(t);
+                }
+            }
+            Event::LatentDetect(c) => {
+                if units[c] != UnitState::Latent {
+                    continue;
+                }
+                units[c] = UnitState::InRepair;
+                detected_fault_windows(&r, t, rng, &mut windows, working(&units) >= k);
+                let done = start_repair(&r, t, rng, working(&units) >= k, &mut windows);
+                push(&mut queue, &mut events, &mut seq, done, Event::RepairDone(c));
+            }
+            Event::RepairDone(c) => {
+                units[c] = UnitState::Working;
+                // Nontransparent repair: the reintegration restart is a
+                // downtime window.
+                if r.treint > 0.0 {
+                    windows.push((t, t + r.treint));
+                }
+                if working(&units) >= k {
+                    if let Some(s) = down_since.take() {
+                        windows.push((s, t));
+                    }
+                }
+                if r.lambda_p > 0.0 {
+                    push(
+                        &mut queue,
+                        &mut events,
+                        &mut seq,
+                        t + sample_exp(r.lambda_p, rng),
+                        Event::PermanentFault(c),
+                    );
+                }
+            }
+            Event::Transient(c) => {
+                if units[c] == UnitState::Working {
+                    if params.is_redundant() {
+                        // AR clears it; nontransparent AR costs Tfo, a
+                        // failed AR costs the SPF window.
+                        if r.tfo > 0.0 {
+                            windows.push((t, t + r.tfo));
+                        }
+                        if rng.gen::<f64>() < r.effective_pspf() {
+                            windows.push((t + r.tfo, t + r.tfo + r.tspf));
+                        }
+                    } else if r.tboot > 0.0 {
+                        // Type 0: a reboot.
+                        windows.push((t, t + r.tboot));
+                    }
+                }
+                if r.lambda_t > 0.0 {
+                    push(
+                        &mut queue,
+                        &mut events,
+                        &mut seq,
+                        t + sample_exp(r.lambda_t, rng),
+                        Event::Transient(c),
+                    );
+                }
+            }
+        }
+    }
+    if let Some(s) = down_since {
+        windows.push((s, horizon));
+    }
+
+    // Union of all downtime windows, clipped to the horizon.
+    let mut clipped: Vec<(f64, f64)> = windows
+        .into_iter()
+        .filter_map(|(s, e)| {
+            let s = s.clamp(0.0, horizon);
+            let e = e.clamp(0.0, horizon);
+            (e > s).then_some((s, e))
+        })
+        .collect();
+    clipped.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut down = 0.0;
+    let mut current: Option<(f64, f64)> = None;
+    for (s, e) in clipped {
+        match current {
+            None => current = Some((s, e)),
+            Some((cs, ce)) => {
+                if s <= ce {
+                    current = Some((cs, ce.max(e)));
+                } else {
+                    down += ce - cs;
+                    current = Some((s, e));
+                }
+            }
+        }
+    }
+    if let Some((cs, ce)) = current {
+        down += ce - cs;
+    }
+    1.0 - down / horizon
+}
+
+/// Downtime windows caused by a *detected* fault: the AR/failover
+/// interruption and (with probability `Pspf`) the SPF excursion. Only a
+/// still-redundant system pays an AR window; once structurally down the
+/// outage is accounted structurally.
+fn detected_fault_windows(
+    r: &Rates,
+    t: f64,
+    rng: &mut StdRng,
+    windows: &mut Vec<(f64, f64)>,
+    still_up: bool,
+) {
+    if !still_up {
+        return;
+    }
+    if r.tfo > 0.0 {
+        windows.push((t, t + r.tfo));
+    }
+    if rng.gen::<f64>() < r.effective_pspf() {
+        windows.push((t + r.tfo, t + r.tfo + r.tspf));
+    }
+}
+
+/// Starts the repair pipeline for a unit at time `t`: logistics
+/// (scheduled when the system is still up, immediate when it is down) +
+/// hands-on repair; with probability `1 − Pcd` the service action was
+/// wrong, which — following the paper's ServiceError state — takes the
+/// *system* down for an MTTRFID-mean excursion before the unit finally
+/// returns. Returns the completion time.
+fn start_repair(
+    r: &Rates,
+    t: f64,
+    rng: &mut StdRng,
+    still_up: bool,
+    windows: &mut Vec<(f64, f64)>,
+) -> f64 {
+    let logistics = if still_up { r.mttm + r.tresp } else { r.tresp };
+    let d = sample_exp(1.0 / (logistics + r.mttr).max(1e-12), rng);
+    let mut done = t + d;
+    if rng.gen::<f64>() < r.effective_service_error() {
+        let se = sample_exp(1.0 / r.mttrfid, rng);
+        windows.push((done, done + se));
+        done += se;
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_core::solve_block;
+    use rascad_spec::units::{Fit, Hours, Minutes};
+    use rascad_spec::{RedundancyParams, Scenario};
+
+    fn analytic_unavailability(p: &BlockParams) -> f64 {
+        let (_, m) = solve_block(p, &GlobalParams::default()).unwrap();
+        m.unavailability
+    }
+
+    fn semantic_availability(p: &BlockParams) -> Estimate {
+        simulate_block_semantics(
+            p,
+            &GlobalParams::default(),
+            &SemanticSimOptions { horizon_hours: 400_000.0, replications: 24, seed: 77 },
+        )
+    }
+
+    #[test]
+    fn type0_semantics_match_chain() {
+        let p = BlockParams::new("X", 1, 1)
+            .with_mtbf(Hours(3_000.0))
+            .with_transient_fit(Fit(50_000.0))
+            .with_mttr_parts(Minutes(60.0), Minutes(30.0), Minutes(30.0))
+            .with_service_response(Hours(4.0))
+            .with_p_correct_diagnosis(0.9);
+        let u_chain = analytic_unavailability(&p);
+        let u_sim = 1.0 - semantic_availability(&p).mean;
+        let rel = (u_sim - u_chain).abs() / u_chain;
+        assert!(rel < 0.15, "chain {u_chain} vs semantic {u_sim} (rel {rel})");
+    }
+
+    #[test]
+    fn redundant_semantics_match_chain_to_first_order() {
+        let p = BlockParams::new("X", 2, 1)
+            .with_mtbf(Hours(4_000.0))
+            .with_transient_fit(Fit(20_000.0))
+            .with_mttr_parts(Minutes(60.0), Minutes(60.0), Minutes(0.0))
+            .with_service_response(Hours(4.0))
+            .with_p_correct_diagnosis(0.95)
+            .with_redundancy(RedundancyParams {
+                p_latent_fault: 0.05,
+                mttdlf: Hours(24.0),
+                recovery: Scenario::Nontransparent,
+                failover_time: Minutes(10.0),
+                p_spf: 0.02,
+                spf_recovery_time: Minutes(30.0),
+                repair: Scenario::Nontransparent,
+                reintegration_time: Minutes(10.0),
+            });
+        let u_chain = analytic_unavailability(&p);
+        let u_sim = 1.0 - semantic_availability(&p).mean;
+        // Abstraction error budget: parallel repair and SPF routing
+        // differ at second order.
+        let rel = (u_sim - u_chain).abs() / u_chain;
+        assert!(rel < 0.35, "chain {u_chain} vs semantic {u_sim} (rel {rel})");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = BlockParams::new("X", 2, 1).with_mtbf(Hours(5_000.0));
+        let o = SemanticSimOptions { horizon_hours: 50_000.0, replications: 4, seed: 3 };
+        let a = simulate_block_semantics(&p, &GlobalParams::default(), &o);
+        let b = simulate_block_semantics(&p, &GlobalParams::default(), &o);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_redundancy_is_more_available() {
+        let g = GlobalParams::default();
+        let o = SemanticSimOptions { horizon_hours: 100_000.0, replications: 16, seed: 5 };
+        let base = BlockParams::new("X", 2, 2)
+            .with_mtbf(Hours(3_000.0))
+            .with_mttr_parts(Minutes(60.0), Minutes(60.0), Minutes(0.0));
+        let redundant = BlockParams::new("X", 3, 2)
+            .with_mtbf(Hours(3_000.0))
+            .with_mttr_parts(Minutes(60.0), Minutes(60.0), Minutes(0.0));
+        let a0 = simulate_block_semantics(&base, &g, &o).mean;
+        let a1 = simulate_block_semantics(&redundant, &g, &o).mean;
+        assert!(a1 > a0, "{a1} vs {a0}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Replication statistics.
+
+/// A point estimate with a normal-approximation confidence interval
+/// from independent replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (of the replications, not the mean).
+    pub std_dev: f64,
+    /// Number of replications.
+    pub n: usize,
+    /// Half-width of the 95% confidence interval of the mean.
+    pub ci_half_width: f64,
+}
+
+impl Estimate {
+    /// Computes the estimate from replication samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Estimate {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        // 1.96 sigma/sqrt(n): the replication counts used here are large
+        // enough for the normal approximation.
+        let ci_half_width = 1.96 * std_dev / (n as f64).sqrt();
+        Estimate { mean, std_dev, n, ci_half_width }
+    }
+
+    /// Whether a reference value lies inside the 95% CI.
+    pub fn covers(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci_half_width
+    }
+
+    /// Lower CI bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci_half_width
+    }
+
+    /// Upper CI bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci_half_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples_have_zero_width() {
+        let e = Estimate::from_samples(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(e.mean, 2.0);
+        assert_eq!(e.std_dev, 0.0);
+        assert_eq!(e.ci_half_width, 0.0);
+        assert!(e.covers(2.0));
+        assert!(!e.covers(2.1));
+    }
+
+    #[test]
+    fn known_variance() {
+        let e = Estimate::from_samples(&[1.0, 3.0]);
+        assert_eq!(e.mean, 2.0);
+        assert!((e.std_dev - (2.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(e.n, 2);
+        assert!((e.lo() + e.ci_half_width - e.mean).abs() < 1e-12);
+        assert!((e.hi() - e.ci_half_width - e.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_degenerate() {
+        let e = Estimate::from_samples(&[5.0]);
+        assert_eq!(e.mean, 5.0);
+        assert_eq!(e.ci_half_width, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = Estimate::from_samples(&[]);
+    }
+}

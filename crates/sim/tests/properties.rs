@@ -1,0 +1,90 @@
+//! Property-based tests for the simulation crate.
+
+use proptest::prelude::*;
+use rascad_sim::ctmc_sim::{simulate_availability, SimOptions};
+use rascad_sim::EventLog;
+
+use rascad_markov::{Ctmc, CtmcBuilder};
+
+/// Random irreducible chain (ring + extras), as in the markov tests.
+fn arb_chain() -> impl Strategy<Value = Ctmc> {
+    (2usize..6).prop_flat_map(|n| {
+        let ring = proptest::collection::vec(0.01..5.0f64, n);
+        let rewards = proptest::collection::vec(prop_oneof![Just(0.0), Just(1.0)], n);
+        (Just(n), ring, rewards).prop_map(|(n, ring, rewards)| {
+            let mut b = CtmcBuilder::new();
+            for (i, r) in rewards.iter().enumerate() {
+                b.add_state(format!("s{i}"), *r);
+            }
+            for (i, &rate) in ring.iter().enumerate() {
+                b.add_transition(i, (i + 1) % n, rate);
+            }
+            b.build().expect("valid chain")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Simulated availability is always a probability and deterministic
+    /// under a fixed seed.
+    #[test]
+    fn simulation_is_bounded_and_reproducible(chain in arb_chain(), seed in 0u64..1000) {
+        let opts = SimOptions { horizon_hours: 500.0, replications: 4, seed };
+        let a = simulate_availability(&chain, &opts);
+        prop_assert!((0.0..=1.0).contains(&a.mean), "mean {}", a.mean);
+        prop_assert!(a.ci_half_width >= 0.0);
+        let b = simulate_availability(&chain, &opts);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Different seeds give (generally) different trajectories but stay
+    /// bounded.
+    #[test]
+    fn seeds_change_results(chain in arb_chain()) {
+        let a = simulate_availability(
+            &chain,
+            &SimOptions { horizon_hours: 300.0, replications: 2, seed: 1 },
+        );
+        let b = simulate_availability(
+            &chain,
+            &SimOptions { horizon_hours: 300.0, replications: 2, seed: 2 },
+        );
+        prop_assert!((0.0..=1.0).contains(&a.mean) && (0.0..=1.0).contains(&b.mean));
+    }
+}
+
+proptest! {
+    /// EventLog downtime accounting is consistent with the generating
+    /// intervals, whatever their overlap pattern.
+    #[test]
+    fn event_log_accounting_is_consistent(
+        raw in proptest::collection::vec((0.0..90.0f64, 0.1..10.0f64), 0..12)
+    ) {
+        // Build non-overlapping sorted down intervals by merging raw ones.
+        let horizon = 100.0;
+        let mut intervals: Vec<(f64, f64)> =
+            raw.iter().map(|&(s, d)| (s, (s + d).min(horizon))).collect();
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        for (s, e) in intervals {
+            match merged.last_mut() {
+                Some((_, le)) if s <= *le => *le = le.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        let mut log = EventLog::new(horizon);
+        let mut expect = 0.0;
+        for &(s, e) in &merged {
+            log.push(s, false);
+            if e < horizon {
+                log.push(e, true);
+            }
+            expect += e - s;
+        }
+        prop_assert!((log.downtime_hours() - expect).abs() < 1e-9);
+        prop_assert!((log.availability() - (1.0 - expect / horizon)).abs() < 1e-9);
+        prop_assert_eq!(log.outage_count(), merged.len());
+    }
+}

@@ -1,0 +1,264 @@
+//! Tokenizer for the `.rascad` DSL.
+
+use crate::error::SpecError;
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Token kinds of the DSL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare identifier/keyword (`block`, `mtbf`, `transparent`, …).
+    Ident(String),
+    /// A double-quoted string literal (supports `\"` and `\\` escapes).
+    Str(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `=`
+    Eq,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenizes DSL source.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Parse`] for unterminated strings, malformed
+/// numbers, or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, SpecError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                column = 1;
+            } else if c.is_some() {
+                column += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let (tline, tcol) = (line, column);
+        let Some(&c) = chars.peek() else {
+            tokens.push(Token { kind: TokenKind::Eof, line, column });
+            break;
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                // Comment to end of line.
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '{' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::LBrace, line: tline, column: tcol });
+            }
+            '}' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::RBrace, line: tline, column: tcol });
+            }
+            '=' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Eq, line: tline, column: tcol });
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        None | Some('\n') => {
+                            return Err(SpecError::Parse {
+                                line: tline,
+                                column: tcol,
+                                message: "unterminated string".into(),
+                            });
+                        }
+                        Some('"') => break,
+                        Some('\\') => match bump!() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            other => {
+                                return Err(SpecError::Parse {
+                                    line,
+                                    column,
+                                    message: format!("bad escape {other:?}"),
+                                });
+                            }
+                        },
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line: tline, column: tcol });
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit()
+                        || c == '.'
+                        || c == '-'
+                        || c == '+'
+                        || c == 'e'
+                        || c == 'E'
+                        || c == '_'
+                    {
+                        if c != '_' {
+                            s.push(c);
+                        }
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = s.parse().map_err(|_| SpecError::Parse {
+                    line: tline,
+                    column: tcol,
+                    message: format!("malformed number `{s}`"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(n), line: tline, column: tcol });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(s), line: tline, column: tcol });
+            }
+            other => {
+                return Err(SpecError::Parse {
+                    line: tline,
+                    column: tcol,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_tokens() {
+        assert_eq!(
+            kinds("block \"A\" { mtbf = 100.5 h }"),
+            vec![
+                TokenKind::Ident("block".into()),
+                TokenKind::Str("A".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("mtbf".into()),
+                TokenKind::Eq,
+                TokenKind::Number(100.5),
+                TokenKind::Ident("h".into()),
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("# hello\nx = 1 # trailing\n"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Eq,
+                TokenKind::Number(1.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_underscores() {
+        assert_eq!(kinds("1e-9"), vec![TokenKind::Number(1e-9), TokenKind::Eof]);
+        assert_eq!(kinds("100_000"), vec![TokenKind::Number(100_000.0), TokenKind::Eof]);
+        assert_eq!(kinds("-2.5"), vec![TokenKind::Number(-2.5), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\\c""#),
+            vec![TokenKind::Str(r#"a"b\c"#.into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_positions() {
+        match lex("  \"abc").unwrap_err() {
+            SpecError::Parse { line, column, .. } => {
+                assert_eq!((line, column), (1, 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn unexpected_character_rejected() {
+        assert!(matches!(lex("a @ b"), Err(SpecError::Parse { .. })));
+    }
+
+    #[test]
+    fn malformed_number_rejected() {
+        assert!(matches!(lex("1.2.3"), Err(SpecError::Parse { .. })));
+    }
+}

@@ -1,0 +1,48 @@
+//! The `.rascad` text DSL.
+//!
+//! A human-readable serialization of the diagram/block model, playing
+//! the role of the paper's GUI-captured model files. Grammar sketch:
+//!
+//! ```text
+//! spec       := [global] diagram
+//! global     := "global" "{" entry* "}"
+//! diagram    := "diagram" STRING "{" block* "}"
+//! block      := "block" STRING "{" (entry | redundancy | subdiagram)* "}"
+//! redundancy := "redundancy" "{" entry* "}"
+//! subdiagram := "subdiagram" STRING "{" block* "}"
+//! entry      := IDENT "=" (NUMBER [unit] | STRING | IDENT)
+//! unit       := "h" | "min" | "fit"
+//! ```
+//!
+//! `#` starts a comment that runs to end of line. Durations may be
+//! written in either `h` or `min` regardless of the field's native unit;
+//! the parser converts.
+//!
+//! # Example
+//!
+//! ```
+//! use rascad_spec::SystemSpec;
+//!
+//! # fn main() -> Result<(), rascad_spec::SpecError> {
+//! let text = r#"
+//! diagram "Tiny" {
+//!     block "CPU" {
+//!         quantity = 1
+//!         min_quantity = 1
+//!         mtbf = 100000 h
+//!     }
+//! }
+//! "#;
+//! let spec = SystemSpec::from_dsl(text)?;
+//! assert_eq!(spec.root.blocks.len(), 1);
+//! // print -> parse is the identity.
+//! let again = SystemSpec::from_dsl(&spec.to_dsl())?;
+//! assert_eq!(spec, again);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod lexer;
+pub mod reference;
+pub mod parser;
+pub mod printer;

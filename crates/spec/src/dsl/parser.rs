@@ -1,0 +1,494 @@
+//! Recursive-descent parser for the `.rascad` DSL.
+
+use crate::block::{Block, BlockParams, RedundancyParams, Scenario};
+use crate::diagram::{Diagram, SystemSpec};
+use crate::dsl::lexer::{lex, Token, TokenKind};
+use crate::error::SpecError;
+use crate::params::GlobalParams;
+use crate::units::{Fit, Hours, Minutes};
+
+/// Parses DSL source into a [`SystemSpec`].
+///
+/// # Errors
+///
+/// Returns [`SpecError::Parse`] with source position on syntax errors,
+/// unknown keys, or values of the wrong type.
+pub fn parse(src: &str) -> Result<SystemSpec, SpecError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let spec = p.spec()?;
+    p.expect_eof()?;
+    Ok(spec)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// A parsed right-hand-side value.
+enum Value {
+    Number(f64),
+    /// Number with an explicit duration unit (kept as written so that
+    /// round-tripping is bit-exact).
+    Duration(f64, DurationUnit),
+    Str(String),
+    Word(String),
+}
+
+#[derive(Clone, Copy)]
+enum DurationUnit {
+    Hours,
+    Minutes,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, SpecError> {
+        let t = self.peek();
+        Err(SpecError::Parse { line: t.line, column: t.column, message: message.into() })
+    }
+
+    fn expect_ident(&mut self, word: &str) -> Result<(), SpecError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == word => {
+                self.next();
+                Ok(())
+            }
+            other => self.error(format!("expected `{word}`, found {other}")),
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<(), SpecError> {
+        if std::mem::discriminant(&self.peek().kind) == std::mem::discriminant(kind) {
+            self.next();
+            Ok(())
+        } else {
+            let found = self.peek().kind.clone();
+            self.error(format!("expected {what}, found {found}"))
+        }
+    }
+
+    fn expect_string(&mut self, what: &str) -> Result<String, SpecError> {
+        match self.peek().kind.clone() {
+            TokenKind::Str(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.error(format!("expected {what} string, found {other}")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SpecError> {
+        match &self.peek().kind {
+            TokenKind::Eof => Ok(()),
+            other => self.error(format!("expected end of input, found {other}")),
+        }
+    }
+
+    fn spec(&mut self) -> Result<SystemSpec, SpecError> {
+        let mut globals = GlobalParams::default();
+        if matches!(&self.peek().kind, TokenKind::Ident(s) if s == "global") {
+            self.next();
+            self.global_block(&mut globals)?;
+        }
+        self.expect_ident("diagram")?;
+        let root = self.diagram_body()?;
+        Ok(SystemSpec::new(root, globals))
+    }
+
+    fn global_block(&mut self, g: &mut GlobalParams) -> Result<(), SpecError> {
+        self.expect_kind(&TokenKind::LBrace, "`{`")?;
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::RBrace => {
+                    self.next();
+                    return Ok(());
+                }
+                TokenKind::Ident(key) => {
+                    self.next();
+                    self.expect_kind(&TokenKind::Eq, "`=`")?;
+                    let value = self.value()?;
+                    match key.as_str() {
+                        "reboot_time" => g.reboot_time = self.duration_minutes(&key, value)?,
+                        "mttm" => g.mttm = self.duration_hours(&key, value)?,
+                        "mttrfid" => g.mttrfid = self.duration_hours(&key, value)?,
+                        "mission_time" => g.mission_time = self.duration_hours(&key, value)?,
+                        _ => return self.error(format!("unknown global parameter `{key}`")),
+                    }
+                }
+                other => return self.error(format!("expected parameter or `}}`, found {other}")),
+            }
+        }
+    }
+
+    fn diagram_body(&mut self) -> Result<Diagram, SpecError> {
+        let name = self.expect_string("diagram name")?;
+        self.expect_kind(&TokenKind::LBrace, "`{`")?;
+        let mut d = Diagram::new(name);
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::RBrace => {
+                    self.next();
+                    return Ok(d);
+                }
+                TokenKind::Ident(s) if s == "block" => {
+                    self.next();
+                    let b = self.block()?;
+                    d.push_block(b);
+                }
+                other => return self.error(format!("expected `block` or `}}`, found {other}")),
+            }
+        }
+    }
+
+    fn block(&mut self) -> Result<Block, SpecError> {
+        let name = self.expect_string("block name")?;
+        self.expect_kind(&TokenKind::LBrace, "`{`")?;
+        let mut params = BlockParams::new(name, 1, 1);
+        params.redundancy = None;
+        let mut subdiagram = None;
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::RBrace => {
+                    self.next();
+                    // Auto-provision defaults when the block is redundant
+                    // but no redundancy section was written.
+                    if params.is_redundant() && params.redundancy.is_none() {
+                        params.redundancy = Some(RedundancyParams::default());
+                    }
+                    return Ok(Block { params, subdiagram });
+                }
+                TokenKind::Ident(s) if s == "redundancy" => {
+                    self.next();
+                    let r = self.redundancy_block()?;
+                    params.redundancy = Some(r);
+                }
+                TokenKind::Ident(s) if s == "subdiagram" => {
+                    self.next();
+                    subdiagram = Some(self.diagram_body()?);
+                }
+                TokenKind::Ident(key) => {
+                    self.next();
+                    self.expect_kind(&TokenKind::Eq, "`=`")?;
+                    let value = self.value()?;
+                    self.apply_block_entry(&mut params, &key, value)?;
+                }
+                other => {
+                    return self.error(format!(
+                        "expected parameter, `redundancy`, `subdiagram`, or `}}`, found {other}"
+                    ));
+                }
+            }
+        }
+    }
+
+    fn apply_block_entry(
+        &self,
+        p: &mut BlockParams,
+        key: &str,
+        value: Value,
+    ) -> Result<(), SpecError> {
+        match key {
+            "part_number" => p.part_number = Some(self.string_value(key, value)?),
+            "description" => p.description = Some(self.string_value(key, value)?),
+            "quantity" => p.quantity = self.count_value(key, value)?,
+            "min_quantity" => p.min_quantity = self.count_value(key, value)?,
+            "mtbf" => p.mtbf = self.duration_hours(key, value)?,
+            "transient_fit" => p.transient_fit = Fit(self.number_value(key, value)?),
+            "mttr_diagnosis" => p.mttr_diagnosis = self.duration_minutes(key, value)?,
+            "mttr_corrective" => p.mttr_corrective = self.duration_minutes(key, value)?,
+            "mttr_verification" => p.mttr_verification = self.duration_minutes(key, value)?,
+            "service_response" => p.service_response = self.duration_hours(key, value)?,
+            "p_correct_diagnosis" => p.p_correct_diagnosis = self.number_value(key, value)?,
+            _ => return self.error(format!("unknown block parameter `{key}`")),
+        }
+        Ok(())
+    }
+
+    fn redundancy_block(&mut self) -> Result<RedundancyParams, SpecError> {
+        self.expect_kind(&TokenKind::LBrace, "`{`")?;
+        let mut r = RedundancyParams::default();
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::RBrace => {
+                    self.next();
+                    return Ok(r);
+                }
+                TokenKind::Ident(key) => {
+                    self.next();
+                    self.expect_kind(&TokenKind::Eq, "`=`")?;
+                    let value = self.value()?;
+                    match key.as_str() {
+                        "p_latent" => r.p_latent_fault = self.number_value(&key, value)?,
+                        "mttdlf" => r.mttdlf = self.duration_hours(&key, value)?,
+                        "recovery" => r.recovery = self.scenario_value(&key, value)?,
+                        "failover_time" => r.failover_time = self.duration_minutes(&key, value)?,
+                        "p_spf" => r.p_spf = self.number_value(&key, value)?,
+                        "spf_recovery_time" => {
+                            r.spf_recovery_time = self.duration_minutes(&key, value)?;
+                        }
+                        "repair" => r.repair = self.scenario_value(&key, value)?,
+                        "reintegration_time" => {
+                            r.reintegration_time = self.duration_minutes(&key, value)?;
+                        }
+                        _ => return self.error(format!("unknown redundancy parameter `{key}`")),
+                    }
+                }
+                other => return self.error(format!("expected parameter or `}}`, found {other}")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, SpecError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(n) => {
+                self.next();
+                // Optional unit suffix.
+                if let TokenKind::Ident(u) = self.peek().kind.clone() {
+                    match u.as_str() {
+                        "h" | "hr" | "hours" => {
+                            self.next();
+                            return Ok(Value::Duration(n, DurationUnit::Hours));
+                        }
+                        "min" | "minutes" => {
+                            self.next();
+                            return Ok(Value::Duration(n, DurationUnit::Minutes));
+                        }
+                        "fit" | "FIT" => {
+                            self.next();
+                            return Ok(Value::Number(n));
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(Value::Number(n))
+            }
+            TokenKind::Str(s) => {
+                self.next();
+                Ok(Value::Str(s))
+            }
+            TokenKind::Ident(s) => {
+                self.next();
+                Ok(Value::Word(s))
+            }
+            other => self.error(format!("expected a value, found {other}")),
+        }
+    }
+
+    fn number_value(&self, key: &str, v: Value) -> Result<f64, SpecError> {
+        match v {
+            Value::Number(n) => Ok(n),
+            _ => self.error(format!("parameter `{key}` expects a plain number")),
+        }
+    }
+
+    fn count_value(&self, key: &str, v: Value) -> Result<u32, SpecError> {
+        match v {
+            Value::Number(n) if n >= 0.0 && n.fract() == 0.0 && n <= f64::from(u32::MAX) => {
+                Ok(n as u32)
+            }
+            _ => self.error(format!("parameter `{key}` expects a non-negative integer")),
+        }
+    }
+
+    fn string_value(&self, key: &str, v: Value) -> Result<String, SpecError> {
+        match v {
+            Value::Str(s) => Ok(s),
+            _ => self.error(format!("parameter `{key}` expects a string")),
+        }
+    }
+
+    fn duration_hours(&self, key: &str, v: Value) -> Result<Hours, SpecError> {
+        match v {
+            Value::Duration(n, DurationUnit::Hours) => Ok(Hours(n)),
+            Value::Duration(n, DurationUnit::Minutes) => Ok(Minutes(n).to_hours()),
+            // A bare number takes the field's native unit (hours here).
+            Value::Number(n) => Ok(Hours(n)),
+            _ => self.error(format!("parameter `{key}` expects a duration")),
+        }
+    }
+
+    fn duration_minutes(&self, key: &str, v: Value) -> Result<Minutes, SpecError> {
+        match v {
+            Value::Duration(n, DurationUnit::Minutes) => Ok(Minutes(n)),
+            Value::Duration(n, DurationUnit::Hours) => Ok(Hours(n).to_minutes()),
+            // A bare number takes the field's native unit (minutes here).
+            Value::Number(n) => Ok(Minutes(n)),
+            _ => self.error(format!("parameter `{key}` expects a duration")),
+        }
+    }
+
+    fn scenario_value(&self, key: &str, v: Value) -> Result<Scenario, SpecError> {
+        match v {
+            Value::Word(w) if w == "transparent" => Ok(Scenario::Transparent),
+            Value::Word(w) if w == "nontransparent" => Ok(Scenario::Nontransparent),
+            _ => self.error(format!(
+                "parameter `{key}` expects `transparent` or `nontransparent`"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# A small two-level model.
+global {
+    reboot_time = 8 min
+    mttm = 48 h
+    mttrfid = 8 h
+    mission_time = 8760 h
+}
+
+diagram "Data Center" {
+    block "Server Box" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 10000 h
+        transient_fit = 500
+        mttr_diagnosis = 30 min
+        mttr_corrective = 20 min
+        mttr_verification = 10 min
+        service_response = 4 h
+        p_correct_diagnosis = 0.98
+        subdiagram "Server Internals" {
+            block "CPU Module" {
+                quantity = 4
+                min_quantity = 3
+                mtbf = 500000 h
+                redundancy {
+                    p_latent = 0.05
+                    mttdlf = 24 h
+                    recovery = nontransparent
+                    failover_time = 5 min
+                    p_spf = 0.01
+                    spf_recovery_time = 10 min
+                    repair = transparent
+                    reintegration_time = 0 min
+                }
+            }
+        }
+    }
+    block "Boot Drives" {
+        quantity = 2
+        min_quantity = 1
+        mtbf = 300000 h
+    }
+}
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let spec = parse(SAMPLE).unwrap();
+        assert_eq!(spec.root.name, "Data Center");
+        assert_eq!(spec.root.blocks.len(), 2);
+        assert_eq!(spec.globals.mttm, Hours(48.0));
+        assert_eq!(spec.globals.reboot_time, Minutes(8.0));
+        let cpu = spec.root.find("Server Box/CPU Module").unwrap();
+        assert_eq!(cpu.params.quantity, 4);
+        let r = cpu.params.redundancy.unwrap();
+        assert_eq!(r.recovery, Scenario::Nontransparent);
+        assert_eq!(r.repair, Scenario::Transparent);
+        assert_eq!(r.failover_time, Minutes(5.0));
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn redundant_block_without_section_gets_defaults() {
+        let spec = parse(SAMPLE).unwrap();
+        let drives = spec.root.find("Boot Drives").unwrap();
+        assert!(drives.params.redundancy.is_some());
+    }
+
+    #[test]
+    fn unit_conversion_in_both_directions() {
+        let text = r#"
+diagram "D" {
+    block "B" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 120 min
+        mttr_diagnosis = 1 h
+    }
+}
+"#;
+        let spec = parse(text).unwrap();
+        let b = spec.root.find("B").unwrap();
+        assert_eq!(b.params.mtbf, Hours(2.0));
+        assert_eq!(b.params.mttr_diagnosis, Minutes(60.0));
+    }
+
+    #[test]
+    fn bare_numbers_take_native_units() {
+        let text = r#"
+diagram "D" {
+    block "B" {
+        mtbf = 5000
+        mttr_diagnosis = 45
+    }
+}
+"#;
+        let spec = parse(text).unwrap();
+        let b = spec.root.find("B").unwrap();
+        assert_eq!(b.params.mtbf, Hours(5000.0));
+        assert_eq!(b.params.mttr_diagnosis, Minutes(45.0));
+    }
+
+    #[test]
+    fn missing_global_uses_defaults() {
+        let spec = parse("diagram \"D\" { block \"B\" { } }").unwrap();
+        assert_eq!(spec.globals, GlobalParams::default());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error_with_position() {
+        let err = parse("diagram \"D\" { block \"B\" { bogus = 1 } }").unwrap_err();
+        match err {
+            SpecError::Parse { message, .. } => assert!(message.contains("bogus")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_report_position() {
+        let err = parse("diagram \"D\" block").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }));
+        let err = parse("diagram \"D\" { block \"B\" { quantity 2 } }").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }));
+    }
+
+    #[test]
+    fn scenario_values_validated() {
+        let err =
+            parse("diagram \"D\" { block \"B\" { quantity = 2 min_quantity = 1 redundancy { recovery = sideways } } }")
+                .unwrap_err();
+        match err {
+            SpecError::Parse { message, .. } => assert!(message.contains("transparent")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("diagram \"D\" { } extra").is_err());
+    }
+
+    #[test]
+    fn fractional_quantity_rejected() {
+        assert!(parse("diagram \"D\" { block \"B\" { quantity = 1.5 } }").is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Pretty-printer for the `.rascad` DSL.
+//!
+//! `parse(print(spec)) == spec` — the printer emits every field
+//! explicitly (no reliance on parser defaults), so round-tripping is
+//! exact up to floating-point formatting, which Rust's shortest-
+//! roundtrip `{}` formatting makes lossless.
+
+use std::fmt::Write as _;
+
+use crate::block::{Block, RedundancyParams, Scenario};
+use crate::diagram::{Diagram, SystemSpec};
+
+/// Renders a specification as DSL text.
+pub fn print(spec: &SystemSpec) -> String {
+    let mut out = String::new();
+    let g = &spec.globals;
+    out.push_str("global {\n");
+    let _ = writeln!(out, "    reboot_time = {} min", g.reboot_time.0);
+    let _ = writeln!(out, "    mttm = {} h", g.mttm.0);
+    let _ = writeln!(out, "    mttrfid = {} h", g.mttrfid.0);
+    let _ = writeln!(out, "    mission_time = {} h", g.mission_time.0);
+    out.push_str("}\n\n");
+    print_diagram(&mut out, &spec.root, "diagram", 0);
+    out
+}
+
+fn print_diagram(out: &mut String, d: &Diagram, keyword: &str, indent: usize) {
+    let pad = "    ".repeat(indent);
+    let _ = writeln!(out, "{pad}{keyword} \"{}\" {{", escape(&d.name));
+    for b in &d.blocks {
+        print_block(out, b, indent + 1);
+    }
+    let _ = writeln!(out, "{pad}}}");
+}
+
+fn print_block(out: &mut String, b: &Block, indent: usize) {
+    let pad = "    ".repeat(indent);
+    let inner = "    ".repeat(indent + 1);
+    let p = &b.params;
+    let _ = writeln!(out, "{pad}block \"{}\" {{", escape(&p.name));
+    if let Some(pn) = &p.part_number {
+        let _ = writeln!(out, "{inner}part_number = \"{}\"", escape(pn));
+    }
+    if let Some(desc) = &p.description {
+        let _ = writeln!(out, "{inner}description = \"{}\"", escape(desc));
+    }
+    let _ = writeln!(out, "{inner}quantity = {}", p.quantity);
+    let _ = writeln!(out, "{inner}min_quantity = {}", p.min_quantity);
+    let _ = writeln!(out, "{inner}mtbf = {} h", p.mtbf.0);
+    let _ = writeln!(out, "{inner}transient_fit = {}", p.transient_fit.0);
+    let _ = writeln!(out, "{inner}mttr_diagnosis = {} min", p.mttr_diagnosis.0);
+    let _ = writeln!(out, "{inner}mttr_corrective = {} min", p.mttr_corrective.0);
+    let _ = writeln!(out, "{inner}mttr_verification = {} min", p.mttr_verification.0);
+    let _ = writeln!(out, "{inner}service_response = {} h", p.service_response.0);
+    let _ = writeln!(out, "{inner}p_correct_diagnosis = {}", p.p_correct_diagnosis);
+    if let Some(r) = &p.redundancy {
+        print_redundancy(out, r, indent + 1);
+    }
+    if let Some(sub) = &b.subdiagram {
+        print_diagram(out, sub, "subdiagram", indent + 1);
+    }
+    let _ = writeln!(out, "{pad}}}");
+}
+
+fn print_redundancy(out: &mut String, r: &RedundancyParams, indent: usize) {
+    let pad = "    ".repeat(indent);
+    let inner = "    ".repeat(indent + 1);
+    let _ = writeln!(out, "{pad}redundancy {{");
+    let _ = writeln!(out, "{inner}p_latent = {}", r.p_latent_fault);
+    let _ = writeln!(out, "{inner}mttdlf = {} h", r.mttdlf.0);
+    let _ = writeln!(out, "{inner}recovery = {}", scenario(r.recovery));
+    let _ = writeln!(out, "{inner}failover_time = {} min", r.failover_time.0);
+    let _ = writeln!(out, "{inner}p_spf = {}", r.p_spf);
+    let _ = writeln!(out, "{inner}spf_recovery_time = {} min", r.spf_recovery_time.0);
+    let _ = writeln!(out, "{inner}repair = {}", scenario(r.repair));
+    let _ = writeln!(out, "{inner}reintegration_time = {} min", r.reintegration_time.0);
+    let _ = writeln!(out, "{pad}}}");
+}
+
+fn scenario(s: Scenario) -> &'static str {
+    match s {
+        Scenario::Transparent => "transparent",
+        Scenario::Nontransparent => "nontransparent",
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockParams;
+    use crate::params::GlobalParams;
+    use crate::units::{Fit, Hours, Minutes};
+
+    fn sample() -> SystemSpec {
+        let mut sub = Diagram::new("Internals");
+        sub.push(
+            BlockParams::new("CPU", 4, 3)
+                .with_mtbf(Hours(500_000.0))
+                .with_transient_fit(Fit(200.0)),
+        );
+        let mut root = Diagram::new("Sys \"quoted\"");
+        root.push_block(Block::with_subdiagram(
+            BlockParams::new("Box", 1, 1).with_part_number("PN-1"),
+            sub,
+        ));
+        root.push(
+            BlockParams::new("Drives", 2, 1)
+                .with_mttr_parts(Minutes(15.0), Minutes(25.0), Minutes(5.0)),
+        );
+        SystemSpec::new(root, GlobalParams::default())
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let spec = sample();
+        let text = print(&spec);
+        let back = SystemSpec::from_dsl(&text).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn quoted_names_escape() {
+        let spec = sample();
+        let text = print(&spec);
+        assert!(text.contains("Sys \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn output_contains_all_sections() {
+        let text = print(&sample());
+        assert!(text.contains("global {"));
+        assert!(text.contains("diagram "));
+        assert!(text.contains("subdiagram "));
+        assert!(text.contains("redundancy {"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Generated parameter reference — the engineering-language manual.
+//!
+//! RAScad lists "documentation generation" among its features; this
+//! module renders the complete DSL parameter reference (the content of
+//! paper Section 3) as Markdown, so the manual can never drift from the
+//! implementation.
+
+/// One documented DSL parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParameterDoc {
+    /// DSL key.
+    pub key: &'static str,
+    /// Section of the grammar the key belongs to.
+    pub section: Section,
+    /// Value type/unit as written in the DSL.
+    pub value: &'static str,
+    /// Paper symbol, if the paper names one.
+    pub symbol: Option<&'static str>,
+    /// One-line description (paraphrasing paper Section 3).
+    pub description: &'static str,
+}
+
+/// DSL grammar section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// `global { … }`.
+    Global,
+    /// `block "…" { … }`.
+    Block,
+    /// `redundancy { … }`.
+    Redundancy,
+}
+
+/// The full parameter table, in grammar order.
+pub const PARAMETERS: &[ParameterDoc] = &[
+    ParameterDoc {
+        key: "reboot_time",
+        section: Section::Global,
+        value: "duration (min)",
+        symbol: Some("Tboot"),
+        description: "time to reboot the system after a transient fault",
+    },
+    ParameterDoc {
+        key: "mttm",
+        section: Section::Global,
+        value: "duration (h)",
+        symbol: Some("MTTM"),
+        description: "mean time to maintenance (service restriction time) before a deferred service call",
+    },
+    ParameterDoc {
+        key: "mttrfid",
+        section: Section::Global,
+        value: "duration (h)",
+        symbol: Some("MTTRFID"),
+        description: "mean time to repair from an incorrect diagnosis",
+    },
+    ParameterDoc {
+        key: "mission_time",
+        section: Section::Global,
+        value: "duration (h)",
+        symbol: Some("T"),
+        description: "horizon for interval availability and reliability measures",
+    },
+    ParameterDoc {
+        key: "part_number",
+        section: Section::Block,
+        value: "string",
+        symbol: None,
+        description: "part number of this component",
+    },
+    ParameterDoc {
+        key: "description",
+        section: Section::Block,
+        value: "string",
+        symbol: None,
+        description: "free-form description",
+    },
+    ParameterDoc {
+        key: "quantity",
+        section: Section::Block,
+        value: "integer",
+        symbol: Some("N"),
+        description: "quantity of this component",
+    },
+    ParameterDoc {
+        key: "min_quantity",
+        section: Section::Block,
+        value: "integer",
+        symbol: Some("K"),
+        description: "minimum quantity required by the system",
+    },
+    ParameterDoc {
+        key: "mtbf",
+        section: Section::Block,
+        value: "duration (h)",
+        symbol: Some("MTBF"),
+        description: "mean time between permanent faults, per component",
+    },
+    ParameterDoc {
+        key: "transient_fit",
+        section: Section::Block,
+        value: "number (FIT)",
+        symbol: Some("λt"),
+        description: "transient failure rate in failures per 10^9 hours",
+    },
+    ParameterDoc {
+        key: "mttr_diagnosis",
+        section: Section::Block,
+        value: "duration (min)",
+        symbol: Some("MTTR part 1"),
+        description: "time to identify the failed component",
+    },
+    ParameterDoc {
+        key: "mttr_corrective",
+        section: Section::Block,
+        value: "duration (min)",
+        symbol: Some("MTTR part 2"),
+        description: "time to replace the failed component",
+    },
+    ParameterDoc {
+        key: "mttr_verification",
+        section: Section::Block,
+        value: "duration (min)",
+        symbol: Some("MTTR part 3"),
+        description: "time to verify the new component or restore lost data",
+    },
+    ParameterDoc {
+        key: "service_response",
+        section: Section::Block,
+        value: "duration (h)",
+        symbol: Some("Tresp"),
+        description: "time for service personnel to arrive",
+    },
+    ParameterDoc {
+        key: "p_correct_diagnosis",
+        section: Section::Block,
+        value: "probability",
+        symbol: Some("Pcd"),
+        description: "probability of correctly identifying and replacing the faulty component",
+    },
+    ParameterDoc {
+        key: "p_latent",
+        section: Section::Redundancy,
+        value: "probability",
+        symbol: Some("Plf"),
+        description: "probability a permanent fault escapes detection",
+    },
+    ParameterDoc {
+        key: "mttdlf",
+        section: Section::Redundancy,
+        value: "duration (h)",
+        symbol: Some("MTTDLF"),
+        description: "mean time to detect a latent fault",
+    },
+    ParameterDoc {
+        key: "recovery",
+        section: Section::Redundancy,
+        value: "transparent | nontransparent",
+        symbol: Some("AR scenario"),
+        description: "whether automatic recovery incurs downtime",
+    },
+    ParameterDoc {
+        key: "failover_time",
+        section: Section::Redundancy,
+        value: "duration (min)",
+        symbol: Some("Tfo"),
+        description: "downtime of a nontransparent automatic recovery",
+    },
+    ParameterDoc {
+        key: "p_spf",
+        section: Section::Redundancy,
+        value: "probability",
+        symbol: Some("Pspf"),
+        description: "probability of a single point of failure during recovery",
+    },
+    ParameterDoc {
+        key: "spf_recovery_time",
+        section: Section::Redundancy,
+        value: "duration (min)",
+        symbol: Some("Tspf"),
+        description: "recovery time spent in the SPF state",
+    },
+    ParameterDoc {
+        key: "repair",
+        section: Section::Redundancy,
+        value: "transparent | nontransparent",
+        symbol: Some("repair scenario"),
+        description: "whether repair/reintegration incurs downtime",
+    },
+    ParameterDoc {
+        key: "reintegration_time",
+        section: Section::Redundancy,
+        value: "duration (min)",
+        symbol: Some("Treint"),
+        description: "downtime of a nontransparent reintegration",
+    },
+];
+
+/// Renders the reference as a Markdown document.
+pub fn markdown() -> String {
+    let mut out = String::from("# `.rascad` parameter reference\n");
+    for (section, title) in [
+        (Section::Global, "## `global { … }`"),
+        (Section::Block, "## `block \"name\" { … }`"),
+        (Section::Redundancy, "## `redundancy { … }` (only when quantity > min_quantity)"),
+    ] {
+        out.push('\n');
+        out.push_str(title);
+        out.push_str("\n\n| key | value | paper symbol | description |\n|---|---|---|---|\n");
+        for p in PARAMETERS.iter().filter(|p| p.section == section) {
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} |\n",
+                p.key,
+                p.value,
+                p.symbol.unwrap_or("—"),
+                p.description
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::SystemSpec;
+
+    /// Every documented key must be accepted by the parser, in its
+    /// documented section — the reference cannot drift.
+    #[test]
+    fn documented_keys_parse() {
+        for p in PARAMETERS {
+            let value = match p.value {
+                "string" => "\"x\"".to_string(),
+                "integer" => "1".to_string(),
+                "probability" => "0.5".to_string(),
+                v if v.contains("FIT") => "500".to_string(),
+                v if v.contains("transparent") => "transparent".to_string(),
+                v if v.contains("min") => "5 min".to_string(),
+                _ => "5 h".to_string(),
+            };
+            let text = match p.section {
+                Section::Global => format!(
+                    "global {{ {} = {} }} diagram \"D\" {{ block \"B\" {{ }} }}",
+                    p.key, value
+                ),
+                Section::Block => format!(
+                    "diagram \"D\" {{ block \"B\" {{ {} = {} }} }}",
+                    p.key, value
+                ),
+                Section::Redundancy => format!(
+                    "diagram \"D\" {{ block \"B\" {{ quantity = 2 min_quantity = 1 redundancy {{ {} = {} }} }} }}",
+                    p.key, value
+                ),
+            };
+            SystemSpec::from_dsl(&text).unwrap_or_else(|e| panic!("{}: {e}", p.key));
+        }
+    }
+
+    #[test]
+    fn markdown_contains_every_key() {
+        let md = markdown();
+        for p in PARAMETERS {
+            assert!(md.contains(p.key), "missing {}", p.key);
+        }
+        assert!(md.contains("Tresp"));
+        assert!(md.contains("## `global"));
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let mut keys: Vec<_> = PARAMETERS.iter().map(|p| p.key).collect();
+        keys.sort_unstable();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+    }
+}

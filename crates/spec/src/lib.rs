@@ -1,0 +1,42 @@
+//! The MG engineering-language specification for the RAScad
+//! reproduction.
+//!
+//! The paper's Model Generator is driven by a *diagram/block model*: a
+//! tree of MG diagrams, each a set of MG blocks, each block carrying the
+//! parameter list of Section 3 (MTBF, MTTR parts, redundancy, automatic
+//! recovery scenario, …). This crate defines those types, validates
+//! them, and provides a text DSL plus JSON serialization so models can
+//! be stored and shared — the paper emphasizes "file sharing across
+//! networks" as a core tool capability.
+//!
+//! # Example
+//!
+//! ```
+//! use rascad_spec::{BlockParams, Diagram, GlobalParams, SystemSpec};
+//! use rascad_spec::units::{Hours, Minutes};
+//!
+//! # fn main() -> Result<(), rascad_spec::SpecError> {
+//! let mut diagram = Diagram::new("Tiny System");
+//! diagram.push(
+//!     BlockParams::new("CPU", 1, 1)
+//!         .with_mtbf(Hours(100_000.0))
+//!         .with_mttr_parts(Minutes(30.0), Minutes(20.0), Minutes(10.0)),
+//! );
+//! let spec = SystemSpec::new(diagram, GlobalParams::default());
+//! spec.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod block;
+pub mod diagram;
+pub mod dsl;
+pub mod error;
+pub mod params;
+pub mod units;
+pub mod validate;
+
+pub use block::{Block, BlockParams, RedundancyParams, Scenario};
+pub use diagram::{Diagram, SystemSpec};
+pub use error::SpecError;
+pub use params::GlobalParams;

@@ -1,0 +1,272 @@
+//! Specification validation.
+//!
+//! Rejects physically meaningless models before generation: quantities,
+//! probabilities, durations, and the redundancy-parameter presence rule
+//! ("the following parameters are relevant only if Quantity is greater
+//! than Minimum Quantity Required", paper Section 3).
+
+use std::collections::HashSet;
+
+use crate::block::{Block, BlockParams};
+use crate::diagram::{Diagram, SystemSpec};
+use crate::error::SpecError;
+
+/// Validates a full system specification.
+///
+/// # Errors
+///
+/// Returns the first problem found as a [`SpecError`].
+pub fn validate(spec: &SystemSpec) -> Result<(), SpecError> {
+    spec.globals.validate()?;
+    validate_diagram(&spec.root, &spec.root.name)
+}
+
+fn validate_diagram(d: &Diagram, path: &str) -> Result<(), SpecError> {
+    if d.blocks.is_empty() {
+        return Err(SpecError::EmptyDiagram { diagram: path.to_string() });
+    }
+    let mut names = HashSet::new();
+    for b in &d.blocks {
+        if !names.insert(b.params.name.clone()) {
+            return Err(SpecError::DuplicateBlock {
+                diagram: path.to_string(),
+                block: b.params.name.clone(),
+            });
+        }
+        let bpath = format!("{path}/{}", b.params.name);
+        validate_block(b, &bpath)?;
+    }
+    Ok(())
+}
+
+fn validate_block(b: &Block, path: &str) -> Result<(), SpecError> {
+    validate_params(&b.params, path)?;
+    if let Some(sub) = &b.subdiagram {
+        validate_diagram(sub, path)?;
+    }
+    Ok(())
+}
+
+fn validate_params(p: &BlockParams, path: &str) -> Result<(), SpecError> {
+    let err = |parameter: &'static str, message: String| {
+        Err(SpecError::InvalidParameter { block: path.to_string(), parameter, message })
+    };
+    let nonneg = |v: f64| v.is_finite() && v >= 0.0;
+    let positive = |v: f64| v.is_finite() && v > 0.0;
+    let prob = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
+
+    if p.name.trim().is_empty() {
+        return err("name", "must not be empty".into());
+    }
+    if p.quantity == 0 {
+        return err("quantity", "must be at least 1".into());
+    }
+    if p.min_quantity == 0 {
+        return err("min_quantity", "must be at least 1".into());
+    }
+    if p.min_quantity > p.quantity {
+        return err(
+            "min_quantity",
+            format!("min quantity {} exceeds quantity {}", p.min_quantity, p.quantity),
+        );
+    }
+    if !positive(p.mtbf.0) {
+        return err("mtbf", format!("must be positive, got {}", p.mtbf.0));
+    }
+    if !nonneg(p.transient_fit.0) {
+        return err("transient_fit", format!("must be >= 0, got {}", p.transient_fit.0));
+    }
+    for (v, name) in [
+        (p.mttr_diagnosis.0, "mttr_diagnosis"),
+        (p.mttr_corrective.0, "mttr_corrective"),
+        (p.mttr_verification.0, "mttr_verification"),
+    ] {
+        if !nonneg(v) {
+            return Err(SpecError::InvalidParameter {
+                block: path.to_string(),
+                parameter: match name {
+                    "mttr_diagnosis" => "mttr_diagnosis",
+                    "mttr_corrective" => "mttr_corrective",
+                    _ => "mttr_verification",
+                },
+                message: format!("must be >= 0, got {v}"),
+            });
+        }
+    }
+    if p.mttr_total().0 <= 0.0 {
+        return err("mttr_diagnosis", "total MTTR must be positive".into());
+    }
+    if !nonneg(p.service_response.0) {
+        return err("service_response", format!("must be >= 0, got {}", p.service_response.0));
+    }
+    if !prob(p.p_correct_diagnosis) {
+        return err(
+            "p_correct_diagnosis",
+            format!("must be a probability, got {}", p.p_correct_diagnosis),
+        );
+    }
+
+    match (&p.redundancy, p.is_redundant()) {
+        (Some(_), false) => {
+            return Err(SpecError::RedundancyMismatch {
+                block: path.to_string(),
+                message: "redundancy parameters given but quantity == min quantity".into(),
+            });
+        }
+        (None, true) => {
+            return Err(SpecError::RedundancyMismatch {
+                block: path.to_string(),
+                message: "block is redundant but redundancy parameters are missing".into(),
+            });
+        }
+        (Some(r), true) => {
+            if !prob(r.p_latent_fault) {
+                return err(
+                    "p_latent",
+                    format!("must be a probability, got {}", r.p_latent_fault),
+                );
+            }
+            if !positive(r.mttdlf.0) {
+                return err("mttdlf", format!("must be positive, got {}", r.mttdlf.0));
+            }
+            if !nonneg(r.failover_time.0) {
+                return err("failover_time", format!("must be >= 0, got {}", r.failover_time.0));
+            }
+            if !prob(r.p_spf) {
+                return err("p_spf", format!("must be a probability, got {}", r.p_spf));
+            }
+            if !nonneg(r.spf_recovery_time.0) {
+                return err(
+                    "spf_recovery_time",
+                    format!("must be >= 0, got {}", r.spf_recovery_time.0),
+                );
+            }
+            if !nonneg(r.reintegration_time.0) {
+                return err(
+                    "reintegration_time",
+                    format!("must be >= 0, got {}", r.reintegration_time.0),
+                );
+            }
+        }
+        (None, false) => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GlobalParams;
+    use crate::units::Hours;
+
+    fn ok_spec() -> SystemSpec {
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1));
+        d.push(BlockParams::new("B", 2, 1));
+        SystemSpec::new(d, GlobalParams::default())
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        ok_spec().validate().unwrap();
+    }
+
+    #[test]
+    fn empty_diagram_rejected() {
+        let spec = SystemSpec::new(Diagram::new("Empty"), GlobalParams::default());
+        assert!(matches!(spec.validate(), Err(SpecError::EmptyDiagram { .. })));
+    }
+
+    #[test]
+    fn duplicate_blocks_rejected() {
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1));
+        d.push(BlockParams::new("A", 1, 1));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        assert!(matches!(spec.validate(), Err(SpecError::DuplicateBlock { .. })));
+    }
+
+    #[test]
+    fn zero_quantity_rejected() {
+        let mut d = Diagram::new("Sys");
+        let mut p = BlockParams::new("A", 1, 1);
+        p.quantity = 0;
+        d.push(p);
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        assert!(matches!(spec.validate(), Err(SpecError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn min_above_quantity_rejected() {
+        let mut d = Diagram::new("Sys");
+        let mut p = BlockParams::new("A", 1, 1);
+        p.min_quantity = 2;
+        d.push(p);
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        assert!(matches!(spec.validate(), Err(SpecError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn nonpositive_mtbf_rejected() {
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1).with_mtbf(Hours(0.0)));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        assert!(matches!(spec.validate(), Err(SpecError::InvalidParameter { parameter: "mtbf", .. })));
+    }
+
+    #[test]
+    fn probability_out_of_range_rejected() {
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1).with_p_correct_diagnosis(1.5));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        assert!(matches!(spec.validate(), Err(SpecError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn redundancy_presence_rule_enforced() {
+        // Redundant block missing redundancy params.
+        let mut d = Diagram::new("Sys");
+        let mut p = BlockParams::new("A", 2, 1);
+        p.redundancy = None;
+        d.push(p);
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        assert!(matches!(spec.validate(), Err(SpecError::RedundancyMismatch { .. })));
+
+        // Non-redundant block carrying redundancy params.
+        let mut d = Diagram::new("Sys");
+        let mut p = BlockParams::new("A", 1, 1);
+        p.redundancy = Some(crate::block::RedundancyParams::default());
+        d.push(p);
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        assert!(matches!(spec.validate(), Err(SpecError::RedundancyMismatch { .. })));
+    }
+
+    #[test]
+    fn nested_diagram_errors_carry_path() {
+        let mut sub = Diagram::new("Inner");
+        sub.push(BlockParams::new("Bad", 1, 1).with_mtbf(Hours(-5.0)));
+        let mut d = Diagram::new("Sys");
+        d.push_block(Block::with_subdiagram(BlockParams::new("Box", 1, 1), sub));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        match spec.validate() {
+            Err(SpecError::InvalidParameter { block, .. }) => {
+                assert_eq!(block, "Sys/Box/Bad");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_total_mttr_rejected() {
+        let mut d = Diagram::new("Sys");
+        d.push(
+            BlockParams::new("A", 1, 1).with_mttr_parts(
+                crate::units::Minutes(0.0),
+                crate::units::Minutes(0.0),
+                crate::units::Minutes(0.0),
+            ),
+        );
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        assert!(spec.validate().is_err());
+    }
+}

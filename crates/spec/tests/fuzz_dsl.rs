@@ -1,0 +1,49 @@
+//! Robustness: the DSL front end must never panic, whatever bytes it is
+//! fed — it either parses or returns a positioned error.
+
+use proptest::prelude::*;
+use rascad_spec::SystemSpec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary unicode input never panics the parser.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC*") {
+        let _ = SystemSpec::from_dsl(&input);
+    }
+
+    /// Arbitrary token soup built from DSL vocabulary never panics.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("diagram"), Just("block"), Just("global"), Just("redundancy"),
+                Just("subdiagram"), Just("{"), Just("}"), Just("="), Just("\"x\""),
+                Just("mtbf"), Just("quantity"), Just("3"), Just("4.5"), Just("h"),
+                Just("min"), Just("transparent"), Just("#c"), Just("recovery"),
+            ],
+            0..40,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = SystemSpec::from_dsl(&input);
+    }
+
+    /// Arbitrary JSON-ish input never panics the JSON loader.
+    #[test]
+    fn json_loader_never_panics(input in "\\PC*") {
+        let _ = SystemSpec::from_json(&input);
+    }
+
+    /// Every parse error carries a plausible position.
+    #[test]
+    fn parse_errors_have_positions(input in "[a-z{}=\" ]{0,60}") {
+        if let Err(rascad_spec::SpecError::Parse { line, column, .. }) =
+            SystemSpec::from_dsl(&input)
+        {
+            prop_assert!(line >= 1);
+            prop_assert!(column >= 1);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the spec crate: DSL round-trips and
+//! validation invariants over randomly generated specifications.
+
+use proptest::prelude::*;
+use rascad_spec::units::{Fit, Hours, Minutes};
+use rascad_spec::{
+    Block, BlockParams, Diagram, GlobalParams, RedundancyParams, Scenario, SystemSpec,
+};
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    prop_oneof![Just(Scenario::Transparent), Just(Scenario::Nontransparent)]
+}
+
+fn arb_redundancy() -> impl Strategy<Value = RedundancyParams> {
+    (
+        0.0..0.5f64,
+        1.0..1000.0f64,
+        arb_scenario(),
+        0.0..60.0f64,
+        0.0..0.2f64,
+        0.0..120.0f64,
+        arb_scenario(),
+        0.0..60.0f64,
+    )
+        .prop_map(|(plf, mttdlf, recovery, fo, pspf, spf, repair, reint)| RedundancyParams {
+            p_latent_fault: plf,
+            mttdlf: Hours(mttdlf),
+            recovery,
+            failover_time: Minutes(fo),
+            p_spf: pspf,
+            spf_recovery_time: Minutes(spf),
+            repair,
+            reintegration_time: Minutes(reint),
+        })
+}
+
+fn arb_params(name: String) -> impl Strategy<Value = BlockParams> {
+    (
+        1u32..6,
+        0u32..4,
+        100.0..1e7f64,
+        0.0..10_000.0f64,
+        (1.0..120.0f64, 0.0..120.0f64, 0.0..60.0f64),
+        0.0..48.0f64,
+        0.5..1.0f64,
+        arb_redundancy(),
+    )
+        .prop_map(move |(k, extra, mtbf, fit, (d, c, v), resp, pcd, red)| {
+            let n = k + extra;
+            let mut p = BlockParams::new(name.clone(), n, k)
+                .with_mtbf(Hours(mtbf))
+                .with_transient_fit(Fit(fit))
+                .with_mttr_parts(Minutes(d), Minutes(c), Minutes(v))
+                .with_service_response(Hours(resp))
+                .with_p_correct_diagnosis(pcd);
+            p.redundancy = if n > k { Some(red) } else { None };
+            p
+        })
+}
+
+fn arb_spec() -> impl Strategy<Value = SystemSpec> {
+    // 1-4 top blocks, up to one with a 1-3 block subdiagram.
+    (1usize..5, 1usize..4).prop_flat_map(|(ntop, nsub)| {
+        let tops: Vec<_> = (0..ntop).map(|i| arb_params(format!("Top{i}"))).collect();
+        let subs: Vec<_> = (0..nsub).map(|i| arb_params(format!("Sub{i}"))).collect();
+        (tops, subs).prop_map(|(tops, subs)| {
+            let mut root = Diagram::new("Root");
+            let mut iter = tops.into_iter();
+            if let Some(first) = iter.next() {
+                let mut sub = Diagram::new("Subsystem");
+                for s in subs {
+                    sub.push(s);
+                }
+                root.push_block(Block::with_subdiagram(first, sub));
+            }
+            for t in iter {
+                root.push(t);
+            }
+            SystemSpec::new(root, GlobalParams::default())
+        })
+    })
+}
+
+proptest! {
+    /// Generated specs are valid by construction.
+    #[test]
+    fn generated_specs_validate(spec in arb_spec()) {
+        prop_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
+    }
+
+    /// DSL print -> parse is the identity.
+    #[test]
+    fn dsl_roundtrip(spec in arb_spec()) {
+        let text = spec.to_dsl();
+        let back = SystemSpec::from_dsl(&text);
+        prop_assert!(back.is_ok(), "parse failed: {:?}\n{text}", back.err());
+        prop_assert_eq!(spec, back.unwrap());
+    }
+
+    /// JSON round-trip is the identity.
+    #[test]
+    fn json_roundtrip(spec in arb_spec()) {
+        let json = spec.to_json().unwrap();
+        let back = SystemSpec::from_json(&json).unwrap();
+        prop_assert_eq!(spec, back);
+    }
+
+    /// DSL and JSON agree after a full cycle through both.
+    #[test]
+    fn dsl_and_json_compose(spec in arb_spec()) {
+        let via_dsl = SystemSpec::from_dsl(&spec.to_dsl()).unwrap();
+        let via_json = SystemSpec::from_json(&via_dsl.to_json().unwrap()).unwrap();
+        prop_assert_eq!(spec, via_json);
+    }
+
+    /// Derived rates are consistent with parameters.
+    #[test]
+    fn derived_rates_consistent(spec in arb_spec()) {
+        spec.root.walk(&mut |_, _, b| {
+            let p = &b.params;
+            assert!((p.permanent_rate() * p.mtbf.0 - 1.0).abs() < 1e-12);
+            assert!(p.transient_rate() >= 0.0);
+            assert!(p.mttr_total().0 > 0.0);
+        });
+    }
+}

@@ -1,0 +1,59 @@
+//! A RAS-architecture trade study on a two-node cluster, using the
+//! parametric-analysis capability: how much does failover speed matter
+//! versus failover *reliability*?
+//!
+//! Run with: `cargo run --example cluster_tradeoff`
+
+use rascad::core::solve_spec;
+use rascad::core::sweep::{lin_space, sweep};
+use rascad::library::cluster::{two_node_cluster, ClusterConfig};
+use rascad::spec::units::Minutes;
+use rascad::spec::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = two_node_cluster(ClusterConfig::default());
+    let baseline = solve_spec(&base)?;
+    println!(
+        "baseline cluster: availability {:.9} ({:.2} downtime min/yr)\n",
+        baseline.system.availability, baseline.system.yearly_downtime_minutes
+    );
+
+    // Sweep 1: failover interruption length (Tfo).
+    println!("downtime vs failover time:");
+    println!("{:>14} {:>18}", "failover min", "downtime min/yr");
+    for point in sweep(&base, &lin_space(0.5, 30.0, 7)?, |spec, v| {
+        let node = spec.root.find_mut("Cluster Node").expect("block exists");
+        node.params.redundancy.as_mut().expect("redundant").failover_time = Minutes(v);
+    })? {
+        println!(
+            "{:>14.1} {:>18.3}",
+            point.value, point.solution.system.yearly_downtime_minutes
+        );
+    }
+
+    // Sweep 2: probability the failover itself fails (Pspf).
+    println!("\ndowntime vs failover failure probability:");
+    println!("{:>14} {:>18}", "P(spf)", "downtime min/yr");
+    for point in sweep(&base, &lin_space(0.0, 0.2, 9)?, |spec, v| {
+        let node = spec.root.find_mut("Cluster Node").expect("block exists");
+        node.params.redundancy.as_mut().expect("redundant").p_spf = v;
+    })? {
+        println!(
+            "{:>14.3} {:>18.3}",
+            point.value, point.solution.system.yearly_downtime_minutes
+        );
+    }
+
+    // Sweep 3: what if the failover were fully transparent (e.g. an
+    // active-active design)?
+    let mut transparent = base.clone();
+    let node = transparent.root.find_mut("Cluster Node").expect("block exists");
+    node.params.redundancy.as_mut().expect("redundant").recovery = Scenario::Transparent;
+    let t = solve_spec(&transparent)?;
+    println!(
+        "\nactive-active (transparent recovery): {:.2} downtime min/yr ({:.1}% of baseline)",
+        t.system.yearly_downtime_minutes,
+        100.0 * t.system.yearly_downtime_minutes / baseline.system.yearly_downtime_minutes
+    );
+    Ok(())
+}

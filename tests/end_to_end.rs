@@ -1,0 +1,123 @@
+//! End-to-end integration: DSL text → parsed spec → generated models →
+//! solved measures → report, across crate boundaries.
+
+use rascad::core::{report, solve_spec};
+use rascad::library::datacenter::data_center;
+use rascad::spec::SystemSpec;
+
+const HAND_WRITTEN: &str = r#"
+# A small web service: one app server pair and a database.
+global {
+    reboot_time = 6 min
+    mttm = 24 h
+    mttrfid = 6 h
+    mission_time = 8760 h
+}
+
+diagram "Web Service" {
+    block "App Server" {
+        quantity = 2
+        min_quantity = 1
+        mtbf = 8000 h
+        transient_fit = 20000
+        mttr_diagnosis = 30 min
+        mttr_corrective = 45 min
+        mttr_verification = 15 min
+        service_response = 4 h
+        p_correct_diagnosis = 0.97
+        redundancy {
+            p_latent = 0.02
+            mttdlf = 12 h
+            recovery = nontransparent
+            failover_time = 2 min
+            p_spf = 0.01
+            spf_recovery_time = 20 min
+            repair = transparent
+            reintegration_time = 0 min
+        }
+    }
+    block "Database" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 15000 h
+        mttr_diagnosis = 45 min
+        mttr_corrective = 60 min
+        mttr_verification = 30 min
+        service_response = 2 h
+        p_correct_diagnosis = 0.98
+    }
+}
+"#;
+
+#[test]
+fn hand_written_dsl_solves_end_to_end() {
+    let spec = SystemSpec::from_dsl(HAND_WRITTEN).expect("parses");
+    spec.validate().expect("validates");
+    let sol = solve_spec(&spec).expect("solves");
+    // The app pair is Type 3; the database Type 0.
+    let app = sol.block("Web Service/App Server").expect("present");
+    assert_eq!(app.model.model_type, 3);
+    let db = sol.block("Web Service/Database").expect("present");
+    assert_eq!(db.model.model_type, 0);
+    // The redundant pair should be far more available than the single DB.
+    assert!(app.measures.availability > db.measures.availability);
+    // System availability is the product.
+    let expect = app.measures.availability * db.measures.availability;
+    assert!((sol.system.availability - expect).abs() < 1e-12);
+}
+
+#[test]
+fn dsl_roundtrip_preserves_solution() {
+    let spec = SystemSpec::from_dsl(HAND_WRITTEN).unwrap();
+    let text = spec.to_dsl();
+    let again = SystemSpec::from_dsl(&text).unwrap();
+    let a = solve_spec(&spec).unwrap().system.yearly_downtime_minutes;
+    let b = solve_spec(&again).unwrap().system.yearly_downtime_minutes;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn json_roundtrip_preserves_solution() {
+    let spec = SystemSpec::from_dsl(HAND_WRITTEN).unwrap();
+    let json = spec.to_json().unwrap();
+    let again = SystemSpec::from_json(&json).unwrap();
+    assert_eq!(spec, again);
+}
+
+#[test]
+fn data_center_report_names_every_block() {
+    let spec = data_center();
+    let sol = solve_spec(&spec).unwrap();
+    let text = report::system_report(&spec.root.name, &sol);
+    let mut count = 0;
+    spec.root.walk(&mut |_, path, _| {
+        assert!(text.contains(path), "report missing {path}");
+        count += 1;
+    });
+    assert_eq!(count, 23);
+}
+
+#[test]
+fn generated_dot_for_every_block_is_well_formed() {
+    let spec = data_center();
+    spec.root.walk(&mut |_, path, block| {
+        let model =
+            rascad::core::generator::generate_block(&block.params, &spec.globals).expect(path);
+        let dot = report::chain_dot(&model);
+        assert!(dot.starts_with("digraph"), "{path}");
+        assert_eq!(dot.matches(" -> ").count(), model.transition_count(), "{path}");
+    });
+}
+
+#[test]
+fn mission_measures_scale_with_horizon() {
+    // Shorter missions have higher reliability and interval
+    // availability closer to 1.
+    let mut spec = SystemSpec::from_dsl(HAND_WRITTEN).unwrap();
+    spec.globals.mission_time = rascad::spec::units::Hours(720.0);
+    let short = solve_spec(&spec).unwrap().system;
+    spec.globals.mission_time = rascad::spec::units::Hours(87_600.0);
+    let long = solve_spec(&spec).unwrap().system;
+    assert!(short.reliability_at_mission > long.reliability_at_mission);
+    assert!(short.interval_availability >= long.interval_availability - 1e-12);
+}

@@ -1,0 +1,155 @@
+//! The paper's checkable claims, one test per claim — the executable
+//! ledger behind EXPERIMENTS.md.
+
+use rascad::core::generator::generate_block;
+use rascad::core::hierarchy::solve_spec_with;
+use rascad::core::solve_spec;
+use rascad::library::datacenter::data_center;
+use rascad::markov::SteadyStateMethod;
+use rascad::spec::units::{Fit, Hours, Minutes};
+use rascad::spec::{BlockParams, GlobalParams, RedundancyParams, Scenario};
+
+fn redundant(n: u32, k: u32, recovery: Scenario, repair: Scenario) -> BlockParams {
+    BlockParams::new("X", n, k)
+        .with_mtbf(Hours(20_000.0))
+        .with_transient_fit(Fit(5_000.0))
+        .with_mttr_parts(Minutes(30.0), Minutes(20.0), Minutes(10.0))
+        .with_service_response(Hours(4.0))
+        .with_p_correct_diagnosis(0.95)
+        .with_redundancy(RedundancyParams {
+            p_latent_fault: 0.05,
+            mttdlf: Hours(24.0),
+            recovery,
+            failover_time: Minutes(6.0),
+            p_spf: 0.02,
+            spf_recovery_time: Minutes(12.0),
+            repair,
+            reintegration_time: Minutes(10.0),
+        })
+}
+
+/// §4: "The four Markov model types are determined by the four
+/// combinations of the parameters Automatic Recovery Scenario and
+/// Repair Scenario."
+#[test]
+fn claim_four_types_from_scenario_combinations() {
+    let g = GlobalParams::default();
+    let mut seen = std::collections::HashSet::new();
+    for (rec, rep) in [
+        (Scenario::Transparent, Scenario::Transparent),
+        (Scenario::Transparent, Scenario::Nontransparent),
+        (Scenario::Nontransparent, Scenario::Transparent),
+        (Scenario::Nontransparent, Scenario::Nontransparent),
+    ] {
+        let m = generate_block(&redundant(2, 1, rec, rep), &g).unwrap();
+        assert!((1..=4).contains(&m.model_type));
+        seen.insert(m.model_type);
+    }
+    assert_eq!(seen.len(), 4);
+}
+
+/// §4 / Figure 4: the Type 3 state set for N = 2, K = 1 is exactly the
+/// nine states the paper names.
+#[test]
+fn claim_figure4_state_set() {
+    let g = GlobalParams::default();
+    let m = generate_block(
+        &redundant(2, 1, Scenario::Nontransparent, Scenario::Transparent),
+        &g,
+    )
+    .unwrap();
+    let mut ours: Vec<_> = m.chain.states().iter().map(|s| s.label.as_str()).collect();
+    ours.sort_unstable();
+    let mut paper = vec!["Ok", "TF1", "AR1", "SPF", "Latent1", "PF1", "TF2", "PF2", "ServiceError"];
+    paper.sort_unstable();
+    assert_eq!(ours, paper);
+}
+
+/// §4: "the complexity of the model increases from type 1 to type 4".
+#[test]
+fn claim_complexity_ordering() {
+    let g = GlobalParams::default();
+    let states: Vec<usize> = [
+        (Scenario::Transparent, Scenario::Transparent),
+        (Scenario::Transparent, Scenario::Nontransparent),
+        (Scenario::Nontransparent, Scenario::Transparent),
+        (Scenario::Nontransparent, Scenario::Nontransparent),
+    ]
+    .iter()
+    .map(|&(rec, rep)| generate_block(&redundant(3, 1, rec, rep), &g).unwrap().state_count())
+    .collect();
+    assert!(states[0] <= states[1] && states[1] <= states[3]);
+    assert!(states[0] <= states[2] && states[2] <= states[3]);
+    assert!(states[0] < states[3]);
+}
+
+/// §4: "if N − K > 1, states TF1, AR1, PF1 and Latent1 will be repeated
+/// in the model" — and they are generated automatically for larger N/K.
+#[test]
+fn claim_states_replicate_with_margin() {
+    let g = GlobalParams::default();
+    let m = generate_block(
+        &redundant(5, 2, Scenario::Nontransparent, Scenario::Transparent),
+        &g,
+    )
+    .unwrap();
+    for level in 1..=3 {
+        for prefix in ["TF", "AR", "PF", "Latent"] {
+            let label = format!("{prefix}{level}");
+            assert!(m.chain.state_by_label(&label).is_some(), "missing {label}");
+        }
+    }
+}
+
+/// §4: "The system availability of an MG diagram containing n blocks is
+/// the product of individual block availability."
+#[test]
+fn claim_diagram_availability_is_product() {
+    let sol = solve_spec(&data_center()).unwrap();
+    let product: f64 = sol
+        .blocks
+        .iter()
+        .filter(|b| b.level == 1)
+        .map(|b| b.combined_availability)
+        .product();
+    assert!((sol.system.availability - product).abs() < 1e-12);
+}
+
+/// §5: "the relative errors in yearly downtime are all less than 0.2%"
+/// across independent solvers, for the data-center example model.
+#[test]
+fn claim_cross_solver_error_below_02_percent() {
+    let spec = data_center();
+    let gth = solve_spec_with(&spec, SteadyStateMethod::Gth).unwrap();
+    let lu = solve_spec_with(&spec, SteadyStateMethod::Lu).unwrap();
+    let rel = (gth.system.yearly_downtime_minutes - lu.system.yearly_downtime_minutes).abs()
+        / gth.system.yearly_downtime_minutes;
+    assert!(rel < 0.002, "relative error {rel}");
+}
+
+/// §2: the level of detail is the FRU — quantity scales the failure
+/// rate linearly for non-redundant blocks.
+#[test]
+fn claim_fru_quantity_scales_rates() {
+    let g = GlobalParams::default();
+    let one = BlockParams::new("X", 1, 1).with_mtbf(Hours(50_000.0));
+    let four = BlockParams::new("X", 4, 4).with_mtbf(Hours(50_000.0));
+    let (m1, b1) = rascad::core::solve_block(&one, &g).unwrap();
+    let (m4, b4) = rascad::core::solve_block(&four, &g).unwrap();
+    assert_eq!(m1.state_count(), m4.state_count());
+    let ratio = b4.unavailability / b1.unavailability;
+    assert!((ratio - 4.0).abs() < 0.05, "ratio {ratio}");
+}
+
+/// §3: redundancy parameters "are relevant only if Quantity is greater
+/// than Minimum Quantity Required" — enforced by validation.
+#[test]
+fn claim_redundancy_relevance_rule() {
+    use rascad::spec::{Diagram, SystemSpec};
+    let mut p = BlockParams::new("X", 1, 1);
+    p.redundancy = Some(RedundancyParams::default());
+    let mut d = Diagram::new("Sys");
+    d.push(p);
+    let spec = SystemSpec::new(d, GlobalParams::default());
+    assert!(spec.validate().is_err());
+}

@@ -1,0 +1,64 @@
+//! Every `.rascad` file shipped under `specs/` must parse, validate,
+//! solve, and round-trip.
+
+use rascad::core::solve_spec;
+use rascad::spec::SystemSpec;
+
+fn sample_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("specs");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("specs/ directory exists")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension().is_some_and(|x| x == "rascad")).then_some(p)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no sample specs found in {}", dir.display());
+    files
+}
+
+#[test]
+fn all_sample_specs_solve() {
+    for path in sample_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = SystemSpec::from_dsl(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        spec.validate().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let sol = solve_spec(&spec).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            sol.system.availability > 0.9 && sol.system.availability < 1.0,
+            "{}: availability {}",
+            path.display(),
+            sol.system.availability
+        );
+    }
+}
+
+#[test]
+fn all_sample_specs_roundtrip() {
+    for path in sample_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = SystemSpec::from_dsl(&text).unwrap();
+        let again = SystemSpec::from_dsl(&spec.to_dsl()).unwrap();
+        assert_eq!(spec, again, "{}", path.display());
+        let via_json = SystemSpec::from_json(&spec.to_json().unwrap()).unwrap();
+        assert_eq!(spec, via_json, "{}", path.display());
+    }
+}
+
+#[test]
+fn web_service_structure() {
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("specs/web_service.rascad"),
+    )
+    .unwrap();
+    let spec = SystemSpec::from_dsl(&text).unwrap();
+    assert_eq!(spec.root.len(), 3);
+    assert_eq!(spec.root.depth(), 2);
+    let sol = solve_spec(&spec).unwrap();
+    // The database tier (with its engine) dominates the downtime.
+    let db = sol.block("Web Service/Database").unwrap();
+    let lb = sol.block("Web Service/Load Balancer").unwrap();
+    assert!(db.combined_availability < lb.combined_availability);
+}
