@@ -29,11 +29,7 @@ fn print_experiment() {
         let mut row = format!("{n:>4} {k:>4} |");
         for &(_, rec, rep) in &TYPES {
             let model = generate_block(&redundant_block(n, k, rec, rep), &g).expect("valid");
-            row.push_str(&format!(
-                " {:>6}/{:<6}",
-                model.state_count(),
-                model.transition_count()
-            ));
+            row.push_str(&format!(" {:>6}/{:<6}", model.state_count(), model.transition_count()));
         }
         println!("{row}");
     }

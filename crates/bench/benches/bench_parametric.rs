@@ -42,11 +42,8 @@ fn print_experiment() {
     println!("\ndowntime vs Operating System MTBF (log sweep):");
     println!("{:>12} {:>18}", "MTBF h", "downtime min/y");
     let pts = sweep(&base, &log_space(1_000.0, 1_000_000.0, 7).expect("valid range"), |s, v| {
-        s.root
-            .find_mut("Server Box/Operating System")
-            .expect("block exists")
-            .params
-            .mtbf = Hours(v);
+        s.root.find_mut("Server Box/Operating System").expect("block exists").params.mtbf =
+            Hours(v);
     })
     .expect("sweep solves");
     for p in &pts {

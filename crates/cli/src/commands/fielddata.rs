@@ -32,10 +32,8 @@ pub fn fielddata(spec: &SystemSpec, args: &[&str]) -> Result<String, CliError> {
     let cmp = compare(predicted, &field);
 
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Synthetic field data: {servers} server(s) x {months} month(s), seed {seed}"
-    );
+    let _ =
+        writeln!(out, "Synthetic field data: {servers} server(s) x {months} month(s), seed {seed}");
     for (r, log) in records.iter().zip(&logs) {
         let _ = writeln!(
             out,
@@ -46,7 +44,11 @@ pub fn fielddata(spec: &SystemSpec, args: &[&str]) -> Result<String, CliError> {
             log.downtime_hours()
         );
     }
-    let _ = writeln!(out, "  pooled: {} outages, MTBF {:.1} h, MTTR {:.2} h", field.outages, field.mtbf_hours, field.mttr_hours);
+    let _ = writeln!(
+        out,
+        "  pooled: {} outages, MTBF {:.1} h, MTTR {:.2} h",
+        field.outages, field.mtbf_hours, field.mttr_hours
+    );
     let _ = writeln!(out, "{cmp}");
     Ok(out)
 }

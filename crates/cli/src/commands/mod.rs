@@ -9,35 +9,77 @@ use std::fmt;
 mod fielddata;
 mod simulate;
 mod solve;
+mod stats;
 mod sweep;
 
-/// CLI error: a message for the user.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CliError(pub String);
+/// CLI error, classified so `main` can pick an exit code and print the
+/// cause chain.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments: unknown command, missing operand, unparseable
+    /// number, unknown block path. Exit code 2.
+    Usage(String),
+    /// The specification failed to parse or validate. Exit code 3.
+    Spec(rascad_spec::SpecError),
+    /// Model generation or solving failed. Exit code 4.
+    Solver(rascad_core::CoreError),
+    /// A file could not be read or written. Exit code 5.
+    Io { path: String, source: std::io::Error },
+}
 
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+impl CliError {
+    /// Shorthand for a usage error.
+    pub(crate) fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    /// Process exit code for this error class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Spec(_) => 3,
+            CliError::Solver(_) => 4,
+            CliError::Io { .. } => 5,
+        }
     }
 }
 
-impl std::error::Error for CliError {}
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => f.write_str(msg),
+            CliError::Spec(_) => f.write_str("invalid specification"),
+            CliError::Solver(_) => f.write_str("solving failed"),
+            CliError::Io { path, .. } => write!(f, "cannot access `{path}`"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Spec(e) => Some(e),
+            CliError::Solver(e) => Some(e),
+            CliError::Io { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<rascad_spec::SpecError> for CliError {
     fn from(e: rascad_spec::SpecError) -> Self {
-        CliError(e.to_string())
+        CliError::Spec(e)
     }
 }
 
 impl From<rascad_core::CoreError> for CliError {
     fn from(e: rascad_core::CoreError) -> Self {
-        CliError(e.to_string())
-    }
-}
-
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError(e.to_string())
+        // A spec-validation failure surfaced through the solver is still
+        // a spec error for exit-code purposes.
+        match e {
+            rascad_core::CoreError::Spec(e) => CliError::Spec(e),
+            other => CliError::Solver(other),
+        }
     }
 }
 
@@ -45,11 +87,18 @@ const USAGE: &str = "\
 rascad — automatic generation of availability models (RAScad, DSN 2002)
 
 USAGE:
-    rascad <COMMAND> [ARGS]
+    rascad [OPTIONS] <COMMAND> [ARGS]
+
+OPTIONS (apply to every command):
+    --trace <file|->                    write pipeline trace events as JSON lines to the
+                                        file (`-` for stdout)
+    --timings                           print a per-span timing summary to stderr on exit
 
 COMMANDS:
     check <spec.rascad>                 validate a specification
     solve <spec.rascad>                 solve and print the availability report
+    stats <spec.rascad>                 pipeline statistics: blocks per chain type, state
+                                        counts, per-stage wall time, solver diagnostics
     dot <spec.rascad> <block-path>      print the generated Markov chain as Graphviz DOT
     modes <spec.rascad> <block-path>    first-failure mode attribution for one block
     importance <spec.rascad>            rank blocks by system-level importance
@@ -64,16 +113,95 @@ COMMANDS:
                                         (names: datacenter, e10000, cluster, workgroup)
     reference                           print the DSL parameter reference (Markdown)
     help                                show this message
+
+EXIT CODES:
+    0 success   2 usage   3 invalid spec   4 solver failure   5 I/O error
 ";
+
+/// Observability options stripped from the command line before
+/// dispatch.
+#[derive(Debug, Default)]
+struct ObsOptions {
+    /// `--trace <file|->`: JSON-lines event destination.
+    trace: Option<String>,
+    /// `--timings`: human-readable span summary on stderr.
+    timings: bool,
+}
+
+/// RAII guard: installs the requested sinks on construction and
+/// drains + uninstalls tracing when dropped, so every exit path (including
+/// `?` early returns) flushes the aggregated metrics.
+struct ObsSession {
+    active: bool,
+}
+
+impl ObsSession {
+    fn start(opts: &ObsOptions) -> Result<ObsSession, CliError> {
+        let mut sinks: Vec<Box<dyn rascad_obs::Sink>> = Vec::new();
+        if let Some(target) = &opts.trace {
+            if target == "-" {
+                sinks.push(Box::new(rascad_obs::JsonLinesSink::new(std::io::stdout())));
+            } else {
+                let file = std::fs::File::create(target)
+                    .map_err(|source| CliError::Io { path: target.clone(), source })?;
+                sinks.push(Box::new(rascad_obs::JsonLinesSink::new(file)));
+            }
+        }
+        if opts.timings {
+            sinks.push(Box::new(rascad_obs::SummarySink::new(std::io::stderr())));
+        }
+        let active = !sinks.is_empty();
+        if active {
+            rascad_obs::install(sinks);
+        }
+        Ok(ObsSession { active })
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        if self.active {
+            rascad_obs::drain();
+            rascad_obs::uninstall();
+        }
+    }
+}
+
+/// Splits the global `--trace` / `--timings` flags from the command
+/// words.
+fn split_global_flags(args: &[String]) -> Result<(Vec<&str>, ObsOptions), CliError> {
+    let mut opts = ObsOptions::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter().map(String::as_str);
+    while let Some(a) = it.next() {
+        match a {
+            "--trace" => {
+                let target = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--trace needs a file argument (or `-`)"))?;
+                opts.trace = Some(target.to_string());
+            }
+            "--timings" => opts.timings = true,
+            other => rest.push(other),
+        }
+    }
+    Ok((rest, opts))
+}
 
 /// Runs a command line; returns the text to print.
 ///
 /// # Errors
 ///
 /// Returns [`CliError`] with a user-facing message for bad usage, bad
-/// specs, or solver failures.
+/// specs, solver failures, or I/O problems; see [`CliError::exit_code`].
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let mut it = args.iter().map(String::as_str);
+    let (words, obs) = split_global_flags(args)?;
+    let _session = ObsSession::start(&obs)?;
+    dispatch(&words)
+}
+
+fn dispatch(args: &[&str]) -> Result<String, CliError> {
+    let mut it = args.iter().copied();
     match it.next() {
         None | Some("help" | "--help" | "-h") => Ok(USAGE.to_string()),
         Some("check") => {
@@ -86,18 +214,19 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             ))
         }
         Some("solve") => solve::solve(&load(it.next())?),
+        Some("stats") => {
+            let path =
+                it.next().ok_or_else(|| CliError::usage("stats needs a spec file argument"))?;
+            stats::stats(path)
+        }
         Some("dot") => {
             let spec = load(it.next())?;
-            let path = it
-                .next()
-                .ok_or_else(|| CliError("dot needs a block path".into()))?;
+            let path = it.next().ok_or_else(|| CliError::usage("dot needs a block path"))?;
             solve::dot(&spec, path)
         }
         Some("modes") => {
             let spec = load(it.next())?;
-            let path = it
-                .next()
-                .ok_or_else(|| CliError("modes needs a block path".into()))?;
+            let path = it.next().ok_or_else(|| CliError::usage("modes needs a block path"))?;
             solve::modes(&spec, path)
         }
         Some("importance") => {
@@ -135,13 +264,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             library(name)
         }
         Some("reference") => Ok(rascad_spec::dsl::reference::markdown()),
-        Some(other) => Err(CliError(format!("unknown command `{other}`; try `rascad help`"))),
+        Some(other) => {
+            Err(CliError::usage(format!("unknown command `{other}`; try `rascad help`")))
+        }
     }
 }
 
 fn load(path: Option<&str>) -> Result<rascad_spec::SystemSpec, CliError> {
-    let path = path.ok_or_else(|| CliError("missing spec file argument".into()))?;
-    let text = std::fs::read_to_string(path)?;
+    let path = path.ok_or_else(|| CliError::usage("missing spec file argument"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.to_string(), source })?;
     let spec = if path.ends_with(".json") {
         rascad_spec::SystemSpec::from_json(&text)?
     } else {
@@ -154,12 +286,12 @@ fn library(name: &str) -> Result<String, CliError> {
     let spec = match name {
         "datacenter" => rascad_library::datacenter::data_center(),
         "e10000" => rascad_library::e10000::e10000(),
-        "cluster" => {
-            rascad_library::cluster::two_node_cluster(rascad_library::cluster::ClusterConfig::default())
-        }
+        "cluster" => rascad_library::cluster::two_node_cluster(
+            rascad_library::cluster::ClusterConfig::default(),
+        ),
         "workgroup" => rascad_library::workgroup::workgroup(),
         other => {
-            return Err(CliError(format!(
+            return Err(CliError::usage(format!(
                 "unknown library model `{other}` (datacenter, e10000, cluster, workgroup)"
             )));
         }
@@ -176,9 +308,7 @@ pub(crate) fn num_arg<T: std::str::FromStr>(
 ) -> Result<T, CliError> {
     match args.get(index) {
         None => Ok(default),
-        Some(s) => s
-            .parse()
-            .map_err(|_| CliError(format!("bad {what}: `{s}`"))),
+        Some(s) => s.parse().map_err(|_| CliError::usage(format!("bad {what}: `{s}`"))),
     }
 }
 
@@ -248,8 +378,7 @@ mod tests {
         let pb = dir.join("rascad_cmp_b.rascad");
         std::fs::write(&pa, rascad_library::e10000::e10000().to_dsl()).unwrap();
         std::fs::write(&pb, rascad_library::e10000::e10000_no_redundancy().to_dsl()).unwrap();
-        let out =
-            run_strs(&["compare", pa.to_str().unwrap(), pb.to_str().unwrap()]).unwrap();
+        let out = run_strs(&["compare", pa.to_str().unwrap(), pb.to_str().unwrap()]).unwrap();
         assert!(out.contains("winner on downtime"));
         assert!(out.contains("E10000 Server"));
         std::fs::remove_file(&pa).ok();

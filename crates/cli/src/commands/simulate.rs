@@ -17,14 +17,23 @@ pub fn simulate(spec: &SystemSpec, args: &[&str]) -> Result<String, CliError> {
     let analytic = solve_spec(spec)?;
     let result = simulate_system(
         spec,
-        &SystemSimOptions { horizon_hours: horizon, replications, seed, deterministic_repairs: false },
+        &SystemSimOptions {
+            horizon_hours: horizon,
+            replications,
+            seed,
+            deterministic_repairs: false,
+        },
     )?;
     let est = result.availability;
 
     let mut out = String::new();
     let _ = writeln!(out, "Monte-Carlo cross-check ({replications} x {horizon} h, seed {seed})");
     let _ = writeln!(out, "  analytic availability : {:.9}", analytic.system.availability);
-    let _ = writeln!(out, "  simulated             : {:.9} ± {:.2e} (95% CI)", est.mean, est.ci_half_width);
+    let _ = writeln!(
+        out,
+        "  simulated             : {:.9} ± {:.2e} (95% CI)",
+        est.mean, est.ci_half_width
+    );
     let covered = (analytic.system.availability - est.mean).abs() <= est.ci_half_width.max(1e-9);
     let _ = writeln!(out, "  analytic inside CI    : {}", if covered { "yes" } else { "no" });
     let _ = writeln!(out, "  outages in first run  : {}", result.example_log.outage_count());

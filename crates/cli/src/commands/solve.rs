@@ -16,7 +16,7 @@ pub fn dot(spec: &SystemSpec, block_path: &str) -> Result<String, CliError> {
     let block = spec
         .root
         .find(block_path)
-        .ok_or_else(|| CliError(format!("no block at path `{block_path}`")))?;
+        .ok_or_else(|| CliError::usage(format!("no block at path `{block_path}`")))?;
     let model = generate_block(&block.params, &spec.globals)?;
     Ok(report::chain_dot(&model))
 }
@@ -26,7 +26,7 @@ pub fn modes(spec: &SystemSpec, block_path: &str) -> Result<String, CliError> {
     let block = spec
         .root
         .find(block_path)
-        .ok_or_else(|| CliError(format!("no block at path `{block_path}`")))?;
+        .ok_or_else(|| CliError::usage(format!("no block at path `{block_path}`")))?;
     let model = generate_block(&block.params, &spec.globals)?;
     let attribution = rascad_core::measures::failure_mode_attribution(&model)?;
     let mut out = format!(

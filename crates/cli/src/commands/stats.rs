@@ -1,0 +1,232 @@
+//! `stats` — pipeline statistics for one specification.
+//!
+//! Runs the full parse → validate → generate → solve pipeline with a
+//! stopwatch around each stage and reports structural statistics
+//! (blocks per chain type, state counts) plus the solver diagnostics
+//! aggregated by `rascad-obs` (GTH solves, LU fill, pivot magnitudes).
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rascad_core::generator::generate_block;
+use rascad_core::solve_spec;
+use rascad_obs::{Event, MetricsSummary, Sink};
+use rascad_spec::{Block, Diagram, SystemSpec};
+
+use super::CliError;
+
+/// Keeps the final [`Event::Metrics`] of a drain so the command can
+/// report solver diagnostics without a trace file.
+struct CaptureSink(Arc<Mutex<Option<MetricsSummary>>>);
+
+impl Sink for CaptureSink {
+    fn event(&mut self, event: &Event) {
+        if let Event::Metrics { counters, values } = event {
+            if let Ok(mut slot) = self.0.lock() {
+                *slot = Some((counters.clone(), values.clone()));
+            }
+        }
+    }
+}
+
+/// Disables tracing again if `stats` was the one to enable it, even on
+/// an early error return.
+struct CaptureGuard {
+    active: bool,
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        if self.active {
+            rascad_obs::uninstall();
+        }
+    }
+}
+
+const CHAIN_TYPE_LABELS: [&str; 5] = [
+    "type 0 (no redundancy, N = K)",
+    "type 1 (transparent recovery, transparent repair)",
+    "type 2 (transparent recovery, nontransparent repair)",
+    "type 3 (nontransparent recovery, transparent repair)",
+    "type 4 (nontransparent recovery, nontransparent repair)",
+];
+
+/// Runs the pipeline on the spec at `path` and renders the statistics
+/// report.
+pub fn stats(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.to_string(), source })?;
+
+    let t = Instant::now();
+    let spec = if path.ends_with(".json") {
+        SystemSpec::from_json(&text)?
+    } else {
+        SystemSpec::from_dsl(&text)?
+    };
+    let t_parse = t.elapsed();
+
+    let t = Instant::now();
+    spec.validate()?;
+    let t_validate = t.elapsed();
+
+    let t = Instant::now();
+    let mut per_type = [0usize; 5];
+    let mut total_states = 0usize;
+    let mut total_transitions = 0usize;
+    let mut largest: Option<(String, u8, usize)> = None;
+    visit_blocks(&spec.root, "", &mut |block, block_path| {
+        let model = generate_block(&block.params, &spec.globals)?;
+        per_type[usize::from(model.model_type)] += 1;
+        total_states += model.state_count();
+        total_transitions += model.transition_count();
+        if largest.as_ref().is_none_or(|&(_, _, s)| model.state_count() > s) {
+            largest = Some((block_path, model.model_type, model.state_count()));
+        }
+        Ok(())
+    })?;
+    let t_generate = t.elapsed();
+
+    // Collect solver diagnostics through the obs layer, unless the user
+    // already routed them elsewhere with --trace/--timings. Installed
+    // only now so the structural pass above doesn't double-count the
+    // generation metrics: the solve stage runs one full generate+solve
+    // pipeline, and that is what the diagnostics table reports.
+    let captured: Arc<Mutex<Option<MetricsSummary>>> = Arc::new(Mutex::new(None));
+    let own_subscriber = !rascad_obs::enabled();
+    if own_subscriber {
+        rascad_obs::install(vec![Box::new(CaptureSink(Arc::clone(&captured)))]);
+    }
+    let _guard = CaptureGuard { active: own_subscriber };
+
+    let t = Instant::now();
+    let sol = solve_spec(&spec)?;
+    let t_solve = t.elapsed();
+
+    if own_subscriber {
+        rascad_obs::drain();
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "pipeline statistics for \"{}\" ({path})", spec.root.name);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "stage timings:");
+    for (stage, d) in
+        [("parse", t_parse), ("validate", t_validate), ("generate", t_generate), ("solve", t_solve)]
+    {
+        let _ = writeln!(out, "  {stage:<10} {}", fmt_stage(d));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "blocks per chain type:");
+    for (count, label) in per_type.iter().zip(CHAIN_TYPE_LABELS) {
+        if *count > 0 {
+            let _ = writeln!(out, "  {label:<56} {count:>4}");
+        }
+    }
+    let blocks: usize = per_type.iter().sum();
+    let _ = writeln!(
+        out,
+        "  total: {blocks} blocks, {total_states} states, {total_transitions} transitions"
+    );
+    if let Some((block_path, ty, states)) = largest {
+        let _ = writeln!(out, "  largest chain: \"{block_path}\" (type {ty}, {states} states)");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "system availability {:.9} ({:.1} min/y downtime)",
+        sol.system.availability, sol.system.yearly_downtime_minutes
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "solver diagnostics:");
+    match captured.lock().ok().and_then(|mut slot| slot.take()) {
+        Some((counters, values)) => {
+            for (name, v) in &counters {
+                let _ = writeln!(out, "  {name:<36} {v:>12}");
+            }
+            if !values.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {:<36} {:>6} {:>10} {:>10} {:>10}",
+                    "value", "count", "mean", "p50", "max"
+                );
+                for (name, s) in &values {
+                    let _ = writeln!(
+                        out,
+                        "  {name:<36} {:>6} {:>10.4} {:>10.4} {:>10.4}",
+                        s.count,
+                        s.mean(),
+                        s.p50,
+                        s.max
+                    );
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(out, "  (streamed to the sinks installed by --trace/--timings)");
+        }
+    }
+    Ok(out)
+}
+
+/// Depth-first walk of every block in the hierarchy, passing its
+/// slash-separated path.
+fn visit_blocks(
+    diagram: &Diagram,
+    prefix: &str,
+    f: &mut impl FnMut(&Block, String) -> Result<(), CliError>,
+) -> Result<(), CliError> {
+    for block in &diagram.blocks {
+        let block_path = if prefix.is_empty() {
+            block.params.name.clone()
+        } else {
+            format!("{prefix}/{}", block.params.name)
+        };
+        f(block, block_path.clone())?;
+        if let Some(sub) = &block.subdiagram {
+            visit_blocks(sub, &block_path, f)?;
+        }
+    }
+    Ok(())
+}
+
+fn fmt_stage(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else {
+        format!("{:.3} ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_reports_stages_types_and_diagnostics() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rascad_stats_test.rascad");
+        let spec = rascad_library::datacenter::data_center();
+        std::fs::write(&path, spec.to_dsl()).unwrap();
+
+        let out = stats(path.to_str().unwrap()).unwrap();
+        assert!(out.contains("stage timings:"), "{out}");
+        for stage in ["parse", "validate", "generate", "solve"] {
+            assert!(out.contains(stage), "missing stage {stage}: {out}");
+        }
+        assert!(out.contains("blocks per chain type:"), "{out}");
+        assert!(out.contains("type 0"), "{out}");
+        assert!(out.contains("largest chain:"), "{out}");
+        assert!(out.contains("system availability"), "{out}");
+        assert!(out.contains("solver diagnostics:"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_missing_file_is_io_error() {
+        let e = stats("/no/such/spec.rascad").unwrap_err();
+        assert!(matches!(e, CliError::Io { .. }));
+        assert_eq!(e.exit_code(), 5);
+    }
+}

@@ -11,24 +11,21 @@ use super::CliError;
 /// Runs `sweep <block-path> <param> <from> <to> <points> [--log]`.
 pub fn sweep(spec: &SystemSpec, args: &[&str]) -> Result<String, CliError> {
     let [path, param, from, to, points, rest @ ..] = args else {
-        return Err(CliError(
-            "usage: sweep <spec> <block-path> <param> <from> <to> <points> [--log]".into(),
+        return Err(CliError::usage(
+            "usage: sweep <spec> <block-path> <param> <from> <to> <points> [--log]",
         ));
     };
-    let from: f64 = from.parse().map_err(|_| CliError(format!("bad from `{from}`")))?;
-    let to: f64 = to.parse().map_err(|_| CliError(format!("bad to `{to}`")))?;
+    let from: f64 = from.parse().map_err(|_| CliError::usage(format!("bad from `{from}`")))?;
+    let to: f64 = to.parse().map_err(|_| CliError::usage(format!("bad to `{to}`")))?;
     let points: usize =
-        points.parse().map_err(|_| CliError(format!("bad point count `{points}`")))?;
+        points.parse().map_err(|_| CliError::usage(format!("bad point count `{points}`")))?;
     let logarithmic = rest.contains(&"--log");
 
     if spec.root.find(path).is_none() {
-        return Err(CliError(format!("no block at path `{path}`")));
+        return Err(CliError::usage(format!("no block at path `{path}`")));
     }
-    let values = if logarithmic {
-        log_space(from, to, points)
-    } else {
-        lin_space(from, to, points)
-    }?;
+    let values =
+        if logarithmic { log_space(from, to, points) } else { lin_space(from, to, points) }?;
 
     let param_owned = param.to_string();
     let path_owned = path.to_string();
@@ -51,9 +48,7 @@ pub fn sweep(spec: &SystemSpec, args: &[&str]) -> Result<String, CliError> {
         let _ = writeln!(
             out,
             "{:>14.6} {:>16.9} {:>18.3}",
-            p.value,
-            p.solution.system.availability,
-            p.solution.system.yearly_downtime_minutes
+            p.value, p.solution.system.availability, p.solution.system.yearly_downtime_minutes
         );
     }
     if results.len() > 1 {
@@ -61,7 +56,7 @@ pub fn sweep(spec: &SystemSpec, args: &[&str]) -> Result<String, CliError> {
         if results.iter().all(|p| (p.solution.system.availability - first).abs() < 1e-15)
             && !matches!(args[1], "mtbf" | "tresp" | "pcd")
         {
-            return Err(CliError(format!(
+            return Err(CliError::usage(format!(
                 "unknown sweep parameter `{}` (mtbf, tresp, pcd)",
                 args[1]
             )));
@@ -78,11 +73,9 @@ mod tests {
     #[test]
     fn sweeps_mtbf_logarithmically() {
         let spec = data_center();
-        let out = sweep(
-            &spec,
-            &["Server Box/System Board", "mtbf", "10000", "1000000", "4", "--log"],
-        )
-        .unwrap();
+        let out =
+            sweep(&spec, &["Server Box/System Board", "mtbf", "10000", "1000000", "4", "--log"])
+                .unwrap();
         assert_eq!(out.lines().count(), 2 + 4);
         assert!(out.contains("availability"));
     }
@@ -90,11 +83,7 @@ mod tests {
     #[test]
     fn rejects_unknown_parameter() {
         let spec = data_center();
-        assert!(sweep(
-            &spec,
-            &["Server Box/System Board", "warp", "1", "2", "3"],
-        )
-        .is_err());
+        assert!(sweep(&spec, &["Server Box/System Board", "warp", "1", "2", "3"],).is_err());
     }
 
     #[test]

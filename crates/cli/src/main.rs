@@ -4,6 +4,7 @@
 //! same pipeline: parse an engineering spec, generate the availability
 //! models, solve, and report.
 
+use std::error::Error as _;
 use std::process::ExitCode;
 
 mod commands;
@@ -17,7 +18,12 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            let mut cause = e.source();
+            while let Some(c) = cause {
+                eprintln!("  caused by: {c}");
+                cause = c.source();
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

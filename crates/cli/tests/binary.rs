@@ -3,12 +3,14 @@
 use std::process::Command;
 
 fn rascad(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_rascad"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let (code, stdout, stderr) = rascad_code(args);
+    (code == Some(0), stdout, stderr)
+}
+
+fn rascad_code(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rascad")).args(args).output().expect("binary runs");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -58,4 +60,127 @@ fn missing_file_is_a_clean_error() {
     let (ok, _, stderr) = rascad(&["solve", "/definitely/not/here.rascad"]);
     assert!(!ok);
     assert!(!stderr.is_empty());
+}
+
+#[test]
+fn exit_codes_distinguish_error_classes() {
+    // Usage errors: unknown command, missing operand.
+    let (code, _, _) = rascad_code(&["bogus"]);
+    assert_eq!(code, Some(2));
+    let (code, _, _) = rascad_code(&["solve"]);
+    assert_eq!(code, Some(2));
+
+    // Spec errors: file exists but fails to parse.
+    let dir = std::env::temp_dir();
+    let bad = dir.join("rascad_binary_bad.rascad");
+    std::fs::write(&bad, "this is not a spec").unwrap();
+    let (code, _, stderr) = rascad_code(&["solve", bad.to_str().unwrap()]);
+    assert_eq!(code, Some(3), "{stderr}");
+    // The diagnostic formatter prints the underlying cause chain.
+    assert!(stderr.contains("error: invalid specification"), "{stderr}");
+    assert!(stderr.contains("caused by:"), "{stderr}");
+    std::fs::remove_file(&bad).ok();
+
+    // I/O errors: unreadable path.
+    let (code, _, _) = rascad_code(&["solve", "/definitely/not/here.rascad"]);
+    assert_eq!(code, Some(5));
+}
+
+#[test]
+fn trace_to_stdout_emits_parseable_json_lines() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("rascad_binary_trace.rascad");
+    let (ok, dsl, _) = rascad(&["library", "workgroup"]);
+    assert!(ok);
+    std::fs::write(&path, &dsl).unwrap();
+
+    let (ok, stdout, _) = rascad(&["solve", "--trace", "-", path.to_str().unwrap()]);
+    assert!(ok);
+    // The report is still there alongside the trace.
+    assert!(stdout.contains("Yearly downtime"), "{stdout}");
+
+    // Every trace line is strict JSON; collect the span names seen.
+    let mut span_names = Vec::new();
+    let mut metrics_seen = false;
+    let mut trace_lines = 0;
+    for line in stdout.lines().filter(|l| l.starts_with('{')) {
+        trace_lines += 1;
+        let v = rascad_obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line `{line}`: {e}"));
+        match v.get("ev").and_then(|e| e.as_str()) {
+            Some("span_start" | "span_end") => {
+                span_names.push(v.get("name").unwrap().as_str().unwrap().to_string());
+                if v.get("ev").unwrap().as_str() == Some("span_end") {
+                    assert!(v.get("elapsed_us").unwrap().as_f64().unwrap() >= 0.0);
+                }
+            }
+            Some("metrics") => {
+                metrics_seen = true;
+                let counters = v.get("counters").unwrap();
+                assert!(counters.get("core.blocks_generated").is_some(), "{line}");
+            }
+            other => panic!("unexpected event {other:?} in `{line}`"),
+        }
+    }
+    assert!(trace_lines > 4, "expected a real trace, got {trace_lines} lines");
+    assert!(metrics_seen, "no metrics event in trace");
+    // Parse, generate, and solve stages must all be covered.
+    for expected in ["spec.parse_dsl", "core.generate_block", "core.solve_spec", "markov.gth"] {
+        assert!(
+            span_names.iter().any(|n| n == expected),
+            "span `{expected}` missing from {span_names:?}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_to_file_and_timings_to_stderr() {
+    let dir = std::env::temp_dir();
+    let spec_path = dir.join("rascad_binary_trace_file.rascad");
+    let trace_path = dir.join("rascad_binary_trace_file.jsonl");
+    let (ok, dsl, _) = rascad(&["library", "cluster"]);
+    assert!(ok);
+    std::fs::write(&spec_path, &dsl).unwrap();
+
+    let (ok, stdout, stderr) = rascad(&[
+        "--timings",
+        "solve",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        spec_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    // Report stays clean on stdout; the timing table goes to stderr.
+    assert!(stdout.contains("Yearly downtime"));
+    assert!(!stdout.contains("span_start"));
+    assert!(stderr.contains("rascad timings"), "{stderr}");
+    assert!(stderr.contains("core.solve_spec"), "{stderr}");
+    // Exactly one summary table despite drain + uninstall both flushing.
+    assert_eq!(stderr.matches("rascad timings").count(), 1, "{stderr}");
+
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.lines().count() > 4);
+    for line in trace.lines() {
+        rascad_obs::json::parse(line).expect("trace file line parses");
+    }
+    std::fs::remove_file(&spec_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn stats_command_reports_pipeline() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("rascad_binary_stats.rascad");
+    let (ok, dsl, _) = rascad(&["library", "e10000"]);
+    assert!(ok);
+    std::fs::write(&path, &dsl).unwrap();
+
+    let (ok, stdout, _) = rascad(&["stats", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("stage timings:"), "{stdout}");
+    assert!(stdout.contains("blocks per chain type:"), "{stdout}");
+    assert!(stdout.contains("solver diagnostics:"), "{stdout}");
+    assert!(stdout.contains("markov.gth.solves"), "{stdout}");
+    std::fs::remove_file(&path).ok();
 }

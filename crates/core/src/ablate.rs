@@ -61,10 +61,7 @@ pub fn strip_redundancy(spec: &SystemSpec) -> SystemSpec {
     })
 }
 
-fn transform(
-    spec: &SystemSpec,
-    f: impl Fn(&mut rascad_spec::BlockParams) + Copy,
-) -> SystemSpec {
+fn transform(spec: &SystemSpec, f: impl Fn(&mut rascad_spec::BlockParams) + Copy) -> SystemSpec {
     let mut out = spec.clone();
     out.root.walk_mut(&mut |b| f(&mut b.params));
     out

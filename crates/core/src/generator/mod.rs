@@ -69,20 +69,30 @@ impl BlockModel {
 /// validation (cannot happen for parameter sets that pass
 /// [`rascad_spec::validate`], but malformed hand-built parameters are
 /// caught here too).
-pub fn generate_block(params: &BlockParams, globals: &GlobalParams) -> Result<BlockModel, CoreError> {
+pub fn generate_block(
+    params: &BlockParams,
+    globals: &GlobalParams,
+) -> Result<BlockModel, CoreError> {
     let rates = Rates::derive(params, globals);
     let model_type =
         params.redundancy.as_ref().map_or(0, rascad_spec::RedundancyParams::model_type);
+    let mut span = rascad_obs::span("core.generate_block");
+    span.record("block", params.name.as_str());
+    span.record("chain_type", u64::from(model_type));
+    span.record("n", params.quantity);
+    span.record("k", params.min_quantity);
     let mut mb = ModelBuilder::new();
     if params.is_redundant() {
         redundant::build(&mut mb, params, &rates);
     } else {
         type0::build(&mut mb, params, &rates);
     }
-    let chain = mb.finish().map_err(|source| CoreError::Markov {
-        block: params.name.clone(),
-        source,
-    })?;
+    let chain =
+        mb.finish().map_err(|source| CoreError::Markov { block: params.name.clone(), source })?;
+    span.record("states", chain.len());
+    span.record("transitions", chain.transition_count());
+    rascad_obs::counter("core.blocks_generated", 1);
+    rascad_obs::record_value("core.block_states", chain.len() as f64);
     Ok(BlockModel {
         name: params.name.clone(),
         model_type,
@@ -168,9 +178,7 @@ mod tests {
             (Scenario::Nontransparent, Scenario::Transparent, 3),
             (Scenario::Nontransparent, Scenario::Nontransparent, 4),
         ] {
-            let mut r = RedundancyParams::default();
-            r.recovery = recovery;
-            r.repair = repair;
+            let r = RedundancyParams { recovery, repair, ..Default::default() };
             let p = BlockParams::new("X", 2, 1).with_redundancy(r);
             let m = generate_block(&p, &globals()).unwrap();
             assert_eq!(m.model_type, expect);
@@ -180,11 +188,13 @@ mod tests {
 
     #[test]
     fn generated_chains_are_solvable() {
-        let mut r = RedundancyParams::default();
-        r.p_latent_fault = 0.05;
-        r.p_spf = 0.01;
-        r.recovery = Scenario::Nontransparent;
-        r.repair = Scenario::Nontransparent;
+        let r = RedundancyParams {
+            p_latent_fault: 0.05,
+            p_spf: 0.01,
+            recovery: Scenario::Nontransparent,
+            repair: Scenario::Nontransparent,
+            ..Default::default()
+        };
         let p = BlockParams::new("X", 4, 2)
             .with_mtbf(Hours(80_000.0))
             .with_transient_fit(Fit(1_000.0))

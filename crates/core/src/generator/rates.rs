@@ -53,8 +53,7 @@ impl Rates {
     /// Derives the rate set from a block and the globals.
     pub fn derive(params: &BlockParams, globals: &GlobalParams) -> Rates {
         let r = params.redundancy;
-        let transparent_recovery =
-            r.is_none_or(|r| r.recovery == Scenario::Transparent);
+        let transparent_recovery = r.is_none_or(|r| r.recovery == Scenario::Transparent);
         let transparent_repair = r.is_none_or(|r| r.repair == Scenario::Transparent);
         Rates {
             lambda_p: params.permanent_rate(),
@@ -154,11 +153,13 @@ mod tests {
 
     #[test]
     fn transparent_scenarios_zero_downtimes() {
-        let mut red = RedundancyParams::default();
-        red.recovery = Scenario::Transparent;
-        red.repair = Scenario::Transparent;
-        red.failover_time = Minutes(30.0);
-        red.reintegration_time = Minutes(30.0);
+        let red = RedundancyParams {
+            recovery: Scenario::Transparent,
+            repair: Scenario::Transparent,
+            failover_time: Minutes(30.0),
+            reintegration_time: Minutes(30.0),
+            ..Default::default()
+        };
         let p = BlockParams::new("X", 2, 1).with_redundancy(red);
         let r = Rates::derive(&p, &GlobalParams::default());
         // Transparent scenarios elide the downtime regardless of the
@@ -169,11 +170,13 @@ mod tests {
 
     #[test]
     fn nontransparent_scenarios_keep_downtimes() {
-        let mut red = RedundancyParams::default();
-        red.recovery = Scenario::Nontransparent;
-        red.repair = Scenario::Nontransparent;
-        red.failover_time = Minutes(30.0);
-        red.reintegration_time = Minutes(15.0);
+        let red = RedundancyParams {
+            recovery: Scenario::Nontransparent,
+            repair: Scenario::Nontransparent,
+            failover_time: Minutes(30.0),
+            reintegration_time: Minutes(15.0),
+            ..Default::default()
+        };
         let p = BlockParams::new("X", 2, 1).with_redundancy(red);
         let r = Rates::derive(&p, &GlobalParams::default());
         assert_eq!(r.tfo, 0.5);
@@ -183,9 +186,8 @@ mod tests {
 
     #[test]
     fn effective_probabilities_gate_on_durations() {
-        let mut red = RedundancyParams::default();
-        red.p_spf = 0.1;
-        red.spf_recovery_time = Minutes(0.0);
+        let red =
+            RedundancyParams { p_spf: 0.1, spf_recovery_time: Minutes(0.0), ..Default::default() };
         let p = BlockParams::new("X", 2, 1).with_redundancy(red);
         let g = GlobalParams { mttrfid: Hours(0.0), ..Default::default() };
         let r = Rates::derive(&p, &g);

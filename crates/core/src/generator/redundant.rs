@@ -69,20 +69,14 @@ impl Gen<'_> {
         // Pre-create the up states in level order so `Ok` is state 0 and
         // the level structure reads naturally in dumps.
         let up: Vec<StateId> = (0..=margin)
-            .map(|j| {
-                if j == 0 {
-                    mb.state("Ok", 1.0)
-                } else {
-                    mb.state(&format!("PF{j}"), 1.0)
-                }
-            })
+            .map(|j| if j == 0 { mb.state("Ok", 1.0) } else { mb.state(&format!("PF{j}"), 1.0) })
             .collect();
         let down = mb.state(&format!("PF{}", margin + 1), 0.0);
 
         // SPF state of level j (down, Tspf, exits to PFj). Created lazily.
         let spf = |mb: &mut ModelBuilder, j: usize| -> StateId {
             let label = if margin == 1 { "SPF".to_string() } else { format!("SPF{j}") };
-            
+
             mb.state(&label, 0.0)
         };
 
@@ -172,8 +166,11 @@ impl Gen<'_> {
                 mb.transition(up[j], target, success_rate);
             }
             if p_se > 0.0 {
-                let label =
-                    if margin == 1 { "ServiceError".to_string() } else { format!("ServiceError{j}") };
+                let label = if margin == 1 {
+                    "ServiceError".to_string()
+                } else {
+                    format!("ServiceError{j}")
+                };
                 let se = mb.state(&label, 0.0);
                 mb.transition(up[j], se, p_se / trep);
                 mb.transition(se, target, 1.0 / r.mttrfid);
@@ -337,12 +334,10 @@ mod tests {
         // N = 2, K = 1, Type 3: the paper's Figure 4 state set.
         let p = params(2, 1, Scenario::Nontransparent, Scenario::Transparent);
         let m = generate_block(&p, &GlobalParams::default()).unwrap();
-        let mut labels: Vec<_> =
-            m.chain.states().iter().map(|s| s.label.clone()).collect();
+        let mut labels: Vec<_> = m.chain.states().iter().map(|s| s.label.clone()).collect();
         labels.sort();
-        let mut expect = vec![
-            "Ok", "TF1", "AR1", "SPF", "Latent1", "PF1", "TF2", "PF2", "ServiceError",
-        ];
+        let mut expect =
+            vec!["Ok", "TF1", "AR1", "SPF", "Latent1", "PF1", "TF2", "PF2", "ServiceError"];
         expect.sort_unstable();
         assert_eq!(labels, expect);
         assert_eq!(m.state_count(), 9);
@@ -393,9 +388,7 @@ mod tests {
         ]
         .iter()
         .map(|&(rec, rep)| {
-            generate_block(&params(2, 1, rec, rep), &GlobalParams::default())
-                .unwrap()
-                .state_count()
+            generate_block(&params(2, 1, rec, rep), &GlobalParams::default()).unwrap().state_count()
         })
         .collect();
         assert!(sizes[0] <= sizes[1], "{sizes:?}");
@@ -410,9 +403,10 @@ mod tests {
         // states.
         let p = params(4, 1, Scenario::Nontransparent, Scenario::Transparent);
         let m = generate_block(&p, &GlobalParams::default()).unwrap();
-        for lbl in ["PF1", "PF2", "PF3", "AR1", "AR2", "AR3", "Latent1", "Latent2",
-            "Latent3", "TF1", "TF2", "TF3", "TF4", "PF4"]
-        {
+        for lbl in [
+            "PF1", "PF2", "PF3", "AR1", "AR2", "AR3", "Latent1", "Latent2", "Latent3", "TF1",
+            "TF2", "TF3", "TF4", "PF4",
+        ] {
             assert!(m.chain.state_by_label(lbl).is_some(), "missing {lbl}");
         }
     }
@@ -430,11 +424,7 @@ mod tests {
                 let m = generate_block(&p, &GlobalParams::default()).unwrap();
                 let pi = m.chain.steady_state(SteadyStateMethod::Gth).unwrap();
                 let a = m.chain.expected_reward(&pi);
-                assert!(
-                    a > 0.99 && a < 1.0,
-                    "N={n} K={k} type {} gave {a}",
-                    m.model_type
-                );
+                assert!(a > 0.99 && a < 1.0, "N={n} K={k} type {} gave {a}", m.model_type);
             }
         }
     }
@@ -457,11 +447,9 @@ mod tests {
     #[test]
     fn redundancy_beats_no_redundancy() {
         let g = GlobalParams::default();
-        let redundant = generate_block(
-            &params(2, 1, Scenario::Transparent, Scenario::Transparent),
-            &g,
-        )
-        .unwrap();
+        let redundant =
+            generate_block(&params(2, 1, Scenario::Transparent, Scenario::Transparent), &g)
+                .unwrap();
         let single = generate_block(
             &BlockParams::new("X", 1, 1)
                 .with_mtbf(Hours(20_000.0))

@@ -111,9 +111,7 @@ mod tests {
     fn availability_matches_renewal_closed_form() {
         // With Pcd = 1 and no transients, the model is an alternating
         // renewal process: A = MTBF/N / (MTBF/N + Tresp + MTTR).
-        let p = base_params()
-            .with_p_correct_diagnosis(1.0)
-            .with_transient_fit(Fit(0.0));
+        let p = base_params().with_p_correct_diagnosis(1.0).with_transient_fit(Fit(0.0));
         let m = generate_block(&p, &GlobalParams::default()).unwrap();
         let pi = m.chain.steady_state(SteadyStateMethod::Gth).unwrap();
         let a = m.chain.expected_reward(&pi);

@@ -126,11 +126,7 @@ impl SystemSolution {
     ) -> Result<Vec<(String, rascad_rbd::importance::ComponentImportance)>, CoreError> {
         let (table, rbd) = self.flat_rbd();
         let report = rascad_rbd::importance::importance(&rbd, &table)?;
-        Ok(report
-            .components
-            .into_iter()
-            .map(|c| (c.name.clone(), c))
-            .collect())
+        Ok(report.components.into_iter().map(|c| (c.name.clone(), c)).collect())
     }
 }
 
@@ -154,13 +150,18 @@ pub fn solve_spec_with(
     spec: &SystemSpec,
     method: SteadyStateMethod,
 ) -> Result<SystemSolution, CoreError> {
+    let mut span = rascad_obs::span("core.solve_spec");
+    span.record("blocks", spec.root.total_blocks());
+    span.record("depth", spec.root.depth());
     spec.validate()?;
     let mission = spec.globals.mission_time.0;
 
     let mut blocks = Vec::new();
     let agg = solve_diagram(spec, &spec.root, &spec.root.name, 1, method, &mut blocks)?;
+    span.record("total_states", blocks.iter().map(|b| b.model.state_count()).sum::<usize>());
 
     // Mission measures across every chain in the tree.
+    let mission_span = rascad_obs::span("core.mission_measures");
     let mut interval = 1.0;
     let mut reliability = 1.0;
     let mut inv_mttf = 0.0;
@@ -173,12 +174,10 @@ pub fn solve_spec_with(
             inv_mttf += 1.0 / rel.mttf_hours;
         }
     }
+    drop(mission_span);
 
-    let mean_downtime = if agg.failure_rate > 0.0 {
-        (1.0 - agg.availability) / agg.failure_rate
-    } else {
-        0.0
-    };
+    let mean_downtime =
+        if agg.failure_rate > 0.0 { (1.0 - agg.availability) / agg.failure_rate } else { 0.0 };
     let system = SystemMeasures {
         availability: agg.availability,
         unavailability: 1.0 - agg.availability,
@@ -224,12 +223,15 @@ pub fn interval_availability_exact(
             what: format!("grid needs at least 8 intervals, got {points}"),
         });
     }
-    if !(horizon_hours > 0.0) || !horizon_hours.is_finite() {
+    if !horizon_hours.is_finite() || horizon_hours <= 0.0 {
         return Err(CoreError::InvalidRequest {
             what: format!("horizon {horizon_hours} must be positive"),
         });
     }
     spec.validate()?;
+    let mut span = rascad_obs::span("core.interval_availability_exact");
+    span.record("horizon_hours", horizon_hours);
+    span.record("grid_points", points);
 
     // Geometric grid from T·1e-8 to T, plus t = 0.
     let lo = horizon_hours * 1e-8;
@@ -313,8 +315,13 @@ fn solve_block_node(
     method: SteadyStateMethod,
     out: &mut Vec<BlockSolution>,
 ) -> Result<Aggregate, CoreError> {
+    let mut span = rascad_obs::span("core.solve_block");
+    span.record("path", path);
+    span.record("level", level);
     let model = generate_block(&block.params, &spec.globals)?;
     let measures = steady_state_measures(&model, method)?;
+    span.record("states", model.state_count());
+    drop(span);
     let my_index = out.len();
     out.push(BlockSolution {
         path: path.to_string(),
@@ -331,8 +338,7 @@ fn solve_block_node(
         let sub_agg = solve_diagram(spec, sub, path, level + 1, method, out)?;
         // Both the enclosure chain and the subdiagram must be up.
         let combined_avail = avail * sub_agg.availability;
-        let combined_rate =
-            rate * sub_agg.availability + sub_agg.failure_rate * avail;
+        let combined_rate = rate * sub_agg.availability + sub_agg.failure_rate * avail;
         avail = combined_avail;
         rate = combined_rate;
         out[my_index].combined_availability = avail;
@@ -458,9 +464,7 @@ mod tests {
         assert!(weak.1.improvement_potential > strong.1.improvement_potential);
         // Flat RBD availability equals the system availability.
         let (table, rbd) = sol.flat_rbd();
-        assert!(
-            (rbd.availability(&table).unwrap() - sol.system.availability).abs() < 1e-12
-        );
+        assert!((rbd.availability(&table).unwrap() - sol.system.availability).abs() < 1e-12);
     }
 
     #[test]

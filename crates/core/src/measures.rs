@@ -133,9 +133,12 @@ pub fn reliability_measures(
     let mttf = absorbing::mttf(&model.chain, model.ok_state()).map_err(wrap)?;
     // Sample R at T and slightly past it for the hazard estimate.
     let dt = (mission_hours * 1e-3).max(1e-6);
-    let curve =
-        absorbing::reliability_curve(&model.chain, model.ok_state(), &[mission_hours, mission_hours + dt])
-            .map_err(wrap)?;
+    let curve = absorbing::reliability_curve(
+        &model.chain,
+        model.ok_state(),
+        &[mission_hours, mission_hours + dt],
+    )
+    .map_err(wrap)?;
     let r = curve.reliability[0];
     Ok(ReliabilityMeasures {
         mttf_hours: mttf.mttf,
@@ -162,10 +165,7 @@ pub fn reliability_measures(
 pub fn failure_mode_attribution(model: &BlockModel) -> Result<Vec<(String, f64)>, CoreError> {
     let modes = absorbing::failure_modes(&model.chain, model.ok_state())
         .map_err(|source| CoreError::Markov { block: model.name.clone(), source })?;
-    Ok(modes
-        .into_iter()
-        .map(|(state, p)| (model.chain.states()[state].label.clone(), p))
-        .collect())
+    Ok(modes.into_iter().map(|(state, p)| (model.chain.states()[state].label.clone(), p)).collect())
 }
 
 #[cfg(test)]
@@ -188,9 +188,7 @@ mod tests {
         let m = simple_model();
         let bm = steady_state_measures(&m, SteadyStateMethod::Gth).unwrap();
         assert!((bm.availability + bm.unavailability - 1.0).abs() < 1e-12);
-        assert!(
-            (bm.yearly_downtime_minutes - bm.unavailability * MINUTES_PER_YEAR).abs() < 1e-9
-        );
+        assert!((bm.yearly_downtime_minutes - bm.unavailability * MINUTES_PER_YEAR).abs() < 1e-9);
         assert!((bm.mtbf_hours - 1.0 / bm.failure_rate).abs() < 1e-6);
         // Mean downtime is ~Tresp + MTTR = 5 h.
         assert!((bm.mean_downtime_hours - 5.0).abs() < 1e-6, "{}", bm.mean_downtime_hours);
@@ -243,9 +241,11 @@ mod tests {
 
     #[test]
     fn failure_modes_of_redundant_block() {
-        let p = BlockParams::new("R", 2, 1)
-            .with_mtbf(Hours(10_000.0))
-            .with_mttr_parts(Minutes(30.0), Minutes(20.0), Minutes(10.0));
+        let p = BlockParams::new("R", 2, 1).with_mtbf(Hours(10_000.0)).with_mttr_parts(
+            Minutes(30.0),
+            Minutes(20.0),
+            Minutes(10.0),
+        );
         let model = generate_block(&p, &GlobalParams::default()).unwrap();
         let modes = failure_mode_attribution(&model).unwrap();
         // Default redundancy is transparent/transparent with no SPF, so

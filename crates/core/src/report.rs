@@ -13,7 +13,8 @@ pub fn system_report(title: &str, sol: &SystemSolution) -> String {
     let _ = writeln!(out, "{}", "=".repeat(28 + title.len()));
     let _ = writeln!(out, "System steady-state availability : {:.9}", m.availability);
     let _ = writeln!(out, "System unavailability            : {:.3e}", m.unavailability);
-    let _ = writeln!(out, "Yearly downtime                  : {:.2} min", m.yearly_downtime_minutes);
+    let _ =
+        writeln!(out, "Yearly downtime                  : {:.2} min", m.yearly_downtime_minutes);
     let _ = writeln!(out, "System failure rate              : {:.3e} /h", m.failure_rate);
     let _ = writeln!(out, "System recovery rate             : {:.3e} /h", m.recovery_rate);
     let _ = writeln!(out, "System MTBF                      : {:.1} h", m.mtbf_hours);
@@ -22,11 +23,7 @@ pub fn system_report(title: &str, sol: &SystemSolution) -> String {
         "Interval availability (0,{:.0}h)  : {:.9}",
         m.mission_hours, m.interval_availability
     );
-    let _ = writeln!(
-        out,
-        "Reliability at mission time      : {:.6}",
-        m.reliability_at_mission
-    );
+    let _ = writeln!(out, "Reliability at mission time      : {:.6}", m.reliability_at_mission);
     let _ = writeln!(out, "System MTTF                      : {:.1} h", m.mttf_hours);
     let _ = writeln!(out);
     let _ = writeln!(
@@ -97,11 +94,7 @@ pub fn chain_dot(model: &crate::generator::BlockModel) -> String {
     let _ = writeln!(out, "    rankdir=LR;");
     for (i, s) in model.chain.states().iter().enumerate() {
         let shape = if s.reward > 0.0 { "ellipse" } else { "box" };
-        let _ = writeln!(
-            out,
-            "    s{i} [label=\"{}\", shape={shape}];",
-            s.label.replace('"', "'")
-        );
+        let _ = writeln!(out, "    s{i} [label=\"{}\", shape={shape}];", s.label.replace('"', "'"));
     }
     for t in model.chain.transitions() {
         let _ = writeln!(out, "    s{} -> s{} [label=\"{:.3e}\"];", t.from, t.to, t.rate);
@@ -159,10 +152,7 @@ mod tests {
         assert!(dot.contains("rankdir=LR"));
         assert!(dot.trim_end().ends_with('}'));
         // One node line per state, one edge line per transition.
-        assert_eq!(
-            dot.matches("shape=").count(),
-            m.state_count(),
-        );
+        assert_eq!(dot.matches("shape=").count(), m.state_count(),);
         assert_eq!(dot.matches(" -> ").count(), m.transition_count());
     }
 }

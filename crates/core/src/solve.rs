@@ -59,9 +59,11 @@ mod tests {
 
     #[test]
     fn solves_redundant_block() {
-        let p = BlockParams::new("PSU", 3, 2)
-            .with_mtbf(Hours(150_000.0))
-            .with_mttr_parts(Minutes(10.0), Minutes(15.0), Minutes(5.0));
+        let p = BlockParams::new("PSU", 3, 2).with_mtbf(Hours(150_000.0)).with_mttr_parts(
+            Minutes(10.0),
+            Minutes(15.0),
+            Minutes(5.0),
+        );
         let (model, m) = solve_block(&p, &GlobalParams::default()).unwrap();
         assert!(model.state_count() >= 3);
         assert!(m.availability > 0.99999);

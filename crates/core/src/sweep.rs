@@ -52,11 +52,16 @@ pub fn sweep(
     if values.is_empty() {
         return Err(CoreError::InvalidRequest { what: "sweep over an empty value list".into() });
     }
+    let mut span = rascad_obs::span("core.sweep");
+    span.record("points", values.len());
     values
         .iter()
         .map(|&value| {
+            let mut point_span = rascad_obs::span("core.sweep_point");
+            point_span.record("value", value);
             let mut spec = base.clone();
             apply(&mut spec, value);
+            rascad_obs::counter("core.sweep_points", 1);
             Ok(SweepPoint { value, solution: solve_spec(&spec)? })
         })
         .collect()
@@ -71,14 +76,10 @@ pub fn sweep(
 /// `count >= 2`.
 pub fn log_space(lo: f64, hi: f64, count: usize) -> Result<Vec<f64>, CoreError> {
     if !(lo > 0.0 && hi > lo) || count < 2 {
-        return Err(CoreError::InvalidRequest {
-            what: format!("log_space({lo}, {hi}, {count})"),
-        });
+        return Err(CoreError::InvalidRequest { what: format!("log_space({lo}, {hi}, {count})") });
     }
     let (llo, lhi) = (lo.ln(), hi.ln());
-    Ok((0..count)
-        .map(|i| (llo + (lhi - llo) * i as f64 / (count - 1) as f64).exp())
-        .collect())
+    Ok((0..count).map(|i| (llo + (lhi - llo) * i as f64 / (count - 1) as f64).exp()).collect())
 }
 
 /// Generates `count` linearly spaced values in `[lo, hi]`.
@@ -88,14 +89,10 @@ pub fn log_space(lo: f64, hi: f64, count: usize) -> Result<Vec<f64>, CoreError> 
 /// Returns [`CoreError::InvalidRequest`] unless `lo < hi` and
 /// `count >= 2`.
 pub fn lin_space(lo: f64, hi: f64, count: usize) -> Result<Vec<f64>, CoreError> {
-    if !(hi > lo) || count < 2 {
-        return Err(CoreError::InvalidRequest {
-            what: format!("lin_space({lo}, {hi}, {count})"),
-        });
+    if !lo.is_finite() || !hi.is_finite() || hi <= lo || count < 2 {
+        return Err(CoreError::InvalidRequest { what: format!("lin_space({lo}, {hi}, {count})") });
     }
-    Ok((0..count)
-        .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
-        .collect())
+    Ok((0..count).map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64).collect())
 }
 
 #[cfg(test)]
@@ -134,10 +131,7 @@ mod tests {
 
     #[test]
     fn empty_values_rejected() {
-        assert!(matches!(
-            sweep(&base(), &[], |_, _| {}),
-            Err(CoreError::InvalidRequest { .. })
-        ));
+        assert!(matches!(sweep(&base(), &[], |_, _| {}), Err(CoreError::InvalidRequest { .. })));
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub fn compare(predicted_availability: f64, field: &FieldEstimate) -> Comparison
     } else {
         0.0
     };
-    let within = (predicted_availability - field.availability).abs()
-        <= field.availability_ci_half_width;
+    let within =
+        (predicted_availability - field.availability).abs() <= field.availability_ci_half_width;
     Comparison {
         predicted_availability,
         measured_availability: field.availability,

@@ -36,6 +36,8 @@ pub struct FieldEstimate {
 /// Panics if `logs` is empty.
 pub fn analyze(logs: &[OutageLog]) -> FieldEstimate {
     assert!(!logs.is_empty(), "need at least one log");
+    let mut span = rascad_obs::span("fielddata.analyze");
+    span.record("logs", logs.len());
     let observation: f64 = logs.iter().map(OutageLog::observation_hours).sum();
     let downtime: f64 = logs.iter().map(OutageLog::downtime_hours).sum();
     let outages: usize = logs.iter().map(|l| l.outages().len()).sum();
@@ -44,6 +46,9 @@ pub fn analyze(logs: &[OutageLog]) -> FieldEstimate {
     let mttr = if outages > 0 { downtime / outages as f64 } else { 0.0 };
     // Poisson CI on the outage count: k ± 1.96 sqrt(k).
     let rate_ci = if outages > 0 { 1.96 * (outages as f64).sqrt() / observation } else { 0.0 };
+    span.record("outages", outages);
+    span.record("observation_hours", observation);
+    rascad_obs::counter("fielddata.outages_pooled", outages as u64);
     FieldEstimate {
         observation_hours: observation,
         downtime_hours: downtime,

@@ -1,9 +1,8 @@
 //! Outage logs: the normalized form of field data.
 
-use serde::{Deserialize, Serialize};
-
 /// One recorded outage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Outage {
     /// Start of the outage, hours since observation start.
     pub start_hours: f64,
@@ -12,7 +11,8 @@ pub struct Outage {
 }
 
 /// An outage log for one system over an observation window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OutageLog {
     observation_hours: f64,
     outages: Vec<Outage>,
@@ -46,10 +46,7 @@ impl OutageLog {
             "outage beyond observation window"
         );
         if let Some(last) = self.outages.last() {
-            assert!(
-                start_hours >= last.start_hours + last.duration_hours,
-                "overlapping outage"
-            );
+            assert!(start_hours >= last.start_hours + last.duration_hours, "overlapping outage");
         }
         self.outages.push(Outage { start_hours, duration_hours });
     }
@@ -139,6 +136,7 @@ mod tests {
         log.record(99.0, 5.0);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let mut log = OutageLog::new(100.0);

@@ -1,3 +1,8 @@
+//! Property-based tests; compiled only with the `proptest-tests`
+//! feature, which requires the real `proptest` crate (the offline
+//! build vendors an empty placeholder — see vendor/README.md).
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests for field-data estimation.
 
 use proptest::prelude::*;
@@ -5,8 +10,8 @@ use rascad_fielddata::{analyze, compare, OutageLog};
 
 /// Random log: sorted non-overlapping outages inside the window.
 fn arb_log() -> impl Strategy<Value = OutageLog> {
-    (100.0..10_000.0f64, proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 0..10))
-        .prop_map(|(window, raw)| {
+    (100.0..10_000.0f64, proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 0..10)).prop_map(
+        |(window, raw)| {
             let mut log = OutageLog::new(window);
             let mut cursor = 0.0;
             for (gap_frac, dur_frac) in raw {
@@ -20,7 +25,8 @@ fn arb_log() -> impl Strategy<Value = OutageLog> {
                 cursor = start + dur;
             }
             log
-        })
+        },
+    )
 }
 
 proptest! {

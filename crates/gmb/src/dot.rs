@@ -61,11 +61,8 @@ fn emit(out: &mut String, node: &RbdSpec, counter: &mut usize) -> usize {
             }
         }
         RbdSpec::KOfN { k, children } => {
-            let _ = writeln!(
-                out,
-                "    n{id} [label=\"{k}-of-{}\", shape=diamond];",
-                children.len()
-            );
+            let _ =
+                writeln!(out, "    n{id} [label=\"{k}-of-{}\", shape=diamond];", children.len());
             for c in children {
                 let cid = emit(out, c, counter);
                 let _ = writeln!(out, "    n{id} -> n{cid};");
@@ -105,11 +102,14 @@ mod tests {
                 RbdSpec::leaf(Value::param("a")),
                 RbdSpec::leaf(Value::model("m")),
             ]),
-            RbdSpec::k_of_n(2, vec![
-                RbdSpec::leaf(Value::constant(0.8)),
-                RbdSpec::leaf(Value::constant(0.8)),
-                RbdSpec::leaf(Value::constant(0.8)),
-            ]),
+            RbdSpec::k_of_n(
+                2,
+                vec![
+                    RbdSpec::leaf(Value::constant(0.8)),
+                    RbdSpec::leaf(Value::constant(0.8)),
+                    RbdSpec::leaf(Value::constant(0.8)),
+                ],
+            ),
         ]);
         let dot = rbd_dot("tree", &rbd);
         assert!(dot.contains("SERIES"));

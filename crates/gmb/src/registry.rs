@@ -2,8 +2,6 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use serde::{Deserialize, Serialize};
-
 use rascad_markov::{CtmcBuilder, SemiMarkovBuilder, SojournDistribution, SteadyStateMethod};
 use rascad_rbd::block::k_of_n_probability;
 
@@ -11,7 +9,8 @@ use crate::error::GmbError;
 
 /// A value that resolves at solve time: a constant, a named parameter,
 /// or the availability of another registered model (the hierarchy).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// A literal value.
     Const(f64),
@@ -46,7 +45,8 @@ impl From<f64> for Value {
 
 /// A GMB Markov model: states with rewards, transitions with [`Value`]
 /// rates.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MarkovSpec {
     states: Vec<(String, f64)>,
     transitions: Vec<(usize, usize, Value)>,
@@ -83,7 +83,8 @@ impl MarkovSpec {
 
 /// A GMB semi-Markov model: states with sojourn distributions, jump
 /// probabilities as [`Value`]s.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SemiMarkovSpec {
     states: Vec<(String, f64, SojournDistribution)>,
     jumps: Vec<(usize, usize, Value)>,
@@ -115,7 +116,8 @@ impl SemiMarkovSpec {
 
 /// A GMB RBD: like [`rascad_rbd::Rbd`] but with [`Value`] leaves, so a
 /// block can be a constant, a parameter, or another model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RbdSpec {
     /// A basic block with a resolvable availability.
     Leaf(Value),
@@ -168,7 +170,8 @@ impl RbdSpec {
 }
 
 /// One registered model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 enum Model {
     Markov(MarkovSpec),
     SemiMarkov(SemiMarkovSpec),
@@ -177,7 +180,8 @@ enum Model {
 
 /// A named, hierarchical collection of models with a shared parameter
 /// table.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModelRegistry {
     models: BTreeMap<String, Model>,
     parameters: HashMap<String, f64>,
@@ -212,7 +216,11 @@ impl ModelRegistry {
     /// # Errors
     ///
     /// Returns [`GmbError::DuplicateModel`] if the name is taken.
-    pub fn add_markov(&mut self, name: impl Into<String>, spec: MarkovSpec) -> Result<(), GmbError> {
+    pub fn add_markov(
+        &mut self,
+        name: impl Into<String>,
+        spec: MarkovSpec,
+    ) -> Result<(), GmbError> {
         self.add(name.into(), Model::Markov(spec))
     }
 
@@ -261,9 +269,14 @@ impl ModelRegistry {
     /// * [`GmbError::CyclicReference`] if model references loop.
     /// * [`GmbError::Markov`] / [`GmbError::Rbd`] for solver failures.
     pub fn availability(&self, name: &str) -> Result<f64, GmbError> {
+        let mut span = rascad_obs::span("gmb.availability");
+        span.record("model", name);
         let mut stack = HashSet::new();
         let mut cache = HashMap::new();
-        self.solve(name, &mut stack, &mut cache)
+        let a = self.solve(name, &mut stack, &mut cache)?;
+        span.record("models_solved", cache.len());
+        rascad_obs::counter("gmb.models_solved", cache.len() as u64);
+        Ok(a)
     }
 
     fn solve(
@@ -324,9 +337,8 @@ impl ModelRegistry {
             let r = self.resolve(rate, stack, cache)?;
             b.add_transition(*from, *to, r);
         }
-        let chain = b
-            .build()
-            .map_err(|source| GmbError::Markov { model: name.to_string(), source })?;
+        let chain =
+            b.build().map_err(|source| GmbError::Markov { model: name.to_string(), source })?;
         let pi = chain
             .steady_state(self.method)
             .map_err(|source| GmbError::Markov { model: name.to_string(), source })?;
@@ -348,11 +360,9 @@ impl ModelRegistry {
             let prob = self.resolve(p, stack, cache)?;
             b.add_jump(*from, *to, prob);
         }
-        let smp = b
-            .build()
-            .map_err(|source| GmbError::Markov { model: name.to_string(), source })?;
-        smp.availability()
-            .map_err(|source| GmbError::Markov { model: name.to_string(), source })
+        let smp =
+            b.build().map_err(|source| GmbError::Markov { model: name.to_string(), source })?;
+        smp.availability().map_err(|source| GmbError::Markov { model: name.to_string(), source })
     }
 
     fn solve_rbd(
@@ -405,10 +415,7 @@ impl ModelRegistry {
                 if children.is_empty() || *k == 0 || *k as usize > children.len() {
                     return Err(GmbError::Rbd {
                         model: name.to_string(),
-                        source: rascad_rbd::RbdError::InvalidKofN {
-                            k: *k,
-                            n: children.len(),
-                        },
+                        source: rascad_rbd::RbdError::InvalidKofN { k: *k, n: children.len() },
                     });
                 }
                 let probs = children
@@ -482,6 +489,10 @@ impl ModelRegistry {
 
     /// Serializes the whole workbench (models + parameters) to JSON —
     /// the GMB equivalent of the paper's model file sharing.
+    ///
+    /// Only available with the `serde` feature (requires the real
+    /// serde/serde_json crates — see vendor/README.md).
+    #[cfg(feature = "serde")]
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("registry types serialize infallibly")
     }
@@ -492,6 +503,10 @@ impl ModelRegistry {
     ///
     /// Returns [`GmbError::Markov`] wrapping a parse description on
     /// malformed input.
+    ///
+    /// Only available with the `serde` feature (requires the real
+    /// serde/serde_json crates — see vendor/README.md).
+    #[cfg(feature = "serde")]
     pub fn from_json(s: &str) -> Result<Self, GmbError> {
         serde_json::from_str(s).map_err(|e| GmbError::Markov {
             model: "<registry json>".to_string(),
@@ -535,8 +550,7 @@ mod tests {
     fn markov_model_with_parameters() {
         let mut reg = ModelRegistry::new();
         reg.set_parameter("lambda", 0.001).set_parameter("mu", 0.5);
-        reg.add_markov("m", two_state_markov(Value::param("lambda"), Value::param("mu")))
-            .unwrap();
+        reg.add_markov("m", two_state_markov(Value::param("lambda"), Value::param("mu"))).unwrap();
         let a = reg.availability("m").unwrap();
         assert!((a - 0.5 / 0.501).abs() < 1e-12);
     }
@@ -608,10 +622,7 @@ mod tests {
         let mut reg = ModelRegistry::new();
         reg.add_rbd("a", RbdSpec::leaf(Value::model("b"))).unwrap();
         reg.add_rbd("b", RbdSpec::leaf(Value::model("a"))).unwrap();
-        assert!(matches!(
-            reg.availability("a").unwrap_err(),
-            GmbError::CyclicReference { .. }
-        ));
+        assert!(matches!(reg.availability("a").unwrap_err(), GmbError::CyclicReference { .. }));
     }
 
     #[test]
@@ -622,10 +633,7 @@ mod tests {
 
         let mut reg2 = ModelRegistry::new();
         reg2.add_markov("m", two_state_markov(Value::param("ghost"), 1.0.into())).unwrap();
-        assert!(matches!(
-            reg2.availability("m").unwrap_err(),
-            GmbError::UnknownParameter { .. }
-        ));
+        assert!(matches!(reg2.availability("m").unwrap_err(), GmbError::UnknownParameter { .. }));
     }
 
     #[test]
@@ -651,8 +659,7 @@ mod tests {
         reg.add_rbd("a", RbdSpec::series(vec![])).unwrap();
         assert!(matches!(reg.availability("a").unwrap_err(), GmbError::Rbd { .. }));
         let mut reg2 = ModelRegistry::new();
-        reg2.add_rbd("b", RbdSpec::k_of_n(3, vec![RbdSpec::leaf(Value::constant(0.9))]))
-            .unwrap();
+        reg2.add_rbd("b", RbdSpec::k_of_n(3, vec![RbdSpec::leaf(Value::constant(0.9))])).unwrap();
         assert!(matches!(reg2.availability("b").unwrap_err(), GmbError::Rbd { .. }));
     }
 
@@ -675,6 +682,7 @@ mod tests {
         assert!((a_top - a_m * a_m).abs() < 1e-12);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn workbench_json_roundtrip() {
         let mut reg = ModelRegistry::new();
@@ -702,8 +710,7 @@ mod tests {
         // Solutions survive the round trip.
         for name in ["m", "top", "smp"] {
             assert!(
-                (reg.availability(name).unwrap() - back.availability(name).unwrap()).abs()
-                    < 1e-15,
+                (reg.availability(name).unwrap() - back.availability(name).unwrap()).abs() < 1e-15,
                 "{name}"
             );
         }

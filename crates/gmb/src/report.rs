@@ -17,13 +17,7 @@ pub fn registry_report(registry: &ModelRegistry) -> Result<String, GmbError> {
     let _ = writeln!(out, "{:<32} {:>14} {:>16}", "model", "availability", "downtime min/y");
     for name in registry.model_names() {
         let a = registry.availability(name)?;
-        let _ = writeln!(
-            out,
-            "{:<32} {:>14.9} {:>16.3}",
-            name,
-            a,
-            (1.0 - a) * 365.0 * 24.0 * 60.0
-        );
+        let _ = writeln!(out, "{:<32} {:>14.9} {:>16.3}", name, a, (1.0 - a) * 365.0 * 24.0 * 60.0);
     }
     Ok(out)
 }

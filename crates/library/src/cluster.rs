@@ -63,6 +63,7 @@ pub fn two_node_cluster(config: ClusterConfig) -> SystemSpec {
             .with_mttr_parts(Minutes(20.0), Minutes(20.0), Minutes(10.0))
             .with_service_response(Hours(4.0)),
     );
+    rascad_obs::counter("library.specs_built", 1);
     SystemSpec::new(d, GlobalParams::default())
 }
 
@@ -100,14 +101,10 @@ mod tests {
 
     #[test]
     fn faster_failover_means_less_downtime() {
-        let slow = two_node_cluster(ClusterConfig {
-            failover_time: Minutes(30.0),
-            ..Default::default()
-        });
-        let fast = two_node_cluster(ClusterConfig {
-            failover_time: Minutes(1.0),
-            ..Default::default()
-        });
+        let slow =
+            two_node_cluster(ClusterConfig { failover_time: Minutes(30.0), ..Default::default() });
+        let fast =
+            two_node_cluster(ClusterConfig { failover_time: Minutes(1.0), ..Default::default() });
         let dt_slow = solve_spec(&slow).unwrap().system.yearly_downtime_minutes;
         let dt_fast = solve_spec(&fast).unwrap().system.yearly_downtime_minutes;
         assert!(dt_fast < dt_slow);

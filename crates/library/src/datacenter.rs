@@ -6,7 +6,9 @@
 //! with 19 blocks (System Board, CPU Module, …).
 
 use rascad_spec::units::{Hours, Minutes};
-use rascad_spec::{Block, BlockParams, Diagram, GlobalParams, RedundancyParams, Scenario, SystemSpec};
+use rascad_spec::{
+    Block, BlockParams, Diagram, GlobalParams, RedundancyParams, Scenario, SystemSpec,
+};
 
 use crate::components::ComponentDb;
 use crate::storage::{raid1, raid5};
@@ -30,6 +32,7 @@ pub fn data_center() -> SystemSpec {
         b.params.service_response = Hours(4.0);
         b
     });
+    rascad_obs::counter("library.specs_built", 1);
     SystemSpec::new(root, globals())
 }
 

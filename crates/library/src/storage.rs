@@ -80,10 +80,7 @@ pub fn storage_array(name: impl Into<String>, disks: u32) -> Diagram {
 ///
 /// Panics if `fru` is not in the embedded database.
 pub fn single(fru: &str) -> BlockParams {
-    ComponentDb::embedded()
-        .find(fru)
-        .unwrap_or_else(|| panic!("unknown FRU {fru}"))
-        .block(1, 1)
+    ComponentDb::embedded().find(fru).unwrap_or_else(|| panic!("unknown FRU {fru}")).block(1, 1)
 }
 
 #[cfg(test)]
@@ -123,10 +120,7 @@ mod tests {
         let avail = |disks| {
             let mut d = Diagram::new("T");
             d.push_block(raid5("A", disks));
-            solve_spec(&SystemSpec::new(d, GlobalParams::default()))
-                .unwrap()
-                .system
-                .availability
+            solve_spec(&SystemSpec::new(d, GlobalParams::default())).unwrap().system.availability
         };
         assert!(avail(4) > avail(12));
     }

@@ -33,6 +33,7 @@ pub fn workgroup() -> SystemSpec {
     disks.params.service_response = Hours(24.0);
     d.push_block(disks);
 
+    rascad_obs::counter("library.specs_built", 1);
     SystemSpec::new(
         d,
         GlobalParams {
@@ -64,13 +65,9 @@ mod tests {
 
     #[test]
     fn high_end_server_beats_workgroup_box() {
-        let cmp = compare_architectures(
-            "workgroup",
-            &workgroup(),
-            "e10000",
-            &crate::e10000::e10000(),
-        )
-        .unwrap();
+        let cmp =
+            compare_architectures("workgroup", &workgroup(), "e10000", &crate::e10000::e10000())
+                .unwrap();
         assert_eq!(cmp.winner(), "e10000");
         assert!(cmp.unavailability_ratio() < 0.8, "ratio {}", cmp.unavailability_ratio());
     }

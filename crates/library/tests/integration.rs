@@ -28,16 +28,15 @@ fn every_model_validates_solves_and_roundtrips() {
         let again = SystemSpec::from_dsl(&spec.to_dsl()).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(spec, again, "{name}");
         // JSON round trip.
-        let via_json =
-            SystemSpec::from_json(&spec.to_json().unwrap()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let via_json = SystemSpec::from_json(&spec.to_json().unwrap())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(spec, via_json, "{name}");
     }
 }
 
 #[test]
 fn availability_ordering_across_the_product_line() {
-    let solve =
-        |s: &SystemSpec| solve_spec(s).unwrap().system.yearly_downtime_minutes;
+    let solve = |s: &SystemSpec| solve_spec(s).unwrap().system.yearly_downtime_minutes;
     let e10k = solve(&e10000::e10000());
     let stripped = solve(&e10000::e10000_no_redundancy());
     let wg = solve(&workgroup::workgroup());
@@ -54,7 +53,12 @@ fn every_model_measures_are_finite_and_ordered() {
         assert!(m.mtbf_hours.is_finite() && m.mtbf_hours > 0.0, "{name}");
         assert!(m.mttf_hours.is_finite() && m.mttf_hours > 0.0, "{name}");
         // First failure comes no later than the steady-state cycle.
-        assert!(m.mttf_hours <= m.mtbf_hours * 1.5, "{name}: {0} vs {1}", m.mttf_hours, m.mtbf_hours);
+        assert!(
+            m.mttf_hours <= m.mtbf_hours * 1.5,
+            "{name}: {0} vs {1}",
+            m.mttf_hours,
+            m.mtbf_hours
+        );
         assert!(m.interval_availability >= m.availability - 1e-9, "{name}");
         assert!((0.0..=1.0).contains(&m.reliability_at_mission), "{name}");
     }

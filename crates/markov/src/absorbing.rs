@@ -120,10 +120,7 @@ pub fn mttf(chain: &Ctmc, start: StateId) -> Result<AbsorbingAnalysis, MarkovErr
 /// # Errors
 ///
 /// Same conditions as [`mttf`].
-pub fn failure_modes(
-    chain: &Ctmc,
-    start: StateId,
-) -> Result<Vec<(StateId, f64)>, MarkovError> {
+pub fn failure_modes(chain: &Ctmc, start: StateId) -> Result<Vec<(StateId, f64)>, MarkovError> {
     let up_states = chain.up_states();
     let down_states = chain.down_states();
     if up_states.is_empty() {
@@ -220,11 +217,7 @@ pub fn reliability_curve(
     for &t in times {
         let sol = transient::solve(&abs, &p0, t, TransientOptions::default())?;
         // R(t) = probability of still being in an up state.
-        let r: f64 = abs
-            .up_states()
-            .iter()
-            .map(|&s| sol.probabilities[s])
-            .sum();
+        let r: f64 = abs.up_states().iter().map(|&s| sol.probabilities[s]).sum();
         rel.push(r.clamp(0.0, 1.0));
     }
 
@@ -246,11 +239,8 @@ pub fn reliability_curve(
     for i in 0..times.len() {
         if i + 1 < times.len() {
             let dt = times[i + 1] - times[i];
-            let h = if dt > 0.0 && rel[i] > 0.0 {
-                (rel[i] - rel[i + 1]) / (dt * rel[i])
-            } else {
-                0.0
-            };
+            let h =
+                if dt > 0.0 && rel[i] > 0.0 { (rel[i] - rel[i + 1]) / (dt * rel[i]) } else { 0.0 };
             hazard_rate.push(h.max(0.0));
         } else {
             hazard_rate.push(*hazard_rate.last().unwrap_or(&0.0));
@@ -368,10 +358,7 @@ mod tests {
     fn start_must_be_up() {
         let c = two_state(0.1, 1.0);
         assert!(matches!(mttf(&c, 1), Err(MarkovError::MissingStates { .. })));
-        assert!(matches!(
-            reliability_curve(&c, 1, &[1.0]),
-            Err(MarkovError::MissingStates { .. })
-        ));
+        assert!(matches!(reliability_curve(&c, 1, &[1.0]), Err(MarkovError::MissingStates { .. })));
     }
 
     #[test]

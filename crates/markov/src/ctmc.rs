@@ -1,7 +1,5 @@
 //! Labelled continuous-time Markov chains with reward rates.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dense::DenseMatrix;
 use crate::error::MarkovError;
 use crate::gth;
@@ -15,7 +13,8 @@ pub type StateId = usize;
 /// Two independent algorithms are provided so higher layers can
 /// cross-validate results — mirroring the paper's validation of RAScad
 /// against SHARPE and MEADEP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SteadyStateMethod {
     /// Grassmann–Taksar–Heyman elimination. Subtraction-free, hence
     /// numerically robust even for stiff availability models where rates
@@ -38,7 +37,8 @@ pub enum SteadyStateMethod {
 /// states and 0 for failure ("down") states, following the Markov-reward
 /// formulation the paper cites (Goyal/Lavenberg/Trivedi; Reibman/Smith/
 /// Trivedi).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct State {
     /// Human-readable label, e.g. `"PF1"` or `"ServiceError"`.
     pub label: String,
@@ -47,7 +47,8 @@ pub struct State {
 }
 
 /// A transition with its rate (per hour in RAScad models).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Transition {
     /// Source state.
     pub from: StateId,
@@ -156,7 +157,8 @@ impl CtmcBuilder {
 }
 
 /// A validated continuous-time Markov chain with reward rates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ctmc {
     states: Vec<State>,
     transitions: Vec<Transition>,
@@ -304,8 +306,7 @@ impl Ctmc {
         let max_iter = 50_000_000usize / n.max(1);
         for _ in 0..max_iter {
             let next = uni.dtmc.vec_mul(&pi);
-            let delta: f64 =
-                next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
+            let delta: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
             pi = next;
             if delta < 1e-14 {
                 let z: f64 = pi.iter().sum();
@@ -390,13 +391,7 @@ impl Ctmc {
         let up: Vec<bool> = self.states.iter().map(|s| s.reward > 0.0).collect();
         self.transitions
             .iter()
-            .filter(|t| {
-                if up_to_down {
-                    up[t.from] && !up[t.to]
-                } else {
-                    !up[t.from] && up[t.to]
-                }
-            })
+            .filter(|t| if up_to_down { up[t.from] && !up[t.to] } else { !up[t.from] && up[t.to] })
             .map(|t| pi[t.from] * t.rate)
             .sum()
     }
@@ -546,8 +541,8 @@ mod tests {
             b.add_state(format!("s{i}"), if i < 2 { 1.0 } else { 0.0 });
         }
         let rates = [0.5, 1.5, 2.5, 3.5];
-        for i in 0..4 {
-            b.add_transition(i, (i + 1) % 4, rates[i]);
+        for (i, &rate) in rates.iter().enumerate() {
+            b.add_transition(i, (i + 1) % 4, rate);
         }
         let c = b.build().unwrap();
         let g = c.steady_state(SteadyStateMethod::Gth).unwrap();
@@ -588,6 +583,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let c = two_state(0.1, 0.9);

@@ -4,12 +4,11 @@
 //! so a dense LU with partial pivoting is both sufficient and simple to
 //! audit. Implemented in-house to keep the numerical core dependency-free.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::MarkovError;
 
 /// A dense, row-major `rows x cols` matrix of `f64`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,
@@ -90,9 +89,7 @@ impl DenseMatrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Computes the row vector `v * self`.
@@ -118,15 +115,28 @@ impl DenseMatrix {
     ///
     /// # Errors
     ///
-    /// Returns [`MarkovError::Singular`] if the matrix is singular to
-    /// working precision.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the matrix is not square or `b.len() != rows`.
+    /// Returns [`MarkovError::DimensionMismatch`] if the matrix is not
+    /// square or `b.len() != rows`, and [`MarkovError::Singular`] if
+    /// the matrix is singular to working precision.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MarkovError> {
-        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
-        assert_eq!(b.len(), self.rows, "dimension mismatch");
+        if self.rows != self.cols {
+            return Err(MarkovError::DimensionMismatch {
+                what: format!("LU solve needs a square matrix, got {}x{}", self.rows, self.cols),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(MarkovError::DimensionMismatch {
+                what: format!(
+                    "right-hand side has {} entries for a {}x{} matrix",
+                    b.len(),
+                    self.rows,
+                    self.rows
+                ),
+            });
+        }
+        let mut lu_span = rascad_obs::span("markov.lu_solve");
+        let zeros_before =
+            if lu_span.is_enabled() { self.data.iter().filter(|&&v| v == 0.0).count() } else { 0 };
         let n = self.rows;
         let mut a = self.clone();
         let mut x: Vec<f64> = b.to_vec();
@@ -182,6 +192,16 @@ impl DenseMatrix {
             }
             x[k] = s / pivot;
         }
+        if lu_span.is_enabled() {
+            // LU fill-in: zero entries of the input that became
+            // non-zero in the factors.
+            let zeros_after = a.data.iter().filter(|&&v| v == 0.0).count();
+            let fill = zeros_before.saturating_sub(zeros_after);
+            lu_span.record("n", n);
+            lu_span.record("fill", fill);
+            rascad_obs::record_value("markov.lu.fill", fill as f64);
+            rascad_obs::counter("markov.lu.solves", 1);
+        }
         Ok(x)
     }
 }
@@ -205,6 +225,14 @@ impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn solve_rejects_bad_shapes() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert!(matches!(m.solve(&[1.0, 2.0]), Err(MarkovError::DimensionMismatch { .. })));
+        let m = DenseMatrix::identity(2);
+        assert!(matches!(m.solve(&[1.0, 2.0, 3.0]), Err(MarkovError::DimensionMismatch { .. })));
+    }
 
     #[test]
     fn identity_solve_returns_rhs() {

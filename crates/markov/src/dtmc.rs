@@ -7,14 +7,13 @@
 //! `P − I`), n-step transients, and absorbing-chain analysis (expected
 //! steps to absorption and absorption probabilities).
 
-use serde::{Deserialize, Serialize};
-
 use crate::dense::DenseMatrix;
 use crate::error::MarkovError;
 use crate::gth;
 
 /// A validated discrete-time Markov chain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dtmc {
     labels: Vec<String>,
     /// Row-stochastic transition matrix.
@@ -173,8 +172,7 @@ impl Dtmc {
         if absorbing.is_empty() {
             return Err(MarkovError::MissingStates { what: "no absorbing states".into() });
         }
-        let transient: Vec<usize> =
-            (0..self.len()).filter(|i| !absorbing.contains(i)).collect();
+        let transient: Vec<usize> = (0..self.len()).filter(|i| !absorbing.contains(i)).collect();
         if transient.is_empty() {
             return Err(MarkovError::MissingStates { what: "no transient states".into() });
         }
@@ -197,17 +195,13 @@ impl Dtmc {
     ///
     /// As for [`expected_steps_to_absorption`](Self::expected_steps_to_absorption),
     /// plus [`MarkovError::MissingStates`] if `start` is absorbing.
-    pub fn absorption_probabilities(
-        &self,
-        start: usize,
-    ) -> Result<Vec<(usize, f64)>, MarkovError> {
+    pub fn absorption_probabilities(&self, start: usize) -> Result<Vec<(usize, f64)>, MarkovError> {
         let absorbing: Vec<usize> = self.absorbing_states();
         if absorbing.is_empty() {
             return Err(MarkovError::MissingStates { what: "no absorbing states".into() });
         }
         let abs_set: std::collections::HashSet<usize> = absorbing.iter().copied().collect();
-        let transient: Vec<usize> =
-            (0..self.len()).filter(|i| !abs_set.contains(i)).collect();
+        let transient: Vec<usize> = (0..self.len()).filter(|i| !abs_set.contains(i)).collect();
         let Some(start_pos) = transient.iter().position(|&s| s == start) else {
             return Err(MarkovError::MissingStates {
                 what: format!("start state {start} is absorbing or out of range"),
@@ -336,12 +330,10 @@ mod tests {
     #[test]
     fn no_absorbing_states_rejected() {
         let c = weather();
-        assert!(matches!(
-            c.expected_steps_to_absorption(),
-            Err(MarkovError::MissingStates { .. })
-        ));
+        assert!(matches!(c.expected_steps_to_absorption(), Err(MarkovError::MissingStates { .. })));
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let c = weather();

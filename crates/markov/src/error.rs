@@ -62,6 +62,12 @@ pub enum MarkovError {
         /// Human-readable description of the bad option.
         what: String,
     },
+    /// A matrix (or matrix/vector pair) had incompatible dimensions,
+    /// e.g. a non-square generator passed to an elimination solver.
+    DimensionMismatch {
+        /// Human-readable description of the mismatched shapes.
+        what: String,
+    },
 }
 
 impl fmt::Display for MarkovError {
@@ -89,6 +95,9 @@ impl fmt::Display for MarkovError {
             }
             MarkovError::MissingStates { what } => write!(f, "missing states: {what}"),
             MarkovError::InvalidOption { what } => write!(f, "invalid option: {what}"),
+            MarkovError::DimensionMismatch { what } => {
+                write!(f, "dimension mismatch: {what}")
+            }
         }
     }
 }
@@ -112,6 +121,7 @@ mod tests {
             MarkovError::InvalidProbability { what: "sum".into() },
             MarkovError::MissingStates { what: "absorbing".into() },
             MarkovError::InvalidOption { what: "epsilon".into() },
+            MarkovError::DimensionMismatch { what: "3x2 generator".into() },
         ];
         for c in cases {
             let s = c.to_string();

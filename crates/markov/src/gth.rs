@@ -28,21 +28,24 @@ pub fn stationary_gth(chain: &Ctmc) -> Result<Vec<f64>, MarkovError> {
 ///
 /// # Errors
 ///
-/// Returns [`MarkovError::EmptyChain`] for a 0×0 input and
+/// Returns [`MarkovError::DimensionMismatch`] for a non-square input,
+/// [`MarkovError::EmptyChain`] for a 0×0 input, and
 /// [`MarkovError::Singular`] on a zero pivot.
-///
-/// # Panics
-///
-/// Panics if the matrix is not square.
 pub fn stationary_gth_dense(q: &DenseMatrix) -> Result<Vec<f64>, MarkovError> {
     let n = q.rows();
-    assert_eq!(n, q.cols(), "generator must be square");
+    if n != q.cols() {
+        return Err(MarkovError::DimensionMismatch {
+            what: format!("generator must be square, got {n}x{}", q.cols()),
+        });
+    }
     if n == 0 {
         return Err(MarkovError::EmptyChain);
     }
     if n == 1 {
         return Ok(vec![1.0]);
     }
+    let mut span = rascad_obs::span("markov.gth");
+    span.record("states", n);
 
     // Work on a copy holding only the off-diagonal rates; the diagonal is
     // re-derived as the (positive) row sum of the remaining states, which
@@ -53,12 +56,14 @@ pub fn stationary_gth_dense(q: &DenseMatrix) -> Result<Vec<f64>, MarkovError> {
     // keeps the total censored exit rate of state k at elimination time,
     // needed again during back substitution.
     let mut pivots = vec![0.0; n];
+    let mut min_pivot = f64::INFINITY;
     for k in (1..n).rev() {
         // s = total rate out of k into states 0..k.
         let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
         if s <= 0.0 || !s.is_finite() {
             return Err(MarkovError::Singular);
         }
+        min_pivot = min_pivot.min(s);
         pivots[k] = s;
         for j in 0..k {
             a[(k, j)] /= s;
@@ -97,6 +102,12 @@ pub fn stationary_gth_dense(q: &DenseMatrix) -> Result<Vec<f64>, MarkovError> {
     for p in &mut pi {
         *p /= total;
     }
+    // The smallest censored exit rate is the conditioning diagnostic:
+    // tiny pivots mean nearly-disconnected states.
+    span.record("min_pivot", min_pivot);
+    rascad_obs::record_value("markov.gth.min_pivot", min_pivot);
+    rascad_obs::record_value("markov.gth.states", n as f64);
+    rascad_obs::counter("markov.gth.solves", 1);
     Ok(pi)
 }
 
@@ -161,6 +172,17 @@ mod tests {
     fn gth_empty_rejected() {
         let q = DenseMatrix::zeros(0, 0);
         assert!(matches!(stationary_gth_dense(&q), Err(MarkovError::EmptyChain)));
+    }
+
+    #[test]
+    fn gth_non_square_rejected() {
+        let q = DenseMatrix::zeros(2, 3);
+        match stationary_gth_dense(&q) {
+            Err(MarkovError::DimensionMismatch { what }) => {
+                assert!(what.contains("2x3"), "{what}");
+            }
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
     }
 
     #[test]

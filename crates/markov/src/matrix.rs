@@ -114,9 +114,7 @@ impl SparseMatrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row_entries(i).map(|(c, a)| a * v[c]).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row_entries(i).map(|(c, a)| a * v[c]).sum()).collect()
     }
 
     /// Converts to a dense matrix (used by the direct solvers).
@@ -137,9 +135,7 @@ impl SparseMatrix {
 
     /// Largest absolute diagonal entry (the uniformization rate bound).
     pub fn max_abs_diagonal(&self) -> f64 {
-        (0..self.rows.min(self.cols))
-            .map(|i| self.get(i, i).abs())
-            .fold(0.0, f64::max)
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i).abs()).fold(0.0, f64::max)
     }
 }
 

@@ -8,14 +8,13 @@
 //! `π_i = ν_i·m_i / Σ_j ν_j·m_j`, where `ν` is the stationary vector of
 //! the embedded chain and `m_i` the mean sojourn in state `i`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dense::DenseMatrix;
 use crate::error::MarkovError;
 use crate::gth;
 
 /// Sojourn-time distribution of a semi-Markov state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum SojournDistribution {
     /// Exponential with the given rate (mean `1/rate`).
@@ -67,9 +66,7 @@ impl SojournDistribution {
             SojournDistribution::Deterministic { value } => value,
             SojournDistribution::Uniform { low, high } => 0.5 * (low + high),
             SojournDistribution::Erlang { k, rate } => f64::from(k) / rate,
-            SojournDistribution::Weibull { shape, scale } => {
-                scale * gamma(1.0 + 1.0 / shape)
-            }
+            SojournDistribution::Weibull { shape, scale } => scale * gamma(1.0 + 1.0 / shape),
             SojournDistribution::Lognormal { mu, sigma } => (mu + 0.5 * sigma * sigma).exp(),
         }
     }
@@ -372,11 +369,7 @@ impl SemiMarkov {
         for (i, (label, k)) in self.labels.iter().zip(&phase_counts).enumerate() {
             let ids: Vec<_> = (0..*k)
                 .map(|p| {
-                    let lbl = if *k == 1 {
-                        label.clone()
-                    } else {
-                        format!("{label}#{p}")
-                    };
+                    let lbl = if *k == 1 { label.clone() } else { format!("{label}#{p}") };
                     b.add_state(lbl, self.rewards[i])
                 })
                 .collect();
@@ -385,20 +378,16 @@ impl SemiMarkov {
         for (i, k) in phase_counts.iter().enumerate() {
             let mean = self.sojourns[i].mean();
             // Zero-mean states: route through at a very high rate.
-            let rate = if mean > 0.0 {
-                f64::from(*k) / mean
-            } else {
-                1e12
-            };
+            let rate = if mean > 0.0 { f64::from(*k) / mean } else { 1e12 };
             let phases = &first_phase[i];
             for w in phases.windows(2) {
                 b.add_transition(w[0], w[1], rate);
             }
             let last = *phases.last().expect("k >= 1");
-            for j in 0..n {
+            for (j, target) in first_phase.iter().enumerate().take(n) {
                 let p = self.embedded[(i, j)];
-                if p > 0.0 && first_phase[j][0] != last {
-                    b.add_transition(last, first_phase[j][0], rate * p);
+                if p > 0.0 && target[0] != last {
+                    b.add_transition(last, target[0], rate * p);
                 }
             }
         }
@@ -441,8 +430,7 @@ mod tests {
         );
         // Weibull shape 1 variance = scale^2.
         assert!(
-            (SojournDistribution::Weibull { shape: 1.0, scale: 3.0 }.variance() - 9.0).abs()
-                < 1e-7
+            (SojournDistribution::Weibull { shape: 1.0, scale: 3.0 }.variance() - 9.0).abs() < 1e-7
         );
     }
 
@@ -545,9 +533,7 @@ mod tests {
         p0_fuzzy[fuzzy.state_by_label("down").unwrap()] = 1.0;
 
         let at = |chain: &crate::ctmc::Ctmc, p0: &[f64], t: f64| {
-            transient::solve(chain, p0, t, TransientOptions::default())
-                .unwrap()
-                .point_reward
+            transient::solve(chain, p0, t, TransientOptions::default()).unwrap().point_reward
         };
         // Still down at t=1 with high probability only for the sharp model.
         assert!(at(&sharp, &p0_sharp, 1.0) < 0.05);

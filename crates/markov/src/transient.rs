@@ -91,7 +91,7 @@ pub fn solve(
     opts: TransientOptions,
 ) -> Result<TransientSolution, MarkovError> {
     check_distribution(p0, chain.len())?;
-    if !(t >= 0.0) || !t.is_finite() {
+    if !t.is_finite() || t < 0.0 {
         return Err(MarkovError::InvalidOption { what: format!("time {t} must be >= 0") });
     }
     if !(opts.epsilon > 0.0 && opts.epsilon < 1.0) {
@@ -110,8 +110,13 @@ pub fn solve(
         });
     }
 
+    let mut span = rascad_obs::span("markov.transient");
+    span.record("states", chain.len());
+    span.record("t", t);
+
     let uni = uniformize(chain);
     let lt = uni.rate * t;
+    span.record("uniformization_rate", uni.rate);
 
     // Poisson weights with scaling: iterate w_k = e^{-lt} (lt)^k / k!
     // in log space start, then multiply up. For large lt use the
@@ -141,6 +146,7 @@ pub fn solve(
         tail2[k] = tail2[k + 1] + tail[k];
     }
 
+    let mut steps = 0usize;
     for k in 0..=kmax {
         for i in 0..chain.len() {
             point_acc[i] += weights[k] * probs[i];
@@ -148,6 +154,7 @@ pub fn solve(
         }
         if k < kmax {
             let next = uni.dtmc.vec_mul(&probs);
+            steps += 1;
             // Steady-state detection: once the DTMC iterates stop
             // moving, all remaining Poisson mass lands on the same
             // vector — close both series in one step.
@@ -162,6 +169,11 @@ pub fn solve(
             }
         }
     }
+    span.record("kmax", kmax);
+    span.record("steps", steps);
+    rascad_obs::record_value("markov.transient.kmax", kmax as f64);
+    rascad_obs::counter("markov.transient.vec_mul_steps", steps as u64);
+    rascad_obs::counter("markov.transient.solves", 1);
 
     // Normalize the point distribution against truncation loss.
     let mass: f64 = point_acc.iter().sum();
@@ -171,12 +183,7 @@ pub fn solve(
         }
     }
     let point = dot(&point_acc, &rewards);
-    let cumulative: f64 = cum_acc
-        .iter()
-        .zip(&rewards)
-        .map(|(c, r)| c * r)
-        .sum::<f64>()
-        / uni.rate;
+    let cumulative: f64 = cum_acc.iter().zip(&rewards).map(|(c, r)| c * r).sum::<f64>() / uni.rate;
     let interval = cumulative / t;
 
     Ok(TransientSolution {
@@ -228,12 +235,17 @@ pub fn solve_grid(
         });
     }
     for &t in times {
-        if !(t >= 0.0) || !t.is_finite() {
+        if !t.is_finite() || t < 0.0 {
             return Err(MarkovError::InvalidOption { what: format!("time {t} must be >= 0") });
         }
     }
+    let mut span = rascad_obs::span("markov.transient_grid");
+    span.record("states", chain.len());
+    span.record("points", times.len());
+
     let rewards = chain.rewards();
     let uni = uniformize(chain);
+    span.record("uniformization_rate", uni.rate);
 
     // Per-time Poisson weights and suffix (tail) sums.
     let mut weights: Vec<Vec<f64>> = Vec::with_capacity(times.len());
@@ -270,6 +282,10 @@ pub fn solve_grid(
             probs = uni.dtmc.vec_mul(&probs);
         }
     }
+    span.record("kmax", kmax);
+    rascad_obs::record_value("markov.transient.kmax", kmax as f64);
+    rascad_obs::counter("markov.transient.vec_mul_steps", kmax as u64);
+    rascad_obs::counter("markov.transient.grid_solves", 1);
 
     let max_reward = rewards.iter().cloned().fold(0.0, f64::max);
     Ok(times
@@ -534,8 +550,7 @@ mod tests {
     #[test]
     fn solve_grid_unsorted_times_and_errors() {
         let c = two_state(0.1, 0.9);
-        let out =
-            solve_grid(&c, &[1.0, 0.0], &[5.0, 1.0], TransientOptions::default()).unwrap();
+        let out = solve_grid(&c, &[1.0, 0.0], &[5.0, 1.0], TransientOptions::default()).unwrap();
         assert_eq!(out[0].time, 5.0);
         assert_eq!(out[1].time, 1.0);
         assert!(solve_grid(&c, &[1.0, 0.0], &[-1.0], TransientOptions::default()).is_err());

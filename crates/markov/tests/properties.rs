@@ -1,3 +1,8 @@
+//! Property-based tests; compiled only with the `proptest-tests`
+//! feature, which requires the real `proptest` crate (the offline
+//! build vendors an empty placeholder — see vendor/README.md).
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests for the Markov substrate.
 
 use proptest::prelude::*;

@@ -1,0 +1,277 @@
+//! Per-thread metric aggregation: counters and log-bucketed value
+//! histograms.
+//!
+//! Counters and recorded values are accumulated in a [`ThreadAgg`]
+//! owned by each instrumented thread (behind a mutex that is only
+//! contended at [`crate::drain`] time), then merged into one view when
+//! the subscriber drains.
+
+use std::collections::BTreeMap;
+
+/// One thread's accumulated metrics.
+#[derive(Debug, Default)]
+pub(crate) struct ThreadAgg {
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) values: BTreeMap<&'static str, Histogram>,
+}
+
+impl ThreadAgg {
+    pub(crate) fn clear(&mut self) {
+        self.counters.clear();
+        self.values.clear();
+    }
+}
+
+/// A sparse base-2 log-bucket histogram over finite `f64` values.
+///
+/// The bucket key keeps the sign, the 11 exponent bits and the top 4
+/// mantissa bits of the value, giving 16 buckets per power of two and
+/// a worst-case relative quantile error of about 1/16 (~6%). Memory is
+/// proportional to the number of *occupied* buckets, so recording
+/// millions of values stays cheap.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Sortable bucket key for a finite value; negative values map below
+/// zero so the `BTreeMap` iterates in numeric order.
+fn bucket_key(v: f64) -> i32 {
+    let bits = v.to_bits();
+    let mag = ((bits & 0x7fff_ffff_ffff_ffff) >> 48) as i32;
+    if bits >> 63 == 0 {
+        mag
+    } else {
+        -mag - 1
+    }
+}
+
+/// Midpoint of a bucket, the value reported for quantiles landing in
+/// it (clamped to the observed min/max at snapshot time).
+fn bucket_mid(key: i32) -> f64 {
+    let (neg, mag) = if key >= 0 { (false, key as u64) } else { (true, (-(key + 1)) as u64) };
+    let lo = f64::from_bits(mag << 48);
+    let hi = f64::from_bits((mag << 48) | 0x0000_ffff_ffff_ffff);
+    let mid = lo / 2.0 + hi / 2.0;
+    if neg {
+        -mid
+    } else {
+        mid
+    }
+}
+
+impl Histogram {
+    /// Records one observation. Non-finite values are ignored (they
+    /// have no bucket and would poison `sum`).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        *self.buckets.entry(bucket_key(v)).or_insert(0) += 1;
+    }
+
+    /// Folds another histogram (e.g. from a different thread) into
+    /// this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (k, n) in &other.buckets {
+            *self.buckets.entry(*k).or_insert(0) += n;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, approximated by the midpoint
+    /// of the bucket holding that rank and clamped to the observed
+    /// range. Returns `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (k, n) in &self.buckets {
+            seen += n;
+            if seen > rank {
+                return Some(bucket_mid(*k).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Freezes the histogram into summary statistics.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { f64::NAN } else { self.min },
+            max: if self.count == 0 { f64::NAN } else { self.max },
+            p50: self.quantile(0.50).unwrap_or(f64::NAN),
+            p90: self.quantile(0.90).unwrap_or(f64::NAN),
+            p99: self.quantile(0.99).unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// Summary statistics for one recorded value series, as reported in
+/// the drain-time metrics event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`NaN` when empty).
+    pub min: f64,
+    /// Largest observation (`NaN` when empty).
+    pub max: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 90th percentile.
+    pub p90: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+impl Snapshot {
+    /// Mean of observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let h = Histogram::default();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert!(s.min.is_nan() && s.p50.is_nan());
+        assert!(s.mean().is_nan());
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = Histogram::default();
+        h.record(42.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        // Clamped to the observed range, so exact for a single value.
+        assert_eq!(s.p50, 42.0);
+        assert_eq!(s.p99, 42.0);
+        assert_eq!(s.mean(), 42.0);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = Histogram::default();
+        for i in 1..=10_000 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot();
+        for (got, want) in [(s.p50, 5000.0), (s.p90, 9000.0), (s.p99, 9900.0)] {
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.07, "got {got}, want {want} (rel {rel})");
+        }
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10_000.0);
+    }
+
+    #[test]
+    fn negative_and_mixed_values_ordered() {
+        let mut h = Histogram::default();
+        for v in [-100.0, -1.0, 0.0, 1.0, 100.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.min, -100.0);
+        assert_eq!(s.max, 100.0);
+        // Median bucket must be the zero bucket.
+        assert!(s.p50.abs() < 1e-300, "p50 {}", s.p50);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut h = Histogram::default();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(3.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.snapshot().sum, 3.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut all = Histogram::default();
+        for i in 0..100 {
+            let v = (i * 37 % 100) as f64 + 0.5;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        let (sa, sall) = (a.snapshot(), all.snapshot());
+        assert_eq!(sa, sall);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::default());
+        assert_eq!(a.snapshot(), sall);
+    }
+
+    #[test]
+    fn bucket_key_is_monotone() {
+        let vals = [-1e9, -2.5, -1.0, -1e-12, 0.0, 1e-12, 1.0, 1.0625, 2.5, 1e9];
+        for w in vals.windows(2) {
+            assert!(bucket_key(w[0]) <= bucket_key(w[1]), "{w:?}");
+        }
+        // Midpoint stays inside (or near) its bucket.
+        for v in vals {
+            let mid = bucket_mid(bucket_key(v));
+            if v != 0.0 {
+                assert!((mid - v).abs() <= v.abs() * 0.07, "v={v} mid={mid}");
+            }
+        }
+    }
+}

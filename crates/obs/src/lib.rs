@@ -1,0 +1,498 @@
+//! `rascad-obs`: std-only structured tracing and metrics for the
+//! RAScad generate→solve pipeline.
+//!
+//! The build environment has no registry access, so this crate
+//! hand-rolls the pieces it would otherwise take from `tracing` /
+//! `metrics`:
+//!
+//! * **Spans** ([`span`]) — RAII wall-clock timings with typed fields
+//!   and thread-local parent/child nesting, streamed live to sinks.
+//! * **Counters** ([`counter`]) and **value series**
+//!   ([`record_value`]) — aggregated per thread (sparse log-bucket
+//!   histograms for values), merged and emitted once at [`drain`].
+//! * **Sinks** ([`Sink`]) — pluggable consumers; built-ins are
+//!   [`JsonLinesSink`] (one JSON object per event per line) and
+//!   [`SummarySink`] (human-readable table on flush).
+//!
+//! # Zero cost when disabled
+//!
+//! The subscriber is **disabled by default**. Every instrumentation
+//! entry point first checks one relaxed atomic load ([`enabled`]) and
+//! returns immediately when tracing is off — no allocation, no locks,
+//! no clock reads. Instrumented library code therefore stays on its
+//! fast path unless a CLI flag (or a test) calls [`install`].
+//!
+//! # Usage
+//!
+//! ```
+//! struct Count(u64);
+//! impl rascad_obs::Sink for Count {
+//!     fn event(&mut self, _: &rascad_obs::Event) { self.0 += 1; }
+//! }
+//!
+//! rascad_obs::install(vec![Box::new(Count(0))]);
+//! {
+//!     let mut span = rascad_obs::span("solve");
+//!     span.record("states", 12u64);
+//!     rascad_obs::counter("blocks_generated", 1);
+//!     rascad_obs::record_value("pivot_magnitude", 0.25);
+//! }
+//! rascad_obs::drain();     // emits the aggregated metrics event
+//! rascad_obs::uninstall(); // disables and drops the sinks
+//! ```
+
+pub mod json;
+
+mod agg;
+mod sink;
+
+pub use agg::{Histogram, Snapshot};
+pub use sink::{Event, FieldValue, JsonLinesSink, MetricsSummary, Sink, SummarySink};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use agg::ThreadAgg;
+
+/// The one-atomic-load gate every instrumentation call checks first.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Global subscriber state; created on first [`install`] and reused
+/// (sinks are swapped, ids keep counting) for the process lifetime.
+static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+
+struct Collector {
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+    /// Every thread that recorded a metric registers its aggregate
+    /// here so [`drain`] can merge them without thread cooperation.
+    threads: Mutex<Vec<Arc<Mutex<ThreadAgg>>>>,
+    next_span_id: AtomicU64,
+    epoch: Instant,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector {
+            sinks: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+            next_span_id: AtomicU64::new(1),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+thread_local! {
+    /// Stack of open span ids on this thread (for parent linkage).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// This thread's metric aggregate, shared with the collector.
+    static THREAD_AGG: RefCell<Option<Arc<Mutex<ThreadAgg>>>> =
+        const { RefCell::new(None) };
+}
+
+/// Ignores mutex poisoning: a panicking instrumented thread must not
+/// disable tracing for everyone else, and sink/aggregate state is
+/// append-only so partial writes are harmless.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Whether tracing is currently installed. One relaxed atomic load —
+/// this is the entire cost of instrumentation when tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs the given sinks and enables tracing process-wide.
+///
+/// Replaces any previously installed sinks and resets all metric
+/// aggregates, so consecutive install/drain cycles (e.g. tests) do not
+/// observe each other's data. Span ids keep increasing across cycles.
+pub fn install(sinks: Vec<Box<dyn Sink>>) {
+    let c = COLLECTOR.get_or_init(Collector::new);
+    for agg in lock(&c.threads).iter() {
+        lock(agg).clear();
+    }
+    *lock(&c.sinks) = sinks;
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Merges all per-thread counters and histograms and emits one
+/// [`Event::Metrics`] to every sink, then flushes the sinks. The
+/// aggregates are cleared, so a second drain reports only new data.
+pub fn drain() {
+    let Some(c) = COLLECTOR.get() else { return };
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut values: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    for agg in lock(&c.threads).iter() {
+        let mut agg = lock(agg);
+        for (name, v) in &agg.counters {
+            *counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in &agg.values {
+            values.entry(name).or_default().merge(h);
+        }
+        agg.clear();
+    }
+    let event = Event::Metrics {
+        counters: counters.into_iter().collect(),
+        values: values.into_iter().map(|(name, h)| (name, h.snapshot())).collect(),
+    };
+    let mut sinks = lock(&c.sinks);
+    for s in sinks.iter_mut() {
+        s.event(&event);
+        s.flush();
+    }
+}
+
+/// Disables tracing, flushes, and drops the installed sinks.
+///
+/// Does **not** emit a metrics event; call [`drain`] first if the
+/// aggregated metrics should be reported.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::SeqCst);
+    if let Some(c) = COLLECTOR.get() {
+        let mut sinks = lock(&c.sinks);
+        for s in sinks.iter_mut() {
+            s.flush();
+        }
+        sinks.clear();
+    }
+}
+
+/// Sends one event to every installed sink.
+fn emit(c: &Collector, event: &Event) {
+    for s in lock(&c.sinks).iter_mut() {
+        s.event(event);
+    }
+}
+
+/// Opens a named span. Returns a no-op handle when tracing is
+/// disabled. The span closes (emitting [`Event::SpanEnd`] with its
+/// wall-clock duration and recorded fields) when the handle drops.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    span_slow(name)
+}
+
+#[cold]
+fn span_slow(name: &'static str) -> Span {
+    let c = COLLECTOR.get_or_init(Collector::new);
+    let id = c.next_span_id.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    let start = Instant::now();
+    emit(c, &Event::SpanStart { id, parent, name, at: start - c.epoch });
+    Span { inner: Some(SpanInner { id, name, start, fields: Vec::new() }) }
+}
+
+struct SpanInner {
+    id: u64,
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// RAII handle for an open span; see [`span`].
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Attaches a typed field, reported in the span's end event. No-op
+    /// on a disabled span.
+    #[inline]
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// Whether this handle is live (tracing was enabled at creation).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Spans normally close in LIFO order; tolerate out-of-order
+            // drops (e.g. a span stored in a struct) by removing by id.
+            if stack.last() == Some(&inner.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != inner.id);
+            }
+        });
+        let Some(c) = COLLECTOR.get() else { return };
+        let now = Instant::now();
+        emit(
+            c,
+            &Event::SpanEnd {
+                id: inner.id,
+                name: inner.name,
+                at: now - c.epoch,
+                elapsed: now - inner.start,
+                fields: inner.fields,
+            },
+        );
+    }
+}
+
+/// Runs `f` on this thread's aggregate, registering it with the
+/// collector on first use.
+fn with_agg(f: impl FnOnce(&mut ThreadAgg)) {
+    THREAD_AGG.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let arc = slot.get_or_insert_with(|| {
+            let arc = Arc::new(Mutex::new(ThreadAgg::default()));
+            let c = COLLECTOR.get_or_init(Collector::new);
+            lock(&c.threads).push(Arc::clone(&arc));
+            arc
+        });
+        f(&mut lock(arc));
+    });
+}
+
+/// Adds `delta` to the named monotonic counter. No-op when disabled.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_agg(|a| *a.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Records one observation into the named value series (log-bucket
+/// histogram). Non-finite values are dropped. No-op when disabled.
+#[inline]
+pub fn record_value(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_agg(|a| a.values.entry(name).or_default().record(value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+    use std::time::Duration;
+
+    /// The subscriber is process-global, so tests that install it must
+    /// not interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Capturing sink sharing its event log with the test body.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<Event>>>);
+
+    impl Capture {
+        fn events(&self) -> Vec<Event> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    impl Sink for Capture {
+        fn event(&mut self, event: &Event) {
+            self.0.lock().unwrap().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn disabled_by_default_and_after_uninstall() {
+        let _guard = serial();
+        uninstall();
+        assert!(!enabled());
+        let mut span = span("ignored");
+        assert!(!span.is_enabled());
+        span.record("x", 1u64);
+        counter("ignored", 1);
+        record_value("ignored", 1.0);
+        drop(span);
+
+        // Now install and confirm the earlier calls left no trace.
+        let cap = Capture::default();
+        install(vec![Box::new(cap.clone())]);
+        drain();
+        let events = cap.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::Metrics { counters, values } => {
+                assert!(counters.is_empty(), "{counters:?}");
+                assert!(values.is_empty());
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+        uninstall();
+    }
+
+    #[test]
+    fn span_nesting_and_timing_monotonicity() {
+        let _guard = serial();
+        let cap = Capture::default();
+        install(vec![Box::new(cap.clone())]);
+        {
+            let mut outer = span("outer");
+            outer.record("depth", 0u64);
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        uninstall();
+
+        let events = cap.events();
+        let (outer_id, inner_parent) = {
+            let mut outer_id = None;
+            let mut inner_parent = None;
+            for e in &events {
+                if let Event::SpanStart { id, parent, name, .. } = e {
+                    match *name {
+                        "outer" => outer_id = Some(*id),
+                        "inner" => inner_parent = *parent,
+                        _ => {}
+                    }
+                }
+            }
+            (outer_id.unwrap(), inner_parent)
+        };
+        // Child links to the enclosing span on the same thread.
+        assert_eq!(inner_parent, Some(outer_id));
+
+        // Events arrive in causal order: start(outer), start(inner),
+        // end(inner), end(outer).
+        let order: Vec<(&str, &str)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart { name, .. } => Some(("start", *name)),
+                Event::SpanEnd { name, .. } => Some(("end", *name)),
+                Event::Metrics { .. } => None,
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![("start", "outer"), ("start", "inner"), ("end", "inner"), ("end", "outer"),]
+        );
+
+        // Timing: `at` is non-decreasing across the stream, the outer
+        // span contains the inner one, and recorded fields survive.
+        let mut last_at = Duration::ZERO;
+        let mut outer_elapsed = Duration::ZERO;
+        let mut inner_elapsed = Duration::ZERO;
+        for e in &events {
+            let at = match e {
+                Event::SpanStart { at, .. } => *at,
+                Event::SpanEnd { at, name, elapsed, fields, .. } => {
+                    match *name {
+                        "outer" => {
+                            outer_elapsed = *elapsed;
+                            assert_eq!(fields, &vec![("depth", FieldValue::U64(0))]);
+                        }
+                        "inner" => inner_elapsed = *elapsed,
+                        _ => {}
+                    }
+                    *at
+                }
+                Event::Metrics { .. } => continue,
+            };
+            assert!(at >= last_at, "timestamps must be monotone");
+            last_at = at;
+        }
+        assert!(outer_elapsed >= inner_elapsed + Duration::from_millis(2));
+        assert!(inner_elapsed >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn counters_and_histograms_aggregate_across_threads() {
+        let _guard = serial();
+        let cap = Capture::default();
+        install(vec![Box::new(cap.clone())]);
+        counter("work", 5);
+        record_value("size", 10.0);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    counter("work", 1);
+                    record_value("size", (i + 1) as f64);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drain();
+        uninstall();
+
+        let events = cap.events();
+        let metrics = events
+            .iter()
+            .find_map(|e| match e {
+                Event::Metrics { counters, values } => Some((counters.clone(), values.clone())),
+                _ => None,
+            })
+            .expect("drain emits metrics");
+        assert_eq!(metrics.0, vec![("work", 9)]);
+        let (name, snap) = &metrics.1[0];
+        assert_eq!(*name, "size");
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 20.0);
+        assert_eq!(snap.min, 1.0);
+        assert_eq!(snap.max, 10.0);
+    }
+
+    #[test]
+    fn drain_resets_aggregates_and_install_resets_previous_run() {
+        let _guard = serial();
+        let cap = Capture::default();
+        install(vec![Box::new(cap.clone())]);
+        counter("n", 3);
+        drain();
+        counter("n", 4);
+        drain();
+        uninstall();
+        let totals: Vec<u64> = cap
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Metrics { counters, .. } => Some(counters.iter().map(|(_, v)| *v).sum()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(totals, vec![3, 4]);
+
+        // Leftover (undrained) state must not leak into a fresh install.
+        let cap1 = Capture::default();
+        install(vec![Box::new(cap1.clone())]);
+        counter("leak", 1);
+        uninstall(); // no drain: "leak" is still in the aggregate
+        let cap2 = Capture::default();
+        install(vec![Box::new(cap2.clone())]);
+        drain();
+        uninstall();
+        match &cap2.events()[0] {
+            Event::Metrics { counters, .. } => {
+                assert!(counters.is_empty(), "{counters:?}")
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    }
+}

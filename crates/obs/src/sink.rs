@@ -1,0 +1,450 @@
+//! Event model and the two built-in sinks.
+//!
+//! A [`Sink`] receives the live event stream from the subscriber:
+//! span starts and ends as they happen, plus one [`Event::Metrics`]
+//! per [`crate::drain`] carrying the aggregated counters and value
+//! histograms. Sinks run under the subscriber's sink lock, so they can
+//! keep plain mutable state.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::time::Duration;
+
+use crate::agg::Snapshot;
+use crate::json::Value;
+
+/// A typed field attached to a span via [`crate::Span::record`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, sizes, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (rates, magnitudes, probabilities).
+    F64(f64),
+    /// Text (names, modes).
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v.into())
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::from(*v),
+            FieldValue::I64(v) => Value::Int(*v),
+            FieldValue::F64(v) => Value::Num(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+            FieldValue::Bool(v) => Value::Bool(*v),
+        }
+    }
+}
+
+/// One observation delivered to a [`Sink`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span was opened.
+    SpanStart {
+        /// Process-unique span id (monotonically assigned).
+        id: u64,
+        /// Id of the enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name.
+        name: &'static str,
+        /// Time since the subscriber was created.
+        at: Duration,
+    },
+    /// A span was closed.
+    SpanEnd {
+        /// Id from the matching [`Event::SpanStart`].
+        id: u64,
+        /// Span name.
+        name: &'static str,
+        /// Time since the subscriber was created.
+        at: Duration,
+        /// Wall-clock time the span was open.
+        elapsed: Duration,
+        /// Fields recorded on the span, in recording order.
+        fields: Vec<(&'static str, FieldValue)>,
+    },
+    /// Aggregated counters and value statistics, emitted by
+    /// [`crate::drain`].
+    Metrics {
+        /// Monotonic counters, summed across threads.
+        counters: Vec<(&'static str, u64)>,
+        /// Value-series summaries, merged across threads.
+        values: Vec<(&'static str, Snapshot)>,
+    },
+}
+
+fn micros(d: Duration) -> Value {
+    Value::Num(d.as_secs_f64() * 1e6)
+}
+
+impl Event {
+    /// Renders the event as a JSON object — the line format written by
+    /// [`JsonLinesSink`]. Durations are in microseconds (`*_us`).
+    pub fn to_json(&self) -> Value {
+        match self {
+            Event::SpanStart { id, parent, name, at } => Value::Obj(vec![
+                ("ev".into(), Value::from("span_start")),
+                ("id".into(), Value::from(*id)),
+                ("parent".into(), parent.map_or(Value::Null, Value::from)),
+                ("name".into(), Value::from(*name)),
+                ("at_us".into(), micros(*at)),
+            ]),
+            Event::SpanEnd { id, name, at, elapsed, fields } => Value::Obj(vec![
+                ("ev".into(), Value::from("span_end")),
+                ("id".into(), Value::from(*id)),
+                ("name".into(), Value::from(*name)),
+                ("at_us".into(), micros(*at)),
+                ("elapsed_us".into(), micros(*elapsed)),
+                (
+                    "fields".into(),
+                    Value::Obj(
+                        fields.iter().map(|(k, v)| ((*k).to_string(), v.to_json())).collect(),
+                    ),
+                ),
+            ]),
+            Event::Metrics { counters, values } => Value::Obj(vec![
+                ("ev".into(), Value::from("metrics")),
+                (
+                    "counters".into(),
+                    Value::Obj(
+                        counters.iter().map(|(k, v)| ((*k).to_string(), Value::from(*v))).collect(),
+                    ),
+                ),
+                (
+                    "values".into(),
+                    Value::Obj(
+                        values
+                            .iter()
+                            .map(|(k, s)| {
+                                (
+                                    (*k).to_string(),
+                                    Value::Obj(vec![
+                                        ("count".into(), Value::from(s.count)),
+                                        ("sum".into(), Value::Num(s.sum)),
+                                        ("min".into(), Value::Num(s.min)),
+                                        ("max".into(), Value::Num(s.max)),
+                                        ("p50".into(), Value::Num(s.p50)),
+                                        ("p90".into(), Value::Num(s.p90)),
+                                        ("p99".into(), Value::Num(s.p99)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+}
+
+/// Receives the subscriber's event stream.
+///
+/// Implementations must be `Send` (the subscriber is global and may be
+/// drained from any thread). Delivery order is the order events were
+/// emitted under the sink lock.
+pub trait Sink: Send {
+    /// Called for every event while tracing is enabled.
+    fn event(&mut self, event: &Event);
+
+    /// Called at [`crate::drain`] / [`crate::uninstall`]; write out
+    /// any buffered state.
+    fn flush(&mut self) {}
+}
+
+/// Streams every event as one compact JSON object per line.
+///
+/// Non-finite numbers (e.g. an empty histogram's `min`) are written as
+/// `null`, so every line is strict JSON. Write errors are swallowed:
+/// tracing must never take down the computation it observes.
+pub struct JsonLinesSink<W: Write + Send> {
+    out: W,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps a writer (file, stdout lock, `Vec<u8>`, …).
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonLinesSink<W> {
+    fn event(&mut self, event: &Event) {
+        let mut line = event.to_json().to_string_compact();
+        line.push('\n');
+        let _ = self.out.write_all(line.as_bytes());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanStat {
+    count: u64,
+    total: Duration,
+    max: Duration,
+}
+
+/// The payload of an [`Event::Metrics`]: aggregated counters and value
+/// snapshots, in that order.
+pub type MetricsSummary = (Vec<(&'static str, u64)>, Vec<(&'static str, Snapshot)>);
+
+/// Aggregates span timings by name and prints a plain-text summary
+/// table (spans, counters, value statistics) on [`Sink::flush`].
+pub struct SummarySink<W: Write + Send> {
+    out: W,
+    spans: BTreeMap<&'static str, SpanStat>,
+    metrics: Option<MetricsSummary>,
+}
+
+impl<W: Write + Send> SummarySink<W> {
+    /// Wraps a writer; the table is written when the subscriber
+    /// flushes (typically `stderr` for the CLI's `--timings`).
+    pub fn new(out: W) -> Self {
+        SummarySink { out, spans: BTreeMap::new(), metrics: None }
+    }
+}
+
+/// Formats a duration with an adaptive unit, 4 significant-ish digits.
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}us", s * 1e6)
+    } else {
+        format!("{}ns", d.as_nanos())
+    }
+}
+
+/// Formats a metric value compactly (integers without a fraction).
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl<W: Write + Send> Sink for SummarySink<W> {
+    fn event(&mut self, event: &Event) {
+        match event {
+            Event::SpanStart { .. } => {}
+            Event::SpanEnd { name, elapsed, .. } => {
+                let stat = self.spans.entry(name).or_default();
+                stat.count += 1;
+                stat.total += *elapsed;
+                stat.max = stat.max.max(*elapsed);
+            }
+            Event::Metrics { counters, values } => {
+                self.metrics = Some((counters.clone(), values.clone()));
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        // `drain` and `uninstall` both flush; only print a table when
+        // something accumulated since the last one.
+        if self.spans.is_empty() && self.metrics.is_none() {
+            return;
+        }
+        let out = &mut self.out;
+        let _ = writeln!(out, "── rascad timings ──────────────────────────────");
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>6} {:>10} {:>10} {:>10}",
+                "span", "count", "total", "mean", "max"
+            );
+            for (name, s) in &self.spans {
+                let mean = s.total / u32::try_from(s.count).unwrap_or(u32::MAX).max(1);
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>6} {:>10} {:>10} {:>10}",
+                    name,
+                    s.count,
+                    fmt_duration(s.total),
+                    fmt_duration(mean),
+                    fmt_duration(s.max)
+                );
+            }
+        }
+        if let Some((counters, values)) = &self.metrics {
+            if !counters.is_empty() {
+                let _ = writeln!(out, "{:<40} {:>12}", "counter", "value");
+                for (name, v) in counters {
+                    let _ = writeln!(out, "{name:<40} {v:>12}");
+                }
+            }
+            if !values.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10}",
+                    "value", "count", "mean", "p50", "p99", "max"
+                );
+                for (name, s) in values {
+                    let _ = writeln!(
+                        out,
+                        "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10}",
+                        name,
+                        s.count,
+                        fmt_value(s.mean()),
+                        fmt_value(s.p50),
+                        fmt_value(s.p99),
+                        fmt_value(s.max)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "────────────────────────────────────────────────");
+        let _ = out.flush();
+        self.spans.clear();
+        self.metrics = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_end_event() -> Event {
+        Event::SpanEnd {
+            id: 7,
+            name: "solve",
+            at: Duration::from_micros(1500),
+            elapsed: Duration::from_micros(250),
+            fields: vec![
+                ("states", FieldValue::U64(12)),
+                ("note", FieldValue::Str("line1\nline2 \"quoted\"".into())),
+                ("pivot", FieldValue::F64(f64::NAN)),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_lines_are_parseable_and_escaped() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.event(&Event::SpanStart {
+            id: 7,
+            parent: None,
+            name: "solve",
+            at: Duration::from_micros(1250),
+        });
+        sink.event(&sample_end_event());
+        sink.flush();
+        let text = String::from_utf8(sink.out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Raw newline/quote must be escaped, keeping one event per line.
+        assert!(lines[1].contains("\\n"));
+        assert!(lines[1].contains("\\\"quoted\\\""));
+        let start = json::parse(lines[0]).unwrap();
+        assert_eq!(start.get("ev").unwrap().as_str(), Some("span_start"));
+        assert!(start.get("parent").unwrap().is_null());
+        let end = json::parse(lines[1]).unwrap();
+        assert_eq!(end.get("id").unwrap().as_i64(), Some(7));
+        assert_eq!(end.get("elapsed_us").unwrap().as_f64(), Some(250.0));
+        let fields = end.get("fields").unwrap();
+        assert_eq!(fields.get("states").unwrap().as_i64(), Some(12));
+        // Non-finite floats serialize as null, keeping strict JSON.
+        assert!(fields.get("pivot").unwrap().is_null());
+    }
+
+    #[test]
+    fn metrics_event_serializes_snapshots() {
+        let mut h = crate::agg::Histogram::default();
+        for v in [1.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        let ev = Event::Metrics {
+            counters: vec![("blocks", 3)],
+            values: vec![("lu_fill", h.snapshot())],
+        };
+        let v = json::parse(&ev.to_json().to_string_compact()).unwrap();
+        assert_eq!(v.get("counters").unwrap().get("blocks").unwrap().as_i64(), Some(3));
+        let snap = v.get("values").unwrap().get("lu_fill").unwrap();
+        assert_eq!(snap.get("count").unwrap().as_i64(), Some(3));
+        assert_eq!(snap.get("sum").unwrap().as_f64(), Some(6.0));
+    }
+
+    #[test]
+    fn summary_table_lists_spans_counters_values() {
+        let mut sink = SummarySink::new(Vec::new());
+        for _ in 0..3 {
+            sink.event(&sample_end_event());
+        }
+        let mut h = crate::agg::Histogram::default();
+        h.record(0.5);
+        sink.event(&Event::Metrics {
+            counters: vec![("events_simulated", 1234)],
+            values: vec![("pivot_mag", h.snapshot())],
+        });
+        sink.flush();
+        let text = String::from_utf8(sink.out).unwrap();
+        assert!(text.contains("solve"), "{text}");
+        assert!(text.contains('3'), "{text}");
+        assert!(text.contains("events_simulated"), "{text}");
+        assert!(text.contains("1234"), "{text}");
+        assert!(text.contains("pivot_mag"), "{text}");
+        assert!(text.contains("0.5"), "{text}");
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.000us");
+        assert_eq!(fmt_duration(Duration::from_nanos(42)), "42ns");
+    }
+}

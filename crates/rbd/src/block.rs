@@ -1,14 +1,13 @@
 //! RBD trees and exact availability evaluation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::RbdError;
 
 /// Identifier of a component in a [`ComponentTable`].
 pub type ComponentId = usize;
 
 /// Table of named components with steady-state availabilities.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ComponentTable {
     names: Vec<String>,
     availabilities: Vec<f64>,
@@ -87,7 +86,8 @@ impl ComponentTable {
 /// The same [`ComponentId`] may appear in several leaves; evaluation
 /// stays exact by pivoting (Shannon decomposition) on each repeated
 /// component.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Rbd {
     /// A basic block backed by a table component.
     Component(ComponentId),
@@ -226,11 +226,12 @@ impl Rbd {
         table.validate()?;
         let repeated = self.repeated_components();
         if repeated.len() > MAX_REPEATED {
-            return Err(RbdError::TooManyRepeated {
-                count: repeated.len(),
-                max: MAX_REPEATED,
-            });
+            return Err(RbdError::TooManyRepeated { count: repeated.len(), max: MAX_REPEATED });
         }
+        let mut span = rascad_obs::span("rbd.availability");
+        span.record("leaves", self.leaf_count());
+        span.record("repeated", repeated.len());
+        rascad_obs::counter("rbd.evaluations", 1);
         let mut avail = table.availabilities().to_vec();
         Ok(self.shannon_eval(&mut avail, &repeated))
     }
@@ -245,6 +246,7 @@ impl Rbd {
     pub fn availability_independent(&self, table: &ComponentTable) -> Result<f64, RbdError> {
         self.validate(table)?;
         table.validate()?;
+        rascad_obs::counter("rbd.evaluations", 1);
         Ok(self.eval(table.availabilities()))
     }
 
@@ -269,9 +271,7 @@ impl Rbd {
         match self {
             Rbd::Component(id) => avail[*id],
             Rbd::Series(ch) => ch.iter().map(|c| c.eval(avail)).product(),
-            Rbd::Parallel(ch) => {
-                1.0 - ch.iter().map(|c| 1.0 - c.eval(avail)).product::<f64>()
-            }
+            Rbd::Parallel(ch) => 1.0 - ch.iter().map(|c| 1.0 - c.eval(avail)).product::<f64>(),
             Rbd::KOfN { k, children } => {
                 // DP over the number of working children (children may be
                 // heterogeneous subtrees).
@@ -336,10 +336,7 @@ mod tests {
         let (t, a, b, c) = table3();
         let r = Rbd::k_of_n(2, vec![Rbd::component(a), Rbd::component(b), Rbd::component(c)]);
         // P(>=2 of {0.9, 0.8, 0.7}).
-        let expect = 0.9 * 0.8 * 0.7
-            + 0.9 * 0.8 * 0.3
-            + 0.9 * 0.2 * 0.7
-            + 0.1 * 0.8 * 0.7;
+        let expect = 0.9 * 0.8 * 0.7 + 0.9 * 0.8 * 0.3 + 0.9 * 0.2 * 0.7 + 0.1 * 0.8 * 0.7;
         assert!((r.availability(&t).unwrap() - expect).abs() < 1e-15);
     }
 
@@ -403,10 +400,7 @@ mod tests {
             Rbd::component(99).availability(&t),
             Err(RbdError::UnknownComponent { id: 99, .. })
         ));
-        assert!(matches!(
-            Rbd::series(vec![]).availability(&t),
-            Err(RbdError::EmptyGate)
-        ));
+        assert!(matches!(Rbd::series(vec![]).availability(&t), Err(RbdError::EmptyGate)));
         assert!(matches!(
             Rbd::k_of_n(0, vec![Rbd::component(a)]).availability(&t),
             Err(RbdError::InvalidKofN { .. })
@@ -452,6 +446,7 @@ mod tests {
         assert!(t.set_availability(42, 0.5).is_err());
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let (t, a, b, c) = table3();

@@ -204,12 +204,8 @@ fn factor(mut g: Graph) -> f64 {
     let (u, v, p) = g.edges[0];
     let rest: Vec<(usize, usize, f64)> = g.edges[1..].to_vec();
 
-    let mut contracted = Graph {
-        parent: g.parent.clone(),
-        edges: rest.clone(),
-        source: s,
-        sink: t,
-    };
+    let mut contracted =
+        Graph { parent: g.parent.clone(), edges: rest.clone(), source: s, sink: t };
     contracted.union(u, v);
 
     let deleted = Graph { parent: g.parent.clone(), edges: rest, source: s, sink: t };
@@ -302,7 +298,7 @@ mod tests {
         for mask in 0u32..32 {
             let mut pr = 1.0;
             let mut parent: Vec<usize> = (0..4).collect();
-            fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+            fn find(p: &mut [usize], mut x: usize) -> usize {
                 while p[x] != x {
                     p[x] = p[p[x]];
                     x = p[x];

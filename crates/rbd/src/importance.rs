@@ -87,11 +87,7 @@ pub fn importance(rbd: &Rbd, table: &ComponentTable) -> Result<ImportanceReport,
         let a_down = rbd.availability(&t_down)?;
         let birnbaum = a_up - a_down;
         let a_i = table.availability(id).expect("validated id");
-        let criticality = if base < 1.0 {
-            birnbaum * (1.0 - a_i) / (1.0 - base)
-        } else {
-            0.0
-        };
+        let criticality = if base < 1.0 { birnbaum * (1.0 - a_i) / (1.0 - base) } else { 0.0 };
         comps.push(ComponentImportance {
             id,
             name: table.name(id).unwrap_or("").to_string(),
@@ -199,11 +195,10 @@ mod tests {
         let ids: Vec<_> = (0..4).map(|i| t.add(format!("c{i}"), 0.8 + 0.04 * i as f64)).collect();
         let r = Rbd::series(vec![
             Rbd::component(ids[0]),
-            Rbd::k_of_n(2, vec![
-                Rbd::component(ids[1]),
-                Rbd::component(ids[2]),
-                Rbd::component(ids[3]),
-            ]),
+            Rbd::k_of_n(
+                2,
+                vec![Rbd::component(ids[1]), Rbd::component(ids[2]), Rbd::component(ids[3])],
+            ),
         ]);
         let rep = importance(&r, &t).unwrap();
         let h = 1e-7;

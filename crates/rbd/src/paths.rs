@@ -119,16 +119,11 @@ pub fn esary_proschan_bounds(
     avail: &[f64],
 ) -> (f64, f64) {
     // Lower bound: product over cuts of P(cut not all failed).
-    let lower: f64 = cuts
-        .iter()
-        .map(|c| 1.0 - c.iter().map(|&i| 1.0 - avail[i]).product::<f64>())
-        .product();
+    let lower: f64 =
+        cuts.iter().map(|c| 1.0 - c.iter().map(|&i| 1.0 - avail[i]).product::<f64>()).product();
     // Upper bound: 1 - product over paths of P(path not all working).
     let upper: f64 = 1.0
-        - paths
-            .iter()
-            .map(|p| 1.0 - p.iter().map(|&i| avail[i]).product::<f64>())
-            .product::<f64>();
+        - paths.iter().map(|p| 1.0 - p.iter().map(|&i| avail[i]).product::<f64>()).product::<f64>();
     (lower, upper)
 }
 

@@ -136,10 +136,7 @@ mod tests {
     #[test]
     fn out_of_range_state_vector() {
         let (_, r) = setup();
-        assert!(matches!(
-            evaluate(&r, &[true]),
-            Err(RbdError::UnknownComponent { .. })
-        ));
+        assert!(matches!(evaluate(&r, &[true]), Err(RbdError::UnknownComponent { .. })));
     }
 
     #[test]

@@ -5,13 +5,12 @@
 //! reliability at time `t` is the structure function evaluated over the
 //! component survival probabilities `R_i(t)`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::block::{ComponentTable, Rbd};
 use crate::error::RbdError;
 
 /// A component lifetime distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Lifetime {
     /// Exponential lifetime with the given failure rate.
@@ -148,8 +147,7 @@ impl MissionProfile {
         // Composite Simpson over [0, horizon].
         let n = 2048; // even
         let h = horizon / n as f64;
-        let mut sum = self.system_reliability(rbd, 0.0)?
-            + self.system_reliability(rbd, horizon)?;
+        let mut sum = self.system_reliability(rbd, 0.0)? + self.system_reliability(rbd, horizon)?;
         for i in 1..n {
             let w = if i % 2 == 1 { 4.0 } else { 2.0 };
             sum += w * self.system_reliability(rbd, i as f64 * h)?;
@@ -240,8 +238,7 @@ mod tests {
 
     #[test]
     fn missing_component_rejected() {
-        let profile =
-            MissionProfile::new(vec![Lifetime::Exponential { rate: 0.01 }]).unwrap();
+        let profile = MissionProfile::new(vec![Lifetime::Exponential { rate: 0.01 }]).unwrap();
         let rbd = Rbd::component(3);
         assert!(matches!(
             profile.system_reliability(&rbd, 1.0),

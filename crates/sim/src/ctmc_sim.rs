@@ -75,6 +75,9 @@ pub fn simulate_once(chain: &Ctmc, horizon_hours: f64, rng: &mut StdRng) -> f64 
     let mut t = 0.0;
     let mut state: StateId = 0;
     let mut up_time = 0.0;
+    // Transitions are tallied locally and emitted once per replication so
+    // the hot loop stays free of per-event tracing overhead.
+    let mut events: u64 = 0;
     while t < horizon_hours {
         match table.step(state, rng) {
             None => {
@@ -85,6 +88,7 @@ pub fn simulate_once(chain: &Ctmc, horizon_hours: f64, rng: &mut StdRng) -> f64 
                 break;
             }
             Some((sojourn, next)) => {
+                events += 1;
                 let dwell = sojourn.min(horizon_hours - t);
                 if rewards[state] > 0.0 {
                     up_time += dwell;
@@ -94,18 +98,27 @@ pub fn simulate_once(chain: &Ctmc, horizon_hours: f64, rng: &mut StdRng) -> f64 
             }
         }
     }
+    rascad_obs::counter("sim.events", events);
     up_time / horizon_hours
 }
 
 /// Estimates steady-state availability by independent replications.
 pub fn simulate_availability(chain: &Ctmc, opts: &SimOptions) -> Estimate {
+    let mut span = rascad_obs::span("sim.availability");
+    span.record("states", chain.len());
+    span.record("replications", opts.replications);
+    span.record("horizon_hours", opts.horizon_hours);
     let samples: Vec<f64> = (0..opts.replications)
         .map(|r| {
             let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(r as u64 * 0x9e37_79b9));
             simulate_once(chain, opts.horizon_hours, &mut rng)
         })
         .collect();
-    Estimate::from_samples(&samples)
+    rascad_obs::counter("sim.replications", opts.replications as u64);
+    let est = Estimate::from_samples(&samples);
+    span.record("mean", est.mean);
+    span.record("ci_half_width", est.ci_half_width);
+    est
 }
 
 #[cfg(test)]

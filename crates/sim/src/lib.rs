@@ -38,8 +38,8 @@
 
 pub mod ctmc_sim;
 pub mod events;
-pub mod spec_sim;
 pub mod fieldgen;
+pub mod spec_sim;
 pub mod stats;
 pub mod system_sim;
 

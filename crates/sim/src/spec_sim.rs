@@ -115,10 +115,10 @@ fn one_replication(
     let mut seq = 0u64;
 
     let push = |queue: &mut BinaryHeap<Reverse<(At, usize)>>,
-                    events: &mut Vec<Event>,
-                    seq: &mut u64,
-                    t: f64,
-                    e: Event| {
+                events: &mut Vec<Event>,
+                seq: &mut u64,
+                t: f64,
+                e: Event| {
         events.push(e);
         queue.push(Reverse((At(t, *seq), events.len() - 1)));
         *seq += 1;
@@ -132,10 +132,22 @@ fn one_replication(
     // Seed initial fault events.
     for c in 0..n {
         if r.lambda_p > 0.0 {
-            push(&mut queue, &mut events, &mut seq, sample_exp(r.lambda_p, rng), Event::PermanentFault(c));
+            push(
+                &mut queue,
+                &mut events,
+                &mut seq,
+                sample_exp(r.lambda_p, rng),
+                Event::PermanentFault(c),
+            );
         }
         if r.lambda_t > 0.0 {
-            push(&mut queue, &mut events, &mut seq, sample_exp(r.lambda_t, rng), Event::Transient(c));
+            push(
+                &mut queue,
+                &mut events,
+                &mut seq,
+                sample_exp(r.lambda_t, rng),
+                Event::Transient(c),
+            );
         }
     }
 
@@ -166,8 +178,7 @@ fn one_replication(
                 } else {
                     units[c] = UnitState::InRepair;
                     detected_fault_windows(&r, t, rng, &mut windows, working(&units) >= k);
-                    let done =
-                        start_repair(&r, t, rng, working(&units) >= k, &mut windows);
+                    let done = start_repair(&r, t, rng, working(&units) >= k, &mut windows);
                     push(&mut queue, &mut events, &mut seq, done, Event::RepairDone(c));
                 }
                 if was_up && working(&units) < k {
@@ -387,12 +398,16 @@ mod tests {
     fn more_redundancy_is_more_available() {
         let g = GlobalParams::default();
         let o = SemanticSimOptions { horizon_hours: 100_000.0, replications: 16, seed: 5 };
-        let base = BlockParams::new("X", 2, 2)
-            .with_mtbf(Hours(3_000.0))
-            .with_mttr_parts(Minutes(60.0), Minutes(60.0), Minutes(0.0));
-        let redundant = BlockParams::new("X", 3, 2)
-            .with_mtbf(Hours(3_000.0))
-            .with_mttr_parts(Minutes(60.0), Minutes(60.0), Minutes(0.0));
+        let base = BlockParams::new("X", 2, 2).with_mtbf(Hours(3_000.0)).with_mttr_parts(
+            Minutes(60.0),
+            Minutes(60.0),
+            Minutes(0.0),
+        );
+        let redundant = BlockParams::new("X", 3, 2).with_mtbf(Hours(3_000.0)).with_mttr_parts(
+            Minutes(60.0),
+            Minutes(60.0),
+            Minutes(0.0),
+        );
         let a0 = simulate_block_semantics(&base, &g, &o).mean;
         let a1 = simulate_block_semantics(&redundant, &g, &o).mean;
         assert!(a1 > a0, "{a1} vs {a0}");

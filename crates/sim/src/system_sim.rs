@@ -65,6 +65,10 @@ pub fn simulate_system(
     let mut chains = Vec::new();
     collect_chains(spec, &spec.root, &mut chains)?;
 
+    let mut span = rascad_obs::span("sim.system");
+    span.record("chains", chains.len());
+    span.record("replications", opts.replications);
+    span.record("horizon_hours", opts.horizon_hours);
     let mut samples = Vec::with_capacity(opts.replications);
     let mut example_log = None;
     for r in 0..opts.replications {
@@ -75,8 +79,12 @@ pub fn simulate_system(
             example_log = Some(log);
         }
     }
+    rascad_obs::counter("sim.replications", opts.replications as u64);
+    let availability = Estimate::from_samples(&samples);
+    span.record("mean", availability.mean);
+    span.record("ci_half_width", availability.ci_half_width);
     Ok(SystemSimResult {
-        availability: Estimate::from_samples(&samples),
+        availability,
         example_log: example_log.expect("at least one replication"),
     })
 }
@@ -142,11 +150,15 @@ fn trajectory_down_intervals(
     let mut t = 0.0;
     let mut state = 0usize;
     let mut down_since: Option<f64> = None;
+    // Tallied locally; one counter update per trajectory keeps the hot
+    // loop free of tracing overhead.
+    let mut events: u64 = 0;
     while t < horizon {
         let total = totals[state];
         if total <= 0.0 {
             break; // absorbing
         }
+        events += 1;
         let sojourn = if deterministic_repairs && rewards[state] == 0.0 {
             1.0 / total
         } else {
@@ -173,6 +185,7 @@ fn trajectory_down_intervals(
     if let Some(s) = down_since {
         out.push((s, horizon));
     }
+    rascad_obs::counter("sim.events", events);
 }
 
 fn collect_chains(

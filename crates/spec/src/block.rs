@@ -1,7 +1,5 @@
 //! MG blocks and their parameter lists (paper Section 3).
 
-use serde::{Deserialize, Serialize};
-
 use crate::diagram::Diagram;
 use crate::units::{Fit, Hours, Minutes};
 
@@ -12,7 +10,8 @@ use crate::units::{Fit, Hours, Minutes};
 /// applications can be transparent or nontransparent", and likewise for
 /// the repair/reintegration event. The four combinations select Markov
 /// Model Types 1–4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Scenario {
     /// No downtime is associated with the event.
     #[default]
@@ -23,7 +22,8 @@ pub enum Scenario {
 
 /// Redundancy-only parameters, "relevant only if Quantity is greater
 /// than Minimum Quantity Required" (paper Section 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RedundancyParams {
     /// Probability of Latent Fault (`Plf`): a permanent fault that
     /// escapes detection.
@@ -80,7 +80,8 @@ impl RedundancyParams {
 }
 
 /// The full per-block parameter list of paper Section 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockParams {
     /// Name of this component.
     pub name: String,
@@ -225,15 +226,14 @@ impl BlockParams {
     /// Total MTTR (diagnosis + corrective action + verification), in
     /// hours.
     pub fn mttr_total(&self) -> Hours {
-        Hours(
-            (self.mttr_diagnosis.0 + self.mttr_corrective.0 + self.mttr_verification.0) / 60.0,
-        )
+        Hours((self.mttr_diagnosis.0 + self.mttr_corrective.0 + self.mttr_verification.0) / 60.0)
     }
 }
 
 /// An MG block: a parameter list plus an optional subdiagram modeling
 /// the component's internals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Block {
     /// The engineering parameters of this component.
     pub params: BlockParams,
@@ -271,9 +271,11 @@ mod tests {
 
     #[test]
     fn model_type_numbering_matches_paper() {
-        let mut r = RedundancyParams::default();
-        r.recovery = Scenario::Transparent;
-        r.repair = Scenario::Transparent;
+        let mut r = RedundancyParams {
+            recovery: Scenario::Transparent,
+            repair: Scenario::Transparent,
+            ..Default::default()
+        };
         assert_eq!(r.model_type(), 1);
         r.repair = Scenario::Nontransparent;
         assert_eq!(r.model_type(), 2);

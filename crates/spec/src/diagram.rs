@@ -5,13 +5,12 @@
 //! of MG diagrams and MG blocks. The root diagram is numbered level 1."
 //! (paper Section 3).
 
-use serde::{Deserialize, Serialize};
-
 use crate::block::{Block, BlockParams};
 use crate::params::GlobalParams;
 
 /// An MG diagram: a named list of blocks, modeled as a serial RBD.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Diagram {
     /// Diagram name, e.g. `"Data Center System"`.
     pub name: String,
@@ -75,7 +74,12 @@ impl Diagram {
         self.walk_inner(1, &self.name, f);
     }
 
-    fn walk_inner<'a>(&'a self, level: usize, path: &str, f: &mut impl FnMut(usize, &str, &'a Block)) {
+    fn walk_inner<'a>(
+        &'a self,
+        level: usize,
+        path: &str,
+        f: &mut impl FnMut(usize, &str, &'a Block),
+    ) {
         for b in &self.blocks {
             let bpath = format!("{path}/{}", b.params.name);
             f(level, &bpath, b);
@@ -127,7 +131,8 @@ impl Diagram {
 
 /// A complete system specification: the root diagram plus the global
 /// parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemSpec {
     /// The level-1 diagram.
     pub root: Diagram,
@@ -147,17 +152,25 @@ impl SystemSpec {
     ///
     /// Returns the first [`crate::SpecError`] found.
     pub fn validate(&self) -> Result<(), crate::SpecError> {
-        crate::validate::validate(self)
+        let mut span = rascad_obs::span("spec.validate");
+        span.record("blocks", self.root.total_blocks());
+        span.record("depth", self.root.depth());
+        let result = crate::validate::validate(self);
+        span.record("ok", result.is_ok());
+        result
     }
 
     /// Serializes to the canonical JSON interchange form.
+    ///
+    /// The writer is hand-rolled (see [`crate::json`]) and emits the
+    /// same document shape serde would, so it works in offline builds
+    /// without the `serde` feature.
     ///
     /// # Errors
     ///
     /// Returns [`crate::SpecError::Json`] on serialization failure.
     pub fn to_json(&self) -> Result<String, crate::SpecError> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| crate::SpecError::Json { message: e.to_string() })
+        Ok(crate::json::spec_to_value(self).to_string_pretty())
     }
 
     /// Parses the JSON interchange form.
@@ -166,7 +179,13 @@ impl SystemSpec {
     ///
     /// Returns [`crate::SpecError::Json`] on malformed input.
     pub fn from_json(s: &str) -> Result<Self, crate::SpecError> {
-        serde_json::from_str(s).map_err(|e| crate::SpecError::Json { message: e.to_string() })
+        let mut span = rascad_obs::span("spec.parse_json");
+        span.record("bytes", s.len());
+        let value = rascad_obs::json::parse(s)
+            .map_err(|e| crate::SpecError::Json { message: e.to_string() })?;
+        let spec = crate::json::spec_from_value(&value)?;
+        span.record("blocks", spec.root.total_blocks());
+        Ok(spec)
     }
 
     /// Serializes to the text DSL; see [`crate::dsl`].
@@ -180,7 +199,11 @@ impl SystemSpec {
     ///
     /// Returns [`crate::SpecError::Parse`] with position information.
     pub fn from_dsl(s: &str) -> Result<Self, crate::SpecError> {
-        crate::dsl::parser::parse(s)
+        let mut span = rascad_obs::span("spec.parse_dsl");
+        span.record("bytes", s.len());
+        let spec = crate::dsl::parser::parse(s)?;
+        span.record("blocks", spec.root.total_blocks());
+        Ok(spec)
     }
 }
 
@@ -243,9 +266,6 @@ mod tests {
 
     #[test]
     fn bad_json_reports_error() {
-        assert!(matches!(
-            SystemSpec::from_json("{ not json"),
-            Err(crate::SpecError::Json { .. })
-        ));
+        assert!(matches!(SystemSpec::from_json("{ not json"), Err(crate::SpecError::Json { .. })));
     }
 }

@@ -229,10 +229,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            kinds(r#""a\"b\\c""#),
-            vec![TokenKind::Str(r#"a"b\c"#.into()), TokenKind::Eof]
-        );
+        assert_eq!(kinds(r#""a\"b\\c""#), vec![TokenKind::Str(r#"a"b\c"#.into()), TokenKind::Eof]);
     }
 
     #[test]

@@ -43,6 +43,6 @@
 //! ```
 
 pub mod lexer;
-pub mod reference;
 pub mod parser;
 pub mod printer;
+pub mod reference;

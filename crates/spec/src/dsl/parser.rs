@@ -334,9 +334,7 @@ impl Parser {
         match v {
             Value::Word(w) if w == "transparent" => Ok(Scenario::Transparent),
             Value::Word(w) if w == "nontransparent" => Ok(Scenario::Nontransparent),
-            _ => self.error(format!(
-                "parameter `{key}` expects `transparent` or `nontransparent`"
-            )),
+            _ => self.error(format!("parameter `{key}` expects `transparent` or `nontransparent`")),
         }
     }
 }

@@ -107,10 +107,11 @@ mod tests {
             BlockParams::new("Box", 1, 1).with_part_number("PN-1"),
             sub,
         ));
-        root.push(
-            BlockParams::new("Drives", 2, 1)
-                .with_mttr_parts(Minutes(15.0), Minutes(25.0), Minutes(5.0)),
-        );
+        root.push(BlockParams::new("Drives", 2, 1).with_mttr_parts(
+            Minutes(15.0),
+            Minutes(25.0),
+            Minutes(5.0),
+        ));
         SystemSpec::new(root, GlobalParams::default())
     }
 

@@ -45,7 +45,8 @@ pub const PARAMETERS: &[ParameterDoc] = &[
         section: Section::Global,
         value: "duration (h)",
         symbol: Some("MTTM"),
-        description: "mean time to maintenance (service restriction time) before a deferred service call",
+        description:
+            "mean time to maintenance (service restriction time) before a deferred service call",
     },
     ParameterDoc {
         key: "mttrfid",

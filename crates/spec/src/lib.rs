@@ -32,6 +32,7 @@ pub mod block;
 pub mod diagram;
 pub mod dsl;
 pub mod error;
+mod json;
 pub mod params;
 pub mod units;
 pub mod validate;

@@ -3,12 +3,11 @@
 //! The paper (Section 3) lists four global parameters shown on the
 //! Global Parameter Bar; they apply to every block in the model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::{Hours, Minutes};
 
 /// Global parameters applying to every block (paper Section 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GlobalParams {
     /// Reboot Time (`Tboot`): time to reboot the system.
     pub reboot_time: Minutes,

@@ -121,10 +121,7 @@ fn validate_params(p: &BlockParams, path: &str) -> Result<(), SpecError> {
         }
         (Some(r), true) => {
             if !prob(r.p_latent_fault) {
-                return err(
-                    "p_latent",
-                    format!("must be a probability, got {}", r.p_latent_fault),
-                );
+                return err("p_latent", format!("must be a probability, got {}", r.p_latent_fault));
             }
             if !positive(r.mttdlf.0) {
                 return err("mttdlf", format!("must be positive, got {}", r.mttdlf.0));
@@ -211,7 +208,10 @@ mod tests {
         let mut d = Diagram::new("Sys");
         d.push(BlockParams::new("A", 1, 1).with_mtbf(Hours(0.0)));
         let spec = SystemSpec::new(d, GlobalParams::default());
-        assert!(matches!(spec.validate(), Err(SpecError::InvalidParameter { parameter: "mtbf", .. })));
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::InvalidParameter { parameter: "mtbf", .. })
+        ));
     }
 
     #[test]
@@ -259,13 +259,11 @@ mod tests {
     #[test]
     fn zero_total_mttr_rejected() {
         let mut d = Diagram::new("Sys");
-        d.push(
-            BlockParams::new("A", 1, 1).with_mttr_parts(
-                crate::units::Minutes(0.0),
-                crate::units::Minutes(0.0),
-                crate::units::Minutes(0.0),
-            ),
-        );
+        d.push(BlockParams::new("A", 1, 1).with_mttr_parts(
+            crate::units::Minutes(0.0),
+            crate::units::Minutes(0.0),
+            crate::units::Minutes(0.0),
+        ));
         let spec = SystemSpec::new(d, GlobalParams::default());
         assert!(spec.validate().is_err());
     }

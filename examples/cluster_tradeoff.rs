@@ -25,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let node = spec.root.find_mut("Cluster Node").expect("block exists");
         node.params.redundancy.as_mut().expect("redundant").failover_time = Minutes(v);
     })? {
-        println!(
-            "{:>14.1} {:>18.3}",
-            point.value, point.solution.system.yearly_downtime_minutes
-        );
+        println!("{:>14.1} {:>18.3}", point.value, point.solution.system.yearly_downtime_minutes);
     }
 
     // Sweep 2: probability the failover itself fails (Pspf).
@@ -38,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let node = spec.root.find_mut("Cluster Node").expect("block exists");
         node.params.redundancy.as_mut().expect("redundant").p_spf = v;
     })? {
-        println!(
-            "{:>14.3} {:>18.3}",
-            point.value, point.solution.system.yearly_downtime_minutes
-        );
+        println!("{:>14.3} {:>18.3}", point.value, point.solution.system.yearly_downtime_minutes);
     }
 
     // Sweep 3: what if the failover were fully transparent (e.g. an

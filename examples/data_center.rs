@@ -23,16 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Which blocks dominate the downtime budget?
     let mut ranked: Vec<_> = solution.blocks.iter().collect();
     ranked.sort_by(|a, b| {
-        b.measures
-            .yearly_downtime_minutes
-            .total_cmp(&a.measures.yearly_downtime_minutes)
+        b.measures.yearly_downtime_minutes.total_cmp(&a.measures.yearly_downtime_minutes)
     });
     println!("\nTop downtime contributors:");
     for b in ranked.iter().take(5) {
-        println!(
-            "  {:<55} {:>10.3} min/yr",
-            b.path, b.measures.yearly_downtime_minutes
-        );
+        println!("  {:<55} {:>10.3} min/yr", b.path, b.measures.yearly_downtime_minutes);
     }
 
     // Export one generated chain for graphical inspection (the paper's

@@ -7,8 +7,7 @@
 //! Run with: `cargo run --example design_review`
 
 use rascad::core::{
-    ablate, compare_architectures, generator::generate_block, performability, report,
-    solve_spec,
+    ablate, compare_architectures, generator::generate_block, performability, report, solve_spec,
 };
 use rascad::library::{e10000, workgroup};
 use rascad::markov::SteadyStateMethod;
@@ -29,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         b.measures.yearly_downtime_minutes.total_cmp(&a.measures.yearly_downtime_minutes)
     });
     let weakest = &worst[0];
-    println!("weakest block: {} ({:.2} downtime min/yr)", weakest.path, weakest.measures.yearly_downtime_minutes);
+    println!(
+        "weakest block: {} ({:.2} downtime min/yr)",
+        weakest.path, weakest.measures.yearly_downtime_minutes
+    );
     for (mode, p) in rascad::core::measures::failure_mode_attribution(&weakest.model)? {
         println!("  first failure via {mode:<16} {:>6.2}%", p * 100.0);
     }

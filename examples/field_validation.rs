@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             log.availability()
         );
         for o in log.outages() {
-            println!("    outage at t={:>8.1} h lasting {:>6.2} h", o.start_hours, o.duration_hours);
+            println!(
+                "    outage at t={:>8.1} h lasting {:>6.2} h",
+                o.start_hours, o.duration_hours
+            );
         }
     }
 

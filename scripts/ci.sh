@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the full offline test suite.
+#
+# Runs entirely offline — no network, no crates.io. The vendored
+# stand-in crates under vendor/ satisfy every external dependency, so
+# `--offline` is passed to each cargo invocation.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace --offline -q
+
+echo "ci: all gates passed"

@@ -49,12 +49,9 @@ fn three_numeric_methods_agree_on_the_cluster_chain() {
     // must agree far below the paper's bar.
     let spec = cluster::two_node_cluster(cluster::ClusterConfig::default());
     let node = spec.root.find("Cluster Node").unwrap();
-    let model =
-        rascad::core::generator::generate_block(&node.params, &spec.globals).unwrap();
+    let model = rascad::core::generator::generate_block(&node.params, &spec.globals).unwrap();
     let mut values = Vec::new();
-    for method in
-        [SteadyStateMethod::Gth, SteadyStateMethod::Lu, SteadyStateMethod::Power]
-    {
+    for method in [SteadyStateMethod::Gth, SteadyStateMethod::Lu, SteadyStateMethod::Power] {
         let pi = model.chain.steady_state(method).unwrap();
         values.push(model.chain.expected_reward(&pi));
     }
@@ -129,10 +126,11 @@ fn mg_redundant_block_bounded_by_independent_rbd() {
         .with_service_response(Hours(4.0))
         .with_p_correct_diagnosis(1.0);
     // Simplest scenario: everything transparent, no latent/SPF effects.
-    let mut r = rascad::spec::RedundancyParams::default();
-    r.p_latent_fault = 0.0;
-    r.p_spf = 0.0;
-    params.redundancy = Some(r);
+    params.redundancy = Some(rascad::spec::RedundancyParams {
+        p_latent_fault: 0.0,
+        p_spf: 0.0,
+        ..Default::default()
+    });
     let g = GlobalParams::default();
     let (_, mg) = solve_block(&params, &g).unwrap();
 

@@ -53,11 +53,8 @@ fn claim_four_types_from_scenario_combinations() {
 #[test]
 fn claim_figure4_state_set() {
     let g = GlobalParams::default();
-    let m = generate_block(
-        &redundant(2, 1, Scenario::Nontransparent, Scenario::Transparent),
-        &g,
-    )
-    .unwrap();
+    let m = generate_block(&redundant(2, 1, Scenario::Nontransparent, Scenario::Transparent), &g)
+        .unwrap();
     let mut ours: Vec<_> = m.chain.states().iter().map(|s| s.label.as_str()).collect();
     ours.sort_unstable();
     let mut paper = vec!["Ok", "TF1", "AR1", "SPF", "Latent1", "PF1", "TF2", "PF2", "ServiceError"];
@@ -88,11 +85,8 @@ fn claim_complexity_ordering() {
 #[test]
 fn claim_states_replicate_with_margin() {
     let g = GlobalParams::default();
-    let m = generate_block(
-        &redundant(5, 2, Scenario::Nontransparent, Scenario::Transparent),
-        &g,
-    )
-    .unwrap();
+    let m = generate_block(&redundant(5, 2, Scenario::Nontransparent, Scenario::Transparent), &g)
+        .unwrap();
     for level in 1..=3 {
         for prefix in ["TF", "AR", "PF", "Latent"] {
             let label = format!("{prefix}{level}");
@@ -106,12 +100,8 @@ fn claim_states_replicate_with_margin() {
 #[test]
 fn claim_diagram_availability_is_product() {
     let sol = solve_spec(&data_center()).unwrap();
-    let product: f64 = sol
-        .blocks
-        .iter()
-        .filter(|b| b.level == 1)
-        .map(|b| b.combined_availability)
-        .product();
+    let product: f64 =
+        sol.blocks.iter().filter(|b| b.level == 1).map(|b| b.combined_availability).product();
     assert!((sol.system.availability - product).abs() < 1e-12);
 }
 

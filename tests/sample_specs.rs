@@ -22,8 +22,8 @@ fn sample_files() -> Vec<std::path::PathBuf> {
 fn all_sample_specs_solve() {
     for path in sample_files() {
         let text = std::fs::read_to_string(&path).unwrap();
-        let spec = SystemSpec::from_dsl(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let spec =
+            SystemSpec::from_dsl(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         spec.validate().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let sol = solve_spec(&spec).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert!(

@@ -1,0 +1,7 @@
+//! Offline placeholder for `criterion`.
+//!
+//! Compiles to an empty library so the dependency graph resolves
+//! without network access; the benchmark targets that use it carry
+//! `required-features = ["criterion-bench"]`, which requires the real
+//! crate. Replace with the real crate when a registry is reachable —
+//! see vendor/README.md.

@@ -1,0 +1,7 @@
+//! Offline placeholder for `proptest`.
+//!
+//! Compiles to an empty library so `cargo test` can build the crates
+//! that list it as a dev-dependency; the property-test files that use
+//! it are gated behind each crate's `proptest-tests` feature, which
+//! requires the real crate. Replace with the real crate when a
+//! registry is reachable — see vendor/README.md.

@@ -1,0 +1,10 @@
+//! Offline placeholder for `serde`.
+//!
+//! This crate exists so the dependency graph resolves without network
+//! access. It is only compiled when a workspace crate enables its
+//! `serde` feature, at which point this error explains the situation.
+compile_error!(
+    "the workspace `serde` feature needs the real serde crate: replace the \
+     vendored placeholder by restoring the crates.io entries in \
+     [workspace.dependencies] (see vendor/README.md)"
+);

@@ -1,0 +1,7 @@
+//! Offline placeholder for `serde_json`.
+//!
+//! Compiles to an empty library so `cargo test` can build the crates
+//! that list it as a dev-dependency; every test that actually uses
+//! serde_json is gated behind the (offline-unbuildable) `serde`
+//! feature. Replace with the real crate when a registry is reachable —
+//! see vendor/README.md.
