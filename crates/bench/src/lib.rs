@@ -7,6 +7,8 @@
 use rascad_spec::units::{Fit, Hours, Minutes};
 use rascad_spec::{BlockParams, GlobalParams, RedundancyParams, Scenario};
 
+pub mod workloads;
+
 /// The non-redundant reference block used by the Type 0 (Figure 3)
 /// experiment.
 pub fn type0_block() -> BlockParams {

@@ -1,0 +1,228 @@
+//! Deterministic workload definitions for `rascad bench`.
+//!
+//! The CLI benchmark harness and its tests must agree on exactly which
+//! models each stage exercises, so the fixtures live here next to the
+//! Criterion fixtures. Everything is deterministic: fixed specs, fixed
+//! seeds, fixed grids.
+
+use rascad_markov::{Ctmc, CtmcBuilder};
+use rascad_spec::{BlockParams, Scenario, SystemSpec};
+
+/// Knobs that scale the benchmark suite without changing its shape.
+///
+/// `quick` keeps every stage comfortably under a second on a laptop so
+/// the suite can run as a CI smoke test; `full` is sized for real
+/// baseline comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchProfile {
+    /// Profile name recorded in the emitted document (`"quick"`/`"full"`).
+    pub name: &'static str,
+    /// Timed repetitions per stage (the minimum is reported).
+    pub iterations: usize,
+    /// Horizon for the single-point transient stage, hours.
+    pub transient_hours: f64,
+    /// Horizon for the exact interval-availability stage, hours.
+    pub interval_horizon_hours: f64,
+    /// Grid intervals for the exact interval-availability stage.
+    pub interval_grid_points: usize,
+    /// Number of sweep values in the parametric stage.
+    pub sweep_points: usize,
+    /// Simulated hours per replication in the simulator stage.
+    pub sim_horizon_hours: f64,
+    /// Simulator replications.
+    pub sim_replications: usize,
+}
+
+impl BenchProfile {
+    /// CI-sized profile: every stage well under a second.
+    pub fn quick() -> Self {
+        BenchProfile {
+            name: "quick",
+            iterations: 2,
+            transient_hours: 24.0,
+            interval_horizon_hours: 720.0,
+            interval_grid_points: 16,
+            sweep_points: 4,
+            sim_horizon_hours: 2_000.0,
+            sim_replications: 2,
+        }
+    }
+
+    /// Baseline-sized profile for real machine-to-machine comparisons.
+    pub fn full() -> Self {
+        BenchProfile {
+            name: "full",
+            iterations: 5,
+            transient_hours: 8_760.0,
+            interval_horizon_hours: 8_760.0,
+            interval_grid_points: 64,
+            sweep_points: 12,
+            sim_horizon_hours: 50_000.0,
+            sim_replications: 8,
+        }
+    }
+}
+
+/// One block per paper chain template: Type 0 (no redundancy) plus the
+/// four recovery × repair scenario combinations (Types 1–4).
+pub fn chain_type_blocks() -> Vec<(u8, BlockParams)> {
+    vec![
+        (0, crate::type0_block()),
+        (1, crate::redundant_block(2, 1, Scenario::Transparent, Scenario::Transparent)),
+        (2, crate::redundant_block(2, 1, Scenario::Transparent, Scenario::Nontransparent)),
+        (3, crate::redundant_block(2, 1, Scenario::Nontransparent, Scenario::Transparent)),
+        (4, crate::redundant_block(2, 1, Scenario::Nontransparent, Scenario::Nontransparent)),
+    ]
+}
+
+/// DSL source for the two-level hierarchy workload (parse + roll-up
+/// stages). Mirrors the paper's data-center example: a server box with
+/// a redundant CPU subdiagram plus mirrored boot drives.
+pub const HIERARCHY_DSL: &str = r#"
+global {
+    reboot_time = 8 min
+    mttm = 48 h
+    mttrfid = 8 h
+    mission_time = 8760 h
+}
+
+diagram "Bench Data Center" {
+    block "Server Box" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 10000 h
+        transient_fit = 500
+        mttr_diagnosis = 30 min
+        mttr_corrective = 20 min
+        mttr_verification = 10 min
+        service_response = 4 h
+        p_correct_diagnosis = 0.98
+        subdiagram "Server Internals" {
+            block "CPU Module" {
+                quantity = 4
+                min_quantity = 3
+                mtbf = 500000 h
+                redundancy {
+                    p_latent = 0.05
+                    mttdlf = 24 h
+                    recovery = nontransparent
+                    failover_time = 5 min
+                    p_spf = 0.01
+                    spf_recovery_time = 10 min
+                    repair = transparent
+                    reintegration_time = 0 min
+                }
+            }
+            block "Memory Bank" {
+                quantity = 2
+                min_quantity = 1
+                mtbf = 800000 h
+                redundancy {
+                    p_latent = 0.02
+                    mttdlf = 24 h
+                    recovery = transparent
+                    failover_time = 1 min
+                    p_spf = 0.01
+                    spf_recovery_time = 10 min
+                    repair = transparent
+                    reintegration_time = 5 min
+                }
+            }
+        }
+    }
+    block "Boot Drives" {
+        quantity = 2
+        min_quantity = 1
+        mtbf = 300000 h
+    }
+}
+"#;
+
+/// The parsed hierarchy workload.
+pub fn hierarchy_spec() -> SystemSpec {
+    SystemSpec::from_dsl(HIERARCHY_DSL).expect("bench hierarchy DSL parses")
+}
+
+/// Flat spec for the parametric-sweep stage; the sweep varies the
+/// service response time of the `"Node"` block.
+pub fn sweep_spec() -> SystemSpec {
+    use rascad_spec::units::Hours;
+    use rascad_spec::{Diagram, GlobalParams};
+    let mut d = Diagram::new("Bench Cluster");
+    d.push(
+        BlockParams::new("Node", 2, 1)
+            .with_mtbf(Hours(20_000.0))
+            .with_redundancy(crate::type3_block().redundancy.expect("type3 has redundancy")),
+    );
+    d.push(BlockParams::new("Switch", 1, 1).with_mtbf(Hours(150_000.0)));
+    SystemSpec::new(d, GlobalParams::default())
+}
+
+/// Name of the swept block in [`sweep_spec`].
+pub const SWEEP_BLOCK: &str = "Node";
+
+/// A mild (non-stiff) six-state birth–death chain for the
+/// power-iteration stage. Rates span a single order of magnitude, so
+/// the uniformized DTMC mixes in a few thousand iterations — the
+/// template chains are far too stiff for power iteration (that failure
+/// mode is what [`rascad_markov::MarkovError::NotConverged`] reports).
+pub fn power_chain() -> Ctmc {
+    let mut b = CtmcBuilder::new();
+    let ids: Vec<_> =
+        (0..6).map(|i| b.add_state(format!("s{i}"), if i < 4 { 1.0 } else { 0.0 })).collect();
+    for w in ids.windows(2) {
+        b.add_transition(w[0], w[1], 0.6);
+        b.add_transition(w[1], w[0], 2.5);
+    }
+    b.build().expect("bench power chain builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_core::{solve_block, solve_spec};
+    use rascad_markov::SteadyStateMethod;
+
+    #[test]
+    fn chain_type_blocks_cover_all_five_templates() {
+        let g = crate::globals();
+        let blocks = chain_type_blocks();
+        assert_eq!(blocks.len(), 5);
+        for (expect_type, params) in blocks {
+            let (model, _) = solve_block(&params, &g).unwrap();
+            assert_eq!(model.model_type, expect_type);
+        }
+    }
+
+    #[test]
+    fn hierarchy_spec_parses_and_solves() {
+        let spec = hierarchy_spec();
+        let solution = solve_spec(&spec).unwrap();
+        assert!(solution.system.availability > 0.99);
+        assert!(solution.blocks.len() >= 4);
+    }
+
+    #[test]
+    fn sweep_spec_solves() {
+        let solution = solve_spec(&sweep_spec()).unwrap();
+        assert!(solution.system.availability > 0.9);
+        assert!(sweep_spec().root.find(SWEEP_BLOCK).is_some());
+    }
+
+    #[test]
+    fn power_chain_converges_under_power_iteration() {
+        let pi = power_chain().steady_state(SteadyStateMethod::Power).unwrap();
+        let gth = power_chain().steady_state(SteadyStateMethod::Gth).unwrap();
+        for (a, b) in pi.iter().zip(&gth) {
+            assert!((a - b).abs() < 1e-9, "power {a} vs gth {b}");
+        }
+    }
+
+    #[test]
+    fn profiles_are_ordered() {
+        let (q, f) = (BenchProfile::quick(), BenchProfile::full());
+        assert!(q.iterations <= f.iterations);
+        assert!(q.sweep_points < f.sweep_points);
+        assert!(q.sim_horizon_hours < f.sim_horizon_hours);
+    }
+}

@@ -1,0 +1,980 @@
+//! `bench` — deterministic benchmark suite with versioned
+//! `BENCH_*.json` baselines and regression comparison.
+//!
+//! Runs the whole generate-and-solve pipeline as a fixed workload suite
+//! (spec parse, MG generation for all five chain types, GTH/LU/power
+//! stationary solves, transient and interval analysis, hierarchy
+//! roll-up, parametric sweep, bounded simulation), captures per-stage
+//! wall-clock plus the span/metric telemetry aggregated by
+//! `rascad-obs`, and emits a machine-readable document that a later run
+//! can be compared against (`--compare`). A comparison breaching the
+//! failure threshold exits with code 6 so CI can gate on it.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use rascad_bench::workloads::{self, BenchProfile};
+use rascad_core::generator::generate_block;
+use rascad_core::hierarchy::{interval_availability_exact, solve_spec};
+use rascad_core::sweep::{log_space, sweep};
+use rascad_core::CoreError;
+use rascad_markov::transient::{self, TransientOptions};
+use rascad_markov::{Ctmc, MarkovError, SteadyStateMethod};
+use rascad_obs::json::{self, Value};
+use rascad_obs::{Event, MetricsSummary, Sink, SpanTreeAgg};
+use rascad_sim::system_sim::{simulate_system, SystemSimOptions};
+use rascad_spec::units::Hours;
+use rascad_spec::SystemSpec;
+
+use super::CliError;
+
+/// Version tag of the emitted document; bump on breaking layout
+/// changes so stale baselines are rejected instead of mis-compared.
+const SCHEMA: &str = "rascad-bench/v1";
+
+/// Parsed `bench` options.
+struct BenchArgs {
+    profile: BenchProfile,
+    label: String,
+    out: Option<String>,
+    json: bool,
+    compare: Option<String>,
+    warn_ratio: f64,
+    fail_ratio: f64,
+    floor_us: f64,
+}
+
+/// Runs `bench [--quick|--full] [--label L] [--out F] [--json]
+/// [--compare BASE] [--warn-ratio R] [--fail-ratio R] [--floor-us US]`
+/// or `bench --validate <file>`.
+pub fn bench(args: &[&str]) -> Result<String, CliError> {
+    if let Some(i) = args.iter().position(|a| *a == "--validate") {
+        if args.len() != 2 || i != 0 {
+            return Err(CliError::usage("usage: rascad bench --validate <bench.json>"));
+        }
+        return validate_file(args[1]);
+    }
+    run_suite(&parse_args(args)?)
+}
+
+fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
+    let mut parsed = BenchArgs {
+        profile: BenchProfile::quick(),
+        label: "local".to_string(),
+        out: None,
+        json: false,
+        compare: None,
+        warn_ratio: 1.25,
+        fail_ratio: 2.0,
+        floor_us: 50.0,
+    };
+    let mut it = args.iter().copied();
+    while let Some(arg) = it.next() {
+        match arg {
+            "--quick" => parsed.profile = BenchProfile::quick(),
+            "--full" => parsed.profile = BenchProfile::full(),
+            "--json" => parsed.json = true,
+            "--label" => parsed.label = flag_value(&mut it, "--label")?.to_string(),
+            "--out" => parsed.out = Some(flag_value(&mut it, "--out")?.to_string()),
+            "--compare" => parsed.compare = Some(flag_value(&mut it, "--compare")?.to_string()),
+            "--warn-ratio" => parsed.warn_ratio = flag_num(&mut it, "--warn-ratio")?,
+            "--fail-ratio" => parsed.fail_ratio = flag_num(&mut it, "--fail-ratio")?,
+            "--floor-us" => parsed.floor_us = flag_num(&mut it, "--floor-us")?,
+            other => {
+                return Err(CliError::usage(format!("unknown bench option `{other}`")));
+            }
+        }
+    }
+    if parsed.label.is_empty()
+        || !parsed.label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(CliError::usage(format!(
+            "bench label `{}` must be non-empty [A-Za-z0-9_-]",
+            parsed.label
+        )));
+    }
+    let ratios_ok = parsed.warn_ratio >= 1.0 && parsed.fail_ratio >= parsed.warn_ratio;
+    if !ratios_ok {
+        return Err(CliError::usage(format!(
+            "need 1 <= warn-ratio <= fail-ratio, got {} and {}",
+            parsed.warn_ratio, parsed.fail_ratio
+        )));
+    }
+    if parsed.floor_us.is_nan() || parsed.floor_us < 0.0 {
+        return Err(CliError::usage(format!("floor-us {} must be >= 0", parsed.floor_us)));
+    }
+    Ok(parsed)
+}
+
+fn flag_value<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, CliError> {
+    it.next().ok_or_else(|| CliError::usage(format!("{flag} needs an argument")))
+}
+
+fn flag_num<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<f64, CliError> {
+    let s = flag_value(it, flag)?;
+    s.parse().map_err(|_| CliError::usage(format!("bad {flag} value: `{s}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Suite execution
+// ---------------------------------------------------------------------------
+
+/// Wall-clock summary of one benchmark stage.
+struct StageResult {
+    name: &'static str,
+    runs: usize,
+    min_us: f64,
+    mean_us: f64,
+    max_us: f64,
+}
+
+/// Numerical spot checks recorded alongside the timings so a baseline
+/// also pins the *answers*, not just the speed.
+struct Checks {
+    availability: f64,
+    yearly_downtime_minutes: f64,
+    sim_availability: f64,
+}
+
+/// Forwards span events into a [`SpanTreeAgg`] and keeps the final
+/// drain-time metrics summary.
+struct BenchCapture {
+    tree: Arc<Mutex<SpanTreeAgg>>,
+    metrics: Arc<Mutex<Option<MetricsSummary>>>,
+}
+
+impl Sink for BenchCapture {
+    fn event(&mut self, event: &Event) {
+        if let Event::Metrics { counters, values } = event {
+            if let Ok(mut slot) = self.metrics.lock() {
+                *slot = Some((counters.clone(), values.clone()));
+            }
+        } else if let Ok(mut tree) = self.tree.lock() {
+            tree.observe(event);
+        }
+    }
+}
+
+/// Disables tracing again if `bench` was the one to enable it, even on
+/// an early error return.
+struct CaptureGuard {
+    active: bool,
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        if self.active {
+            rascad_obs::uninstall();
+        }
+    }
+}
+
+/// Times `iterations` runs of `work` after one untimed warm-up run.
+fn time_stage<T>(
+    name: &'static str,
+    iterations: usize,
+    mut work: impl FnMut() -> Result<T, CliError>,
+) -> Result<StageResult, CliError> {
+    black_box(work()?);
+    let runs = iterations.max(1);
+    let mut min_us = f64::INFINITY;
+    let mut max_us: f64 = 0.0;
+    let mut sum_us = 0.0;
+    for _ in 0..runs {
+        let t = Instant::now();
+        black_box(work()?);
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        min_us = min_us.min(us);
+        max_us = max_us.max(us);
+        sum_us += us;
+    }
+    Ok(StageResult { name, runs, min_us, mean_us: sum_us / runs as f64, max_us })
+}
+
+fn markov_err(stage: &'static str) -> impl Fn(MarkovError) -> CliError {
+    move |source| CliError::Solver(CoreError::Markov { block: stage.to_string(), source })
+}
+
+fn run_stages(profile: &BenchProfile) -> Result<(Vec<StageResult>, Checks), CliError> {
+    let globals = rascad_bench::globals();
+    let blocks = workloads::chain_type_blocks();
+    let hierarchy = workloads::hierarchy_spec();
+    let sweep_base = workloads::sweep_spec();
+    let power = workloads::power_chain();
+    let reps = profile.iterations;
+
+    let mut stages = Vec::new();
+
+    stages.push(time_stage("parse_dsl", reps, || {
+        for _ in 0..16 {
+            black_box(SystemSpec::from_dsl(workloads::HIERARCHY_DSL).map_err(CliError::Spec)?);
+        }
+        Ok(())
+    })?);
+
+    for (ty, params) in &blocks {
+        let name = generate_stage_name(*ty);
+        stages.push(time_stage(name, reps, || {
+            for _ in 0..8 {
+                black_box(generate_block(params, &globals)?);
+            }
+            Ok(())
+        })?);
+    }
+
+    let chains: Vec<Ctmc> = blocks
+        .iter()
+        .map(|(_, p)| generate_block(p, &globals).map(|m| m.chain))
+        .collect::<Result<_, _>>()?;
+
+    stages.push(time_stage("solve_gth", reps, || {
+        for chain in &chains {
+            black_box(chain.steady_state(SteadyStateMethod::Gth).map_err(markov_err("gth"))?);
+        }
+        Ok(())
+    })?);
+
+    stages.push(time_stage("solve_lu", reps, || {
+        for chain in &chains {
+            black_box(chain.steady_state(SteadyStateMethod::Lu).map_err(markov_err("lu"))?);
+        }
+        Ok(())
+    })?);
+
+    stages.push(time_stage("solve_power", reps, || {
+        black_box(power.steady_state(SteadyStateMethod::Power).map_err(markov_err("power"))?);
+        Ok(())
+    })?);
+
+    // Type 3 is the paper's diagrammed template; start in the
+    // everything-working state.
+    let transient_chain = &chains[3];
+    let mut p0 = vec![0.0; transient_chain.len()];
+    p0[0] = 1.0;
+    stages.push(time_stage("transient", reps, || {
+        black_box(
+            transient::solve(
+                transient_chain,
+                &p0,
+                profile.transient_hours,
+                TransientOptions::default(),
+            )
+            .map_err(markov_err("transient"))?,
+        );
+        Ok(())
+    })?);
+
+    stages.push(time_stage("interval_exact", reps, || {
+        black_box(interval_availability_exact(
+            &hierarchy,
+            profile.interval_horizon_hours,
+            profile.interval_grid_points,
+        )?);
+        Ok(())
+    })?);
+
+    let mut availability = f64::NAN;
+    let mut yearly_downtime_minutes = f64::NAN;
+    stages.push(time_stage("hierarchy", reps, || {
+        let solution = solve_spec(&hierarchy)?;
+        availability = solution.system.availability;
+        yearly_downtime_minutes = solution.system.yearly_downtime_minutes;
+        black_box(solution);
+        Ok(())
+    })?);
+
+    let sweep_values = log_space(1.0, 8.0, profile.sweep_points)?;
+    stages.push(time_stage("sweep", reps, || {
+        black_box(sweep(&sweep_base, &sweep_values, |spec, v| {
+            if let Some(block) = spec.root.find_mut(workloads::SWEEP_BLOCK) {
+                block.params.service_response = Hours(v);
+            }
+        })?);
+        Ok(())
+    })?);
+
+    let mut sim_availability = f64::NAN;
+    stages.push(time_stage("simulate", reps, || {
+        let result = simulate_system(
+            &hierarchy,
+            &SystemSimOptions {
+                horizon_hours: profile.sim_horizon_hours,
+                replications: profile.sim_replications,
+                seed: 0xbead,
+                deterministic_repairs: false,
+            },
+        )?;
+        sim_availability = result.availability.mean;
+        black_box(result);
+        Ok(())
+    })?);
+
+    Ok((stages, Checks { availability, yearly_downtime_minutes, sim_availability }))
+}
+
+fn generate_stage_name(ty: u8) -> &'static str {
+    match ty {
+        0 => "generate_type0",
+        1 => "generate_type1",
+        2 => "generate_type2",
+        3 => "generate_type3",
+        _ => "generate_type4",
+    }
+}
+
+fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
+    // Capture telemetry through the obs layer unless the user already
+    // routed it elsewhere with --trace/--timings (then the document's
+    // spans/counters/values sections stay empty).
+    let tree = Arc::new(Mutex::new(SpanTreeAgg::new()));
+    let metrics: Arc<Mutex<Option<MetricsSummary>>> = Arc::new(Mutex::new(None));
+    let own_subscriber = !rascad_obs::enabled();
+    if own_subscriber {
+        rascad_obs::install(vec![Box::new(BenchCapture {
+            tree: Arc::clone(&tree),
+            metrics: Arc::clone(&metrics),
+        })]);
+    }
+    let guard = CaptureGuard { active: own_subscriber };
+
+    let (stages, checks) = run_stages(&args.profile)?;
+
+    if own_subscriber {
+        rascad_obs::drain();
+    }
+    drop(guard);
+
+    let mut doc = document(args, &stages, &checks, &tree, &metrics);
+
+    let mut compare_report = None;
+    if let Some(base_path) = &args.compare {
+        let text = std::fs::read_to_string(base_path)
+            .map_err(|source| CliError::Io { path: base_path.clone(), source })?;
+        let baseline = json::parse(&text).map_err(|e| {
+            CliError::usage(format!("baseline `{base_path}` is not valid JSON: {e}"))
+        })?;
+        check_document(&baseline)
+            .map_err(|why| CliError::usage(format!("baseline `{base_path}`: {why}")))?;
+        let outcome = compare_docs(&doc, &baseline, args);
+        let report = render_compare(&outcome, base_path, args);
+        if let Value::Obj(fields) = &mut doc {
+            fields.push(("compare".to_string(), compare_json(&outcome, base_path, args)));
+        }
+        if outcome.fails > 0 {
+            return Err(CliError::Regression(report));
+        }
+        compare_report = Some(report);
+    }
+
+    let out_path = match (&args.out, args.json) {
+        (Some(path), _) => Some(path.clone()),
+        (None, false) => Some(format!("BENCH_{}.json", args.label)),
+        (None, true) => None,
+    };
+    if let Some(path) = &out_path {
+        std::fs::write(path, doc.to_string_pretty())
+            .map_err(|source| CliError::Io { path: path.clone(), source })?;
+    }
+
+    if args.json {
+        let mut out = doc.to_string_pretty();
+        out.push('\n');
+        return Ok(out);
+    }
+    Ok(render_human(args, &stages, &checks, compare_report.as_deref(), out_path.as_deref()))
+}
+
+// ---------------------------------------------------------------------------
+// Document
+// ---------------------------------------------------------------------------
+
+fn document(
+    args: &BenchArgs,
+    stages: &[StageResult],
+    checks: &Checks,
+    tree: &Arc<Mutex<SpanTreeAgg>>,
+    metrics: &Arc<Mutex<Option<MetricsSummary>>>,
+) -> Value {
+    let created_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let threads = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let env = Value::Obj(vec![
+        ("os".to_string(), Value::from(std::env::consts::OS)),
+        ("arch".to_string(), Value::from(std::env::consts::ARCH)),
+        ("family".to_string(), Value::from(std::env::consts::FAMILY)),
+        ("threads".to_string(), Value::from(threads)),
+        ("debug_assertions".to_string(), Value::from(cfg!(debug_assertions))),
+        ("pkg_version".to_string(), Value::from(env!("CARGO_PKG_VERSION"))),
+    ]);
+    let stages_json = Value::Arr(
+        stages
+            .iter()
+            .map(|s| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::from(s.name)),
+                    ("runs".to_string(), Value::from(s.runs)),
+                    ("min_us".to_string(), Value::Num(s.min_us)),
+                    ("mean_us".to_string(), Value::Num(s.mean_us)),
+                    ("max_us".to_string(), Value::Num(s.max_us)),
+                ])
+            })
+            .collect(),
+    );
+    let spans = tree.lock().map_or(Value::Arr(Vec::new()), |t| t.to_json());
+    let (counters, values) = metrics.lock().ok().and_then(|mut slot| slot.take()).map_or_else(
+        || (Value::Obj(Vec::new()), Value::Obj(Vec::new())),
+        |(counters, values)| {
+            (
+                Value::Obj(
+                    counters.iter().map(|(k, v)| ((*k).to_string(), Value::from(*v))).collect(),
+                ),
+                Value::Obj(values.iter().map(|(k, s)| ((*k).to_string(), s.to_json())).collect()),
+            )
+        },
+    );
+    let checks_json = Value::Obj(vec![
+        ("availability".to_string(), Value::Num(checks.availability)),
+        ("yearly_downtime_minutes".to_string(), Value::Num(checks.yearly_downtime_minutes)),
+        ("sim_availability".to_string(), Value::Num(checks.sim_availability)),
+    ]);
+    Value::Obj(vec![
+        ("schema".to_string(), Value::from(SCHEMA)),
+        ("label".to_string(), Value::from(args.label.as_str())),
+        ("profile".to_string(), Value::from(args.profile.name)),
+        ("created_unix".to_string(), Value::from(created_unix)),
+        ("env".to_string(), env),
+        ("stages".to_string(), stages_json),
+        ("spans".to_string(), spans),
+        ("counters".to_string(), counters),
+        ("values".to_string(), values),
+        ("checks".to_string(), checks_json),
+    ])
+}
+
+/// Structural validation shared by `--validate` and `--compare`.
+/// Returns `(label, profile, stage count)`.
+fn check_document(doc: &Value) -> Result<(String, String, usize), String> {
+    let schema = doc.get("schema").and_then(Value::as_str).ok_or("missing `schema` key")?;
+    if schema != SCHEMA {
+        return Err(format!("schema `{schema}` is not `{SCHEMA}`"));
+    }
+    let label = doc.get("label").and_then(Value::as_str).ok_or("missing `label`")?;
+    let profile = doc.get("profile").and_then(Value::as_str).ok_or("missing `profile`")?;
+    doc.get("created_unix").and_then(Value::as_f64).ok_or("missing `created_unix`")?;
+    let env = doc.get("env").and_then(Value::as_object).ok_or("missing `env` object")?;
+    for key in ["os", "arch", "threads", "debug_assertions", "pkg_version"] {
+        if !env.iter().any(|(k, _)| k == key) {
+            return Err(format!("env is missing `{key}`"));
+        }
+    }
+    let stages = doc.get("stages").and_then(Value::as_array).ok_or("missing `stages` array")?;
+    if stages.is_empty() {
+        return Err("`stages` is empty".to_string());
+    }
+    for stage in stages {
+        let name = stage.get("name").and_then(Value::as_str).ok_or("stage without `name`")?;
+        for key in ["runs", "min_us", "mean_us", "max_us"] {
+            let v = stage
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("stage `{name}` missing numeric `{key}`"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("stage `{name}` has bad `{key}`: {v}"));
+            }
+        }
+    }
+    doc.get("spans").and_then(Value::as_array).ok_or("missing `spans` array")?;
+    doc.get("counters").and_then(Value::as_object).ok_or("missing `counters` object")?;
+    doc.get("values").and_then(Value::as_object).ok_or("missing `values` object")?;
+    doc.get("checks").and_then(Value::as_object).ok_or("missing `checks` object")?;
+    Ok((label.to_string(), profile.to_string(), stages.len()))
+}
+
+fn validate_file(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.to_string(), source })?;
+    let doc = json::parse(&text)
+        .map_err(|e| CliError::usage(format!("`{path}` is not valid JSON: {e}")))?;
+    let (label, profile, n) =
+        check_document(&doc).map_err(|why| CliError::usage(format!("`{path}`: {why}")))?;
+    Ok(format!("ok: {path}: label \"{label}\", profile {profile}, {n} stages\n"))
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ok,
+    Warn,
+    Fail,
+    New,
+    Missing,
+}
+
+impl Status {
+    fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Warn => "warn",
+            Status::Fail => "FAIL",
+            Status::New => "new",
+            Status::Missing => "missing",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CompareRow {
+    name: String,
+    status: Status,
+    base: f64,
+    current: f64,
+    ratio: f64,
+}
+
+#[derive(Debug)]
+struct CompareOutcome {
+    rows: Vec<CompareRow>,
+    warns: usize,
+    fails: usize,
+}
+
+fn stage_mins(doc: &Value) -> Vec<(String, f64)> {
+    doc.get("stages")
+        .and_then(Value::as_array)
+        .map(|stages| {
+            stages
+                .iter()
+                .filter_map(|s| {
+                    let name = s.get("name")?.as_str()?;
+                    let min = s.get("min_us")?.as_f64()?;
+                    Some((name.to_string(), min))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn doc_counters(doc: &Value) -> Vec<(String, f64)> {
+    doc.get("counters")
+        .and_then(Value::as_object)
+        .map(|obj| obj.iter().filter_map(|(k, v)| Some((k.clone(), v.as_f64()?))).collect())
+        .unwrap_or_default()
+}
+
+/// Compares the current document against a baseline: stage minimums by
+/// ratio against the warn/fail thresholds (stages where both sides are
+/// under the noise floor always pass), workload counters for drift
+/// (mismatch is a warning — it means the suite itself changed).
+fn compare_docs(current: &Value, baseline: &Value, args: &BenchArgs) -> CompareOutcome {
+    let cur = stage_mins(current);
+    let base = stage_mins(baseline);
+    let mut rows = Vec::new();
+
+    for (name, cur_us) in &cur {
+        match base.iter().find(|(n, _)| n == name) {
+            None => rows.push(CompareRow {
+                name: name.clone(),
+                status: Status::New,
+                base: f64::NAN,
+                current: *cur_us,
+                ratio: f64::NAN,
+            }),
+            Some((_, base_us)) => {
+                let ratio = cur_us / base_us.max(1e-9);
+                let status = if *cur_us < args.floor_us && *base_us < args.floor_us {
+                    Status::Ok
+                } else if ratio >= args.fail_ratio {
+                    Status::Fail
+                } else if ratio >= args.warn_ratio {
+                    Status::Warn
+                } else {
+                    Status::Ok
+                };
+                rows.push(CompareRow {
+                    name: name.clone(),
+                    status,
+                    base: *base_us,
+                    current: *cur_us,
+                    ratio,
+                });
+            }
+        }
+    }
+    for (name, base_us) in &base {
+        if !cur.iter().any(|(n, _)| n == name) {
+            rows.push(CompareRow {
+                name: name.clone(),
+                status: Status::Missing,
+                base: *base_us,
+                current: f64::NAN,
+                ratio: f64::NAN,
+            });
+        }
+    }
+
+    let cur_counters = doc_counters(current);
+    for (name, base_count) in doc_counters(baseline) {
+        if let Some((_, cur_count)) = cur_counters.iter().find(|(n, _)| *n == name) {
+            if (cur_count - base_count).abs() > 1e-9 {
+                rows.push(CompareRow {
+                    name: format!("counter:{name}"),
+                    status: Status::Warn,
+                    base: base_count,
+                    current: *cur_count,
+                    ratio: cur_count / base_count.max(1e-9),
+                });
+            }
+        }
+    }
+
+    let warns = rows.iter().filter(|r| matches!(r.status, Status::Warn | Status::Missing)).count();
+    let fails = rows.iter().filter(|r| r.status == Status::Fail).count();
+    CompareOutcome { rows, warns, fails }
+}
+
+fn render_compare(outcome: &CompareOutcome, base_path: &str, args: &BenchArgs) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "comparison against {base_path} (warn x{}, fail x{}, floor {} us):",
+        args.warn_ratio, args.fail_ratio, args.floor_us
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8} {:>12} {:>12} {:>8}",
+        "stage", "status", "base us", "current us", "ratio"
+    );
+    for row in &outcome.rows {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>12.1} {:>12.1} {:>8}",
+            row.name,
+            row.status.as_str(),
+            row.base,
+            row.current,
+            if row.ratio.is_finite() { format!("{:.2}x", row.ratio) } else { "-".to_string() },
+        );
+    }
+    let _ =
+        writeln!(out, "  result: {} regression(s), {} warning(s)", outcome.fails, outcome.warns);
+    out
+}
+
+fn compare_json(outcome: &CompareOutcome, base_path: &str, args: &BenchArgs) -> Value {
+    Value::Obj(vec![
+        ("baseline".to_string(), Value::from(base_path)),
+        ("warn_ratio".to_string(), Value::Num(args.warn_ratio)),
+        ("fail_ratio".to_string(), Value::Num(args.fail_ratio)),
+        ("floor_us".to_string(), Value::Num(args.floor_us)),
+        (
+            "rows".to_string(),
+            Value::Arr(
+                outcome
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        Value::Obj(vec![
+                            ("name".to_string(), Value::from(r.name.as_str())),
+                            ("status".to_string(), Value::from(r.status.as_str())),
+                            ("base_us".to_string(), Value::Num(r.base)),
+                            ("current_us".to_string(), Value::Num(r.current)),
+                            ("ratio".to_string(), Value::Num(r.ratio)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("warns".to_string(), Value::from(outcome.warns)),
+        ("fails".to_string(), Value::from(outcome.fails)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Human report
+// ---------------------------------------------------------------------------
+
+fn render_human(
+    args: &BenchArgs,
+    stages: &[StageResult],
+    checks: &Checks,
+    compare_report: Option<&str>,
+    out_path: Option<&str>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "rascad bench: profile {}, label \"{}\"", args.profile.name, args.label);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>4} {:>12} {:>12} {:>12}",
+        "stage", "runs", "min us", "mean us", "max us"
+    );
+    for s in stages {
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>4} {:>12.1} {:>12.1} {:>12.1}",
+            s.name, s.runs, s.min_us, s.mean_us, s.max_us
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "checks: availability {:.9} ({:.1} min/y downtime), simulated {:.6}",
+        checks.availability, checks.yearly_downtime_minutes, checks.sim_availability
+    );
+    if let Some(report) = compare_report {
+        let _ = writeln!(out);
+        out.push_str(report);
+    }
+    if let Some(path) = out_path {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "wrote {path}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::obs_test_lock;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    fn run_bench(args: &[&str]) -> Result<String, CliError> {
+        bench(args)
+    }
+
+    #[test]
+    fn quick_json_is_schema_valid_with_solver_diagnostics() {
+        let _lock = obs_test_lock();
+        let out = run_bench(&["--quick", "--json", "--label", "unit"]).unwrap();
+        let doc = json::parse(&out).unwrap();
+        let (label, profile, n) = check_document(&doc).unwrap();
+        assert_eq!(label, "unit");
+        assert_eq!(profile, "quick");
+        assert!(n >= 10, "expected >= 10 stages, got {n}");
+
+        let names: Vec<&str> = doc
+            .get("stages")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        for stage in [
+            "parse_dsl",
+            "generate_type0",
+            "generate_type4",
+            "solve_gth",
+            "solve_lu",
+            "solve_power",
+            "transient",
+            "interval_exact",
+            "hierarchy",
+            "sweep",
+            "simulate",
+        ] {
+            assert!(names.contains(&stage), "missing stage {stage}: {names:?}");
+        }
+
+        // Solver numerical-health telemetry captured through rascad-obs.
+        let values = doc.get("values").unwrap();
+        for key in ["markov.gth.min_pivot", "markov.power.residual", "markov.power.iterations"] {
+            let snap = values.get(key).unwrap_or_else(|| panic!("missing value {key}"));
+            assert!(snap.get("count").unwrap().as_f64().unwrap() >= 1.0, "{key}");
+        }
+        let counters = doc.get("counters").unwrap();
+        for key in ["markov.gth.solves", "markov.transient.solves", "sim.replications"] {
+            assert!(
+                counters.get(key).and_then(Value::as_f64).unwrap_or(0.0) >= 1.0,
+                "missing counter {key}"
+            );
+        }
+
+        // Span aggregates are present and depth-sorted.
+        let spans = doc.get("spans").unwrap().as_array().unwrap();
+        assert!(!spans.is_empty());
+        let depths: Vec<i64> =
+            spans.iter().map(|s| s.get("depth").unwrap().as_i64().unwrap()).collect();
+        let mut sorted = depths.clone();
+        sorted.sort_unstable();
+        assert_eq!(depths, sorted);
+
+        // Checks pin the numerical answers.
+        let avail = doc.get("checks").unwrap().get("availability").unwrap().as_f64().unwrap();
+        assert!(avail > 0.99 && avail < 1.0, "{avail}");
+    }
+
+    #[test]
+    fn compare_against_own_baseline_passes() {
+        let _lock = obs_test_lock();
+        let path = tmp("rascad_bench_base_ok.json");
+        run_bench(&["--quick", "--out", path.to_str().unwrap(), "--json"]).unwrap();
+        // Loose thresholds so machine noise can't flake the test; the
+        // mechanics (matching, ratio math, exit path) are what's under
+        // test here.
+        let out = run_bench(&[
+            "--quick",
+            "--json",
+            "--compare",
+            path.to_str().unwrap(),
+            "--warn-ratio",
+            "50",
+            "--fail-ratio",
+            "100",
+        ])
+        .unwrap();
+        let doc = json::parse(&out).unwrap();
+        let cmp = doc.get("compare").unwrap();
+        assert_eq!(cmp.get("fails").unwrap().as_i64(), Some(0));
+        assert!(!cmp.get("rows").unwrap().as_array().unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_slowdown_trips_regression_exit_code() {
+        let _lock = obs_test_lock();
+        let path = tmp("rascad_bench_base_slow.json");
+        run_bench(&["--quick", "--out", path.to_str().unwrap(), "--json"]).unwrap();
+
+        // Doctor the baseline: shrink every stage minimum 1000x, which
+        // makes the (unchanged) current run look like a huge slowdown.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut doc = json::parse(&text).unwrap();
+        if let Value::Obj(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                if key == "stages" {
+                    if let Value::Arr(stages) = value {
+                        for stage in stages {
+                            if let Value::Obj(stage_fields) = stage {
+                                for (k, v) in stage_fields.iter_mut() {
+                                    if k == "min_us" {
+                                        if let Value::Num(us) = v {
+                                            *us /= 1000.0;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        std::fs::write(&path, doc.to_string_pretty()).unwrap();
+
+        let err = run_bench(&["--quick", "--compare", path.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err:?}");
+        let report = err.to_string();
+        assert!(report.contains("FAIL"), "{report}");
+        assert!(report.contains("regression"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_accepts_emitted_and_rejects_corrupt() {
+        let _lock = obs_test_lock();
+        let path = tmp("rascad_bench_validate.json");
+        run_bench(&["--quick", "--out", path.to_str().unwrap(), "--json"]).unwrap();
+        let out = run_bench(&["--validate", path.to_str().unwrap()]).unwrap();
+        assert!(out.starts_with("ok:"), "{out}");
+
+        std::fs::write(&path, "{\"schema\": \"other/v9\"}").unwrap();
+        let err = run_bench(&["--validate", path.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+
+        std::fs::write(&path, "not json").unwrap();
+        assert!(run_bench(&["--validate", path.to_str().unwrap()]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compare_statuses_cover_ok_warn_fail_new_missing() {
+        let mk = |stages: &[(&str, f64)], counters: &[(&str, f64)]| {
+            Value::Obj(vec![
+                (
+                    "stages".to_string(),
+                    Value::Arr(
+                        stages
+                            .iter()
+                            .map(|(n, us)| {
+                                Value::Obj(vec![
+                                    ("name".to_string(), Value::from(*n)),
+                                    ("min_us".to_string(), Value::Num(*us)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "counters".to_string(),
+                    Value::Obj(
+                        counters.iter().map(|(n, v)| ((*n).to_string(), Value::Num(*v))).collect(),
+                    ),
+                ),
+            ])
+        };
+        let args = BenchArgs {
+            profile: BenchProfile::quick(),
+            label: "t".to_string(),
+            out: None,
+            json: false,
+            compare: None,
+            warn_ratio: 1.25,
+            fail_ratio: 2.0,
+            floor_us: 50.0,
+        };
+        let baseline = mk(
+            &[
+                ("steady", 1000.0),
+                ("slower", 1000.0),
+                ("much_slower", 1000.0),
+                ("gone", 500.0),
+                ("noise", 10.0),
+            ],
+            &[("solves", 5.0), ("drift", 7.0)],
+        );
+        let current = mk(
+            &[
+                ("steady", 1010.0),
+                ("slower", 1500.0),
+                ("much_slower", 2500.0),
+                ("fresh", 80.0),
+                ("noise", 40.0),
+            ],
+            &[("solves", 5.0), ("drift", 9.0)],
+        );
+        let outcome = compare_docs(&current, &baseline, &args);
+        let status =
+            |name: &str| outcome.rows.iter().find(|r| r.name == name).map(|r| r.status).unwrap();
+        assert_eq!(status("steady"), Status::Ok);
+        assert_eq!(status("slower"), Status::Warn);
+        assert_eq!(status("much_slower"), Status::Fail);
+        assert_eq!(status("fresh"), Status::New);
+        assert_eq!(status("gone"), Status::Missing);
+        // Both under the 50 us floor: 4x ratio still passes.
+        assert_eq!(status("noise"), Status::Ok);
+        assert_eq!(status("counter:drift"), Status::Warn);
+        assert_eq!(outcome.fails, 1);
+        assert!(outcome.warns >= 3, "{outcome:?}");
+    }
+
+    #[test]
+    fn bad_options_are_usage_errors() {
+        assert!(matches!(bench(&["--bogus"]), Err(CliError::Usage(_))));
+        assert!(matches!(bench(&["--label"]), Err(CliError::Usage(_))));
+        assert!(matches!(bench(&["--label", "no/slash"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            bench(&["--warn-ratio", "3", "--fail-ratio", "2"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(bench(&["--validate"]), Err(CliError::Usage(_))));
+    }
+}

@@ -6,6 +6,7 @@
 
 use std::fmt;
 
+mod bench;
 mod fielddata;
 mod simulate;
 mod solve;
@@ -25,6 +26,10 @@ pub enum CliError {
     Solver(rascad_core::CoreError),
     /// A file could not be read or written. Exit code 5.
     Io { path: String, source: std::io::Error },
+    /// `bench --compare` detected a performance regression past the
+    /// failure threshold. Exit code 6. Carries the rendered comparison
+    /// report.
+    Regression(String),
 }
 
 impl CliError {
@@ -40,6 +45,7 @@ impl CliError {
             CliError::Spec(_) => 3,
             CliError::Solver(_) => 4,
             CliError::Io { .. } => 5,
+            CliError::Regression(_) => 6,
         }
     }
 }
@@ -51,6 +57,10 @@ impl fmt::Display for CliError {
             CliError::Spec(_) => f.write_str("invalid specification"),
             CliError::Solver(_) => f.write_str("solving failed"),
             CliError::Io { path, .. } => write!(f, "cannot access `{path}`"),
+            CliError::Regression(report) => {
+                writeln!(f, "performance regression detected")?;
+                f.write_str(report)
+            }
         }
     }
 }
@@ -58,7 +68,7 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Regression(_) => None,
             CliError::Spec(e) => Some(e),
             CliError::Solver(e) => Some(e),
             CliError::Io { source, .. } => Some(source),
@@ -109,6 +119,14 @@ COMMANDS:
                                         Monte-Carlo cross-check of the analytic solution
     fielddata <spec.rascad> [months [servers [seed]]]
                                         generate synthetic field data and compare with the model
+    bench [--quick|--full] [--label L] [--out F] [--json] [--compare BASE.json]
+          [--warn-ratio R] [--fail-ratio R] [--floor-us US]
+                                        run the deterministic benchmark suite and write a
+                                        versioned BENCH_<label>.json (per-stage timings, span
+                                        aggregates, solver diagnostics, environment metadata);
+                                        --compare checks against a baseline and exits 6 on a
+                                        regression past the fail threshold
+    bench --validate <file.json>        check that a BENCH document parses and is schema-valid
     library [name]                      print a library model as DSL
                                         (names: datacenter, e10000, cluster, workgroup)
     reference                           print the DSL parameter reference (Markdown)
@@ -116,6 +134,7 @@ COMMANDS:
 
 EXIT CODES:
     0 success   2 usage   3 invalid spec   4 solver failure   5 I/O error
+    6 performance regression (bench --compare)
 ";
 
 /// Observability options stripped from the command line before
@@ -259,6 +278,10 @@ fn dispatch(args: &[&str]) -> Result<String, CliError> {
             let rest: Vec<&str> = it.collect();
             fielddata::fielddata(&spec, &rest)
         }
+        Some("bench") => {
+            let rest: Vec<&str> = it.collect();
+            bench::bench(&rest)
+        }
         Some("library") => {
             let name = it.next().unwrap_or("datacenter");
             library(name)
@@ -310,6 +333,15 @@ pub(crate) fn num_arg<T: std::str::FromStr>(
         None => Ok(default),
         Some(s) => s.parse().map_err(|_| CliError::usage(format!("bad {what}: `{s}`"))),
     }
+}
+
+/// Serializes tests that install the process-global `rascad-obs`
+/// subscriber (`stats`, `bench`): concurrent installs would clobber
+/// each other's sinks and cross-drain metrics.
+#[cfg(test)]
+pub(crate) fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

@@ -205,6 +205,7 @@ mod tests {
 
     #[test]
     fn stats_reports_stages_types_and_diagnostics() {
+        let _lock = crate::commands::obs_test_lock();
         let dir = std::env::temp_dir();
         let path = dir.join("rascad_stats_test.rascad");
         let spec = rascad_library::datacenter::data_center();

@@ -190,6 +190,8 @@ pub fn solve_spec_with(
         mttf_hours: if inv_mttf > 0.0 { 1.0 / inv_mttf } else { f64::INFINITY },
         mission_hours: mission,
     };
+    span.record("availability", system.availability);
+    rascad_obs::counter("core.specs_solved", 1);
     Ok(SystemSolution { system, blocks })
 }
 

@@ -297,6 +297,9 @@ impl Ctmc {
     }
 
     fn steady_state_power(&self) -> Result<Vec<f64>, MarkovError> {
+        const TOLERANCE: f64 = 1e-14;
+        let mut span = rascad_obs::span("markov.power");
+        span.record("states", self.len());
         let uni = crate::transient::uniformize(self);
         let n = self.len();
         let mut pi = vec![1.0 / n as f64; n];
@@ -304,20 +307,31 @@ impl Ctmc {
         // aperiodic and plain power iteration converges; the iteration
         // cap guards against extreme stiffness.
         let max_iter = 50_000_000usize / n.max(1);
-        for _ in 0..max_iter {
+        let mut residual = f64::INFINITY;
+        for iter in 1..=max_iter {
             let next = uni.dtmc.vec_mul(&pi);
-            let delta: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
+            residual = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
             pi = next;
-            if delta < 1e-14 {
+            if residual < TOLERANCE {
                 let z: f64 = pi.iter().sum();
                 for p in &mut pi {
                     *p /= z;
                 }
+                span.record("iterations", iter);
+                span.record("residual", residual);
+                rascad_obs::record_value("markov.power.iterations", iter as f64);
+                rascad_obs::record_value("markov.power.residual", residual);
+                rascad_obs::counter("markov.power.solves", 1);
                 return Ok(pi);
             }
         }
-        Err(MarkovError::InvalidOption {
-            what: "power iteration did not converge (chain too stiff; use GTH)".into(),
+        span.record("iterations", max_iter);
+        span.record("residual", residual);
+        Err(MarkovError::NotConverged {
+            method: "power",
+            iterations: max_iter,
+            residual,
+            tolerance: TOLERANCE,
         })
     }
 
@@ -581,6 +595,44 @@ mod tests {
         for (a, b) in gth.iter().zip(&pow) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn power_iteration_records_convergence_telemetry() {
+        use rascad_obs::{Event, Sink};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Capture(Arc<Mutex<Vec<Event>>>);
+        impl Sink for Capture {
+            fn event(&mut self, event: &Event) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+
+        // This is the only test in the crate that installs the global
+        // obs subscriber, so no serialization lock is needed; concurrent
+        // tests may add unrelated metrics, which the asserts tolerate.
+        let cap = Capture::default();
+        rascad_obs::install(vec![Box::new(cap.clone())]);
+        let pi = two_state(2e-3, 0.4).steady_state(SteadyStateMethod::Power).unwrap();
+        rascad_obs::drain();
+        rascad_obs::uninstall();
+        assert_eq!(pi.len(), 2);
+
+        let events = cap.0.lock().unwrap().clone();
+        let (counters, values) = events
+            .iter()
+            .find_map(|e| match e {
+                Event::Metrics { counters, values } => Some((counters.clone(), values.clone())),
+                _ => None,
+            })
+            .expect("drain emits metrics");
+        assert!(counters.iter().any(|(n, v)| *n == "markov.power.solves" && *v >= 1));
+        let iters = values.iter().find(|(n, _)| *n == "markov.power.iterations");
+        assert!(iters.is_some_and(|(_, s)| s.count >= 1 && s.min >= 1.0), "{values:?}");
+        let resid = values.iter().find(|(n, _)| *n == "markov.power.residual");
+        assert!(resid.is_some_and(|(_, s)| s.max < 1e-13), "{values:?}");
     }
 
     #[cfg(feature = "serde")]

@@ -57,6 +57,18 @@ pub enum MarkovError {
         /// Human-readable description of what is missing.
         what: String,
     },
+    /// An iterative solver exhausted its iteration budget before
+    /// reaching the convergence tolerance.
+    NotConverged {
+        /// Solver name, e.g. `"power"`.
+        method: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual achieved at the last iterate.
+        residual: f64,
+        /// Convergence tolerance that was requested.
+        tolerance: f64,
+    },
     /// An option passed to a solver was out of range.
     InvalidOption {
         /// Human-readable description of the bad option.
@@ -94,6 +106,11 @@ impl fmt::Display for MarkovError {
                 write!(f, "invalid probability: {what}")
             }
             MarkovError::MissingStates { what } => write!(f, "missing states: {what}"),
+            MarkovError::NotConverged { method, iterations, residual, tolerance } => write!(
+                f,
+                "{method} iteration did not converge: residual {residual:.3e} after \
+                 {iterations} iterations (tolerance {tolerance:.1e}; chain too stiff — use GTH)"
+            ),
             MarkovError::InvalidOption { what } => write!(f, "invalid option: {what}"),
             MarkovError::DimensionMismatch { what } => {
                 write!(f, "dimension mismatch: {what}")
@@ -120,6 +137,12 @@ mod tests {
             MarkovError::Singular,
             MarkovError::InvalidProbability { what: "sum".into() },
             MarkovError::MissingStates { what: "absorbing".into() },
+            MarkovError::NotConverged {
+                method: "power",
+                iterations: 100,
+                residual: 1e-9,
+                tolerance: 1e-14,
+            },
             MarkovError::InvalidOption { what: "epsilon".into() },
             MarkovError::DimensionMismatch { what: "3x2 generator".into() },
         ];
@@ -128,6 +151,20 @@ mod tests {
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());
         }
+    }
+
+    #[test]
+    fn not_converged_reports_residual_and_iterations() {
+        let e = MarkovError::NotConverged {
+            method: "power",
+            iterations: 12345,
+            residual: 2.5e-9,
+            tolerance: 1e-14,
+        };
+        let s = e.to_string();
+        assert!(s.contains("12345"), "{s}");
+        assert!(s.contains("2.500e-9"), "{s}");
+        assert!(s.contains("1.0e-14"), "{s}");
     }
 
     #[test]

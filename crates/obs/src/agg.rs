@@ -169,6 +169,21 @@ impl Snapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Serializes the snapshot as a JSON object. Non-finite statistics
+    /// (an empty histogram's `min`) render as `null`.
+    pub fn to_json(&self) -> crate::json::Value {
+        use crate::json::Value;
+        Value::Obj(vec![
+            ("count".into(), Value::from(self.count)),
+            ("sum".into(), Value::Num(self.sum)),
+            ("min".into(), Value::Num(self.min)),
+            ("max".into(), Value::Num(self.max)),
+            ("p50".into(), Value::Num(self.p50)),
+            ("p90".into(), Value::Num(self.p90)),
+            ("p99".into(), Value::Num(self.p99)),
+        ])
+    }
 }
 
 #[cfg(test)]

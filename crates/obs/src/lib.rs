@@ -42,12 +42,14 @@
 //! ```
 
 pub mod json;
+pub mod tree;
 
 mod agg;
 mod sink;
 
 pub use agg::{Histogram, Snapshot};
 pub use sink::{Event, FieldValue, JsonLinesSink, MetricsSummary, Sink, SummarySink};
+pub use tree::{SpanNodeStat, SpanTreeAgg};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

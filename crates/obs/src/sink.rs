@@ -6,12 +6,12 @@
 //! histograms. Sinks run under the subscriber's sink lock, so they can
 //! keep plain mutable state.
 
-use std::collections::BTreeMap;
 use std::io::Write;
 use std::time::Duration;
 
 use crate::agg::Snapshot;
 use crate::json::Value;
+use crate::tree::SpanTreeAgg;
 
 /// A typed field attached to a span via [`crate::Span::record`].
 #[derive(Debug, Clone, PartialEq)]
@@ -158,23 +158,7 @@ impl Event {
                 (
                     "values".into(),
                     Value::Obj(
-                        values
-                            .iter()
-                            .map(|(k, s)| {
-                                (
-                                    (*k).to_string(),
-                                    Value::Obj(vec![
-                                        ("count".into(), Value::from(s.count)),
-                                        ("sum".into(), Value::Num(s.sum)),
-                                        ("min".into(), Value::Num(s.min)),
-                                        ("max".into(), Value::Num(s.max)),
-                                        ("p50".into(), Value::Num(s.p50)),
-                                        ("p90".into(), Value::Num(s.p90)),
-                                        ("p99".into(), Value::Num(s.p99)),
-                                    ]),
-                                )
-                            })
-                            .collect(),
+                        values.iter().map(|(k, s)| ((*k).to_string(), s.to_json())).collect(),
                     ),
                 ),
             ]),
@@ -224,22 +208,19 @@ impl<W: Write + Send> Sink for JsonLinesSink<W> {
     }
 }
 
-#[derive(Debug, Default, Clone, Copy)]
-struct SpanStat {
-    count: u64,
-    total: Duration,
-    max: Duration,
-}
-
 /// The payload of an [`Event::Metrics`]: aggregated counters and value
 /// snapshots, in that order.
 pub type MetricsSummary = (Vec<(&'static str, u64)>, Vec<(&'static str, Snapshot)>);
 
-/// Aggregates span timings by name and prints a plain-text summary
-/// table (spans, counters, value statistics) on [`Sink::flush`].
+/// Aggregates span timings by `(depth, name)` and prints a plain-text
+/// summary table (spans, counters, value statistics) on [`Sink::flush`].
+///
+/// Rows are sorted by nesting depth then name — not emission order —
+/// so repeated runs of the same workload produce byte-identical tables
+/// that diff cleanly in test snapshots.
 pub struct SummarySink<W: Write + Send> {
     out: W,
-    spans: BTreeMap<&'static str, SpanStat>,
+    spans: SpanTreeAgg,
     metrics: Option<MetricsSummary>,
 }
 
@@ -247,7 +228,7 @@ impl<W: Write + Send> SummarySink<W> {
     /// Wraps a writer; the table is written when the subscriber
     /// flushes (typically `stderr` for the CLI's `--timings`).
     pub fn new(out: W) -> Self {
-        SummarySink { out, spans: BTreeMap::new(), metrics: None }
+        SummarySink { out, spans: SpanTreeAgg::new(), metrics: None }
     }
 }
 
@@ -279,13 +260,7 @@ fn fmt_value(v: f64) -> String {
 impl<W: Write + Send> Sink for SummarySink<W> {
     fn event(&mut self, event: &Event) {
         match event {
-            Event::SpanStart { .. } => {}
-            Event::SpanEnd { name, elapsed, .. } => {
-                let stat = self.spans.entry(name).or_default();
-                stat.count += 1;
-                stat.total += *elapsed;
-                stat.max = stat.max.max(*elapsed);
-            }
+            Event::SpanStart { .. } | Event::SpanEnd { .. } => self.spans.observe(event),
             Event::Metrics { counters, values } => {
                 self.metrics = Some((counters.clone(), values.clone()));
             }
@@ -306,15 +281,17 @@ impl<W: Write + Send> Sink for SummarySink<W> {
                 "{:<28} {:>6} {:>10} {:>10} {:>10}",
                 "span", "count", "total", "mean", "max"
             );
-            for (name, s) in &self.spans {
-                let mean = s.total / u32::try_from(s.count).unwrap_or(u32::MAX).max(1);
+            for (&(depth, name), s) in self.spans.iter() {
+                // Indent by nesting depth: the rows read as a tree while
+                // staying sorted by (depth, name).
+                let label = format!("{}{name}", "  ".repeat(depth));
                 let _ = writeln!(
                     out,
                     "{:<28} {:>6} {:>10} {:>10} {:>10}",
-                    name,
+                    label,
                     s.count,
                     fmt_duration(s.total),
-                    fmt_duration(mean),
+                    fmt_duration(s.mean()),
                     fmt_duration(s.max)
                 );
             }
@@ -329,17 +306,18 @@ impl<W: Write + Send> Sink for SummarySink<W> {
             if !values.is_empty() {
                 let _ = writeln!(
                     out,
-                    "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10}",
-                    "value", "count", "mean", "p50", "p99", "max"
+                    "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    "value", "count", "mean", "p50", "p90", "p99", "max"
                 );
                 for (name, s) in values {
                     let _ = writeln!(
                         out,
-                        "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10}",
+                        "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
                         name,
                         s.count,
                         fmt_value(s.mean()),
                         fmt_value(s.p50),
+                        fmt_value(s.p90),
                         fmt_value(s.p99),
                         fmt_value(s.max)
                     );
@@ -438,6 +416,66 @@ mod tests {
         assert!(text.contains("1234"), "{text}");
         assert!(text.contains("pivot_mag"), "{text}");
         assert!(text.contains("0.5"), "{text}");
+    }
+
+    #[test]
+    fn summary_table_rows_sorted_by_depth_then_name() {
+        // Emit spans in an order that disagrees with (depth, name) and
+        // confirm the printed rows don't follow emission order.
+        let mk_start = |id, parent, name| Event::SpanStart { id, parent, name, at: Duration::ZERO };
+        let mk_end = |id, name| Event::SpanEnd {
+            id,
+            name,
+            at: Duration::ZERO,
+            elapsed: Duration::from_micros(10),
+            fields: Vec::new(),
+        };
+        let run = |events: Vec<Event>| {
+            let mut sink = SummarySink::new(Vec::new());
+            for e in &events {
+                sink.event(e);
+            }
+            sink.flush();
+            String::from_utf8(sink.out).unwrap()
+        };
+        let a = run(vec![
+            mk_start(1, None, "zeta"),
+            mk_end(1, "zeta"),
+            mk_start(2, None, "alpha"),
+            mk_start(3, Some(2), "inner"),
+            mk_end(3, "inner"),
+            mk_end(2, "alpha"),
+        ]);
+        let b = run(vec![
+            mk_start(4, None, "alpha"),
+            mk_start(5, Some(4), "inner"),
+            mk_end(5, "inner"),
+            mk_end(4, "alpha"),
+            mk_start(6, None, "zeta"),
+            mk_end(6, "zeta"),
+        ]);
+        assert_eq!(a, b, "table must not depend on emission order");
+        let alpha = a.find("alpha").unwrap();
+        let zeta = a.find("zeta").unwrap();
+        let inner = a.find("inner").unwrap();
+        assert!(alpha < zeta && zeta < inner, "{a}");
+        // The depth-1 row is indented under its parents.
+        assert!(a.contains("\n  inner"), "{a}");
+    }
+
+    #[test]
+    fn summary_table_value_quantile_columns() {
+        let mut sink = SummarySink::new(Vec::new());
+        let mut h = crate::agg::Histogram::default();
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        sink.event(&Event::Metrics { counters: vec![], values: vec![("residual", h.snapshot())] });
+        sink.flush();
+        let text = String::from_utf8(sink.out).unwrap();
+        for col in ["p50", "p90", "p99"] {
+            assert!(text.contains(col), "missing column {col}: {text}");
+        }
     }
 
     #[test]

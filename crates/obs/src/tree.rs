@@ -1,0 +1,252 @@
+//! Span-tree aggregation: depth-aware, deterministic span statistics.
+//!
+//! Live span events carry a parent id but no depth; this module
+//! reconstructs the nesting level from the start/end stream and folds
+//! every closed span into a per-`(depth, name)` aggregate with a
+//! duration histogram, so consumers get a stable, emission-order-free
+//! view of where the time went. The benchmark harness (`rascad bench`)
+//! serializes the aggregate into the `spans` section of its
+//! `BENCH_*.json` artifact, and [`crate::SummarySink`] prints it as the
+//! `--timings` table.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+use crate::agg::Histogram;
+use crate::json::Value;
+use crate::sink::Event;
+
+/// Aggregate of every closed span sharing one `(depth, name)` key.
+#[derive(Debug, Clone, Default)]
+pub struct SpanNodeStat {
+    /// Number of spans folded in.
+    pub count: u64,
+    /// Sum of wall-clock durations.
+    pub total: Duration,
+    /// Longest single duration.
+    pub max: Duration,
+    /// Duration distribution in microseconds (for p50/p90/p99).
+    pub durations: Histogram,
+}
+
+impl SpanNodeStat {
+    /// Mean duration (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.count).unwrap_or(u32::MAX).max(1)
+        }
+    }
+}
+
+/// Folds a span event stream into per-`(depth, name)` statistics.
+///
+/// Feed every event to [`observe`](Self::observe); read the result via
+/// [`iter`](Self::iter) (sorted by depth, then name — deterministic
+/// regardless of emission interleaving) or [`to_json`](Self::to_json).
+///
+/// Depth is the nesting level on the emitting thread: a span whose
+/// parent is unknown (or absent) is depth 0. Spans that are still open
+/// when the aggregate is read are simply not counted yet.
+#[derive(Debug, Default)]
+pub struct SpanTreeAgg {
+    /// Depth of every currently-open span, by id.
+    live: HashMap<u64, usize>,
+    stats: BTreeMap<(usize, &'static str), SpanNodeStat>,
+}
+
+impl SpanTreeAgg {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one event in. Metrics events are ignored.
+    pub fn observe(&mut self, event: &Event) {
+        match event {
+            Event::SpanStart { id, parent, .. } => {
+                let depth = parent.and_then(|p| self.live.get(&p).copied()).map_or(0, |d| d + 1);
+                self.live.insert(*id, depth);
+            }
+            Event::SpanEnd { id, name, elapsed, .. } => {
+                let depth = self.live.remove(id).unwrap_or(0);
+                let stat = self.stats.entry((depth, name)).or_default();
+                stat.count += 1;
+                stat.total += *elapsed;
+                stat.max = stat.max.max(*elapsed);
+                stat.durations.record(elapsed.as_secs_f64() * 1e6);
+            }
+            Event::Metrics { .. } => {}
+        }
+    }
+
+    /// Whether no span has closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Closed-span aggregates in `(depth, name)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, &'static str), &SpanNodeStat)> {
+        self.stats.iter()
+    }
+
+    /// Drops the closed-span statistics, keeping knowledge of spans
+    /// that are still open (so their eventual ends still get a depth).
+    pub fn clear(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Serializes the aggregate as a JSON array sorted by
+    /// `(depth, name)`, durations in microseconds.
+    pub fn to_json(&self) -> Value {
+        Value::Arr(
+            self.stats
+                .iter()
+                .map(|(&(depth, name), s)| {
+                    let snap = s.durations.snapshot();
+                    Value::Obj(vec![
+                        ("name".into(), Value::from(name)),
+                        ("depth".into(), Value::from(depth)),
+                        ("count".into(), Value::from(s.count)),
+                        ("total_us".into(), Value::Num(s.total.as_secs_f64() * 1e6)),
+                        ("mean_us".into(), Value::Num(s.mean().as_secs_f64() * 1e6)),
+                        ("max_us".into(), Value::Num(s.max.as_secs_f64() * 1e6)),
+                        ("p50_us".into(), Value::Num(snap.p50)),
+                        ("p90_us".into(), Value::Num(snap.p90)),
+                        ("p99_us".into(), Value::Num(snap.p99)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(id: u64, parent: Option<u64>, name: &'static str) -> Event {
+        Event::SpanStart { id, parent, name, at: Duration::ZERO }
+    }
+
+    fn end(id: u64, name: &'static str, us: u64) -> Event {
+        Event::SpanEnd {
+            id,
+            name,
+            at: Duration::ZERO,
+            elapsed: Duration::from_micros(us),
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn depth_follows_parent_links() {
+        let mut agg = SpanTreeAgg::new();
+        agg.observe(&start(1, None, "outer"));
+        agg.observe(&start(2, Some(1), "mid"));
+        agg.observe(&start(3, Some(2), "leaf"));
+        agg.observe(&end(3, "leaf", 10));
+        agg.observe(&end(2, "mid", 30));
+        agg.observe(&end(1, "outer", 100));
+        let keys: Vec<(usize, &str)> = agg.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, vec![(0, "outer"), (1, "mid"), (2, "leaf")]);
+    }
+
+    #[test]
+    fn ordering_is_independent_of_emission_order() {
+        // Two interleavings of the same spans must aggregate
+        // identically: (depth, name) keys, not arrival order.
+        let mut a = SpanTreeAgg::new();
+        let mut b = SpanTreeAgg::new();
+        for ev in [
+            start(1, None, "zeta"),
+            end(1, "zeta", 5),
+            start(2, None, "alpha"),
+            start(3, Some(2), "beta"),
+            end(3, "beta", 1),
+            end(2, "alpha", 9),
+        ] {
+            a.observe(&ev);
+        }
+        for ev in [
+            start(11, None, "alpha"),
+            start(12, Some(11), "beta"),
+            end(12, "beta", 1),
+            end(11, "alpha", 9),
+            start(13, None, "zeta"),
+            end(13, "zeta", 5),
+        ] {
+            b.observe(&ev);
+        }
+        let ka: Vec<(usize, &str)> = a.iter().map(|(&k, _)| k).collect();
+        let kb: Vec<(usize, &str)> = b.iter().map(|(&k, _)| k).collect();
+        assert_eq!(ka, kb);
+        assert_eq!(ka, vec![(0, "alpha"), (0, "zeta"), (1, "beta")]);
+    }
+
+    #[test]
+    fn unknown_parent_lands_at_depth_zero() {
+        let mut agg = SpanTreeAgg::new();
+        agg.observe(&start(7, Some(999), "orphan"));
+        agg.observe(&end(7, "orphan", 2));
+        // An end with no recorded start is tolerated too.
+        agg.observe(&end(8, "ghost", 3));
+        let keys: Vec<(usize, &str)> = agg.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, vec![(0, "ghost"), (0, "orphan")]);
+    }
+
+    #[test]
+    fn stats_and_quantiles_accumulate() {
+        let mut agg = SpanTreeAgg::new();
+        for (id, us) in [(1, 100u64), (2, 200), (3, 300)] {
+            agg.observe(&start(id, None, "work"));
+            agg.observe(&end(id, "work", us));
+        }
+        let (_, s) = agg.iter().next().unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total, Duration::from_micros(600));
+        assert_eq!(s.max, Duration::from_micros(300));
+        assert_eq!(s.mean(), Duration::from_micros(200));
+        let snap = s.durations.snapshot();
+        assert!((snap.p50 - 200.0).abs() / 200.0 < 0.07, "p50 {}", snap.p50);
+    }
+
+    #[test]
+    fn json_export_is_sorted_and_complete() {
+        let mut agg = SpanTreeAgg::new();
+        agg.observe(&start(1, None, "solve"));
+        agg.observe(&start(2, Some(1), "gth"));
+        agg.observe(&end(2, "gth", 40));
+        agg.observe(&end(1, "solve", 90));
+        let v = agg.to_json();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("name").unwrap().as_str(), Some("solve"));
+        assert_eq!(arr[0].get("depth").unwrap().as_i64(), Some(0));
+        assert_eq!(arr[1].get("name").unwrap().as_str(), Some("gth"));
+        assert_eq!(arr[1].get("depth").unwrap().as_i64(), Some(1));
+        for key in ["count", "total_us", "mean_us", "max_us", "p50_us", "p90_us", "p99_us"] {
+            assert!(arr[0].get(key).is_some(), "missing {key}");
+        }
+        // The export round-trips through the parser.
+        let text = v.to_string_compact();
+        assert_eq!(crate::json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn clear_keeps_live_spans() {
+        let mut agg = SpanTreeAgg::new();
+        agg.observe(&start(1, None, "outer"));
+        agg.observe(&start(2, Some(1), "inner"));
+        agg.observe(&end(2, "inner", 1));
+        agg.clear();
+        assert!(agg.is_empty());
+        // `outer` is still live: a child closing after the clear still
+        // resolves to depth 1.
+        agg.observe(&start(3, Some(1), "late"));
+        agg.observe(&end(3, "late", 1));
+        let keys: Vec<(usize, &str)> = agg.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, vec![(1, "late")]);
+    }
+}

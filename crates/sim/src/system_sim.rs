@@ -81,6 +81,7 @@ pub fn simulate_system(
     }
     rascad_obs::counter("sim.replications", opts.replications as u64);
     let availability = Estimate::from_samples(&samples);
+    rascad_obs::record_value("sim.availability", availability.mean);
     span.record("mean", availability.mean);
     span.record("ci_half_width", availability.ci_half_width);
     Ok(SystemSimResult {

@@ -19,4 +19,14 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace --offline -q
 
+# Non-blocking performance report: run the quick benchmark suite and
+# check that the emitted document is parseable and schema-valid. No
+# baseline comparison here — absolute timings vary too much across CI
+# hosts to gate on; compare against a checked-in BENCH_*.json locally
+# with `rascad bench --compare` (exit 6 flags a regression).
+echo "==> bench smoke (rascad bench --quick, report only)"
+cargo run --offline -q -p rascad-cli -- bench --quick --label ci-smoke \
+    --out target/bench_smoke.json > /dev/null
+cargo run --offline -q -p rascad-cli -- bench --validate target/bench_smoke.json
+
 echo "ci: all gates passed"
