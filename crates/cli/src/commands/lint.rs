@@ -1,0 +1,264 @@
+//! `rascad lint` — run the static analyzer on a specification.
+//!
+//! Tier A (spec analyses) always runs; Tier B (generated-model
+//! analyses) runs when Tier A found no errors, since generating models
+//! from an erroneous spec would either fail or analyze garbage.
+//! Findings print as a human table or JSON lines; blocking findings
+//! (errors, or warnings under `--deny warnings`) exit with code 7.
+
+use rascad_lint::{lint_spec, render, tier_b, DenyLevel, LintReport};
+
+use super::CliError;
+
+/// Output format for the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
+
+/// Parsed `lint` arguments.
+struct LintArgs<'a> {
+    spec: Option<&'a str>,
+    format: Format,
+    deny: DenyLevel,
+    tier_b: bool,
+    explain: Option<&'a str>,
+}
+
+fn parse_args<'a>(args: &[&'a str]) -> Result<LintArgs<'a>, CliError> {
+    let mut parsed = LintArgs {
+        spec: None,
+        format: Format::Human,
+        deny: DenyLevel::Errors,
+        tier_b: true,
+        explain: None,
+    };
+    let mut it = args.iter().copied();
+    while let Some(a) = it.next() {
+        match a {
+            "--format" => {
+                parsed.format = match it.next() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "--format needs `human` or `json`, got `{}`",
+                            other.unwrap_or("nothing")
+                        )));
+                    }
+                };
+            }
+            "--deny" => match it.next() {
+                Some("warnings") => parsed.deny = DenyLevel::Warnings,
+                other => {
+                    return Err(CliError::usage(format!(
+                        "--deny supports `warnings`, got `{}`",
+                        other.unwrap_or("nothing")
+                    )));
+                }
+            },
+            "--no-tier-b" => parsed.tier_b = false,
+            "--explain" => {
+                parsed.explain = Some(
+                    it.next().ok_or_else(|| CliError::usage("--explain needs a RASxxx code"))?,
+                );
+            }
+            other if parsed.spec.is_none() && !other.starts_with("--") => {
+                parsed.spec = Some(other);
+            }
+            other => {
+                return Err(CliError::usage(format!("unknown lint argument `{other}`")));
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+/// Runs the `lint` subcommand.
+pub fn lint(args: &[&str]) -> Result<String, CliError> {
+    let parsed = parse_args(args)?;
+    if let Some(code) = parsed.explain {
+        let entry = rascad_lint::catalog::lookup(code).ok_or_else(|| {
+            CliError::usage(format!("unknown diagnostic code `{code}`; codes are RAS001–RAS105"))
+        })?;
+        return Ok(rascad_lint::catalog::explain(entry));
+    }
+
+    let path =
+        parsed.spec.ok_or_else(|| CliError::usage("lint needs a spec file argument (or `-`)"))?;
+    let (spec, source) = load_with_source(path)?;
+
+    let mut report = lint_spec(&spec);
+    if let Some(src) = &source {
+        rascad_spec::dsl::source_map::annotate(&mut report.diagnostics, src);
+    }
+    if parsed.tier_b && !report.has_errors() {
+        run_tier_b(&spec, &mut report);
+    }
+
+    let rendered = match parsed.format {
+        Format::Human => render::render_human(&report),
+        Format::Json => render::render_json(&report),
+    };
+    if report.is_blocking(parsed.deny) {
+        Err(CliError::Lint(rendered))
+    } else {
+        Ok(rendered)
+    }
+}
+
+/// Loads a spec, keeping the DSL source text for position annotation.
+/// `-` reads the DSL from stdin.
+fn load_with_source(path: &str) -> Result<(rascad_spec::SystemSpec, Option<String>), CliError> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+            .map_err(|source| CliError::Io { path: "<stdin>".to_string(), source })?;
+        let spec = rascad_spec::SystemSpec::from_dsl(&text)?;
+        return Ok((spec, Some(text)));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.to_string(), source })?;
+    if path.ends_with(".json") {
+        Ok((rascad_spec::SystemSpec::from_json(&text)?, None))
+    } else {
+        let spec = rascad_spec::SystemSpec::from_dsl(&text)?;
+        Ok((spec, Some(text)))
+    }
+}
+
+/// Generates every block's chain and runs the Tier B analyses.
+fn run_tier_b(spec: &rascad_spec::SystemSpec, report: &mut LintReport) {
+    let mut diags = Vec::new();
+    spec.root.walk(&mut |_, path, block| {
+        // Blocks that fail generation are a solver concern, not a lint
+        // finding; `solve` reports them with full context.
+        if let Ok(m) = rascad_core::generate_block(&block.params, &spec.globals) {
+            diags.extend(tier_b::analyze_chain(path, &m.chain));
+        }
+    });
+    report.extend(diags);
+}
+
+/// Tier A gate run before `solve`/`sweep`/`simulate` (unless
+/// `--no-lint`): warnings and notes go to stderr, errors abort with
+/// every diagnostic attached.
+pub fn tier_a_gate(spec: &rascad_spec::SystemSpec) -> Result<(), CliError> {
+    let report = lint_spec(spec);
+    if report.has_errors() {
+        return Err(CliError::Spec(rascad_spec::SpecError::Invalid {
+            diagnostics: report.diagnostics,
+        }));
+    }
+    for d in &report.diagnostics {
+        eprintln!("{d}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, text: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    const BAD_SPEC: &str = r#"
+diagram "Sys" {
+    block "A" {
+        quantity = 1
+        min_quantity = 2
+        mtbf = 10000 h
+    }
+}
+"#;
+
+    #[test]
+    fn lint_rejects_bad_spec_with_lint_error() {
+        let path = write_temp("rascad_lint_bad.rascad", BAD_SPEC);
+        let err = lint(&[path.to_str().unwrap()]).unwrap_err();
+        match &err {
+            CliError::Lint(report) => {
+                assert!(report.contains("RAS006"), "{report}");
+                // Source positions resolved: block A declared on line 3.
+                assert!(report.contains(":3:"), "{report}");
+            }
+            other => panic!("expected Lint error, got {other:?}"),
+        }
+        assert_eq!(err.exit_code(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_accepts_clean_spec() {
+        let spec = rascad_library::e10000::e10000();
+        let path = write_temp("rascad_lint_ok.rascad", &spec.to_dsl());
+        let out = lint(&[path.to_str().unwrap()]).unwrap();
+        assert!(out.ends_with("info(s)\n") || out == "no findings\n", "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_format_emits_summary_line() {
+        let spec = rascad_library::e10000::e10000();
+        let path = write_temp("rascad_lint_json.rascad", &spec.to_dsl());
+        let out = lint(&[path.to_str().unwrap(), "--format", "json"]).unwrap();
+        let last = out.lines().last().unwrap();
+        assert!(last.starts_with("{\"type\":\"summary\""), "{last}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deny_warnings_blocks_warning_findings() {
+        // MTTR of 2 h against an MTBF of 1 h: RAS017, warning.
+        let text = r#"
+diagram "Sys" {
+    block "A" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 1 h
+        mttr_diagnosis = 120 min
+    }
+}
+"#;
+        let path = write_temp("rascad_lint_warn.rascad", text);
+        let p = path.to_str().unwrap();
+        // Warnings alone do not block by default...
+        assert!(lint(&[p]).is_ok());
+        // ...but do under --deny warnings.
+        let err = lint(&[p, "--deny", "warnings"]).unwrap_err();
+        assert_eq!(err.exit_code(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explain_prints_catalog_entry() {
+        let out = lint(&["--explain", "RAS006"]).unwrap();
+        assert!(out.contains("RAS006") && out.contains("remedy"));
+        assert!(lint(&["--explain", "RAS999"]).is_err());
+    }
+
+    #[test]
+    fn bad_arguments_are_usage_errors() {
+        assert!(matches!(lint(&["--format", "xml"]), Err(CliError::Usage(_))));
+        assert!(matches!(lint(&["--deny", "errors"]), Err(CliError::Usage(_))));
+        assert!(matches!(lint(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn gate_rejects_invalid_spec_with_all_diagnostics() {
+        let spec = rascad_spec::SystemSpec::from_dsl(BAD_SPEC).unwrap();
+        let err = tier_a_gate(&spec).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        match err {
+            CliError::Spec(rascad_spec::SpecError::Invalid { diagnostics }) => {
+                assert!(diagnostics.iter().any(|d| d.code == "RAS006"));
+            }
+            other => panic!("expected Spec(Invalid), got {other:?}"),
+        }
+    }
+}

@@ -8,6 +8,7 @@ use std::fmt;
 
 mod bench;
 mod fielddata;
+mod lint;
 mod simulate;
 mod solve;
 mod stats;
@@ -30,6 +31,9 @@ pub enum CliError {
     /// failure threshold. Exit code 6. Carries the rendered comparison
     /// report.
     Regression(String),
+    /// `lint` found blocking diagnostics (errors, or warnings under
+    /// `--deny warnings`). Exit code 7. Carries the rendered report.
+    Lint(String),
 }
 
 impl CliError {
@@ -46,6 +50,7 @@ impl CliError {
             CliError::Solver(_) => 4,
             CliError::Io { .. } => 5,
             CliError::Regression(_) => 6,
+            CliError::Lint(_) => 7,
         }
     }
 }
@@ -61,6 +66,10 @@ impl fmt::Display for CliError {
                 writeln!(f, "performance regression detected")?;
                 f.write_str(report)
             }
+            CliError::Lint(report) => {
+                writeln!(f, "lint found blocking diagnostics")?;
+                f.write_str(report)
+            }
         }
     }
 }
@@ -68,7 +77,7 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CliError::Usage(_) | CliError::Regression(_) => None,
+            CliError::Usage(_) | CliError::Regression(_) | CliError::Lint(_) => None,
             CliError::Spec(e) => Some(e),
             CliError::Solver(e) => Some(e),
             CliError::Io { source, .. } => Some(source),
@@ -103,9 +112,15 @@ OPTIONS (apply to every command):
     --trace <file|->                    write pipeline trace events as JSON lines to the
                                         file (`-` for stdout)
     --timings                           print a per-span timing summary to stderr on exit
+    --no-lint                           skip the automatic pre-solve lint gate
 
 COMMANDS:
     check <spec.rascad>                 validate a specification
+    lint <spec.rascad|-> [--format human|json] [--deny warnings] [--no-tier-b]
+                                        static analysis: spec diagnostics (RAS001–RAS021)
+                                        plus generated-model diagnostics (RAS101–RAS105);
+                                        `-` reads DSL from stdin; blocking findings exit 7
+    lint --explain <RASxxx>             document one diagnostic code (example and remedy)
     solve <spec.rascad>                 solve and print the availability report
     stats <spec.rascad>                 pipeline statistics: blocks per chain type, state
                                         counts, per-stage wall time, solver diagnostics
@@ -134,7 +149,7 @@ COMMANDS:
 
 EXIT CODES:
     0 success   2 usage   3 invalid spec   4 solver failure   5 I/O error
-    6 performance regression (bench --compare)
+    6 performance regression (bench --compare)   7 blocking lint diagnostics
 ";
 
 /// Observability options stripped from the command line before
@@ -145,6 +160,9 @@ struct ObsOptions {
     trace: Option<String>,
     /// `--timings`: human-readable span summary on stderr.
     timings: bool,
+    /// `--no-lint`: skip the automatic Tier A gate before
+    /// `solve`/`sweep`/`simulate`.
+    no_lint: bool,
 }
 
 /// RAII guard: installs the requested sinks on construction and
@@ -201,6 +219,7 @@ fn split_global_flags(args: &[String]) -> Result<(Vec<&str>, ObsOptions), CliErr
                 opts.trace = Some(target.to_string());
             }
             "--timings" => opts.timings = true,
+            "--no-lint" => opts.no_lint = true,
             other => rest.push(other),
         }
     }
@@ -216,10 +235,20 @@ fn split_global_flags(args: &[String]) -> Result<(Vec<&str>, ObsOptions), CliErr
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (words, obs) = split_global_flags(args)?;
     let _session = ObsSession::start(&obs)?;
-    dispatch(&words)
+    dispatch(&words, !obs.no_lint)
 }
 
-fn dispatch(args: &[&str]) -> Result<String, CliError> {
+/// Runs the Tier A lint gate ahead of a pipeline command (when
+/// enabled): error findings abort before the generator runs, warnings
+/// go to stderr.
+fn gate(spec: &rascad_spec::SystemSpec, lint_enabled: bool) -> Result<(), CliError> {
+    if lint_enabled {
+        lint::tier_a_gate(spec)?;
+    }
+    Ok(())
+}
+
+fn dispatch(args: &[&str], lint_enabled: bool) -> Result<String, CliError> {
     let mut it = args.iter().copied();
     match it.next() {
         None | Some("help" | "--help" | "-h") => Ok(USAGE.to_string()),
@@ -232,7 +261,15 @@ fn dispatch(args: &[&str]) -> Result<String, CliError> {
                 spec.root.depth()
             ))
         }
-        Some("solve") => solve::solve(&load(it.next())?),
+        Some("lint") => {
+            let rest: Vec<&str> = it.collect();
+            lint::lint(&rest)
+        }
+        Some("solve") => {
+            let spec = load(it.next())?;
+            gate(&spec, lint_enabled)?;
+            solve::solve(&spec)
+        }
         Some("stats") => {
             let path =
                 it.next().ok_or_else(|| CliError::usage("stats needs a spec file argument"))?;
@@ -265,11 +302,13 @@ fn dispatch(args: &[&str]) -> Result<String, CliError> {
         }
         Some("sweep") => {
             let spec = load(it.next())?;
+            gate(&spec, lint_enabled)?;
             let rest: Vec<&str> = it.collect();
             sweep::sweep(&spec, &rest)
         }
         Some("simulate") => {
             let spec = load(it.next())?;
+            gate(&spec, lint_enabled)?;
             let rest: Vec<&str> = it.collect();
             simulate::simulate(&spec, &rest)
         }
@@ -421,6 +460,49 @@ mod tests {
     fn missing_file_reported() {
         assert!(run_strs(&["solve", "/no/such/file.rascad"]).is_err());
         assert!(run_strs(&["solve"]).is_err());
+    }
+
+    #[test]
+    fn lint_subcommand_dispatches() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rascad_cli_lint.rascad");
+        std::fs::write(&path, rascad_library::e10000::e10000().to_dsl()).unwrap();
+        let out = run_strs(&["lint", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("info(s)") || out.contains("no findings"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn presolve_gate_rejects_bad_spec_before_generation() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rascad_cli_gate.rascad");
+        // min_quantity > quantity: the gate must reject with exit 3.
+        std::fs::write(&path, "diagram \"S\" { block \"A\" { quantity = 1\n min_quantity = 2 } }")
+            .unwrap();
+        let p = path.to_str().unwrap();
+        for cmd in [
+            vec!["solve", p],
+            vec!["sweep", p, "A", "mtbf", "1000", "2000", "2"],
+            vec!["simulate", p, "100", "2", "1"],
+        ] {
+            let err = run_strs(&cmd).unwrap_err();
+            assert_eq!(err.exit_code(), 3, "{cmd:?}");
+        }
+        // --no-lint skips the gate; the error then comes from the
+        // solver path instead (still a spec error, but proves the
+        // gate is bypassable).
+        assert!(run_strs(&["--no-lint", "solve", p]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn no_lint_flag_accepted_on_clean_spec() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rascad_cli_nolint.rascad");
+        std::fs::write(&path, rascad_library::workgroup::workgroup().to_dsl()).unwrap();
+        let out = run_strs(&["--no-lint", "solve", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("Yearly downtime"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Report rendering: a human-readable table and JSON lines.
+//!
+//! The JSON form mirrors the `rascad-obs` sink style: one compact
+//! object per line, a `type` discriminator first, and a trailing
+//! summary record — so `rascad lint --format json` output can be
+//! concatenated with observability streams and filtered with the same
+//! tooling. Both forms are deterministic (no timestamps) so they can
+//! be golden-tested.
+
+use rascad_obs::json::Value;
+
+use crate::LintReport;
+
+/// Renders the human-readable table: one aligned row per finding plus
+/// a summary line.
+pub fn render_human(report: &LintReport) -> String {
+    if report.is_clean() {
+        return "no findings\n".to_string();
+    }
+    let rows: Vec<(String, String, String, &str)> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            (
+                format!("{}[{}]", d.severity, d.code),
+                d.location(),
+                d.message.clone(),
+                d.severity.as_str(),
+            )
+        })
+        .collect();
+    let head_width = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let loc_width = rows.iter().map(|r| r.1.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (head, loc, message, _) in &rows {
+        out.push_str(&format!("{head:<head_width$}  {loc:<loc_width$}  {message}\n"));
+    }
+    let (errors, warnings, infos) = report.counts();
+    out.push_str(&format!("{errors} error(s), {warnings} warning(s), {infos} info(s)\n"));
+    out
+}
+
+/// Renders JSON lines: one `{"type":"diagnostic",…}` object per
+/// finding, then a `{"type":"summary",…}` record.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let obj = Value::Obj(vec![
+            ("type".into(), Value::from("diagnostic")),
+            ("code".into(), Value::from(d.code)),
+            ("severity".into(), Value::from(d.severity.as_str())),
+            ("path".into(), Value::from(d.path.as_str())),
+            ("parameter".into(), d.parameter.map_or(Value::Null, Value::from)),
+            ("line".into(), d.line.map_or(Value::Null, Value::from)),
+            ("column".into(), d.column.map_or(Value::Null, Value::from)),
+            ("message".into(), Value::from(d.message.as_str())),
+        ]);
+        out.push_str(&obj.to_string_compact());
+        out.push('\n');
+    }
+    let (errors, warnings, infos) = report.counts();
+    let summary = Value::Obj(vec![
+        ("type".into(), Value::from("summary")),
+        ("errors".into(), Value::from(errors)),
+        ("warnings".into(), Value::from(warnings)),
+        ("infos".into(), Value::from(infos)),
+    ]);
+    out.push_str(&summary.to_string_compact());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_spec::diag::{Diagnostic, Severity};
+
+    fn report() -> LintReport {
+        let mut r = LintReport::new();
+        r.extend(vec![
+            Diagnostic::new("RAS006", Severity::Error, "Sys/A", "minimum quantity 2 exceeds 1")
+                .with_parameter("min_quantity")
+                .with_position(3, 11),
+            Diagnostic::new("RAS017", Severity::Warning, "Sys/B", "MTTR not below MTBF"),
+        ]);
+        r
+    }
+
+    #[test]
+    fn human_table_aligns_and_summarizes() {
+        let text = render_human(&report());
+        assert!(text.contains("error[RAS006]    Sys/A.min_quantity:3:11"));
+        assert!(text.contains("warning[RAS017]"));
+        assert!(text.ends_with("1 error(s), 1 warning(s), 0 info(s)\n"));
+    }
+
+    #[test]
+    fn empty_report_renders_no_findings() {
+        assert_eq!(render_human(&LintReport::new()), "no findings\n");
+    }
+
+    #[test]
+    fn json_lines_have_discriminator_and_summary() {
+        let text = render_json(&report());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"type\":\"diagnostic\",\"code\":\"RAS006\""));
+        assert!(lines[0].contains("\"parameter\":\"min_quantity\""));
+        assert!(lines[0].contains("\"line\":3"));
+        assert!(lines[1].contains("\"parameter\":null"));
+        assert_eq!(lines[2], "{\"type\":\"summary\",\"errors\":1,\"warnings\":1,\"infos\":0}");
+    }
+
+    #[test]
+    fn json_parses_back() {
+        for line in render_json(&report()).lines() {
+            assert!(rascad_obs::json::parse(line).is_ok());
+        }
+    }
+}

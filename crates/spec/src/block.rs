@@ -47,16 +47,21 @@ pub struct RedundancyParams {
 }
 
 impl Default for RedundancyParams {
+    /// Both scenarios default to transparent, so the associated
+    /// failover/reintegration durations default to zero — a transparent
+    /// event has no downtime, and a nonzero duration on a transparent
+    /// scenario would be ignored by the generator (and flagged by
+    /// [`crate::validate::analyze`]).
     fn default() -> Self {
         RedundancyParams {
             p_latent_fault: 0.0,
             mttdlf: Hours(24.0),
             recovery: Scenario::Transparent,
-            failover_time: Minutes(5.0),
+            failover_time: Minutes(0.0),
             p_spf: 0.0,
             spf_recovery_time: Minutes(30.0),
             repair: Scenario::Transparent,
-            reintegration_time: Minutes(10.0),
+            reintegration_time: Minutes(0.0),
         }
     }
 }

@@ -1,0 +1,168 @@
+//! Diagnostic records shared by spec validation and the lint engine.
+//!
+//! A [`Diagnostic`] is one finding about a specification or a model
+//! generated from it: a stable `RASxxx` code, a severity, a location
+//! (block path, optionally a parameter name and a DSL source line), and
+//! a human-readable message. `rascad-spec` emits Tier A (spec-level)
+//! diagnostics from [`crate::validate::analyze`]; the `rascad-lint`
+//! crate adds Tier B (model-level) diagnostics, the code catalog, and
+//! the rendering front ends.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// Ordered so that comparisons read naturally:
+/// `Severity::Info < Severity::Warning < Severity::Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advice; never affects exit codes.
+    Info,
+    /// Suspicious but solvable; fails `--deny warnings`.
+    Warning,
+    /// The spec or model is unusable; generation/solving must not run.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name as used in JSON output (`"error"`, `"warning"`,
+    /// `"info"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding, addressed to a spec location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable catalog code, e.g. `"RAS006"`. Tier A (spec analyses) use
+    /// `RAS001`–`RAS099`; Tier B (generated-model analyses) use
+    /// `RAS101`–`RAS199`.
+    pub code: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Slash path to the subject block (root diagram name first), the
+    /// diagram name for diagram-level findings, or `"<global>"` for
+    /// global parameters.
+    pub path: String,
+    /// Offending parameter, when the finding is about one parameter.
+    pub parameter: Option<&'static str>,
+    /// 1-based line in the `.rascad` source where the subject block is
+    /// declared, when the spec came from DSL text and the mapping is
+    /// known (see `rascad_spec::dsl::source_map`).
+    pub line: Option<usize>,
+    /// 1-based column accompanying [`line`](Self::line).
+    pub column: Option<usize>,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no parameter and no source position.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            path: path.into(),
+            parameter: None,
+            line: None,
+            column: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a parameter name (builder style).
+    #[must_use]
+    pub fn with_parameter(mut self, parameter: &'static str) -> Self {
+        self.parameter = Some(parameter);
+        self
+    }
+
+    /// Attaches a source position (builder style).
+    #[must_use]
+    pub fn with_position(mut self, line: usize, column: usize) -> Self {
+        self.line = Some(line);
+        self.column = Some(column);
+        self
+    }
+
+    /// The location rendered as `path`, `path.parameter`, or
+    /// `path.parameter:line:column`, as much as is known.
+    pub fn location(&self) -> String {
+        let mut out = self.path.clone();
+        if let Some(p) = self.parameter {
+            out.push('.');
+            out.push_str(p);
+        }
+        if let (Some(l), Some(c)) = (self.line, self.column) {
+            out.push_str(&format!(":{l}:{c}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.code, self.location(), self.message)
+    }
+}
+
+/// Counts findings per severity: `(errors, warnings, infos)`.
+pub fn severity_counts(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for d in diags {
+        match d.severity {
+            Severity::Error => counts.0 += 1,
+            Severity::Warning => counts.1 += 1,
+            Severity::Info => counts.2 += 1,
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_naturally() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.as_str(), "error");
+    }
+
+    #[test]
+    fn display_includes_code_location_message() {
+        let d = Diagnostic::new("RAS006", Severity::Error, "Sys/A", "n < k")
+            .with_parameter("min_quantity")
+            .with_position(12, 5);
+        let s = d.to_string();
+        assert_eq!(s, "error[RAS006] Sys/A.min_quantity:12:5: n < k");
+    }
+
+    #[test]
+    fn counts_by_severity() {
+        let diags = vec![
+            Diagnostic::new("RAS001", Severity::Error, "D", "x"),
+            Diagnostic::new("RAS017", Severity::Warning, "D/A", "y"),
+            Diagnostic::new("RAS021", Severity::Info, "D/B", "z"),
+            Diagnostic::new("RAS002", Severity::Error, "D", "w"),
+        ];
+        assert_eq!(severity_counts(&diags), (2, 1, 1));
+    }
+}

@@ -150,7 +150,8 @@ impl SystemSpec {
     ///
     /// # Errors
     ///
-    /// Returns the first [`crate::SpecError`] found.
+    /// Returns [`crate::SpecError::Invalid`] carrying every diagnostic
+    /// found when any error-severity finding exists.
     pub fn validate(&self) -> Result<(), crate::SpecError> {
         let mut span = rascad_obs::span("spec.validate");
         span.record("blocks", self.root.total_blocks());

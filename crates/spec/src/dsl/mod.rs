@@ -46,3 +46,4 @@ pub mod lexer;
 pub mod parser;
 pub mod printer;
 pub mod reference;
+pub mod source_map;

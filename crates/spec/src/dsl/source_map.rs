@@ -1,0 +1,151 @@
+//! Maps block paths back to `.rascad` source positions.
+//!
+//! Diagnostics from [`crate::validate::analyze`] address blocks by
+//! slash path. When the spec came from DSL text, the lint front end
+//! wants to point at the line where the offending block is declared.
+//! [`block_positions`] re-lexes the source and records, for every
+//! block (and the root diagram), the position of its name token;
+//! [`annotate`] stamps those positions onto a diagnostic list.
+
+use std::collections::HashMap;
+
+use crate::diag::Diagnostic;
+use crate::dsl::lexer::{lex, Token, TokenKind};
+
+/// Scans DSL source and returns `path -> (line, column)` for the root
+/// diagram and every block, first declaration wins. Returns an empty
+/// map when the source does not lex (the caller has already parsed it,
+/// so this only happens for non-DSL input).
+pub fn block_positions(src: &str) -> HashMap<String, (usize, usize)> {
+    let Ok(tokens) = lex(src) else {
+        return HashMap::new();
+    };
+    let mut map = HashMap::new();
+    // What the next string token names, set by the preceding keyword.
+    #[derive(Clone, Copy)]
+    enum Pending {
+        None,
+        Diagram,
+        Block,
+        Subdiagram,
+    }
+    let mut pending = Pending::None;
+    // Path prefixes: the root diagram name, then enclosing block paths
+    // for subdiagram scopes.
+    let mut prefixes: Vec<String> = Vec::new();
+    // Set when a diagram/subdiagram header was seen: the prefix its
+    // `{` will push.
+    let mut prefix_for_next_brace: Option<String> = None;
+    // For each open `{`, whether its `}` pops a prefix.
+    let mut braces: Vec<bool> = Vec::new();
+    let mut last_block_path = String::new();
+
+    for Token { kind, line, column } in tokens {
+        match kind {
+            TokenKind::Ident(word) => {
+                pending = match word.as_str() {
+                    "diagram" if prefixes.is_empty() => Pending::Diagram,
+                    "block" => Pending::Block,
+                    "subdiagram" => Pending::Subdiagram,
+                    _ => Pending::None,
+                };
+            }
+            TokenKind::Str(name) => {
+                match pending {
+                    Pending::Diagram => {
+                        map.entry(name.clone()).or_insert((line, column));
+                        prefix_for_next_brace = Some(name);
+                    }
+                    Pending::Block => {
+                        let prefix = prefixes.last().map(String::as_str).unwrap_or("");
+                        let path = format!("{prefix}/{name}");
+                        map.entry(path.clone()).or_insert((line, column));
+                        last_block_path = path;
+                    }
+                    Pending::Subdiagram => {
+                        // The subdiagram's blocks are addressed under
+                        // the enclosing block's path.
+                        prefix_for_next_brace = Some(last_block_path.clone());
+                    }
+                    Pending::None => {}
+                }
+                pending = Pending::None;
+            }
+            TokenKind::LBrace => {
+                if let Some(prefix) = prefix_for_next_brace.take() {
+                    prefixes.push(prefix);
+                    braces.push(true);
+                } else {
+                    braces.push(false);
+                }
+            }
+            TokenKind::RBrace if braces.pop() == Some(true) => {
+                prefixes.pop();
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Fills `line`/`column` on every diagnostic whose path is declared in
+/// `src`. Diagnostics without a matching declaration (e.g. `<global>`
+/// findings when no `global` section exists) are left untouched.
+pub fn annotate(diagnostics: &mut [Diagnostic], src: &str) {
+    let map = block_positions(src);
+    for d in diagnostics {
+        if let Some(&(line, column)) = map.get(&d.path) {
+            d.line = Some(line);
+            d.column = Some(column);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    const SRC: &str = r#"
+diagram "Sys" {
+    block "A" {
+        quantity = 2
+        min_quantity = 1
+        subdiagram "Inner" {
+            block "B" {
+                mtbf = 100 h
+            }
+        }
+    }
+    block "C" { }
+}
+"#;
+
+    #[test]
+    fn maps_root_and_nested_blocks() {
+        let map = block_positions(SRC);
+        assert_eq!(map.get("Sys").copied(), Some((2, 9)));
+        assert_eq!(map.get("Sys/A").copied(), Some((3, 11)));
+        assert_eq!(map.get("Sys/A/B").copied(), Some((7, 19)));
+        assert_eq!(map.get("Sys/C").copied(), Some((12, 11)));
+        assert_eq!(map.len(), 4);
+    }
+
+    #[test]
+    fn annotate_fills_known_paths_only() {
+        let mut diags = vec![
+            Diagnostic::new("RAS007", Severity::Error, "Sys/A/B", "x"),
+            Diagnostic::new("RAS015", Severity::Error, "<global>", "y"),
+        ];
+        annotate(&mut diags, SRC);
+        assert_eq!(diags[0].line, Some(7));
+        assert_eq!(diags[1].line, None);
+    }
+
+    #[test]
+    fn non_dsl_input_yields_empty_map() {
+        assert!(block_positions("{ \"json\": true }").is_empty());
+        // Unterminated string: must not panic.
+        let _ = block_positions("diagram \"oops");
+    }
+}

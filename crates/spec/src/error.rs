@@ -6,6 +6,13 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SpecError {
+    /// The specification failed Tier A analysis. Carries *every*
+    /// diagnostic found (warnings and info included), not just the
+    /// first error — produced by [`crate::validate::validate`].
+    Invalid {
+        /// All findings, in tree walk order.
+        diagnostics: Vec<crate::diag::Diagnostic>,
+    },
     /// A diagram has no blocks.
     EmptyDiagram {
         /// Name of the empty diagram.
@@ -54,6 +61,14 @@ pub enum SpecError {
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SpecError::Invalid { diagnostics } => {
+                let (errors, warnings, _) = crate::diag::severity_counts(diagnostics);
+                write!(f, "specification rejected: {errors} error(s), {warnings} warning(s)")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             SpecError::EmptyDiagram { diagram } => {
                 write!(f, "diagram \"{diagram}\" has no blocks")
             }

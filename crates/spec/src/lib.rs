@@ -29,6 +29,7 @@
 //! ```
 
 pub mod block;
+pub mod diag;
 pub mod diagram;
 pub mod dsl;
 pub mod error;
@@ -38,6 +39,7 @@ pub mod units;
 pub mod validate;
 
 pub use block::{Block, BlockParams, RedundancyParams, Scenario};
+pub use diag::{Diagnostic, Severity};
 pub use diagram::{Diagram, SystemSpec};
 pub use error::SpecError;
 pub use params::GlobalParams;

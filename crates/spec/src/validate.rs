@@ -1,160 +1,468 @@
-//! Specification validation.
+//! Specification validation: the Tier A (spec-level) analysis engine.
 //!
-//! Rejects physically meaningless models before generation: quantities,
-//! probabilities, durations, and the redundancy-parameter presence rule
-//! ("the following parameters are relevant only if Quantity is greater
-//! than Minimum Quantity Required", paper Section 3).
+//! [`analyze`] walks the whole diagram/block tree and reports *every*
+//! finding as a [`Diagnostic`] — physically meaningless parameters
+//! (paper Section 3: quantities, probabilities, durations, the
+//! redundancy-parameter presence rule), structural problems (empty
+//! diagrams, duplicate names, suspicious hierarchy recursion), and
+//! plausibility warnings (MTTR ≥ MTBF, unit-scale mistakes, scenario
+//! parameters the chain templates would ignore).
+//!
+//! [`validate`] is a thin shim over [`analyze`] that keeps the
+//! historical fail-fast `Result` API: it returns
+//! [`SpecError::Invalid`] carrying the *complete* diagnostic list when
+//! any error-severity finding exists, instead of just the first
+//! problem found.
 
 use std::collections::HashSet;
 
-use crate::block::{Block, BlockParams};
+use crate::block::{Block, BlockParams, RedundancyParams, Scenario};
+use crate::diag::{Diagnostic, Severity};
 use crate::diagram::{Diagram, SystemSpec};
 use crate::error::SpecError;
+use crate::params::GlobalParams;
+
+/// An MTBF below this many hours is flagged as a likely unit mistake
+/// (RAS018): real hardware does not fail more than once an hour, so the
+/// value was probably entered in minutes.
+pub const MIN_PLAUSIBLE_MTBF_HOURS: f64 = 1.0;
+
+/// An MTTR part above this many minutes (one week) is flagged as a
+/// likely unit mistake (RAS018): the value was probably entered in
+/// hours.
+pub const MAX_PLAUSIBLE_MTTR_MINUTES: f64 = 7.0 * 24.0 * 60.0;
+
+/// A probability of correct diagnosis below this is flagged as
+/// implausible (RAS021, info).
+pub const MIN_PLAUSIBLE_PCD: f64 = 0.5;
 
 /// Validates a full system specification.
 ///
 /// # Errors
 ///
-/// Returns the first problem found as a [`SpecError`].
+/// Returns [`SpecError::Invalid`] carrying every diagnostic found
+/// (errors, warnings, and info alike) when at least one finding has
+/// [`Severity::Error`]. Warnings alone do not fail validation; use
+/// [`analyze`] (or `rascad lint --deny warnings`) to see them.
 pub fn validate(spec: &SystemSpec) -> Result<(), SpecError> {
-    spec.globals.validate()?;
-    validate_diagram(&spec.root, &spec.root.name)
+    let diagnostics = analyze(spec);
+    if diagnostics.iter().any(|d| d.severity == Severity::Error) {
+        Err(SpecError::Invalid { diagnostics })
+    } else {
+        Ok(())
+    }
 }
 
-fn validate_diagram(d: &Diagram, path: &str) -> Result<(), SpecError> {
-    if d.blocks.is_empty() {
-        return Err(SpecError::EmptyDiagram { diagram: path.to_string() });
+/// Runs every Tier A analysis and returns all findings, in tree walk
+/// order (globals first, then blocks depth-first).
+pub fn analyze(spec: &SystemSpec) -> Vec<Diagnostic> {
+    let mut a = Analyzer { diags: Vec::new() };
+    a.globals(&spec.globals);
+    let mut ancestors = vec![spec.root.name.clone()];
+    a.diagram(&spec.root, &spec.root.name, &mut ancestors);
+    a.diags
+}
+
+/// Collector state for one [`analyze`] run.
+struct Analyzer {
+    diags: Vec<Diagnostic>,
+}
+
+impl Analyzer {
+    fn emit(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        path: &str,
+        message: impl Into<String>,
+    ) -> &mut Diagnostic {
+        self.diags.push(Diagnostic::new(code, severity, path, message));
+        self.diags.last_mut().expect("just pushed")
     }
-    let mut names = HashSet::new();
-    for b in &d.blocks {
-        if !names.insert(b.params.name.clone()) {
-            return Err(SpecError::DuplicateBlock {
-                diagram: path.to_string(),
-                block: b.params.name.clone(),
-            });
+
+    fn error(
+        &mut self,
+        code: &'static str,
+        path: &str,
+        parameter: &'static str,
+        message: impl Into<String>,
+    ) {
+        self.emit(code, Severity::Error, path, message).parameter = Some(parameter);
+    }
+
+    fn globals(&mut self, g: &GlobalParams) {
+        let mut check = |v: f64, parameter: &'static str, must_be_positive: bool| {
+            let ok = v.is_finite() && if must_be_positive { v > 0.0 } else { v >= 0.0 };
+            if !ok {
+                let kind = if must_be_positive { "positive" } else { ">= 0" };
+                self.error(
+                    codes::GLOBAL_PARAM,
+                    "<global>",
+                    parameter,
+                    format!("must be {kind} and finite, got {v}"),
+                );
+            }
+        };
+        check(g.reboot_time.0, "reboot_time", false);
+        check(g.mttm.0, "mttm", false);
+        check(g.mttrfid.0, "mttrfid", false);
+        check(g.mission_time.0, "mission_time", true);
+    }
+
+    fn diagram(&mut self, d: &Diagram, path: &str, ancestors: &mut Vec<String>) {
+        if d.blocks.is_empty() {
+            self.emit(
+                codes::EMPTY_DIAGRAM,
+                Severity::Error,
+                path,
+                format!("diagram \"{}\" has no blocks", d.name),
+            );
         }
-        let bpath = format!("{path}/{}", b.params.name);
-        validate_block(b, &bpath)?;
+        let mut names = HashSet::new();
+        for b in &d.blocks {
+            if !names.insert(b.params.name.clone()) {
+                self.emit(
+                    codes::DUPLICATE_BLOCK,
+                    Severity::Error,
+                    path,
+                    format!("diagram \"{}\" has two blocks named \"{}\"", d.name, b.params.name),
+                );
+            }
+            let bpath = format!("{path}/{}", b.params.name);
+            self.block(b, &bpath, ancestors);
+        }
     }
-    Ok(())
-}
 
-fn validate_block(b: &Block, path: &str) -> Result<(), SpecError> {
-    validate_params(&b.params, path)?;
-    if let Some(sub) = &b.subdiagram {
-        validate_diagram(sub, path)?;
+    fn block(&mut self, b: &Block, path: &str, ancestors: &mut Vec<String>) {
+        self.params(&b.params, path);
+        if let Some(sub) = &b.subdiagram {
+            if ancestors.iter().any(|a| a == &sub.name) {
+                self.emit(
+                    codes::HIERARCHY_RECURSION,
+                    Severity::Warning,
+                    path,
+                    format!(
+                        "subdiagram \"{}\" repeats the name of an enclosing diagram; \
+                         the hierarchy is a tree and cannot recurse — rename one of them",
+                        sub.name
+                    ),
+                );
+            }
+            ancestors.push(sub.name.clone());
+            self.diagram(sub, path, ancestors);
+            ancestors.pop();
+        }
     }
-    Ok(())
-}
 
-fn validate_params(p: &BlockParams, path: &str) -> Result<(), SpecError> {
-    let err = |parameter: &'static str, message: String| {
-        Err(SpecError::InvalidParameter { block: path.to_string(), parameter, message })
-    };
-    let nonneg = |v: f64| v.is_finite() && v >= 0.0;
-    let positive = |v: f64| v.is_finite() && v > 0.0;
-    let prob = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
+    #[allow(clippy::too_many_lines)] // one linear pass over the parameter list
+    fn params(&mut self, p: &BlockParams, path: &str) {
+        let nonneg = |v: f64| v.is_finite() && v >= 0.0;
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        let prob = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
 
-    if p.name.trim().is_empty() {
-        return err("name", "must not be empty".into());
-    }
-    if p.quantity == 0 {
-        return err("quantity", "must be at least 1".into());
-    }
-    if p.min_quantity == 0 {
-        return err("min_quantity", "must be at least 1".into());
-    }
-    if p.min_quantity > p.quantity {
-        return err(
-            "min_quantity",
-            format!("min quantity {} exceeds quantity {}", p.min_quantity, p.quantity),
-        );
-    }
-    if !positive(p.mtbf.0) {
-        return err("mtbf", format!("must be positive, got {}", p.mtbf.0));
-    }
-    if !nonneg(p.transient_fit.0) {
-        return err("transient_fit", format!("must be >= 0, got {}", p.transient_fit.0));
-    }
-    for (v, name) in [
-        (p.mttr_diagnosis.0, "mttr_diagnosis"),
-        (p.mttr_corrective.0, "mttr_corrective"),
-        (p.mttr_verification.0, "mttr_verification"),
-    ] {
-        if !nonneg(v) {
-            return Err(SpecError::InvalidParameter {
-                block: path.to_string(),
-                parameter: match name {
+        if p.name.trim().is_empty() {
+            self.error(codes::BLANK_NAME, path, "name", "block name must not be empty");
+        }
+        if p.quantity == 0 {
+            self.error(codes::ZERO_QUANTITY, path, "quantity", "must be at least 1");
+        }
+        if p.min_quantity == 0 {
+            self.error(codes::ZERO_MIN_QUANTITY, path, "min_quantity", "must be at least 1");
+        }
+        if p.quantity > 0 && p.min_quantity > p.quantity {
+            self.error(
+                codes::MIN_EXCEEDS_QUANTITY,
+                path,
+                "min_quantity",
+                format!(
+                    "minimum required quantity {} exceeds quantity {} (k-of-n needs n >= k)",
+                    p.min_quantity, p.quantity
+                ),
+            );
+        }
+        if !positive(p.mtbf.0) {
+            self.error(
+                codes::NONPOSITIVE_MTBF,
+                path,
+                "mtbf",
+                format!("must be positive, got {}", p.mtbf.0),
+            );
+        }
+        if !nonneg(p.transient_fit.0) {
+            self.error(
+                codes::NEGATIVE_FIT,
+                path,
+                "transient_fit",
+                format!("must be >= 0, got {}", p.transient_fit.0),
+            );
+        }
+        let mttr_parts = [
+            (p.mttr_diagnosis.0, "mttr_diagnosis"),
+            (p.mttr_corrective.0, "mttr_corrective"),
+            (p.mttr_verification.0, "mttr_verification"),
+        ];
+        for (v, name) in mttr_parts {
+            if !nonneg(v) {
+                let parameter = match name {
                     "mttr_diagnosis" => "mttr_diagnosis",
                     "mttr_corrective" => "mttr_corrective",
                     _ => "mttr_verification",
-                },
-                message: format!("must be >= 0, got {v}"),
-            });
+                };
+                self.error(codes::NEGATIVE_MTTR, path, parameter, format!("must be >= 0, got {v}"));
+            }
         }
-    }
-    if p.mttr_total().0 <= 0.0 {
-        return err("mttr_diagnosis", "total MTTR must be positive".into());
-    }
-    if !nonneg(p.service_response.0) {
-        return err("service_response", format!("must be >= 0, got {}", p.service_response.0));
-    }
-    if !prob(p.p_correct_diagnosis) {
-        return err(
-            "p_correct_diagnosis",
-            format!("must be a probability, got {}", p.p_correct_diagnosis),
-        );
+        let mttr_parts_ok = mttr_parts.iter().all(|(v, _)| nonneg(*v));
+        if mttr_parts_ok && p.mttr_total().0 <= 0.0 {
+            self.error(
+                codes::ZERO_TOTAL_MTTR,
+                path,
+                "mttr_diagnosis",
+                "total MTTR (diagnosis + corrective + verification) must be positive",
+            );
+        }
+        if !nonneg(p.service_response.0) {
+            self.error(
+                codes::NEGATIVE_SERVICE_RESPONSE,
+                path,
+                "service_response",
+                format!("must be >= 0, got {}", p.service_response.0),
+            );
+        }
+        if !prob(p.p_correct_diagnosis) {
+            self.error(
+                codes::PROBABILITY_RANGE,
+                path,
+                "p_correct_diagnosis",
+                format!("must be a probability in [0, 1], got {}", p.p_correct_diagnosis),
+            );
+        }
+
+        match (&p.redundancy, p.is_redundant()) {
+            (Some(_), false) => {
+                self.emit(
+                    codes::REDUNDANCY_ON_NONREDUNDANT,
+                    Severity::Error,
+                    path,
+                    "redundancy parameters given but quantity == min quantity \
+                     (they are relevant only when N > K)",
+                );
+            }
+            (None, true) => {
+                self.emit(
+                    codes::REDUNDANCY_MISSING,
+                    Severity::Error,
+                    path,
+                    "block is redundant (N > K) but redundancy parameters are missing",
+                );
+            }
+            (Some(r), true) => self.redundancy(r, path),
+            (None, false) => {}
+        }
+
+        // Plausibility warnings, only on top of otherwise-valid values.
+        if positive(p.mtbf.0) && mttr_parts_ok && p.mttr_total().0 >= p.mtbf.0 {
+            self.emit(
+                codes::MTTR_GE_MTBF,
+                Severity::Warning,
+                path,
+                format!(
+                    "total MTTR ({} h) is not less than MTBF ({} h); the component spends \
+                     more time in repair than in service — check units",
+                    p.mttr_total().0,
+                    p.mtbf.0
+                ),
+            )
+            .parameter = Some("mtbf");
+        }
+        if positive(p.mtbf.0) && p.mtbf.0 < MIN_PLAUSIBLE_MTBF_HOURS {
+            self.emit(
+                codes::IMPLAUSIBLE_UNITS,
+                Severity::Warning,
+                path,
+                format!(
+                    "MTBF of {} h is under one hour — was the value meant in hours? \
+                     (write `mtbf = X min` for minutes)",
+                    p.mtbf.0
+                ),
+            )
+            .parameter = Some("mtbf");
+        }
+        for (v, name) in mttr_parts {
+            if nonneg(v) && v > MAX_PLAUSIBLE_MTTR_MINUTES {
+                let parameter = match name {
+                    "mttr_diagnosis" => "mttr_diagnosis",
+                    "mttr_corrective" => "mttr_corrective",
+                    _ => "mttr_verification",
+                };
+                self.emit(
+                    codes::IMPLAUSIBLE_UNITS,
+                    Severity::Warning,
+                    path,
+                    format!(
+                        "MTTR part of {v} min exceeds one week — was the value meant in \
+                         minutes? (write `{parameter} = X h` for hours)"
+                    ),
+                )
+                .parameter = Some(parameter);
+            }
+        }
+        if prob(p.p_correct_diagnosis) && p.p_correct_diagnosis < MIN_PLAUSIBLE_PCD {
+            self.emit(
+                codes::LOW_PCD,
+                Severity::Info,
+                path,
+                format!(
+                    "probability of correct diagnosis {} is below {MIN_PLAUSIBLE_PCD}; \
+                     most field data reports 0.9 or better",
+                    p.p_correct_diagnosis
+                ),
+            )
+            .parameter = Some("p_correct_diagnosis");
+        }
     }
 
-    match (&p.redundancy, p.is_redundant()) {
-        (Some(_), false) => {
-            return Err(SpecError::RedundancyMismatch {
-                block: path.to_string(),
-                message: "redundancy parameters given but quantity == min quantity".into(),
-            });
+    fn redundancy(&mut self, r: &RedundancyParams, path: &str) {
+        let nonneg = |v: f64| v.is_finite() && v >= 0.0;
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        let prob = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
+
+        if !prob(r.p_latent_fault) {
+            self.error(
+                codes::PROBABILITY_RANGE,
+                path,
+                "p_latent",
+                format!("must be a probability in [0, 1], got {}", r.p_latent_fault),
+            );
         }
-        (None, true) => {
-            return Err(SpecError::RedundancyMismatch {
-                block: path.to_string(),
-                message: "block is redundant but redundancy parameters are missing".into(),
-            });
+        if !positive(r.mttdlf.0) {
+            self.error(
+                codes::REDUNDANCY_DURATION,
+                path,
+                "mttdlf",
+                format!("must be positive, got {}", r.mttdlf.0),
+            );
         }
-        (Some(r), true) => {
-            if !prob(r.p_latent_fault) {
-                return err("p_latent", format!("must be a probability, got {}", r.p_latent_fault));
-            }
-            if !positive(r.mttdlf.0) {
-                return err("mttdlf", format!("must be positive, got {}", r.mttdlf.0));
-            }
-            if !nonneg(r.failover_time.0) {
-                return err("failover_time", format!("must be >= 0, got {}", r.failover_time.0));
-            }
-            if !prob(r.p_spf) {
-                return err("p_spf", format!("must be a probability, got {}", r.p_spf));
-            }
-            if !nonneg(r.spf_recovery_time.0) {
-                return err(
-                    "spf_recovery_time",
-                    format!("must be >= 0, got {}", r.spf_recovery_time.0),
+        if !prob(r.p_spf) {
+            self.error(
+                codes::PROBABILITY_RANGE,
+                path,
+                "p_spf",
+                format!("must be a probability in [0, 1], got {}", r.p_spf),
+            );
+        }
+        for (v, parameter) in [
+            (r.failover_time.0, "failover_time"),
+            (r.spf_recovery_time.0, "spf_recovery_time"),
+            (r.reintegration_time.0, "reintegration_time"),
+        ] {
+            if !nonneg(v) {
+                let parameter: &'static str = match parameter {
+                    "failover_time" => "failover_time",
+                    "spf_recovery_time" => "spf_recovery_time",
+                    _ => "reintegration_time",
+                };
+                self.error(
+                    codes::REDUNDANCY_DURATION,
+                    path,
+                    parameter,
+                    format!("must be >= 0, got {v}"),
                 );
             }
-            if !nonneg(r.reintegration_time.0) {
-                return err(
-                    "reintegration_time",
-                    format!("must be >= 0, got {}", r.reintegration_time.0),
-                );
-            }
         }
-        (None, false) => {}
+
+        // Scenario/template consistency: a transparent event has no
+        // downtime by definition, so its duration parameter is ignored
+        // by every chain template (Types 1–4).
+        if r.recovery == Scenario::Transparent
+            && nonneg(r.failover_time.0)
+            && r.failover_time.0 > 0.0
+        {
+            self.emit(
+                codes::IGNORED_SCENARIO_DURATION,
+                Severity::Warning,
+                path,
+                format!(
+                    "failover_time = {} min is ignored because recovery is transparent; \
+                     set `recovery = nontransparent` or drop the duration",
+                    r.failover_time.0
+                ),
+            )
+            .parameter = Some("failover_time");
+        }
+        if r.repair == Scenario::Transparent
+            && nonneg(r.reintegration_time.0)
+            && r.reintegration_time.0 > 0.0
+        {
+            self.emit(
+                codes::IGNORED_SCENARIO_DURATION,
+                Severity::Warning,
+                path,
+                format!(
+                    "reintegration_time = {} min is ignored because repair is transparent \
+                     (hot-pluggable); set `repair = nontransparent` or drop the duration",
+                    r.reintegration_time.0
+                ),
+            )
+            .parameter = Some("reintegration_time");
+        }
     }
-    Ok(())
+}
+
+/// Stable Tier A diagnostic codes.
+///
+/// Kept as named constants so analyses and the catalog in
+/// `rascad-lint` cannot drift apart silently.
+pub mod codes {
+    /// A diagram has no blocks.
+    pub const EMPTY_DIAGRAM: &str = "RAS001";
+    /// Two blocks in one diagram share a name.
+    pub const DUPLICATE_BLOCK: &str = "RAS002";
+    /// A block name is empty or whitespace.
+    pub const BLANK_NAME: &str = "RAS003";
+    /// `quantity` is zero.
+    pub const ZERO_QUANTITY: &str = "RAS004";
+    /// `min_quantity` is zero.
+    pub const ZERO_MIN_QUANTITY: &str = "RAS005";
+    /// `min_quantity` exceeds `quantity` (k-of-n with n < k).
+    pub const MIN_EXCEEDS_QUANTITY: &str = "RAS006";
+    /// MTBF is zero, negative, or not finite.
+    pub const NONPOSITIVE_MTBF: &str = "RAS007";
+    /// Transient FIT rate is negative or not finite.
+    pub const NEGATIVE_FIT: &str = "RAS008";
+    /// An MTTR part is negative or not finite.
+    pub const NEGATIVE_MTTR: &str = "RAS009";
+    /// The summed MTTR is not positive.
+    pub const ZERO_TOTAL_MTTR: &str = "RAS010";
+    /// Service response time is negative or not finite.
+    pub const NEGATIVE_SERVICE_RESPONSE: &str = "RAS011";
+    /// A probability parameter is outside `[0, 1]`.
+    pub const PROBABILITY_RANGE: &str = "RAS012";
+    /// Redundancy parameters on a block with `N == K`.
+    pub const REDUNDANCY_ON_NONREDUNDANT: &str = "RAS013";
+    /// Redundant block (`N > K`) without redundancy parameters.
+    pub const REDUNDANCY_MISSING: &str = "RAS014";
+    /// A global parameter is out of range.
+    pub const GLOBAL_PARAM: &str = "RAS015";
+    /// A redundancy duration (MTTDLF, failover, SPF recovery,
+    /// reintegration) is out of range.
+    pub const REDUNDANCY_DURATION: &str = "RAS016";
+    /// Total MTTR is not less than MTBF.
+    pub const MTTR_GE_MTBF: &str = "RAS017";
+    /// A duration's magnitude suggests an hours/minutes mix-up.
+    pub const IMPLAUSIBLE_UNITS: &str = "RAS018";
+    /// A transparent scenario carries a nonzero (ignored) downtime.
+    pub const IGNORED_SCENARIO_DURATION: &str = "RAS019";
+    /// A subdiagram repeats the name of an enclosing diagram.
+    pub const HIERARCHY_RECURSION: &str = "RAS020";
+    /// Probability of correct diagnosis implausibly low.
+    pub const LOW_PCD: &str = "RAS021";
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::params::GlobalParams;
-    use crate::units::Hours;
+    use crate::units::{Hours, Minutes};
 
     fn ok_spec() -> SystemSpec {
         let mut d = Diagram::new("Sys");
@@ -163,15 +471,21 @@ mod tests {
         SystemSpec::new(d, GlobalParams::default())
     }
 
+    fn codes_of(spec: &SystemSpec) -> Vec<&'static str> {
+        analyze(spec).iter().map(|d| d.code).collect()
+    }
+
     #[test]
     fn valid_spec_passes() {
         ok_spec().validate().unwrap();
+        assert!(analyze(&ok_spec()).is_empty());
     }
 
     #[test]
     fn empty_diagram_rejected() {
         let spec = SystemSpec::new(Diagram::new("Empty"), GlobalParams::default());
-        assert!(matches!(spec.validate(), Err(SpecError::EmptyDiagram { .. })));
+        assert_eq!(codes_of(&spec), vec![codes::EMPTY_DIAGRAM]);
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid { .. })));
     }
 
     #[test]
@@ -180,7 +494,7 @@ mod tests {
         d.push(BlockParams::new("A", 1, 1));
         d.push(BlockParams::new("A", 1, 1));
         let spec = SystemSpec::new(d, GlobalParams::default());
-        assert!(matches!(spec.validate(), Err(SpecError::DuplicateBlock { .. })));
+        assert_eq!(codes_of(&spec), vec![codes::DUPLICATE_BLOCK]);
     }
 
     #[test]
@@ -190,7 +504,7 @@ mod tests {
         p.quantity = 0;
         d.push(p);
         let spec = SystemSpec::new(d, GlobalParams::default());
-        assert!(matches!(spec.validate(), Err(SpecError::InvalidParameter { .. })));
+        assert_eq!(codes_of(&spec), vec![codes::ZERO_QUANTITY]);
     }
 
     #[test]
@@ -200,7 +514,7 @@ mod tests {
         p.min_quantity = 2;
         d.push(p);
         let spec = SystemSpec::new(d, GlobalParams::default());
-        assert!(matches!(spec.validate(), Err(SpecError::InvalidParameter { .. })));
+        assert_eq!(codes_of(&spec), vec![codes::MIN_EXCEEDS_QUANTITY]);
     }
 
     #[test]
@@ -208,10 +522,10 @@ mod tests {
         let mut d = Diagram::new("Sys");
         d.push(BlockParams::new("A", 1, 1).with_mtbf(Hours(0.0)));
         let spec = SystemSpec::new(d, GlobalParams::default());
-        assert!(matches!(
-            spec.validate(),
-            Err(SpecError::InvalidParameter { parameter: "mtbf", .. })
-        ));
+        assert_eq!(codes_of(&spec), vec![codes::NONPOSITIVE_MTBF]);
+        let diags = analyze(&spec);
+        assert_eq!(diags[0].parameter, Some("mtbf"));
+        assert_eq!(diags[0].path, "Sys/A");
     }
 
     #[test]
@@ -219,7 +533,7 @@ mod tests {
         let mut d = Diagram::new("Sys");
         d.push(BlockParams::new("A", 1, 1).with_p_correct_diagnosis(1.5));
         let spec = SystemSpec::new(d, GlobalParams::default());
-        assert!(matches!(spec.validate(), Err(SpecError::InvalidParameter { .. })));
+        assert_eq!(codes_of(&spec), vec![codes::PROBABILITY_RANGE]);
     }
 
     #[test]
@@ -230,7 +544,7 @@ mod tests {
         p.redundancy = None;
         d.push(p);
         let spec = SystemSpec::new(d, GlobalParams::default());
-        assert!(matches!(spec.validate(), Err(SpecError::RedundancyMismatch { .. })));
+        assert_eq!(codes_of(&spec), vec![codes::REDUNDANCY_MISSING]);
 
         // Non-redundant block carrying redundancy params.
         let mut d = Diagram::new("Sys");
@@ -238,7 +552,7 @@ mod tests {
         p.redundancy = Some(crate::block::RedundancyParams::default());
         d.push(p);
         let spec = SystemSpec::new(d, GlobalParams::default());
-        assert!(matches!(spec.validate(), Err(SpecError::RedundancyMismatch { .. })));
+        assert_eq!(codes_of(&spec), vec![codes::REDUNDANCY_ON_NONREDUNDANT]);
     }
 
     #[test]
@@ -249,8 +563,10 @@ mod tests {
         d.push_block(Block::with_subdiagram(BlockParams::new("Box", 1, 1), sub));
         let spec = SystemSpec::new(d, GlobalParams::default());
         match spec.validate() {
-            Err(SpecError::InvalidParameter { block, .. }) => {
-                assert_eq!(block, "Sys/Box/Bad");
+            Err(SpecError::Invalid { diagnostics }) => {
+                assert_eq!(diagnostics.len(), 1);
+                assert_eq!(diagnostics[0].path, "Sys/Box/Bad");
+                assert_eq!(diagnostics[0].code, codes::NONPOSITIVE_MTBF);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -260,11 +576,140 @@ mod tests {
     fn zero_total_mttr_rejected() {
         let mut d = Diagram::new("Sys");
         d.push(BlockParams::new("A", 1, 1).with_mttr_parts(
-            crate::units::Minutes(0.0),
-            crate::units::Minutes(0.0),
-            crate::units::Minutes(0.0),
+            Minutes(0.0),
+            Minutes(0.0),
+            Minutes(0.0),
         ));
         let spec = SystemSpec::new(d, GlobalParams::default());
-        assert!(spec.validate().is_err());
+        assert_eq!(codes_of(&spec), vec![codes::ZERO_TOTAL_MTTR]);
+    }
+
+    #[test]
+    fn all_findings_reported_at_once() {
+        // One spec with four independent defects: every one must appear
+        // in the single error (the first-error-wins behaviour is gone).
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1).with_mtbf(Hours(-1.0)));
+        d.push(BlockParams::new("B", 1, 1).with_p_correct_diagnosis(2.0));
+        let mut c = BlockParams::new("C", 2, 4);
+        c.redundancy = None;
+        d.push(c);
+        let spec = SystemSpec::new(
+            d,
+            GlobalParams { mission_time: Hours(0.0), ..GlobalParams::default() },
+        );
+        match spec.validate() {
+            Err(SpecError::Invalid { diagnostics }) => {
+                let found: Vec<_> = diagnostics.iter().map(|d| d.code).collect();
+                assert_eq!(
+                    found,
+                    vec![
+                        codes::GLOBAL_PARAM,
+                        codes::NONPOSITIVE_MTBF,
+                        codes::PROBABILITY_RANGE,
+                        codes::MIN_EXCEEDS_QUANTITY,
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warnings_do_not_fail_validation() {
+        let mut d = Diagram::new("Sys");
+        // MTTR (2 h) >= MTBF (1 h): warning RAS017 only.
+        d.push(BlockParams::new("A", 1, 1).with_mtbf(Hours(1.0)).with_mttr_parts(
+            Minutes(40.0),
+            Minutes(40.0),
+            Minutes(40.0),
+        ));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        spec.validate().unwrap();
+        let diags = analyze(&spec);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::MTTR_GE_MTBF);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn unit_plausibility_flagged() {
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1).with_mtbf(Hours(0.5)).with_mttr_parts(
+            Minutes(5.0),
+            Minutes(5.0),
+            Minutes(5.0),
+        ));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        let diags = analyze(&spec);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::IMPLAUSIBLE_UNITS);
+        assert_eq!(diags[0].severity, Severity::Warning);
+
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1).with_mttr_parts(
+            Minutes(30.0),
+            Minutes(20_000.0),
+            Minutes(10.0),
+        ));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        assert_eq!(codes_of(&spec), vec![codes::IMPLAUSIBLE_UNITS]);
+    }
+
+    #[test]
+    fn ignored_scenario_duration_flagged() {
+        let r = RedundancyParams {
+            recovery: Scenario::Transparent,
+            failover_time: Minutes(5.0),
+            repair: Scenario::Transparent,
+            reintegration_time: Minutes(10.0),
+            ..RedundancyParams::default()
+        };
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 2, 1).with_redundancy(r));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        let diags = analyze(&spec);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == codes::IGNORED_SCENARIO_DURATION));
+        assert_eq!(diags[0].parameter, Some("failover_time"));
+        assert_eq!(diags[1].parameter, Some("reintegration_time"));
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn hierarchy_recursion_flagged() {
+        let mut sub = Diagram::new("Sys"); // same name as the root
+        sub.push(BlockParams::new("Inner", 1, 1));
+        let mut d = Diagram::new("Sys");
+        d.push_block(Block::with_subdiagram(BlockParams::new("Box", 1, 1), sub));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        let diags = analyze(&spec);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::HIERARCHY_RECURSION);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn low_pcd_is_info_only() {
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1).with_p_correct_diagnosis(0.3));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        let diags = analyze(&spec);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::LOW_PCD);
+        assert_eq!(diags[0].severity, Severity::Info);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_error_lists_every_diagnostic() {
+        let mut d = Diagram::new("Sys");
+        d.push(BlockParams::new("A", 1, 1).with_mtbf(Hours(0.0)));
+        d.push(BlockParams::new("B", 1, 1).with_mtbf(Hours(-1.0)));
+        let spec = SystemSpec::new(d, GlobalParams::default());
+        let msg = spec.validate().unwrap_err().to_string();
+        assert!(msg.contains("Sys/A"), "{msg}");
+        assert!(msg.contains("Sys/B"), "{msg}");
+        assert!(msg.contains("RAS007"), "{msg}");
     }
 }

@@ -19,6 +19,17 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test --workspace"
 cargo test --workspace --offline -q
 
+# Every bundled spec and library model must lint clean: errors and
+# warnings block (exit 7); info-level notes are allowed.
+echo "==> rascad lint (bundled specs and library models, deny warnings)"
+for spec in specs/*.rascad; do
+    cargo run --offline -q -p rascad-cli -- lint "$spec" --deny warnings > /dev/null
+done
+for model in datacenter e10000 cluster workgroup; do
+    cargo run --offline -q -p rascad-cli -- library "$model" |
+        cargo run --offline -q -p rascad-cli -- lint - --deny warnings > /dev/null
+done
+
 # Non-blocking performance report: run the quick benchmark suite and
 # check that the emitted document is parseable and schema-valid. No
 # baseline comparison here — absolute timings vary too much across CI
@@ -28,5 +39,12 @@ echo "==> bench smoke (rascad bench --quick, report only)"
 cargo run --offline -q -p rascad-cli -- bench --quick --label ci-smoke \
     --out target/bench_smoke.json > /dev/null
 cargo run --offline -q -p rascad-cli -- bench --validate target/bench_smoke.json
+
+# Non-blocking pedantic report: surfaces candidate cleanups without
+# gating the build on them (the hard clippy gate above already denies
+# default-level warnings). Mirrors the bench-smoke pattern.
+echo "==> cargo clippy pedantic (report only)"
+cargo clippy --workspace --all-targets --offline -- -W clippy::pedantic 2>&1 |
+    grep -E "^warning" | sort | uniq -c | sort -rn | head -20 || true
 
 echo "ci: all gates passed"

@@ -11,6 +11,8 @@
 //! * [`gmb`] — the Graphical Model Builder equivalent.
 //! * [`sim`] — Monte-Carlo simulation and synthetic field data.
 //! * [`fielddata`] — outage-log analysis.
+//! * [`lint`] — the static analyzer: Tier A spec diagnostics, Tier B
+//!   model diagnostics, the `RASxxx` catalog.
 //! * [`library`] — ready-made models (the paper's Figures 1–2 data
 //!   center, an E10000-class server, a two-node cluster).
 //!
@@ -31,6 +33,7 @@ pub use rascad_core as core;
 pub use rascad_fielddata as fielddata;
 pub use rascad_gmb as gmb;
 pub use rascad_library as library;
+pub use rascad_lint as lint;
 pub use rascad_markov as markov;
 pub use rascad_rbd as rbd;
 pub use rascad_sim as sim;
