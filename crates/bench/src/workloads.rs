@@ -161,6 +161,32 @@ pub fn sweep_spec() -> SystemSpec {
 /// Name of the swept block in [`sweep_spec`].
 pub const SWEEP_BLOCK: &str = "Node";
 
+/// Flat ten-block spec for the sweep-scaling workload: one swept
+/// `"Target"` block plus nine fixed blocks. Across a sweep only the
+/// target's chain changes, so the solve engine's block cache reuses the
+/// other nine solutions at every point after the first.
+pub fn sweep_scaling_spec() -> SystemSpec {
+    use rascad_spec::units::Hours;
+    use rascad_spec::{Diagram, GlobalParams};
+    let mut d = Diagram::new("Scaling Cluster");
+    d.push(BlockParams::new("Target", 2, 1).with_mtbf(Hours(20_000.0)));
+    for i in 1..10 {
+        d.push(
+            BlockParams::new(format!("Fixed{i}"), 2, 1)
+                .with_mtbf(Hours(50_000.0 + 10_000.0 * i as f64)),
+        );
+    }
+    SystemSpec::new(d, GlobalParams::default())
+}
+
+/// Name of the swept block in [`sweep_scaling_spec`].
+pub const SWEEP_SCALING_BLOCK: &str = "Target";
+
+/// Sweep points used by the sweep-scaling workload regardless of
+/// profile: the cache hit-rate acceptance bar (nine cached blocks
+/// hitting on 19 of 20 points = 85.5%) is defined at this size.
+pub const SWEEP_SCALING_POINTS: usize = 20;
+
 /// A mild (non-stiff) six-state birth–death chain for the
 /// power-iteration stage. Rates span a single order of magnitude, so
 /// the uniformized DTMC mixes in a few thousand iterations — the
@@ -207,6 +233,15 @@ mod tests {
         let solution = solve_spec(&sweep_spec()).unwrap();
         assert!(solution.system.availability > 0.9);
         assert!(sweep_spec().root.find(SWEEP_BLOCK).is_some());
+    }
+
+    #[test]
+    fn sweep_scaling_spec_has_ten_blocks_and_solves() {
+        let spec = sweep_scaling_spec();
+        assert_eq!(spec.root.blocks.len(), 10);
+        assert!(spec.root.find(SWEEP_SCALING_BLOCK).is_some());
+        let solution = solve_spec(&spec).unwrap();
+        assert!(solution.system.availability > 0.9);
     }
 
     #[test]

@@ -18,8 +18,8 @@ use std::time::Instant;
 use rascad_bench::workloads::{self, BenchProfile};
 use rascad_core::generator::generate_block;
 use rascad_core::hierarchy::{interval_availability_exact, solve_spec};
-use rascad_core::sweep::{log_space, sweep};
-use rascad_core::CoreError;
+use rascad_core::sweep::{lin_space, log_space, sweep};
+use rascad_core::{CoreError, Engine};
 use rascad_markov::transient::{self, TransientOptions};
 use rascad_markov::{Ctmc, MarkovError, SteadyStateMethod};
 use rascad_obs::json::{self, Value};
@@ -44,11 +44,12 @@ struct BenchArgs {
     warn_ratio: f64,
     fail_ratio: f64,
     floor_us: f64,
+    sweep: bool,
 }
 
-/// Runs `bench [--quick|--full] [--label L] [--out F] [--json]
-/// [--compare BASE] [--warn-ratio R] [--fail-ratio R] [--floor-us US]`
-/// or `bench --validate <file>`.
+/// Runs `bench [--quick|--full] [--sweep] [--label L] [--out F]
+/// [--json] [--compare BASE] [--warn-ratio R] [--fail-ratio R]
+/// [--floor-us US]` or `bench --validate <file>`.
 pub fn bench(args: &[&str]) -> Result<String, CliError> {
     if let Some(i) = args.iter().position(|a| *a == "--validate") {
         if args.len() != 2 || i != 0 {
@@ -62,19 +63,21 @@ pub fn bench(args: &[&str]) -> Result<String, CliError> {
 fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
     let mut parsed = BenchArgs {
         profile: BenchProfile::quick(),
-        label: "local".to_string(),
+        label: String::new(),
         out: None,
         json: false,
         compare: None,
         warn_ratio: 1.25,
         fail_ratio: 2.0,
         floor_us: 50.0,
+        sweep: false,
     };
     let mut it = args.iter().copied();
     while let Some(arg) = it.next() {
         match arg {
             "--quick" => parsed.profile = BenchProfile::quick(),
             "--full" => parsed.profile = BenchProfile::full(),
+            "--sweep" => parsed.sweep = true,
             "--json" => parsed.json = true,
             "--label" => parsed.label = flag_value(&mut it, "--label")?.to_string(),
             "--out" => parsed.out = Some(flag_value(&mut it, "--out")?.to_string()),
@@ -87,9 +90,12 @@ fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
             }
         }
     }
-    if parsed.label.is_empty()
-        || !parsed.label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
-    {
+    if parsed.label.is_empty() {
+        // The sweep-scaling workload defaults to the committed baseline
+        // name so `bench --sweep` writes BENCH_sweep.json out of the box.
+        parsed.label = if parsed.sweep { "sweep".to_string() } else { "local".to_string() };
+    }
+    if !parsed.label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
         return Err(CliError::usage(format!(
             "bench label `{}` must be non-empty [A-Za-z0-9_-]",
             parsed.label
@@ -324,6 +330,123 @@ fn generate_stage_name(ty: u8) -> &'static str {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sweep-scaling workload (`--sweep`)
+// ---------------------------------------------------------------------------
+
+/// Contender thread count for the sweep-scaling workload.
+const SWEEP_THREADS: usize = 4;
+
+/// Results of the sweep-scaling workload: the pre-engine behavior
+/// (sequential, cache-free) against the solve engine at one and
+/// [`SWEEP_THREADS`] workers, plus the cache statistics of one
+/// instrumented run and a bit-identity verdict against the reference.
+struct SweepScaling {
+    points: usize,
+    blocks: usize,
+    threads: usize,
+    baseline_us: f64,
+    engine_t1_us: f64,
+    engine_tn_us: f64,
+    /// `baseline_us / engine_tn_us`: what the engine buys end to end.
+    speedup_vs_baseline: f64,
+    /// `engine_t1_us / engine_tn_us`: thread scaling alone, which stays
+    /// near 1.0 on single-core machines where the gain is all cache.
+    thread_scaling: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    bit_identical: bool,
+    availability: f64,
+    yearly_downtime_minutes: f64,
+}
+
+/// Times the sweep-scaling workload. Every timed run builds a fresh
+/// engine so its cache starts cold; the hits measured are the ones a
+/// single sweep earns for itself by reusing unchanged blocks across
+/// points.
+fn run_sweep_stages(profile: &BenchProfile) -> Result<(Vec<StageResult>, SweepScaling), CliError> {
+    let base = workloads::sweep_scaling_spec();
+    let blocks = base.root.blocks.len();
+    let points = workloads::SWEEP_SCALING_POINTS;
+    let values = lin_space(0.5, 48.0, points)?;
+    let apply = |spec: &mut SystemSpec, v: f64| {
+        if let Some(block) = spec.root.find_mut(workloads::SWEEP_SCALING_BLOCK) {
+            block.params.service_response = Hours(v);
+        }
+    };
+    let reps = profile.iterations;
+
+    let mut stages = Vec::new();
+    stages.push(time_stage("sweep_baseline_seq", reps, || {
+        black_box(Engine::sequential().sweep(&base, &values, apply)?);
+        Ok(())
+    })?);
+    stages.push(time_stage("sweep_engine_t1", reps, || {
+        black_box(Engine::with_threads(1).sweep(&base, &values, apply)?);
+        Ok(())
+    })?);
+    stages.push(time_stage("sweep_engine_tn", reps, || {
+        black_box(Engine::with_threads(SWEEP_THREADS).sweep(&base, &values, apply)?);
+        Ok(())
+    })?);
+
+    // One instrumented run for the cache statistics and the
+    // bit-identity check against the sequential reference.
+    let reference = Engine::sequential().sweep(&base, &values, apply)?;
+    let engine = Engine::with_threads(SWEEP_THREADS);
+    let contender = engine.sweep(&base, &values, apply)?;
+    let stats = engine.cache_stats();
+    let bit_identical = reference.len() == contender.len()
+        && reference.iter().zip(&contender).all(|(r, c)| {
+            r.value.to_bits() == c.value.to_bits()
+                && r.solution.system.availability.to_bits()
+                    == c.solution.system.availability.to_bits()
+                && r.solution.system.yearly_downtime_minutes.to_bits()
+                    == c.solution.system.yearly_downtime_minutes.to_bits()
+                && r.solution == c.solution
+        });
+
+    let baseline_us = stages[0].min_us;
+    let engine_t1_us = stages[1].min_us;
+    let engine_tn_us = stages[2].min_us;
+    let first = &reference[0].solution.system;
+    let scaling = SweepScaling {
+        points,
+        blocks,
+        threads: SWEEP_THREADS,
+        baseline_us,
+        engine_t1_us,
+        engine_tn_us,
+        speedup_vs_baseline: baseline_us / engine_tn_us.max(1e-9),
+        thread_scaling: engine_t1_us / engine_tn_us.max(1e-9),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_hit_rate: stats.hit_rate(),
+        bit_identical,
+        availability: first.availability,
+        yearly_downtime_minutes: first.yearly_downtime_minutes,
+    };
+    Ok((stages, scaling))
+}
+
+fn sweep_scaling_json(s: &SweepScaling) -> Value {
+    Value::Obj(vec![
+        ("points".to_string(), Value::from(s.points)),
+        ("blocks".to_string(), Value::from(s.blocks)),
+        ("threads".to_string(), Value::from(s.threads)),
+        ("baseline_us".to_string(), Value::Num(s.baseline_us)),
+        ("engine_t1_us".to_string(), Value::Num(s.engine_t1_us)),
+        ("engine_tn_us".to_string(), Value::Num(s.engine_tn_us)),
+        ("speedup_vs_baseline".to_string(), Value::Num(s.speedup_vs_baseline)),
+        ("thread_scaling".to_string(), Value::Num(s.thread_scaling)),
+        ("cache_hits".to_string(), Value::from(s.cache_hits as usize)),
+        ("cache_misses".to_string(), Value::from(s.cache_misses as usize)),
+        ("cache_hit_rate".to_string(), Value::Num(s.cache_hit_rate)),
+        ("bit_identical".to_string(), Value::from(s.bit_identical)),
+    ])
+}
+
 fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
     // Capture telemetry through the obs layer unless the user already
     // routed it elsewhere with --trace/--timings (then the document's
@@ -339,14 +462,25 @@ fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
     }
     let guard = CaptureGuard { active: own_subscriber };
 
-    let (stages, checks) = run_stages(&args.profile)?;
+    let (stages, checks, scaling) = if args.sweep {
+        let (stages, scaling) = run_sweep_stages(&args.profile)?;
+        let checks = Checks {
+            availability: scaling.availability,
+            yearly_downtime_minutes: scaling.yearly_downtime_minutes,
+            sim_availability: f64::NAN,
+        };
+        (stages, checks, Some(scaling))
+    } else {
+        let (stages, checks) = run_stages(&args.profile)?;
+        (stages, checks, None)
+    };
 
     if own_subscriber {
         rascad_obs::drain();
     }
     drop(guard);
 
-    let mut doc = document(args, &stages, &checks, &tree, &metrics);
+    let mut doc = document(args, &stages, &checks, scaling.as_ref(), &tree, &metrics);
 
     let mut compare_report = None;
     if let Some(base_path) = &args.compare {
@@ -383,7 +517,14 @@ fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
         out.push('\n');
         return Ok(out);
     }
-    Ok(render_human(args, &stages, &checks, compare_report.as_deref(), out_path.as_deref()))
+    Ok(render_human(
+        args,
+        &stages,
+        &checks,
+        scaling.as_ref(),
+        compare_report.as_deref(),
+        out_path.as_deref(),
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -394,6 +535,7 @@ fn document(
     args: &BenchArgs,
     stages: &[StageResult],
     checks: &Checks,
+    scaling: Option<&SweepScaling>,
     tree: &Arc<Mutex<SpanTreeAgg>>,
     metrics: &Arc<Mutex<Option<MetricsSummary>>>,
 ) -> Value {
@@ -435,12 +577,17 @@ fn document(
             )
         },
     );
-    let checks_json = Value::Obj(vec![
+    let mut checks_fields = vec![
         ("availability".to_string(), Value::Num(checks.availability)),
         ("yearly_downtime_minutes".to_string(), Value::Num(checks.yearly_downtime_minutes)),
-        ("sim_availability".to_string(), Value::Num(checks.sim_availability)),
-    ]);
-    Value::Obj(vec![
+    ];
+    if scaling.is_none() {
+        // The sweep-scaling workload runs no simulator stage, so its
+        // documents omit the key rather than recording a null.
+        checks_fields.push(("sim_availability".to_string(), Value::Num(checks.sim_availability)));
+    }
+    let checks_json = Value::Obj(checks_fields);
+    let mut fields = vec![
         ("schema".to_string(), Value::from(SCHEMA)),
         ("label".to_string(), Value::from(args.label.as_str())),
         ("profile".to_string(), Value::from(args.profile.name)),
@@ -451,7 +598,11 @@ fn document(
         ("counters".to_string(), counters),
         ("values".to_string(), values),
         ("checks".to_string(), checks_json),
-    ])
+    ];
+    if let Some(s) = scaling {
+        fields.push(("sweep_scaling".to_string(), sweep_scaling_json(s)));
+    }
+    Value::Obj(fields)
 }
 
 /// Structural validation shared by `--validate` and `--compare`.
@@ -490,6 +641,37 @@ fn check_document(doc: &Value) -> Result<(String, String, usize), String> {
     doc.get("counters").and_then(Value::as_object).ok_or("missing `counters` object")?;
     doc.get("values").and_then(Value::as_object).ok_or("missing `values` object")?;
     doc.get("checks").and_then(Value::as_object).ok_or("missing `checks` object")?;
+    if let Some(scaling) = doc.get("sweep_scaling") {
+        scaling.as_object().ok_or("`sweep_scaling` is not an object")?;
+        for key in [
+            "points",
+            "blocks",
+            "threads",
+            "baseline_us",
+            "engine_t1_us",
+            "engine_tn_us",
+            "speedup_vs_baseline",
+            "thread_scaling",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+        ] {
+            let v = scaling
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("sweep_scaling missing numeric `{key}`"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("sweep_scaling has bad `{key}`: {v}"));
+            }
+        }
+        let identical = scaling
+            .get("bit_identical")
+            .and_then(Value::as_bool)
+            .ok_or("sweep_scaling missing `bit_identical`")?;
+        if !identical {
+            return Err("sweep_scaling records bit_identical = false".to_string());
+        }
+    }
     Ok((label.to_string(), profile.to_string(), stages.len()))
 }
 
@@ -703,6 +885,7 @@ fn render_human(
     args: &BenchArgs,
     stages: &[StageResult],
     checks: &Checks,
+    scaling: Option<&SweepScaling>,
     compare_report: Option<&str>,
     out_path: Option<&str>,
 ) -> String {
@@ -722,11 +905,37 @@ fn render_human(
         );
     }
     let _ = writeln!(out);
-    let _ = writeln!(
-        out,
-        "checks: availability {:.9} ({:.1} min/y downtime), simulated {:.6}",
-        checks.availability, checks.yearly_downtime_minutes, checks.sim_availability
-    );
+    if let Some(s) = scaling {
+        let _ = writeln!(
+            out,
+            "sweep scaling: {} points x {} blocks, engine at {} threads",
+            s.points, s.blocks, s.threads
+        );
+        let _ = writeln!(
+            out,
+            "  speedup vs sequential baseline: {:.2}x (thread scaling alone: {:.2}x)",
+            s.speedup_vs_baseline, s.thread_scaling
+        );
+        let _ = writeln!(
+            out,
+            "  cache: {} hits / {} misses ({:.1}% hit rate), results bit-identical: {}",
+            s.cache_hits,
+            s.cache_misses,
+            100.0 * s.cache_hit_rate,
+            s.bit_identical
+        );
+        let _ = writeln!(
+            out,
+            "checks: availability {:.9} ({:.1} min/y downtime)",
+            checks.availability, checks.yearly_downtime_minutes
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "checks: availability {:.9} ({:.1} min/y downtime), simulated {:.6}",
+            checks.availability, checks.yearly_downtime_minutes, checks.sim_availability
+        );
+    }
     if let Some(report) = compare_report {
         let _ = writeln!(out);
         out.push_str(report);
@@ -811,6 +1020,42 @@ mod tests {
         // Checks pin the numerical answers.
         let avail = doc.get("checks").unwrap().get("availability").unwrap().as_f64().unwrap();
         assert!(avail > 0.99 && avail < 1.0, "{avail}");
+    }
+
+    #[test]
+    fn sweep_mode_emits_scaling_section() {
+        let _lock = obs_test_lock();
+        let out = run_bench(&["--sweep", "--quick", "--json"]).unwrap();
+        let doc = json::parse(&out).unwrap();
+        let (label, profile, n) = check_document(&doc).unwrap();
+        assert_eq!(label, "sweep");
+        assert_eq!(profile, "quick");
+        assert_eq!(n, 3);
+
+        let names: Vec<&str> = doc
+            .get("stages")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["sweep_baseline_seq", "sweep_engine_t1", "sweep_engine_tn"]);
+
+        let scaling = doc.get("sweep_scaling").unwrap();
+        assert_eq!(scaling.get("points").unwrap().as_i64(), Some(20));
+        assert_eq!(scaling.get("blocks").unwrap().as_i64(), Some(10));
+        assert_eq!(scaling.get("bit_identical").unwrap().as_bool(), Some(true));
+        // The hit rate is a deterministic property of the workload (the
+        // nine unswept blocks hit on 19 of 20 points), unlike the
+        // timing ratios, which this test deliberately leaves alone.
+        let hit_rate = scaling.get("cache_hit_rate").unwrap().as_f64().unwrap();
+        assert!(hit_rate > 0.8, "hit rate {hit_rate}");
+        assert!(scaling.get("speedup_vs_baseline").unwrap().as_f64().unwrap() > 0.0);
+
+        // No simulator stage ran, so the checks omit its key.
+        assert!(doc.get("checks").unwrap().get("sim_availability").is_none());
+        assert!(doc.get("checks").unwrap().get("availability").unwrap().as_f64().unwrap() > 0.9);
     }
 
     #[test]
@@ -930,6 +1175,7 @@ mod tests {
             warn_ratio: 1.25,
             fail_ratio: 2.0,
             floor_us: 50.0,
+            sweep: false,
         };
         let baseline = mk(
             &[

@@ -113,6 +113,9 @@ OPTIONS (apply to every command):
                                         file (`-` for stdout)
     --timings                           print a per-span timing summary to stderr on exit
     --no-lint                           skip the automatic pre-solve lint gate
+    --threads <n>                       solver worker threads (default: RASCAD_THREADS env
+                                        or the machine's available parallelism); results
+                                        are bit-identical at any thread count
 
 COMMANDS:
     check <spec.rascad>                 validate a specification
@@ -134,13 +137,15 @@ COMMANDS:
                                         Monte-Carlo cross-check of the analytic solution
     fielddata <spec.rascad> [months [servers [seed]]]
                                         generate synthetic field data and compare with the model
-    bench [--quick|--full] [--label L] [--out F] [--json] [--compare BASE.json]
+    bench [--quick|--full] [--sweep] [--label L] [--out F] [--json] [--compare BASE.json]
           [--warn-ratio R] [--fail-ratio R] [--floor-us US]
                                         run the deterministic benchmark suite and write a
                                         versioned BENCH_<label>.json (per-stage timings, span
                                         aggregates, solver diagnostics, environment metadata);
                                         --compare checks against a baseline and exits 6 on a
-                                        regression past the fail threshold
+                                        regression past the fail threshold; --sweep runs the
+                                        sweep-scaling workload instead (solve engine vs the
+                                        sequential baseline, cache stats, bit-identity check)
     bench --validate <file.json>        check that a BENCH document parses and is schema-valid
     library [name]                      print a library model as DSL
                                         (names: datacenter, e10000, cluster, workgroup)
@@ -163,6 +168,8 @@ struct ObsOptions {
     /// `--no-lint`: skip the automatic Tier A gate before
     /// `solve`/`sweep`/`simulate`.
     no_lint: bool,
+    /// `--threads <n>`: solver worker-thread override.
+    threads: Option<usize>,
 }
 
 /// RAII guard: installs the requested sinks on construction and
@@ -220,6 +227,17 @@ fn split_global_flags(args: &[String]) -> Result<(Vec<&str>, ObsOptions), CliErr
             }
             "--timings" => opts.timings = true,
             "--no-lint" => opts.no_lint = true,
+            "--threads" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--threads needs a positive integer"))?;
+                let n: usize = n
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError::usage(format!("bad thread count `{n}`")))?;
+                opts.threads = Some(n);
+            }
             other => rest.push(other),
         }
     }
@@ -234,6 +252,9 @@ fn split_global_flags(args: &[String]) -> Result<(Vec<&str>, ObsOptions), CliErr
 /// specs, solver failures, or I/O problems; see [`CliError::exit_code`].
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (words, obs) = split_global_flags(args)?;
+    if let Some(n) = obs.threads {
+        rascad_core::set_thread_override(n);
+    }
     let _session = ObsSession::start(&obs)?;
     dispatch(&words, !obs.no_lint)
 }

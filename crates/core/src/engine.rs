@@ -1,0 +1,578 @@
+//! Parallel + memoizing solve engine.
+//!
+//! The paper's analysis workflows — hierarchy roll-up, parametric
+//! sweeps, ablation suites — decompose into independent block solves:
+//! every block's chain is generated and solved in isolation, and only
+//! the cheap serial-RBD combination couples them. The [`Engine`]
+//! exploits both halves of that structure:
+//!
+//! * **Memoization** — every block solve is routed through a
+//!   [`SolveCache`] keyed by the chain's content fingerprint, so a sweep
+//!   that mutates one parameter re-solves only the blocks whose chains
+//!   actually changed (see [`crate::cache`]).
+//! * **Parallelism** — independent units (sweep points, blocks of one
+//!   hierarchy, ablation variants) are evaluated on a
+//!   [`std::thread::scope`] worker pool and reassembled in input order.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical to the sequential path regardless of thread
+//! count or cache state: workers compute pure per-item results into
+//! per-index slots, the system-level combination runs sequentially in
+//! the exact arithmetic order of the original recursive solver, and a
+//! cache hit returns the exact `f64`s a fresh solve of the same chain
+//! would produce. The thread count only changes wall-clock time.
+//!
+//! The pool never nests: a worker that reaches another `par_map` (e.g. a
+//! parallel sweep whose points each solve a hierarchy) runs the inner
+//! loop inline, so a sweep uses exactly `threads` OS threads.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use rascad_markov::SteadyStateMethod;
+use rascad_spec::{Block, BlockParams, Diagram, GlobalParams, SystemSpec};
+
+use crate::cache::{CacheStats, MissionMeasures, SolveCache};
+use crate::error::CoreError;
+use crate::generator::{generate_block, BlockModel};
+use crate::hierarchy::{BlockSolution, SystemMeasures, SystemSolution};
+use crate::measures::{steady_state_measures, BlockMeasures};
+use crate::sweep::SweepPoint;
+
+/// Process-wide thread-count override (0 = unset), set by the CLI
+/// `--threads` flag ahead of any engine use.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the default worker count for engines that don't pin one
+/// ([`Engine::new`] and the global engine). `0` clears the override.
+pub fn set_thread_override(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// The worker count an unpinned engine resolves to right now:
+/// the [`set_thread_override`] value, else the `RASCAD_THREADS`
+/// environment variable, else [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("RASCAD_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+thread_local! {
+    /// True on pool worker threads; makes nested `par_map` calls run
+    /// inline instead of spawning a second pool.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning
+/// results in input order. Falls back to an inline loop for one thread,
+/// one item, or when already running on a pool worker.
+///
+/// Each item's result is computed exactly once into its own slot, so the
+/// output is independent of scheduling; a panicking worker propagates
+/// the panic through the scope join.
+pub(crate) fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 || IN_POOL.with(Cell::get) {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    rascad_obs::counter("core.pool.batches", 1);
+    rascad_obs::counter("core.pool.tasks", n as u64);
+    rascad_obs::record_value("core.pool.workers", workers as f64);
+    let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                IN_POOL.with(|c| c.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let _ = slots[i].set(f(i, &items[i]));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.into_inner().expect("worker filled slot")).collect()
+}
+
+/// The parallel + memoizing solver. See the module docs for the
+/// determinism contract.
+pub struct Engine {
+    /// Pinned worker count; `None` resolves [`default_threads`] at each
+    /// call so a late `--threads` flag still applies to the global
+    /// engine.
+    fixed_threads: Option<usize>,
+    /// `None` disables memoization entirely (the sequential reference
+    /// configuration).
+    cache: Option<SolveCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.threads())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Engine with caching on and the dynamic default worker count.
+    pub fn new() -> Self {
+        Engine { fixed_threads: None, cache: Some(SolveCache::new()) }
+    }
+
+    /// Engine with caching on and a pinned worker count (`0` is clamped
+    /// to 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Engine { fixed_threads: Some(threads.max(1)), cache: Some(SolveCache::new()) }
+    }
+
+    /// The sequential reference configuration: one thread, no cache.
+    /// Reproduces the pre-engine solve path; equivalence tests and the
+    /// benchmark baseline measure against this.
+    pub fn sequential() -> Self {
+        Engine { fixed_threads: Some(1), cache: None }
+    }
+
+    /// The shared process-wide engine used by the module-level
+    /// `solve_spec` / `sweep` / `solve_block` entry points.
+    pub fn global() -> &'static Engine {
+        static GLOBAL: OnceLock<Engine> = OnceLock::new();
+        GLOBAL.get_or_init(Engine::new)
+    }
+
+    /// Worker count this engine would use right now.
+    pub fn threads(&self) -> usize {
+        self.fixed_threads.unwrap_or_else(default_threads).max(1)
+    }
+
+    /// Cache counters (zeros when caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(SolveCache::stats).unwrap_or_default()
+    }
+
+    /// Drops all cached solutions (no-op without a cache).
+    pub fn clear_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.clear();
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn cache(&self) -> Option<&SolveCache> {
+        self.cache.as_ref()
+    }
+
+    fn cached_steady(
+        &self,
+        model: &BlockModel,
+        method: SteadyStateMethod,
+    ) -> Result<BlockMeasures, CoreError> {
+        match &self.cache {
+            Some(c) => c.steady(model, method),
+            None => steady_state_measures(model, method),
+        }
+    }
+
+    fn cached_mission(
+        &self,
+        model: &BlockModel,
+        mission_hours: f64,
+    ) -> Result<MissionMeasures, CoreError> {
+        match &self.cache {
+            Some(c) => c.mission(model, mission_hours),
+            None => crate::cache::compute_mission_measures(model, mission_hours),
+        }
+    }
+
+    /// Solves one block: generate, then cached steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on generation or solver failure.
+    pub fn solve_block_with(
+        &self,
+        params: &BlockParams,
+        globals: &GlobalParams,
+        method: SteadyStateMethod,
+    ) -> Result<(BlockModel, BlockMeasures), CoreError> {
+        let model = generate_block(params, globals)?;
+        let measures = self.cached_steady(&model, method)?;
+        Ok((model, measures))
+    }
+
+    /// Solves a complete specification with the default (GTH) method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the spec is invalid or any chain fails
+    /// to solve.
+    pub fn solve_spec(&self, spec: &SystemSpec) -> Result<SystemSolution, CoreError> {
+        self.solve_spec_with(spec, SteadyStateMethod::Gth)
+    }
+
+    /// [`solve_spec`](Self::solve_spec) with an explicit steady-state
+    /// method. Sibling blocks are solved concurrently; the roll-up runs
+    /// sequentially in diagram order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the spec is invalid or any chain fails
+    /// to solve.
+    pub fn solve_spec_with(
+        &self,
+        spec: &SystemSpec,
+        method: SteadyStateMethod,
+    ) -> Result<SystemSolution, CoreError> {
+        let mut span = rascad_obs::span("core.solve_spec");
+        span.record("blocks", spec.root.total_blocks());
+        span.record("depth", spec.root.depth());
+        span.record("threads", self.threads());
+        spec.validate()?;
+        let mission = spec.globals.mission_time.0;
+
+        // Flatten the tree in walk (= solve) order, solve every block
+        // independently, then recombine sequentially.
+        let mut flat: Vec<(usize, String, &Block)> = Vec::new();
+        spec.root.walk(&mut |level, path, block| flat.push((level, path.to_string(), block)));
+        let results = par_map(&flat, self.threads(), |_, (level, path, block)| {
+            self.solve_one(*level, path, block, &spec.globals, method, mission)
+        });
+        let mut tasks = Vec::with_capacity(results.len());
+        for r in results {
+            tasks.push(Some(r?));
+        }
+        span.record(
+            "total_states",
+            tasks.iter().map(|t| t.as_ref().map_or(0, |t| t.model.state_count())).sum::<usize>(),
+        );
+
+        let mut blocks = Vec::with_capacity(tasks.len());
+        let mut cursor = 0usize;
+        let agg = assemble_diagram(&spec.root, &mut tasks, &mut cursor, &mut blocks);
+        debug_assert_eq!(cursor, blocks.len());
+
+        // Mission measures across every chain, multiplied in the same
+        // block order as the sequential path.
+        let mission_span = rascad_obs::span("core.mission_measures");
+        let mut interval = 1.0;
+        let mut reliability = 1.0;
+        let mut inv_mttf = 0.0;
+        for b in &blocks {
+            let m = b.1;
+            interval *= m.interval_availability;
+            reliability *= m.reliability_at_mission;
+            if m.mttf_hours.is_finite() && m.mttf_hours > 0.0 {
+                inv_mttf += 1.0 / m.mttf_hours;
+            }
+        }
+        drop(mission_span);
+        let blocks: Vec<BlockSolution> = blocks.into_iter().map(|(b, _)| b).collect();
+
+        let mean_downtime =
+            if agg.failure_rate > 0.0 { (1.0 - agg.availability) / agg.failure_rate } else { 0.0 };
+        let system = SystemMeasures {
+            availability: agg.availability,
+            unavailability: 1.0 - agg.availability,
+            yearly_downtime_minutes: (1.0 - agg.availability) * crate::measures::MINUTES_PER_YEAR,
+            failure_rate: agg.failure_rate,
+            recovery_rate: if mean_downtime > 0.0 { 1.0 / mean_downtime } else { 0.0 },
+            mtbf_hours: if agg.failure_rate > 0.0 { 1.0 / agg.failure_rate } else { f64::INFINITY },
+            interval_availability: interval,
+            reliability_at_mission: reliability,
+            mttf_hours: if inv_mttf > 0.0 { 1.0 / inv_mttf } else { f64::INFINITY },
+            mission_hours: mission,
+        };
+        span.record("availability", system.availability);
+        rascad_obs::counter("core.specs_solved", 1);
+        Ok(SystemSolution { system, blocks })
+    }
+
+    fn solve_one(
+        &self,
+        level: usize,
+        path: &str,
+        block: &Block,
+        globals: &GlobalParams,
+        method: SteadyStateMethod,
+        mission: f64,
+    ) -> Result<SolvedBlock, CoreError> {
+        let mut span = rascad_obs::span("core.solve_block");
+        span.record("path", path);
+        span.record("level", level);
+        let model = generate_block(&block.params, globals)?;
+        span.record("states", model.state_count());
+        let measures = self.cached_steady(&model, method)?;
+        let mission_measures = self.cached_mission(&model, mission)?;
+        Ok(SolvedBlock { level, path: path.to_string(), model, measures, mission_measures })
+    }
+
+    /// Sweeps a parameter, solving the points concurrently. The `apply`
+    /// closure runs sequentially (it may capture mutable state), then
+    /// the mutated specs are solved on the pool; unchanged blocks hit
+    /// the solve cache across points. Results are in `values` order and
+    /// bit-identical to a sequential sweep.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidRequest`] when `values` is empty.
+    /// * The first (in input order) solve error among the points.
+    pub fn sweep(
+        &self,
+        base: &SystemSpec,
+        values: &[f64],
+        mut apply: impl FnMut(&mut SystemSpec, f64),
+    ) -> Result<Vec<SweepPoint>, CoreError> {
+        if values.is_empty() {
+            return Err(CoreError::InvalidRequest {
+                what: "sweep over an empty value list".into(),
+            });
+        }
+        let mut span = rascad_obs::span("core.sweep");
+        span.record("points", values.len());
+        span.record("threads", self.threads());
+        let specs: Vec<(f64, SystemSpec)> = values
+            .iter()
+            .map(|&value| {
+                let mut spec = base.clone();
+                apply(&mut spec, value);
+                rascad_obs::counter("core.sweep_points", 1);
+                (value, spec)
+            })
+            .collect();
+        let solved = par_map(&specs, self.threads(), |_, (value, spec)| {
+            let mut point_span = rascad_obs::span("core.sweep_point");
+            point_span.record("value", *value);
+            self.solve_spec(spec)
+        });
+        let mut points = Vec::with_capacity(solved.len());
+        for (r, &value) in solved.into_iter().zip(values) {
+            points.push(SweepPoint { value, solution: r? });
+        }
+        Ok(points)
+    }
+
+    /// Solves the baseline spec plus every ablation transform (see
+    /// [`crate::ablate`]) concurrently, sharing the block cache — blocks
+    /// a transform leaves untouched are solved once across the whole
+    /// suite.
+    ///
+    /// # Errors
+    ///
+    /// The first (in suite order) solve error among the variants.
+    pub fn ablation_suite(
+        &self,
+        spec: &SystemSpec,
+    ) -> Result<Vec<(&'static str, SystemSolution)>, CoreError> {
+        let mut span = rascad_obs::span("core.ablation_suite");
+        let variants: Vec<(&'static str, SystemSpec)> = vec![
+            ("baseline", spec.clone()),
+            ("perfect_diagnosis", crate::ablate::perfect_diagnosis(spec)),
+            ("no_latent_faults", crate::ablate::no_latent_faults(spec)),
+            ("no_transients", crate::ablate::no_transients(spec)),
+            ("perfect_recovery", crate::ablate::perfect_recovery(spec)),
+            ("instant_logistics", crate::ablate::instant_logistics(spec)),
+            ("strip_redundancy", crate::ablate::strip_redundancy(spec)),
+        ];
+        span.record("variants", variants.len());
+        let solved = par_map(&variants, self.threads(), |_, (_, v)| self.solve_spec(v));
+        let mut out = Vec::with_capacity(variants.len());
+        for (r, (name, _)) in solved.into_iter().zip(&variants) {
+            out.push((*name, r?));
+        }
+        Ok(out)
+    }
+}
+
+/// One block's independently-computed results, in walk order.
+struct SolvedBlock {
+    level: usize,
+    path: String,
+    model: BlockModel,
+    measures: BlockMeasures,
+    mission_measures: MissionMeasures,
+}
+
+/// Serial-RBD aggregate of a (sub)diagram — the same combination the
+/// recursive solver used, reproduced operation-for-operation so the
+/// engine's output is bit-identical to the sequential reference.
+struct Aggregate {
+    availability: f64,
+    failure_rate: f64,
+}
+
+fn assemble_diagram(
+    diagram: &Diagram,
+    tasks: &mut [Option<SolvedBlock>],
+    cursor: &mut usize,
+    out: &mut Vec<(BlockSolution, MissionMeasures)>,
+) -> Aggregate {
+    let mut avail = 1.0;
+    let mut rate_over_avail = 0.0; // sum of f_i / A_i
+    for block in &diagram.blocks {
+        let combined = assemble_block(block, tasks, cursor, out);
+        avail *= combined.availability;
+        if combined.availability > 0.0 {
+            rate_over_avail += combined.failure_rate / combined.availability;
+        }
+    }
+    Aggregate { availability: avail, failure_rate: avail * rate_over_avail }
+}
+
+fn assemble_block(
+    block: &Block,
+    tasks: &mut [Option<SolvedBlock>],
+    cursor: &mut usize,
+    out: &mut Vec<(BlockSolution, MissionMeasures)>,
+) -> Aggregate {
+    let t = tasks[*cursor].take().expect("walk order matches assembly order");
+    *cursor += 1;
+    let my_index = out.len();
+    let measures = t.measures;
+    out.push((
+        BlockSolution {
+            path: t.path,
+            level: t.level,
+            model: t.model,
+            measures,
+            combined_availability: measures.availability,
+            combined_failure_rate: measures.failure_rate,
+        },
+        t.mission_measures,
+    ));
+
+    let mut avail = measures.availability;
+    let mut rate = measures.failure_rate;
+    if let Some(sub) = &block.subdiagram {
+        let sub_agg = assemble_diagram(sub, tasks, cursor, out);
+        // Both the enclosure chain and the subdiagram must be up.
+        let combined_avail = avail * sub_agg.availability;
+        let combined_rate = rate * sub_agg.availability + sub_agg.failure_rate * avail;
+        avail = combined_avail;
+        rate = combined_rate;
+        out[my_index].0.combined_availability = avail;
+        out[my_index].0.combined_failure_rate = rate;
+    }
+    Aggregate { availability: avail, failure_rate: rate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_spec::units::Hours;
+
+    fn spec(blocks: usize) -> SystemSpec {
+        let mut d = Diagram::new("Sys");
+        for i in 0..blocks {
+            d.push(
+                BlockParams::new(format!("B{i}"), 2, 1)
+                    .with_mtbf(Hours(10_000.0 + 1_000.0 * i as f64)),
+            );
+        }
+        SystemSpec::new(d, rascad_spec::GlobalParams::default())
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = par_map(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_runs_inline_when_nested() {
+        let outer: Vec<usize> = (0..4).collect();
+        let out = par_map(&outer, 4, |_, &x| {
+            let inner: Vec<usize> = (0..4).collect();
+            // Inner call must not spawn (it runs on a pool worker).
+            let inner_out = par_map(&inner, 8, |_, &y| y + x);
+            inner_out.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![6, 10, 14, 18]);
+    }
+
+    #[test]
+    fn engine_matches_sequential_reference() {
+        let s = spec(5);
+        let reference = Engine::sequential().solve_spec(&s).unwrap();
+        for threads in [1, 2, 8] {
+            let got = Engine::with_threads(threads).solve_spec(&s).unwrap();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn repeated_solves_hit_the_cache() {
+        let e = Engine::with_threads(1);
+        let s = spec(4);
+        let a = e.solve_spec(&s).unwrap();
+        let first = e.cache_stats();
+        let b = e.solve_spec(&s).unwrap();
+        let second = e.cache_stats();
+        assert_eq!(a, b);
+        assert_eq!(first.hits, 0);
+        // Second solve: every steady + mission lookup hits.
+        assert_eq!(second.hits, first.misses);
+        assert_eq!(second.misses, first.misses);
+    }
+
+    #[test]
+    fn thread_override_feeds_default() {
+        // Serialized against other env-sensitive tests by running in
+        // its own process (cargo test uses one process per crate — this
+        // only touches the override atomic, not the env var).
+        set_thread_override(3);
+        assert_eq!(default_threads(), 3);
+        assert_eq!(Engine::new().threads(), 3);
+        assert_eq!(Engine::with_threads(7).threads(), 7);
+        set_thread_override(0);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn ablation_suite_shares_the_cache() {
+        let e = Engine::with_threads(2);
+        let s = spec(3);
+        let suite = e.ablation_suite(&s).unwrap();
+        assert_eq!(suite.len(), 7);
+        assert_eq!(suite[0].0, "baseline");
+        // Variants that don't touch these simple blocks resolve to the
+        // baseline chains, so the cache must have been hit.
+        assert!(e.cache_stats().hits > 0, "{:?}", e.cache_stats());
+        // strip_redundancy changes every chain; its solution differs.
+        let strip = suite.iter().find(|(n, _)| *n == "strip_redundancy").unwrap();
+        assert!(strip.1.system.availability < suite[0].1.system.availability);
+    }
+}

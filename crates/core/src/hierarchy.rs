@@ -14,13 +14,11 @@
 
 use rascad_markov::SteadyStateMethod;
 use rascad_rbd::{ComponentTable, Rbd};
-use rascad_spec::{Block, Diagram, SystemSpec};
+use rascad_spec::{Diagram, SystemSpec};
 
 use crate::error::CoreError;
 use crate::generator::{generate_block, BlockModel};
-use crate::measures::{
-    interval_measures, reliability_measures, steady_state_measures, BlockMeasures,
-};
+use crate::measures::BlockMeasures;
 
 /// Per-block solution inside a system solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +140,11 @@ pub fn solve_spec(spec: &SystemSpec) -> Result<SystemSolution, CoreError> {
 
 /// [`solve_spec`] with an explicit steady-state method.
 ///
+/// Delegates to the process-wide [`crate::engine::Engine`], so repeated
+/// solves of overlapping specs reuse cached block solutions and sibling
+/// blocks are solved concurrently; the result is bit-identical to the
+/// sequential single-solve path (see the engine's determinism contract).
+///
 /// # Errors
 ///
 /// Returns [`CoreError`] if the spec is invalid or any chain fails to
@@ -150,49 +153,7 @@ pub fn solve_spec_with(
     spec: &SystemSpec,
     method: SteadyStateMethod,
 ) -> Result<SystemSolution, CoreError> {
-    let mut span = rascad_obs::span("core.solve_spec");
-    span.record("blocks", spec.root.total_blocks());
-    span.record("depth", spec.root.depth());
-    spec.validate()?;
-    let mission = spec.globals.mission_time.0;
-
-    let mut blocks = Vec::new();
-    let agg = solve_diagram(spec, &spec.root, &spec.root.name, 1, method, &mut blocks)?;
-    span.record("total_states", blocks.iter().map(|b| b.model.state_count()).sum::<usize>());
-
-    // Mission measures across every chain in the tree.
-    let mission_span = rascad_obs::span("core.mission_measures");
-    let mut interval = 1.0;
-    let mut reliability = 1.0;
-    let mut inv_mttf = 0.0;
-    for b in &blocks {
-        let iv = interval_measures(&b.model, mission)?;
-        interval *= iv.interval_availability;
-        let rel = reliability_measures(&b.model, mission)?;
-        reliability *= rel.reliability_at_mission;
-        if rel.mttf_hours.is_finite() && rel.mttf_hours > 0.0 {
-            inv_mttf += 1.0 / rel.mttf_hours;
-        }
-    }
-    drop(mission_span);
-
-    let mean_downtime =
-        if agg.failure_rate > 0.0 { (1.0 - agg.availability) / agg.failure_rate } else { 0.0 };
-    let system = SystemMeasures {
-        availability: agg.availability,
-        unavailability: 1.0 - agg.availability,
-        yearly_downtime_minutes: (1.0 - agg.availability) * crate::measures::MINUTES_PER_YEAR,
-        failure_rate: agg.failure_rate,
-        recovery_rate: if mean_downtime > 0.0 { 1.0 / mean_downtime } else { 0.0 },
-        mtbf_hours: if agg.failure_rate > 0.0 { 1.0 / agg.failure_rate } else { f64::INFINITY },
-        interval_availability: interval,
-        reliability_at_mission: reliability,
-        mttf_hours: if inv_mttf > 0.0 { 1.0 / inv_mttf } else { f64::INFINITY },
-        mission_hours: mission,
-    };
-    span.record("availability", system.availability);
-    rascad_obs::counter("core.specs_solved", 1);
-    Ok(SystemSolution { system, blocks })
+    crate::engine::Engine::global().solve_spec_with(spec, method)
 }
 
 /// Exact system interval availability over `(0, horizon)`.
@@ -278,82 +239,11 @@ pub fn interval_availability_exact(
     Ok((integral / horizon_hours).clamp(0.0, 1.0))
 }
 
-/// Availability/failure-rate aggregate of a diagram (serial
-/// composition).
-struct Aggregate {
-    availability: f64,
-    failure_rate: f64,
-}
-
-fn solve_diagram(
-    spec: &SystemSpec,
-    diagram: &Diagram,
-    path: &str,
-    level: usize,
-    method: SteadyStateMethod,
-    out: &mut Vec<BlockSolution>,
-) -> Result<Aggregate, CoreError> {
-    // Serial RBD: availability is the product; the failure rate of a
-    // series of independent blocks is sum of each block's rate times the
-    // availability of the others.
-    let mut avail = 1.0;
-    let mut rate_over_avail = 0.0; // sum of f_i / A_i
-    for block in &diagram.blocks {
-        let bpath = format!("{path}/{}", block.params.name);
-        let combined = solve_block_node(spec, block, &bpath, level, method, out)?;
-        avail *= combined.availability;
-        if combined.availability > 0.0 {
-            rate_over_avail += combined.failure_rate / combined.availability;
-        }
-    }
-    Ok(Aggregate { availability: avail, failure_rate: avail * rate_over_avail })
-}
-
-fn solve_block_node(
-    spec: &SystemSpec,
-    block: &Block,
-    path: &str,
-    level: usize,
-    method: SteadyStateMethod,
-    out: &mut Vec<BlockSolution>,
-) -> Result<Aggregate, CoreError> {
-    let mut span = rascad_obs::span("core.solve_block");
-    span.record("path", path);
-    span.record("level", level);
-    let model = generate_block(&block.params, &spec.globals)?;
-    let measures = steady_state_measures(&model, method)?;
-    span.record("states", model.state_count());
-    drop(span);
-    let my_index = out.len();
-    out.push(BlockSolution {
-        path: path.to_string(),
-        level,
-        model,
-        measures,
-        combined_availability: measures.availability,
-        combined_failure_rate: measures.failure_rate,
-    });
-
-    let mut avail = measures.availability;
-    let mut rate = measures.failure_rate;
-    if let Some(sub) = &block.subdiagram {
-        let sub_agg = solve_diagram(spec, sub, path, level + 1, method, out)?;
-        // Both the enclosure chain and the subdiagram must be up.
-        let combined_avail = avail * sub_agg.availability;
-        let combined_rate = rate * sub_agg.availability + sub_agg.failure_rate * avail;
-        avail = combined_avail;
-        rate = combined_rate;
-        out[my_index].combined_availability = avail;
-        out[my_index].combined_failure_rate = rate;
-    }
-    Ok(Aggregate { availability: avail, failure_rate: rate })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use rascad_spec::units::{Hours, Minutes};
-    use rascad_spec::{BlockParams, GlobalParams};
+    use rascad_spec::{Block, BlockParams, GlobalParams};
 
     fn two_block_spec() -> SystemSpec {
         let mut d = Diagram::new("Sys");

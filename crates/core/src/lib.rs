@@ -47,7 +47,9 @@
 //! ```
 
 pub mod ablate;
+pub mod cache;
 pub mod compare;
+pub mod engine;
 pub mod error;
 pub mod generator;
 pub mod hierarchy;
@@ -57,7 +59,9 @@ pub mod report;
 pub mod solve;
 pub mod sweep;
 
+pub use cache::{CacheStats, MissionMeasures, SolveCache};
 pub use compare::{compare_architectures, ArchComparison};
+pub use engine::{default_threads, set_thread_override, Engine};
 pub use error::CoreError;
 pub use generator::{generate_block, BlockModel};
 pub use hierarchy::{solve_spec, BlockSolution, SystemMeasures, SystemSolution};

@@ -4,8 +4,8 @@ use rascad_markov::SteadyStateMethod;
 use rascad_spec::{BlockParams, GlobalParams};
 
 use crate::error::CoreError;
-use crate::generator::{generate_block, BlockModel};
-use crate::measures::{steady_state_measures, BlockMeasures};
+use crate::generator::BlockModel;
+use crate::measures::BlockMeasures;
 
 /// Generates the Markov model for one block and solves its steady
 /// state.
@@ -47,9 +47,7 @@ pub fn solve_block_with(
     globals: &GlobalParams,
     method: SteadyStateMethod,
 ) -> Result<(BlockModel, BlockMeasures), CoreError> {
-    let model = generate_block(params, globals)?;
-    let measures = steady_state_measures(&model, method)?;
-    Ok((model, measures))
+    crate::engine::Engine::global().solve_block_with(params, globals, method)
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use rascad_spec::SystemSpec;
 
 use crate::error::CoreError;
-use crate::hierarchy::{solve_spec, SystemSolution};
+use crate::hierarchy::SystemSolution;
 
 /// One point of a parametric sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +17,11 @@ pub struct SweepPoint {
 
 /// Sweeps a parameter: for each value, `apply(spec, value)` mutates a
 /// copy of the base spec, which is then solved.
+///
+/// Runs on the process-wide [`crate::engine::Engine`]: points are
+/// solved concurrently and blocks whose chains are unchanged across
+/// points hit the block-solve cache. Results are in `values` order and
+/// bit-identical to a sequential sweep.
 ///
 /// The `apply` closure typically adjusts one block parameter through
 /// [`rascad_spec::Diagram::find_mut`]:
@@ -47,24 +52,9 @@ pub struct SweepPoint {
 pub fn sweep(
     base: &SystemSpec,
     values: &[f64],
-    mut apply: impl FnMut(&mut SystemSpec, f64),
+    apply: impl FnMut(&mut SystemSpec, f64),
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    if values.is_empty() {
-        return Err(CoreError::InvalidRequest { what: "sweep over an empty value list".into() });
-    }
-    let mut span = rascad_obs::span("core.sweep");
-    span.record("points", values.len());
-    values
-        .iter()
-        .map(|&value| {
-            let mut point_span = rascad_obs::span("core.sweep_point");
-            point_span.record("value", value);
-            let mut spec = base.clone();
-            apply(&mut spec, value);
-            rascad_obs::counter("core.sweep_points", 1);
-            Ok(SweepPoint { value, solution: solve_spec(&spec)? })
-        })
-        .collect()
+    crate::engine::Engine::global().sweep(base, values, apply)
 }
 
 /// Generates `count` logarithmically spaced values in `[lo, hi]` — the

@@ -59,6 +59,7 @@ pub mod ctmc;
 pub mod dense;
 pub mod dtmc;
 pub mod error;
+pub mod fingerprint;
 pub mod gth;
 pub mod matrix;
 pub mod semi;
@@ -69,6 +70,7 @@ pub use absorbing::{AbsorbingAnalysis, ReliabilityCurve};
 pub use ctmc::{Ctmc, CtmcBuilder, StateId, SteadyStateMethod};
 pub use dtmc::{Dtmc, DtmcBuilder};
 pub use error::MarkovError;
+pub use fingerprint::{Fingerprint, StableHasher};
 pub use matrix::SparseMatrix;
 pub use semi::{SemiMarkov, SemiMarkovBuilder, SojournDistribution};
 pub use transient::{TransientOptions, TransientSolution};

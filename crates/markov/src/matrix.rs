@@ -31,23 +31,42 @@ impl SparseMatrix {
     ///
     /// Panics if any coordinate is out of range.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
-        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
-        for &(r, c, v) in triplets {
+        // One pass validates every coordinate and detects (row, col)
+        // order; builders that emit row-major triplets (the common case
+        // for generator assembly) then take the zero-copy fast path.
+        let mut sorted = true;
+        let mut prev = (0usize, 0usize);
+        for (i, &(r, c, _)) in triplets.iter().enumerate() {
             assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
-            per_row[r].push((c, v));
+            if i > 0 && (r, c) < prev {
+                sorted = false;
+            }
+            prev = (r, c);
         }
-        let mut row_ptr = Vec::with_capacity(rows + 1);
-        let mut indices = Vec::with_capacity(triplets.len());
-        let mut values = Vec::with_capacity(triplets.len());
-        row_ptr.push(0);
-        for row in &mut per_row {
-            row.sort_unstable_by_key(|&(c, _)| c);
-            let mut i = 0;
-            while i < row.len() {
-                let c = row[i].0;
+        if sorted {
+            return Self::from_sorted_triplets(rows, cols, triplets);
+        }
+        // Stable sort keeps duplicate coordinates in insertion order, so
+        // the summation order (and thus the exact f64 result) does not
+        // depend on the sort's internals.
+        let mut owned = triplets.to_vec();
+        owned.sort_by_key(|&(r, c, _)| (r, c));
+        Self::from_sorted_triplets(rows, cols, &owned)
+    }
+
+    /// Builds CSR from triplets already sorted by `(row, col)` with all
+    /// coordinates validated; the build loop itself is assertion-free.
+    fn from_sorted_triplets(rows: usize, cols: usize, trips: &[(usize, usize, f64)]) -> Self {
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(trips.len());
+        let mut values = Vec::with_capacity(trips.len());
+        let mut i = 0;
+        for row in 0..rows {
+            while i < trips.len() && trips[i].0 == row {
+                let c = trips[i].1;
                 let mut v = 0.0;
-                while i < row.len() && row[i].0 == c {
-                    v += row[i].1;
+                while i < trips.len() && trips[i].0 == row && trips[i].1 == c {
+                    v += trips[i].2;
                     i += 1;
                 }
                 if v != 0.0 {
@@ -55,7 +74,7 @@ impl SparseMatrix {
                     values.push(v);
                 }
             }
-            row_ptr.push(indices.len());
+            row_ptr[row + 1] = indices.len();
         }
         SparseMatrix { rows, cols, row_ptr, indices, values }
     }
@@ -202,6 +221,27 @@ mod tests {
     fn max_abs_diagonal() {
         let m = sample();
         assert_eq!(m.max_abs_diagonal(), 2.0);
+    }
+
+    #[test]
+    fn sorted_fast_path_matches_unsorted_slow_path() {
+        let sorted = [(0, 0, -2.0), (0, 1, 2.0), (1, 0, 1.0), (1, 1, -1.0), (2, 2, 0.0)];
+        let mut unsorted = sorted;
+        unsorted.reverse();
+        let a = SparseMatrix::from_triplets(3, 3, &sorted);
+        let b = SparseMatrix::from_triplets(3, 3, &unsorted);
+        assert_eq!(a, b);
+        assert_eq!(a.nnz(), 4);
+    }
+
+    #[test]
+    fn trailing_empty_rows_have_valid_pointers() {
+        let m = SparseMatrix::from_triplets(4, 4, &[(1, 2, 5.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row_entries(0).count(), 0);
+        assert_eq!(m.row_entries(2).count(), 0);
+        assert_eq!(m.row_entries(3).count(), 0);
     }
 
     #[test]

@@ -247,34 +247,47 @@ pub fn solve_grid(
     let uni = uniformize(chain);
     span.record("uniformization_rate", uni.rate);
 
-    // Per-time Poisson weights and suffix (tail) sums.
-    let mut weights: Vec<Vec<f64>> = Vec::with_capacity(times.len());
-    let mut tails: Vec<Vec<f64>> = Vec::with_capacity(times.len());
+    // Per-time Poisson weights and suffix (tail) sums, packed into one
+    // contiguous ragged buffer: series `i` occupies
+    // `weights[offsets[i]..offsets[i+1]]`, and `tails` shares the same
+    // layout. One allocation pair for the whole grid instead of two
+    // heap vectors per time point.
+    let mut weights: Vec<f64> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::with_capacity(times.len() + 1);
+    offsets.push(0);
     let mut kmax = 0usize;
     for &t in times {
-        let w = poisson_weights(uni.rate * t, opts.epsilon, opts.max_terms)?;
-        kmax = kmax.max(w.len() - 1);
-        let mut tail = vec![0.0; w.len()];
+        let appended =
+            poisson_weights_into(uni.rate * t, opts.epsilon, opts.max_terms, &mut weights)?;
+        kmax = kmax.max(appended - 1);
+        offsets.push(weights.len());
+    }
+    let mut tails = vec![0.0; weights.len()];
+    for i in 0..times.len() {
         let mut run = 0.0;
-        for k in (0..w.len()).rev() {
-            tail[k] = run;
-            run += w[k];
+        for k in (offsets[i]..offsets[i + 1]).rev() {
+            tails[k] = run;
+            run += weights[k];
         }
-        weights.push(w);
-        tails.push(tail);
     }
 
     let n = chain.len();
-    let mut point_acc = vec![vec![0.0; n]; times.len()];
-    let mut cum_acc = vec![vec![0.0; n]; times.len()];
+    // Row-major accumulators: time point `i` owns `[i * n .. (i+1) * n]`.
+    let mut point_acc = vec![0.0; times.len() * n];
+    let mut cum_acc = vec![0.0; times.len() * n];
     let mut probs = p0.to_vec();
     for k in 0..=kmax {
-        for (i, w) in weights.iter().enumerate() {
-            if k < w.len() {
-                let (wk, tk) = (w[k], tails[i][k]);
-                for s in 0..n {
-                    point_acc[i][s] += wk * probs[s];
-                    cum_acc[i][s] += tk * probs[s];
+        for i in 0..times.len() {
+            let (lo, hi) = (offsets[i], offsets[i + 1]);
+            if k < hi - lo {
+                let (wk, tk) = (weights[lo + k], tails[lo + k]);
+                let pa = &mut point_acc[i * n..(i + 1) * n];
+                for (s, p) in pa.iter_mut().enumerate() {
+                    *p += wk * probs[s];
+                }
+                let ca = &mut cum_acc[i * n..(i + 1) * n];
+                for (s, c) in ca.iter_mut().enumerate() {
+                    *c += tk * probs[s];
                 }
             }
         }
@@ -292,7 +305,7 @@ pub fn solve_grid(
         .iter()
         .enumerate()
         .map(|(i, &t)| {
-            let mut p = point_acc[i].clone();
+            let mut p = point_acc[i * n..(i + 1) * n].to_vec();
             let mass: f64 = p.iter().sum();
             if mass > 0.0 {
                 for x in &mut p {
@@ -301,7 +314,7 @@ pub fn solve_grid(
             }
             let point = dot(&p, &rewards);
             let interval = if t > 0.0 {
-                (dot(&cum_acc[i], &rewards) / uni.rate / t).clamp(0.0, max_reward)
+                (dot(&cum_acc[i * n..(i + 1) * n], &rewards) / uni.rate / t).clamp(0.0, max_reward)
             } else {
                 point
             };
@@ -322,28 +335,44 @@ pub fn solve_grid(
 /// style, simplified: start at the mode with weight 1, extend both ways,
 /// then normalize by the total).
 fn poisson_weights(m: f64, epsilon: f64, max_terms: usize) -> Result<Vec<f64>, MarkovError> {
+    let mut w = Vec::new();
+    poisson_weights_into(m, epsilon, max_terms, &mut w)?;
+    Ok(w)
+}
+
+/// Appends the truncated Poisson pmf for mean `m` onto `out` and returns
+/// the number of terms appended. Lets grid solvers pack many series into
+/// one contiguous buffer instead of allocating a `Vec` per time point.
+fn poisson_weights_into(
+    m: f64,
+    epsilon: f64,
+    max_terms: usize,
+    out: &mut Vec<f64>,
+) -> Result<usize, MarkovError> {
+    let start = out.len();
     if m <= 0.0 {
-        return Ok(vec![1.0]);
+        out.push(1.0);
+        return Ok(1);
     }
     if m < 400.0 {
         // Direct recurrence is safe: e^{-400} is representable.
-        let mut w = Vec::with_capacity(64);
+        out.reserve(64);
         let mut wk = (-m).exp();
         let mut acc = wk;
-        w.push(wk);
+        out.push(wk);
         let mut k = 1usize;
         while 1.0 - acc > epsilon {
             if k > max_terms {
+                out.truncate(start);
                 return Err(MarkovError::InvalidOption {
                     what: format!("poisson series for m={m} exceeded {max_terms} terms"),
                 });
             }
             wk *= m / k as f64;
-            w.push(wk);
+            out.push(wk);
             acc += wk;
             k += 1;
         }
-        Ok(w)
     } else {
         // Scaled: weights relative to the mode, normalized at the end.
         let mode = m.floor();
@@ -355,7 +384,8 @@ fn poisson_weights(m: f64, epsilon: f64, max_terms: usize) -> Result<Vec<f64>, M
                 what: format!("poisson series for m={m} exceeded {max_terms} terms"),
             });
         }
-        let mut w = vec![0.0; hi + 1];
+        out.resize(start + hi + 1, 0.0);
+        let w = &mut out[start..];
         w[mode as usize] = 1.0;
         for k in (mode as usize + 1)..=hi {
             w[k] = w[k - 1] * m / k as f64;
@@ -364,11 +394,11 @@ fn poisson_weights(m: f64, epsilon: f64, max_terms: usize) -> Result<Vec<f64>, M
             w[k] = w[k + 1] * (k as f64 + 1.0) / m;
         }
         let total: f64 = w.iter().sum();
-        for x in &mut w {
+        for x in w.iter_mut() {
             *x /= total;
         }
-        Ok(w)
     }
+    Ok(out.len() - start)
 }
 
 fn check_distribution(p: &[f64], n: usize) -> Result<(), MarkovError> {

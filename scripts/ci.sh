@@ -40,6 +40,31 @@ cargo run --offline -q -p rascad-cli -- bench --quick --label ci-smoke \
     --out target/bench_smoke.json > /dev/null
 cargo run --offline -q -p rascad-cli -- bench --validate target/bench_smoke.json
 
+# Sweep-scaling smoke: run the cached/parallel sweep workload at one
+# thread and at the machine's parallelism. Validation rejects the
+# document outright if the engine's results were not bit-identical to
+# the sequential reference. Timing ratios are recorded, not gated —
+# refresh the committed baseline with `rascad bench --sweep --full`.
+echo "==> bench sweep scaling (1 and N threads, report only)"
+RASCAD_THREADS=1 cargo run --offline -q -p rascad-cli -- bench --sweep --quick \
+    --label sweep-t1 --out target/bench_sweep_t1.json > /dev/null
+cargo run --offline -q -p rascad-cli -- bench --validate target/bench_sweep_t1.json
+cargo run --offline -q -p rascad-cli -- bench --sweep --quick \
+    --label sweep-tn --out target/bench_sweep_tn.json > /dev/null
+cargo run --offline -q -p rascad-cli -- bench --validate target/bench_sweep_tn.json
+
+# Determinism gate: the same sweep run at 1 thread and at 8 threads
+# must produce byte-identical reports.
+echo "==> sweep determinism (1 vs 8 threads, byte-identical output)"
+cargo run --offline -q -p rascad-cli -- library datacenter > target/ci_dc.rascad
+cargo run --offline -q -p rascad-cli -- --threads 1 \
+    sweep target/ci_dc.rascad "Server Box/System Board" tresp 0.5 24 9 \
+    > target/ci_sweep_t1.txt
+cargo run --offline -q -p rascad-cli -- --threads 8 \
+    sweep target/ci_dc.rascad "Server Box/System Board" tresp 0.5 24 9 \
+    > target/ci_sweep_t8.txt
+cmp target/ci_sweep_t1.txt target/ci_sweep_t8.txt
+
 # Non-blocking pedantic report: surfaces candidate cleanups without
 # gating the build on them (the hard clippy gate above already denies
 # default-level warnings). Mirrors the bench-smoke pattern.
