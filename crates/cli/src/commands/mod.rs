@@ -34,6 +34,11 @@ pub enum CliError {
     /// `lint` found blocking diagnostics (errors, or warnings under
     /// `--deny warnings`). Exit code 7. Carries the rendered report.
     Lint(String),
+    /// `solve --best-effort` completed but some blocks failed: the
+    /// rendered report is a partial, optimistic result. Exit code 8.
+    /// `main` prints the carried report to stdout (it is still the
+    /// command's useful output) and the classification to stderr.
+    Partial(String),
 }
 
 impl CliError {
@@ -51,6 +56,7 @@ impl CliError {
             CliError::Io { .. } => 5,
             CliError::Regression(_) => 6,
             CliError::Lint(_) => 7,
+            CliError::Partial(_) => 8,
         }
     }
 }
@@ -70,6 +76,9 @@ impl fmt::Display for CliError {
                 writeln!(f, "lint found blocking diagnostics")?;
                 f.write_str(report)
             }
+            CliError::Partial(_) => {
+                f.write_str("partial result: some blocks failed to solve (best-effort mode)")
+            }
         }
     }
 }
@@ -77,7 +86,10 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CliError::Usage(_) | CliError::Regression(_) | CliError::Lint(_) => None,
+            CliError::Usage(_)
+            | CliError::Regression(_)
+            | CliError::Lint(_)
+            | CliError::Partial(_) => None,
             CliError::Spec(e) => Some(e),
             CliError::Solver(e) => Some(e),
             CliError::Io { source, .. } => Some(source),
@@ -124,7 +136,14 @@ COMMANDS:
                                         plus generated-model diagnostics (RAS101–RAS105);
                                         `-` reads DSL from stdin; blocking findings exit 7
     lint --explain <RASxxx>             document one diagnostic code (example and remedy)
-    solve <spec.rascad>                 solve and print the availability report
+    solve <spec.rascad> [--strict|--best-effort] [--inject <plan.toml>]
+                                        solve and print the availability report;
+                                        --strict (default) fails fast on the first block
+                                        that cannot be solved, --best-effort rolls failed
+                                        blocks up as explicit availability bounds and
+                                        exits 8 with a partial report; --inject installs
+                                        a deterministic fault plan (builds with the
+                                        `fault-inject` feature only)
     stats <spec.rascad>                 pipeline statistics: blocks per chain type, state
                                         counts, per-stage wall time, solver diagnostics
     dot <spec.rascad> <block-path>      print the generated Markov chain as Graphviz DOT
@@ -155,6 +174,7 @@ COMMANDS:
 EXIT CODES:
     0 success   2 usage   3 invalid spec   4 solver failure   5 I/O error
     6 performance regression (bench --compare)   7 blocking lint diagnostics
+    8 partial result (solve --best-effort with failed blocks)
 ";
 
 /// Observability options stripped from the command line before
@@ -289,7 +309,8 @@ fn dispatch(args: &[&str], lint_enabled: bool) -> Result<String, CliError> {
         Some("solve") => {
             let spec = load(it.next())?;
             gate(&spec, lint_enabled)?;
-            solve::solve(&spec)
+            let rest: Vec<&str> = it.collect();
+            solve::solve(&spec, &rest)
         }
         Some("stats") => {
             let path =

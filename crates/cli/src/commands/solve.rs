@@ -6,9 +6,65 @@ use rascad_spec::SystemSpec;
 use super::CliError;
 
 /// Solves a spec and renders the report.
-pub fn solve(spec: &SystemSpec) -> Result<String, CliError> {
+///
+/// `--strict` (default) fails fast on the first unsolvable block;
+/// `--best-effort` rolls failed blocks up as explicit availability
+/// bounds and reports the partial result via [`CliError::Partial`]
+/// (exit code 8). `--inject <plan.toml>` installs a deterministic fault
+/// plan for the duration of the solve — only in builds with the
+/// `fault-inject` feature.
+pub fn solve(spec: &SystemSpec, args: &[&str]) -> Result<String, CliError> {
+    let mut best_effort = false;
+    let mut plan_path: Option<&str> = None;
+    let mut it = args.iter().copied();
+    while let Some(a) = it.next() {
+        match a {
+            "--strict" => best_effort = false,
+            "--best-effort" => best_effort = true,
+            "--inject" => {
+                plan_path = Some(
+                    it.next().ok_or_else(|| CliError::usage("--inject needs a fault-plan file"))?,
+                );
+            }
+            other => return Err(CliError::usage(format!("unknown solve option `{other}`"))),
+        }
+    }
+    let _guard = install_plan(plan_path)?;
+    if best_effort {
+        let sol = rascad_core::solve_spec_best_effort(spec, rascad_markov::SteadyStateMethod::Gth)?;
+        let rendered = report::system_report(&spec.root.name, &sol);
+        if sol.is_degraded() {
+            return Err(CliError::Partial(rendered));
+        }
+        return Ok(rendered);
+    }
     let sol = solve_spec(spec)?;
     Ok(report::system_report(&spec.root.name, &sol))
+}
+
+/// Reads, parses, and installs a fault plan; the returned guard keeps
+/// it active until the solve finishes.
+#[cfg(feature = "fault-inject")]
+fn install_plan(path: Option<&str>) -> Result<Option<rascad_fault::PlanGuard>, CliError> {
+    let Some(path) = path else { return Ok(None) };
+    let text = std::fs::read_to_string(path)
+        .map_err(|source| CliError::Io { path: path.to_string(), source })?;
+    let plan = rascad_fault::FaultPlan::parse(&text)
+        .map_err(|e| CliError::usage(format!("bad fault plan `{path}`: {e}")))?;
+    Ok(Some(rascad_fault::PlanGuard::install(plan)))
+}
+
+/// Without the `fault-inject` feature there are no injection points in
+/// the pipeline, so `--inject` must be an explicit error rather than a
+/// silent no-op.
+#[cfg(not(feature = "fault-inject"))]
+fn install_plan(path: Option<&str>) -> Result<Option<()>, CliError> {
+    match path {
+        None => Ok(None),
+        Some(_) => Err(CliError::usage(
+            "this build has no fault-injection support; rebuild with `--features fault-inject`",
+        )),
+    }
 }
 
 /// Renders one block's generated chain as DOT.
@@ -69,9 +125,33 @@ mod tests {
 
     #[test]
     fn solve_renders_report() {
-        let out = solve(&data_center()).unwrap();
+        let out = solve(&data_center(), &[]).unwrap();
         assert!(out.contains("System steady-state availability"));
         assert!(out.contains("Data Center System"));
+    }
+
+    #[test]
+    fn best_effort_on_a_clean_spec_matches_strict() {
+        let strict = solve(&data_center(), &["--strict"]).unwrap();
+        let best = solve(&data_center(), &["--best-effort"]).unwrap();
+        assert_eq!(strict, best);
+        assert!(!strict.contains("PARTIAL RESULT"));
+    }
+
+    #[test]
+    fn unknown_solve_option_is_a_usage_error() {
+        let err = solve(&data_center(), &["--frobnicate"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = solve(&data_center(), &["--inject"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[test]
+    fn inject_without_the_feature_is_an_explicit_error() {
+        let err = solve(&data_center(), &["--inject", "/no/such/plan.toml"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("fault-inject"), "{err}");
     }
 
     #[test]

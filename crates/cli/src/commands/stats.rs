@@ -140,7 +140,16 @@ pub fn stats(path: &str) -> Result<String, CliError> {
     let _ = writeln!(out);
     let _ = writeln!(out, "solver diagnostics:");
     match captured.lock().ok().and_then(|mut slot| slot.take()) {
-        Some((counters, values)) => {
+        Some((mut counters, values)) => {
+            // The robustness counters always appear — zero-filled when
+            // nothing fired — so operators can grep for them
+            // unconditionally.
+            for name in ["engine.worker_panics", "solve.fallbacks", "solve.timeouts"] {
+                if !counters.iter().any(|(n, _)| *n == name) {
+                    counters.push((name, 0));
+                }
+            }
+            counters.sort_unstable_by_key(|(name, _)| *name);
             for (name, v) in &counters {
                 let _ = writeln!(out, "  {name:<36} {v:>12}");
             }

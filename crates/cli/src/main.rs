@@ -16,6 +16,14 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
+        // A partial result is still the command's useful output: the
+        // report goes to stdout like a success, the classification to
+        // stderr, and the exit code (8) tells scripts it is incomplete.
+        Err(commands::CliError::Partial(report)) => {
+            print!("{report}");
+            eprintln!("error: partial result: some blocks failed to solve (best-effort mode)");
+            ExitCode::from(8)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             let mut cause = e.source();

@@ -182,5 +182,9 @@ fn stats_command_reports_pipeline() {
     assert!(stdout.contains("blocks per chain type:"), "{stdout}");
     assert!(stdout.contains("solver diagnostics:"), "{stdout}");
     assert!(stdout.contains("markov.gth.solves"), "{stdout}");
+    // Robustness counters are always listed, zero-filled on a clean run.
+    for counter in ["engine.worker_panics", "solve.fallbacks", "solve.timeouts"] {
+        assert!(stdout.contains(counter), "missing {counter}:\n{stdout}");
+    }
     std::fs::remove_file(&path).ok();
 }

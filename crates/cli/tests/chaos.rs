@@ -1,0 +1,171 @@
+//! Binary-level chaos suite: drives `rascad solve --inject <plan.toml>`
+//! against the compiled binary and asserts the contract end to end —
+//! typed errors on stderr, the documented exit codes (4 strict, 8
+//! best-effort partial), and uninjected block rows byte-identical to a
+//! clean run.
+//!
+//! Requires the `fault-inject` feature (see `[[test]]` in Cargo.toml).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rascad(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rascad")).args(args).output().expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const SPEC: &str = r#"
+diagram "Sys" {
+    block "A" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 10000 h
+    }
+    block "B" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 20000 h
+    }
+    block "Box" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 1000000 h
+        subdiagram "Internals" {
+            block "CPU" {
+                quantity = 1
+                min_quantity = 1
+                mtbf = 50000 h
+            }
+        }
+    }
+}
+"#;
+
+/// Writes the shared spec and a fault plan to unique temp files.
+fn fixture(tag: &str, plan: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir();
+    let spec_path = dir.join(format!("rascad_chaos_{tag}.rascad"));
+    let plan_path = dir.join(format!("rascad_chaos_{tag}.toml"));
+    std::fs::write(&spec_path, SPEC).unwrap();
+    std::fs::write(&plan_path, plan).unwrap();
+    (spec_path, plan_path)
+}
+
+fn cleanup(paths: &[&PathBuf]) {
+    for p in paths {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn best_effort_panic_yields_partial_report_and_exit_8() {
+    let (spec, plan) = fixture("panic_be", "[[inject]]\nblock = \"B\"\nkind = \"panic\"\n");
+    let s = spec.to_str().unwrap();
+
+    let (code, clean, _) = rascad(&["solve", s]);
+    assert_eq!(code, Some(0));
+
+    let (code, partial, stderr) =
+        rascad(&["solve", s, "--best-effort", "--inject", plan.to_str().unwrap()]);
+    assert_eq!(code, Some(8), "{stderr}");
+    assert!(partial.contains("PARTIAL RESULT: 1 of 4 block(s) failed to solve"), "{partial}");
+    assert!(partial.contains("True availability bounds"), "{partial}");
+    assert!(partial.contains("failed blocks (rolled up optimistically"), "{partial}");
+    assert!(partial.contains("worker panicked while solving block \"Sys/B\""), "{partial}");
+    assert!(stderr.contains("partial result"), "{stderr}");
+    // The caught worker panic must not spray the default panic hook's
+    // backtrace onto stderr.
+    assert!(!stderr.contains("stack backtrace"), "caught panic leaked a backtrace:\n{stderr}");
+
+    // Every surviving block's report row is byte-identical to the
+    // clean run's row.
+    for path in ["Sys/A", "Sys/Box", "Sys/Box/CPU"] {
+        let clean_row = clean
+            .lines()
+            .find(|l| l.trim_start().starts_with(path))
+            .unwrap_or_else(|| panic!("clean run misses {path}"));
+        assert!(
+            partial.lines().any(|l| l == clean_row),
+            "row for {path} diverged:\nclean:   {clean_row}\npartial:\n{partial}"
+        );
+    }
+    // The injected block's row moved out of the measures table into the
+    // failure table.
+    let (table, failures) = partial.split_once("failed blocks").expect("failure table present");
+    assert!(!table.lines().any(|l| l.trim_start().starts_with("Sys/B ")), "{table}");
+    assert!(failures.contains("Sys/B"), "{failures}");
+
+    cleanup(&[&spec, &plan]);
+}
+
+#[test]
+fn strict_panic_is_a_typed_solver_error_with_exit_4() {
+    let (spec, plan) = fixture("panic_strict", "[[inject]]\nblock = \"B\"\nkind = \"panic\"\n");
+    let (code, stdout, stderr) =
+        rascad(&["solve", spec.to_str().unwrap(), "--inject", plan.to_str().unwrap()]);
+    assert_eq!(code, Some(4), "{stderr}");
+    assert!(stdout.is_empty(), "{stdout}");
+    assert!(stderr.contains("worker panicked while solving block \"Sys/B\""), "{stderr}");
+    cleanup(&[&spec, &plan]);
+}
+
+#[test]
+fn not_converged_reports_the_full_fallback_trail() {
+    let (spec, plan) = fixture("notconv", "[[inject]]\nblock = \"A\"\nkind = \"not-converged\"\n");
+    let (code, _, stderr) =
+        rascad(&["solve", spec.to_str().unwrap(), "--inject", plan.to_str().unwrap()]);
+    assert_eq!(code, Some(4), "{stderr}");
+    // Default method is GTH (the last rung), so the fault surfaces as
+    // its own typed error rather than a one-rung ladder wrapper.
+    assert!(stderr.contains("singular"), "{stderr}");
+    cleanup(&[&spec, &plan]);
+}
+
+#[test]
+fn timeout_fault_is_typed_fast_and_exit_4() {
+    let (spec, plan) = fixture("timeout", "[[inject]]\nblock = \"Box/CPU\"\nkind = \"timeout\"\n");
+    let t0 = std::time::Instant::now();
+    let (code, _, stderr) =
+        rascad(&["solve", spec.to_str().unwrap(), "--inject", plan.to_str().unwrap()]);
+    assert!(t0.elapsed() < std::time::Duration::from_secs(20), "took {:?}", t0.elapsed());
+    assert_eq!(code, Some(4), "{stderr}");
+    assert!(stderr.contains("exceeded its wall-clock budget"), "{stderr}");
+    cleanup(&[&spec, &plan]);
+}
+
+#[test]
+fn nan_rate_fault_is_rejected_as_invalid_rate() {
+    let (spec, plan) = fixture("nanrate", "[[inject]]\nblock = \"A\"\nkind = \"nan-rate\"\n");
+    let (code, _, stderr) =
+        rascad(&["solve", spec.to_str().unwrap(), "--inject", plan.to_str().unwrap()]);
+    assert_eq!(code, Some(4), "{stderr}");
+    assert!(stderr.contains("invalid rate"), "{stderr}");
+    cleanup(&[&spec, &plan]);
+}
+
+#[test]
+fn malformed_plan_is_a_usage_error() {
+    let (spec, plan) = fixture("badplan", "[[inject]]\nblock = \"A\"\nkind = \"gremlins\"\n");
+    let (code, _, stderr) =
+        rascad(&["solve", spec.to_str().unwrap(), "--inject", plan.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("fault plan"), "{stderr}");
+    cleanup(&[&spec, &plan]);
+}
+
+#[test]
+fn empty_plan_leaves_the_solve_clean() {
+    let (spec, plan) = fixture("emptyplan", "# no injections\nseed = 7\n");
+    let s = spec.to_str().unwrap();
+    let (code, clean, _) = rascad(&["solve", s]);
+    assert_eq!(code, Some(0));
+    let (code, with_plan, _) =
+        rascad(&["solve", s, "--best-effort", "--inject", plan.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert_eq!(clean, with_plan, "an empty plan must not perturb the report");
+    cleanup(&[&spec, &plan]);
+}

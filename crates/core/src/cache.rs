@@ -20,6 +20,12 @@
 //! * Lookups happen under the lock but solves do not; two threads may
 //!   race to compute the same entry, which wastes a solve but both
 //!   compute identical values, so the insert race is benign.
+//! * Lock poisoning is recovered, not propagated: a worker that
+//!   panicked while holding the lock can only have left the maps in a
+//!   consistent state (every critical section is a single HashMap
+//!   operation), and the engine wipes the cache after any panicked
+//!   batch anyway — so surviving workers must not be taken down by a
+//!   poisoned mutex.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -150,7 +156,7 @@ impl SolveCache {
 
     /// Current hit/miss/size counters.
     pub fn stats(&self) -> CacheStats {
-        let maps = self.maps.lock().expect("cache lock");
+        let maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -160,7 +166,7 @@ impl SolveCache {
 
     /// Drops every stored entry (counters are kept).
     pub fn clear(&self) {
-        let mut maps = self.maps.lock().expect("cache lock");
+        let mut maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         maps.steady.clear();
         maps.mission.clear();
     }
@@ -188,7 +194,7 @@ impl SolveCache {
     ) -> Result<BlockMeasures, CoreError> {
         let key = (model.chain.fingerprint(), method);
         {
-            let maps = self.maps.lock().expect("cache lock");
+            let maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(e) = maps.steady.get(&key) {
                 if e.chain == model.chain {
                     self.note_hit();
@@ -198,7 +204,7 @@ impl SolveCache {
         }
         self.note_miss();
         let measures = steady_state_measures(model, method)?;
-        let mut maps = self.maps.lock().expect("cache lock");
+        let mut maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if maps.steady.len() >= self.capacity {
             maps.steady.clear();
         }
@@ -220,7 +226,7 @@ impl SolveCache {
     ) -> Result<MissionMeasures, CoreError> {
         let key = (model.chain.fingerprint(), mission_hours.to_bits());
         {
-            let maps = self.maps.lock().expect("cache lock");
+            let maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(e) = maps.mission.get(&key) {
                 if e.chain == model.chain {
                     self.note_hit();
@@ -230,7 +236,7 @@ impl SolveCache {
         }
         self.note_miss();
         let measures = compute_mission_measures(model, mission_hours)?;
-        let mut maps = self.maps.lock().expect("cache lock");
+        let mut maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if maps.mission.len() >= self.capacity {
             maps.mission.clear();
         }
@@ -251,7 +257,7 @@ impl SolveCache {
         wrong_measures: BlockMeasures,
     ) {
         let key = (model.chain.fingerprint(), method);
-        let mut maps = self.maps.lock().expect("cache lock");
+        let mut maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         maps.steady.insert(key, SteadyEntry { chain: wrong_chain, measures: wrong_measures });
     }
 }

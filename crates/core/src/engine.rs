@@ -35,10 +35,11 @@ use rascad_markov::SteadyStateMethod;
 use rascad_spec::{Block, BlockParams, Diagram, GlobalParams, SystemSpec};
 
 use crate::cache::{CacheStats, MissionMeasures, SolveCache};
-use crate::error::CoreError;
+use crate::error::{CoreError, EngineError};
 use crate::generator::{generate_block, BlockModel};
-use crate::hierarchy::{BlockSolution, SystemMeasures, SystemSolution};
-use crate::measures::{steady_state_measures, BlockMeasures};
+use crate::hierarchy::{BlockSolution, FailedBlock, SystemMeasures, SystemSolution};
+use crate::measures::{steady_state_measures, steady_state_measures_forced, BlockMeasures};
+use crate::solve::ForcedFailure;
 use crate::sweep::SweepPoint;
 
 /// Process-wide thread-count override (0 = unset), set by the CLI
@@ -113,6 +114,106 @@ where
         }
     });
     slots.into_iter().map(|s| s.into_inner().expect("worker filled slot")).collect()
+}
+
+thread_local! {
+    /// True while this thread is inside a `par_map_caught` item: the
+    /// wrapped panic hook stays silent because the panic is about to be
+    /// converted into a typed per-item error, not a crash.
+    static PANIC_IS_CAUGHT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Wraps the process panic hook (once) so panics raised inside a
+/// `par_map_caught` item do not spray the default backtrace onto
+/// stderr. Panics anywhere else still reach the previous hook
+/// untouched.
+fn install_quiet_panic_hook() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !PANIC_IS_CAUGHT.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// [`par_map`] with per-item panic isolation: each closure call runs
+/// under [`std::panic::catch_unwind`], so one poisoned item yields
+/// `Err(panic message)` in its own slot instead of tearing down the
+/// whole scope. Surviving items are untouched — their results are
+/// bit-identical to a run without the panicking item.
+pub(crate) fn par_map_caught<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    install_quiet_panic_hook();
+    par_map(items, threads, |i, t| {
+        let prev = PANIC_IS_CAUGHT.with(|c| c.replace(true));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, t)));
+        PANIC_IS_CAUGHT.with(|c| c.set(prev));
+        match caught {
+            Ok(r) => Ok(r),
+            Err(payload) => {
+                rascad_obs::counter("engine.worker_panics", 1);
+                Err(panic_message(payload.as_ref()))
+            }
+        }
+    })
+}
+
+/// Best-effort extraction of a panic payload (almost always a `&str` or
+/// `String` from `panic!`/`assert!`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Core-local mirror of `rascad_fault::FaultKind`, so engine code stays
+/// free of `cfg` noise whether or not the `fault-inject` feature is
+/// compiled in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+pub(crate) enum InjectedFault {
+    /// Panic inside the worker closure (exercises `catch_unwind`).
+    Panic,
+    /// Force every ladder rung to fail retryably.
+    NotConverged,
+    /// Corrupt the generated chain with a NaN rate.
+    NanRate,
+    /// Force every ladder rung to report a wall-clock timeout.
+    Timeout,
+}
+
+/// The fault the active plan injects at `path`, if any; records the
+/// firing in the fault registry. Compiled to a constant `None` (and
+/// fully optimized out) without the `fault-inject` feature.
+#[cfg(feature = "fault-inject")]
+fn injected_fault(path: &str) -> Option<InjectedFault> {
+    let kind = rascad_fault::fault_for(path)?;
+    let fault = match kind {
+        rascad_fault::FaultKind::Panic => InjectedFault::Panic,
+        rascad_fault::FaultKind::NotConverged => InjectedFault::NotConverged,
+        rascad_fault::FaultKind::NanRate => InjectedFault::NanRate,
+        rascad_fault::FaultKind::Timeout => InjectedFault::Timeout,
+        _ => return None,
+    };
+    rascad_fault::note_fired(path, kind);
+    Some(fault)
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+fn injected_fault(_path: &str) -> Option<InjectedFault> {
+    None
 }
 
 /// The parallel + memoizing solver. See the module docs for the
@@ -245,11 +346,42 @@ impl Engine {
     /// # Errors
     ///
     /// Returns [`CoreError`] if the spec is invalid or any chain fails
-    /// to solve.
+    /// to solve (the first failure in walk order, including a caught
+    /// worker panic as [`EngineError::WorkerPanicked`]).
     pub fn solve_spec_with(
         &self,
         spec: &SystemSpec,
         method: SteadyStateMethod,
+    ) -> Result<SystemSolution, CoreError> {
+        self.solve_spec_mode(spec, method, false)
+    }
+
+    /// [`solve_spec_with`](Self::solve_spec_with) in degraded
+    /// (best-effort) mode: per-block failures — typed solver errors and
+    /// caught worker panics alike — become [`FailedBlock`] entries in
+    /// the returned [`SystemSolution::failed`] list instead of aborting
+    /// the solve. System measures roll up *optimistically* (a failed
+    /// block is treated as always-up, contributing availability 1 and
+    /// failure rate 0), so [`SystemSolution::availability_bounds`]
+    /// brackets the truth between 0 and the reported value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] only if the spec itself is invalid;
+    /// individual block failures are reported in the solution.
+    pub fn solve_spec_best_effort(
+        &self,
+        spec: &SystemSpec,
+        method: SteadyStateMethod,
+    ) -> Result<SystemSolution, CoreError> {
+        self.solve_spec_mode(spec, method, true)
+    }
+
+    fn solve_spec_mode(
+        &self,
+        spec: &SystemSpec,
+        method: SteadyStateMethod,
+        best_effort: bool,
     ) -> Result<SystemSolution, CoreError> {
         let mut span = rascad_obs::span("core.solve_spec");
         span.record("blocks", spec.root.total_blocks());
@@ -259,25 +391,69 @@ impl Engine {
         let mission = spec.globals.mission_time.0;
 
         // Flatten the tree in walk (= solve) order, solve every block
-        // independently, then recombine sequentially.
+        // independently (with per-item panic isolation), then recombine
+        // sequentially.
         let mut flat: Vec<(usize, String, &Block)> = Vec::new();
         spec.root.walk(&mut |level, path, block| flat.push((level, path.to_string(), block)));
-        let results = par_map(&flat, self.threads(), |_, (level, path, block)| {
+        let results = par_map_caught(&flat, self.threads(), |_, (level, path, block)| {
             self.solve_one(*level, path, block, &spec.globals, method, mission)
         });
-        let mut tasks = Vec::with_capacity(results.len());
-        for r in results {
-            tasks.push(Some(r?));
+        let mut any_panic = false;
+        let mut tasks: Vec<Option<Result<SolvedBlock, FailedBlock>>> =
+            Vec::with_capacity(results.len());
+        for (walk_index, (r, (level, path, _))) in results.into_iter().zip(&flat).enumerate() {
+            let item = match r {
+                Ok(Ok(solved)) => Ok(solved),
+                Ok(Err(error)) => {
+                    Err(FailedBlock { path: path.clone(), level: *level, walk_index, error })
+                }
+                Err(message) => {
+                    any_panic = true;
+                    Err(FailedBlock {
+                        path: path.clone(),
+                        level: *level,
+                        walk_index,
+                        error: CoreError::Engine(EngineError::WorkerPanicked {
+                            path: path.clone(),
+                            message,
+                        }),
+                    })
+                }
+            };
+            tasks.push(Some(item));
+        }
+        // A panicking worker may have died midway through a cache
+        // insert path; results computed in the same generation as a
+        // panic are never served again.
+        if any_panic {
+            self.clear_cache();
+        }
+        if !best_effort {
+            if let Some(f) =
+                tasks.iter().filter_map(|t| t.as_ref().and_then(|r| r.as_ref().err())).next()
+            {
+                return Err(f.error.clone());
+            }
         }
         span.record(
             "total_states",
-            tasks.iter().map(|t| t.as_ref().map_or(0, |t| t.model.state_count())).sum::<usize>(),
+            tasks
+                .iter()
+                .map(|t| {
+                    t.as_ref().and_then(|r| r.as_ref().ok()).map_or(0, |t| t.model.state_count())
+                })
+                .sum::<usize>(),
         );
 
         let mut blocks = Vec::with_capacity(tasks.len());
+        let mut failed = Vec::new();
         let mut cursor = 0usize;
-        let agg = assemble_diagram(&spec.root, &mut tasks, &mut cursor, &mut blocks);
-        debug_assert_eq!(cursor, blocks.len());
+        let agg = assemble_diagram(&spec.root, &mut tasks, &mut cursor, &mut blocks, &mut failed);
+        debug_assert_eq!(cursor, blocks.len() + failed.len());
+        if !failed.is_empty() {
+            span.record("failed_blocks", failed.len());
+            rascad_obs::counter("core.degraded_solves", 1);
+        }
 
         // Mission measures across every chain, multiplied in the same
         // block order as the sequential path.
@@ -312,7 +488,7 @@ impl Engine {
         };
         span.record("availability", system.availability);
         rascad_obs::counter("core.specs_solved", 1);
-        Ok(SystemSolution { system, blocks })
+        Ok(SystemSolution { system, blocks, failed })
     }
 
     fn solve_one(
@@ -327,9 +503,35 @@ impl Engine {
         let mut span = rascad_obs::span("core.solve_block");
         span.record("path", path);
         span.record("level", level);
+        let fault = injected_fault(path);
+        if fault == Some(InjectedFault::Panic) {
+            panic!("injected fault: forced worker panic at {path}");
+        }
+        if fault == Some(InjectedFault::NanRate) {
+            // Simulate a corrupted generator output: a NaN transition
+            // rate must be rejected by chain construction as a typed
+            // error, never reach a solver.
+            let mut b = rascad_markov::CtmcBuilder::new();
+            let ok = b.add_state("Ok", 1.0);
+            let down = b.add_state("Down", 0.0);
+            b.add_transition(ok, down, f64::NAN);
+            let source = b.build().expect_err("NaN rate must be rejected");
+            return Err(CoreError::Markov { block: path.to_string(), source });
+        }
         let model = generate_block(&block.params, globals)?;
         span.record("states", model.state_count());
-        let measures = self.cached_steady(&model, method)?;
+        // Injected solver faults bypass the cache entirely: no read (the
+        // fault must fire even when an identical clean chain is cached)
+        // and no write (a forced failure must never poison clean runs).
+        let measures = match fault {
+            Some(InjectedFault::NotConverged) => {
+                steady_state_measures_forced(&model, method, Some(ForcedFailure::NotConverged))?
+            }
+            Some(InjectedFault::Timeout) => {
+                steady_state_measures_forced(&model, method, Some(ForcedFailure::Timeout))?
+            }
+            _ => self.cached_steady(&model, method)?,
+        };
         let mission_measures = self.cached_mission(&model, mission)?;
         Ok(SolvedBlock { level, path: path.to_string(), model, measures, mission_measures })
     }
@@ -430,14 +632,15 @@ struct Aggregate {
 
 fn assemble_diagram(
     diagram: &Diagram,
-    tasks: &mut [Option<SolvedBlock>],
+    tasks: &mut [Option<Result<SolvedBlock, FailedBlock>>],
     cursor: &mut usize,
     out: &mut Vec<(BlockSolution, MissionMeasures)>,
+    failed: &mut Vec<FailedBlock>,
 ) -> Aggregate {
     let mut avail = 1.0;
     let mut rate_over_avail = 0.0; // sum of f_i / A_i
     for block in &diagram.blocks {
-        let combined = assemble_block(block, tasks, cursor, out);
+        let combined = assemble_block(block, tasks, cursor, out, failed);
         avail *= combined.availability;
         if combined.availability > 0.0 {
             rate_over_avail += combined.failure_rate / combined.availability;
@@ -448,12 +651,31 @@ fn assemble_diagram(
 
 fn assemble_block(
     block: &Block,
-    tasks: &mut [Option<SolvedBlock>],
+    tasks: &mut [Option<Result<SolvedBlock, FailedBlock>>],
     cursor: &mut usize,
     out: &mut Vec<(BlockSolution, MissionMeasures)>,
+    failed: &mut Vec<FailedBlock>,
 ) -> Aggregate {
     let t = tasks[*cursor].take().expect("walk order matches assembly order");
     *cursor += 1;
+    let t = match t {
+        Ok(t) => t,
+        Err(f) => {
+            // Degraded leaf (best-effort mode): the block's own chain
+            // contributes the *optimistic* identity — availability 1,
+            // rate 0 — and the failure is reported explicitly. Its
+            // subdiagram solved independently and still rolls up.
+            failed.push(f);
+            let mut avail = 1.0;
+            let mut rate = 0.0;
+            if let Some(sub) = &block.subdiagram {
+                let sub_agg = assemble_diagram(sub, tasks, cursor, out, failed);
+                avail = sub_agg.availability;
+                rate = sub_agg.failure_rate;
+            }
+            return Aggregate { availability: avail, failure_rate: rate };
+        }
+    };
     let my_index = out.len();
     let measures = t.measures;
     out.push((
@@ -471,7 +693,7 @@ fn assemble_block(
     let mut avail = measures.availability;
     let mut rate = measures.failure_rate;
     if let Some(sub) = &block.subdiagram {
-        let sub_agg = assemble_diagram(sub, tasks, cursor, out);
+        let sub_agg = assemble_diagram(sub, tasks, cursor, out, failed);
         // Both the enclosure chain and the subdiagram must be up.
         let combined_avail = avail * sub_agg.availability;
         let combined_rate = rate * sub_agg.availability + sub_agg.failure_rate * avail;
@@ -508,6 +730,31 @@ mod tests {
                 x * 3
             });
             assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_caught_isolates_panics_per_item() {
+        let items: Vec<usize> = (0..10).collect();
+        for threads in [1, 4] {
+            let out = par_map_caught(&items, threads, |_, &x| {
+                if x == 3 {
+                    panic!("boom {x}");
+                }
+                x * 2
+            });
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) => {
+                        assert_ne!(i, 3);
+                        assert_eq!(*v, i * 2);
+                    }
+                    Err(msg) => {
+                        assert_eq!(i, 3);
+                        assert_eq!(msg, "boom 3");
+                    }
+                }
+            }
         }
     }
 

@@ -21,12 +21,43 @@ pub enum CoreError {
     },
     /// An RBD evaluation failed.
     Rbd(RbdError),
+    /// The parallel engine failed outside the numerical pipeline.
+    Engine(EngineError),
     /// A sweep or measure request was malformed.
     InvalidRequest {
         /// Description of the problem.
         what: String,
     },
 }
+
+/// Failure of the parallel engine itself (as opposed to the numerical
+/// pipeline it runs).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A worker closure panicked while solving one block. The panic was
+    /// caught at the item boundary, so every other block's result is
+    /// unaffected (and bit-identical to a clean run).
+    WorkerPanicked {
+        /// Walk path of the block whose solve panicked.
+        path: String,
+        /// The panic payload, when it was a string (the common case);
+        /// a placeholder otherwise.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WorkerPanicked { path, message } => {
+                write!(f, "worker panicked while solving block \"{path}\": {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -36,6 +67,7 @@ impl fmt::Display for CoreError {
                 write!(f, "markov solver error in block \"{block}\": {source}")
             }
             CoreError::Rbd(e) => write!(f, "rbd error: {e}"),
+            CoreError::Engine(e) => write!(f, "engine error: {e}"),
             CoreError::InvalidRequest { what } => write!(f, "invalid request: {what}"),
         }
     }
@@ -47,8 +79,15 @@ impl std::error::Error for CoreError {
             CoreError::Spec(e) => Some(e),
             CoreError::Markov { source, .. } => Some(source),
             CoreError::Rbd(e) => Some(e),
+            CoreError::Engine(e) => Some(e),
             CoreError::InvalidRequest { .. } => None,
         }
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
     }
 }
 

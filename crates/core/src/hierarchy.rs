@@ -70,19 +70,95 @@ pub struct SystemMeasures {
     pub mission_hours: f64,
 }
 
+/// One block that failed to solve in a best-effort (degraded) run.
+///
+/// A failed block rolls up as an explicit leaf: its own chain
+/// contributes the optimistic identity (availability 1, failure rate 0)
+/// to the system aggregate, and the true system availability is
+/// bracketed by [`SystemSolution::availability_bounds`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedBlock {
+    /// Slash path from the root diagram.
+    pub path: String,
+    /// Diagram level (root = 1).
+    pub level: usize,
+    /// Position in the depth-first walk order, for interleaving with
+    /// the solved blocks (see [`SystemSolution::outcomes`]).
+    pub walk_index: usize,
+    /// Why the block failed (typed solver error or caught worker
+    /// panic).
+    pub error: CoreError,
+}
+
+/// One walk position of a solved system: either a solved block or, in a
+/// best-effort run, an explicit failure leaf.
+#[derive(Debug, Clone, Copy)]
+pub enum BlockOutcome<'a> {
+    /// The block solved normally.
+    Solved(&'a BlockSolution),
+    /// The block failed and was rolled up optimistically.
+    Failed(&'a FailedBlock),
+}
+
 /// A solved system: system-level measures plus every block's solution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemSolution {
-    /// System-level measures.
+    /// System-level measures. In a degraded run these are the
+    /// *optimistic* values (failed blocks treated as always-up); see
+    /// [`availability_bounds`](Self::availability_bounds).
     pub system: SystemMeasures,
-    /// One entry per block, depth-first in diagram order.
+    /// One entry per solved block, depth-first in diagram order.
     pub blocks: Vec<BlockSolution>,
+    /// Blocks that failed to solve, in walk order. Always empty in
+    /// strict mode (the default), possibly non-empty after
+    /// `solve_spec_best_effort`.
+    pub failed: Vec<FailedBlock>,
 }
 
 impl SystemSolution {
     /// Finds a block solution by its slash path.
     pub fn block(&self, path: &str) -> Option<&BlockSolution> {
         self.blocks.iter().find(|b| b.path == path)
+    }
+
+    /// Whether any block failed (best-effort mode only).
+    pub fn is_degraded(&self) -> bool {
+        !self.failed.is_empty()
+    }
+
+    /// `(pessimistic, optimistic)` bounds on the true system
+    /// availability. Equal for a clean solve; for a degraded solve the
+    /// pessimistic bound is 0 (a failed block may be always-down) and
+    /// the optimistic bound is the reported availability (failed blocks
+    /// treated as always-up).
+    pub fn availability_bounds(&self) -> (f64, f64) {
+        if self.failed.is_empty() {
+            (self.system.availability, self.system.availability)
+        } else {
+            (0.0, self.system.availability)
+        }
+    }
+
+    /// Every walk position in depth-first diagram order, interleaving
+    /// solved blocks and failure leaves.
+    pub fn outcomes(&self) -> Vec<BlockOutcome<'_>> {
+        let total = self.blocks.len() + self.failed.len();
+        let mut out = Vec::with_capacity(total);
+        let mut solved = self.blocks.iter();
+        let mut failed = self.failed.iter().peekable();
+        for idx in 0..total {
+            match failed.peek() {
+                Some(f) if f.walk_index == idx => {
+                    out.push(BlockOutcome::Failed(failed.next().expect("peeked")));
+                }
+                _ => {
+                    out.push(BlockOutcome::Solved(
+                        solved.next().expect("walk positions partition into solved and failed"),
+                    ));
+                }
+            }
+        }
+        out
     }
 
     /// Builds the serial RBD of the root diagram (one component per
@@ -154,6 +230,20 @@ pub fn solve_spec_with(
     method: SteadyStateMethod,
 ) -> Result<SystemSolution, CoreError> {
     crate::engine::Engine::global().solve_spec_with(spec, method)
+}
+
+/// [`solve_spec_with`] in best-effort (degraded) mode: block failures
+/// become [`FailedBlock`] entries instead of aborting the solve (see
+/// [`crate::engine::Engine::solve_spec_best_effort`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] only if the spec itself is invalid.
+pub fn solve_spec_best_effort(
+    spec: &SystemSpec,
+    method: SteadyStateMethod,
+) -> Result<SystemSolution, CoreError> {
+    crate::engine::Engine::global().solve_spec_best_effort(spec, method)
 }
 
 /// Exact system interval availability over `(0, horizon)`.

@@ -62,10 +62,13 @@ pub mod sweep;
 pub use cache::{CacheStats, MissionMeasures, SolveCache};
 pub use compare::{compare_architectures, ArchComparison};
 pub use engine::{default_threads, set_thread_override, Engine};
-pub use error::CoreError;
+pub use error::{CoreError, EngineError};
 pub use generator::{generate_block, BlockModel};
-pub use hierarchy::{solve_spec, BlockSolution, SystemMeasures, SystemSolution};
+pub use hierarchy::{
+    solve_spec, solve_spec_best_effort, BlockOutcome, BlockSolution, FailedBlock, SystemMeasures,
+    SystemSolution,
+};
 pub use measures::{BlockMeasures, IntervalMeasures, ReliabilityMeasures};
 pub use performability::{performability, PerformabilityMeasures};
-pub use solve::solve_block;
+pub use solve::{solve_block, steady_state_ladder};
 pub use sweep::{sweep, SweepPoint};

@@ -82,6 +82,11 @@ pub struct ReliabilityMeasures {
 
 /// Computes steady-state measures for a generated block model.
 ///
+/// The solve goes through the fallback ladder
+/// ([`crate::solve::steady_state_ladder`]) with default budgets, so a
+/// retryable failure of the requested method is transparently retried
+/// on the stronger rungs before an error is reported.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::Markov`] if the chain cannot be solved.
@@ -89,10 +94,21 @@ pub fn steady_state_measures(
     model: &BlockModel,
     method: SteadyStateMethod,
 ) -> Result<BlockMeasures, CoreError> {
-    let pi = model
-        .chain
-        .steady_state(method)
-        .map_err(|source| CoreError::Markov { block: model.name.clone(), source })?;
+    steady_state_measures_forced(model, method, None)
+}
+
+pub(crate) fn steady_state_measures_forced(
+    model: &BlockModel,
+    method: SteadyStateMethod,
+    forced: Option<crate::solve::ForcedFailure>,
+) -> Result<BlockMeasures, CoreError> {
+    let pi = crate::solve::steady_state_ladder_forced(
+        &model.chain,
+        method,
+        &rascad_markov::SolveOptions::default(),
+        forced,
+    )
+    .map_err(|source| CoreError::Markov { block: model.name.clone(), source })?;
     let availability = model.chain.expected_reward(&pi);
     let failure_rate = model.chain.failure_rate(&pi);
     Ok(BlockMeasures::from_availability(availability, failure_rate))

@@ -6,11 +6,26 @@ use std::fmt::Write as _;
 use crate::hierarchy::SystemSolution;
 
 /// Renders a human-readable availability report for a solved system.
+///
+/// A clean solve renders byte-identically to previous releases. A
+/// degraded (best-effort) solve adds a `PARTIAL RESULT` banner with the
+/// availability bounds after the headline measures, and a failure table
+/// after the block table — existing lines are never reworded.
 pub fn system_report(title: &str, sol: &SystemSolution) -> String {
     let mut out = String::new();
     let m = &sol.system;
     let _ = writeln!(out, "RAScad availability report: {title}");
     let _ = writeln!(out, "{}", "=".repeat(28 + title.len()));
+    if sol.is_degraded() {
+        let (lo, hi) = sol.availability_bounds();
+        let _ = writeln!(
+            out,
+            "PARTIAL RESULT: {} of {} block(s) failed to solve; system measures are optimistic",
+            sol.failed.len(),
+            sol.blocks.len() + sol.failed.len(),
+        );
+        let _ = writeln!(out, "True availability bounds         : [{lo:.9}, {hi:.9}]");
+    }
     let _ = writeln!(out, "System steady-state availability : {:.9}", m.availability);
     let _ = writeln!(out, "System unavailability            : {:.3e}", m.unavailability);
     let _ =
@@ -42,6 +57,13 @@ pub fn system_report(title: &str, sol: &SystemSolution) -> String {
             b.measures.availability,
             b.measures.yearly_downtime_minutes,
         );
+    }
+    if sol.is_degraded() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "failed blocks (rolled up optimistically as availability 1):");
+        for f in &sol.failed {
+            let _ = writeln!(out, "{:<48} {}", f.path, f.error);
+        }
     }
     out
 }

@@ -1,11 +1,166 @@
-//! One-block solve convenience: generate + steady state in one call.
+//! One-block solve convenience and the solver fallback ladder.
+//!
+//! # Fallback ladder
+//!
+//! A production solve must not die on the first numerical hiccup: a
+//! power iteration that stalls on a stiff chain, or an LU factorization
+//! that goes singular to working precision, are both recoverable by a
+//! more robust method. [`steady_state_ladder`] encodes that policy as a
+//! fixed rung order — **power → LU → GTH** — starting at the requested
+//! method and falling through only on *retryable* failures
+//! (non-convergence, singularity, wall-clock timeout). GTH is the last
+//! rung because its subtraction-free elimination is the numerically
+//! strongest method this crate has; there is nothing to fall back to
+//! after it.
+//!
+//! Every attempt is bounded by the iteration and wall-clock budgets in
+//! [`SolveOptions`], every fallback increments the `solve.fallbacks`
+//! counter, and an exhausted ladder returns
+//! [`MarkovError::FallbackExhausted`] carrying the full per-rung
+//! attempt trail (method, iterations, residual) for diagnostics.
 
-use rascad_markov::SteadyStateMethod;
+use rascad_markov::{Ctmc, MarkovError, SolveAttempt, SolveOptions, SteadyStateMethod};
 use rascad_spec::{BlockParams, GlobalParams};
 
 use crate::error::CoreError;
 use crate::generator::BlockModel;
 use crate::measures::BlockMeasures;
+
+/// Rung order of the fallback ladder, weakest to strongest.
+const LADDER: [SteadyStateMethod; 3] =
+    [SteadyStateMethod::Power, SteadyStateMethod::Lu, SteadyStateMethod::Gth];
+
+/// Stable lowercase name of a method (matches the `method` field of
+/// [`MarkovError::NotConverged`] / [`MarkovError::Timeout`]).
+pub fn method_name(method: SteadyStateMethod) -> &'static str {
+    match method {
+        SteadyStateMethod::Power => "power",
+        SteadyStateMethod::Lu => "lu",
+        SteadyStateMethod::Gth => "gth",
+    }
+}
+
+/// A failure mode forced onto every ladder rung by fault injection.
+/// The ladder machinery (attempt recording, counters, exhaustion) runs
+/// for real; only the numerical solve is replaced by a synthesized
+/// failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ForcedFailure {
+    /// Iterative rungs report budget exhaustion, direct rungs report
+    /// singularity.
+    NotConverged,
+    /// Every rung reports a wall-clock timeout (without spending one).
+    Timeout,
+}
+
+/// Whether an error should fall through to the next ladder rung.
+/// Structural problems (reducible chain, bad rates) would fail on every
+/// method, so they surface immediately instead.
+fn retryable(e: &MarkovError) -> bool {
+    matches!(
+        e,
+        MarkovError::NotConverged { .. } | MarkovError::Singular | MarkovError::Timeout { .. }
+    )
+}
+
+fn run_rung(
+    chain: &Ctmc,
+    method: SteadyStateMethod,
+    options: &SolveOptions,
+    forced: Option<ForcedFailure>,
+) -> Result<Vec<f64>, MarkovError> {
+    match forced {
+        None => chain.steady_state_with(method, options),
+        Some(ForcedFailure::NotConverged) => Err(match method {
+            SteadyStateMethod::Power => MarkovError::NotConverged {
+                method: "power",
+                iterations: options.power_iteration_budget(chain.len()),
+                residual: 1.0,
+                tolerance: options.tolerance,
+            },
+            _ => MarkovError::Singular,
+        }),
+        Some(ForcedFailure::Timeout) => {
+            let budget_ms = options.wall_clock.map_or(0, |d| d.as_millis() as u64);
+            Err(MarkovError::Timeout {
+                method: method_name(method),
+                iterations: 0,
+                elapsed_ms: budget_ms,
+                budget_ms,
+            })
+        }
+    }
+}
+
+/// Stationary distribution via the fallback ladder: the requested
+/// method first, then every stronger rung of power → LU → GTH, each
+/// attempt bounded by `options`.
+///
+/// # Errors
+///
+/// * A non-retryable error (e.g. [`MarkovError::Reducible`]) from any
+///   rung, immediately.
+/// * The single rung's own error when the requested method is the last
+///   rung (GTH, the default, has no fallback).
+/// * [`MarkovError::FallbackExhausted`] with the full attempt trail
+///   when two or more rungs all failed retryably.
+pub fn steady_state_ladder(
+    chain: &Ctmc,
+    method: SteadyStateMethod,
+    options: &SolveOptions,
+) -> Result<Vec<f64>, MarkovError> {
+    steady_state_ladder_forced(chain, method, options, None)
+}
+
+pub(crate) fn steady_state_ladder_forced(
+    chain: &Ctmc,
+    method: SteadyStateMethod,
+    options: &SolveOptions,
+    forced: Option<ForcedFailure>,
+) -> Result<Vec<f64>, MarkovError> {
+    let start = LADDER.iter().position(|m| *m == method).unwrap_or(LADDER.len() - 1);
+    let mut attempts: Vec<SolveAttempt> = Vec::new();
+    for (i, &rung) in LADDER[start..].iter().enumerate() {
+        if i > 0 {
+            rascad_obs::counter("solve.fallbacks", 1);
+            let mut span = rascad_obs::span("core.solve_fallback");
+            span.record("from", attempts.last().map_or("?", |a| a.method));
+            span.record("to", method_name(rung));
+        }
+        match run_rung(chain, rung, options, forced) {
+            Ok(pi) => return Ok(pi),
+            Err(e) => {
+                if matches!(e, MarkovError::Timeout { .. }) {
+                    rascad_obs::counter("solve.timeouts", 1);
+                }
+                let (iterations, residual) = match &e {
+                    MarkovError::NotConverged { iterations, residual, .. } => {
+                        (Some(*iterations), Some(*residual))
+                    }
+                    MarkovError::Timeout { iterations, .. } => (Some(*iterations), None),
+                    _ => (None, None),
+                };
+                let keep_going = retryable(&e);
+                attempts.push(SolveAttempt {
+                    method: method_name(rung),
+                    iterations,
+                    residual,
+                    error: Box::new(e.clone()),
+                });
+                if !keep_going {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    // Exhausted. A single attempt keeps its own error type (so a plain
+    // GTH solve reports `Singular`, exactly as before the ladder); two
+    // or more attempts return the full trail.
+    if attempts.len() == 1 {
+        return Err(*attempts.remove(0).error);
+    }
+    Err(MarkovError::FallbackExhausted { attempts })
+}
 
 /// Generates the Markov model for one block and solves its steady
 /// state.
@@ -53,7 +208,115 @@ pub fn solve_block_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rascad_markov::CtmcBuilder;
     use rascad_spec::units::{Hours, Minutes};
+
+    fn two_state() -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up", 1.0);
+        let down = b.add_state("down", 0.0);
+        b.add_transition(up, down, 1e-4);
+        b.add_transition(down, up, 1e-1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ladder_falls_back_from_starved_power_to_lu() {
+        let chain = two_state();
+        // One iteration can never converge; the ladder must recover via
+        // LU and produce the same distribution a direct solve gives.
+        let opts = SolveOptions { max_iterations: Some(1), wall_clock: None, tolerance: 1e-14 };
+        let pi = steady_state_ladder(&chain, SteadyStateMethod::Power, &opts).unwrap();
+        let direct = chain.steady_state(SteadyStateMethod::Lu).unwrap();
+        assert_eq!(pi, direct);
+    }
+
+    #[test]
+    fn exhausted_ladder_reports_every_rung() {
+        let chain = two_state();
+        let opts = SolveOptions::default();
+        let err = steady_state_ladder_forced(
+            &chain,
+            SteadyStateMethod::Power,
+            &opts,
+            Some(ForcedFailure::NotConverged),
+        )
+        .unwrap_err();
+        match &err {
+            MarkovError::FallbackExhausted { attempts } => {
+                let methods: Vec<_> = attempts.iter().map(|a| a.method).collect();
+                assert_eq!(methods, ["power", "lu", "gth"]);
+                assert!(attempts[0].iterations.is_some());
+                assert!(attempts[0].residual.is_some());
+                assert!(matches!(*attempts[1].error, MarkovError::Singular));
+            }
+            other => panic!("expected FallbackExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forced_timeouts_exhaust_every_rung_without_waiting() {
+        let chain = two_state();
+        let t0 = std::time::Instant::now();
+        let err = steady_state_ladder_forced(
+            &chain,
+            SteadyStateMethod::Power,
+            &SolveOptions::default(),
+            Some(ForcedFailure::Timeout),
+        )
+        .unwrap_err();
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+        match &err {
+            MarkovError::FallbackExhausted { attempts } => {
+                assert_eq!(attempts.len(), 3);
+                for a in attempts {
+                    assert!(matches!(*a.error, MarkovError::Timeout { .. }), "{a}");
+                }
+            }
+            other => panic!("expected FallbackExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn last_rung_failure_keeps_its_own_error_type() {
+        // GTH is the last rung: a forced failure there must surface as
+        // plain Singular, exactly as before the ladder existed.
+        let chain = two_state();
+        let err = steady_state_ladder_forced(
+            &chain,
+            SteadyStateMethod::Gth,
+            &SolveOptions::default(),
+            Some(ForcedFailure::NotConverged),
+        )
+        .unwrap_err();
+        assert_eq!(err, MarkovError::Singular);
+    }
+
+    #[test]
+    fn non_retryable_errors_skip_the_ladder() {
+        // Two disconnected components: reducible on *every* method, so
+        // the ladder must not mask the structural error by retrying.
+        let mut b = CtmcBuilder::new();
+        let a0 = b.add_state("a0", 1.0);
+        let a1 = b.add_state("a1", 0.0);
+        let b0 = b.add_state("b0", 1.0);
+        let b1 = b.add_state("b1", 0.0);
+        b.add_transition(a0, a1, 1.0);
+        b.add_transition(a1, a0, 1.0);
+        b.add_transition(b0, b1, 1.0);
+        b.add_transition(b1, b0, 1.0);
+        let chain = b.build().unwrap();
+        let err = steady_state_ladder(&chain, SteadyStateMethod::Power, &SolveOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, MarkovError::Reducible { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn method_names_are_stable() {
+        assert_eq!(method_name(SteadyStateMethod::Power), "power");
+        assert_eq!(method_name(SteadyStateMethod::Lu), "lu");
+        assert_eq!(method_name(SteadyStateMethod::Gth), "gth");
+    }
 
     #[test]
     fn solves_redundant_block() {

@@ -8,6 +8,78 @@ use crate::matrix::SparseMatrix;
 /// Identifier of a state inside one [`Ctmc`] (a dense index).
 pub type StateId = usize;
 
+/// Total matrix-vector work the default power-iteration budget spreads
+/// over a chain: `budget ≈ POWER_WORK_BUDGET / states`, floored at
+/// [`MIN_POWER_ITERATIONS`] so large chains still get a usable budget
+/// instead of a spuriously tiny (or zero) one.
+pub const POWER_WORK_BUDGET: usize = 50_000_000;
+
+/// Floor of the default power-iteration budget, whatever the chain
+/// size.
+pub const MIN_POWER_ITERATIONS: usize = 1_000;
+
+/// Budgets for the iterative and direct steady-state solvers.
+///
+/// Every solve attempt is bounded twice: by an iteration budget (the
+/// deterministic bound) and by a wall-clock budget (the robustness
+/// bound — a stiff chain must fail *typed*, with
+/// [`MarkovError::Timeout`], instead of hanging a worker). The
+/// wall-clock default is generous enough that well-posed RAScad models
+/// never hit it, keeping results independent of host speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Power-iteration budget; `None` scales [`POWER_WORK_BUDGET`] by
+    /// the chain size (see [`SolveOptions::power_iteration_budget`]).
+    pub max_iterations: Option<usize>,
+    /// Power-iteration convergence tolerance on the iterate delta.
+    pub tolerance: f64,
+    /// Per-attempt wall-clock budget; `None` disables the clock.
+    pub wall_clock: Option<std::time::Duration>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_iterations: None,
+            tolerance: 1e-14,
+            wall_clock: Some(std::time::Duration::from_secs(30)),
+        }
+    }
+}
+
+impl SolveOptions {
+    /// The power-iteration budget for an `n`-state chain: the explicit
+    /// [`max_iterations`](Self::max_iterations) when set, else the
+    /// work-scaled default clamped to [`MIN_POWER_ITERATIONS`].
+    pub fn power_iteration_budget(&self, n: usize) -> usize {
+        self.max_iterations
+            .unwrap_or_else(|| (POWER_WORK_BUDGET / n.max(1)).max(MIN_POWER_ITERATIONS))
+    }
+
+    /// Whether `elapsed` has exhausted the wall-clock budget. Inclusive
+    /// so a zero budget trips deterministically (used by the chaos
+    /// tests to force timeouts without real waiting).
+    pub(crate) fn over_budget(&self, elapsed: std::time::Duration) -> bool {
+        self.wall_clock.is_some_and(|budget| elapsed >= budget)
+    }
+
+    /// Builds the typed timeout error for an attempt that ran out of
+    /// wall clock.
+    pub(crate) fn timeout_error(
+        &self,
+        method: &'static str,
+        iterations: usize,
+        elapsed: std::time::Duration,
+    ) -> MarkovError {
+        MarkovError::Timeout {
+            method,
+            iterations,
+            elapsed_ms: elapsed.as_millis() as u64,
+            budget_ms: self.wall_clock.unwrap_or_default().as_millis() as u64,
+        }
+    }
+}
+
 /// Which direct steady-state algorithm to use.
 ///
 /// Two independent algorithms are provided so higher layers can
@@ -285,19 +357,38 @@ impl Ctmc {
     /// * [`MarkovError::Reducible`] if the chain is not irreducible.
     /// * [`MarkovError::Singular`] if the LU path hits a singular system.
     pub fn steady_state(&self, method: SteadyStateMethod) -> Result<Vec<f64>, MarkovError> {
+        self.steady_state_with(method, &SolveOptions::default())
+    }
+
+    /// [`steady_state`](Self::steady_state) with explicit iteration and
+    /// wall-clock budgets.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the `steady_state` errors:
+    ///
+    /// * [`MarkovError::NotConverged`] if the power rung exhausts its
+    ///   iteration budget.
+    /// * [`MarkovError::Timeout`] if the attempt exceeds
+    ///   [`SolveOptions::wall_clock`].
+    pub fn steady_state_with(
+        &self,
+        method: SteadyStateMethod,
+        options: &SolveOptions,
+    ) -> Result<Vec<f64>, MarkovError> {
         if self.len() == 1 {
             return Ok(vec![1.0]);
         }
         self.check_irreducible()?;
         match method {
-            SteadyStateMethod::Gth => gth::stationary_gth(self),
-            SteadyStateMethod::Lu => self.steady_state_lu(),
-            SteadyStateMethod::Power => self.steady_state_power(),
+            SteadyStateMethod::Gth => gth::stationary_gth_with(self, options),
+            SteadyStateMethod::Lu => self.steady_state_lu(options),
+            SteadyStateMethod::Power => self.steady_state_power(options),
         }
     }
 
-    fn steady_state_power(&self) -> Result<Vec<f64>, MarkovError> {
-        const TOLERANCE: f64 = 1e-14;
+    fn steady_state_power(&self, options: &SolveOptions) -> Result<Vec<f64>, MarkovError> {
+        let tolerance = options.tolerance;
         let mut span = rascad_obs::span("markov.power");
         span.record("states", self.len());
         let uni = crate::transient::uniformize(self);
@@ -305,14 +396,27 @@ impl Ctmc {
         let mut pi = vec![1.0 / n as f64; n];
         // Uniformization keeps diagonals positive, so the DTMC is
         // aperiodic and plain power iteration converges; the iteration
-        // cap guards against extreme stiffness.
-        let max_iter = 50_000_000usize / n.max(1);
+        // budget guards against extreme stiffness and is floored so
+        // large chains never get a degenerate budget.
+        let max_iter = options.power_iteration_budget(n);
+        // Checking the clock every iteration would dominate small
+        // chains, so it is sampled; the mask keeps the check cadence a
+        // cheap bitwise test.
+        const CLOCK_MASK: usize = 1024 - 1;
+        let start = std::time::Instant::now();
         let mut residual = f64::INFINITY;
         for iter in 1..=max_iter {
+            if iter & CLOCK_MASK == 0 {
+                let elapsed = start.elapsed();
+                if options.over_budget(elapsed) {
+                    span.record("iterations", iter);
+                    return Err(options.timeout_error("power", iter, elapsed));
+                }
+            }
             let next = uni.dtmc.vec_mul(&pi);
             residual = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
             pi = next;
-            if residual < TOLERANCE {
+            if residual < tolerance {
                 let z: f64 = pi.iter().sum();
                 for p in &mut pi {
                     *p /= z;
@@ -331,11 +435,17 @@ impl Ctmc {
             method: "power",
             iterations: max_iter,
             residual,
-            tolerance: TOLERANCE,
+            tolerance,
         })
     }
 
-    fn steady_state_lu(&self) -> Result<Vec<f64>, MarkovError> {
+    fn steady_state_lu(&self, options: &SolveOptions) -> Result<Vec<f64>, MarkovError> {
+        // The dense factorization is uninterruptible, so the budget is
+        // only honored up front: a zero (or already-spent) budget fails
+        // typed instead of starting work it cannot abandon.
+        if options.over_budget(std::time::Duration::ZERO) {
+            return Err(options.timeout_error("lu", 0, std::time::Duration::ZERO));
+        }
         let n = self.len();
         // Solve Q^T x = 0 with the last equation replaced by sum(x) = 1.
         let q = self.generator().to_dense();
@@ -633,6 +743,64 @@ mod tests {
         assert!(iters.is_some_and(|(_, s)| s.count >= 1 && s.min >= 1.0), "{values:?}");
         let resid = values.iter().find(|(n, _)| *n == "markov.power.residual");
         assert!(resid.is_some_and(|(_, s)| s.max < 1e-13), "{values:?}");
+    }
+
+    #[test]
+    fn power_budget_is_floored_for_large_chains() {
+        let opts = SolveOptions::default();
+        // Small chains get the work-scaled budget...
+        assert_eq!(opts.power_iteration_budget(2), POWER_WORK_BUDGET / 2);
+        // ...large chains hit the floor instead of collapsing to ~0.
+        assert_eq!(opts.power_iteration_budget(100_000_000), MIN_POWER_ITERATIONS);
+        // Degenerate n=0 guards against division by zero.
+        assert_eq!(opts.power_iteration_budget(0), POWER_WORK_BUDGET);
+        // An explicit budget wins outright.
+        let explicit = SolveOptions { max_iterations: Some(7), ..SolveOptions::default() };
+        assert_eq!(explicit.power_iteration_budget(100_000_000), 7);
+    }
+
+    #[test]
+    fn power_respects_explicit_iteration_budget() {
+        let opts = SolveOptions {
+            max_iterations: Some(3),
+            tolerance: 0.0, // unreachable: force budget exhaustion
+            wall_clock: None,
+        };
+        let err = two_state(0.1, 0.9).steady_state_with(SteadyStateMethod::Power, &opts);
+        match err {
+            Err(MarkovError::NotConverged { method, iterations, .. }) => {
+                assert_eq!(method, "power");
+                assert_eq!(iterations, 3);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_wall_clock_budget_times_out_typed() {
+        let opts = SolveOptions {
+            max_iterations: Some(1_000_000),
+            tolerance: 0.0, // keep power iterating until the clock check
+            wall_clock: Some(std::time::Duration::ZERO),
+        };
+        let c = two_state(0.1, 0.9);
+        for method in [SteadyStateMethod::Power, SteadyStateMethod::Lu, SteadyStateMethod::Gth] {
+            match c.steady_state_with(method, &opts) {
+                Err(MarkovError::Timeout { budget_ms: 0, .. }) => {}
+                other => panic!("expected Timeout for {method:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn steady_state_with_defaults_matches_steady_state() {
+        let c = two_state(2e-3, 0.4);
+        for method in [SteadyStateMethod::Gth, SteadyStateMethod::Lu, SteadyStateMethod::Power] {
+            assert_eq!(
+                c.steady_state(method).unwrap(),
+                c.steady_state_with(method, &SolveOptions::default()).unwrap(),
+            );
+        }
     }
 
     #[cfg(feature = "serde")]

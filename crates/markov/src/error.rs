@@ -69,6 +69,25 @@ pub enum MarkovError {
         /// Convergence tolerance that was requested.
         tolerance: f64,
     },
+    /// A solver exceeded its wall-clock budget before finishing.
+    Timeout {
+        /// Solver name, e.g. `"power"` or `"gth"`.
+        method: &'static str,
+        /// Iterations (or elimination steps) completed before the
+        /// budget expired.
+        iterations: usize,
+        /// Wall-clock time spent, milliseconds.
+        elapsed_ms: u64,
+        /// The configured budget, milliseconds.
+        budget_ms: u64,
+    },
+    /// Every rung of the solver fallback ladder failed; carries the
+    /// full attempt trail so diagnostics can show why *each* rung
+    /// failed, not just the last (see `rascad-core`'s ladder).
+    FallbackExhausted {
+        /// One record per attempted rung, in attempt order.
+        attempts: Vec<SolveAttempt>,
+    },
     /// An option passed to a solver was out of range.
     InvalidOption {
         /// Human-readable description of the bad option.
@@ -80,6 +99,33 @@ pub enum MarkovError {
         /// Human-readable description of the mismatched shapes.
         what: String,
     },
+}
+
+/// One failed rung of the solver fallback ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveAttempt {
+    /// Rung name: `"power"`, `"lu"`, or `"gth"`.
+    pub method: &'static str,
+    /// Iterations performed, when the rung is iterative (or timed out
+    /// mid-iteration); `None` for direct methods.
+    pub iterations: Option<usize>,
+    /// Residual at the point of failure, when the rung reports one.
+    pub residual: Option<f64>,
+    /// The rung's underlying error.
+    pub error: Box<MarkovError>,
+}
+
+impl fmt::Display for SolveAttempt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.method)?;
+        if let Some(i) = self.iterations {
+            write!(f, " after {i} iterations")?;
+        }
+        if let Some(r) = self.residual {
+            write!(f, " (residual {r:.3e})")?;
+        }
+        write!(f, ": {}", self.error)
+    }
 }
 
 impl fmt::Display for MarkovError {
@@ -111,6 +157,18 @@ impl fmt::Display for MarkovError {
                 "{method} iteration did not converge: residual {residual:.3e} after \
                  {iterations} iterations (tolerance {tolerance:.1e}; chain too stiff — use GTH)"
             ),
+            MarkovError::Timeout { method, iterations, elapsed_ms, budget_ms } => write!(
+                f,
+                "{method} solve exceeded its wall-clock budget: {elapsed_ms} ms spent \
+                 ({iterations} iterations) against a budget of {budget_ms} ms"
+            ),
+            MarkovError::FallbackExhausted { attempts } => {
+                write!(f, "solver fallback ladder exhausted after {} rung(s)", attempts.len())?;
+                for a in attempts {
+                    write!(f, "; {a}")?;
+                }
+                Ok(())
+            }
             MarkovError::InvalidOption { what } => write!(f, "invalid option: {what}"),
             MarkovError::DimensionMismatch { what } => {
                 write!(f, "dimension mismatch: {what}")
@@ -119,7 +177,18 @@ impl fmt::Display for MarkovError {
     }
 }
 
-impl std::error::Error for MarkovError {}
+impl std::error::Error for MarkovError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            // The cause chain descends into the final rung's failure;
+            // the Display above lists every earlier rung inline.
+            MarkovError::FallbackExhausted { attempts } => {
+                attempts.last().map(|a| a.error.as_ref() as _)
+            }
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -145,6 +214,15 @@ mod tests {
             },
             MarkovError::InvalidOption { what: "epsilon".into() },
             MarkovError::DimensionMismatch { what: "3x2 generator".into() },
+            MarkovError::Timeout { method: "power", iterations: 10, elapsed_ms: 31, budget_ms: 30 },
+            MarkovError::FallbackExhausted {
+                attempts: vec![SolveAttempt {
+                    method: "gth",
+                    iterations: None,
+                    residual: None,
+                    error: Box::new(MarkovError::Singular),
+                }],
+            },
         ];
         for c in cases {
             let s = c.to_string();
@@ -165,6 +243,39 @@ mod tests {
         assert!(s.contains("12345"), "{s}");
         assert!(s.contains("2.500e-9"), "{s}");
         assert!(s.contains("1.0e-14"), "{s}");
+    }
+
+    #[test]
+    fn fallback_exhausted_lists_every_rung_and_chains_the_last() {
+        use std::error::Error as _;
+        let e = MarkovError::FallbackExhausted {
+            attempts: vec![
+                SolveAttempt {
+                    method: "power",
+                    iterations: Some(1_000),
+                    residual: Some(3.2e-7),
+                    error: Box::new(MarkovError::NotConverged {
+                        method: "power",
+                        iterations: 1_000,
+                        residual: 3.2e-7,
+                        tolerance: 1e-14,
+                    }),
+                },
+                SolveAttempt {
+                    method: "lu",
+                    iterations: None,
+                    residual: None,
+                    error: Box::new(MarkovError::Singular),
+                },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 rung(s)"), "{s}");
+        assert!(s.contains("power after 1000 iterations"), "{s}");
+        assert!(s.contains("3.200e-7"), "{s}");
+        assert!(s.contains("lu: linear system is singular"), "{s}");
+        // Cause chain descends into the final rung's error.
+        assert_eq!(e.source().unwrap().to_string(), MarkovError::Singular.to_string());
     }
 
     #[test]

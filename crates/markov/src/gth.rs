@@ -6,9 +6,14 @@
 //! (FIT-scale failure rates against per-minute repair rates, as in
 //! RAScad models).
 
-use crate::ctmc::Ctmc;
+use crate::ctmc::{Ctmc, SolveOptions};
 use crate::dense::DenseMatrix;
 use crate::error::MarkovError;
+
+/// How many elimination pivots pass between wall-clock checks in
+/// [`stationary_gth_with`]. Each pivot is `O(k^2)` work, so checking
+/// every pivot would be noise; every 32nd keeps the overdraft bounded.
+const GTH_CLOCK_STRIDE: usize = 32;
 
 /// Computes the stationary distribution of an irreducible CTMC by GTH
 /// elimination on its generator.
@@ -23,6 +28,18 @@ pub fn stationary_gth(chain: &Ctmc) -> Result<Vec<f64>, MarkovError> {
     stationary_gth_dense(&q)
 }
 
+/// [`stationary_gth`] bounded by the wall-clock budget in `options`
+/// (the iteration budget does not apply — elimination is direct).
+///
+/// # Errors
+///
+/// The [`stationary_gth`] errors, plus [`MarkovError::Timeout`] when
+/// the budget expires mid-elimination.
+pub fn stationary_gth_with(chain: &Ctmc, options: &SolveOptions) -> Result<Vec<f64>, MarkovError> {
+    let q = chain.generator().to_dense();
+    stationary_gth_dense_with(&q, options)
+}
+
 /// GTH elimination on a dense generator matrix (rows sum to zero,
 /// off-diagonals non-negative).
 ///
@@ -32,6 +49,20 @@ pub fn stationary_gth(chain: &Ctmc) -> Result<Vec<f64>, MarkovError> {
 /// [`MarkovError::EmptyChain`] for a 0×0 input, and
 /// [`MarkovError::Singular`] on a zero pivot.
 pub fn stationary_gth_dense(q: &DenseMatrix) -> Result<Vec<f64>, MarkovError> {
+    stationary_gth_dense_with(q, &SolveOptions { wall_clock: None, ..SolveOptions::default() })
+}
+
+/// [`stationary_gth_dense`] with a wall-clock budget, checked every
+/// [`GTH_CLOCK_STRIDE`] elimination pivots.
+///
+/// # Errors
+///
+/// The [`stationary_gth_dense`] errors, plus [`MarkovError::Timeout`]
+/// when the budget expires mid-elimination.
+pub fn stationary_gth_dense_with(
+    q: &DenseMatrix,
+    options: &SolveOptions,
+) -> Result<Vec<f64>, MarkovError> {
     let n = q.rows();
     if n != q.cols() {
         return Err(MarkovError::DimensionMismatch {
@@ -57,7 +88,14 @@ pub fn stationary_gth_dense(q: &DenseMatrix) -> Result<Vec<f64>, MarkovError> {
     // needed again during back substitution.
     let mut pivots = vec![0.0; n];
     let mut min_pivot = f64::INFINITY;
-    for k in (1..n).rev() {
+    let start = std::time::Instant::now();
+    for (step, k) in (1..n).rev().enumerate() {
+        if step % GTH_CLOCK_STRIDE == 0 {
+            let elapsed = start.elapsed();
+            if options.over_budget(elapsed) {
+                return Err(options.timeout_error("gth", step, elapsed));
+            }
+        }
         // s = total rate out of k into states 0..k.
         let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
         if s <= 0.0 || !s.is_finite() {

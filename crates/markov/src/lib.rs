@@ -67,9 +67,9 @@ pub mod sensitivity;
 pub mod transient;
 
 pub use absorbing::{AbsorbingAnalysis, ReliabilityCurve};
-pub use ctmc::{Ctmc, CtmcBuilder, StateId, SteadyStateMethod};
+pub use ctmc::{Ctmc, CtmcBuilder, SolveOptions, StateId, SteadyStateMethod};
 pub use dtmc::{Dtmc, DtmcBuilder};
-pub use error::MarkovError;
+pub use error::{MarkovError, SolveAttempt};
 pub use fingerprint::{Fingerprint, StableHasher};
 pub use matrix::SparseMatrix;
 pub use semi::{SemiMarkov, SemiMarkovBuilder, SojournDistribution};

@@ -65,6 +65,47 @@ cargo run --offline -q -p rascad-cli -- --threads 8 \
     > target/ci_sweep_t8.txt
 cmp target/ci_sweep_t1.txt target/ci_sweep_t8.txt
 
+# Chaos suites: the fault-injection tests are feature-gated
+# (`required-features = ["fault-inject"]`), so the workspace run above
+# skips them. Run them explicitly, plus the always-on parser no-panic
+# corpus by name so the robustness gates are visible in the log.
+echo "==> chaos suites (fault-inject) + parser no-panic corpus"
+cargo test --offline -q -p rascad-core --features fault-inject --test chaos
+cargo test --offline -q -p rascad-cli --features fault-inject --test chaos
+cargo test --offline -q -p rascad-spec --test no_panic
+
+# Fault-injection smoke against the compiled binary: force one
+# sub-block panic under --best-effort and check the partial-result
+# contract end to end — exit code 8, the PARTIAL RESULT banner, the
+# typed failure row, and every uninjected block's report row
+# byte-identical to a clean run.
+echo "==> fault-injection smoke (forced panic, --best-effort, exit 8)"
+cargo run --offline -q -p rascad-cli --features fault-inject -- \
+    solve target/ci_dc.rascad > target/ci_chaos_clean.txt
+cat > target/ci_chaos_plan.toml <<'PLAN'
+[[inject]]
+block = "Server Box/CPU Module"
+kind = "panic"
+PLAN
+set +e
+cargo run --offline -q -p rascad-cli --features fault-inject -- \
+    solve target/ci_dc.rascad --best-effort --inject target/ci_chaos_plan.toml \
+    > target/ci_chaos_partial.txt 2> target/ci_chaos_stderr.txt
+chaos_code=$?
+set -e
+if [ "$chaos_code" -ne 8 ]; then
+    echo "fault-injection smoke: expected exit 8, got $chaos_code"
+    cat target/ci_chaos_stderr.txt
+    exit 1
+fi
+grep -q "PARTIAL RESULT" target/ci_chaos_partial.txt
+grep -q "worker panicked while solving block" target/ci_chaos_partial.txt
+grep '^ *Data Center System/' target/ci_chaos_clean.txt |
+    grep -v "Server Box/CPU Module" > target/ci_chaos_rows_clean.txt
+grep '^ *Data Center System/' target/ci_chaos_partial.txt |
+    grep -v "Server Box/CPU Module" > target/ci_chaos_rows_partial.txt
+cmp target/ci_chaos_rows_clean.txt target/ci_chaos_rows_partial.txt
+
 # Non-blocking pedantic report: surfaces candidate cleanups without
 # gating the build on them (the hard clippy gate above already denies
 # default-level warnings). Mirrors the bench-smoke pattern.
