@@ -153,9 +153,13 @@ struct BenchCapture {
 
 impl Sink for BenchCapture {
     fn event(&mut self, event: &Event) {
-        if let Event::Metrics { counters, values } = event {
+        if let Event::Metrics { counters, gauges, values } = event {
             if let Ok(mut slot) = self.metrics.lock() {
-                *slot = Some((counters.clone(), values.clone()));
+                *slot = Some(MetricsSummary {
+                    counters: counters.clone(),
+                    gauges: gauges.clone(),
+                    values: values.clone(),
+                });
             }
         } else if let Ok(mut tree) = self.tree.lock() {
             tree.observe(event);
@@ -566,17 +570,19 @@ fn document(
             .collect(),
     );
     let spans = tree.lock().map_or(Value::Arr(Vec::new()), |t| t.to_json());
-    let (counters, values) = metrics.lock().ok().and_then(|mut slot| slot.take()).map_or_else(
-        || (Value::Obj(Vec::new()), Value::Obj(Vec::new())),
-        |(counters, values)| {
-            (
-                Value::Obj(
-                    counters.iter().map(|(k, v)| ((*k).to_string(), Value::from(*v))).collect(),
-                ),
-                Value::Obj(values.iter().map(|(k, s)| ((*k).to_string(), s.to_json())).collect()),
-            )
-        },
-    );
+    let (counters, gauges, values) =
+        metrics.lock().ok().and_then(|mut slot| slot.take()).map_or_else(
+            || (Value::Obj(Vec::new()), Value::Obj(Vec::new()), Value::Obj(Vec::new())),
+            |m| {
+                (
+                    Value::Obj(
+                        m.counters.iter().map(|(k, v)| (k.clone(), Value::from(*v))).collect(),
+                    ),
+                    Value::Obj(m.gauges.iter().map(|(k, v)| (k.clone(), Value::Num(*v))).collect()),
+                    Value::Obj(m.values.iter().map(|(k, s)| (k.clone(), s.to_json())).collect()),
+                )
+            },
+        );
     let mut checks_fields = vec![
         ("availability".to_string(), Value::Num(checks.availability)),
         ("yearly_downtime_minutes".to_string(), Value::Num(checks.yearly_downtime_minutes)),
@@ -596,6 +602,7 @@ fn document(
         ("stages".to_string(), stages_json),
         ("spans".to_string(), spans),
         ("counters".to_string(), counters),
+        ("gauges".to_string(), gauges),
         ("values".to_string(), values),
         ("checks".to_string(), checks_json),
     ];
@@ -639,6 +646,11 @@ fn check_document(doc: &Value) -> Result<(String, String, usize), String> {
     }
     doc.get("spans").and_then(Value::as_array).ok_or("missing `spans` array")?;
     doc.get("counters").and_then(Value::as_object).ok_or("missing `counters` object")?;
+    // `gauges` arrived with the labeled registry; absent in older
+    // baselines, but when present it must be an object.
+    if let Some(g) = doc.get("gauges") {
+        g.as_object().ok_or("`gauges` is not an object")?;
+    }
     doc.get("values").and_then(Value::as_object).ok_or("missing `values` object")?;
     doc.get("checks").and_then(Value::as_object).ok_or("missing `checks` object")?;
     if let Some(scaling) = doc.get("sweep_scaling") {
@@ -1001,7 +1013,8 @@ mod tests {
             assert!(snap.get("count").unwrap().as_f64().unwrap() >= 1.0, "{key}");
         }
         let counters = doc.get("counters").unwrap();
-        for key in ["markov.gth.solves", "markov.transient.solves", "sim.replications"] {
+        for key in ["markov.solves{method=\"gth\"}", "markov.transient.solves", "sim.replications"]
+        {
             assert!(
                 counters.get(key).and_then(Value::as_f64).unwrap_or(0.0) >= 1.0,
                 "missing counter {key}"

@@ -123,11 +123,21 @@ USAGE:
 OPTIONS (apply to every command):
     --trace <file|->                    write pipeline trace events as JSON lines to the
                                         file (`-` for stdout)
+    --trace-out <file>                  write a Chrome trace-event JSON timeline (loadable
+                                        in Perfetto / chrome://tracing; one lane per
+                                        worker thread)
+    --metrics-out <file>                dump a scrape-ready Prometheus text-format
+                                        (exposition 0.0.4) metrics snapshot at exit
     --timings                           print a per-span timing summary to stderr on exit
     --no-lint                           skip the automatic pre-solve lint gate
     --threads <n>                       solver worker threads (default: RASCAD_THREADS env
                                         or the machine's available parallelism); results
                                         are bit-identical at any thread count
+
+A bounded flight recorder is always on: when a run exits with code >= 4,
+a worker panics, or --best-effort degrades a solve, the last events per
+thread are dumped as JSON lines to rascad-flight-<pid>.jsonl (override
+the path with the RASCAD_FLIGHT_PATH environment variable).
 
 COMMANDS:
     check <spec.rascad>                 validate a specification
@@ -144,8 +154,12 @@ COMMANDS:
                                         exits 8 with a partial report; --inject installs
                                         a deterministic fault plan (builds with the
                                         `fault-inject` feature only)
-    stats <spec.rascad>                 pipeline statistics: blocks per chain type, state
-                                        counts, per-stage wall time, solver diagnostics
+    stats <spec.rascad> [--prometheus [--out FILE]]
+                                        pipeline statistics: blocks per chain type, state
+                                        counts, per-stage wall time, solver diagnostics;
+                                        --prometheus renders the solve-run metrics as a
+                                        Prometheus exposition page instead (to FILE with
+                                        --out, else stdout)
     dot <spec.rascad> <block-path>      print the generated Markov chain as Graphviz DOT
     modes <spec.rascad> <block-path>    first-failure mode attribution for one block
     importance <spec.rascad>            rank blocks by system-level importance
@@ -183,6 +197,10 @@ EXIT CODES:
 struct ObsOptions {
     /// `--trace <file|->`: JSON-lines event destination.
     trace: Option<String>,
+    /// `--trace-out <file>`: Chrome trace-event JSON timeline.
+    trace_out: Option<String>,
+    /// `--metrics-out <file>`: Prometheus snapshot written at exit.
+    metrics_out: Option<String>,
     /// `--timings`: human-readable span summary on stderr.
     timings: bool,
     /// `--no-lint`: skip the automatic Tier A gate before
@@ -197,6 +215,8 @@ struct ObsOptions {
 /// `?` early returns) flushes the aggregated metrics.
 struct ObsSession {
     active: bool,
+    /// Destination for the Prometheus snapshot written on drop.
+    metrics_out: Option<String>,
 }
 
 impl ObsSession {
@@ -211,23 +231,39 @@ impl ObsSession {
                 sinks.push(Box::new(rascad_obs::JsonLinesSink::new(file)));
             }
         }
+        if let Some(target) = &opts.trace_out {
+            let file = std::fs::File::create(target)
+                .map_err(|source| CliError::Io { path: target.clone(), source })?;
+            sinks.push(Box::new(rascad_obs::ChromeTraceSink::new(std::io::BufWriter::new(file))));
+        }
         if opts.timings {
             sinks.push(Box::new(rascad_obs::SummarySink::new(std::io::stderr())));
         }
-        let active = !sinks.is_empty();
+        // `--metrics-out` needs the registry but no sink: an empty
+        // install still accumulates metrics for the exit snapshot.
+        let active = !sinks.is_empty() || opts.metrics_out.is_some();
         if active {
             rascad_obs::install(sinks);
         }
-        Ok(ObsSession { active })
+        Ok(ObsSession { active, metrics_out: opts.metrics_out.clone() })
     }
 }
 
 impl Drop for ObsSession {
     fn drop(&mut self) {
-        if self.active {
-            rascad_obs::drain();
-            rascad_obs::uninstall();
+        if !self.active {
+            return;
         }
+        // Snapshot before drain: drain resets the registry.
+        if let Some(path) = &self.metrics_out {
+            let snap = rascad_obs::MetricsRegistry::global().snapshot();
+            let page = rascad_obs::prometheus::encode(&snap);
+            if let Err(e) = std::fs::write(path, page) {
+                eprintln!("warning: cannot write metrics snapshot to `{path}`: {e}");
+            }
+        }
+        rascad_obs::drain();
+        rascad_obs::uninstall();
     }
 }
 
@@ -244,6 +280,18 @@ fn split_global_flags(args: &[String]) -> Result<(Vec<&str>, ObsOptions), CliErr
                     .next()
                     .ok_or_else(|| CliError::usage("--trace needs a file argument (or `-`)"))?;
                 opts.trace = Some(target.to_string());
+            }
+            "--trace-out" => {
+                let target = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--trace-out needs a file argument"))?;
+                opts.trace_out = Some(target.to_string());
+            }
+            "--metrics-out" => {
+                let target = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--metrics-out needs a file argument"))?;
+                opts.metrics_out = Some(target.to_string());
             }
             "--timings" => opts.timings = true,
             "--no-lint" => opts.no_lint = true,
@@ -275,6 +323,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if let Some(n) = obs.threads {
         rascad_core::set_thread_override(n);
     }
+    // The flight recorder is always on: a bounded per-thread ring that
+    // costs one branch per instrumentation call and is only dumped by
+    // `main` when the run fails (exit >= 4 or a recorded incident).
+    rascad_obs::flight::arm();
     let _session = ObsSession::start(&obs)?;
     dispatch(&words, !obs.no_lint)
 }
@@ -313,9 +365,8 @@ fn dispatch(args: &[&str], lint_enabled: bool) -> Result<String, CliError> {
             solve::solve(&spec, &rest)
         }
         Some("stats") => {
-            let path =
-                it.next().ok_or_else(|| CliError::usage("stats needs a spec file argument"))?;
-            stats::stats(path)
+            let rest: Vec<&str> = it.collect();
+            stats::stats(&rest)
         }
         Some("dot") => {
             let spec = load(it.next())?;

@@ -4,6 +4,9 @@
 //! stopwatch around each stage and reports structural statistics
 //! (blocks per chain type, state counts) plus the solver diagnostics
 //! aggregated by `rascad-obs` (GTH solves, LU fill, pivot magnitudes).
+//! With `--prometheus`, the solve-run metrics are rendered as a
+//! Prometheus text-format (exposition 0.0.4) page instead — to a file
+//! with `--out`, else to stdout.
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -11,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use rascad_core::generator::generate_block;
 use rascad_core::solve_spec;
-use rascad_obs::{Event, MetricsSummary, Sink};
+use rascad_obs::{Event, MetricKind, MetricsSummary, RegistrySnapshot, Sink, CATALOG};
 use rascad_spec::{Block, Diagram, SystemSpec};
 
 use super::CliError;
@@ -22,9 +25,13 @@ struct CaptureSink(Arc<Mutex<Option<MetricsSummary>>>);
 
 impl Sink for CaptureSink {
     fn event(&mut self, event: &Event) {
-        if let Event::Metrics { counters, values } = event {
+        if let Event::Metrics { counters, gauges, values } = event {
             if let Ok(mut slot) = self.0.lock() {
-                *slot = Some((counters.clone(), values.clone()));
+                *slot = Some(MetricsSummary {
+                    counters: counters.clone(),
+                    gauges: gauges.clone(),
+                    values: values.clone(),
+                });
             }
         }
     }
@@ -52,9 +59,46 @@ const CHAIN_TYPE_LABELS: [&str; 5] = [
     "type 4 (nontransparent recovery, nontransparent repair)",
 ];
 
+/// Parsed `stats` arguments.
+struct StatsArgs<'a> {
+    path: &'a str,
+    prometheus: bool,
+    out: Option<&'a str>,
+}
+
+fn parse_args<'a>(args: &[&'a str]) -> Result<StatsArgs<'a>, CliError> {
+    let mut path = None;
+    let mut prometheus = false;
+    let mut out = None;
+    let mut it = args.iter().copied();
+    while let Some(a) = it.next() {
+        match a {
+            "--prometheus" => prometheus = true,
+            "--out" => {
+                out =
+                    Some(it.next().ok_or_else(|| CliError::usage("--out needs a file argument"))?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::usage(format!("unknown stats flag `{flag}`")));
+            }
+            positional if path.is_none() => path = Some(positional),
+            extra => {
+                return Err(CliError::usage(format!("unexpected stats argument `{extra}`")));
+            }
+        }
+    }
+    let path = path.ok_or_else(|| CliError::usage("stats needs a spec file argument"))?;
+    if out.is_some() && !prometheus {
+        return Err(CliError::usage("stats --out requires --prometheus"));
+    }
+    Ok(StatsArgs { path, prometheus, out })
+}
+
 /// Runs the pipeline on the spec at `path` and renders the statistics
-/// report.
-pub fn stats(path: &str) -> Result<String, CliError> {
+/// report (or a Prometheus exposition page under `--prometheus`).
+pub fn stats(args: &[&str]) -> Result<String, CliError> {
+    let args = parse_args(args)?;
+    let path = args.path;
     let text = std::fs::read_to_string(path)
         .map_err(|source| CliError::Io { path: path.to_string(), source })?;
 
@@ -103,8 +147,18 @@ pub fn stats(path: &str) -> Result<String, CliError> {
     let sol = solve_spec(&spec)?;
     let t_solve = t.elapsed();
 
+    // The Prometheus page is encoded from a registry scrape — labels
+    // intact, histogram buckets included — taken before the drain
+    // resets the shards.
+    let scrape =
+        if args.prometheus { Some(rascad_obs::MetricsRegistry::global().snapshot()) } else { None };
+
     if own_subscriber {
         rascad_obs::drain();
+    }
+
+    if let Some(snap) = scrape {
+        return prometheus_report(&snap, args.out);
     }
 
     let mut out = String::new();
@@ -140,30 +194,42 @@ pub fn stats(path: &str) -> Result<String, CliError> {
     let _ = writeln!(out);
     let _ = writeln!(out, "solver diagnostics:");
     match captured.lock().ok().and_then(|mut slot| slot.take()) {
-        Some((mut counters, values)) => {
-            // The robustness counters always appear — zero-filled when
-            // nothing fired — so operators can grep for them
-            // unconditionally.
-            for name in ["engine.worker_panics", "solve.fallbacks", "solve.timeouts"] {
-                if !counters.iter().any(|(n, _)| *n == name) {
-                    counters.push((name, 0));
+        Some(m) => {
+            let mut counters = m.counters;
+            // Every catalogued counter appears — zero-filled when
+            // nothing fired — so operators can grep for any known
+            // metric unconditionally. The catalog is the single source
+            // of truth; a counter added there can never silently go
+            // missing here.
+            for desc in CATALOG {
+                if desc.kind == MetricKind::Counter
+                    && !counters.iter().any(|(n, _)| series_base(n) == desc.name)
+                {
+                    counters.push((desc.name.to_string(), 0));
                 }
             }
-            counters.sort_unstable_by_key(|(name, _)| *name);
+            counters.sort();
             for (name, v) in &counters {
                 let _ = writeln!(out, "  {name:<36} {v:>12}");
             }
-            if !values.is_empty() {
+            if !m.gauges.is_empty() {
+                let _ = writeln!(out, "  {:<36} {:>12}", "gauge", "value");
+                for (name, v) in &m.gauges {
+                    let _ = writeln!(out, "  {name:<36} {v:>12}");
+                }
+            }
+            if !m.values.is_empty() {
                 let _ = writeln!(
                     out,
-                    "  {:<36} {:>6} {:>10} {:>10} {:>10}",
-                    "value", "count", "mean", "p50", "max"
+                    "  {:<36} {:>6} {:>10} {:>10} {:>10} {:>10}",
+                    "value", "count", "min", "mean", "p50", "max"
                 );
-                for (name, s) in &values {
+                for (name, s) in &m.values {
                     let _ = writeln!(
                         out,
-                        "  {name:<36} {:>6} {:>10.4} {:>10.4} {:>10.4}",
+                        "  {name:<36} {:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
                         s.count,
+                        s.min,
                         s.mean(),
                         s.p50,
                         s.max
@@ -176,6 +242,32 @@ pub fn stats(path: &str) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// Rendered series name without its label block:
+/// `cache.hits{kind="steady"}` → `cache.hits`.
+fn series_base(rendered: &str) -> &str {
+    rendered.split('{').next().unwrap_or(rendered)
+}
+
+/// Encodes a registry scrape as an exposition page, self-checked by the
+/// bundled validator, written to `out` or returned for stdout.
+fn prometheus_report(snap: &RegistrySnapshot, out: Option<&str>) -> Result<String, CliError> {
+    let page = rascad_obs::prometheus::encode(snap);
+    if let Err(e) = rascad_obs::prometheus::validate(&page) {
+        // Internal invariant, not a user error: the encoder must always
+        // produce validator-clean output.
+        return Err(CliError::usage(format!("internal: generated exposition is invalid: {e}")));
+    }
+    match out {
+        Some(file) => {
+            std::fs::write(file, &page)
+                .map_err(|source| CliError::Io { path: file.to_string(), source })?;
+            let samples = page.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count();
+            Ok(format!("wrote {samples} samples to {file}\n"))
+        }
+        None => Ok(page),
+    }
 }
 
 /// Depth-first walk of every block in the hierarchy, passing its
@@ -212,15 +304,18 @@ fn fmt_stage(d: Duration) -> String {
 mod tests {
     use super::*;
 
+    fn write_spec(name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, rascad_library::datacenter::data_center().to_dsl()).unwrap();
+        path
+    }
+
     #[test]
     fn stats_reports_stages_types_and_diagnostics() {
         let _lock = crate::commands::obs_test_lock();
-        let dir = std::env::temp_dir();
-        let path = dir.join("rascad_stats_test.rascad");
-        let spec = rascad_library::datacenter::data_center();
-        std::fs::write(&path, spec.to_dsl()).unwrap();
+        let path = write_spec("rascad_stats_test.rascad");
 
-        let out = stats(path.to_str().unwrap()).unwrap();
+        let out = stats(&[path.to_str().unwrap()]).unwrap();
         assert!(out.contains("stage timings:"), "{out}");
         for stage in ["parse", "validate", "generate", "solve"] {
             assert!(out.contains(stage), "missing stage {stage}: {out}");
@@ -234,8 +329,77 @@ mod tests {
     }
 
     #[test]
+    fn stats_zero_fills_every_catalogued_counter() {
+        let _lock = crate::commands::obs_test_lock();
+        let path = write_spec("rascad_stats_zero.rascad");
+        let out = stats(&[path.to_str().unwrap()]).unwrap();
+        // Robustness counters cannot fire on a healthy solve, yet they
+        // appear (zero-filled from the catalog), as does every other
+        // catalogued counter family.
+        for name in ["engine.worker_panics", "solve.fallbacks", "solve.timeouts"] {
+            assert!(out.contains(name), "missing zero-filled {name}: {out}");
+        }
+        for desc in CATALOG {
+            if desc.kind == MetricKind::Counter {
+                assert!(out.contains(desc.name), "catalog counter {} missing", desc.name);
+            }
+        }
+        // Labeled series from the solve show up rendered. (Whether the
+        // run hits or misses depends on how warm the process-wide
+        // engine cache is, but one of the two must have fired.)
+        assert!(
+            out.contains("core.cache.hits{kind=\"") || out.contains("core.cache.misses{kind=\""),
+            "{out}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_prometheus_emits_validator_clean_page() {
+        let _lock = crate::commands::obs_test_lock();
+        let path = write_spec("rascad_stats_prom.rascad");
+        let page = stats(&[path.to_str().unwrap(), "--prometheus"]).unwrap();
+        rascad_obs::prometheus::validate(&page).unwrap();
+        assert!(page.contains("# TYPE rascad_core_specs_solved counter"), "{page}");
+        assert!(page.contains("rascad_core_specs_solved 1"), "{page}");
+        // Catalogued counters are zero-filled even when the warm
+        // process-wide cache skipped the solver entirely.
+        assert!(page.contains("# TYPE rascad_markov_solves counter"), "{page}");
+        // Histograms are native: buckets, sum, count. Block generation
+        // always runs, so its state-count histogram is always present.
+        assert!(page.contains("rascad_core_block_states_bucket"), "{page}");
+        assert!(page.contains("rascad_core_block_states_count 23"), "{page}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_prometheus_out_writes_file() {
+        let _lock = crate::commands::obs_test_lock();
+        let path = write_spec("rascad_stats_promout.rascad");
+        let out_file = std::env::temp_dir().join("rascad_stats_m.prom");
+        let msg =
+            stats(&[path.to_str().unwrap(), "--prometheus", "--out", out_file.to_str().unwrap()])
+                .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let page = std::fs::read_to_string(&out_file).unwrap();
+        rascad_obs::prometheus::validate(&page).unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out_file).ok();
+    }
+
+    #[test]
+    fn stats_flag_parsing_rejects_bad_usage() {
+        assert!(stats(&[]).is_err());
+        assert!(stats(&["--prometheus"]).is_err()); // no spec path
+        let e = stats(&["spec.rascad", "--out", "x.prom"]).unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)), "{e:?}");
+        assert!(stats(&["a.rascad", "b.rascad"]).is_err());
+        assert!(stats(&["a.rascad", "--frobnicate"]).is_err());
+    }
+
+    #[test]
     fn stats_missing_file_is_io_error() {
-        let e = stats("/no/such/spec.rascad").unwrap_err();
+        let e = stats(&["/no/such/spec.rascad"]).unwrap_err();
         assert!(matches!(e, CliError::Io { .. }));
         assert_eq!(e.exit_code(), 5);
     }

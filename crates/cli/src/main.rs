@@ -9,12 +9,35 @@ use std::process::ExitCode;
 
 mod commands;
 
+/// Failure exit codes that warrant a flight-recorder post-mortem:
+/// solver failures and everything past them (I/O, regression, lint,
+/// partial results). Usage and spec errors (2, 3) fail before any
+/// instrumented work runs.
+const FLIGHT_DUMP_THRESHOLD: u8 = 4;
+
+/// Writes the flight-recorder rings to `rascad-flight-<pid>.jsonl` (or
+/// `$RASCAD_FLIGHT_PATH`) when the run failed hard or an incident
+/// (worker panic, degraded solve) was recorded. Quiet when the rings
+/// are empty — a usage error has no post-mortem worth keeping.
+fn dump_flight_recorder(exit_code: u8) {
+    let failed = exit_code >= FLIGHT_DUMP_THRESHOLD || rascad_obs::flight::has_incident();
+    if !failed || !rascad_obs::flight::events_recorded() {
+        return;
+    }
+    let path = std::env::var("RASCAD_FLIGHT_PATH")
+        .unwrap_or_else(|_| format!("rascad-flight-{}.jsonl", std::process::id()));
+    match rascad_obs::flight::dump_to(std::path::Path::new(&path)) {
+        Ok(events) => eprintln!("flight recorder: {events} event(s) written to {path}"),
+        Err(e) => eprintln!("warning: cannot write flight recording to `{path}`: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match commands::run(&args) {
+    let code = match commands::run(&args) {
         Ok(output) => {
             print!("{output}");
-            ExitCode::SUCCESS
+            0
         }
         // A partial result is still the command's useful output: the
         // report goes to stdout like a success, the classification to
@@ -22,7 +45,7 @@ fn main() -> ExitCode {
         Err(commands::CliError::Partial(report)) => {
             print!("{report}");
             eprintln!("error: partial result: some blocks failed to solve (best-effort mode)");
-            ExitCode::from(8)
+            8
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -31,7 +54,9 @@ fn main() -> ExitCode {
                 eprintln!("  caused by: {c}");
                 cause = c.source();
             }
-            ExitCode::from(e.exit_code())
+            e.exit_code()
         }
-    }
+    };
+    dump_flight_recorder(code);
+    ExitCode::from(code)
 }

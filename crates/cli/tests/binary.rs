@@ -181,10 +181,82 @@ fn stats_command_reports_pipeline() {
     assert!(stdout.contains("stage timings:"), "{stdout}");
     assert!(stdout.contains("blocks per chain type:"), "{stdout}");
     assert!(stdout.contains("solver diagnostics:"), "{stdout}");
-    assert!(stdout.contains("markov.gth.solves"), "{stdout}");
+    // A fresh process has a cold solve cache, so the solver really ran.
+    assert!(stdout.contains("markov.solves{method=\"gth\"}"), "{stdout}");
     // Robustness counters are always listed, zero-filled on a clean run.
     for counter in ["engine.worker_panics", "solve.fallbacks", "solve.timeouts"] {
         assert!(stdout.contains(counter), "missing {counter}:\n{stdout}");
     }
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stats_prometheus_page_passes_the_validator() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("rascad_binary_stats_prom.rascad");
+    let (ok, dsl, _) = rascad(&["library", "cluster"]);
+    assert!(ok);
+    std::fs::write(&path, &dsl).unwrap();
+
+    let (ok, page, stderr) = rascad(&["stats", path.to_str().unwrap(), "--prometheus"]);
+    assert!(ok, "{stderr}");
+    rascad_obs::prometheus::validate(&page).unwrap_or_else(|e| panic!("invalid page: {e}\n{page}"));
+    assert!(page.contains("rascad_markov_solves{method=\"gth\"}"), "{page}");
+    assert!(page.contains("rascad_core_cache_misses{kind=\"steady\"}"), "{page}");
+    assert!(page.contains("rascad_markov_gth_states_bucket"), "{page}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn metrics_out_writes_a_scrape_ready_snapshot() {
+    let dir = std::env::temp_dir();
+    let spec_path = dir.join("rascad_binary_metrics_out.rascad");
+    let prom_path = dir.join("rascad_binary_metrics_out.prom");
+    let (ok, dsl, _) = rascad(&["library", "workgroup"]);
+    assert!(ok);
+    std::fs::write(&spec_path, &dsl).unwrap();
+
+    let (ok, stdout, stderr) = rascad(&[
+        "--metrics-out",
+        prom_path.to_str().unwrap(),
+        "solve",
+        spec_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Yearly downtime"), "{stdout}");
+
+    let page = std::fs::read_to_string(&prom_path).unwrap();
+    rascad_obs::prometheus::validate(&page).unwrap_or_else(|e| panic!("invalid page: {e}\n{page}"));
+    assert!(page.contains("rascad_core_blocks_generated"), "{page}");
+    assert!(page.contains("rascad_markov_solves{method=\"gth\"}"), "{page}");
+    std::fs::remove_file(&spec_path).ok();
+    std::fs::remove_file(&prom_path).ok();
+}
+
+#[test]
+fn trace_out_writes_a_loadable_chrome_trace() {
+    let dir = std::env::temp_dir();
+    let spec_path = dir.join("rascad_binary_trace_out.rascad");
+    let trace_path = dir.join("rascad_binary_trace_out.json");
+    let (ok, dsl, _) = rascad(&["library", "cluster"]);
+    assert!(ok);
+    std::fs::write(&spec_path, &dsl).unwrap();
+
+    let (ok, stdout, stderr) = rascad(&[
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "solve",
+        spec_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Yearly downtime"), "{stdout}");
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let names = rascad_obs::chrome_trace::validate(&text)
+        .unwrap_or_else(|e| panic!("invalid chrome trace: {e}\n{text}"));
+    for expected in ["spec.parse_dsl", "core.generate_block", "core.solve_spec", "markov.gth"] {
+        assert!(names.iter().any(|n| n == expected), "span `{expected}` missing from {names:?}");
+    }
+    std::fs::remove_file(&spec_path).ok();
+    std::fs::remove_file(&trace_path).ok();
 }

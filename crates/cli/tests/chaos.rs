@@ -10,7 +10,17 @@ use std::path::PathBuf;
 use std::process::Command;
 
 fn rascad(args: &[&str]) -> (Option<i32>, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_rascad")).args(args).output().expect("binary runs");
+    // Failing runs dump the flight recorder; keep it out of the cwd.
+    let scratch = std::env::temp_dir().join("rascad_chaos_flight_scratch.jsonl");
+    rascad_flight(args, &scratch)
+}
+
+fn rascad_flight(args: &[&str], flight_path: &std::path::Path) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rascad"))
+        .args(args)
+        .env("RASCAD_FLIGHT_PATH", flight_path)
+        .output()
+        .expect("binary runs");
     (
         out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -155,6 +165,46 @@ fn malformed_plan_is_a_usage_error() {
     assert_eq!(code, Some(2), "{stderr}");
     assert!(stderr.contains("fault plan"), "{stderr}");
     cleanup(&[&spec, &plan]);
+}
+
+#[test]
+fn degraded_solve_dumps_the_flight_recorder() {
+    let (spec, plan) = fixture("flight", "[[inject]]\nblock = \"B\"\nkind = \"panic\"\n");
+    let flight = std::env::temp_dir().join("rascad_chaos_flight_dump.jsonl");
+    std::fs::remove_file(&flight).ok();
+
+    let (code, _, stderr) = rascad_flight(
+        &["solve", spec.to_str().unwrap(), "--best-effort", "--inject", plan.to_str().unwrap()],
+        &flight,
+    );
+    assert_eq!(code, Some(8), "{stderr}");
+    assert!(stderr.contains("flight recorder:"), "no dump notice on stderr:\n{stderr}");
+
+    let dump = std::fs::read_to_string(&flight).expect("flight dump written");
+    let mut lines = dump.lines();
+    let header = rascad_obs::json::parse(lines.next().expect("header line")).unwrap();
+    assert_eq!(header.get("flight_recorder").unwrap().as_str(), Some("rascad"));
+    let incidents = match header.get("incidents").unwrap() {
+        rascad_obs::json::Value::Arr(items) => items,
+        other => panic!("incidents is not an array: {other:?}"),
+    };
+    assert!(incidents.iter().any(|i| i.as_str().is_some_and(|s| s.contains("Sys/B"))), "{dump}");
+    // Every event line is strict JSON, and the failing block's solve
+    // span made it into the ring.
+    let mut saw_failed_span = false;
+    for line in lines {
+        let v = rascad_obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable flight line `{line}`: {e}"));
+        let kind = v.get("kind").and_then(|k| k.as_str()).expect("event has a kind");
+        if kind == "span_end"
+            && v.get("detail").and_then(|d| d.as_str()).is_some_and(|d| d.contains("Sys/B"))
+        {
+            saw_failed_span = true;
+        }
+    }
+    assert!(saw_failed_span, "failed block's span missing from dump:\n{dump}");
+
+    cleanup(&[&spec, &plan, &flight]);
 }
 
 #[test]

@@ -171,14 +171,14 @@ impl SolveCache {
         maps.mission.clear();
     }
 
-    fn note_hit(&self) {
+    fn note_hit(&self, kind: &str) {
         self.hits.fetch_add(1, Ordering::Relaxed);
-        rascad_obs::counter("core.cache.hits", 1);
+        rascad_obs::counter_with("core.cache.hits", &[("kind", kind)], 1);
     }
 
-    fn note_miss(&self) {
+    fn note_miss(&self, kind: &str) {
         self.misses.fetch_add(1, Ordering::Relaxed);
-        rascad_obs::counter("core.cache.misses", 1);
+        rascad_obs::counter_with("core.cache.misses", &[("kind", kind)], 1);
     }
 
     /// Steady-state measures of `model`'s chain, served from cache when
@@ -197,18 +197,23 @@ impl SolveCache {
             let maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(e) = maps.steady.get(&key) {
                 if e.chain == model.chain {
-                    self.note_hit();
+                    self.note_hit("steady");
                     return Ok(e.measures);
                 }
             }
         }
-        self.note_miss();
+        self.note_miss("steady");
         let measures = steady_state_measures(model, method)?;
         let mut maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if maps.steady.len() >= self.capacity {
             maps.steady.clear();
         }
         maps.steady.insert(key, SteadyEntry { chain: model.chain.clone(), measures });
+        rascad_obs::gauge_set(
+            "core.cache.entries",
+            &[("kind", "steady")],
+            maps.steady.len() as f64,
+        );
         Ok(measures)
     }
 
@@ -229,18 +234,23 @@ impl SolveCache {
             let maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(e) = maps.mission.get(&key) {
                 if e.chain == model.chain {
-                    self.note_hit();
+                    self.note_hit("mission");
                     return Ok(e.measures);
                 }
             }
         }
-        self.note_miss();
+        self.note_miss("mission");
         let measures = compute_mission_measures(model, mission_hours)?;
         let mut maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if maps.mission.len() >= self.capacity {
             maps.mission.clear();
         }
         maps.mission.insert(key, MissionEntry { chain: model.chain.clone(), measures });
+        rascad_obs::gauge_set(
+            "core.cache.entries",
+            &[("kind", "mission")],
+            maps.mission.len() as f64,
+        );
         Ok(measures)
     }
 

@@ -159,7 +159,9 @@ where
             Ok(r) => Ok(r),
             Err(payload) => {
                 rascad_obs::counter("engine.worker_panics", 1);
-                Err(panic_message(payload.as_ref()))
+                let msg = panic_message(payload.as_ref());
+                rascad_obs::incident("worker_panic", &msg);
+                Err(msg)
             }
         }
     })
@@ -453,6 +455,8 @@ impl Engine {
         if !failed.is_empty() {
             span.record("failed_blocks", failed.len());
             rascad_obs::counter("core.degraded_solves", 1);
+            let paths: Vec<&str> = failed.iter().map(|f| f.path.as_str()).collect();
+            rascad_obs::incident("degraded_solve", &paths.join(", "));
         }
 
         // Mission measures across every chain, multiplied in the same

@@ -122,10 +122,12 @@ pub(crate) fn steady_state_ladder_forced(
     let mut attempts: Vec<SolveAttempt> = Vec::new();
     for (i, &rung) in LADDER[start..].iter().enumerate() {
         if i > 0 {
-            rascad_obs::counter("solve.fallbacks", 1);
+            let from = attempts.last().map_or("?", |a| a.method);
+            let to = method_name(rung);
+            rascad_obs::counter_with("solve.fallbacks", &[("from", from), ("to", to)], 1);
             let mut span = rascad_obs::span("core.solve_fallback");
-            span.record("from", attempts.last().map_or("?", |a| a.method));
-            span.record("to", method_name(rung));
+            span.record("from", from);
+            span.record("to", to);
         }
         match run_rung(chain, rung, options, forced) {
             Ok(pi) => return Ok(pi),

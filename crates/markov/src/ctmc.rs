@@ -425,7 +425,7 @@ impl Ctmc {
                 span.record("residual", residual);
                 rascad_obs::record_value("markov.power.iterations", iter as f64);
                 rascad_obs::record_value("markov.power.residual", residual);
-                rascad_obs::counter("markov.power.solves", 1);
+                rascad_obs::counter_with("markov.solves", &[("method", "power")], 1);
                 return Ok(pi);
             }
         }
@@ -734,11 +734,11 @@ mod tests {
         let (counters, values) = events
             .iter()
             .find_map(|e| match e {
-                Event::Metrics { counters, values } => Some((counters.clone(), values.clone())),
+                Event::Metrics { counters, values, .. } => Some((counters.clone(), values.clone())),
                 _ => None,
             })
             .expect("drain emits metrics");
-        assert!(counters.iter().any(|(n, v)| *n == "markov.power.solves" && *v >= 1));
+        assert!(counters.iter().any(|(n, v)| *n == "markov.solves{method=\"power\"}" && *v >= 1));
         let iters = values.iter().find(|(n, _)| *n == "markov.power.iterations");
         assert!(iters.is_some_and(|(_, s)| s.count >= 1 && s.min >= 1.0), "{values:?}");
         let resid = values.iter().find(|(n, _)| *n == "markov.power.residual");

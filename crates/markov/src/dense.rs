@@ -200,7 +200,7 @@ impl DenseMatrix {
             lu_span.record("n", n);
             lu_span.record("fill", fill);
             rascad_obs::record_value("markov.lu.fill", fill as f64);
-            rascad_obs::counter("markov.lu.solves", 1);
+            rascad_obs::counter_with("markov.solves", &[("method", "lu")], 1);
         }
         Ok(x)
     }

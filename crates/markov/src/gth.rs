@@ -145,7 +145,7 @@ pub fn stationary_gth_dense_with(
     span.record("min_pivot", min_pivot);
     rascad_obs::record_value("markov.gth.min_pivot", min_pivot);
     rascad_obs::record_value("markov.gth.states", n as f64);
-    rascad_obs::counter("markov.gth.solves", 1);
+    rascad_obs::counter_with("markov.solves", &[("method", "gth")], 1);
     Ok(pi)
 }
 

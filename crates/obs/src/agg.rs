@@ -1,26 +1,12 @@
-//! Per-thread metric aggregation: counters and log-bucketed value
-//! histograms.
+//! Log-bucketed value histograms and their summary snapshots.
 //!
-//! Counters and recorded values are accumulated in a [`ThreadAgg`]
-//! owned by each instrumented thread (behind a mutex that is only
-//! contended at [`crate::drain`] time), then merged into one view when
-//! the subscriber drains.
+//! Recorded values accumulate per thread in the registry shards
+//! ([`crate::registry`]), each series backed by one sparse
+//! [`Histogram`]; the merged view is summarized into a [`Snapshot`]
+//! for drain events and tables, or exported bucket-by-bucket by the
+//! Prometheus encoder.
 
 use std::collections::BTreeMap;
-
-/// One thread's accumulated metrics.
-#[derive(Debug, Default)]
-pub(crate) struct ThreadAgg {
-    pub(crate) counters: BTreeMap<&'static str, u64>,
-    pub(crate) values: BTreeMap<&'static str, Histogram>,
-}
-
-impl ThreadAgg {
-    pub(crate) fn clear(&mut self) {
-        self.counters.clear();
-        self.values.clear();
-    }
-}
 
 /// A sparse base-2 log-bucket histogram over finite `f64` values.
 ///
@@ -47,6 +33,16 @@ fn bucket_key(v: f64) -> i32 {
         mag
     } else {
         -mag - 1
+    }
+}
+
+/// Upper edge of a bucket — the `le` bound a cumulative exposition
+/// (Prometheus `_bucket`) reports for it. Monotone in the key.
+fn bucket_upper(key: i32) -> f64 {
+    if key >= 0 {
+        f64::from_bits(((key as u64) << 48) | 0x0000_ffff_ffff_ffff)
+    } else {
+        -f64::from_bits(((-(key + 1)) as u64) << 48)
     }
 }
 
@@ -106,6 +102,18 @@ impl Histogram {
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Occupied buckets in ascending value order, as
+    /// `(upper_edge, count)` — the raw material for a cumulative
+    /// exposition (`le` bounds are the upper edges).
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets.iter().map(|(&k, &n)| (bucket_upper(k), n))
     }
 
     /// Value at quantile `q` in `[0, 1]`, approximated by the midpoint
@@ -273,6 +281,26 @@ mod tests {
         // Merging an empty histogram is a no-op.
         a.merge(&Histogram::default());
         assert_eq!(a.snapshot(), sall);
+    }
+
+    #[test]
+    fn bucket_upper_edges_are_monotone_and_contain_values() {
+        let mut h = Histogram::default();
+        let vals = [-100.0, -1.0, 0.5, 2.0, 1e6];
+        for v in vals {
+            h.record(v);
+        }
+        let edges: Vec<(f64, u64)> = h.bucket_counts().collect();
+        assert_eq!(edges.iter().map(|(_, n)| n).sum::<u64>(), 5);
+        for w in edges.windows(2) {
+            assert!(w[0].0 < w[1].0, "{edges:?}");
+        }
+        // Every recorded value is <= its bucket's upper edge, and the
+        // cumulative count over all buckets reaches the total.
+        for v in vals {
+            let covered = edges.iter().filter(|(upper, _)| v <= *upper).count();
+            assert!(covered >= 1, "value {v} above every edge: {edges:?}");
+        }
     }
 
     #[test]

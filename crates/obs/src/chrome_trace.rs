@@ -1,0 +1,281 @@
+//! Chrome trace-event exporter: spans as a Perfetto-loadable timeline.
+//!
+//! [`ChromeTraceSink`] streams the span stream into the Trace Event
+//! Format's JSON object form (`{"traceEvents":[...]}`), loadable in
+//! Perfetto or `chrome://tracing`. Each closed span becomes one "X"
+//! (complete) event with microsecond `ts`/`dur`; the subscriber's
+//! thread ordinal becomes the `tid`, so worker pools render as
+//! parallel lanes, and each lane gets an "M" `thread_name` metadata
+//! record the first time it appears. Span fields ride along in `args`.
+//!
+//! Events are written as spans *close*, so a parent span appears after
+//! its children — the format is explicitly order-independent (viewers
+//! sort by `ts`), which is what makes single-pass streaming possible.
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::time::Duration;
+
+use crate::json::Value;
+use crate::sink::{Event, Sink};
+
+/// Streams span events as Chrome trace JSON to a writer.
+///
+/// The array is opened on construction and closed when the sink is
+/// dropped (i.e. at [`crate::uninstall`]), so the output is a complete
+/// JSON document once the subscriber shuts down. Write errors are
+/// swallowed: tracing must never take down the computation it
+/// observes.
+pub struct ChromeTraceSink<W: Write + Send> {
+    out: W,
+    /// Thread ordinals that already got a `thread_name` metadata event.
+    named: BTreeSet<u64>,
+    /// Whether any event has been written (comma bookkeeping).
+    wrote_any: bool,
+    /// Whether the closing `]}` has been written.
+    closed: bool,
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+impl<W: Write + Send> ChromeTraceSink<W> {
+    /// Wraps a writer and opens the `traceEvents` array.
+    pub fn new(mut out: W) -> Self {
+        let _ = out.write_all(b"{\"traceEvents\":[");
+        ChromeTraceSink { out, named: BTreeSet::new(), wrote_any: false, closed: false }
+    }
+
+    fn emit(&mut self, value: &Value) {
+        if self.closed {
+            return;
+        }
+        if self.wrote_any {
+            let _ = self.out.write_all(b",\n");
+        } else {
+            let _ = self.out.write_all(b"\n");
+        }
+        self.wrote_any = true;
+        let _ = self.out.write_all(value.to_string_compact().as_bytes());
+    }
+
+    /// Emits the one-time `thread_name` metadata record for a lane.
+    fn name_thread(&mut self, tid: u64) {
+        if !self.named.insert(tid) {
+            return;
+        }
+        let label = if tid == 0 { "main".to_string() } else { format!("worker-{tid}") };
+        let meta = Value::Obj(vec![
+            ("name".into(), Value::from("thread_name")),
+            ("ph".into(), Value::from("M")),
+            ("pid".into(), Value::from(u64::from(std::process::id()))),
+            ("tid".into(), Value::from(tid)),
+            ("args".into(), Value::Obj(vec![("name".into(), Value::Str(label))])),
+        ]);
+        self.emit(&meta);
+    }
+
+    /// Writes the closing bracket; further events are ignored. Called
+    /// from [`Drop`], but safe to call early.
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        let _ = self.out.write_all(b"\n]}\n");
+        let _ = self.out.flush();
+        self.closed = true;
+    }
+}
+
+impl<W: Write + Send> Sink for ChromeTraceSink<W> {
+    fn event(&mut self, event: &Event) {
+        let Event::SpanEnd { name, at, elapsed, fields, tid, .. } = event else {
+            return;
+        };
+        self.name_thread(*tid);
+        // `at` is the close time; the viewer wants the open time.
+        let ts = (micros(*at) - micros(*elapsed)).max(0.0);
+        let mut obj = vec![
+            ("name".into(), Value::from(*name)),
+            ("cat".into(), Value::from("rascad")),
+            ("ph".into(), Value::from("X")),
+            ("ts".into(), Value::Num(ts)),
+            ("dur".into(), Value::Num(micros(*elapsed))),
+            ("pid".into(), Value::from(u64::from(std::process::id()))),
+            ("tid".into(), Value::from(*tid)),
+        ];
+        if !fields.is_empty() {
+            obj.push((
+                "args".into(),
+                Value::Obj(fields.iter().map(|(k, v)| ((*k).to_string(), v.to_json())).collect()),
+            ));
+        }
+        self.emit(&Value::Obj(obj));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl<W: Write + Send> Drop for ChromeTraceSink<W> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Checks that `text` is a well-formed Chrome trace document: a JSON
+/// object with a `traceEvents` array whose entries each carry a string
+/// `ph` and, for "X" events, numeric `ts`/`dur` and a `name`. Returns
+/// the complete-event span names in document order.
+///
+/// # Errors
+///
+/// A description of the first structural problem found.
+pub fn validate(text: &str) -> Result<Vec<String>, String> {
+    let doc = crate::json::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    let mut names = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph != "X" {
+            continue;
+        }
+        let name = ev
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: X event without name"))?;
+        for key in ["ts", "dur"] {
+            let v = ev.get(key).and_then(|v| v.as_f64());
+            match v {
+                Some(n) if n >= 0.0 => {}
+                _ => return Err(format!("event {i} ({name}): bad {key}")),
+            }
+        }
+        ev.get("tid").and_then(|v| v.as_i64()).ok_or_else(|| format!("event {i}: bad tid"))?;
+        names.push(name.to_string());
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::FieldValue;
+
+    fn end(id: u64, name: &'static str, at_us: u64, dur_us: u64, tid: u64) -> Event {
+        Event::SpanEnd {
+            id,
+            name,
+            at: Duration::from_micros(at_us),
+            elapsed: Duration::from_micros(dur_us),
+            fields: Vec::new(),
+            tid,
+        }
+    }
+
+    #[test]
+    fn document_is_valid_json_with_thread_lanes() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.event(&end(1, "gth", 100, 40, 0));
+        sink.event(&end(2, "gth", 120, 30, 1));
+        sink.event(&end(3, "solve_spec", 200, 180, 0));
+        sink.close();
+        let text = String::from_utf8(std::mem::take(&mut sink.out)).unwrap();
+        let names = validate(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert_eq!(names, vec!["gth", "gth", "solve_spec"]);
+        let doc = crate::json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // One thread_name metadata record per lane, before its spans.
+        let metas: Vec<&Value> =
+            events.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("M")).collect();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].get("args").unwrap().get("name").unwrap().as_str(), Some("main"));
+        assert_eq!(metas[1].get("args").unwrap().get("name").unwrap().as_str(), Some("worker-1"));
+        // ts is the open time: close-at minus duration.
+        let solve =
+            events.iter().find(|e| e.get("name").unwrap().as_str() == Some("solve_spec")).unwrap();
+        assert_eq!(solve.get("ts").unwrap().as_f64(), Some(20.0));
+        assert_eq!(solve.get("dur").unwrap().as_f64(), Some(180.0));
+    }
+
+    #[test]
+    fn fields_become_args() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.event(&Event::SpanEnd {
+            id: 1,
+            name: "solve_block",
+            at: Duration::from_micros(50),
+            elapsed: Duration::from_micros(10),
+            fields: vec![("block", FieldValue::Str("CPU Module".into())), ("states", 12u64.into())],
+            tid: 0,
+        });
+        sink.close();
+        let text = String::from_utf8(std::mem::take(&mut sink.out)).unwrap();
+        validate(&text).unwrap();
+        let doc = crate::json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let span = events.iter().find(|e| e.get("ph").unwrap().as_str() == Some("X")).unwrap();
+        let args = span.get("args").unwrap();
+        assert_eq!(args.get("block").unwrap().as_str(), Some("CPU Module"));
+        assert_eq!(args.get("states").unwrap().as_i64(), Some(12));
+    }
+
+    #[test]
+    fn drop_closes_the_document_and_start_events_are_ignored() {
+        let buf: Vec<u8>;
+        {
+            let mut sink = ChromeTraceSink::new(Vec::new());
+            sink.event(&Event::SpanStart {
+                id: 1,
+                parent: None,
+                name: "solve",
+                at: Duration::ZERO,
+                tid: 0,
+            });
+            sink.event(&end(1, "solve", 90, 90, 0));
+            // No explicit close: Drop must finish the document.
+            buf = {
+                sink.event(&Event::Metrics { counters: vec![], gauges: vec![], values: vec![] });
+                sink.close();
+                std::mem::take(&mut sink.out)
+            };
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let names = validate(&text).unwrap();
+        assert_eq!(names, vec!["solve"]);
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.close();
+        let text = String::from_utf8(std::mem::take(&mut sink.out)).unwrap();
+        assert_eq!(validate(&text).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for (doc, why) in [
+            ("[1,2]", "not an object"),
+            ("{\"other\":[]}", "missing traceEvents"),
+            ("{\"traceEvents\":{}}", "traceEvents not array"),
+            ("{\"traceEvents\":[{\"name\":\"x\"}]}", "event without ph"),
+            ("{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0,\"dur\":1,\"tid\":0}]}", "X without name"),
+            (
+                "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"x\",\"ts\":-5,\"dur\":1,\"tid\":0}]}",
+                "negative ts",
+            ),
+        ] {
+            assert!(validate(doc).is_err(), "validator accepted: {why}");
+        }
+    }
+}

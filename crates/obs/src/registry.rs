@@ -1,0 +1,494 @@
+//! The live metrics registry: labeled counters, gauges and value
+//! histograms, sharded per thread and mergeable at any time.
+//!
+//! Each instrumented thread owns one [`Shard`] (a pair of `BTreeMap`s
+//! behind a mutex that is only contended when a snapshot is taken).
+//! [`MetricsRegistry::snapshot`] merges every shard into one
+//! [`RegistrySnapshot`] *without* disturbing the accumulation — a
+//! long-running process can be scraped mid-run — while
+//! [`MetricsRegistry::drain`] is snapshot-and-reset, so repeated
+//! drains partition the event stream losslessly.
+//!
+//! Series identity is [`SeriesId`]: a static metric name plus a sorted
+//! label set, e.g. `core.cache.hits{kind="steady"}`. The unlabeled
+//! fast path allocates nothing (an empty label `Vec`), so the
+//! pre-existing `counter`/`record_value` API costs what it always did.
+//!
+//! The [`CATALOG`] lists every metric the workspace emits, so
+//! reporting layers can zero-fill absent counters and attach help text
+//! without hand-maintained lists going stale.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::agg::Histogram;
+use crate::lock;
+
+/// What a catalogued metric is, for exposition TYPE lines and
+/// zero-fill decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Last-set level.
+    Gauge,
+    /// Value distribution (sparse log-bucket histogram).
+    Histogram,
+}
+
+/// One entry of the [`CATALOG`].
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDesc {
+    /// Dotted metric name as passed to the instrumentation calls.
+    pub name: &'static str,
+    /// Counter, gauge or histogram.
+    pub kind: MetricKind,
+    /// Label keys this metric may carry (empty for unlabeled metrics).
+    pub labels: &'static [&'static str],
+    /// One-line description, used for Prometheus `# HELP`.
+    pub help: &'static str,
+}
+
+/// Every metric the workspace emits, in name order. Reporting layers
+/// (`rascad stats`, the Prometheus encoder) zero-fill counters from
+/// this list so a metric that never fired still shows up as `0`
+/// instead of silently going missing.
+pub const CATALOG: &[MetricDesc] = &[
+    MetricDesc {
+        name: "core.block_states",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "State count of each generated Markov chain",
+    },
+    MetricDesc {
+        name: "core.blocks_generated",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Blocks run through the chain generator",
+    },
+    MetricDesc {
+        name: "core.cache.entries",
+        kind: MetricKind::Gauge,
+        labels: &["kind"],
+        help: "Entries resident in the block-solution cache",
+    },
+    MetricDesc {
+        name: "core.cache.hits",
+        kind: MetricKind::Counter,
+        labels: &["kind"],
+        help: "Block-solution cache hits by cache kind",
+    },
+    MetricDesc {
+        name: "core.cache.misses",
+        kind: MetricKind::Counter,
+        labels: &["kind"],
+        help: "Block-solution cache misses by cache kind",
+    },
+    MetricDesc {
+        name: "core.degraded_solves",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Blocks rolled up as availability bounds under --best-effort",
+    },
+    MetricDesc {
+        name: "core.pool.batches",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Parallel map batches dispatched to the worker pool",
+    },
+    MetricDesc {
+        name: "core.pool.tasks",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Tasks executed by the worker pool",
+    },
+    MetricDesc {
+        name: "core.pool.workers",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "Worker threads used per parallel batch",
+    },
+    MetricDesc {
+        name: "core.specs_solved",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Full system specifications solved",
+    },
+    MetricDesc {
+        name: "core.sweep_points",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Parametric sweep points evaluated",
+    },
+    MetricDesc {
+        name: "engine.worker_panics",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Worker panics caught and isolated by the solve engine",
+    },
+    MetricDesc {
+        name: "fielddata.outages_pooled",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Outage records pooled by the field-data estimator",
+    },
+    MetricDesc {
+        name: "gmb.models_solved",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Generic Markov models solved via the registry",
+    },
+    MetricDesc {
+        name: "library.specs_built",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Library example specifications constructed",
+    },
+    MetricDesc {
+        name: "markov.gth.min_pivot",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "Smallest pivot magnitude per GTH elimination",
+    },
+    MetricDesc {
+        name: "markov.gth.states",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "Chain size per GTH solve",
+    },
+    MetricDesc {
+        name: "markov.lu.fill",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "Fill-in produced per LU factorization",
+    },
+    MetricDesc {
+        name: "markov.power.iterations",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "Iterations to convergence per power-method solve",
+    },
+    MetricDesc {
+        name: "markov.power.residual",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "Final residual per power-method solve",
+    },
+    MetricDesc {
+        name: "markov.solves",
+        kind: MetricKind::Counter,
+        labels: &["method"],
+        help: "Steady-state solves by ladder rung (power, lu, gth)",
+    },
+    MetricDesc {
+        name: "markov.transient.grid_solves",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Transient grid evaluations (uniformization)",
+    },
+    MetricDesc {
+        name: "markov.transient.kmax",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "Uniformization truncation depth per transient solve",
+    },
+    MetricDesc {
+        name: "markov.transient.solves",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Point transient solves (uniformization)",
+    },
+    MetricDesc {
+        name: "markov.transient.vec_mul_steps",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Matrix-vector products spent in transient solves",
+    },
+    MetricDesc {
+        name: "rbd.evaluations",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Reliability-block-diagram availability evaluations",
+    },
+    MetricDesc {
+        name: "sim.availability",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "Estimated availability per simulation run",
+    },
+    MetricDesc {
+        name: "sim.events",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Discrete events processed by the simulator",
+    },
+    MetricDesc {
+        name: "sim.replications",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Monte-Carlo replications executed",
+    },
+    MetricDesc {
+        name: "solve.fallbacks",
+        kind: MetricKind::Counter,
+        labels: &["from", "to"],
+        help: "Steady-state ladder fallbacks by edge (from -> to)",
+    },
+    MetricDesc {
+        name: "solve.timeouts",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Ladder rungs abandoned on the iteration budget",
+    },
+];
+
+/// Looks a metric up in the [`CATALOG`] by its dotted name.
+pub fn describe(name: &str) -> Option<&'static MetricDesc> {
+    CATALOG.iter().find(|d| d.name == name)
+}
+
+/// Identity of one time series: metric name plus sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesId {
+    /// Dotted metric name.
+    pub name: &'static str,
+    /// Label key/value pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesId {
+    /// An unlabeled series. Allocates nothing.
+    pub fn plain(name: &'static str) -> SeriesId {
+        SeriesId { name, labels: Vec::new() }
+    }
+
+    /// A labeled series; labels are copied and sorted by key.
+    pub fn with_labels(name: &'static str, labels: &[(&str, &str)]) -> SeriesId {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| ((*k).to_string(), (*v).to_string())).collect();
+        labels.sort();
+        SeriesId { name, labels }
+    }
+
+    /// Renders the series as `name` or `name{k="v",...}` — the form
+    /// used in drain events, tables and BENCH documents.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.to_string();
+        }
+        let mut out = String::with_capacity(self.name.len() + 16);
+        out.push_str(self.name);
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One thread's accumulated series (the per-thread shard).
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    pub(crate) counters: BTreeMap<SeriesId, u64>,
+    pub(crate) values: BTreeMap<SeriesId, Histogram>,
+}
+
+impl Shard {
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.values.clear();
+    }
+}
+
+/// A merged, point-in-time view of every series in the registry.
+///
+/// Histograms are carried whole (not summarized), so exporters that
+/// need bucket detail — the Prometheus encoder — work from the same
+/// snapshot as the summary tables.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Counters, sorted by series id.
+    pub counters: Vec<(SeriesId, u64)>,
+    /// Gauges (last set value), sorted by series id.
+    pub gauges: Vec<(SeriesId, f64)>,
+    /// Value histograms, sorted by series id.
+    pub values: Vec<(SeriesId, Histogram)>,
+}
+
+impl RegistrySnapshot {
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.values.is_empty()
+    }
+
+    /// Total of every counter series matching the dotted `name`
+    /// (summing across label sets). `None` when no series matches.
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        let mut found = false;
+        let mut total = 0;
+        for (id, v) in &self.counters {
+            if id.name == name {
+                found = true;
+                total += v;
+            }
+        }
+        found.then_some(total)
+    }
+}
+
+/// The process-wide registry of per-thread shards and global gauges.
+///
+/// Obtained via [`MetricsRegistry::global`]; instrumentation writes to
+/// it through the free functions in the crate root (`counter`,
+/// `counter_with`, …), which are gated on the telemetry flag.
+pub struct MetricsRegistry {
+    shards: Mutex<Vec<Arc<Mutex<Shard>>>>,
+    /// Gauges are set-not-accumulated, so they live globally (last
+    /// write wins, under one rarely-taken lock) instead of per shard.
+    gauges: Mutex<BTreeMap<SeriesId, f64>>,
+}
+
+static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+
+thread_local! {
+    /// This thread's shard, shared with the global registry.
+    static SHARD: RefCell<Option<Arc<Mutex<Shard>>>> = const { RefCell::new(None) };
+}
+
+impl MetricsRegistry {
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        REGISTRY.get_or_init(|| MetricsRegistry {
+            shards: Mutex::new(Vec::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Merges every shard into one view **without** resetting — safe
+    /// to call at any point in a run (a scrape), any number of times.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.collect(false)
+    }
+
+    /// Merges every shard into one view and resets the accumulation:
+    /// consecutive drains partition the recorded series losslessly
+    /// (nothing is dropped, nothing is double-counted). Gauges keep
+    /// their level — they are a state, not a flow.
+    pub fn drain(&self) -> RegistrySnapshot {
+        self.collect(true)
+    }
+
+    /// Clears every shard and gauge (a fresh install).
+    pub(crate) fn reset(&self) {
+        for shard in lock(&self.shards).iter() {
+            lock(shard).clear();
+        }
+        lock(&self.gauges).clear();
+    }
+
+    fn collect(&self, reset: bool) -> RegistrySnapshot {
+        let mut counters: BTreeMap<SeriesId, u64> = BTreeMap::new();
+        let mut values: BTreeMap<SeriesId, Histogram> = BTreeMap::new();
+        for shard in lock(&self.shards).iter() {
+            let mut shard = lock(shard);
+            for (id, v) in &shard.counters {
+                *counters.entry(id.clone()).or_insert(0) += v;
+            }
+            for (id, h) in &shard.values {
+                values.entry(id.clone()).or_default().merge(h);
+            }
+            if reset {
+                shard.clear();
+            }
+        }
+        let gauges = lock(&self.gauges).iter().map(|(id, v)| (id.clone(), *v)).collect();
+        RegistrySnapshot {
+            counters: counters.into_iter().collect(),
+            gauges,
+            values: values.into_iter().collect(),
+        }
+    }
+}
+
+/// Runs `f` on this thread's shard, registering it on first use.
+fn with_shard(f: impl FnOnce(&mut Shard)) {
+    SHARD.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let arc = slot.get_or_insert_with(|| {
+            let arc = Arc::new(Mutex::new(Shard::default()));
+            lock(&MetricsRegistry::global().shards).push(Arc::clone(&arc));
+            arc
+        });
+        f(&mut lock(arc));
+    });
+}
+
+pub(crate) fn add_counter(id: SeriesId, delta: u64) {
+    with_shard(|s| *s.counters.entry(id).or_insert(0) += delta);
+}
+
+pub(crate) fn record(id: SeriesId, v: f64) {
+    with_shard(|s| s.values.entry(id).or_default().record(v));
+}
+
+pub(crate) fn set_gauge(id: SeriesId, v: f64) {
+    lock(&MetricsRegistry::global().gauges).insert(id, v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_render_forms() {
+        assert_eq!(SeriesId::plain("cache.hits").render(), "cache.hits");
+        let id = SeriesId::with_labels("cache.hits", &[("kind", "steady")]);
+        assert_eq!(id.render(), "cache.hits{kind=\"steady\"}");
+        // Labels sort by key regardless of call-site order, so the
+        // same logical series always coalesces.
+        let a = SeriesId::with_labels("solve.fallbacks", &[("to", "lu"), ("from", "power")]);
+        let b = SeriesId::with_labels("solve.fallbacks", &[("from", "power"), ("to", "lu")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "solve.fallbacks{from=\"power\",to=\"lu\"}");
+    }
+
+    #[test]
+    fn plain_series_id_allocates_no_labels() {
+        let id = SeriesId::plain("x");
+        assert_eq!(id.labels.capacity(), 0);
+    }
+
+    #[test]
+    fn catalog_is_sorted_unique_and_self_describing() {
+        for w in CATALOG.windows(2) {
+            assert!(w[0].name < w[1].name, "{} !< {}", w[0].name, w[1].name);
+        }
+        for d in CATALOG {
+            assert!(!d.help.is_empty(), "{} lacks help", d.name);
+        }
+        assert!(describe("markov.solves").is_some());
+        assert!(describe("no.such.metric").is_none());
+    }
+
+    #[test]
+    fn snapshot_counter_total_sums_label_sets() {
+        let snap = RegistrySnapshot {
+            counters: vec![
+                (SeriesId::with_labels("cache.hits", &[("kind", "mission")]), 2),
+                (SeriesId::with_labels("cache.hits", &[("kind", "steady")]), 3),
+            ],
+            gauges: Vec::new(),
+            values: Vec::new(),
+        };
+        assert_eq!(snap.counter_total("cache.hits"), Some(5));
+        assert_eq!(snap.counter_total("cache.misses"), None);
+    }
+}

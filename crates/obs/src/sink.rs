@@ -70,7 +70,7 @@ impl From<String> for FieldValue {
 }
 
 impl FieldValue {
-    fn to_json(&self) -> Value {
+    pub(crate) fn to_json(&self) -> Value {
         match self {
             FieldValue::U64(v) => Value::from(*v),
             FieldValue::I64(v) => Value::Int(*v),
@@ -94,6 +94,9 @@ pub enum Event {
         name: &'static str,
         /// Time since the subscriber was created.
         at: Duration,
+        /// Ordinal of the emitting thread (0 = first instrumented
+        /// thread, normally `main`) — the trace-export lane.
+        tid: u64,
     },
     /// A span was closed.
     SpanEnd {
@@ -107,14 +110,19 @@ pub enum Event {
         elapsed: Duration,
         /// Fields recorded on the span, in recording order.
         fields: Vec<(&'static str, FieldValue)>,
+        /// Ordinal of the emitting thread.
+        tid: u64,
     },
-    /// Aggregated counters and value statistics, emitted by
-    /// [`crate::drain`].
+    /// Aggregated registry contents, emitted by [`crate::drain`].
+    /// Series names are rendered with their labels
+    /// (`cache.hits{kind="steady"}`), sorted.
     Metrics {
         /// Monotonic counters, summed across threads.
-        counters: Vec<(&'static str, u64)>,
+        counters: Vec<(String, u64)>,
+        /// Gauges (last set value).
+        gauges: Vec<(String, f64)>,
         /// Value-series summaries, merged across threads.
-        values: Vec<(&'static str, Snapshot)>,
+        values: Vec<(String, Snapshot)>,
     },
 }
 
@@ -127,19 +135,21 @@ impl Event {
     /// [`JsonLinesSink`]. Durations are in microseconds (`*_us`).
     pub fn to_json(&self) -> Value {
         match self {
-            Event::SpanStart { id, parent, name, at } => Value::Obj(vec![
+            Event::SpanStart { id, parent, name, at, tid } => Value::Obj(vec![
                 ("ev".into(), Value::from("span_start")),
                 ("id".into(), Value::from(*id)),
                 ("parent".into(), parent.map_or(Value::Null, Value::from)),
                 ("name".into(), Value::from(*name)),
                 ("at_us".into(), micros(*at)),
+                ("tid".into(), Value::from(*tid)),
             ]),
-            Event::SpanEnd { id, name, at, elapsed, fields } => Value::Obj(vec![
+            Event::SpanEnd { id, name, at, elapsed, fields, tid } => Value::Obj(vec![
                 ("ev".into(), Value::from("span_end")),
                 ("id".into(), Value::from(*id)),
                 ("name".into(), Value::from(*name)),
                 ("at_us".into(), micros(*at)),
                 ("elapsed_us".into(), micros(*elapsed)),
+                ("tid".into(), Value::from(*tid)),
                 (
                     "fields".into(),
                     Value::Obj(
@@ -147,19 +157,21 @@ impl Event {
                     ),
                 ),
             ]),
-            Event::Metrics { counters, values } => Value::Obj(vec![
+            Event::Metrics { counters, gauges, values } => Value::Obj(vec![
                 ("ev".into(), Value::from("metrics")),
                 (
                     "counters".into(),
                     Value::Obj(
-                        counters.iter().map(|(k, v)| ((*k).to_string(), Value::from(*v))).collect(),
+                        counters.iter().map(|(k, v)| (k.clone(), Value::from(*v))).collect(),
                     ),
                 ),
                 (
+                    "gauges".into(),
+                    Value::Obj(gauges.iter().map(|(k, v)| (k.clone(), Value::Num(*v))).collect()),
+                ),
+                (
                     "values".into(),
-                    Value::Obj(
-                        values.iter().map(|(k, s)| ((*k).to_string(), s.to_json())).collect(),
-                    ),
+                    Value::Obj(values.iter().map(|(k, s)| (k.clone(), s.to_json())).collect()),
                 ),
             ]),
         }
@@ -208,9 +220,17 @@ impl<W: Write + Send> Sink for JsonLinesSink<W> {
     }
 }
 
-/// The payload of an [`Event::Metrics`]: aggregated counters and value
-/// snapshots, in that order.
-pub type MetricsSummary = (Vec<(&'static str, u64)>, Vec<(&'static str, Snapshot)>);
+/// The payload of an [`Event::Metrics`]: aggregated counters, gauges
+/// and value snapshots, with series names rendered (labels included).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSummary {
+    /// Monotonic counters, summed across threads.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges (last set value).
+    pub gauges: Vec<(String, f64)>,
+    /// Value-series summaries, merged across threads.
+    pub values: Vec<(String, Snapshot)>,
+}
 
 /// Aggregates span timings by `(depth, name)` and prints a plain-text
 /// summary table (spans, counters, value statistics) on [`Sink::flush`].
@@ -261,8 +281,12 @@ impl<W: Write + Send> Sink for SummarySink<W> {
     fn event(&mut self, event: &Event) {
         match event {
             Event::SpanStart { .. } | Event::SpanEnd { .. } => self.spans.observe(event),
-            Event::Metrics { counters, values } => {
-                self.metrics = Some((counters.clone(), values.clone()));
+            Event::Metrics { counters, gauges, values } => {
+                self.metrics = Some(MetricsSummary {
+                    counters: counters.clone(),
+                    gauges: gauges.clone(),
+                    values: values.clone(),
+                });
             }
         }
     }
@@ -296,25 +320,32 @@ impl<W: Write + Send> Sink for SummarySink<W> {
                 );
             }
         }
-        if let Some((counters, values)) = &self.metrics {
-            if !counters.is_empty() {
+        if let Some(m) = &self.metrics {
+            if !m.counters.is_empty() {
                 let _ = writeln!(out, "{:<40} {:>12}", "counter", "value");
-                for (name, v) in counters {
+                for (name, v) in &m.counters {
                     let _ = writeln!(out, "{name:<40} {v:>12}");
                 }
             }
-            if !values.is_empty() {
+            if !m.gauges.is_empty() {
+                let _ = writeln!(out, "{:<40} {:>12}", "gauge", "value");
+                for (name, v) in &m.gauges {
+                    let _ = writeln!(out, "{name:<40} {:>12}", fmt_value(*v));
+                }
+            }
+            if !m.values.is_empty() {
                 let _ = writeln!(
                     out,
-                    "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
-                    "value", "count", "mean", "p50", "p90", "p99", "max"
+                    "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    "value", "count", "min", "mean", "p50", "p90", "p99", "max"
                 );
-                for (name, s) in values {
+                for (name, s) in &m.values {
                     let _ = writeln!(
                         out,
-                        "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                        "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
                         name,
                         s.count,
+                        fmt_value(s.min),
                         fmt_value(s.mean()),
                         fmt_value(s.p50),
                         fmt_value(s.p90),
@@ -347,6 +378,7 @@ mod tests {
                 ("note", FieldValue::Str("line1\nline2 \"quoted\"".into())),
                 ("pivot", FieldValue::F64(f64::NAN)),
             ],
+            tid: 3,
         }
     }
 
@@ -358,6 +390,7 @@ mod tests {
             parent: None,
             name: "solve",
             at: Duration::from_micros(1250),
+            tid: 3,
         });
         sink.event(&sample_end_event());
         sink.flush();
@@ -373,6 +406,7 @@ mod tests {
         let end = json::parse(lines[1]).unwrap();
         assert_eq!(end.get("id").unwrap().as_i64(), Some(7));
         assert_eq!(end.get("elapsed_us").unwrap().as_f64(), Some(250.0));
+        assert_eq!(end.get("tid").unwrap().as_i64(), Some(3));
         let fields = end.get("fields").unwrap();
         assert_eq!(fields.get("states").unwrap().as_i64(), Some(12));
         // Non-finite floats serialize as null, keeping strict JSON.
@@ -386,11 +420,17 @@ mod tests {
             h.record(v);
         }
         let ev = Event::Metrics {
-            counters: vec![("blocks", 3)],
-            values: vec![("lu_fill", h.snapshot())],
+            counters: vec![("blocks".into(), 3), ("cache.hits{kind=\"steady\"}".into(), 2)],
+            gauges: vec![("pool.size".into(), 4.0)],
+            values: vec![("lu_fill".into(), h.snapshot())],
         };
         let v = json::parse(&ev.to_json().to_string_compact()).unwrap();
         assert_eq!(v.get("counters").unwrap().get("blocks").unwrap().as_i64(), Some(3));
+        assert_eq!(
+            v.get("counters").unwrap().get("cache.hits{kind=\"steady\"}").unwrap().as_i64(),
+            Some(2)
+        );
+        assert_eq!(v.get("gauges").unwrap().get("pool.size").unwrap().as_f64(), Some(4.0));
         let snap = v.get("values").unwrap().get("lu_fill").unwrap();
         assert_eq!(snap.get("count").unwrap().as_i64(), Some(3));
         assert_eq!(snap.get("sum").unwrap().as_f64(), Some(6.0));
@@ -405,8 +445,9 @@ mod tests {
         let mut h = crate::agg::Histogram::default();
         h.record(0.5);
         sink.event(&Event::Metrics {
-            counters: vec![("events_simulated", 1234)],
-            values: vec![("pivot_mag", h.snapshot())],
+            counters: vec![("events_simulated".into(), 1234)],
+            gauges: vec![("cache.entries".into(), 9.0)],
+            values: vec![("pivot_mag".into(), h.snapshot())],
         });
         sink.flush();
         let text = String::from_utf8(sink.out).unwrap();
@@ -414,6 +455,7 @@ mod tests {
         assert!(text.contains('3'), "{text}");
         assert!(text.contains("events_simulated"), "{text}");
         assert!(text.contains("1234"), "{text}");
+        assert!(text.contains("cache.entries"), "{text}");
         assert!(text.contains("pivot_mag"), "{text}");
         assert!(text.contains("0.5"), "{text}");
     }
@@ -422,13 +464,15 @@ mod tests {
     fn summary_table_rows_sorted_by_depth_then_name() {
         // Emit spans in an order that disagrees with (depth, name) and
         // confirm the printed rows don't follow emission order.
-        let mk_start = |id, parent, name| Event::SpanStart { id, parent, name, at: Duration::ZERO };
+        let mk_start =
+            |id, parent, name| Event::SpanStart { id, parent, name, at: Duration::ZERO, tid: 0 };
         let mk_end = |id, name| Event::SpanEnd {
             id,
             name,
             at: Duration::ZERO,
             elapsed: Duration::from_micros(10),
             fields: Vec::new(),
+            tid: 0,
         };
         let run = |events: Vec<Event>| {
             let mut sink = SummarySink::new(Vec::new());
@@ -470,12 +514,20 @@ mod tests {
         for i in 1..=100 {
             h.record(f64::from(i));
         }
-        sink.event(&Event::Metrics { counters: vec![], values: vec![("residual", h.snapshot())] });
+        sink.event(&Event::Metrics {
+            counters: vec![],
+            gauges: vec![],
+            values: vec![("residual".into(), h.snapshot())],
+        });
         sink.flush();
         let text = String::from_utf8(sink.out).unwrap();
-        for col in ["p50", "p90", "p99"] {
+        for col in ["count", "min", "p50", "p90", "p99", "max"] {
             assert!(text.contains(col), "missing column {col}: {text}");
         }
+        // Exact count and exact min/max, not just quantile estimates.
+        let row = text.lines().find(|l| l.starts_with("residual")).unwrap();
+        assert!(row.contains("100"), "{row}");
+        assert!(row.split_whitespace().any(|w| w == "1"), "min column missing: {row}");
     }
 
     #[test]

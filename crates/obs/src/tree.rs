@@ -127,7 +127,7 @@ mod tests {
     use super::*;
 
     fn start(id: u64, parent: Option<u64>, name: &'static str) -> Event {
-        Event::SpanStart { id, parent, name, at: Duration::ZERO }
+        Event::SpanStart { id, parent, name, at: Duration::ZERO, tid: 0 }
     }
 
     fn end(id: u64, name: &'static str, us: u64) -> Event {
@@ -137,6 +137,7 @@ mod tests {
             at: Duration::ZERO,
             elapsed: Duration::from_micros(us),
             fields: Vec::new(),
+            tid: 0,
         }
     }
 

@@ -1,0 +1,71 @@
+//! Disabled-path overhead guard.
+//!
+//! The documented cost of rascad's telemetry when nothing is installed
+//! is one relaxed atomic load per call site — no allocation, no locks.
+//! This suite pins the "no allocation" half with a counting global
+//! allocator: with the subscriber uninstalled and the flight recorder
+//! disarmed, a burst of spans, labeled counters, histogram records and
+//! gauge sets must allocate exactly zero bytes.
+//!
+//! Runs as its own integration test binary so the `#[global_allocator]`
+//! doesn't leak into the unit-test process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_telemetry_allocates_nothing() {
+    // Make sure nothing is installed or armed, then warm up any
+    // lazily-initialized thread locals outside the measured window.
+    assert!(!rascad_obs::enabled());
+    rascad_obs::flight::disarm();
+    rascad_obs::counter("warmup.counter", 1);
+
+    let before = allocations();
+    for i in 0..1_000u64 {
+        let mut span = rascad_obs::span("overhead.span");
+        span.record("i", i);
+        rascad_obs::counter("overhead.counter", 1);
+        rascad_obs::counter_with("overhead.labeled", &[("kind", "steady")], 1);
+        rascad_obs::record_value("overhead.value", i as f64);
+        rascad_obs::record_value_with("overhead.labeled_value", &[("method", "gth")], 0.5);
+        rascad_obs::gauge_set("overhead.gauge", &[], i as f64);
+        rascad_obs::incident("overhead.incident", "not recorded while disarmed");
+        drop(span);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-path telemetry allocated {} time(s); it must cost one \
+         relaxed atomic load and nothing else",
+        after - before
+    );
+}

@@ -1,0 +1,159 @@
+//! Concurrency suite for the sharded [`rascad_obs::MetricsRegistry`].
+//!
+//! Eight threads hammer the same labeled counter families while the
+//! main thread scrapes mid-flight; at the end the final drain must
+//! account for every increment exactly once, and a mid-run snapshot
+//! must never exceed the eventual total (snapshots are merged views,
+//! not resets).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use rascad_obs::MetricsRegistry;
+
+/// The registry is process-global; tests in this binary must not
+/// interleave with each other.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+const THREADS: u64 = 8;
+const INCREMENTS: u64 = 5_000;
+
+#[test]
+fn labeled_counters_survive_eight_thread_hammering() {
+    let _guard = serial();
+    rascad_obs::install(Vec::new()); // registry only, no sinks
+    let kinds = ["steady", "mission"];
+
+    let stop_scraping = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop_scraping);
+        std::thread::spawn(move || {
+            // Scrape continuously while writers run: every observed
+            // total must be internally consistent (never above the
+            // final figure, monotone per scrape loop not required).
+            let mut last_seen = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = MetricsRegistry::global().snapshot();
+                if let Some(total) = snap.counter_total("conc.hits") {
+                    assert!(total <= THREADS * INCREMENTS, "scrape overshot: {total}");
+                    // A snapshot is cumulative, so totals never shrink.
+                    assert!(total >= last_seen, "scrape went backwards");
+                    last_seen = total;
+                }
+            }
+        })
+    };
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let kind = kinds[(t % 2) as usize];
+                for i in 0..INCREMENTS {
+                    rascad_obs::counter_with("conc.hits", &[("kind", kind)], 1);
+                    if i % 64 == 0 {
+                        rascad_obs::record_value_with("conc.lat", &[("kind", kind)], i as f64);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop_scraping.store(true, Ordering::Relaxed);
+    scraper.join().unwrap();
+
+    let snap = MetricsRegistry::global().drain();
+    rascad_obs::uninstall();
+
+    let per_kind = THREADS / 2 * INCREMENTS;
+    let mut seen = 0u64;
+    for (id, v) in &snap.counters {
+        if id.name == "conc.hits" {
+            assert_eq!(*v, per_kind, "series {} lost updates", id.render());
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, 2, "expected one series per kind label");
+    let recorded: u64 =
+        snap.values.iter().filter(|(id, _)| id.name == "conc.lat").map(|(_, h)| h.count()).sum();
+    assert_eq!(recorded, THREADS * INCREMENTS.div_ceil(64));
+}
+
+#[test]
+fn snapshot_equals_final_drain_when_quiescent() {
+    let _guard = serial();
+    rascad_obs::install(Vec::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    rascad_obs::counter_with(
+                        "quiesce.ops",
+                        &[("worker", if t % 2 == 0 { "even" } else { "odd" })],
+                        1,
+                    );
+                    rascad_obs::record_value("quiesce.size", t as f64 + 1.0);
+                }
+                rascad_obs::gauge_set("quiesce.gauge", &[], t as f64);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // With all writers joined, a scrape and the final drain must agree
+    // exactly: same series, same totals, same histogram summaries.
+    let scrape = MetricsRegistry::global().snapshot();
+    let drained = MetricsRegistry::global().drain();
+    assert_eq!(scrape.counters, drained.counters);
+    assert_eq!(scrape.gauges, drained.gauges);
+    assert_eq!(scrape.values.len(), drained.values.len());
+    for ((sid, sh), (did, dh)) in scrape.values.iter().zip(drained.values.iter()) {
+        assert_eq!(sid, did);
+        assert_eq!(sh.snapshot(), dh.snapshot());
+    }
+    assert_eq!(scrape.counter_total("quiesce.ops"), Some(THREADS * 100));
+
+    // And the drain reset everything: a fresh scrape is empty.
+    let after = MetricsRegistry::global().snapshot();
+    assert!(after.counters.is_empty(), "{:?}", after.counters);
+    assert!(after.values.is_empty());
+    rascad_obs::uninstall();
+}
+
+#[test]
+fn prometheus_page_from_live_scrape_validates() {
+    let _guard = serial();
+    rascad_obs::install(Vec::new());
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..200 {
+                    rascad_obs::counter_with(
+                        "core.cache.hits",
+                        &[("kind", if t % 2 == 0 { "steady" } else { "mission" })],
+                        1,
+                    );
+                    rascad_obs::record_value("markov.power.residual", 1.0 / f64::from(i + 1));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = MetricsRegistry::global().snapshot();
+    rascad_obs::uninstall();
+
+    let page = rascad_obs::prometheus::encode(&snap);
+    rascad_obs::prometheus::validate(&page).unwrap_or_else(|e| panic!("{e}\n---\n{page}"));
+    assert!(page.contains("rascad_core_cache_hits{kind=\"steady\"} 400"), "{page}");
+    assert!(page.contains("rascad_core_cache_hits{kind=\"mission\"} 400"), "{page}");
+    assert!(page.contains("rascad_markov_power_residual_count 800"), "{page}");
+}

@@ -87,7 +87,9 @@ cat > target/ci_chaos_plan.toml <<'PLAN'
 block = "Server Box/CPU Module"
 kind = "panic"
 PLAN
+rm -f target/ci_flight.jsonl
 set +e
+RASCAD_FLIGHT_PATH=target/ci_flight.jsonl \
 cargo run --offline -q -p rascad-cli --features fault-inject -- \
     solve target/ci_dc.rascad --best-effort --inject target/ci_chaos_plan.toml \
     > target/ci_chaos_partial.txt 2> target/ci_chaos_stderr.txt
@@ -105,6 +107,51 @@ grep '^ *Data Center System/' target/ci_chaos_clean.txt |
 grep '^ *Data Center System/' target/ci_chaos_partial.txt |
     grep -v "Server Box/CPU Module" > target/ci_chaos_rows_partial.txt
 cmp target/ci_chaos_rows_clean.txt target/ci_chaos_rows_partial.txt
+
+# Flight-recorder smoke: the degraded run above must have left its
+# post-mortem at $RASCAD_FLIGHT_PATH — a JSONL header naming the
+# incident plus the failing block's span in the ring.
+echo "==> flight recorder smoke (degraded solve leaves a post-mortem)"
+grep -q "flight recorder:" target/ci_chaos_stderr.txt
+test -s target/ci_flight.jsonl
+head -1 target/ci_flight.jsonl | grep -q '"flight_recorder":"rascad"'
+head -1 target/ci_flight.jsonl | grep -q 'Server Box/CPU Module'
+grep -q '"kind":"incident","name":"degraded_solve"' target/ci_flight.jsonl
+grep '"kind":"span_end"' target/ci_flight.jsonl | grep -q 'Server Box/CPU Module'
+
+# Prometheus golden check: `stats --prometheus` runs every page it
+# emits through the hand-rolled exposition-format validator before
+# printing (a validation failure is an internal error, exit != 0), so
+# a clean exit means the validator passed. Grep pins the golden
+# families: HELP/TYPE headers, labeled counters, native histogram
+# series, and a catalogued counter that must be zero-filled.
+echo "==> prometheus exposition golden check (stats --prometheus)"
+cargo run --offline -q -p rascad-cli -- stats target/ci_dc.rascad --prometheus \
+    > target/ci_stats.prom
+grep -q '^# TYPE rascad_core_specs_solved counter$' target/ci_stats.prom
+grep -q '^# HELP rascad_markov_solves ' target/ci_stats.prom
+grep -q '^rascad_markov_solves{method="gth"} ' target/ci_stats.prom
+grep -q '^rascad_core_cache_misses{kind="steady"} ' target/ci_stats.prom
+grep -q '^rascad_markov_gth_states_bucket{le="+Inf"} ' target/ci_stats.prom
+grep -q '^rascad_markov_gth_states_count ' target/ci_stats.prom
+grep -q '^rascad_engine_worker_panics 0$' target/ci_stats.prom
+# The exit-time scrape (--metrics-out) must produce the same shape.
+cargo run --offline -q -p rascad-cli -- --metrics-out target/ci_exit.prom \
+    solve target/ci_dc.rascad > /dev/null
+grep -q '^rascad_core_blocks_generated ' target/ci_exit.prom
+
+# Chrome-trace smoke: --trace-out must emit a Perfetto-loadable
+# traceEvents document covering the pipeline's top-level spans. The
+# JSON-level validator runs in crates/cli/tests/binary.rs; here we
+# check the envelope and the expected span coverage.
+echo "==> chrome trace smoke (--trace-out, expected top-level spans)"
+cargo run --offline -q -p rascad-cli -- --trace-out target/ci_trace.json \
+    solve target/ci_dc.rascad > /dev/null
+head -c 16 target/ci_trace.json | grep -q '{"traceEvents":\['
+tail -c 4 target/ci_trace.json | grep -q ']}'
+for span in spec.parse_dsl core.generate_block core.solve_spec markov.gth; do
+    grep -q "\"name\":\"$span\"" target/ci_trace.json
+done
 
 # Non-blocking pedantic report: surfaces candidate cleanups without
 # gating the build on them (the hard clippy gate above already denies
