@@ -19,7 +19,7 @@ use rascad_bench::workloads::{self, BenchProfile};
 use rascad_core::generator::generate_block;
 use rascad_core::hierarchy::{interval_availability_exact, solve_spec};
 use rascad_core::sweep::{lin_space, log_space, sweep};
-use rascad_core::{CoreError, Engine};
+use rascad_core::{certify_steady, certify_transient, CoreError, Engine, SolutionCertificate};
 use rascad_markov::transient::{self, TransientOptions};
 use rascad_markov::{Ctmc, MarkovError, SteadyStateMethod};
 use rascad_obs::json::{self, Value};
@@ -34,6 +34,20 @@ use super::CliError;
 /// changes so stale baselines are rejected instead of mis-compared.
 const SCHEMA: &str = "rascad-bench/v1";
 
+/// Accuracy gate: `--compare` fails (exit 6) when a stage's certified
+/// residual grew by at least this factor over the baseline.
+const ACCURACY_FAIL_RATIO: f64 = 10.0;
+
+/// Residual growth at or past this factor (but under
+/// [`ACCURACY_FAIL_RATIO`]) is reported as a warning.
+const ACCURACY_WARN_RATIO: f64 = 3.0;
+
+/// Default `--residual-floor`: a current residual at or below it always
+/// passes the accuracy gate, so near-machine-precision residuals (which
+/// legitimately wobble across architectures and libm versions) cannot
+/// flake a cross-machine comparison.
+const DEFAULT_RESIDUAL_FLOOR: f64 = 1e-13;
+
 /// Parsed `bench` options.
 struct BenchArgs {
     profile: BenchProfile,
@@ -44,6 +58,7 @@ struct BenchArgs {
     warn_ratio: f64,
     fail_ratio: f64,
     floor_us: f64,
+    residual_floor: f64,
     sweep: bool,
 }
 
@@ -70,6 +85,7 @@ fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
         warn_ratio: 1.25,
         fail_ratio: 2.0,
         floor_us: 50.0,
+        residual_floor: DEFAULT_RESIDUAL_FLOOR,
         sweep: false,
     };
     let mut it = args.iter().copied();
@@ -85,6 +101,7 @@ fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
             "--warn-ratio" => parsed.warn_ratio = flag_num(&mut it, "--warn-ratio")?,
             "--fail-ratio" => parsed.fail_ratio = flag_num(&mut it, "--fail-ratio")?,
             "--floor-us" => parsed.floor_us = flag_num(&mut it, "--floor-us")?,
+            "--residual-floor" => parsed.residual_floor = flag_num(&mut it, "--residual-floor")?,
             other => {
                 return Err(CliError::usage(format!("unknown bench option `{other}`")));
             }
@@ -111,6 +128,12 @@ fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
     if parsed.floor_us.is_nan() || parsed.floor_us < 0.0 {
         return Err(CliError::usage(format!("floor-us {} must be >= 0", parsed.floor_us)));
     }
+    if parsed.residual_floor.is_nan() || parsed.residual_floor < 0.0 {
+        return Err(CliError::usage(format!(
+            "residual-floor {} must be >= 0",
+            parsed.residual_floor
+        )));
+    }
     Ok(parsed)
 }
 
@@ -134,6 +157,35 @@ struct StageResult {
     min_us: f64,
     mean_us: f64,
     max_us: f64,
+    /// Accuracy certificate of the solves this stage runs, when it
+    /// solves anything (timing-only stages carry `None`).
+    cert: Option<StageCert>,
+}
+
+/// The worst certificate (highest verdict, then highest residual)
+/// among a stage's solves — what the baseline pins and the accuracy
+/// gate compares.
+#[derive(Clone)]
+struct StageCert {
+    method: String,
+    verdict: &'static str,
+    residual: f64,
+    prob_mass_error: f64,
+}
+
+/// Reduces a stage's certificates to the worst one. `Verdict` orders
+/// ok < warn < fail and `total_cmp` ranks NaN above every number, so a
+/// poisoned residual can never hide behind a clean sibling.
+fn worst_certificate(certs: impl IntoIterator<Item = SolutionCertificate>) -> Option<StageCert> {
+    certs
+        .into_iter()
+        .max_by(|a, b| a.verdict.cmp(&b.verdict).then(a.residual_inf.total_cmp(&b.residual_inf)))
+        .map(|c| StageCert {
+            method: c.method,
+            verdict: c.verdict.as_str(),
+            residual: c.residual_inf,
+            prob_mass_error: c.prob_mass_error,
+        })
 }
 
 /// Numerical spot checks recorded alongside the timings so a baseline
@@ -200,7 +252,22 @@ fn time_stage<T>(
         max_us = max_us.max(us);
         sum_us += us;
     }
-    Ok(StageResult { name, runs, min_us, mean_us: sum_us / runs as f64, max_us })
+    Ok(StageResult { name, runs, min_us, mean_us: sum_us / runs as f64, max_us, cert: None })
+}
+
+/// Certifies one untimed solve of every chain with the given method —
+/// the certificate a solve stage attaches to its timings.
+fn steady_stage_cert(
+    chains: &[Ctmc],
+    method: SteadyStateMethod,
+    name: &'static str,
+) -> Result<Option<StageCert>, CliError> {
+    let mut certs = Vec::with_capacity(chains.len());
+    for chain in chains {
+        let pi = chain.steady_state(method).map_err(markov_err(name))?;
+        certs.push(certify_steady(chain, &pi, name, Vec::new()));
+    }
+    Ok(worst_certificate(certs))
 }
 
 fn markov_err(stage: &'static str) -> impl Fn(MarkovError) -> CliError {
@@ -239,31 +306,38 @@ fn run_stages(profile: &BenchProfile) -> Result<(Vec<StageResult>, Checks), CliE
         .map(|(_, p)| generate_block(p, &globals).map(|m| m.chain))
         .collect::<Result<_, _>>()?;
 
-    stages.push(time_stage("solve_gth", reps, || {
+    let mut stage = time_stage("solve_gth", reps, || {
         for chain in &chains {
             black_box(chain.steady_state(SteadyStateMethod::Gth).map_err(markov_err("gth"))?);
         }
         Ok(())
-    })?);
+    })?;
+    stage.cert = steady_stage_cert(&chains, SteadyStateMethod::Gth, "gth")?;
+    stages.push(stage);
 
-    stages.push(time_stage("solve_lu", reps, || {
+    let mut stage = time_stage("solve_lu", reps, || {
         for chain in &chains {
             black_box(chain.steady_state(SteadyStateMethod::Lu).map_err(markov_err("lu"))?);
         }
         Ok(())
-    })?);
+    })?;
+    stage.cert = steady_stage_cert(&chains, SteadyStateMethod::Lu, "lu")?;
+    stages.push(stage);
 
-    stages.push(time_stage("solve_power", reps, || {
+    let mut stage = time_stage("solve_power", reps, || {
         black_box(power.steady_state(SteadyStateMethod::Power).map_err(markov_err("power"))?);
         Ok(())
-    })?);
+    })?;
+    stage.cert =
+        steady_stage_cert(std::slice::from_ref(&power), SteadyStateMethod::Power, "power")?;
+    stages.push(stage);
 
     // Type 3 is the paper's diagrammed template; start in the
     // everything-working state.
     let transient_chain = &chains[3];
     let mut p0 = vec![0.0; transient_chain.len()];
     p0[0] = 1.0;
-    stages.push(time_stage("transient", reps, || {
+    let mut stage = time_stage("transient", reps, || {
         black_box(
             transient::solve(
                 transient_chain,
@@ -274,7 +348,16 @@ fn run_stages(profile: &BenchProfile) -> Result<(Vec<StageResult>, Checks), CliE
             .map_err(markov_err("transient"))?,
         );
         Ok(())
-    })?);
+    })?;
+    let tsol = transient::solve(
+        transient_chain,
+        &p0,
+        profile.transient_hours,
+        TransientOptions::default(),
+    )
+    .map_err(markov_err("transient"))?;
+    stage.cert = worst_certificate([certify_transient(&tsol)]);
+    stages.push(stage);
 
     stages.push(time_stage("interval_exact", reps, || {
         black_box(interval_availability_exact(
@@ -287,23 +370,33 @@ fn run_stages(profile: &BenchProfile) -> Result<(Vec<StageResult>, Checks), CliE
 
     let mut availability = f64::NAN;
     let mut yearly_downtime_minutes = f64::NAN;
-    stages.push(time_stage("hierarchy", reps, || {
+    let mut hier_certs: Vec<SolutionCertificate> = Vec::new();
+    let mut stage = time_stage("hierarchy", reps, || {
         let solution = solve_spec(&hierarchy)?;
         availability = solution.system.availability;
         yearly_downtime_minutes = solution.system.yearly_downtime_minutes;
+        hier_certs = solution.blocks.iter().map(|b| b.certificate.clone()).collect();
         black_box(solution);
         Ok(())
-    })?);
+    })?;
+    stage.cert = worst_certificate(hier_certs);
+    stages.push(stage);
 
     let sweep_values = log_space(1.0, 8.0, profile.sweep_points)?;
-    stages.push(time_stage("sweep", reps, || {
-        black_box(sweep(&sweep_base, &sweep_values, |spec, v| {
-            if let Some(block) = spec.root.find_mut(workloads::SWEEP_BLOCK) {
-                block.params.service_response = Hours(v);
-            }
-        })?);
+    let sweep_apply = |spec: &mut SystemSpec, v: f64| {
+        if let Some(block) = spec.root.find_mut(workloads::SWEEP_BLOCK) {
+            block.params.service_response = Hours(v);
+        }
+    };
+    let mut stage = time_stage("sweep", reps, || {
+        black_box(sweep(&sweep_base, &sweep_values, sweep_apply)?);
         Ok(())
-    })?);
+    })?;
+    let points = sweep(&sweep_base, &sweep_values, sweep_apply)?;
+    stage.cert = worst_certificate(
+        points.iter().flat_map(|p| p.solution.blocks.iter().map(|b| b.certificate.clone())),
+    );
+    stages.push(stage);
 
     let mut sim_availability = f64::NAN;
     stages.push(time_stage("simulate", reps, || {
@@ -398,6 +491,14 @@ fn run_sweep_stages(profile: &BenchProfile) -> Result<(Vec<StageResult>, SweepSc
     // One instrumented run for the cache statistics and the
     // bit-identity check against the sequential reference.
     let reference = Engine::sequential().sweep(&base, &values, apply)?;
+    // All three stages time the same workload, so they share the
+    // reference run's worst block certificate.
+    let cert = worst_certificate(
+        reference.iter().flat_map(|p| p.solution.blocks.iter().map(|b| b.certificate.clone())),
+    );
+    for stage in &mut stages {
+        stage.cert = cert.clone();
+    }
     let engine = Engine::with_threads(SWEEP_THREADS);
     let contender = engine.sweep(&base, &values, apply)?;
     let stats = engine.cache_stats();
@@ -559,13 +660,27 @@ fn document(
         stages
             .iter()
             .map(|s| {
-                Value::Obj(vec![
+                let mut fields = vec![
                     ("name".to_string(), Value::from(s.name)),
                     ("runs".to_string(), Value::from(s.runs)),
                     ("min_us".to_string(), Value::Num(s.min_us)),
                     ("mean_us".to_string(), Value::Num(s.mean_us)),
                     ("max_us".to_string(), Value::Num(s.max_us)),
-                ])
+                ];
+                if let Some(c) = &s.cert {
+                    // Non-finite residuals serialize as null (JSON has
+                    // no NaN); the fail verdict still records why.
+                    fields.push((
+                        "certificate".to_string(),
+                        Value::Obj(vec![
+                            ("method".to_string(), Value::from(c.method.as_str())),
+                            ("verdict".to_string(), Value::from(c.verdict)),
+                            ("residual".to_string(), Value::Num(c.residual)),
+                            ("prob_mass_error".to_string(), Value::Num(c.prob_mass_error)),
+                        ]),
+                    ));
+                }
+                Value::Obj(fields)
             })
             .collect(),
     );
@@ -641,6 +756,34 @@ fn check_document(doc: &Value) -> Result<(String, String, usize), String> {
                 .ok_or_else(|| format!("stage `{name}` missing numeric `{key}`"))?;
             if !v.is_finite() || v < 0.0 {
                 return Err(format!("stage `{name}` has bad `{key}`: {v}"));
+            }
+        }
+        // Certificates arrived with the accuracy gate; timing-only
+        // stages and older baselines omit them, but when present they
+        // must be well-formed.
+        if let Some(cert) = stage.get("certificate") {
+            let verdict = cert
+                .get("verdict")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("stage `{name}` certificate missing `verdict`"))?;
+            if !["ok", "warn", "fail"].contains(&verdict) {
+                return Err(format!("stage `{name}` has bad certificate verdict `{verdict}`"));
+            }
+            cert.get("method")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("stage `{name}` certificate missing `method`"))?;
+            for key in ["residual", "prob_mass_error"] {
+                let v = cert
+                    .get(key)
+                    .ok_or_else(|| format!("stage `{name}` certificate missing `{key}`"))?;
+                // `null` is the JSON spelling of a non-finite residual
+                // (which certifies as a fail verdict).
+                if !(v.is_null() || v.as_f64().is_some()) {
+                    return Err(format!("stage `{name}` certificate `{key}` is not a number"));
+                }
+                if v.as_f64().is_some_and(|x| x < 0.0) {
+                    return Err(format!("stage `{name}` certificate has negative `{key}`"));
+                }
             }
         }
     }
@@ -761,6 +904,34 @@ fn doc_counters(doc: &Value) -> Vec<(String, f64)> {
         .unwrap_or_default()
 }
 
+/// `(stage name, certified residual, verdict)` for every stage that
+/// carries a certificate. A `null` residual reads as NaN.
+fn stage_certs(doc: &Value) -> Vec<(String, f64, String)> {
+    doc.get("stages")
+        .and_then(Value::as_array)
+        .map(|stages| {
+            stages
+                .iter()
+                .filter_map(|s| {
+                    let name = s.get("name")?.as_str()?;
+                    let cert = s.get("certificate")?;
+                    let residual = cert.get("residual").and_then(Value::as_f64).unwrap_or(f64::NAN);
+                    let verdict = cert.get("verdict")?.as_str()?;
+                    Some((name.to_string(), residual, verdict.to_string()))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn verdict_rank(verdict: &str) -> f64 {
+    match verdict {
+        "ok" => 0.0,
+        "warn" => 1.0,
+        _ => 2.0,
+    }
+}
+
 /// Compares the current document against a baseline: stage minimums by
 /// ratio against the warn/fail thresholds (stages where both sides are
 /// under the noise floor always pass), workload counters for drift
@@ -812,6 +983,48 @@ fn compare_docs(current: &Value, baseline: &Value, args: &BenchArgs) -> CompareO
         }
     }
 
+    // Accuracy gate: a certified residual growing by
+    // [`ACCURACY_FAIL_RATIO`] over the baseline is a regression even if
+    // every timing held — the solver got *less right*, not slower. A
+    // current residual at or below the floor always passes (it is still
+    // at certification precision); a verdict that worsened is flagged
+    // regardless of ratio.
+    let cur_certs = stage_certs(current);
+    for (name, base_res, base_verdict) in stage_certs(baseline) {
+        let Some((_, cur_res, cur_verdict)) = cur_certs.iter().find(|(n, _, _)| *n == name) else {
+            continue;
+        };
+        let (cur_rank, base_rank) = (verdict_rank(cur_verdict), verdict_rank(&base_verdict));
+        if cur_rank > base_rank {
+            rows.push(CompareRow {
+                name: format!("verdict:{name}"),
+                status: if cur_verdict == "fail" { Status::Fail } else { Status::Warn },
+                base: base_rank,
+                current: cur_rank,
+                ratio: f64::NAN,
+            });
+        }
+        if cur_res.is_finite() && base_res.is_finite() && *cur_res > args.residual_floor {
+            let ratio = cur_res / base_res.max(1e-300);
+            let status = if ratio >= ACCURACY_FAIL_RATIO {
+                Status::Fail
+            } else if ratio >= ACCURACY_WARN_RATIO {
+                Status::Warn
+            } else {
+                Status::Ok
+            };
+            if status != Status::Ok {
+                rows.push(CompareRow {
+                    name: format!("residual:{name}"),
+                    status,
+                    base: base_res,
+                    current: *cur_res,
+                    ratio,
+                });
+            }
+        }
+    }
+
     let cur_counters = doc_counters(current);
     for (name, base_count) in doc_counters(baseline) {
         if let Some((_, cur_count)) = cur_counters.iter().find(|(n, _)| *n == name) {
@@ -832,26 +1045,39 @@ fn compare_docs(current: &Value, baseline: &Value, args: &BenchArgs) -> CompareO
     CompareOutcome { rows, warns, fails }
 }
 
+/// Compare-row value formatting: timings print fixed-point, residuals
+/// (tiny by construction) print scientific instead of rounding to 0.0.
+fn fmt_compare_value(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v != 0.0 && v.abs() < 0.1 {
+        format!("{v:.2e}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
 fn render_compare(outcome: &CompareOutcome, base_path: &str, args: &BenchArgs) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "comparison against {base_path} (warn x{}, fail x{}, floor {} us):",
-        args.warn_ratio, args.fail_ratio, args.floor_us
+        "comparison against {base_path} (warn x{}, fail x{}, floor {} us, \
+         accuracy fail x{ACCURACY_FAIL_RATIO} above residual {:.0e}):",
+        args.warn_ratio, args.fail_ratio, args.floor_us, args.residual_floor
     );
     let _ = writeln!(
         out,
         "  {:<24} {:>8} {:>12} {:>12} {:>8}",
-        "stage", "status", "base us", "current us", "ratio"
+        "stage", "status", "base", "current", "ratio"
     );
     for row in &outcome.rows {
         let _ = writeln!(
             out,
-            "  {:<24} {:>8} {:>12.1} {:>12.1} {:>8}",
+            "  {:<24} {:>8} {:>12} {:>12} {:>8}",
             row.name,
             row.status.as_str(),
-            row.base,
-            row.current,
+            fmt_compare_value(row.base),
+            fmt_compare_value(row.current),
             if row.ratio.is_finite() { format!("{:.2}x", row.ratio) } else { "-".to_string() },
         );
     }
@@ -866,6 +1092,7 @@ fn compare_json(outcome: &CompareOutcome, base_path: &str, args: &BenchArgs) -> 
         ("warn_ratio".to_string(), Value::Num(args.warn_ratio)),
         ("fail_ratio".to_string(), Value::Num(args.fail_ratio)),
         ("floor_us".to_string(), Value::Num(args.floor_us)),
+        ("residual_floor".to_string(), Value::Num(args.residual_floor)),
         (
             "rows".to_string(),
             Value::Arr(
@@ -1008,18 +1235,50 @@ mod tests {
 
         // Solver numerical-health telemetry captured through rascad-obs.
         let values = doc.get("values").unwrap();
-        for key in ["markov.gth.min_pivot", "markov.power.residual", "markov.power.iterations"] {
+        for key in [
+            "markov.gth.min_pivot",
+            "markov.residual{method=\"power\"}",
+            "markov.iterations{method=\"power\"}",
+            "markov.lu.condest",
+            "markov.transient.truncation",
+        ] {
             let snap = values.get(key).unwrap_or_else(|| panic!("missing value {key}"));
             assert!(snap.get("count").unwrap().as_f64().unwrap() >= 1.0, "{key}");
         }
         let counters = doc.get("counters").unwrap();
-        for key in ["markov.solves{method=\"gth\"}", "markov.transient.solves", "sim.replications"]
-        {
+        for key in [
+            "markov.solves{method=\"gth\"}",
+            "markov.transient.solves",
+            "sim.replications",
+            "solve.certified{verdict=\"ok\"}",
+        ] {
             assert!(
                 counters.get(key).and_then(Value::as_f64).unwrap_or(0.0) >= 1.0,
                 "missing counter {key}"
             );
         }
+
+        // Every solving stage carries an accuracy certificate; the
+        // deterministic workload certifies clean.
+        let stages = doc.get("stages").unwrap().as_array().unwrap();
+        for name in ["solve_gth", "solve_lu", "solve_power", "transient", "hierarchy", "sweep"] {
+            let stage = stages
+                .iter()
+                .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
+                .unwrap();
+            let cert = stage
+                .get("certificate")
+                .unwrap_or_else(|| panic!("stage {name} has no certificate"));
+            assert_eq!(cert.get("verdict").and_then(Value::as_str), Some("ok"), "{name}");
+            let residual = cert.get("residual").and_then(Value::as_f64).unwrap();
+            assert!(residual.is_finite() && residual >= 0.0, "{name}: {residual}");
+        }
+        // Timing-only stages don't.
+        let parse = stages
+            .iter()
+            .find(|s| s.get("name").and_then(Value::as_str) == Some("parse_dsl"))
+            .unwrap();
+        assert!(parse.get("certificate").is_none());
 
         // Span aggregates are present and depth-sorted.
         let spans = doc.get("spans").unwrap().as_array().unwrap();
@@ -1188,6 +1447,7 @@ mod tests {
             warn_ratio: 1.25,
             fail_ratio: 2.0,
             floor_us: 50.0,
+            residual_floor: DEFAULT_RESIDUAL_FLOOR,
             sweep: false,
         };
         let baseline = mk(
@@ -1223,6 +1483,132 @@ mod tests {
         assert_eq!(status("counter:drift"), Status::Warn);
         assert_eq!(outcome.fails, 1);
         assert!(outcome.warns >= 3, "{outcome:?}");
+    }
+
+    #[test]
+    fn accuracy_gate_flags_residual_growth_and_verdict_regression() {
+        let mk = |stages: &[(&str, f64, &str)]| {
+            Value::Obj(vec![
+                (
+                    "stages".to_string(),
+                    Value::Arr(
+                        stages
+                            .iter()
+                            .map(|(n, res, verdict)| {
+                                Value::Obj(vec![
+                                    ("name".to_string(), Value::from(*n)),
+                                    ("min_us".to_string(), Value::Num(1000.0)),
+                                    (
+                                        "certificate".to_string(),
+                                        Value::Obj(vec![
+                                            ("method".to_string(), Value::from(*n)),
+                                            ("verdict".to_string(), Value::from(*verdict)),
+                                            ("residual".to_string(), Value::Num(*res)),
+                                            ("prob_mass_error".to_string(), Value::Num(0.0)),
+                                        ]),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("counters".to_string(), Value::Obj(Vec::new())),
+            ])
+        };
+        let args = BenchArgs {
+            profile: BenchProfile::quick(),
+            label: "t".to_string(),
+            out: None,
+            json: false,
+            compare: None,
+            warn_ratio: 1.25,
+            fail_ratio: 2.0,
+            floor_us: 50.0,
+            residual_floor: DEFAULT_RESIDUAL_FLOOR,
+            sweep: false,
+        };
+        let baseline = mk(&[
+            ("blown", 1e-12, "ok"),
+            ("drifted", 1e-10, "ok"),
+            ("tiny", 1e-16, "ok"),
+            ("worse_verdict", 1e-12, "ok"),
+        ]);
+        let current = mk(&[
+            // 100x the baseline residual: accuracy regression, exit 6.
+            ("blown", 1e-10, "ok"),
+            // 4x: warned, not failed.
+            ("drifted", 4e-10, "ok"),
+            // Grew 100x but stayed under the floor: still pristine.
+            ("tiny", 1e-14, "ok"),
+            // Verdict regressed to fail (e.g. non-finite residual).
+            ("worse_verdict", f64::NAN, "fail"),
+        ]);
+        let outcome = compare_docs(&current, &baseline, &args);
+        let status =
+            |name: &str| outcome.rows.iter().find(|r| r.name == name).map(|r| r.status).unwrap();
+        assert_eq!(status("residual:blown"), Status::Fail);
+        assert_eq!(status("residual:drifted"), Status::Warn);
+        assert!(!outcome.rows.iter().any(|r| r.name == "residual:tiny"), "{outcome:?}");
+        assert_eq!(status("verdict:worse_verdict"), Status::Fail);
+        // Timing rows are untouched (all 1000 us, ratio 1).
+        assert_eq!(status("blown"), Status::Ok);
+        assert_eq!(outcome.fails, 2);
+    }
+
+    #[test]
+    fn injected_residual_regression_trips_the_accuracy_gate() {
+        let _lock = obs_test_lock();
+        let path = tmp("rascad_bench_base_accuracy.json");
+        run_bench(&["--quick", "--out", path.to_str().unwrap(), "--json"]).unwrap();
+
+        // Doctor the baseline: shrink every certified residual a
+        // million-fold, which makes the (numerically unchanged) current
+        // run look like a huge loss of accuracy.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut doc = json::parse(&text).unwrap();
+        let mut doctored = 0;
+        if let Value::Obj(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                let Value::Arr(stages) = value else { continue };
+                if key != "stages" {
+                    continue;
+                }
+                for stage in stages {
+                    let Value::Obj(stage_fields) = stage else { continue };
+                    for (k, v) in stage_fields.iter_mut() {
+                        let Value::Obj(cert_fields) = v else { continue };
+                        if k != "certificate" {
+                            continue;
+                        }
+                        for (ck, cv) in cert_fields.iter_mut() {
+                            if ck == "residual" {
+                                if let Value::Num(r) = cv {
+                                    if *r > 0.0 {
+                                        *r /= 1e6;
+                                        doctored += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(doctored > 0, "workload must certify at least one nonzero residual");
+        std::fs::write(&path, doc.to_string_pretty()).unwrap();
+
+        // The same run compared against the doctored baseline: residuals
+        // are bit-identical run to run, so the 1e6 ratio is real signal.
+        // --residual-floor 0 keeps near-machine-precision residuals in
+        // scope for this single-machine check.
+        let err =
+            run_bench(&["--quick", "--compare", path.to_str().unwrap(), "--residual-floor", "0"])
+                .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err:?}");
+        let report = err.to_string();
+        assert!(report.contains("residual:"), "{report}");
+        assert!(report.contains("FAIL"), "{report}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

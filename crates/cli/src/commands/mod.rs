@@ -146,14 +146,19 @@ COMMANDS:
                                         plus generated-model diagnostics (RAS101–RAS105);
                                         `-` reads DSL from stdin; blocking findings exit 7
     lint --explain <RASxxx>             document one diagnostic code (example and remedy)
-    solve <spec.rascad> [--strict|--best-effort] [--inject <plan.toml>]
+    solve <spec.rascad> [--strict|--best-effort] [--explain]
+          [--convergence-out FILE] [--inject <plan.toml>]
                                         solve and print the availability report;
                                         --strict (default) fails fast on the first block
                                         that cannot be solved, --best-effort rolls failed
                                         blocks up as explicit availability bounds and
-                                        exits 8 with a partial report; --inject installs
-                                        a deterministic fault plan (builds with the
-                                        `fault-inject` feature only)
+                                        exits 8 with a partial report; --explain appends
+                                        per-solver convergence traces and per-block
+                                        solution certificates (verdict, residual,
+                                        condition estimate); --convergence-out writes the
+                                        traces as versioned JSON (rascad-convergence/v1);
+                                        --inject installs a deterministic fault plan
+                                        (builds with the `fault-inject` feature only)
     stats <spec.rascad> [--prometheus [--out FILE]]
                                         pipeline statistics: blocks per chain type, state
                                         counts, per-stage wall time, solver diagnostics;
@@ -171,14 +176,17 @@ COMMANDS:
     fielddata <spec.rascad> [months [servers [seed]]]
                                         generate synthetic field data and compare with the model
     bench [--quick|--full] [--sweep] [--label L] [--out F] [--json] [--compare BASE.json]
-          [--warn-ratio R] [--fail-ratio R] [--floor-us US]
+          [--warn-ratio R] [--fail-ratio R] [--floor-us US] [--residual-floor R]
                                         run the deterministic benchmark suite and write a
                                         versioned BENCH_<label>.json (per-stage timings, span
-                                        aggregates, solver diagnostics, environment metadata);
-                                        --compare checks against a baseline and exits 6 on a
-                                        regression past the fail threshold; --sweep runs the
-                                        sweep-scaling workload instead (solve engine vs the
-                                        sequential baseline, cache stats, bit-identity check)
+                                        aggregates, solver diagnostics, per-stage accuracy
+                                        certificates, environment metadata); --compare checks
+                                        against a baseline and exits 6 on a timing regression
+                                        past the fail threshold OR an accuracy regression (a
+                                        certified residual grown 10x past the baseline and
+                                        above the residual floor, default 1e-13); --sweep runs
+                                        the sweep-scaling workload instead (solve engine vs
+                                        the sequential baseline, cache stats, bit-identity)
     bench --validate <file.json>        check that a BENCH document parses and is schema-valid
     library [name]                      print a library model as DSL
                                         (names: datacenter, e10000, cluster, workgroup)

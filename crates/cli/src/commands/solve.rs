@@ -1,6 +1,7 @@
 //! `solve` and `dot` commands.
 
-use rascad_core::{generator::generate_block, report, solve_spec};
+use rascad_core::{generator::generate_block, report, solve_spec, SystemSolution};
+use rascad_obs::trace::SolveTrace;
 use rascad_spec::SystemSpec;
 
 use super::CliError;
@@ -12,15 +13,27 @@ use super::CliError;
 /// bounds and reports the partial result via [`CliError::Partial`]
 /// (exit code 8). `--inject <plan.toml>` installs a deterministic fault
 /// plan for the duration of the solve — only in builds with the
-/// `fault-inject` feature.
+/// `fault-inject` feature. `--explain` appends the per-solver
+/// convergence traces and per-block solution certificates to the
+/// report; `--convergence-out FILE` writes the traces as a versioned
+/// JSON document (schema `rascad-convergence/v1`, validated before it
+/// is written).
 pub fn solve(spec: &SystemSpec, args: &[&str]) -> Result<String, CliError> {
     let mut best_effort = false;
+    let mut explain = false;
+    let mut convergence_out: Option<&str> = None;
     let mut plan_path: Option<&str> = None;
     let mut it = args.iter().copied();
     while let Some(a) = it.next() {
         match a {
             "--strict" => best_effort = false,
             "--best-effort" => best_effort = true,
+            "--explain" => explain = true,
+            "--convergence-out" => {
+                convergence_out = Some(
+                    it.next().ok_or_else(|| CliError::usage("--convergence-out needs a file"))?,
+                );
+            }
             "--inject" => {
                 plan_path = Some(
                     it.next().ok_or_else(|| CliError::usage("--inject needs a fault-plan file"))?,
@@ -30,16 +43,79 @@ pub fn solve(spec: &SystemSpec, args: &[&str]) -> Result<String, CliError> {
         }
     }
     let _guard = install_plan(plan_path)?;
-    if best_effort {
-        let sol = rascad_core::solve_spec_best_effort(spec, rascad_markov::SteadyStateMethod::Gth)?;
-        let rendered = report::system_report(&spec.root.name, &sol);
-        if sol.is_degraded() {
-            return Err(CliError::Partial(rendered));
-        }
-        return Ok(rendered);
+    let tracing = explain || convergence_out.is_some();
+    if tracing {
+        // Disarm first: a clean ring, not leftovers of an earlier solve
+        // in this process.
+        rascad_obs::trace::disarm();
+        rascad_obs::trace::arm();
     }
-    let sol = solve_spec(spec)?;
-    Ok(report::system_report(&spec.root.name, &sol))
+    let result = if best_effort {
+        rascad_core::solve_spec_best_effort(spec, rascad_markov::SteadyStateMethod::Gth)
+    } else {
+        solve_spec(spec)
+    };
+    let traces = if tracing { rascad_obs::trace::solves() } else { Vec::new() };
+    let doc = if convergence_out.is_some() { Some(rascad_obs::trace::dump()) } else { None };
+    if tracing {
+        rascad_obs::trace::disarm();
+    }
+    // The convergence document is written even when the solve failed —
+    // the trace of a diverging solve is exactly what a post-mortem
+    // needs.
+    if let (Some(path), Some(doc)) = (convergence_out, &doc) {
+        rascad_obs::trace::validate(doc).map_err(|e| {
+            CliError::usage(format!("internal: convergence document failed validation: {e}"))
+        })?;
+        let mut text = doc.to_string_pretty();
+        text.push('\n');
+        std::fs::write(path, text)
+            .map_err(|source| CliError::Io { path: path.to_string(), source })?;
+    }
+    let sol = result?;
+    let mut rendered = report::system_report(&spec.root.name, &sol);
+    if explain {
+        rendered.push_str(&explain_sections(&sol, &traces));
+    }
+    if best_effort && sol.is_degraded() {
+        return Err(CliError::Partial(rendered));
+    }
+    Ok(rendered)
+}
+
+/// Renders the `--explain` appendix: the convergence-trace table and
+/// the per-block solution certificates.
+fn explain_sections(sol: &SystemSolution, traces: &[SolveTrace]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\nConvergence traces ({} solve(s))\n", traces.len()));
+    out.push_str(&format!(
+        "  {:<10} {:<10} {:>6} {:>7} {:<13} {:>12} {:>10}\n",
+        "method", "metric", "states", "steps", "outcome", "final", "elapsed"
+    ));
+    for t in traces {
+        let last = t.steps.last().map_or("-".to_string(), |s| format!("{:.3e}", s.value));
+        out.push_str(&format!(
+            "  {:<10} {:<10} {:>6} {:>7} {:<13} {:>12} {:>8}us\n",
+            t.method, t.metric, t.states, t.total_steps, t.outcome, last, t.elapsed_us
+        ));
+    }
+    out.push_str("\nSolution certificates\n");
+    out.push_str(&format!(
+        "  {:<40} {:<7} {:<7} {:>12} {:>12} {:>10}\n",
+        "block", "method", "verdict", "residual", "mass error", "condest"
+    ));
+    for b in &sol.blocks {
+        let c = &b.certificate;
+        let condest = c.condition_estimate.map_or("-".to_string(), |k| format!("{k:.3e}"));
+        out.push_str(&format!(
+            "  {:<40} {:<7} {:<7} {:>12.3e} {:>12.3e} {:>10}\n",
+            b.path, c.method, c.verdict, c.residual_inf, c.prob_mass_error, condest
+        ));
+        if c.trail.len() > 1 {
+            out.push_str(&format!("    trail: {}\n", c.trail.join("; ")));
+        }
+    }
+    out
 }
 
 /// Reads, parses, and installs a fault plan; the returned guard keeps
@@ -152,6 +228,59 @@ mod tests {
         let err = solve(&data_center(), &["--inject", "/no/such/plan.toml"]).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("fault-inject"), "{err}");
+    }
+
+    #[test]
+    fn explain_appends_traces_and_certificates() {
+        let _lock = crate::commands::obs_test_lock();
+        let out = solve(&data_center(), &["--explain"]).unwrap();
+        // The plain report is still there...
+        assert!(out.contains("System steady-state availability"));
+        // ...followed by the convergence-trace table...
+        assert!(out.contains("Convergence traces"), "{out}");
+        assert!(out.contains("gth"), "{out}");
+        // ...and the certificate table with one row per solved block.
+        assert!(out.contains("Solution certificates"), "{out}");
+        assert!(out.contains("verdict"), "{out}");
+        assert!(out.matches(" ok ").count() >= 23, "{out}");
+        // Tracing is disarmed again afterwards.
+        assert!(!rascad_obs::trace::armed());
+    }
+
+    /// A spec whose chains no other test solves: the process-global
+    /// engine cache must miss, so the traced run actually invokes the
+    /// solvers (a fully-cached solve correctly records zero traces).
+    fn uncached_spec() -> rascad_spec::SystemSpec {
+        use rascad_spec::units::Hours;
+        let mut root = rascad_spec::Diagram::new("TraceMe");
+        root.push(rascad_spec::BlockParams::new("Odd", 3, 2).with_mtbf(Hours(123_456.7)));
+        root.push(rascad_spec::BlockParams::new("Ball", 2, 1).with_mtbf(Hours(98_765.4)));
+        rascad_spec::SystemSpec::new(root, rascad_spec::GlobalParams::default())
+    }
+
+    #[test]
+    fn convergence_out_round_trips_through_the_validator() {
+        let _lock = crate::commands::obs_test_lock();
+        let dir = std::env::temp_dir().join(format!("rascad-conv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("conv.json");
+        let path_str = path.to_str().unwrap();
+
+        let out = solve(&uncached_spec(), &["--convergence-out", path_str]).unwrap();
+        // Without --explain the report itself is unchanged.
+        assert!(!out.contains("Convergence traces"));
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = rascad_obs::json::parse(&text).expect("file is valid JSON");
+        let solves = rascad_obs::trace::validate(&doc).expect("document is schema-valid");
+        assert!(solves > 0, "the solve must have recorded at least one trace");
+        assert!(text.contains("rascad-convergence/v1"));
+        assert!(!rascad_obs::trace::armed());
+        std::fs::remove_dir_all(&dir).ok();
+
+        // A missing operand is a usage error.
+        let err = solve(&data_center(), &["--convergence-out"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

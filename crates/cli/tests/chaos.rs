@@ -148,12 +148,15 @@ fn timeout_fault_is_typed_fast_and_exit_4() {
 }
 
 #[test]
-fn nan_rate_fault_is_rejected_as_invalid_rate() {
+fn nan_rate_fault_fails_certification_not_silently() {
+    // The fault corrupts the solution vector *after* a successful solve,
+    // so no solver-internal check can see it — the independent
+    // certificate must, and the run must die with a solver error.
     let (spec, plan) = fixture("nanrate", "[[inject]]\nblock = \"A\"\nkind = \"nan-rate\"\n");
     let (code, _, stderr) =
         rascad(&["solve", spec.to_str().unwrap(), "--inject", plan.to_str().unwrap()]);
     assert_eq!(code, Some(4), "{stderr}");
-    assert!(stderr.contains("invalid rate"), "{stderr}");
+    assert!(stderr.contains("failed certification"), "{stderr}");
     cleanup(&[&spec, &plan]);
 }
 

@@ -33,10 +33,11 @@ use std::sync::Mutex;
 
 use rascad_markov::{Ctmc, Fingerprint, SteadyStateMethod};
 
+use crate::certify::{SolutionCertificate, Verdict};
 use crate::error::CoreError;
 use crate::generator::BlockModel;
 use crate::measures::{
-    interval_measures, reliability_measures, steady_state_measures, BlockMeasures,
+    interval_measures, reliability_measures, steady_state_measures_with_certificate, BlockMeasures,
 };
 
 /// Mission-horizon measures of one chain, the per-block inputs to the
@@ -97,6 +98,7 @@ impl CacheStats {
 struct SteadyEntry {
     chain: Ctmc,
     measures: BlockMeasures,
+    certificate: SolutionCertificate,
 }
 
 struct MissionEntry {
@@ -192,29 +194,49 @@ impl SolveCache {
         model: &BlockModel,
         method: SteadyStateMethod,
     ) -> Result<BlockMeasures, CoreError> {
+        self.steady_certified(model, method).map(|(measures, _)| measures)
+    }
+
+    /// [`SolveCache::steady`] plus the [`SolutionCertificate`] issued
+    /// for the solve. Certificates are stored with their entries, so a
+    /// cache hit returns the certificate of the original solve,
+    /// bit-identical to a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and certification errors; errors are never
+    /// cached.
+    pub fn steady_certified(
+        &self,
+        model: &BlockModel,
+        method: SteadyStateMethod,
+    ) -> Result<(BlockMeasures, SolutionCertificate), CoreError> {
         let key = (model.chain.fingerprint(), method);
         {
             let maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(e) = maps.steady.get(&key) {
                 if e.chain == model.chain {
                     self.note_hit("steady");
-                    return Ok(e.measures);
+                    return Ok((e.measures, e.certificate.clone()));
                 }
             }
         }
         self.note_miss("steady");
-        let measures = steady_state_measures(model, method)?;
+        let (measures, certificate) = steady_state_measures_with_certificate(model, method)?;
         let mut maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if maps.steady.len() >= self.capacity {
             maps.steady.clear();
         }
-        maps.steady.insert(key, SteadyEntry { chain: model.chain.clone(), measures });
+        maps.steady.insert(
+            key,
+            SteadyEntry { chain: model.chain.clone(), measures, certificate: certificate.clone() },
+        );
         rascad_obs::gauge_set(
             "core.cache.entries",
             &[("kind", "steady")],
             maps.steady.len() as f64,
         );
-        Ok(measures)
+        Ok((measures, certificate))
     }
 
     /// Mission measures of `model`'s chain over `(0, mission_hours)`,
@@ -267,8 +289,23 @@ impl SolveCache {
         wrong_measures: BlockMeasures,
     ) {
         let key = (model.chain.fingerprint(), method);
+        let bogus_certificate = SolutionCertificate {
+            residual_inf: 0.0,
+            prob_mass_error: 0.0,
+            condition_estimate: None,
+            method: "poison".to_string(),
+            trail: vec!["poison: injected by test".to_string()],
+            verdict: Verdict::Ok,
+        };
         let mut maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        maps.steady.insert(key, SteadyEntry { chain: wrong_chain, measures: wrong_measures });
+        maps.steady.insert(
+            key,
+            SteadyEntry {
+                chain: wrong_chain,
+                measures: wrong_measures,
+                certificate: bogus_certificate,
+            },
+        );
     }
 }
 
@@ -276,6 +313,7 @@ impl SolveCache {
 mod tests {
     use super::*;
     use crate::generator::generate_block;
+    use crate::measures::steady_state_measures;
     use rascad_spec::units::Hours;
     use rascad_spec::{BlockParams, GlobalParams};
 
@@ -343,6 +381,18 @@ mod tests {
         // The poisoned entry was overwritten; the next lookup hits.
         let again = cache.steady(&m, SteadyStateMethod::Gth).unwrap();
         assert_eq!(again, fresh);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_hit_returns_the_original_certificate() {
+        let cache = SolveCache::new();
+        let m = model(10_000.0);
+        let (_, fresh_cert) = cache.steady_certified(&m, SteadyStateMethod::Gth).unwrap();
+        let (_, cached_cert) = cache.steady_certified(&m, SteadyStateMethod::Gth).unwrap();
+        assert_eq!(fresh_cert, cached_cert);
+        assert_eq!(fresh_cert.verdict, Verdict::Ok);
+        assert_eq!(fresh_cert.method, "gth");
         assert_eq!(cache.stats().hits, 1);
     }
 

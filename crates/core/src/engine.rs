@@ -35,10 +35,13 @@ use rascad_markov::SteadyStateMethod;
 use rascad_spec::{Block, BlockParams, Diagram, GlobalParams, SystemSpec};
 
 use crate::cache::{CacheStats, MissionMeasures, SolveCache};
+use crate::certify::SolutionCertificate;
 use crate::error::{CoreError, EngineError};
 use crate::generator::{generate_block, BlockModel};
 use crate::hierarchy::{BlockSolution, FailedBlock, SystemMeasures, SystemSolution};
-use crate::measures::{steady_state_measures, steady_state_measures_forced, BlockMeasures};
+use crate::measures::{
+    steady_state_measures_certified, steady_state_measures_with_certificate, BlockMeasures,
+};
 use crate::solve::ForcedFailure;
 use crate::sweep::SweepPoint;
 
@@ -297,10 +300,10 @@ impl Engine {
         &self,
         model: &BlockModel,
         method: SteadyStateMethod,
-    ) -> Result<BlockMeasures, CoreError> {
+    ) -> Result<(BlockMeasures, SolutionCertificate), CoreError> {
         match &self.cache {
-            Some(c) => c.steady(model, method),
-            None => steady_state_measures(model, method),
+            Some(c) => c.steady_certified(model, method),
+            None => steady_state_measures_with_certificate(model, method),
         }
     }
 
@@ -327,7 +330,7 @@ impl Engine {
         method: SteadyStateMethod,
     ) -> Result<(BlockModel, BlockMeasures), CoreError> {
         let model = generate_block(params, globals)?;
-        let measures = self.cached_steady(&model, method)?;
+        let (measures, _) = self.cached_steady(&model, method)?;
         Ok((model, measures))
     }
 
@@ -511,33 +514,36 @@ impl Engine {
         if fault == Some(InjectedFault::Panic) {
             panic!("injected fault: forced worker panic at {path}");
         }
-        if fault == Some(InjectedFault::NanRate) {
-            // Simulate a corrupted generator output: a NaN transition
-            // rate must be rejected by chain construction as a typed
-            // error, never reach a solver.
-            let mut b = rascad_markov::CtmcBuilder::new();
-            let ok = b.add_state("Ok", 1.0);
-            let down = b.add_state("Down", 0.0);
-            b.add_transition(ok, down, f64::NAN);
-            let source = b.build().expect_err("NaN rate must be rejected");
-            return Err(CoreError::Markov { block: path.to_string(), source });
-        }
         let model = generate_block(&block.params, globals)?;
         span.record("states", model.state_count());
         // Injected solver faults bypass the cache entirely: no read (the
         // fault must fire even when an identical clean chain is cached)
         // and no write (a forced failure must never poison clean runs).
-        let measures = match fault {
+        let (measures, certificate) = match fault {
             Some(InjectedFault::NotConverged) => {
-                steady_state_measures_forced(&model, method, Some(ForcedFailure::NotConverged))?
+                steady_state_measures_certified(&model, method, Some(ForcedFailure::NotConverged))?
             }
             Some(InjectedFault::Timeout) => {
-                steady_state_measures_forced(&model, method, Some(ForcedFailure::Timeout))?
+                steady_state_measures_certified(&model, method, Some(ForcedFailure::Timeout))?
+            }
+            Some(InjectedFault::NanRate) => {
+                // Simulate numerical corruption the solver itself cannot
+                // see: the solve succeeds, the distribution is poisoned
+                // to NaN, and residual certification must catch it as a
+                // fail-verdict certificate (CoreError::Certification).
+                steady_state_measures_certified(&model, method, Some(ForcedFailure::NanPi))?
             }
             _ => self.cached_steady(&model, method)?,
         };
         let mission_measures = self.cached_mission(&model, mission)?;
-        Ok(SolvedBlock { level, path: path.to_string(), model, measures, mission_measures })
+        Ok(SolvedBlock {
+            level,
+            path: path.to_string(),
+            model,
+            measures,
+            mission_measures,
+            certificate,
+        })
     }
 
     /// Sweeps a parameter, solving the points concurrently. The `apply`
@@ -624,6 +630,7 @@ struct SolvedBlock {
     model: BlockModel,
     measures: BlockMeasures,
     mission_measures: MissionMeasures,
+    certificate: SolutionCertificate,
 }
 
 /// Serial-RBD aggregate of a (sub)diagram — the same combination the
@@ -690,6 +697,7 @@ fn assemble_block(
             measures,
             combined_availability: measures.availability,
             combined_failure_rate: measures.failure_rate,
+            certificate: t.certificate,
         },
         t.mission_measures,
     ));

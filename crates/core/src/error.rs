@@ -28,6 +28,18 @@ pub enum CoreError {
         /// Description of the problem.
         what: String,
     },
+    /// A solve *completed* but its result failed residual
+    /// certification: the independent `‖πQ‖∞` / `Σπ−1` checks landed on
+    /// [`crate::certify::Verdict::Fail`], so the number must not be
+    /// reported as if it were trustworthy.
+    Certification {
+        /// Path of the block whose solution failed certification.
+        block: String,
+        /// The relative stationarity residual `‖πQ‖∞ / ‖Q‖∞`.
+        residual: f64,
+        /// The probability-mass error `|Σπ − 1|`.
+        prob_mass_error: f64,
+    },
 }
 
 /// Failure of the parallel engine itself (as opposed to the numerical
@@ -69,6 +81,11 @@ impl fmt::Display for CoreError {
             CoreError::Rbd(e) => write!(f, "rbd error: {e}"),
             CoreError::Engine(e) => write!(f, "engine error: {e}"),
             CoreError::InvalidRequest { what } => write!(f, "invalid request: {what}"),
+            CoreError::Certification { block, residual, prob_mass_error } => write!(
+                f,
+                "solution for block \"{block}\" failed certification: \
+                 residual {residual:.3e}, probability mass error {prob_mass_error:.3e}"
+            ),
         }
     }
 }
@@ -81,6 +98,7 @@ impl std::error::Error for CoreError {
             CoreError::Rbd(e) => Some(e),
             CoreError::Engine(e) => Some(e),
             CoreError::InvalidRequest { .. } => None,
+            CoreError::Certification { .. } => None,
         }
     }
 }

@@ -37,6 +37,9 @@ pub struct BlockSolution {
     pub combined_availability: f64,
     /// Combined failure frequency (chain + subdiagram contributions).
     pub combined_failure_rate: f64,
+    /// Accuracy evidence for the steady-state solve behind `measures`:
+    /// independent residual checks, condition estimate, method trail.
+    pub certificate: crate::certify::SolutionCertificate,
 }
 
 /// System-level measures of a full specification.

@@ -48,6 +48,7 @@
 
 pub mod ablate;
 pub mod cache;
+pub mod certify;
 pub mod compare;
 pub mod engine;
 pub mod error;
@@ -60,6 +61,7 @@ pub mod solve;
 pub mod sweep;
 
 pub use cache::{CacheStats, MissionMeasures, SolveCache};
+pub use certify::{certify_steady, certify_transient, SolutionCertificate, Verdict};
 pub use compare::{compare_architectures, ArchComparison};
 pub use engine::{default_threads, set_thread_override, Engine};
 pub use error::{CoreError, EngineError};

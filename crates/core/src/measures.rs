@@ -7,6 +7,7 @@
 
 use rascad_markov::{absorbing, transient, SteadyStateMethod, TransientOptions};
 
+use crate::certify::SolutionCertificate;
 use crate::error::CoreError;
 use crate::generator::BlockModel;
 
@@ -102,16 +103,59 @@ pub(crate) fn steady_state_measures_forced(
     method: SteadyStateMethod,
     forced: Option<crate::solve::ForcedFailure>,
 ) -> Result<BlockMeasures, CoreError> {
-    let pi = crate::solve::steady_state_ladder_forced(
+    steady_state_measures_certified(model, method, forced).map(|(measures, _)| measures)
+}
+
+/// [`steady_state_measures`] plus the [`SolutionCertificate`] the
+/// residual checks issue for the solved distribution.
+///
+/// A [`crate::certify::Verdict::Fail`] certificate is an error
+/// ([`CoreError::Certification`]): a solve whose result flunks the
+/// independent `‖πQ‖∞` / `Σπ−1` checks must not be reported as a
+/// number. `Warn` certificates pass through — the caller sees the thin
+/// margin in the certificate itself.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Markov`] if the chain cannot be solved, or
+/// [`CoreError::Certification`] if it solves but fails certification.
+pub fn steady_state_measures_with_certificate(
+    model: &BlockModel,
+    method: SteadyStateMethod,
+) -> Result<(BlockMeasures, SolutionCertificate), CoreError> {
+    steady_state_measures_certified(model, method, None)
+}
+
+pub(crate) fn steady_state_measures_certified(
+    model: &BlockModel,
+    method: SteadyStateMethod,
+    forced: Option<crate::solve::ForcedFailure>,
+) -> Result<(BlockMeasures, SolutionCertificate), CoreError> {
+    let outcome = crate::solve::steady_state_ladder_outcome(
         &model.chain,
         method,
         &rascad_markov::SolveOptions::default(),
         forced,
     )
     .map_err(|source| CoreError::Markov { block: model.name.clone(), source })?;
+    let mut pi = outcome.pi;
+    if forced == Some(crate::solve::ForcedFailure::NanPi) {
+        // Injected numerical corruption *after* a successful solve: the
+        // certificate — not any solver-internal check — must catch it.
+        pi.fill(f64::NAN);
+    }
+    let certificate =
+        crate::certify::certify_steady(&model.chain, &pi, outcome.method, outcome.trail);
+    if certificate.verdict == crate::certify::Verdict::Fail {
+        return Err(CoreError::Certification {
+            block: model.name.clone(),
+            residual: certificate.residual_inf,
+            prob_mass_error: certificate.prob_mass_error,
+        });
+    }
     let availability = model.chain.expected_reward(&pi);
     let failure_rate = model.chain.failure_rate(&pi);
-    Ok(BlockMeasures::from_availability(availability, failure_rate))
+    Ok((BlockMeasures::from_availability(availability, failure_rate), certificate))
 }
 
 /// Computes interval measures over `(0, horizon)` starting from `Ok`.

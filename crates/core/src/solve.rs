@@ -51,6 +51,11 @@ pub(crate) enum ForcedFailure {
     NotConverged,
     /// Every rung reports a wall-clock timeout (without spending one).
     Timeout,
+    /// The solve itself succeeds; the *result* is poisoned to NaN
+    /// afterwards (by [`crate::measures::steady_state_measures_certified`])
+    /// so the failure must be caught by residual certification, not by
+    /// any solver-internal check.
+    NanPi,
 }
 
 /// Whether an error should fall through to the next ladder rung.
@@ -70,7 +75,7 @@ fn run_rung(
     forced: Option<ForcedFailure>,
 ) -> Result<Vec<f64>, MarkovError> {
     match forced {
-        None => chain.steady_state_with(method, options),
+        None | Some(ForcedFailure::NanPi) => chain.steady_state_with(method, options),
         Some(ForcedFailure::NotConverged) => Err(match method {
             SteadyStateMethod::Power => MarkovError::NotConverged {
                 method: "power",
@@ -112,12 +117,49 @@ pub fn steady_state_ladder(
     steady_state_ladder_forced(chain, method, options, None)
 }
 
+/// A successful ladder solve plus its provenance: which rung won and
+/// the human-readable attempt trail that certification stamps into the
+/// [`crate::certify::SolutionCertificate`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LadderOutcome {
+    /// The stationary distribution.
+    pub pi: Vec<f64>,
+    /// Stable name of the rung that produced `pi`.
+    pub method: &'static str,
+    /// One entry per attempt, failed rungs first, e.g.
+    /// `["power: not converged after 1000 iterations, residual 2.1e-3",
+    ///   "lu: ok"]`.
+    pub trail: Vec<String>,
+}
+
+fn describe_attempt(a: &SolveAttempt) -> String {
+    match (&*a.error, a.iterations, a.residual) {
+        (MarkovError::NotConverged { .. }, Some(i), Some(r)) => {
+            format!("{}: not converged after {i} iterations, residual {r:.3e}", a.method)
+        }
+        (MarkovError::Timeout { .. }, Some(i), _) => {
+            format!("{}: timed out after {i} iterations", a.method)
+        }
+        (MarkovError::Singular, ..) => format!("{}: singular", a.method),
+        (e, ..) => format!("{}: {e}", a.method),
+    }
+}
+
 pub(crate) fn steady_state_ladder_forced(
     chain: &Ctmc,
     method: SteadyStateMethod,
     options: &SolveOptions,
     forced: Option<ForcedFailure>,
 ) -> Result<Vec<f64>, MarkovError> {
+    steady_state_ladder_outcome(chain, method, options, forced).map(|o| o.pi)
+}
+
+pub(crate) fn steady_state_ladder_outcome(
+    chain: &Ctmc,
+    method: SteadyStateMethod,
+    options: &SolveOptions,
+    forced: Option<ForcedFailure>,
+) -> Result<LadderOutcome, MarkovError> {
     let start = LADDER.iter().position(|m| *m == method).unwrap_or(LADDER.len() - 1);
     let mut attempts: Vec<SolveAttempt> = Vec::new();
     for (i, &rung) in LADDER[start..].iter().enumerate() {
@@ -130,7 +172,12 @@ pub(crate) fn steady_state_ladder_forced(
             span.record("to", to);
         }
         match run_rung(chain, rung, options, forced) {
-            Ok(pi) => return Ok(pi),
+            Ok(pi) => {
+                let winner = method_name(rung);
+                let mut trail: Vec<String> = attempts.iter().map(describe_attempt).collect();
+                trail.push(format!("{winner}: ok"));
+                return Ok(LadderOutcome { pi, method: winner, trail });
+            }
             Err(e) => {
                 if matches!(e, MarkovError::Timeout { .. }) {
                     rascad_obs::counter("solve.timeouts", 1);
@@ -231,6 +278,33 @@ mod tests {
         let pi = steady_state_ladder(&chain, SteadyStateMethod::Power, &opts).unwrap();
         let direct = chain.steady_state(SteadyStateMethod::Lu).unwrap();
         assert_eq!(pi, direct);
+    }
+
+    #[test]
+    fn ladder_outcome_carries_method_and_trail() {
+        let chain = two_state();
+        let opts = SolveOptions { max_iterations: Some(1), wall_clock: None, tolerance: 1e-14 };
+        let out =
+            steady_state_ladder_outcome(&chain, SteadyStateMethod::Power, &opts, None).unwrap();
+        assert_eq!(out.method, "lu");
+        assert_eq!(out.trail.len(), 2);
+        assert!(
+            out.trail[0].starts_with("power: not converged after 1 iterations"),
+            "{:?}",
+            out.trail
+        );
+        assert_eq!(out.trail[1], "lu: ok");
+        // NanPi leaves the solve itself untouched.
+        let clean = steady_state_ladder_outcome(
+            &chain,
+            SteadyStateMethod::Gth,
+            &SolveOptions::default(),
+            Some(ForcedFailure::NanPi),
+        )
+        .unwrap();
+        assert_eq!(clean.method, "gth");
+        assert_eq!(clean.trail, ["gth: ok"]);
+        assert!(clean.pi.iter().all(|p| p.is_finite()));
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn surviving_blocks_match(degraded: &SystemSolution, clean: &SystemSolution) {
         let reference = clean.block(&b.path).expect("clean run has every block");
         assert_eq!(b.measures, reference.measures, "block {} diverged", b.path);
         assert_eq!(b.model, reference.model, "model {} diverged", b.path);
+        assert_eq!(b.certificate, reference.certificate, "certificate {} diverged", b.path);
     }
 }
 
@@ -126,18 +127,33 @@ fn timeout_fault_is_typed_and_spends_no_wall_clock() {
 }
 
 #[test]
-fn nan_rate_fault_is_rejected_at_chain_construction() {
+fn nan_rate_fault_is_caught_by_residual_certification() {
     let _l = lock();
     let s = spec();
     let _g = PlanGuard::install(FaultPlan::single("Sys/A", FaultKind::NanRate));
+
+    // The solver itself succeeds (the corruption happens after it), so
+    // only the independent residual check stands between the NaN and
+    // the report. Strict mode: a typed certification error, never a
+    // silent number.
     let err = Engine::sequential().solve_spec(&s).unwrap_err();
     match &err {
-        CoreError::Markov { block, source: MarkovError::InvalidRate { rate, .. } } => {
-            assert_eq!(block, "Sys/A");
-            assert!(rate.is_nan());
+        CoreError::Certification { block, residual, prob_mass_error } => {
+            assert_eq!(block, "A");
+            assert!(residual.is_nan() || prob_mass_error.is_nan(), "{err}");
         }
-        other => panic!("expected InvalidRate, got {other:?}"),
+        other => panic!("expected Certification, got {other:?}"),
     }
+
+    // Best-effort mode: an explicit fail-verdict FailedBlock leaf.
+    let sol = Engine::sequential().solve_spec_best_effort(&s, SteadyStateMethod::Gth).unwrap();
+    assert_eq!(sol.failed.len(), 1);
+    assert_eq!(sol.failed[0].path, "Sys/A");
+    assert!(
+        matches!(sol.failed[0].error, CoreError::Certification { .. }),
+        "{:?}",
+        sol.failed[0].error
+    );
 }
 
 #[test]

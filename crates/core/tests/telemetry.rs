@@ -55,6 +55,9 @@ fn assert_bit_identical(a: &SystemSolution, b: &SystemSolution) {
         assert_eq!(ba.path, bb.path);
         assert_eq!(ba.measures, bb.measures, "block {} diverged", ba.path);
         assert_eq!(ba.model, bb.model, "model {} diverged", ba.path);
+        // Certificate equality is bit-based (f64::to_bits), so this
+        // pins the certificates too, not just the measures.
+        assert_eq!(ba.certificate, bb.certificate, "certificate {} diverged", ba.path);
     }
 }
 
@@ -67,10 +70,12 @@ fn solve_results_are_bit_identical_with_telemetry_on_and_off() {
             let quiet = engine.solve_spec_with(&s, method).unwrap();
 
             rascad_obs::flight::arm();
+            rascad_obs::trace::arm();
             rascad_obs::install(vec![Box::new(CountSink(0))]);
             let observed = engine.solve_spec_with(&s, method).unwrap();
             rascad_obs::drain();
             rascad_obs::uninstall();
+            rascad_obs::trace::disarm();
             rascad_obs::flight::disarm();
 
             assert_bit_identical(&quiet, &observed);

@@ -14,7 +14,8 @@
 //! stiffness heuristic recommends the GTH direct solver, which is
 //! subtraction-free and immune to the problem.
 
-use rascad_markov::Ctmc;
+use rascad_markov::dense::DenseMatrix;
+use rascad_markov::{Ctmc, MarkovError, SolveOptions, SteadyStateMethod};
 use rascad_spec::diag::{Diagnostic, Severity};
 
 /// Exit-rate ratio (max/min over states with a positive exit rate) at
@@ -33,6 +34,16 @@ pub const STIFFNESS_INFO_RATIO: f64 = 1e6;
 
 /// How many state labels a summary message lists before eliding.
 const MAX_LISTED_STATES: usize = 5;
+
+/// Chains above this size skip the measured condition estimate the
+/// stiffness hints cite: the Hager estimator needs a dense `O(n³)`
+/// factorization. Matches the certification layer's bound.
+pub const CONDEST_MAX_STATES: usize = 128;
+
+/// Iteration cap of the measured power-method probe the stiffness
+/// hints cite. Generous enough that a well-conditioned chain converges
+/// and cheap enough to run inside a lint pass.
+pub const PROBE_MAX_ITERATIONS: usize = 512;
 
 /// Tier B diagnostic codes.
 pub mod codes {
@@ -190,6 +201,10 @@ fn stiffness(path: &str, chain: &Ctmc, diags: &mut Vec<Diagnostic>) {
     };
     let min = rates.iter().copied().reduce(f64::min).unwrap_or(max);
     let ratio = max / min;
+    if ratio < STIFFNESS_INFO_RATIO {
+        return;
+    }
+    let evidence = measured_evidence(chain);
     if ratio >= STIFFNESS_WARN_RATIO {
         diags.push(Diagnostic::new(
             codes::STIFF_CHAIN,
@@ -197,21 +212,62 @@ fn stiffness(path: &str, chain: &Ctmc, diags: &mut Vec<Diagnostic>) {
             path,
             format!(
                 "stiff chain: state exit rates span a ratio of {ratio:.1e} \
-                 (fastest {max:.3e}/h, slowest {min:.3e}/h); use the GTH direct \
-                 solver — iterative methods converge slowly here",
+                 (fastest {max:.3e}/h, slowest {min:.3e}/h); {evidence}; use the \
+                 GTH direct solver — iterative methods converge slowly here",
             ),
         ));
-    } else if ratio >= STIFFNESS_INFO_RATIO {
+    } else {
         diags.push(Diagnostic::new(
             codes::STIFFNESS_NOTE,
             Severity::Info,
             path,
             format!(
-                "state exit rates span a ratio of {ratio:.1e}; \
+                "state exit rates span a ratio of {ratio:.1e} ({evidence}); \
                  the GTH direct solver is the numerically safest choice",
             ),
         ));
     }
+}
+
+/// Measured numerical evidence the stiffness hints cite, so the solver
+/// recommendation rests on what the numerics actually do on *this*
+/// chain rather than on the rate ratio alone: a Hager 1-norm condition
+/// estimate of the steady-state system (small chains) and a capped
+/// power-iteration probe.
+fn measured_evidence(chain: &Ctmc) -> String {
+    let mut parts = Vec::new();
+    let n = chain.len();
+    if (2..=CONDEST_MAX_STATES).contains(&n) {
+        // The system the direct rungs solve: Qᵀ with the last equation
+        // replaced by the normalization row.
+        let q = chain.generator().to_dense();
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = q[(j, i)];
+            }
+        }
+        for j in 0..n {
+            a[(n - 1, j)] = 1.0;
+        }
+        if let Ok(k) = a.condest_1norm() {
+            parts.push(format!("measured condition estimate {k:.1e}"));
+        }
+    }
+    let opts =
+        SolveOptions { max_iterations: Some(PROBE_MAX_ITERATIONS), ..SolveOptions::default() };
+    match chain.steady_state_with(SteadyStateMethod::Power, &opts) {
+        Ok(_) => {
+            parts.push(format!("power probe converged within {PROBE_MAX_ITERATIONS} iterations"));
+        }
+        Err(MarkovError::NotConverged { iterations, residual, .. }) => {
+            parts.push(format!(
+                "power probe gave up after {iterations} iterations (residual {residual:.1e})"
+            ));
+        }
+        Err(e) => parts.push(format!("power probe failed: {e}")),
+    }
+    parts.join(", ")
 }
 
 #[cfg(test)]
@@ -307,6 +363,27 @@ mod tests {
         assert_eq!(diags[0].code, codes::STIFF_CHAIN);
         assert_eq!(diags[0].severity, Severity::Warning);
         assert!(diags[0].message.contains("GTH"));
+        // The hint cites measured numerics, not just the rate ratio.
+        assert!(diags[0].message.contains("measured condition estimate"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("power probe"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn warn_hint_cites_a_condition_estimate_of_the_right_magnitude() {
+        // Steady-state system of the 1e9-stiff two-state chain:
+        // A = [[-1, 1e9], [1, 1]] — condition number on the order of
+        // the rate ratio. The cited estimate must reflect that, not be
+        // a canned figure.
+        let chain = two_state(STIFFNESS_WARN_RATIO, 1.0);
+        let diags = analyze_chain("Sys/A", &chain);
+        let msg = &diags[0].message;
+        let est = msg
+            .split("measured condition estimate ")
+            .nth(1)
+            .and_then(|rest| rest.split([',', ';']).next())
+            .and_then(|tok| tok.trim().parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("no parsable estimate in: {msg}"));
+        assert!(est > 1e7, "estimate {est} too small for a 1e9-stiff chain");
     }
 
     #[test]
@@ -316,6 +393,7 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, codes::STIFFNESS_NOTE);
         assert_eq!(diags[0].severity, Severity::Info);
+        assert!(diags[0].message.contains("measured condition estimate"), "{}", diags[0].message);
     }
 
     #[test]

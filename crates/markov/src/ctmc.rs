@@ -404,18 +404,21 @@ impl Ctmc {
         // cheap bitwise test.
         const CLOCK_MASK: usize = 1024 - 1;
         let start = std::time::Instant::now();
+        let mut trace = rascad_obs::trace::begin("power", "residual", n);
         let mut residual = f64::INFINITY;
         for iter in 1..=max_iter {
             if iter & CLOCK_MASK == 0 {
                 let elapsed = start.elapsed();
                 if options.over_budget(elapsed) {
                     span.record("iterations", iter);
+                    trace.finish("timeout");
                     return Err(options.timeout_error("power", iter, elapsed));
                 }
             }
             let next = uni.dtmc.vec_mul(&pi);
             residual = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
             pi = next;
+            trace.step(iter, residual);
             if residual < tolerance {
                 let z: f64 = pi.iter().sum();
                 for p in &mut pi {
@@ -423,14 +426,30 @@ impl Ctmc {
                 }
                 span.record("iterations", iter);
                 span.record("residual", residual);
-                rascad_obs::record_value("markov.power.iterations", iter as f64);
-                rascad_obs::record_value("markov.power.residual", residual);
+                rascad_obs::record_value_with(
+                    "markov.iterations",
+                    &[("method", "power")],
+                    iter as f64,
+                );
+                rascad_obs::record_value_with("markov.residual", &[("method", "power")], residual);
                 rascad_obs::counter_with("markov.solves", &[("method", "power")], 1);
+                trace.finish("converged");
                 return Ok(pi);
             }
         }
         span.record("iterations", max_iter);
         span.record("residual", residual);
+        // A non-converged rung still reports its full telemetry — the
+        // fallback ladder's decision to abandon this method should be
+        // as observable as a success.
+        rascad_obs::record_value_with("markov.iterations", &[("method", "power")], max_iter as f64);
+        rascad_obs::record_value_with("markov.residual", &[("method", "power")], residual);
+        rascad_obs::flight_event(
+            "markov.power.not_converged",
+            residual,
+            &format!("{max_iter} iterations, residual {residual:.3e} vs tolerance {tolerance:.1e}"),
+        );
+        trace.finish("not-converged");
         Err(MarkovError::NotConverged {
             method: "power",
             iterations: max_iter,
@@ -739,9 +758,9 @@ mod tests {
             })
             .expect("drain emits metrics");
         assert!(counters.iter().any(|(n, v)| *n == "markov.solves{method=\"power\"}" && *v >= 1));
-        let iters = values.iter().find(|(n, _)| *n == "markov.power.iterations");
+        let iters = values.iter().find(|(n, _)| *n == "markov.iterations{method=\"power\"}");
         assert!(iters.is_some_and(|(_, s)| s.count >= 1 && s.min >= 1.0), "{values:?}");
-        let resid = values.iter().find(|(n, _)| *n == "markov.power.residual");
+        let resid = values.iter().find(|(n, _)| *n == "markov.residual{method=\"power\"}");
         assert!(resid.is_some_and(|(_, s)| s.max < 1e-13), "{values:?}");
     }
 

@@ -89,16 +89,20 @@ pub fn stationary_gth_dense_with(
     let mut pivots = vec![0.0; n];
     let mut min_pivot = f64::INFINITY;
     let start = std::time::Instant::now();
+    let mut trace = rascad_obs::trace::begin("gth", "pivot", n);
     for (step, k) in (1..n).rev().enumerate() {
         if step % GTH_CLOCK_STRIDE == 0 {
             let elapsed = start.elapsed();
             if options.over_budget(elapsed) {
+                trace.finish("timeout");
                 return Err(options.timeout_error("gth", step, elapsed));
             }
         }
         // s = total rate out of k into states 0..k.
         let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
+        trace.step(step + 1, s);
         if s <= 0.0 || !s.is_finite() {
+            trace.finish("singular");
             return Err(MarkovError::Singular);
         }
         min_pivot = min_pivot.min(s);
@@ -135,8 +139,10 @@ pub fn stationary_gth_dense_with(
 
     let total: f64 = pi.iter().sum();
     if !(total.is_finite() && total > 0.0) {
+        trace.finish("singular");
         return Err(MarkovError::Singular);
     }
+    trace.finish("done");
     for p in &mut pi {
         *p /= total;
     }
@@ -198,6 +204,36 @@ mod tests {
         // Unavailability ~ 1e-9 * (1/12 + 1/4).
         let unavail = pi[1] + pi[2];
         assert!((unavail - 1e-9 * (1.0 / 12.0 + 0.25)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn gth_pivot_trace_matches_hand_computed_chain() {
+        // Cycle up -> down (1e-9/h), down -> repair (12/h),
+        // repair -> up (4/h). GTH eliminates the highest-numbered state
+        // first: state 2 exits into {0,1} at rate 4 (pivot 1), and after
+        // censoring, state 1's exit rate into {0} is 12·(4/4) = 12
+        // (pivot 2). min_pivot is therefore exactly 4.
+        let mut b = CtmcBuilder::new();
+        let up = b.add_state("up", 1.0);
+        let down = b.add_state("down", 0.0);
+        let repair = b.add_state("repair", 0.0);
+        b.add_transition(up, down, 1e-9);
+        b.add_transition(down, repair, 12.0);
+        b.add_transition(repair, up, 4.0);
+        let chain = b.build().unwrap();
+
+        rascad_obs::trace::arm();
+        stationary_gth(&chain).unwrap();
+        let traces = rascad_obs::trace::solves();
+        let t = traces
+            .iter()
+            .rev()
+            .find(|t| t.method == "gth" && t.states == 3)
+            .expect("armed GTH solve commits a trace");
+        assert_eq!((t.metric, t.outcome, t.total_steps), ("pivot", "done", 2));
+        assert_eq!((t.steps[0].index, t.steps[0].value), (1, 4.0));
+        assert_eq!((t.steps[1].index, t.steps[1].value), (2, 12.0));
+        rascad_obs::trace::disarm();
     }
 
     #[test]

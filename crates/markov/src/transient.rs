@@ -42,6 +42,9 @@ pub struct TransientSolution {
     /// Expected time-averaged cumulative reward over `(0, time)`
     /// (interval availability for 0/1 rewards).
     pub interval_reward: f64,
+    /// Probability mass the truncated Poisson series failed to capture
+    /// (before renormalization) — the solve's truncation error.
+    pub truncation: f64,
 }
 
 /// Uniformized DTMC: `P = I + Q/Λ` with `Λ ≥ max_i |q_ii|`.
@@ -107,6 +110,7 @@ pub fn solve(
             probabilities: p0.to_vec(),
             point_reward: point,
             interval_reward: point,
+            truncation: 0.0,
         });
     }
 
@@ -147,11 +151,15 @@ pub fn solve(
     }
 
     let mut steps = 0usize;
+    // Truncation-error series: tail[k] is exactly the Poisson mass not
+    // yet captured after term k, i.e. the running truncation error.
+    let mut trace = rascad_obs::trace::begin("transient", "truncation", chain.len());
     for k in 0..=kmax {
         for i in 0..chain.len() {
             point_acc[i] += weights[k] * probs[i];
             cum_acc[i] += tail[k] * probs[i];
         }
+        trace.step(k + 1, tail[k]);
         if k < kmax {
             let next = uni.dtmc.vec_mul(&probs);
             steps += 1;
@@ -177,6 +185,11 @@ pub fn solve(
 
     // Normalize the point distribution against truncation loss.
     let mass: f64 = point_acc.iter().sum();
+    // The probability mass the truncated series failed to capture —
+    // the per-solve summary of the per-term series traced above.
+    let truncation = (1.0 - mass).max(0.0);
+    rascad_obs::record_value("markov.transient.truncation", truncation);
+    trace.finish("done");
     if mass > 0.0 {
         for p in &mut point_acc {
             *p /= mass;
@@ -191,6 +204,7 @@ pub fn solve(
         probabilities: point_acc,
         point_reward: point,
         interval_reward: interval.clamp(0.0, rewards.iter().cloned().fold(0.0, f64::max)),
+        truncation,
     })
 }
 
@@ -307,6 +321,7 @@ pub fn solve_grid(
         .map(|(i, &t)| {
             let mut p = point_acc[i * n..(i + 1) * n].to_vec();
             let mass: f64 = p.iter().sum();
+            let truncation = (1.0 - mass).max(0.0);
             if mass > 0.0 {
                 for x in &mut p {
                     *x /= mass;
@@ -323,6 +338,7 @@ pub fn solve_grid(
                 probabilities: p,
                 point_reward: point,
                 interval_reward: interval,
+                truncation,
             }
         })
         .collect())

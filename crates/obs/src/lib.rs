@@ -61,6 +61,7 @@ pub mod flight;
 pub mod json;
 pub mod prometheus;
 pub mod registry;
+pub mod trace;
 pub mod tree;
 
 mod agg;
@@ -72,6 +73,7 @@ pub use registry::{
     describe, MetricDesc, MetricKind, MetricsRegistry, RegistrySnapshot, SeriesId, CATALOG,
 };
 pub use sink::{Event, FieldValue, JsonLinesSink, MetricsSummary, Sink, SummarySink};
+pub use trace::{ConvergenceTrace, SolveTrace, TraceStep};
 pub use tree::{SpanNodeStat, SpanTreeAgg};
 
 use std::cell::{Cell, RefCell};
@@ -83,6 +85,8 @@ use std::time::Instant;
 pub(crate) const F_TELEMETRY: u32 = 1;
 /// Flag bit: the flight recorder is armed.
 pub(crate) const F_FLIGHT: u32 = 1 << 1;
+/// Flag bit: the convergence trace channel is armed.
+pub(crate) const F_CONV_TRACE: u32 = 1 << 2;
 
 /// The one-atomic-load gate every instrumentation call checks first.
 static FLAGS: AtomicU32 = AtomicU32::new(0);
@@ -459,6 +463,18 @@ pub fn gauge_set(name: &'static str, labels: &[(&str, &str)], value: f64) {
 pub fn incident(name: &'static str, detail: &str) {
     if flags() & F_FLIGHT != 0 {
         flight::note_incident(name, detail);
+    }
+}
+
+/// Appends a plain `event` entry to the flight recorder without
+/// marking an incident — for noteworthy-but-expected moments (a
+/// non-converged ladder rung about to fall back) that should show up
+/// in a post-mortem but not force one. No-op unless the recorder is
+/// armed.
+#[inline]
+pub fn flight_event(name: &'static str, num: f64, detail: &str) {
+    if flags() & F_FLIGHT != 0 {
+        flight::note("event", name, num, detail.to_string());
     }
 }
 

@@ -158,22 +158,28 @@ pub const CATALOG: &[MetricDesc] = &[
         help: "Chain size per GTH solve",
     },
     MetricDesc {
+        name: "markov.iterations",
+        kind: MetricKind::Histogram,
+        labels: &["method"],
+        help: "Iterations spent per solve by method (converged or not)",
+    },
+    MetricDesc {
+        name: "markov.lu.condest",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "1-norm condition-number estimate per dense LU solve",
+    },
+    MetricDesc {
         name: "markov.lu.fill",
         kind: MetricKind::Histogram,
         labels: &[],
         help: "Fill-in produced per LU factorization",
     },
     MetricDesc {
-        name: "markov.power.iterations",
+        name: "markov.residual",
         kind: MetricKind::Histogram,
-        labels: &[],
-        help: "Iterations to convergence per power-method solve",
-    },
-    MetricDesc {
-        name: "markov.power.residual",
-        kind: MetricKind::Histogram,
-        labels: &[],
-        help: "Final residual per power-method solve",
+        labels: &["method"],
+        help: "Final residual per solve by method (converged or not)",
     },
     MetricDesc {
         name: "markov.solves",
@@ -198,6 +204,12 @@ pub const CATALOG: &[MetricDesc] = &[
         kind: MetricKind::Counter,
         labels: &[],
         help: "Point transient solves (uniformization)",
+    },
+    MetricDesc {
+        name: "markov.transient.truncation",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "Residual truncation mass (1 - captured probability) per transient solve",
     },
     MetricDesc {
         name: "markov.transient.vec_mul_steps",
@@ -228,6 +240,12 @@ pub const CATALOG: &[MetricDesc] = &[
         kind: MetricKind::Counter,
         labels: &[],
         help: "Monte-Carlo replications executed",
+    },
+    MetricDesc {
+        name: "solve.certified",
+        kind: MetricKind::Counter,
+        labels: &["verdict"],
+        help: "Solution certificates issued by verdict (ok, warn, fail)",
     },
     MetricDesc {
         name: "solve.fallbacks",

@@ -46,6 +46,7 @@ fn disabled_telemetry_allocates_nothing() {
     // lazily-initialized thread locals outside the measured window.
     assert!(!rascad_obs::enabled());
     rascad_obs::flight::disarm();
+    rascad_obs::trace::disarm();
     rascad_obs::counter("warmup.counter", 1);
 
     let before = allocations();
@@ -58,6 +59,9 @@ fn disabled_telemetry_allocates_nothing() {
         rascad_obs::record_value_with("overhead.labeled_value", &[("method", "gth")], 0.5);
         rascad_obs::gauge_set("overhead.gauge", &[], i as f64);
         rascad_obs::incident("overhead.incident", "not recorded while disarmed");
+        let mut trace = rascad_obs::trace::begin("overhead", "residual", 2);
+        trace.step(i as usize, 0.5);
+        trace.finish("done");
         drop(span);
     }
     let after = allocations();

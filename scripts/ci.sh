@@ -40,6 +40,60 @@ cargo run --offline -q -p rascad-cli -- bench --quick --label ci-smoke \
     --out target/bench_smoke.json > /dev/null
 cargo run --offline -q -p rascad-cli -- bench --validate target/bench_smoke.json
 
+# Convergence-document golden check: a traced solve must write a
+# schema-valid rascad-convergence/v1 document (the CLI runs it through
+# trace::validate before writing, so a clean exit means the validator
+# passed) with at least one per-iteration series, and --explain must
+# append the certificate table to the report.
+echo "==> convergence trace golden check (solve --convergence-out / --explain)"
+cargo run --offline -q -p rascad-cli -- library datacenter > target/ci_conv_dc.rascad
+cargo run --offline -q -p rascad-cli -- solve target/ci_conv_dc.rascad \
+    --convergence-out target/ci_conv.json > /dev/null
+grep -q '"schema": "rascad-convergence/v1"' target/ci_conv.json
+grep -q '"method": "gth"' target/ci_conv.json
+grep -q '"metric": "pivot"' target/ci_conv.json
+cargo run --offline -q -p rascad-cli -- solve target/ci_conv_dc.rascad --explain \
+    > target/ci_explain.txt
+grep -q "Convergence traces" target/ci_explain.txt
+grep -q "Solution certificates" target/ci_explain.txt
+grep -q " ok " target/ci_explain.txt
+
+# Accuracy-gate smoke: record a quick baseline, shrink every stage
+# certificate residual a million-fold (so the fresh run looks 1e6x
+# worse), and compare with the cross-machine noise floor disabled.
+# The doctored residual ratio must trip the accuracy gate: exit 6.
+echo "==> bench accuracy-gate smoke (doctored baseline, expect exit 6)"
+cargo run --offline -q -p rascad-cli -- bench --quick --label ci-acc \
+    --out target/bench_acc_base.json > /dev/null
+python3 - <<'PY'
+import json
+with open("target/bench_acc_base.json") as f:
+    doc = json.load(f)
+doctored = 0
+for stage in doc["stages"]:
+    cert = stage.get("certificate")
+    if cert and isinstance(cert.get("residual"), float) and cert["residual"] > 0:
+        cert["residual"] /= 1e6
+        doctored += 1
+assert doctored > 0, "no certificates found to doctor"
+with open("target/bench_acc_base.json", "w") as f:
+    json.dump(doc, f)
+PY
+set +e
+RASCAD_FLIGHT_PATH=target/ci_acc_flight.jsonl \
+cargo run --offline -q -p rascad-cli -- bench --quick --label ci-acc \
+    --compare target/bench_acc_base.json --residual-floor 0 \
+    > target/bench_acc_report.txt 2>&1
+acc_code=$?
+set -e
+if [ "$acc_code" -ne 6 ]; then
+    echo "accuracy-gate smoke: expected exit 6, got $acc_code"
+    cat target/bench_acc_report.txt
+    exit 1
+fi
+grep -q "residual:" target/bench_acc_report.txt
+grep -q "FAIL" target/bench_acc_report.txt
+
 # Sweep-scaling smoke: run the cached/parallel sweep workload at one
 # thread and at the machine's parallelism. Validation rejects the
 # document outright if the engine's results were not bit-identical to
