@@ -11,6 +11,7 @@ pub mod workloads;
 
 /// The non-redundant reference block used by the Type 0 (Figure 3)
 /// experiment.
+#[must_use]
 pub fn type0_block() -> BlockParams {
     BlockParams::new("Type0 Reference", 1, 1)
         .with_mtbf(Hours(10_000.0))
@@ -23,12 +24,14 @@ pub fn type0_block() -> BlockParams {
 /// The redundant reference block (N = 2, K = 1, Type 3) used by the
 /// Figure 4 experiment — nontransparent recovery, transparent repair,
 /// exactly the scenario combination the paper diagrams.
+#[must_use]
 pub fn type3_block() -> BlockParams {
     redundant_block(2, 1, Scenario::Nontransparent, Scenario::Transparent)
 }
 
 /// A parameterized redundant block for the generation-scaling
 /// experiment.
+#[must_use]
 pub fn redundant_block(n: u32, k: u32, recovery: Scenario, repair: Scenario) -> BlockParams {
     BlockParams::new("Redundant Reference", n, k)
         .with_mtbf(Hours(20_000.0))
@@ -49,6 +52,7 @@ pub fn redundant_block(n: u32, k: u32, recovery: Scenario, repair: Scenario) -> 
 }
 
 /// Globals shared by the reference blocks.
+#[must_use]
 pub fn globals() -> GlobalParams {
     GlobalParams::default()
 }

@@ -35,6 +35,7 @@ pub struct BenchProfile {
 
 impl BenchProfile {
     /// CI-sized profile: every stage well under a second.
+    #[must_use]
     pub fn quick() -> Self {
         BenchProfile {
             name: "quick",
@@ -49,6 +50,7 @@ impl BenchProfile {
     }
 
     /// Baseline-sized profile for real machine-to-machine comparisons.
+    #[must_use]
     pub fn full() -> Self {
         BenchProfile {
             name: "full",
@@ -65,6 +67,7 @@ impl BenchProfile {
 
 /// One block per paper chain template: Type 0 (no redundancy) plus the
 /// four recovery × repair scenario combinations (Types 1–4).
+#[must_use]
 pub fn chain_type_blocks() -> Vec<(u8, BlockParams)> {
     vec![
         (0, crate::type0_block()),
@@ -139,12 +142,14 @@ diagram "Bench Data Center" {
 "#;
 
 /// The parsed hierarchy workload.
+#[must_use]
 pub fn hierarchy_spec() -> SystemSpec {
     SystemSpec::from_dsl(HIERARCHY_DSL).expect("bench hierarchy DSL parses")
 }
 
 /// Flat spec for the parametric-sweep stage; the sweep varies the
 /// service response time of the `"Node"` block.
+#[must_use]
 pub fn sweep_spec() -> SystemSpec {
     use rascad_spec::units::Hours;
     use rascad_spec::{Diagram, GlobalParams};
@@ -165,6 +170,7 @@ pub const SWEEP_BLOCK: &str = "Node";
 /// `"Target"` block plus nine fixed blocks. Across a sweep only the
 /// target's chain changes, so the solve engine's block cache reuses the
 /// other nine solutions at every point after the first.
+#[must_use]
 pub fn sweep_scaling_spec() -> SystemSpec {
     use rascad_spec::units::Hours;
     use rascad_spec::{Diagram, GlobalParams};
@@ -192,6 +198,7 @@ pub const SWEEP_SCALING_POINTS: usize = 20;
 /// the uniformized DTMC mixes in a few thousand iterations — the
 /// template chains are far too stiff for power iteration (that failure
 /// mode is what [`rascad_markov::MarkovError::NotConverged`] reports).
+#[must_use]
 pub fn power_chain() -> Ctmc {
     let mut b = CtmcBuilder::new();
     let ids: Vec<_> =

@@ -252,7 +252,9 @@ fn time_stage<T>(
         max_us = max_us.max(us);
         sum_us += us;
     }
-    Ok(StageResult { name, runs, min_us, mean_us: sum_us / runs as f64, max_us, cert: None })
+    #[allow(clippy::cast_precision_loss)] // benchmark run counts stay far below 2^52
+    let mean_us = sum_us / runs as f64;
+    Ok(StageResult { name, runs, min_us, mean_us, max_us, cert: None })
 }
 
 /// Certifies one untimed solve of every chain with the given method —

@@ -2,11 +2,15 @@
 //!
 //! Tier A (spec analyses) always runs; Tier B (generated-model
 //! analyses) runs when Tier A found no errors, since generating models
-//! from an erroneous spec would either fail or analyze garbage.
-//! Findings print as a human table or JSON lines; blocking findings
+//! from an erroneous spec would either fail or analyze garbage; Tier C
+//! (structural analyses over the BDD-compiled structure function)
+//! opts in via `--tier-c` under the same gate. When later tiers are
+//! requested but Tier A errors block them, an explicit `RAS199` note
+//! marks the report as "not analyzed" rather than "clean". Findings
+//! print as a human table, JSON lines, or SARIF; blocking findings
 //! (errors, or warnings under `--deny warnings`) exit with code 7.
 
-use rascad_lint::{lint_spec, render, tier_b, DenyLevel, LintReport};
+use rascad_lint::{lint_spec, render, tier_b, tier_c, DenyLevel, LintReport};
 
 use super::CliError;
 
@@ -15,6 +19,7 @@ use super::CliError;
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 /// Parsed `lint` arguments.
@@ -23,6 +28,8 @@ struct LintArgs<'a> {
     format: Format,
     deny: DenyLevel,
     tier_b: bool,
+    tier_c: bool,
+    max_cut_order: usize,
     explain: Option<&'a str>,
 }
 
@@ -32,6 +39,8 @@ fn parse_args<'a>(args: &[&'a str]) -> Result<LintArgs<'a>, CliError> {
         format: Format::Human,
         deny: DenyLevel::Errors,
         tier_b: true,
+        tier_c: false,
+        max_cut_order: tier_c::DEFAULT_MAX_CUT_ORDER,
         explain: None,
     };
     let mut it = args.iter().copied();
@@ -41,9 +50,10 @@ fn parse_args<'a>(args: &[&'a str]) -> Result<LintArgs<'a>, CliError> {
                 parsed.format = match it.next() {
                     Some("human") => Format::Human,
                     Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
                     other => {
                         return Err(CliError::usage(format!(
-                            "--format needs `human` or `json`, got `{}`",
+                            "--format needs `human`, `json`, or `sarif`, got `{}`",
                             other.unwrap_or("nothing")
                         )));
                     }
@@ -59,6 +69,19 @@ fn parse_args<'a>(args: &[&'a str]) -> Result<LintArgs<'a>, CliError> {
                 }
             },
             "--no-tier-b" => parsed.tier_b = false,
+            "--tier-c" => parsed.tier_c = true,
+            "--max-cut-order" => {
+                let value =
+                    it.next().ok_or_else(|| CliError::usage("--max-cut-order needs a number"))?;
+                parsed.max_cut_order = match value.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        return Err(CliError::usage(format!(
+                            "--max-cut-order needs an integer >= 1, got `{value}`"
+                        )));
+                    }
+                };
+            }
             "--explain" => {
                 parsed.explain = Some(
                     it.next().ok_or_else(|| CliError::usage("--explain needs a RASxxx code"))?,
@@ -80,7 +103,7 @@ pub fn lint(args: &[&str]) -> Result<String, CliError> {
     let parsed = parse_args(args)?;
     if let Some(code) = parsed.explain {
         let entry = rascad_lint::catalog::lookup(code).ok_or_else(|| {
-            CliError::usage(format!("unknown diagnostic code `{code}`; codes are RAS001–RAS105"))
+            CliError::usage(format!("unknown diagnostic code `{code}`; codes are RAS001–RAS205"))
         })?;
         return Ok(rascad_lint::catalog::explain(entry));
     }
@@ -90,16 +113,27 @@ pub fn lint(args: &[&str]) -> Result<String, CliError> {
     let (spec, source) = load_with_source(path)?;
 
     let mut report = lint_spec(&spec);
+    if report.has_errors() {
+        if parsed.tier_b || parsed.tier_c {
+            report.extend(vec![rascad_lint::tiers_skipped_note(&spec.root.name)]);
+        }
+    } else {
+        if parsed.tier_b {
+            run_tier_b(&spec, &mut report);
+        }
+        if parsed.tier_c {
+            run_tier_c(&spec, parsed.max_cut_order, &mut report);
+        }
+    }
+    // Annotate last so Tier B/C findings get source positions too.
     if let Some(src) = &source {
         rascad_spec::dsl::source_map::annotate(&mut report.diagnostics, src);
-    }
-    if parsed.tier_b && !report.has_errors() {
-        run_tier_b(&spec, &mut report);
     }
 
     let rendered = match parsed.format {
         Format::Human => render::render_human(&report),
         Format::Json => render::render_json(&report),
+        Format::Sarif => render::render_sarif(&report, Some(path).filter(|p| *p != "-")),
     };
     if report.is_blocking(parsed.deny) {
         Err(CliError::Lint(rendered))
@@ -139,6 +173,21 @@ fn run_tier_b(spec: &rascad_spec::SystemSpec, report: &mut LintReport) {
         }
     });
     report.extend(diags);
+}
+
+/// Runs the Tier C structural analyses, feeding the exact solve in
+/// for the RAS205 bound cross-check when the solver accepts the spec.
+fn run_tier_c(spec: &rascad_spec::SystemSpec, max_cut_order: usize, report: &mut LintReport) {
+    let exact = rascad_core::solve_spec(spec).ok().map(|sol| tier_c::ExactSolve {
+        system_unavailability: 1.0 - sol.system.availability,
+        blocks: sol
+            .blocks
+            .iter()
+            .map(|b| (b.path.clone(), 1.0 - b.measures.availability))
+            .collect(),
+    });
+    let opts = tier_c::TierCOptions { max_cut_order, ..Default::default() };
+    report.extend(tier_c::analyze_structure(spec, &opts, exact.as_ref()));
 }
 
 /// Tier A gate run before `solve`/`sweep`/`simulate` (unless
@@ -247,6 +296,94 @@ diagram "Sys" {
         assert!(matches!(lint(&["--format", "xml"]), Err(CliError::Usage(_))));
         assert!(matches!(lint(&["--deny", "errors"]), Err(CliError::Usage(_))));
         assert!(matches!(lint(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(lint(&["--max-cut-order", "0"]), Err(CliError::Usage(_))));
+        assert!(matches!(lint(&["--max-cut-order", "many"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn tier_c_reports_structural_findings_with_positions() {
+        // "Database" is the SPOF; declared on line 8, name at column 11.
+        let text = r#"
+diagram "Shop" {
+    block "Web" {
+        quantity = 2
+        min_quantity = 1
+        mtbf = 50000 h
+    }
+    block "Database" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 80000 h
+    }
+}
+"#;
+        let path = write_temp("rascad_lint_tier_c.rascad", text);
+        let out = lint(&[path.to_str().unwrap(), "--tier-c", "--format", "json"]).unwrap();
+        let ras201 = out
+            .lines()
+            .find(|l| l.contains("\"code\":\"RAS201\""))
+            .unwrap_or_else(|| panic!("no RAS201 in {out}"));
+        assert!(ras201.contains("\"path\":\"Shop/Database\""), "{ras201}");
+        assert!(ras201.contains("\"line\":8"), "{ras201}");
+        assert!(ras201.contains("\"column\":11"), "{ras201}");
+        for code in ["RAS203", "RAS204", "RAS205"] {
+            assert!(out.contains(&format!("\"code\":\"{code}\"")), "no {code} in {out}");
+        }
+        // Info findings never block, even under --deny warnings.
+        assert!(lint(&[path.to_str().unwrap(), "--tier-c", "--deny", "warnings"]).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn max_cut_order_controls_idle_redundancy() {
+        // Margin 5 on "Farm": invisible at order 4, a RAS202 finding.
+        let text = r#"
+diagram "Grid" {
+    block "Farm" {
+        quantity = 6
+        min_quantity = 1
+        mtbf = 30000 h
+    }
+    block "Meter" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 90000 h
+    }
+}
+"#;
+        let path = write_temp("rascad_lint_cut_order.rascad", text);
+        let p = path.to_str().unwrap();
+        let out = lint(&[p, "--tier-c", "--format", "json"]).unwrap();
+        assert!(out.contains("\"code\":\"RAS202\""), "{out}");
+        let out = lint(&[p, "--tier-c", "--max-cut-order", "6", "--format", "json"]).unwrap();
+        assert!(!out.contains("\"code\":\"RAS202\""), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tier_a_errors_emit_explicit_skip_note() {
+        let path = write_temp("rascad_lint_skip.rascad", BAD_SPEC);
+        let err = lint(&[path.to_str().unwrap(), "--tier-c", "--format", "json"]).unwrap_err();
+        match &err {
+            CliError::Lint(report) => {
+                assert!(report.contains("\"code\":\"RAS199\""), "{report}");
+                assert!(report.contains("Tier B/C skipped"), "{report}");
+            }
+            other => panic!("expected Lint error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sarif_format_names_the_artifact() {
+        let spec = rascad_library::e10000::e10000();
+        let path = write_temp("rascad_lint_sarif.rascad", &spec.to_dsl());
+        let out = lint(&[path.to_str().unwrap(), "--tier-c", "--format", "sarif"]).unwrap();
+        assert!(out.contains("\"version\":\"2.1.0\""), "{out}");
+        assert!(out.contains("\"name\":\"rascad-lint\""), "{out}");
+        assert!(out.contains("rascad_lint_sarif.rascad"), "{out}");
+        assert!(out.contains("\"ruleId\":\"RAS201\""), "{out}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

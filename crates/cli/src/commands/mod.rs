@@ -141,10 +141,15 @@ the path with the RASCAD_FLIGHT_PATH environment variable).
 
 COMMANDS:
     check <spec.rascad>                 validate a specification
-    lint <spec.rascad|-> [--format human|json] [--deny warnings] [--no-tier-b]
+    lint <spec.rascad|-> [--format human|json|sarif] [--deny warnings]
+         [--no-tier-b] [--tier-c] [--max-cut-order N]
                                         static analysis: spec diagnostics (RAS001–RAS021)
                                         plus generated-model diagnostics (RAS101–RAS105);
-                                        `-` reads DSL from stdin; blocking findings exit 7
+                                        --tier-c adds structural analyses over the
+                                        BDD-compiled structure function (RAS201–RAS205:
+                                        cut sets up to order N, SPOFs, importance,
+                                        symmetry classes, cut-set bound); `-` reads DSL
+                                        from stdin; blocking findings exit 7
     lint --explain <RASxxx>             document one diagnostic code (example and remedy)
     solve <spec.rascad> [--strict|--best-effort] [--explain]
           [--convergence-out FILE] [--inject <plan.toml>]

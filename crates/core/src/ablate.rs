@@ -13,12 +13,14 @@ use rascad_spec::{Scenario, SystemSpec};
 
 /// Returns a copy with perfect diagnosis everywhere (`Pcd = 1`):
 /// removes the service-error mechanism.
+#[must_use]
 pub fn perfect_diagnosis(spec: &SystemSpec) -> SystemSpec {
     transform(spec, |p| p.p_correct_diagnosis = 1.0)
 }
 
 /// Returns a copy with no latent faults (`Plf = 0`): every fault is
 /// detected immediately.
+#[must_use]
 pub fn no_latent_faults(spec: &SystemSpec) -> SystemSpec {
     transform(spec, |p| {
         if let Some(r) = &mut p.redundancy {
@@ -28,12 +30,14 @@ pub fn no_latent_faults(spec: &SystemSpec) -> SystemSpec {
 }
 
 /// Returns a copy with no transient faults (`λt = 0`).
+#[must_use]
 pub fn no_transients(spec: &SystemSpec) -> SystemSpec {
     transform(spec, |p| p.transient_fit = Fit(0.0))
 }
 
 /// Returns a copy where every automatic recovery is transparent and
 /// perfect (no failover downtime, no SPF risk).
+#[must_use]
 pub fn perfect_recovery(spec: &SystemSpec) -> SystemSpec {
     transform(spec, |p| {
         if let Some(r) = &mut p.redundancy {
@@ -46,6 +50,7 @@ pub fn perfect_recovery(spec: &SystemSpec) -> SystemSpec {
 
 /// Returns a copy with instantaneous logistics (`Tresp = MTTM = 0`):
 /// spare parts and service are always on site.
+#[must_use]
 pub fn instant_logistics(spec: &SystemSpec) -> SystemSpec {
     let mut out = transform(spec, |p| p.service_response = Hours(0.0));
     out.globals.mttm = Hours(0.0);
@@ -54,6 +59,7 @@ pub fn instant_logistics(spec: &SystemSpec) -> SystemSpec {
 
 /// Returns a copy with every redundancy stripped (`K := N`, redundancy
 /// parameters removed): measures what the spares buy.
+#[must_use]
 pub fn strip_redundancy(spec: &SystemSpec) -> SystemSpec {
     transform(spec, |p| {
         p.min_quantity = p.quantity;

@@ -85,6 +85,7 @@ pub struct CacheStats {
 impl CacheStats {
     /// Fraction of lookups served from cache (0 when nothing was looked
     /// up yet).
+    #[must_use]
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -147,6 +148,7 @@ const DEFAULT_CAPACITY: usize = 4096;
 
 impl SolveCache {
     /// Creates an empty cache with the default capacity.
+    #[must_use]
     pub fn new() -> Self {
         SolveCache {
             maps: Mutex::new(Maps { steady: HashMap::new(), mission: HashMap::new() }),

@@ -48,6 +48,7 @@ pub enum Verdict {
 impl Verdict {
     /// Stable lowercase name (the `verdict` label of
     /// `solve.certified`).
+    #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             Verdict::Ok => "ok",
@@ -122,6 +123,7 @@ fn verdict_for(residual: f64, mass_error: f64) -> Verdict {
 /// # Panics
 ///
 /// Panics if `pi.len() != chain.len()`.
+#[must_use]
 pub fn certify_steady(
     chain: &Ctmc,
     pi: &[f64],
@@ -177,6 +179,7 @@ pub fn certify_steady(
 /// truncated sum failed to capture — and the mass error is checked on
 /// the (renormalized) returned distribution. Records
 /// `solve.certified{verdict}`.
+#[must_use]
 pub fn certify_transient(sol: &TransientSolution) -> SolutionCertificate {
     let prob_mass_error = (sol.probabilities.iter().sum::<f64>() - 1.0).abs();
     let verdict = verdict_for(sol.truncation, prob_mass_error);

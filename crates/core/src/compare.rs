@@ -27,11 +27,13 @@ pub struct ArchComparison {
 
 impl ArchComparison {
     /// Yearly downtime delta `B − A` in minutes (negative = B better).
+    #[must_use]
     pub fn downtime_delta_minutes(&self) -> f64 {
         self.b.yearly_downtime_minutes - self.a.yearly_downtime_minutes
     }
 
     /// Ratio of B's unavailability to A's (`< 1` = B better).
+    #[must_use]
     pub fn unavailability_ratio(&self) -> f64 {
         if self.a.unavailability > 0.0 {
             self.b.unavailability / self.a.unavailability
@@ -43,6 +45,7 @@ impl ArchComparison {
     }
 
     /// Which candidate has less downtime.
+    #[must_use]
     pub fn winner(&self) -> &str {
         if self.b.yearly_downtime_minutes < self.a.yearly_downtime_minutes {
             &self.name_b

@@ -250,12 +250,14 @@ impl std::fmt::Debug for Engine {
 
 impl Engine {
     /// Engine with caching on and the dynamic default worker count.
+    #[must_use]
     pub fn new() -> Self {
         Engine { fixed_threads: None, cache: Some(SolveCache::new()) }
     }
 
     /// Engine with caching on and a pinned worker count (`0` is clamped
     /// to 1).
+    #[must_use]
     pub fn with_threads(threads: usize) -> Self {
         Engine { fixed_threads: Some(threads.max(1)), cache: Some(SolveCache::new()) }
     }
@@ -263,6 +265,7 @@ impl Engine {
     /// The sequential reference configuration: one thread, no cache.
     /// Reproduces the pre-engine solve path; equivalence tests and the
     /// benchmark baseline measure against this.
+    #[must_use]
     pub fn sequential() -> Self {
         Engine { fixed_threads: Some(1), cache: None }
     }

@@ -46,16 +46,19 @@ pub struct BlockModel {
 
 impl BlockModel {
     /// Number of states in the generated chain.
+    #[must_use]
     pub fn state_count(&self) -> usize {
         self.chain.len()
     }
 
     /// Number of transitions in the generated chain.
+    #[must_use]
     pub fn transition_count(&self) -> usize {
         self.chain.transition_count()
     }
 
     /// Id of the fully-working initial state.
+    #[must_use]
     pub fn ok_state(&self) -> StateId {
         0
     }
@@ -123,6 +126,7 @@ impl ModelBuilder {
     ///
     /// Panics if an existing label is requested with a different reward —
     /// that would indicate a template bug.
+    #[allow(clippy::float_cmp)] // a reused label must carry the exact same reward
     pub(crate) fn state(&mut self, label: &str, reward: f64) -> StateId {
         if let Some(&(id, r)) = self.index.get(label) {
             assert_eq!(r, reward, "state {label} requested with conflicting rewards");

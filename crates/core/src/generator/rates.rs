@@ -51,6 +51,7 @@ pub struct Rates {
 
 impl Rates {
     /// Derives the rate set from a block and the globals.
+    #[must_use]
     pub fn derive(params: &BlockParams, globals: &GlobalParams) -> Rates {
         let r = params.redundancy;
         let transparent_recovery = r.is_none_or(|r| r.recovery == Scenario::Transparent);
@@ -91,18 +92,21 @@ impl Rates {
     /// component: `MTTM + Tresp + MTTR` (paper: "the logistic event
     /// duration is thus the sum of service restriction time and service
     /// response time", followed by the repair itself).
+    #[must_use]
     pub fn scheduled_repair_time(&self) -> f64 {
         self.mttm + self.tresp + self.mttr
     }
 
     /// Immediate repair duration when the system is down: `Tresp + MTTR`
     /// ("a call to the customer service should be placed immediately").
+    #[must_use]
     pub fn immediate_repair_time(&self) -> f64 {
         self.tresp + self.mttr
     }
 
     /// Effective `Pspf` — zero when the SPF state has no duration (the
     /// state is then elided).
+    #[must_use]
     pub fn effective_pspf(&self) -> f64 {
         if self.tspf > 0.0 {
             self.pspf
@@ -113,6 +117,7 @@ impl Rates {
 
     /// Effective probability of entering the service-error state — zero
     /// when `MTTRFID` is zero (the state is then elided).
+    #[must_use]
     pub fn effective_service_error(&self) -> f64 {
         if self.mttrfid > 0.0 {
             1.0 - self.pcd
@@ -123,6 +128,7 @@ impl Rates {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
     use rascad_spec::units::{Fit, Hours, Minutes};

@@ -120,11 +120,13 @@ pub struct SystemSolution {
 
 impl SystemSolution {
     /// Finds a block solution by its slash path.
+    #[must_use]
     pub fn block(&self, path: &str) -> Option<&BlockSolution> {
         self.blocks.iter().find(|b| b.path == path)
     }
 
     /// Whether any block failed (best-effort mode only).
+    #[must_use]
     pub fn is_degraded(&self) -> bool {
         !self.failed.is_empty()
     }
@@ -134,6 +136,7 @@ impl SystemSolution {
     /// pessimistic bound is 0 (a failed block may be always-down) and
     /// the optimistic bound is the reported availability (failed blocks
     /// treated as always-up).
+    #[must_use]
     pub fn availability_bounds(&self) -> (f64, f64) {
         if self.failed.is_empty() {
             (self.system.availability, self.system.availability)
@@ -144,6 +147,7 @@ impl SystemSolution {
 
     /// Every walk position in depth-first diagram order, interleaving
     /// solved blocks and failure leaves.
+    #[must_use]
     pub fn outcomes(&self) -> Vec<BlockOutcome<'_>> {
         let total = self.blocks.len() + self.failed.len();
         let mut out = Vec::with_capacity(total);
@@ -167,6 +171,7 @@ impl SystemSolution {
     /// Builds the serial RBD of the root diagram (one component per
     /// top-level block with its combined availability) — the
     /// "hierarchy of RBDs and Markov chains" view.
+    #[must_use]
     pub fn root_rbd(&self) -> (ComponentTable, Rbd) {
         let mut table = ComponentTable::new();
         let mut children = Vec::new();
@@ -181,6 +186,7 @@ impl SystemSolution {
     /// block, all in series, with the block's own chain availability).
     /// Equivalent to [`root_rbd`](Self::root_rbd) in value but exposes
     /// every block for importance analysis.
+    #[must_use]
     pub fn flat_rbd(&self) -> (ComponentTable, Rbd) {
         let mut table = ComponentTable::new();
         let mut children = Vec::new();
@@ -333,6 +339,7 @@ pub fn interval_availability_exact(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
     use rascad_spec::units::{Hours, Minutes};

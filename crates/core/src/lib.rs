@@ -46,6 +46,9 @@
 //! # }
 //! ```
 
+// Counts cast to f64 throughout (state counts, cache sizes, grid
+// indices) stay far below 2^52, so the cast is exact in practice.
+#![allow(clippy::cast_precision_loss)]
 pub mod ablate;
 pub mod cache;
 pub mod certify;

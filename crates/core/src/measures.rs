@@ -39,6 +39,7 @@ pub struct BlockMeasures {
 impl BlockMeasures {
     /// Derives the measure set from an availability and a failure
     /// frequency.
+    #[must_use]
     pub fn from_availability(availability: f64, failure_rate: f64) -> Self {
         let unavailability = (1.0 - availability).max(0.0);
         let mean_downtime_hours =
@@ -229,6 +230,7 @@ pub fn failure_mode_attribution(model: &BlockModel) -> Result<Vec<(String, f64)>
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
     use crate::generator::generate_block;

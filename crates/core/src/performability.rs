@@ -32,6 +32,7 @@ pub struct PerformabilityMeasures {
 /// level structure of the state labels); down states keep reward 0.
 /// Non-redundant blocks are returned unchanged (their only up state has
 /// full capacity).
+#[must_use]
 pub fn capacity_chain(model: &BlockModel) -> Ctmc {
     let n = f64::from(model.quantity);
     let mut b = CtmcBuilder::new();
@@ -105,6 +106,7 @@ pub fn interval_capacity(model: &BlockModel, horizon_hours: f64) -> Result<f64, 
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
     use crate::generator::generate_block;

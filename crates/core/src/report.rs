@@ -11,6 +11,7 @@ use crate::hierarchy::SystemSolution;
 /// degraded (best-effort) solve adds a `PARTIAL RESULT` banner with the
 /// availability bounds after the headline measures, and a failure table
 /// after the block table — existing lines are never reworded.
+#[must_use]
 pub fn system_report(title: &str, sol: &SystemSolution) -> String {
     let mut out = String::new();
     let m = &sol.system;
@@ -110,6 +111,7 @@ pub fn block_dwell_report(
 
 /// Renders a generated chain as Graphviz DOT (for the paper's "graphical
 /// output").
+#[must_use]
 pub fn chain_dot(model: &crate::generator::BlockModel) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", model.name.replace('"', "'"));

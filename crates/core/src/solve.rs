@@ -32,6 +32,7 @@ const LADDER: [SteadyStateMethod; 3] =
 
 /// Stable lowercase name of a method (matches the `method` field of
 /// [`MarkovError::NotConverged`] / [`MarkovError::Timeout`]).
+#[must_use]
 pub fn method_name(method: SteadyStateMethod) -> &'static str {
     match method {
         SteadyStateMethod::Power => "power",

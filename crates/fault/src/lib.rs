@@ -71,6 +71,7 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// Stable plan-file spelling of this kind.
+    #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             FaultKind::Panic => "panic",
@@ -214,11 +215,13 @@ impl FaultPlan {
     }
 
     /// The parsed `[[inject]]` entries, in file order.
+    #[must_use]
     pub fn entries(&self) -> &[Injection] {
         &self.entries
     }
 
     /// The optional `seed` field (recorded verbatim for corpus tooling).
+    #[must_use]
     pub fn seed(&self) -> Option<u64> {
         self.seed
     }
@@ -230,6 +233,7 @@ impl FaultPlan {
 
     /// The first entry matching `path` (an engine walk path that
     /// includes the root-diagram segment, or a bare block path).
+    #[must_use]
     pub fn fault_for(&self, path: &str) -> Option<FaultKind> {
         let stripped = path.split_once('/').map(|(_, rest)| rest);
         self.entries
@@ -294,6 +298,7 @@ pub struct PlanGuard(());
 
 impl PlanGuard {
     /// Installs `plan` and returns the guard.
+    #[must_use]
     pub fn install(plan: FaultPlan) -> PlanGuard {
         install(plan);
         PlanGuard(())

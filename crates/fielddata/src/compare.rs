@@ -48,6 +48,7 @@ impl fmt::Display for Comparison {
 }
 
 /// Compares a model-predicted availability against a field estimate.
+#[must_use]
 pub fn compare(predicted_availability: f64, field: &FieldEstimate) -> Comparison {
     let predicted_dt = (1.0 - predicted_availability) * 365.0 * 24.0 * 60.0;
     let measured_dt = field.yearly_downtime_minutes;
@@ -71,6 +72,7 @@ pub fn compare(predicted_availability: f64, field: &FieldEstimate) -> Comparison
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
     use crate::estimate::analyze;

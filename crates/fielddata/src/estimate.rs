@@ -34,6 +34,7 @@ pub struct FieldEstimate {
 /// # Panics
 ///
 /// Panics if `logs` is empty.
+#[allow(clippy::cast_precision_loss)] // outage counts stay far below 2^52
 pub fn analyze(logs: &[OutageLog]) -> FieldEstimate {
     assert!(!logs.is_empty(), "need at least one log");
     let mut span = rascad_obs::span("fielddata.analyze");
@@ -63,6 +64,7 @@ pub fn analyze(logs: &[OutageLog]) -> FieldEstimate {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

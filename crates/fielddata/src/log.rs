@@ -24,6 +24,7 @@ impl OutageLog {
     /// # Panics
     ///
     /// Panics if the window is not positive and finite.
+    #[must_use]
     pub fn new(observation_hours: f64) -> Self {
         assert!(
             observation_hours > 0.0 && observation_hours.is_finite(),
@@ -52,27 +53,32 @@ impl OutageLog {
     }
 
     /// Observation window, hours.
+    #[must_use]
     pub fn observation_hours(&self) -> f64 {
         self.observation_hours
     }
 
     /// The recorded outages in time order.
+    #[must_use]
     pub fn outages(&self) -> &[Outage] {
         &self.outages
     }
 
     /// Total downtime, hours.
+    #[must_use]
     pub fn downtime_hours(&self) -> f64 {
         self.outages.iter().map(|o| o.duration_hours).sum()
     }
 
     /// Empirical availability.
+    #[must_use]
     pub fn availability(&self) -> f64 {
         1.0 - self.downtime_hours() / self.observation_hours
     }
 
     /// Builds a log from an up/down event sequence
     /// (`(time_hours, up)`), assuming the system starts up at time 0.
+    #[must_use]
     pub fn from_events(observation_hours: f64, events: &[(f64, bool)]) -> Self {
         let mut log = OutageLog::new(observation_hours);
         let mut down_since: Option<f64> = None;

@@ -8,6 +8,7 @@ use crate::registry::{RbdSpec, Value};
 
 /// Renders a CTMC as Graphviz DOT. Up states are ellipses, down states
 /// are boxes; edges are labelled with their rates.
+#[must_use]
 pub fn ctmc_dot(name: &str, chain: &Ctmc) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", sanitize(name));
@@ -24,6 +25,7 @@ pub fn ctmc_dot(name: &str, chain: &Ctmc) -> String {
 }
 
 /// Renders an RBD spec as Graphviz DOT (a tree of gates and leaves).
+#[must_use]
 pub fn rbd_dot(name: &str, rbd: &RbdSpec) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", sanitize(name));

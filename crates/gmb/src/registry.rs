@@ -22,6 +22,7 @@ pub enum Value {
 
 impl Value {
     /// A literal value.
+    #[must_use]
     pub fn constant(v: f64) -> Value {
         Value::Const(v)
     }
@@ -54,6 +55,7 @@ pub struct MarkovSpec {
 
 impl MarkovSpec {
     /// Creates an empty Markov model.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -71,11 +73,13 @@ impl MarkovSpec {
     }
 
     /// Number of states.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.states.len()
     }
 
     /// Whether the model has no states.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.states.is_empty()
     }
@@ -92,6 +96,7 @@ pub struct SemiMarkovSpec {
 
 impl SemiMarkovSpec {
     /// Creates an empty semi-Markov model.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -141,16 +146,19 @@ impl RbdSpec {
     }
 
     /// Series constructor.
+    #[must_use]
     pub fn series(children: Vec<RbdSpec>) -> RbdSpec {
         RbdSpec::Series(children)
     }
 
     /// Parallel constructor.
+    #[must_use]
     pub fn parallel(children: Vec<RbdSpec>) -> RbdSpec {
         RbdSpec::Parallel(children)
     }
 
     /// k-of-n constructor.
+    #[must_use]
     pub fn k_of_n(k: u32, children: Vec<RbdSpec>) -> RbdSpec {
         RbdSpec::KOfN { k, children }
     }
@@ -190,6 +198,7 @@ pub struct ModelRegistry {
 
 impl ModelRegistry {
     /// Creates an empty registry (GTH steady-state method).
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -207,6 +216,7 @@ impl ModelRegistry {
     }
 
     /// Reads a named parameter.
+    #[must_use]
     pub fn parameter(&self, name: &str) -> Option<f64> {
         self.parameters.get(name).copied()
     }
@@ -534,6 +544,7 @@ impl ModelRegistry {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

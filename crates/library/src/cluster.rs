@@ -36,6 +36,7 @@ impl Default for ClusterConfig {
 }
 
 /// Builds a two-node cluster specification.
+#[must_use]
 pub fn two_node_cluster(config: ClusterConfig) -> SystemSpec {
     let mut d = Diagram::new("Two-Node Cluster");
     let nodes = BlockParams::new("Cluster Node", 2, 1)

@@ -33,6 +33,7 @@ impl ComponentRecord {
     /// Instantiates block parameters for `quantity`/`min_quantity` units
     /// of this FRU. Redundant blocks receive default redundancy
     /// parameters the caller can refine.
+    #[must_use]
     pub fn block(&self, quantity: u32, min_quantity: u32) -> BlockParams {
         BlockParams::new(self.name, quantity, min_quantity)
             .with_part_number(self.part_number)
@@ -50,26 +51,31 @@ pub struct ComponentDb {
 
 impl ComponentDb {
     /// Loads the embedded database.
+    #[must_use]
     pub fn embedded() -> ComponentDb {
         ComponentDb { records: RECORDS.to_vec() }
     }
 
     /// Looks a record up by name.
+    #[must_use]
     pub fn find(&self, name: &str) -> Option<&ComponentRecord> {
         self.records.iter().find(|r| r.name == name)
     }
 
     /// All records.
+    #[must_use]
     pub fn records(&self) -> &[ComponentRecord] {
         &self.records
     }
 
     /// Number of records.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
     /// Whether the database is empty (never true for the embedded one).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }

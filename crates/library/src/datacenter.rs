@@ -14,6 +14,7 @@ use crate::components::ComponentDb;
 use crate::storage::{raid1, raid5};
 
 /// Builds the complete two-level Data Center System specification.
+#[must_use]
 pub fn data_center() -> SystemSpec {
     let mut root = Diagram::new("Data Center System");
     root.push_block(Block::with_subdiagram(server_box_params(), server_box_subdiagram()));
@@ -37,6 +38,7 @@ pub fn data_center() -> SystemSpec {
 }
 
 /// Global parameters used by the data-center model.
+#[must_use]
 pub fn globals() -> GlobalParams {
     GlobalParams {
         reboot_time: Minutes(10.0),
@@ -60,6 +62,7 @@ fn server_box_params() -> BlockParams {
 }
 
 /// The 19-block Server Box subdiagram of Figure 2.
+#[must_use]
 pub fn server_box_subdiagram() -> Diagram {
     let db = ComponentDb::embedded();
     let mut d = Diagram::new("Server Box Internals");

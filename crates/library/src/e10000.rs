@@ -13,6 +13,7 @@ use rascad_spec::{BlockParams, Diagram, GlobalParams, RedundancyParams, Scenario
 use crate::components::ComponentDb;
 
 /// Builds the E10000-class server specification.
+#[must_use]
 pub fn e10000() -> SystemSpec {
     let db = ComponentDb::embedded();
     let mut d = Diagram::new("E10000 Server");
@@ -81,6 +82,7 @@ pub fn e10000() -> SystemSpec {
 
 /// The same machine with every redundancy stripped (all `K = N`),
 /// used as an ablation baseline in the experiments.
+#[must_use]
 pub fn e10000_no_redundancy() -> SystemSpec {
     let spec = e10000();
     let mut d = Diagram::new(spec.root.name.clone());

@@ -79,6 +79,7 @@ pub fn storage_array(name: impl Into<String>, disks: u32) -> Diagram {
 /// # Panics
 ///
 /// Panics if `fru` is not in the embedded database.
+#[must_use]
 pub fn single(fru: &str) -> BlockParams {
     ComponentDb::embedded().find(fru).unwrap_or_else(|| panic!("unknown FRU {fru}")).block(1, 1)
 }

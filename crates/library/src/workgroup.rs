@@ -13,6 +13,7 @@ use crate::components::ComponentDb;
 use crate::storage::raid1;
 
 /// Builds the workgroup-server specification.
+#[must_use]
 pub fn workgroup() -> SystemSpec {
     let db = ComponentDb::embedded();
     let mut d = Diagram::new("Workgroup Server");

@@ -9,6 +9,7 @@ use rascad_spec::diag::Severity;
 use rascad_spec::validate::codes as tier_a;
 
 use crate::tier_b::codes as tier_b;
+use crate::tier_c::codes as tier_c;
 
 /// Documentation for one diagnostic code.
 #[derive(Debug, Clone, Copy)]
@@ -26,8 +27,10 @@ pub struct CatalogEntry {
 }
 
 /// Every diagnostic code, ordered by code. Tier A (`RAS001`–`RAS099`)
-/// covers spec-level analyses; Tier B (`RAS101`–`RAS199`) covers
-/// generated-model analyses.
+/// covers spec-level analyses; Tier B (`RAS101`–`RAS198`) covers
+/// generated-model analyses; `RAS199` is the cross-tier skip note;
+/// Tier C (`RAS201`–`RAS299`) covers structural analyses over the
+/// compiled structure function.
 pub const CATALOG: &[CatalogEntry] = &[
     CatalogEntry {
         code: tier_a::EMPTY_DIAGRAM,
@@ -217,14 +220,66 @@ pub const CATALOG: &[CatalogEntry] = &[
         example: "typical hardware MTBFs next to minute-scale repairs",
         remedy: "no action needed; GTH is the numerically safest solver choice",
     },
+    CatalogEntry {
+        code: crate::codes::TIERS_SKIPPED,
+        severity: Severity::Info,
+        title: "Tier B/C skipped: model not generated",
+        example: "lint --tier-b (or --tier-c) on a spec with Tier A errors",
+        remedy: "fix the spec-level errors first; later tiers need a generated \
+                 model, so their absence here means \"not analyzed\", not \"clean\"",
+    },
+    CatalogEntry {
+        code: tier_c::SINGLE_POINT_OF_FAILURE,
+        severity: Severity::Info,
+        title: "single point of failure (order-1 minimal cut set)",
+        example: "quantity = 1 with min_quantity = 1 anywhere in the hierarchy",
+        remedy: "add redundancy (quantity > min_quantity) if the availability \
+                 target demands it; in a serial RBD every margin-free block is \
+                 expected to appear here",
+    },
+    CatalogEntry {
+        code: tier_c::IDLE_REDUNDANCY,
+        severity: Severity::Info,
+        title: "redundancy absent from every analyzed minimal cut set",
+        example: "quantity = 8 with min_quantity = 2 under --max-cut-order 4",
+        remedy: "the margin exceeds the analysis depth: raise --max-cut-order to \
+                 see the block's cuts, or trim sparing the structure never needs",
+    },
+    CatalogEntry {
+        code: tier_c::STRUCTURAL_IMPORTANCE,
+        severity: Severity::Info,
+        title: "top-k structural importance (Birnbaum at p = 1/2)",
+        example: "any structure; the least-redundant blocks rank first",
+        remedy: "no action needed; spend redundancy on the top-ranked blocks \
+                 first when searching the design space",
+    },
+    CatalogEntry {
+        code: tier_c::SYMMETRY_CLASS,
+        severity: Severity::Info,
+        title: "symmetry class of interchangeable components",
+        example: "quantity = 3 identical units, or two sibling blocks equal up \
+                 to naming",
+        remedy: "no action needed; the class is exactly lumpable, so a \
+                 symmetry-aware solver can collapse its state space",
+    },
+    CatalogEntry {
+        code: tier_c::CUT_SET_BOUND,
+        severity: Severity::Info,
+        title: "cut-set unavailability upper bound vs the exact solve",
+        example: "lint --tier-c on any spec the exact solver accepts",
+        remedy: "no action needed; if the exact unavailability ever exceeded the \
+                 union bound, the generator and solver would disagree — report it",
+    },
 ];
 
 /// Looks up a code (e.g. `"RAS006"`), case-sensitively.
+#[must_use]
 pub fn lookup(code: &str) -> Option<&'static CatalogEntry> {
     CATALOG.iter().find(|e| e.code == code)
 }
 
 /// Renders one entry as the multi-line `--explain` text.
+#[must_use]
 pub fn explain(entry: &CatalogEntry) -> String {
     format!(
         "{code} ({severity}): {title}\n  example: {example}\n  remedy:  {remedy}\n",
@@ -288,5 +343,75 @@ mod tests {
     fn explain_mentions_code_and_remedy() {
         let text = explain(lookup("RAS104").unwrap());
         assert!(text.contains("RAS104") && text.contains("GTH"));
+    }
+
+    /// Catalog integrity: every code registered anywhere in this crate
+    /// (Tier A, B, C, and the driver's own codes) has an entry with a
+    /// non-empty example and remedy, and `explain` round-trips all of
+    /// the entry's documentation fields.
+    #[test]
+    fn every_registered_code_is_cataloged_with_example_and_remedy() {
+        let tier_a: &[&str] = &{
+            use rascad_spec::validate::codes::*;
+            [
+                EMPTY_DIAGRAM,
+                DUPLICATE_BLOCK,
+                BLANK_NAME,
+                ZERO_QUANTITY,
+                ZERO_MIN_QUANTITY,
+                MIN_EXCEEDS_QUANTITY,
+                NONPOSITIVE_MTBF,
+                NEGATIVE_FIT,
+                NEGATIVE_MTTR,
+                ZERO_TOTAL_MTTR,
+                NEGATIVE_SERVICE_RESPONSE,
+                PROBABILITY_RANGE,
+                REDUNDANCY_ON_NONREDUNDANT,
+                REDUNDANCY_MISSING,
+                GLOBAL_PARAM,
+                REDUNDANCY_DURATION,
+                MTTR_GE_MTBF,
+                IMPLAUSIBLE_UNITS,
+                IGNORED_SCENARIO_DURATION,
+                HIERARCHY_RECURSION,
+                LOW_PCD,
+            ]
+        };
+        let tier_b: &[&str] = &{
+            use crate::tier_b::codes::*;
+            [UNREACHABLE_STATE, ABSORBING_STATE, DISCONNECTED_CHAIN, STIFF_CHAIN, STIFFNESS_NOTE]
+        };
+        let tier_c: &[&str] = &{
+            use crate::tier_c::codes::*;
+            [
+                SINGLE_POINT_OF_FAILURE,
+                IDLE_REDUNDANCY,
+                STRUCTURAL_IMPORTANCE,
+                SYMMETRY_CLASS,
+                CUT_SET_BOUND,
+            ]
+        };
+        let driver: &[&str] = &[crate::codes::TIERS_SKIPPED];
+
+        let registered: Vec<&str> = [tier_a, tier_b, tier_c, driver].concat();
+        // Every registered code is documented, non-trivially.
+        for code in &registered {
+            let entry = lookup(code).unwrap_or_else(|| panic!("{code} missing from catalog"));
+            assert!(!entry.title.trim().is_empty(), "{code}: empty title");
+            assert!(!entry.example.trim().is_empty(), "{code}: empty example");
+            assert!(!entry.remedy.trim().is_empty(), "{code}: empty remedy");
+            let text = explain(entry);
+            for field in [entry.code, entry.title, entry.example, entry.remedy] {
+                assert!(text.contains(field), "{code}: explain drops {field:?}");
+            }
+        }
+        // And nothing is documented that the engine never emits.
+        for entry in CATALOG {
+            assert!(
+                registered.contains(&entry.code),
+                "{} cataloged but registered nowhere in crates/lint",
+                entry.code
+            );
+        }
     }
 }

@@ -15,13 +15,20 @@
 //!   engine lives in [`rascad_spec::validate::analyze`] so that
 //!   [`rascad_spec::SystemSpec::validate`] shares it; [`lint_spec`]
 //!   wraps it in a [`LintReport`].
-//! - **Tier B** (generated-model level, codes `RAS101`–`RAS199`):
+//! - **Tier B** (generated-model level, codes `RAS101`–`RAS198`):
 //!   reachability, absorbing states, connectivity, and a stiffness
 //!   heuristic over each block's CTMC — see [`tier_b`].
+//! - **Tier C** (structural level, codes `RAS201`–`RAS299`): the
+//!   spec's hierarchy compiled to a BDD structure function — minimal
+//!   cut sets, single points of failure, structural importance, and
+//!   symmetry/lumpability classes — see [`tier_c`].
+//!
+//! `RAS199` is the cross-tier note that Tier B/C were skipped because
+//! spec-level errors blocked model generation.
 //!
 //! [`catalog`] documents every code with an example and a remedy;
-//! [`render`] provides the human table and JSON-lines front ends used
-//! by `rascad lint`.
+//! [`render`] provides the human table, JSON-lines, and SARIF front
+//! ends used by `rascad lint`.
 //!
 //! # Example
 //!
@@ -39,9 +46,29 @@
 pub mod catalog;
 pub mod render;
 pub mod tier_b;
+pub mod tier_c;
 
 use rascad_spec::diag::{severity_counts, Diagnostic, Severity};
 use rascad_spec::SystemSpec;
+
+/// Codes that belong to the lint driver itself rather than one tier.
+pub mod codes {
+    /// Later tiers skipped: spec-level errors block model generation.
+    pub const TIERS_SKIPPED: &str = "RAS199";
+}
+
+/// The explicit "not analyzed" note emitted when Tier B/C were
+/// requested but spec-level errors prevented model generation, so JSON
+/// consumers can distinguish "clean at that tier" from "never ran".
+#[must_use]
+pub fn tiers_skipped_note(root: &str) -> Diagnostic {
+    Diagnostic::new(
+        codes::TIERS_SKIPPED,
+        Severity::Info,
+        root,
+        "Tier B/C skipped: model not generated because spec-level errors block generation",
+    )
+}
 
 /// Which severities cause a lint run to fail (exit nonzero).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +90,7 @@ pub struct LintReport {
 
 impl LintReport {
     /// Creates an empty report.
+    #[must_use]
     pub fn new() -> Self {
         LintReport::default()
     }
@@ -73,16 +101,19 @@ impl LintReport {
     }
 
     /// Counts per severity: `(errors, warnings, infos)`.
+    #[must_use]
     pub fn counts(&self) -> (usize, usize, usize) {
         severity_counts(&self.diagnostics)
     }
 
     /// Whether any error-severity finding is present.
+    #[must_use]
     pub fn has_errors(&self) -> bool {
         self.diagnostics.iter().any(|d| d.severity == Severity::Error)
     }
 
     /// Whether the report fails under the given deny level.
+    #[must_use]
     pub fn is_blocking(&self, deny: DenyLevel) -> bool {
         let floor = match deny {
             DenyLevel::Errors => Severity::Error,
@@ -92,6 +123,7 @@ impl LintReport {
     }
 
     /// Whether the report has no findings at all.
+    #[must_use]
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
     }
@@ -102,6 +134,7 @@ impl LintReport {
 /// This is [`rascad_spec::validate::analyze`] wrapped in a report; use
 /// [`tier_b::analyze_chain`] to extend the report with model-level
 /// findings once blocks have been generated.
+#[must_use]
 pub fn lint_spec(spec: &SystemSpec) -> LintReport {
     let mut span = rascad_obs::span("lint.tier_a");
     span.record("blocks", spec.root.total_blocks());

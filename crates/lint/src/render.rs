@@ -1,18 +1,22 @@
-//! Report rendering: a human-readable table and JSON lines.
+//! Report rendering: a human-readable table, JSON lines, and SARIF.
 //!
 //! The JSON form mirrors the `rascad-obs` sink style: one compact
 //! object per line, a `type` discriminator first, and a trailing
 //! summary record — so `rascad lint --format json` output can be
 //! concatenated with observability streams and filtered with the same
-//! tooling. Both forms are deterministic (no timestamps) so they can
-//! be golden-tested.
+//! tooling. The SARIF form targets code-scanning uploaders
+//! (SARIF 2.1.0, one run, rules drawn from the [`crate::catalog`]).
+//! All forms are deterministic (no timestamps) so they can be
+//! golden-tested.
 
 use rascad_obs::json::Value;
+use rascad_spec::diag::Severity;
 
 use crate::LintReport;
 
 /// Renders the human-readable table: one aligned row per finding plus
 /// a summary line.
+#[must_use]
 pub fn render_human(report: &LintReport) -> String {
     if report.is_clean() {
         return "no findings\n".to_string();
@@ -70,6 +74,107 @@ pub fn render_json(report: &LintReport) -> String {
     out
 }
 
+/// Renders a SARIF 2.1.0 document with one run. Rules are the catalog
+/// entries of the codes present in the report; `artifact` is the
+/// lint target's URI (the spec file path), attached to every result's
+/// physical location when given.
+#[must_use]
+pub fn render_sarif(report: &LintReport, artifact: Option<&str>) -> String {
+    let mut rule_codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+    rule_codes.sort_unstable();
+    rule_codes.dedup();
+    let rules: Vec<Value> = rule_codes
+        .iter()
+        .map(|code| {
+            let mut fields = vec![("id".into(), Value::from(*code))];
+            if let Some(entry) = crate::catalog::lookup(code) {
+                fields.push((
+                    "shortDescription".into(),
+                    Value::Obj(vec![("text".into(), Value::from(entry.title))]),
+                ));
+                fields.push((
+                    "help".into(),
+                    Value::Obj(vec![("text".into(), Value::from(crate::catalog::explain(entry)))]),
+                ));
+            }
+            Value::Obj(fields)
+        })
+        .collect();
+
+    let results: Vec<Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let level = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+                Severity::Info => "note",
+            };
+            let mut location = Vec::new();
+            if let Some(uri) = artifact {
+                let mut physical = vec![(
+                    "artifactLocation".into(),
+                    Value::Obj(vec![("uri".into(), Value::from(uri))]),
+                )];
+                if let (Some(line), Some(column)) = (d.line, d.column) {
+                    physical.push((
+                        "region".into(),
+                        Value::Obj(vec![
+                            ("startLine".into(), Value::from(line)),
+                            ("startColumn".into(), Value::from(column)),
+                        ]),
+                    ));
+                }
+                location.push(("physicalLocation".into(), Value::Obj(physical)));
+            }
+            location.push((
+                "logicalLocations".into(),
+                Value::Arr(vec![Value::Obj(vec![(
+                    "fullyQualifiedName".into(),
+                    Value::from(d.location()),
+                )])]),
+            ));
+            Value::Obj(vec![
+                ("ruleId".into(), Value::from(d.code)),
+                ("level".into(), Value::from(level)),
+                (
+                    "message".into(),
+                    Value::Obj(vec![("text".into(), Value::from(d.message.as_str()))]),
+                ),
+                ("locations".into(), Value::Arr(vec![Value::Obj(location)])),
+            ])
+        })
+        .collect();
+
+    let doc = Value::Obj(vec![
+        ("$schema".into(), Value::from("https://json.schemastore.org/sarif-2.1.0.json")),
+        ("version".into(), Value::from("2.1.0")),
+        (
+            "runs".into(),
+            Value::Arr(vec![Value::Obj(vec![
+                (
+                    "tool".into(),
+                    Value::Obj(vec![(
+                        "driver".into(),
+                        Value::Obj(vec![
+                            ("name".into(), Value::from("rascad-lint")),
+                            (
+                                "informationUri".into(),
+                                Value::from("https://example.invalid/rascad"),
+                            ),
+                            ("rules".into(), Value::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results".into(), Value::Arr(results)),
+            ])]),
+        ),
+    ]);
+    let mut out = doc.to_string_compact();
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +221,29 @@ mod tests {
         for line in render_json(&report()).lines() {
             assert!(rascad_obs::json::parse(line).is_ok());
         }
+    }
+
+    #[test]
+    fn sarif_carries_rules_results_and_locations() {
+        let text = render_sarif(&report(), Some("specs/sys.rascad"));
+        let doc = rascad_obs::json::parse(text.trim()).unwrap();
+        let run = &doc.get("runs").unwrap().as_array().unwrap()[0];
+        let driver = run.get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(driver.get("name").unwrap().as_str().unwrap(), "rascad-lint");
+        // Both codes present, deduplicated and documented from the catalog.
+        let rules = driver.get("rules").unwrap().as_array().unwrap();
+        assert_eq!(rules.len(), 2);
+        assert!(rules.iter().any(|r| r.get("id").unwrap().as_str() == Some("RAS006")));
+        let results = run.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("level").unwrap().as_str().unwrap(), "error");
+        let loc = &results[0].get("locations").unwrap().as_array().unwrap()[0];
+        let region = loc.get("physicalLocation").unwrap().get("region").unwrap();
+        assert_eq!(region.get("startLine").unwrap().as_f64().unwrap() as usize, 3);
+        assert_eq!(region.get("startColumn").unwrap().as_f64().unwrap() as usize, 11);
+        // Without an artifact, physical locations are omitted entirely.
+        let bare = render_sarif(&report(), None);
+        assert!(!bare.contains("physicalLocation"));
+        assert!(bare.contains("logicalLocations"));
     }
 }

@@ -61,6 +61,7 @@ pub mod codes {
 
 /// Runs every Tier B analysis on one block's chain. `path` is the
 /// block's slash path, used as the diagnostic location.
+#[must_use]
 pub fn analyze_chain(path: &str, chain: &Ctmc) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     reachability(path, chain, &mut diags);

@@ -16,7 +16,7 @@
 
 use std::path::{Path, PathBuf};
 
-use rascad_lint::{catalog, lint_spec, render, tier_b, LintReport};
+use rascad_lint::{catalog, lint_spec, render, tier_b, tier_c, LintReport};
 use rascad_markov::CtmcBuilder;
 use rascad_spec::diag::Severity;
 
@@ -161,11 +161,72 @@ fn tier_b_stiffness_note_matches_golden() {
 }
 
 #[test]
+fn tiers_skipped_note_matches_golden() {
+    // The driver appends the RAS199 note when Tier B/C were requested
+    // but Tier A errors block model generation.
+    let src = std::fs::read_to_string(fixtures_dir().join("RAS199.rascad")).unwrap();
+    let spec = rascad_spec::SystemSpec::from_dsl(&src).unwrap();
+    let mut report = lint_spec(&spec);
+    assert!(report.has_errors(), "fixture must trip a Tier A error");
+    report.extend(vec![rascad_lint::tiers_skipped_note(&spec.root.name)]);
+    rascad_spec::dsl::source_map::annotate(&mut report.diagnostics, &src);
+    check_report("RAS199", "RAS199", &report);
+}
+
+#[test]
+fn tier_c_structural_fixture_matches_goldens() {
+    let src = std::fs::read_to_string(fixtures_dir().join("tier_c_edge.rascad")).unwrap();
+    let spec = rascad_spec::SystemSpec::from_dsl(&src).unwrap();
+    assert!(lint_spec(&spec).is_clean(), "fixture must pass Tier A");
+
+    let sol = rascad_core::solve_spec(&spec).unwrap();
+    let exact = tier_c::ExactSolve {
+        system_unavailability: 1.0 - sol.system.availability,
+        blocks: sol
+            .blocks
+            .iter()
+            .map(|b| (b.path.clone(), 1.0 - b.measures.availability))
+            .collect(),
+    };
+    let mut report = LintReport::new();
+    report.extend(tier_c::analyze_structure(&spec, &tier_c::TierCOptions::default(), Some(&exact)));
+    rascad_spec::dsl::source_map::annotate(&mut report.diagnostics, &src);
+
+    // All five Tier C codes fire on this one fixture, at their
+    // cataloged severities, with resolved source positions.
+    for code in ["RAS201", "RAS202", "RAS203", "RAS204", "RAS205"] {
+        let entry = catalog::lookup(code).unwrap();
+        let found = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == code)
+            .unwrap_or_else(|| panic!("{code} not emitted: {:?}", report.diagnostics));
+        assert_eq!(found.severity, entry.severity, "{code}: severity drifted");
+        assert!(found.line.is_some(), "{code}: no source position: {found}");
+    }
+    // The SPOF maps to the Uplink declaration (line 6, name column).
+    let spof = report.diagnostics.iter().find(|d| d.code == "RAS201").unwrap();
+    assert_eq!(spof.path, "Edge/Uplink");
+    assert_eq!((spof.line, spof.column), (Some(6), Some(11)));
+
+    check_golden("tier_c_edge", "txt", &render::render_human(&report));
+    check_golden("tier_c_edge", "jsonl", &render::render_json(&report));
+    check_golden(
+        "tier_c_edge",
+        "sarif",
+        &render::render_sarif(&report, Some("tests/fixtures/tier_c_edge.rascad")),
+    );
+}
+
+#[test]
 fn every_cataloged_code_is_golden_tested() {
     let covered: Vec<&str> = DSL_CODES
         .iter()
         .copied()
-        .chain(["RAS014", "RAS101", "RAS102", "RAS103", "RAS104", "RAS105"])
+        .chain([
+            "RAS014", "RAS101", "RAS102", "RAS103", "RAS104", "RAS105", "RAS199", "RAS201",
+            "RAS202", "RAS203", "RAS204", "RAS205",
+        ])
         .collect();
     for entry in catalog::CATALOG {
         assert!(covered.contains(&entry.code), "{} has no golden coverage", entry.code);

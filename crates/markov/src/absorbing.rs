@@ -40,6 +40,7 @@ pub struct ReliabilityCurve {
 
 /// Builds the absorbing ("reliability") variant of `chain`: all
 /// transitions out of down states are removed, so down states absorb.
+#[must_use]
 pub fn make_absorbing(chain: &Ctmc) -> Ctmc {
     let up: Vec<bool> = chain.states().iter().map(|s| s.reward > 0.0).collect();
     let mut b = CtmcBuilder::new();

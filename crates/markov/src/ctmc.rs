@@ -51,6 +51,7 @@ impl SolveOptions {
     /// The power-iteration budget for an `n`-state chain: the explicit
     /// [`max_iterations`](Self::max_iterations) when set, else the
     /// work-scaled default clamped to [`MIN_POWER_ITERATIONS`].
+    #[must_use]
     pub fn power_iteration_budget(&self, n: usize) -> usize {
         self.max_iterations
             .unwrap_or_else(|| (POWER_WORK_BUDGET / n.max(1)).max(MIN_POWER_ITERATIONS))
@@ -156,6 +157,7 @@ pub struct CtmcBuilder {
 
 impl CtmcBuilder {
     /// Creates an empty builder.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -178,11 +180,13 @@ impl CtmcBuilder {
     }
 
     /// Number of states added so far.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.states.len()
     }
 
     /// Whether no states have been added.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.states.is_empty()
     }
@@ -238,52 +242,62 @@ pub struct Ctmc {
 
 impl Ctmc {
     /// Number of states.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.states.len()
     }
 
     /// Whether the chain has no states (never true for a built chain).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.states.is_empty()
     }
 
     /// Number of (positive-rate) transitions.
+    #[must_use]
     pub fn transition_count(&self) -> usize {
         self.transitions.len()
     }
 
     /// The states in id order.
+    #[must_use]
     pub fn states(&self) -> &[State] {
         &self.states
     }
 
     /// The transitions in insertion order.
+    #[must_use]
     pub fn transitions(&self) -> &[Transition] {
         &self.transitions
     }
 
     /// Finds a state id by its label.
+    #[must_use]
     pub fn state_by_label(&self, label: &str) -> Option<StateId> {
         self.states.iter().position(|s| s.label == label)
     }
 
     /// The reward (row) vector indexed by state id.
+    #[must_use]
     pub fn rewards(&self) -> Vec<f64> {
         self.states.iter().map(|s| s.reward).collect()
     }
 
     /// Ids of states with a strictly positive reward ("up" states).
+    #[must_use]
     pub fn up_states(&self) -> Vec<StateId> {
         (0..self.len()).filter(|&i| self.states[i].reward > 0.0).collect()
     }
 
     /// Ids of states with zero reward ("down" states).
+    #[must_use]
     pub fn down_states(&self) -> Vec<StateId> {
         (0..self.len()).filter(|&i| self.states[i].reward == 0.0).collect()
     }
 
     /// Builds the infinitesimal generator `Q` in sparse form
     /// (off-diagonal rates, diagonal = −(row sum)).
+    #[must_use]
     pub fn generator(&self) -> SparseMatrix {
         let n = self.len();
         let mut trips = Vec::with_capacity(self.transitions.len() * 2);
@@ -301,6 +315,7 @@ impl Ctmc {
     }
 
     /// Total exit rate of each state.
+    #[must_use]
     pub fn exit_rates(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.len()];
         for t in &self.transitions {
@@ -503,6 +518,7 @@ impl Ctmc {
     /// # Panics
     ///
     /// Panics if `pi.len() != self.len()`.
+    #[must_use]
     pub fn expected_reward(&self, pi: &[f64]) -> f64 {
         assert_eq!(pi.len(), self.len(), "dimension mismatch");
         pi.iter().zip(&self.states).map(|(p, s)| p * s.reward).sum()
@@ -514,6 +530,7 @@ impl Ctmc {
     /// # Panics
     ///
     /// Panics if `pi.len() != self.len()`.
+    #[must_use]
     pub fn failure_rate(&self, pi: &[f64]) -> f64 {
         assert_eq!(pi.len(), self.len(), "dimension mismatch");
         self.boundary_flow(pi, true)
@@ -525,6 +542,7 @@ impl Ctmc {
     /// # Panics
     ///
     /// Panics if `pi.len() != self.len()`.
+    #[must_use]
     pub fn recovery_rate(&self, pi: &[f64]) -> f64 {
         assert_eq!(pi.len(), self.len(), "dimension mismatch");
         self.boundary_flow(pi, false)
@@ -548,6 +566,7 @@ impl Ctmc {
     /// # Panics
     ///
     /// Panics if `pi.len() != self.len()`.
+    #[must_use]
     pub fn mtbf(&self, pi: &[f64]) -> f64 {
         let fr = self.failure_rate(pi);
         if fr > 0.0 {

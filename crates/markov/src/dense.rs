@@ -21,12 +21,14 @@ impl DenseMatrix {
     /// # Panics
     ///
     /// Panics if `rows * cols` overflows.
+    #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let n = rows.checked_mul(cols).expect("matrix size overflow");
         DenseMatrix { rows, cols, data: vec![0.0; n] }
     }
 
     /// Creates an identity matrix of order `n`.
+    #[must_use]
     pub fn identity(n: usize) -> Self {
         let mut m = DenseMatrix::zeros(n, n);
         for i in 0..n {
@@ -52,16 +54,19 @@ impl DenseMatrix {
     }
 
     /// Number of rows.
+    #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[must_use]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Returns the `i`-th row as a slice.
+    #[must_use]
     pub fn row(&self, i: usize) -> &[f64] {
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
@@ -72,6 +77,7 @@ impl DenseMatrix {
     }
 
     /// Matrix transpose.
+    #[must_use]
     pub fn transpose(&self) -> DenseMatrix {
         let mut t = DenseMatrix::zeros(self.cols, self.rows);
         for i in 0..self.rows {
@@ -87,6 +93,7 @@ impl DenseMatrix {
     /// # Panics
     ///
     /// Panics if `v.len() != self.cols()`.
+    #[must_use]
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
         (0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
@@ -97,6 +104,7 @@ impl DenseMatrix {
     /// # Panics
     ///
     /// Panics if `v.len() != self.rows()`.
+    #[must_use]
     pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "dimension mismatch");
         let mut out = vec![0.0; self.cols];
@@ -339,6 +347,7 @@ pub struct LuFactors {
 
 impl LuFactors {
     /// Order of the factored matrix.
+    #[must_use]
     pub fn order(&self) -> usize {
         self.lu.rows
     }
@@ -348,6 +357,7 @@ impl LuFactors {
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the factored order.
+    #[must_use]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.order();
         assert_eq!(b.len(), n, "dimension mismatch");
@@ -374,6 +384,7 @@ impl LuFactors {
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the factored order.
+    #[must_use]
     pub fn solve_transpose(&self, b: &[f64]) -> Vec<f64> {
         let n = self.order();
         assert_eq!(b.len(), n, "dimension mismatch");
@@ -419,6 +430,7 @@ impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

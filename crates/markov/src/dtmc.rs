@@ -29,6 +29,7 @@ pub struct DtmcBuilder {
 
 impl DtmcBuilder {
     /// Creates an empty builder.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -91,26 +92,32 @@ impl DtmcBuilder {
 
 impl Dtmc {
     /// Number of states.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.labels.len()
     }
 
     /// Whether there are no states (never true for a built chain).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
     }
 
     /// State labels in id order.
+    #[must_use]
     pub fn labels(&self) -> &[String] {
         &self.labels
     }
 
     /// Transition probability from `i` to `j`.
+    #[must_use]
     pub fn probability(&self, i: usize, j: usize) -> f64 {
         self.matrix[(i, j)]
     }
 
     /// Ids of absorbing states (`p_ii = 1`).
+    #[must_use]
+    #[allow(clippy::float_cmp)] // absorbing rows carry an exact 1.0
     pub fn absorbing_states(&self) -> Vec<usize> {
         (0..self.len()).filter(|&i| self.matrix[(i, i)] == 1.0).collect()
     }
@@ -225,6 +232,7 @@ impl Dtmc {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

@@ -49,6 +49,7 @@ impl Default for StableHasher {
 
 impl StableHasher {
     /// Starts a fresh hash at the FNV offset basis.
+    #[must_use]
     pub fn new() -> Self {
         StableHasher { state: FNV_OFFSET }
     }
@@ -82,6 +83,7 @@ impl StableHasher {
     }
 
     /// Finalizes the digest.
+    #[must_use]
     pub fn finish(&self) -> Fingerprint {
         Fingerprint(self.state)
     }
@@ -94,6 +96,7 @@ impl Ctmc {
     /// order), and every positive-rate transition sorted by
     /// `(from, to, rate bits)` — so two chains built with transitions in
     /// different insertion orders still hash identically.
+    #[must_use]
     pub fn fingerprint(&self) -> Fingerprint {
         let mut h = StableHasher::new();
         h.write_str("ctmc/v1");
@@ -119,6 +122,7 @@ impl SparseMatrix {
     /// Canonical content fingerprint of the matrix (shape, row pointers,
     /// column indices, and value bits in CSR order — already canonical
     /// because CSR sorts entries by `(row, col)` with duplicates summed).
+    #[must_use]
     pub fn fingerprint(&self) -> Fingerprint {
         let mut h = StableHasher::new();
         h.write_str("csr/v1");

@@ -54,6 +54,11 @@
 //! # }
 //! ```
 
+// State and iteration counts convert to f64 for metrics and uniform
+// initial vectors throughout; chain sizes stay far below 2^52, so the
+// pedantic precision-loss lint would only add per-site noise here.
+#![allow(clippy::cast_precision_loss)]
+
 pub mod absorbing;
 pub mod ctmc;
 pub mod dense;

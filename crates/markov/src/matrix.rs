@@ -30,6 +30,7 @@ impl SparseMatrix {
     /// # Panics
     ///
     /// Panics if any coordinate is out of range.
+    #[must_use]
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
         // One pass validates every coordinate and detects (row, col)
         // order; builders that emit row-major triplets (the common case
@@ -80,16 +81,19 @@ impl SparseMatrix {
     }
 
     /// Number of rows.
+    #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[must_use]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Number of stored (structurally non-zero) entries.
+    #[must_use]
     pub fn nnz(&self) -> usize {
         self.values.len()
     }
@@ -102,6 +106,7 @@ impl SparseMatrix {
     }
 
     /// Returns the entry at `(i, j)` (zero if not stored).
+    #[must_use]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         self.row_entries(i).find(|&(c, _)| c == j).map_or(0.0, |(_, v)| v)
     }
@@ -112,6 +117,7 @@ impl SparseMatrix {
     /// # Panics
     ///
     /// Panics if `v.len() != self.rows()`.
+    #[must_use]
     pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "dimension mismatch");
         let mut out = vec![0.0; self.cols];
@@ -131,12 +137,14 @@ impl SparseMatrix {
     /// # Panics
     ///
     /// Panics if `v.len() != self.cols()`.
+    #[must_use]
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
         (0..self.rows).map(|i| self.row_entries(i).map(|(c, a)| a * v[c]).sum()).collect()
     }
 
     /// Converts to a dense matrix (used by the direct solvers).
+    #[must_use]
     pub fn to_dense(&self) -> DenseMatrix {
         let mut d = DenseMatrix::zeros(self.rows, self.cols);
         for i in 0..self.rows {
@@ -148,6 +156,7 @@ impl SparseMatrix {
     }
 
     /// Sum of each row (for generator matrices this should be ~0).
+    #[must_use]
     pub fn row_sums(&self) -> Vec<f64> {
         (0..self.rows).map(|i| self.row_entries(i).map(|(_, v)| v).sum()).collect()
     }
@@ -159,6 +168,7 @@ impl SparseMatrix {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

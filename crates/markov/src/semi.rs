@@ -60,6 +60,7 @@ pub enum SojournDistribution {
 
 impl SojournDistribution {
     /// Mean of the distribution.
+    #[must_use]
     pub fn mean(&self) -> f64 {
         match *self {
             SojournDistribution::Exponential { rate } => 1.0 / rate,
@@ -72,6 +73,7 @@ impl SojournDistribution {
     }
 
     /// Variance of the distribution.
+    #[must_use]
     pub fn variance(&self) -> f64 {
         match *self {
             SojournDistribution::Exponential { rate } => 1.0 / (rate * rate),
@@ -173,6 +175,7 @@ pub struct SemiMarkovBuilder {
 
 impl SemiMarkovBuilder {
     /// Creates an empty builder.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -257,16 +260,19 @@ pub struct SemiMarkov {
 
 impl SemiMarkov {
     /// Number of states.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.labels.len()
     }
 
     /// Whether there are no states (never true for a built process).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
     }
 
     /// State labels in id order.
+    #[must_use]
     pub fn labels(&self) -> &[String] {
         &self.labels
     }
@@ -396,6 +402,7 @@ impl SemiMarkov {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

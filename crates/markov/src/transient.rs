@@ -62,6 +62,7 @@ pub struct Uniformized {
 /// every diagonal of `P` strictly positive, which makes the chain
 /// aperiodic and the series better behaved). A chain with no transitions
 /// gets `Λ = 1` and `P = I`.
+#[must_use]
 pub fn uniformize(chain: &Ctmc) -> Uniformized {
     let q = chain.generator();
     let maxd = q.max_abs_diagonal();
@@ -441,6 +442,7 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
     use crate::ctmc::{CtmcBuilder, SteadyStateMethod};

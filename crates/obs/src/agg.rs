@@ -100,11 +100,13 @@ impl Histogram {
     }
 
     /// Number of recorded observations.
+    #[must_use]
     pub fn count(&self) -> u64 {
         self.count
     }
 
     /// Sum of recorded observations.
+    #[must_use]
     pub fn sum(&self) -> f64 {
         self.sum
     }
@@ -119,6 +121,8 @@ impl Histogram {
     /// Value at quantile `q` in `[0, 1]`, approximated by the midpoint
     /// of the bucket holding that rank and clamped to the observed
     /// range. Returns `None` for an empty histogram.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // event counts stay far below 2^52
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
@@ -135,6 +139,7 @@ impl Histogram {
     }
 
     /// Freezes the histogram into summary statistics.
+    #[must_use]
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             count: self.count,
@@ -170,6 +175,8 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Mean of observations (`NaN` when empty).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // event counts stay far below 2^52
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             f64::NAN
@@ -180,6 +187,7 @@ impl Snapshot {
 
     /// Serializes the snapshot as a JSON object. Non-finite statistics
     /// (an empty histogram's `min`) render as `null`.
+    #[must_use]
     pub fn to_json(&self) -> crate::json::Value {
         use crate::json::Value;
         Value::Obj(vec![
@@ -195,6 +203,7 @@ impl Snapshot {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // histogram statistics are exact for these inputs
 mod tests {
     use super::*;
 

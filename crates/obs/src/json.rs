@@ -47,6 +47,8 @@ pub enum Value {
 
 impl Value {
     /// Numeric accessor: accepts [`Value::Int`] and [`Value::Num`].
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // JSON numbers tolerate i64 -> f64 rounding
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Int(i) => Some(*i as f64),
@@ -56,6 +58,7 @@ impl Value {
     }
 
     /// Integer accessor ([`Value::Int`] only).
+    #[must_use]
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
@@ -64,6 +67,7 @@ impl Value {
     }
 
     /// String accessor.
+    #[must_use]
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -72,6 +76,7 @@ impl Value {
     }
 
     /// Boolean accessor.
+    #[must_use]
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
@@ -80,6 +85,7 @@ impl Value {
     }
 
     /// Array accessor.
+    #[must_use]
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(a) => Some(a),
@@ -88,6 +94,7 @@ impl Value {
     }
 
     /// Object accessor.
+    #[must_use]
     pub fn as_object(&self) -> Option<&[(String, Value)]> {
         match self {
             Value::Obj(o) => Some(o),
@@ -96,6 +103,7 @@ impl Value {
     }
 
     /// Looks up the first entry named `key` in an object.
+    #[must_use]
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Obj(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -104,11 +112,13 @@ impl Value {
     }
 
     /// Whether this is `null`.
+    #[must_use]
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
 
     /// Serializes on one line with no extra whitespace.
+    #[must_use]
     pub fn to_string_compact(&self) -> String {
         let mut out = String::new();
         self.write_compact(&mut out);
@@ -116,6 +126,7 @@ impl Value {
     }
 
     /// Serializes with two-space indentation.
+    #[must_use]
     pub fn to_string_pretty(&self) -> String {
         let mut out = String::new();
         self.write_pretty(&mut out, 0);
@@ -205,6 +216,7 @@ impl From<i64> for Value {
 }
 
 impl From<u64> for Value {
+    #[allow(clippy::cast_precision_loss)] // values beyond i64 round like any JSON number
     fn from(u: u64) -> Value {
         i64::try_from(u).map_or(Value::Num(u as f64), Value::Int)
     }

@@ -155,6 +155,7 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// Whether the telemetry subscriber is currently installed. (The
 /// flight recorder is tracked separately; see [`flight::arm`].)
 #[inline]
+#[must_use]
 pub fn enabled() -> bool {
     flags() & F_TELEMETRY != 0
 }
@@ -222,6 +223,7 @@ fn emit(c: &Collector, event: &Event) {
 /// [`Event::SpanEnd`] with its wall-clock duration and recorded
 /// fields, and/or a flight-ring entry) when the handle drops.
 #[inline]
+#[must_use]
 pub fn span(name: &'static str) -> Span {
     let f = flags();
     if f == 0 {
@@ -279,6 +281,7 @@ impl Span {
 
     /// Whether this handle is live (telemetry or the flight recorder
     /// was on at creation).
+    #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
     }
@@ -370,6 +373,7 @@ fn labels_detail(labels: &[(&str, &str)]) -> String {
 }
 
 #[cold]
+#[allow(clippy::cast_precision_loss)] // counter deltas stay far below 2^52
 fn counter_slow(name: &'static str, labels: &[(&str, &str)], delta: u64, f: u32) {
     if f & F_TELEMETRY != 0 {
         registry::add_counter(series(name, labels), delta);
@@ -479,6 +483,7 @@ pub fn flight_event(name: &'static str, num: f64, detail: &str) {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // snapshots must carry values through exactly
 mod tests {
     use super::*;
     use std::sync::{Arc, MutexGuard};

@@ -24,6 +24,7 @@ const PREFIX: &str = "rascad_";
 
 /// Maps a dotted metric name to an exposition family name:
 /// `core.cache.hits` → `rascad_core_cache_hits`.
+#[must_use]
 pub fn family_name(name: &str) -> String {
     let mut out = String::with_capacity(PREFIX.len() + name.len());
     out.push_str(PREFIX);
@@ -91,6 +92,7 @@ fn label_block(id: &SeriesId, extra: Option<(&str, &str)>) -> String {
 
 /// Formats a sample value: integers stay integral, non-finite values
 /// use the exposition spellings.
+#[allow(clippy::float_cmp)] // exact trunc check decides integer formatting
 fn fmt_sample(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
@@ -121,6 +123,7 @@ fn write_header(out: &mut String, family: &str, name: &str, kind: &str) {
 /// unlabeled `0` sample), so a scrape target's metric set is stable
 /// from the first request — rates and alerts never see a series pop
 /// into existence.
+#[must_use]
 pub fn encode(snap: &RegistrySnapshot) -> String {
     let mut out = String::new();
 

@@ -146,6 +146,24 @@ pub const CATALOG: &[MetricDesc] = &[
         help: "Library example specifications constructed",
     },
     MetricDesc {
+        name: "lint.tier_c.bdd_nodes",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "BDD nodes per Tier C structure-function compilation",
+    },
+    MetricDesc {
+        name: "lint.tier_c.cut_sets",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "Minimal cut sets enumerated per Tier C run (order-capped)",
+    },
+    MetricDesc {
+        name: "lint.tier_c.runs",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Tier C structural analysis passes executed",
+    },
+    MetricDesc {
         name: "markov.gth.min_pivot",
         kind: MetricKind::Histogram,
         labels: &[],
@@ -262,6 +280,7 @@ pub const CATALOG: &[MetricDesc] = &[
 ];
 
 /// Looks a metric up in the [`CATALOG`] by its dotted name.
+#[must_use]
 pub fn describe(name: &str) -> Option<&'static MetricDesc> {
     CATALOG.iter().find(|d| d.name == name)
 }
@@ -277,11 +296,13 @@ pub struct SeriesId {
 
 impl SeriesId {
     /// An unlabeled series. Allocates nothing.
+    #[must_use]
     pub fn plain(name: &'static str) -> SeriesId {
         SeriesId { name, labels: Vec::new() }
     }
 
     /// A labeled series; labels are copied and sorted by key.
+    #[must_use]
     pub fn with_labels(name: &'static str, labels: &[(&str, &str)]) -> SeriesId {
         let mut labels: Vec<(String, String)> =
             labels.iter().map(|(k, v)| ((*k).to_string(), (*v).to_string())).collect();
@@ -291,6 +312,7 @@ impl SeriesId {
 
     /// Renders the series as `name` or `name{k="v",...}` — the form
     /// used in drain events, tables and BENCH documents.
+    #[must_use]
     pub fn render(&self) -> String {
         if self.labels.is_empty() {
             return self.name.to_string();
@@ -343,12 +365,14 @@ pub struct RegistrySnapshot {
 
 impl RegistrySnapshot {
     /// Whether nothing has been recorded.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.values.is_empty()
     }
 
     /// Total of every counter series matching the dotted `name`
     /// (summing across label sets). `None` when no series matches.
+    #[must_use]
     pub fn counter_total(&self, name: &str) -> Option<u64> {
         let mut found = false;
         let mut total = 0;

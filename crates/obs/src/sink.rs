@@ -267,6 +267,7 @@ fn fmt_duration(d: Duration) -> String {
 }
 
 /// Formats a metric value compactly (integers without a fraction).
+#[allow(clippy::float_cmp)] // exact trunc check decides integer formatting
 fn fmt_value(v: f64) -> String {
     if !v.is_finite() {
         "-".to_string()

@@ -80,6 +80,7 @@ pub struct SolveTrace {
 
 impl SolveTrace {
     /// Steps observed but rotated out of the bounded window.
+    #[must_use]
     pub fn dropped_steps(&self) -> u64 {
         self.total_steps - self.steps.len() as u64
     }
@@ -141,6 +142,7 @@ pub fn disarm() {
 
 /// Whether the channel is currently armed.
 #[inline]
+#[must_use]
 pub fn armed() -> bool {
     crate::flags() & crate::F_CONV_TRACE != 0
 }
@@ -165,6 +167,7 @@ pub struct ConvergenceTrace {
 /// Opens a trace for one solve. One relaxed atomic load; allocates
 /// nothing when the channel is disarmed.
 #[inline]
+#[must_use]
 pub fn begin(method: &'static str, metric: &'static str, states: usize) -> ConvergenceTrace {
     if crate::flags() & crate::F_CONV_TRACE == 0 {
         return ConvergenceTrace { inner: None };
@@ -191,6 +194,7 @@ impl ConvergenceTrace {
     /// Whether this handle records anything. Hot loops that compute a
     /// value *only* for the trace should gate on this.
     #[inline]
+    #[must_use]
     pub fn is_armed(&self) -> bool {
         self.inner.is_some()
     }
@@ -265,6 +269,7 @@ pub fn dump() -> Value {
 /// schema, missing keys, or malformed step records. A `null` step
 /// value is accepted — JSON has no representation for the non-finite
 /// residual of a diverged solve.
+#[allow(clippy::float_cmp, clippy::cast_precision_loss)] // step counts are small integers carried in f64
 pub fn validate(doc: &Value) -> Result<usize, String> {
     let schema = doc.get("schema").and_then(Value::as_str).ok_or("missing `schema` key")?;
     if schema != SCHEMA {
@@ -327,6 +332,7 @@ pub fn validate(doc: &Value) -> Result<usize, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_precision_loss)] // loop counters stay far below 2^52
 mod tests {
     use super::*;
 

@@ -31,6 +31,7 @@ pub struct SpanNodeStat {
 
 impl SpanNodeStat {
     /// Mean duration (zero when empty).
+    #[must_use]
     pub fn mean(&self) -> Duration {
         if self.count == 0 {
             Duration::ZERO
@@ -58,6 +59,7 @@ pub struct SpanTreeAgg {
 
 impl SpanTreeAgg {
     /// Creates an empty aggregate.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -82,6 +84,7 @@ impl SpanTreeAgg {
     }
 
     /// Whether no span has closed yet.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.stats.is_empty()
     }
@@ -99,6 +102,7 @@ impl SpanTreeAgg {
 
     /// Serializes the aggregate as a JSON array sorted by
     /// `(depth, name)`, durations in microseconds.
+    #[must_use]
     pub fn to_json(&self) -> Value {
         Value::Arr(
             self.stats

@@ -10,6 +10,8 @@
 //! Runs as its own integration test binary so the `#[global_allocator]`
 //! doesn't leak into the unit-test process.
 
+#![allow(clippy::cast_precision_loss)] // loop counters stay far below 2^52
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -6,6 +6,8 @@
 //! must never exceed the eventual total (snapshots are merged views,
 //! not resets).
 
+#![allow(clippy::cast_precision_loss)] // loop counters stay far below 2^52
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 

@@ -1,0 +1,712 @@
+//! Hand-rolled reduced-ordered binary decision diagrams (ROBDDs).
+//!
+//! The Tier C structural analyzer compiles each diagram's
+//! series/parallel/k-out-of-n hierarchy into a boolean *failure*
+//! function over per-unit variables and reasons about it symbolically:
+//! minimal cut sets (via Rauzy's minimal-solutions algorithm), cut
+//! counts by order, Birnbaum structural importance, and symmetry
+//! checks. Explicit enumeration ([`crate::paths`]) is exponential in
+//! the diagram size; the BDD stays polynomial for the serial
+//! k-of-n hierarchies MG generates (an `at least m of n` threshold
+//! occupies `O(n·m)` nodes), so a 64-way processor bank with a
+//! four-unit margin is analyzed in microseconds instead of enumerating
+//! the C(64,5) ≈ 7.6 million order-5 cut combinations.
+//!
+//! Conventions:
+//!
+//! * Variables are `usize` indices; the variable order is the index
+//!   order (lower index = nearer the root).
+//! * Node 0 is the constant FALSE, node 1 the constant TRUE.
+//! * Functions built from [`Bdd::var`], [`Bdd::or`], [`Bdd::and`] and
+//!   [`Bdd::at_least_of`] are *monotone increasing*; the
+//!   minimal-solutions operators assume (and the analyzer only builds)
+//!   monotone functions.
+//! * A solution/path is identified with its set of *positive*
+//!   literals: variables skipped or sent through a `lo` edge are
+//!   absent from the set. For a monotone function the positive sets of
+//!   the minimal-solutions BDD's 1-paths are exactly the minimal cut
+//!   sets of the corresponding structure.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Index of a node in the manager's node table.
+pub type NodeId = usize;
+
+/// The constant-false terminal.
+pub const FALSE: NodeId = 0;
+/// The constant-true terminal.
+pub const TRUE: NodeId = 1;
+
+/// Variable index used by the two terminals: larger than any real
+/// variable, so `min(var(a), var(b))` picks the decomposition variable
+/// without special-casing terminals.
+const TERMINAL_VAR: usize = usize::MAX;
+
+/// One decision node: branch on `var`, `lo` when false, `hi` when true.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: usize,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+/// Binary-apply operations memoized in the shared cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    /// Rauzy's `without`: solutions of the left operand that do not
+    /// already satisfy the right operand. Not commutative.
+    Without,
+}
+
+/// A hash-consed ROBDD manager: every distinct `(var, lo, hi)` triple
+/// exists once, so two node ids are equal iff the functions are equal.
+#[derive(Debug, Default)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    op_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
+    minsol_cache: HashMap<NodeId, NodeId>,
+}
+
+impl Bdd {
+    /// Creates a manager holding only the two terminals.
+    #[must_use]
+    pub fn new() -> Self {
+        let terminal = |id| Node { var: TERMINAL_VAR, lo: id, hi: id };
+        Bdd {
+            nodes: vec![terminal(FALSE), terminal(TRUE)],
+            unique: HashMap::new(),
+            op_cache: HashMap::new(),
+            minsol_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes allocated (terminals included).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The reduced node for `(var, lo, hi)`.
+    fn mk(&mut self, var: usize, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// The single-variable function `x_v`.
+    pub fn var(&mut self, v: usize) -> NodeId {
+        self.mk(v, FALSE, TRUE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if a == TRUE || b == TRUE {
+            return TRUE;
+        }
+        if a == FALSE || a == b {
+            return b;
+        }
+        if b == FALSE {
+            return a;
+        }
+        self.apply(Op::Or, a.min(b), a.max(b))
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if a == FALSE || b == FALSE {
+            return FALSE;
+        }
+        if a == TRUE || a == b {
+            return b;
+        }
+        if b == TRUE {
+            return a;
+        }
+        self.apply(Op::And, a.min(b), a.max(b))
+    }
+
+    /// Shannon-decomposes one binary operation on nonterminal operands.
+    fn apply(&mut self, op: Op, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(&id) = self.op_cache.get(&(op, a, b)) {
+            return id;
+        }
+        let (na, nb) = (self.nodes[a], self.nodes[b]);
+        let v = na.var.min(nb.var);
+        let (a0, a1) = if na.var == v { (na.lo, na.hi) } else { (a, a) };
+        let (b0, b1) = if nb.var == v { (nb.lo, nb.hi) } else { (b, b) };
+        let (lo, hi) = match op {
+            Op::Or => (self.or(a0, b0), self.or(a1, b1)),
+            Op::And => (self.and(a0, b0), self.and(a1, b1)),
+            Op::Without => unreachable!("without has its own recursion"),
+        };
+        let id = self.mk(v, lo, hi);
+        self.op_cache.insert((op, a, b), id);
+        id
+    }
+
+    /// `at least m of fs are true`, exact for arbitrary operand
+    /// functions via the monotone recurrence
+    /// `thr(i, m) = (f_i ∧ thr(i+1, m−1)) ∨ thr(i+1, m)`.
+    ///
+    /// `O(n·m)` apply calls; with single-variable operands in index
+    /// order the result is the compact threshold ladder.
+    pub fn at_least_of(&mut self, fs: &[NodeId], m: usize) -> NodeId {
+        let mut memo = HashMap::new();
+        self.at_least_rec(fs, m, 0, &mut memo)
+    }
+
+    fn at_least_rec(
+        &mut self,
+        fs: &[NodeId],
+        need: usize,
+        i: usize,
+        memo: &mut HashMap<(usize, usize), NodeId>,
+    ) -> NodeId {
+        if need == 0 {
+            return TRUE;
+        }
+        if need > fs.len() - i {
+            return FALSE;
+        }
+        if let Some(&id) = memo.get(&(i, need)) {
+            return id;
+        }
+        let with = self.at_least_rec(fs, need - 1, i + 1, memo);
+        let with = self.and(fs[i], with);
+        let without = self.at_least_rec(fs, need, i + 1, memo);
+        let id = self.or(with, without);
+        memo.insert((i, need), id);
+        id
+    }
+
+    /// Cofactor: `f` with variable `v` fixed to `val`.
+    pub fn restrict(&mut self, f: NodeId, v: usize, val: bool) -> NodeId {
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, v, val, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: NodeId,
+        v: usize,
+        val: bool,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        let n = self.nodes[f];
+        // Ordered BDD: once the top variable passes `v`, `v` cannot
+        // appear below (terminals carry `TERMINAL_VAR`).
+        if n.var > v {
+            return f;
+        }
+        if n.var == v {
+            return if val { n.hi } else { n.lo };
+        }
+        if let Some(&id) = memo.get(&f) {
+            return id;
+        }
+        let lo = self.restrict_rec(n.lo, v, val, memo);
+        let hi = self.restrict_rec(n.hi, v, val, memo);
+        let id = self.mk(n.var, lo, hi);
+        memo.insert(f, id);
+        id
+    }
+
+    /// Whether `f` is invariant under transposing variables `x` and
+    /// `y`: `f|x=1,y=0 == f|x=0,y=1`. Hash-consing makes the equality
+    /// check a node-id comparison.
+    pub fn symmetric_in(&mut self, f: NodeId, x: usize, y: usize) -> bool {
+        let x1 = self.restrict(f, x, true);
+        let x1y0 = self.restrict(x1, y, false);
+        let x0 = self.restrict(f, x, false);
+        let x0y1 = self.restrict(x0, y, true);
+        x1y0 == x0y1
+    }
+
+    /// Rebuilds a *monotone* `f` with every variable `v` replaced by
+    /// `perm[v]` (a permutation of `0..perm.len()`). Exact for monotone
+    /// functions: the hi-cofactor dominates the lo-cofactor, so
+    /// `ite(x, h, l) = (x ∧ h) ∨ l`.
+    pub fn rename_monotone(&mut self, f: NodeId, perm: &[usize]) -> NodeId {
+        let mut memo = HashMap::new();
+        self.rename_rec(f, perm, &mut memo)
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: NodeId,
+        perm: &[usize],
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if f <= TRUE {
+            return f;
+        }
+        if let Some(&id) = memo.get(&f) {
+            return id;
+        }
+        let n = self.nodes[f];
+        let lo = self.rename_rec(n.lo, perm, memo);
+        let hi = self.rename_rec(n.hi, perm, memo);
+        let x = self.var(perm[n.var]);
+        let picked = self.and(x, hi);
+        let id = self.or(picked, lo);
+        memo.insert(f, id);
+        id
+    }
+
+    /// Rauzy's minimal-solutions BDD of a monotone `f`: the 1-paths'
+    /// positive-literal sets are exactly the minimal solutions (for a
+    /// failure function: the minimal cut sets), with no non-minimal
+    /// path left to enumerate.
+    pub fn minimal_solutions(&mut self, f: NodeId) -> NodeId {
+        if f <= TRUE {
+            return f;
+        }
+        if let Some(&id) = self.minsol_cache.get(&f) {
+            return id;
+        }
+        let n = self.nodes[f];
+        let lo = self.minimal_solutions(n.lo);
+        let hi_min = self.minimal_solutions(n.hi);
+        // A minimal solution of f|x=1 stays minimal with x added only
+        // if it is not already a solution without x (i.e. of f|x=0).
+        let hi = self.without(hi_min, n.lo);
+        let id = self.mk(n.var, lo, hi);
+        self.minsol_cache.insert(f, id);
+        id
+    }
+
+    /// Solutions (positive sets) of `u` that do *not* satisfy `v`.
+    fn without(&mut self, u: NodeId, v: NodeId) -> NodeId {
+        if u == FALSE || v == TRUE {
+            return FALSE;
+        }
+        if v == FALSE {
+            return u;
+        }
+        if u == TRUE {
+            // The empty set survives iff it does not satisfy `v`.
+            return if self.eval_all_false(v) { FALSE } else { TRUE };
+        }
+        if let Some(&id) = self.op_cache.get(&(Op::Without, u, v)) {
+            return id;
+        }
+        let (nu, nv) = (self.nodes[u], self.nodes[v]);
+        let id = if nu.var == nv.var {
+            let lo = self.without(nu.lo, nv.lo);
+            let hi = self.without(nu.hi, nv.hi);
+            self.mk(nu.var, lo, hi)
+        } else if nu.var < nv.var {
+            // `v` does not branch on nu.var.
+            let lo = self.without(nu.lo, v);
+            let hi = self.without(nu.hi, v);
+            self.mk(nu.var, lo, hi)
+        } else {
+            // `u`'s sets never contain nv.var, so test against v|var=0.
+            self.without(u, nv.lo)
+        };
+        self.op_cache.insert((Op::Without, u, v), id);
+        id
+    }
+
+    /// Evaluates `f` with every variable false (follows `lo` edges).
+    fn eval_all_false(&self, f: NodeId) -> bool {
+        let mut cur = f;
+        while cur > TRUE {
+            cur = self.nodes[cur].lo;
+        }
+        cur == TRUE
+    }
+
+    /// Evaluates `f` under a full assignment.
+    pub fn eval(&self, f: NodeId, assignment: &impl Fn(usize) -> bool) -> bool {
+        let mut cur = f;
+        while cur > TRUE {
+            let n = self.nodes[cur];
+            cur = if assignment(n.var) { n.hi } else { n.lo };
+        }
+        cur == TRUE
+    }
+
+    /// Enumerates the positive sets of `f`'s 1-paths with at most
+    /// `max_size` positives, sorted by (size, lexicographic). The
+    /// boolean is true when at least one larger solution was pruned.
+    ///
+    /// On a [`Bdd::minimal_solutions`] BDD this is exactly the minimal
+    /// cut sets up to the given order; the cap prunes whole subtrees,
+    /// so the cost is bounded by the solutions reported, not by the
+    /// (possibly astronomic) total count.
+    #[must_use]
+    pub fn solutions_up_to(&self, f: NodeId, max_size: usize) -> (Vec<Vec<usize>>, bool) {
+        let mut out = BTreeSet::new();
+        let mut truncated = false;
+        let mut stack = Vec::new();
+        self.solutions_rec(f, max_size, &mut stack, &mut out, &mut truncated);
+        let mut sets: Vec<Vec<usize>> = out.into_iter().collect();
+        sets.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        (sets, truncated)
+    }
+
+    fn solutions_rec(
+        &self,
+        f: NodeId,
+        max_size: usize,
+        stack: &mut Vec<usize>,
+        out: &mut BTreeSet<Vec<usize>>,
+        truncated: &mut bool,
+    ) {
+        if f == FALSE {
+            return;
+        }
+        if f == TRUE {
+            out.insert(stack.clone());
+            return;
+        }
+        let n = self.nodes[f];
+        self.solutions_rec(n.lo, max_size, stack, out, truncated);
+        if stack.len() == max_size {
+            // Any 1-path through the hi edge has > max_size positives;
+            // a nonterminal (or TRUE) hi subtree contains at least one.
+            if n.hi != FALSE {
+                *truncated = true;
+            }
+            return;
+        }
+        stack.push(n.var);
+        self.solutions_rec(n.hi, max_size, stack, out, truncated);
+        stack.pop();
+    }
+
+    /// Number of 1-path positive sets of each size `0..=max_size`
+    /// (index = size). Sizes beyond `max_size` are not counted.
+    #[must_use]
+    pub fn count_by_size(&self, f: NodeId, max_size: usize) -> Vec<u128> {
+        let mut memo: HashMap<NodeId, Vec<u128>> = HashMap::new();
+        self.count_rec(f, max_size, &mut memo)
+    }
+
+    fn count_rec(
+        &self,
+        f: NodeId,
+        max_size: usize,
+        memo: &mut HashMap<NodeId, Vec<u128>>,
+    ) -> Vec<u128> {
+        if f == FALSE {
+            return vec![0; max_size + 1];
+        }
+        if f == TRUE {
+            let mut c = vec![0; max_size + 1];
+            c[0] = 1;
+            return c;
+        }
+        if let Some(c) = memo.get(&f) {
+            return c.clone();
+        }
+        let n = self.nodes[f];
+        let lo = self.count_rec(n.lo, max_size, memo);
+        let hi = self.count_rec(n.hi, max_size, memo);
+        let mut c = lo;
+        for k in 1..=max_size {
+            c[k] = c[k].saturating_add(hi[k - 1]);
+        }
+        memo.insert(f, c.clone());
+        c
+    }
+
+    /// P[f = 1] when every variable is independently true with
+    /// probability 1/2 (each edge halves the mass; skipped variables
+    /// contribute a neutral factor).
+    #[must_use]
+    pub fn satisfaction_half(&self, f: NodeId) -> f64 {
+        // Children are always allocated before their parents, so the
+        // node table is already in topological (bottom-up) order.
+        let mut sp = vec![0.0_f64; self.nodes.len()];
+        sp[TRUE] = 1.0;
+        for id in 2..self.nodes.len() {
+            let n = self.nodes[id];
+            sp[id] = 0.5 * (sp[n.lo] + sp[n.hi]);
+        }
+        sp[f]
+    }
+
+    /// Birnbaum structural importance of every variable at p = 1/2:
+    /// `I_B(x) = P[f|x=1] − P[f|x=0]`, computed for all variables in
+    /// one forward (reach probability) / backward (satisfaction
+    /// probability) sweep over the BDD.
+    #[must_use]
+    pub fn birnbaum_half(&self, f: NodeId, num_vars: usize) -> Vec<f64> {
+        let mut imp = vec![0.0_f64; num_vars];
+        if f <= TRUE {
+            return imp;
+        }
+        let mut sp = vec![0.0_f64; self.nodes.len()];
+        sp[TRUE] = 1.0;
+        for id in 2..self.nodes.len() {
+            let n = self.nodes[id];
+            sp[id] = 0.5 * (sp[n.lo] + sp[n.hi]);
+        }
+        // Reach probability: root gets 1, each edge carries half the
+        // parent's mass. Descending ids visit parents before children.
+        let mut reach = vec![0.0_f64; self.nodes.len()];
+        reach[f] = 1.0;
+        for id in (2..=f).rev() {
+            if reach[id] == 0.0 {
+                continue;
+            }
+            let n = self.nodes[id];
+            if n.lo > TRUE {
+                reach[n.lo] += 0.5 * reach[id];
+            }
+            if n.hi > TRUE {
+                reach[n.hi] += 0.5 * reach[id];
+            }
+        }
+        for (id, &mass) in reach.iter().enumerate().take(f + 1).skip(2) {
+            if mass > 0.0 {
+                let n = self.nodes[id];
+                imp[n.var] += mass * (sp[n.hi] - sp[n.lo]);
+            }
+        }
+        imp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Rbd;
+    use crate::paths;
+
+    /// All assignments over `n` variables.
+    fn assignments(n: usize) -> impl Iterator<Item = u32> {
+        0..(1u32 << n)
+    }
+
+    fn bit(mask: u32, v: usize) -> bool {
+        mask >> v & 1 == 1
+    }
+
+    /// Compiles the *failure* function of an RBD tree: the tree fails
+    /// when fewer than the required children work.
+    fn failure_of(bdd: &mut Bdd, rbd: &Rbd) -> NodeId {
+        match rbd {
+            Rbd::Component(id) => bdd.var(*id),
+            Rbd::Series(ch) => {
+                let fs: Vec<NodeId> = ch.iter().map(|c| failure_of(bdd, c)).collect();
+                fs.into_iter().fold(FALSE, |acc, f| bdd.or(acc, f))
+            }
+            Rbd::Parallel(ch) => {
+                let fs: Vec<NodeId> = ch.iter().map(|c| failure_of(bdd, c)).collect();
+                fs.into_iter().fold(TRUE, |acc, f| bdd.and(acc, f))
+            }
+            Rbd::KOfN { k, children } => {
+                let fs: Vec<NodeId> = children.iter().map(|c| failure_of(bdd, c)).collect();
+                let need = children.len() - *k as usize + 1;
+                bdd.at_least_of(&fs, need)
+            }
+        }
+    }
+
+    #[test]
+    fn ops_match_truth_tables() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let z = bdd.var(2);
+        let xy = bdd.and(x, y);
+        let f = bdd.or(xy, z);
+        for mask in assignments(3) {
+            let expect = (bit(mask, 0) && bit(mask, 1)) || bit(mask, 2);
+            assert_eq!(bdd.eval(f, &|v| bit(mask, v)), expect, "mask {mask:b}");
+        }
+        // Hash-consing: rebuilding the same function yields the same id.
+        let xy2 = bdd.and(y, x);
+        let f2 = bdd.or(z, xy2);
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn at_least_counts_satisfying_assignments() {
+        let mut bdd = Bdd::new();
+        for n in 1..=6usize {
+            let vars: Vec<NodeId> = (0..n).map(|v| bdd.var(v)).collect();
+            for m in 0..=n {
+                let f = bdd.at_least_of(&vars, m);
+                let sat = assignments(n).filter(|&mask| bdd.eval(f, &|v| bit(mask, v))).count();
+                let expect: usize =
+                    assignments(n).filter(|mask| mask.count_ones() as usize >= m).count();
+                assert_eq!(sat, expect, "n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_is_compact() {
+        // at-least-5-of-64: the ladder must stay O(n·m), nowhere near
+        // the C(64,5) ≈ 7.6e6 explicit combinations.
+        let mut bdd = Bdd::new();
+        let vars: Vec<NodeId> = (0..64).map(|v| bdd.var(v)).collect();
+        let f = bdd.at_least_of(&vars, 5);
+        assert!(bdd.node_count() < 1000, "{} nodes", bdd.node_count());
+        let minsol = bdd.minimal_solutions(f);
+        let counts = bdd.count_by_size(minsol, 5);
+        assert_eq!(counts[5], 7_624_512); // C(64,5)
+        assert_eq!(counts[4], 0);
+    }
+
+    #[test]
+    fn minimal_solutions_match_brute_force_enumeration() {
+        // Fixtures ≤ 12 components, exercising series, parallel,
+        // k-of-n, nesting, and a repeated component.
+        let fixtures: Vec<Rbd> = vec![
+            Rbd::series(vec![Rbd::component(0), Rbd::component(1)]),
+            Rbd::parallel(vec![Rbd::component(0), Rbd::component(1), Rbd::component(2)]),
+            Rbd::k_of_n(2, (0..4).map(Rbd::component).collect()),
+            Rbd::series(vec![
+                Rbd::component(0),
+                Rbd::parallel(vec![Rbd::component(1), Rbd::component(2)]),
+                Rbd::k_of_n(2, (3..6).map(Rbd::component).collect()),
+            ]),
+            Rbd::series(vec![
+                Rbd::k_of_n(3, (0..5).map(Rbd::component).collect()),
+                Rbd::parallel(vec![
+                    Rbd::series(vec![Rbd::component(5), Rbd::component(6)]),
+                    Rbd::series(vec![Rbd::component(7), Rbd::component(8)]),
+                ]),
+                Rbd::component(9),
+            ]),
+            // Repeated component: 0 appears in two branches.
+            Rbd::parallel(vec![
+                Rbd::component(0),
+                Rbd::series(vec![Rbd::component(0), Rbd::component(1)]),
+            ]),
+        ];
+        for (i, rbd) in fixtures.iter().enumerate() {
+            let mut bdd = Bdd::new();
+            let f = failure_of(&mut bdd, rbd);
+            let minsol = bdd.minimal_solutions(f);
+            let (sets, truncated) = bdd.solutions_up_to(minsol, 12);
+            assert!(!truncated, "fixture {i}");
+            let got: Vec<paths::ComponentSet> =
+                sets.into_iter().map(|s| s.into_iter().collect()).collect();
+            let mut expect = paths::minimal_cut_sets(rbd);
+            expect.sort_by(|a, b| {
+                a.len()
+                    .cmp(&b.len())
+                    .then_with(|| a.iter().collect::<Vec<_>>().cmp(&b.iter().collect::<Vec<_>>()))
+            });
+            assert_eq!(got, expect, "fixture {i}");
+        }
+    }
+
+    #[test]
+    fn order_cap_prunes_exactly() {
+        // series(x0, 2-of-3(x1..x3)): cuts {0} and the three pairs.
+        let mut bdd = Bdd::new();
+        let x0 = bdd.var(0);
+        let vars: Vec<NodeId> = (1..4).map(|v| bdd.var(v)).collect();
+        let pair_fail = bdd.at_least_of(&vars, 2);
+        let f = bdd.or(x0, pair_fail);
+        let minsol = bdd.minimal_solutions(f);
+        let (sets, truncated) = bdd.solutions_up_to(minsol, 1);
+        assert_eq!(sets, vec![vec![0]]);
+        assert!(truncated);
+        let (sets, truncated) = bdd.solutions_up_to(minsol, 2);
+        assert_eq!(sets.len(), 4);
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn birnbaum_half_known_values() {
+        let mut bdd = Bdd::new();
+        // f = x0: importance 1 for x0, 0 for an absent x1.
+        let f = bdd.var(0);
+        let imp = bdd.birnbaum_half(f, 2);
+        assert_eq!(imp, vec![1.0, 0.0]);
+        // f = x0 ∧ x1: each variable pivotal when the other is true.
+        let y = bdd.var(1);
+        let f = bdd.and(f, y);
+        let imp = bdd.birnbaum_half(f, 2);
+        assert_eq!(imp, vec![0.5, 0.5]);
+        // Cross-check against the restrict definition on a mixed
+        // function f = x0 ∨ (x1 ∧ x2).
+        let x1 = bdd.var(1);
+        let x2 = bdd.var(2);
+        let x12 = bdd.and(x1, x2);
+        let x0 = bdd.var(0);
+        let f = bdd.or(x0, x12);
+        let imp = bdd.birnbaum_half(f, 3);
+        for (v, &got) in imp.iter().enumerate() {
+            let hi = bdd.restrict(f, v, true);
+            let lo = bdd.restrict(f, v, false);
+            let expect = bdd.satisfaction_half(hi) - bdd.satisfaction_half(lo);
+            assert!((got - expect).abs() < 1e-15, "var {v}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn symmetry_detects_interchangeable_variables() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<NodeId> = (0..3).map(|v| bdd.var(v)).collect();
+        let f = bdd.at_least_of(&vars, 2);
+        assert!(bdd.symmetric_in(f, 0, 1));
+        assert!(bdd.symmetric_in(f, 1, 2));
+        assert!(bdd.symmetric_in(f, 0, 2));
+        // f = x0 ∨ (x1 ∧ x2) is symmetric in (1,2) but not (0,1).
+        let x12 = bdd.and(vars[1], vars[2]);
+        let g = bdd.or(vars[0], x12);
+        assert!(bdd.symmetric_in(g, 1, 2));
+        assert!(!bdd.symmetric_in(g, 0, 1));
+    }
+
+    #[test]
+    fn rename_monotone_swaps_variable_ranges() {
+        // Two identical 1-of-2 blocks in series:
+        // f = (x0 ∧ x1) ∨ (x2 ∧ x3). Swapping the blocks is a symmetry;
+        // swapping one unit across blocks is not.
+        let mut bdd = Bdd::new();
+        let a = {
+            let v0 = bdd.var(0);
+            let v1 = bdd.var(1);
+            bdd.and(v0, v1)
+        };
+        let b = {
+            let v2 = bdd.var(2);
+            let v3 = bdd.var(3);
+            bdd.and(v2, v3)
+        };
+        let f = bdd.or(a, b);
+        let swapped = bdd.rename_monotone(f, &[2, 3, 0, 1]);
+        assert_eq!(swapped, f);
+        let crossed = bdd.rename_monotone(f, &[2, 1, 0, 3]);
+        assert_ne!(crossed, f);
+        assert!(!bdd.symmetric_in(f, 0, 2));
+    }
+
+    #[test]
+    fn count_by_size_matches_enumeration() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<NodeId> = (0..6).map(|v| bdd.var(v)).collect();
+        let head = bdd.at_least_of(&vars[..4], 2);
+        let tail = bdd.var(5);
+        let f = bdd.or(head, tail);
+        let minsol = bdd.minimal_solutions(f);
+        let counts = bdd.count_by_size(minsol, 6);
+        let (sets, _) = bdd.solutions_up_to(minsol, 6);
+        for (k, &count) in counts.iter().enumerate() {
+            let enumerated = sets.iter().filter(|s| s.len() == k).count() as u128;
+            assert_eq!(count, enumerated, "order {k}");
+        }
+    }
+}

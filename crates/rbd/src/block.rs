@@ -15,6 +15,7 @@ pub struct ComponentTable {
 
 impl ComponentTable {
     /// Creates an empty table.
+    #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
@@ -27,16 +28,19 @@ impl ComponentTable {
     }
 
     /// Number of components.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.names.len()
     }
 
     /// Whether the table is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
     }
 
     /// The availability of a component.
+    #[must_use]
     pub fn availability(&self, id: ComponentId) -> Option<f64> {
         self.availabilities.get(id).copied()
     }
@@ -76,6 +80,7 @@ impl ComponentTable {
     }
 
     /// All availabilities, indexed by id.
+    #[must_use]
     pub fn availabilities(&self) -> &[f64] {
         &self.availabilities
     }
@@ -110,27 +115,32 @@ pub const MAX_REPEATED: usize = 24;
 
 impl Rbd {
     /// Leaf constructor.
+    #[must_use]
     pub fn component(id: ComponentId) -> Rbd {
         Rbd::Component(id)
     }
 
     /// Series gate constructor.
+    #[must_use]
     pub fn series(children: Vec<Rbd>) -> Rbd {
         Rbd::Series(children)
     }
 
     /// Parallel gate constructor.
+    #[must_use]
     pub fn parallel(children: Vec<Rbd>) -> Rbd {
         Rbd::Parallel(children)
     }
 
     /// k-of-n gate constructor.
+    #[must_use]
     pub fn k_of_n(k: u32, children: Vec<Rbd>) -> Rbd {
         Rbd::KOfN { k, children }
     }
 
     /// An n-plicated k-of-n over one component (the common homogeneous
     /// redundancy case: `n` copies, `k` required).
+    #[must_use]
     pub fn k_of_n_identical(k: u32, n: u32, id: ComponentId) -> Rbd {
         Rbd::KOfN { k, children: (0..n).map(|_| Rbd::Component(id)).collect() }
     }
@@ -170,6 +180,7 @@ impl Rbd {
 
     /// All component ids referenced by the tree, in first-visit order,
     /// deduplicated.
+    #[must_use]
     pub fn components(&self) -> Vec<ComponentId> {
         let mut out = Vec::new();
         self.visit_components(&mut |id| {
@@ -181,6 +192,7 @@ impl Rbd {
     }
 
     /// Component ids that occur in more than one leaf.
+    #[must_use]
     pub fn repeated_components(&self) -> Vec<ComponentId> {
         let mut counts: std::collections::BTreeMap<ComponentId, usize> = Default::default();
         self.visit_components(&mut |id| {
@@ -284,6 +296,7 @@ impl Rbd {
 
 /// Probability that at least `k` of the independent events with
 /// probabilities `probs` occur (dynamic program, exact).
+#[must_use]
 pub fn k_of_n_probability(k: usize, probs: &[f64]) -> f64 {
     let n = probs.len();
     if k == 0 {
@@ -306,6 +319,7 @@ pub fn k_of_n_probability(k: usize, probs: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

@@ -74,6 +74,7 @@ impl Network {
     }
 
     /// Number of edges.
+    #[must_use]
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
@@ -240,6 +241,7 @@ fn reachable(g: &mut Graph, s: usize, t: usize) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

@@ -101,6 +101,7 @@ pub fn importance(rbd: &Rbd, table: &ComponentTable) -> Result<ImportanceReport,
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

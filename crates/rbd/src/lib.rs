@@ -10,7 +10,13 @@
 //!   decomposition on repeated components).
 //! * [`structure`] — the boolean structure function and monotonicity
 //!   checks.
-//! * [`paths`] — minimal path sets and minimal cut sets.
+//! * [`paths`] — minimal path sets and minimal cut sets by explicit
+//!   enumeration.
+//! * [`bdd`] — hand-rolled reduced-ordered BDDs for symbolic
+//!   structure-function analysis: minimal cut sets via Rauzy's
+//!   minimal-solutions algorithm, cut counting, Birnbaum structural
+//!   importance, and variable-symmetry checks, polynomial where
+//!   enumeration explodes.
 //! * [`factoring`] — two-terminal network reliability via the factoring
 //!   (pivotal decomposition) algorithm with series-parallel reductions,
 //!   handling non-series-parallel topologies such as the bridge.
@@ -40,6 +46,7 @@
 //! # }
 //! ```
 
+pub mod bdd;
 pub mod block;
 pub mod error;
 pub mod factoring;

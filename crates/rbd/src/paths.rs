@@ -16,11 +16,13 @@ pub type ComponentSet = BTreeSet<ComponentId>;
 ///
 /// Complexity is exponential in the worst case; intended for the small
 /// diagrams MG generates per level.
+#[must_use]
 pub fn minimal_path_sets(rbd: &Rbd) -> Vec<ComponentSet> {
     minimize(path_sets(rbd))
 }
 
 /// Computes the minimal cut sets of the tree.
+#[must_use]
 pub fn minimal_cut_sets(rbd: &Rbd) -> Vec<ComponentSet> {
     minimize(cut_sets(rbd))
 }
@@ -113,6 +115,7 @@ fn minimize(mut sets: Vec<ComponentSet>) -> Vec<ComponentSet> {
 /// Lower/upper availability bounds from minimal cut/path sets
 /// (Esary–Proschan). Exact for trees without repeated components when
 /// the system is series-parallel; otherwise bounds.
+#[must_use]
 pub fn esary_proschan_bounds(
     paths: &[ComponentSet],
     cuts: &[ComponentSet],

@@ -29,6 +29,7 @@ pub enum Lifetime {
 
 impl Lifetime {
     /// Survival probability `R(t)`.
+    #[must_use]
     pub fn survival(&self, t: f64) -> f64 {
         match *self {
             Lifetime::Exponential { rate } => (-rate * t).exp(),
@@ -37,6 +38,8 @@ impl Lifetime {
     }
 
     /// Hazard rate at time `t`.
+    #[must_use]
+    #[allow(clippy::float_cmp)] // shape exactly 1.0 selects the exponential branch
     pub fn hazard(&self, t: f64) -> f64 {
         match *self {
             Lifetime::Exponential { rate } => rate,
@@ -97,11 +100,13 @@ impl MissionProfile {
     }
 
     /// Number of components covered.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.lifetimes.len()
     }
 
     /// Whether the profile is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.lifetimes.is_empty()
     }
@@ -157,6 +162,7 @@ impl MissionProfile {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

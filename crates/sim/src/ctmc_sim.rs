@@ -103,6 +103,7 @@ pub fn simulate_once(chain: &Ctmc, horizon_hours: f64, rng: &mut StdRng) -> f64 
 }
 
 /// Estimates steady-state availability by independent replications.
+#[must_use]
 pub fn simulate_availability(chain: &Ctmc, opts: &SimOptions) -> Estimate {
     let mut span = rascad_obs::span("sim.availability");
     span.record("states", chain.len());
@@ -122,6 +123,7 @@ pub fn simulate_availability(chain: &Ctmc, opts: &SimOptions) -> Estimate {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
     use rascad_markov::{CtmcBuilder, SteadyStateMethod};

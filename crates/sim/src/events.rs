@@ -20,6 +20,7 @@ pub struct EventLog {
 
 impl EventLog {
     /// Creates an empty log (system up for the whole window).
+    #[must_use]
     pub fn new(horizon_hours: f64) -> Self {
         EventLog { horizon_hours, events: Vec::new() }
     }
@@ -39,6 +40,7 @@ impl EventLog {
     }
 
     /// Total downtime over the window, hours.
+    #[must_use]
     pub fn downtime_hours(&self) -> f64 {
         let mut down_since: Option<f64> = None;
         let mut total = 0.0;
@@ -59,16 +61,19 @@ impl EventLog {
     }
 
     /// Empirical availability over the window.
+    #[must_use]
     pub fn availability(&self) -> f64 {
         1.0 - self.downtime_hours() / self.horizon_hours
     }
 
     /// Number of outages (down events).
+    #[must_use]
     pub fn outage_count(&self) -> usize {
         self.events.iter().filter(|e| !e.up).count()
     }
 
     /// Durations of completed outages, hours.
+    #[must_use]
     pub fn outage_durations(&self) -> Vec<f64> {
         let mut out = Vec::new();
         let mut down_since: Option<f64> = None;
@@ -87,6 +92,7 @@ impl EventLog {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

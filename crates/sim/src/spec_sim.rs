@@ -46,6 +46,7 @@ impl Default for SemanticSimOptions {
 }
 
 /// Estimates a block's availability by component-level DES.
+#[must_use]
 pub fn simulate_block_semantics(
     params: &BlockParams,
     globals: &GlobalParams,

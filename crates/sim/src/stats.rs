@@ -20,6 +20,8 @@ impl Estimate {
     /// # Panics
     ///
     /// Panics if `samples` is empty.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // replication counts stay far below 2^52
     pub fn from_samples(samples: &[f64]) -> Estimate {
         assert!(!samples.is_empty(), "need at least one sample");
         let n = samples.len();
@@ -37,22 +39,26 @@ impl Estimate {
     }
 
     /// Whether a reference value lies inside the 95% CI.
+    #[must_use]
     pub fn covers(&self, value: f64) -> bool {
         (value - self.mean).abs() <= self.ci_half_width
     }
 
     /// Lower CI bound.
+    #[must_use]
     pub fn lo(&self) -> f64 {
         self.mean - self.ci_half_width
     }
 
     /// Upper CI bound.
+    #[must_use]
     pub fn hi(&self) -> f64 {
         self.mean + self.ci_half_width
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

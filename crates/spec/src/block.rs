@@ -74,6 +74,7 @@ impl RedundancyParams {
     /// 2. transparent recovery, nontransparent repair
     /// 3. nontransparent recovery, transparent repair
     /// 4. nontransparent recovery, nontransparent repair
+    #[must_use]
     pub fn model_type(&self) -> u8 {
         match (self.recovery, self.repair) {
             (Scenario::Transparent, Scenario::Transparent) => 1,
@@ -208,28 +209,33 @@ impl BlockParams {
     }
 
     /// Whether the block is redundant (`N > K`).
+    #[must_use]
     pub fn is_redundant(&self) -> bool {
         self.quantity > self.min_quantity
     }
 
     /// The redundancy margin `M = N − K`.
+    #[must_use]
     pub fn margin(&self) -> u32 {
         self.quantity.saturating_sub(self.min_quantity)
     }
 
     /// Per-component permanent failure rate, `1/MTBF` (per hour).
+    #[must_use]
     pub fn permanent_rate(&self) -> f64 {
         1.0 / self.mtbf.0
     }
 
     /// Per-component transient failure rate (per hour) from the FIT
     /// value.
+    #[must_use]
     pub fn transient_rate(&self) -> f64 {
         self.transient_fit.to_rate_per_hour()
     }
 
     /// Total MTTR (diagnosis + corrective action + verification), in
     /// hours.
+    #[must_use]
     pub fn mttr_total(&self) -> Hours {
         Hours((self.mttr_diagnosis.0 + self.mttr_corrective.0 + self.mttr_verification.0) / 60.0)
     }
@@ -249,16 +255,19 @@ pub struct Block {
 
 impl Block {
     /// Wraps parameters into a leaf block (no subdiagram).
+    #[must_use]
     pub fn leaf(params: BlockParams) -> Self {
         Block { params, subdiagram: None }
     }
 
     /// Wraps parameters with a subdiagram.
+    #[must_use]
     pub fn with_subdiagram(params: BlockParams, sub: Diagram) -> Self {
         Block { params, subdiagram: Some(sub) }
     }
 
     /// Whether this block is refined by a subdiagram.
+    #[must_use]
     pub fn has_subdiagram(&self) -> bool {
         self.subdiagram.is_some()
     }
@@ -271,6 +280,7 @@ impl From<BlockParams> for Block {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
 mod tests {
     use super::*;
 

@@ -27,6 +27,7 @@ pub enum Severity {
 impl Severity {
     /// Lower-case name as used in JSON output (`"error"`, `"warning"`,
     /// `"info"`).
+    #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             Severity::Info => "info",
@@ -103,6 +104,7 @@ impl Diagnostic {
 
     /// The location rendered as `path`, `path.parameter`, or
     /// `path.parameter:line:column`, as much as is known.
+    #[must_use]
     pub fn location(&self) -> String {
         let mut out = self.path.clone();
         if let Some(p) = self.parameter {
@@ -123,6 +125,7 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Counts findings per severity: `(errors, warnings, infos)`.
+#[must_use]
 pub fn severity_counts(diags: &[Diagnostic]) -> (usize, usize, usize) {
     let mut counts = (0, 0, 0);
     for d in diags {

@@ -37,17 +37,20 @@ impl Diagram {
     }
 
     /// Number of blocks directly in this diagram.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.blocks.len()
     }
 
     /// Whether the diagram has no blocks.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.blocks.is_empty()
     }
 
     /// Depth of the diagram tree rooted here (a flat diagram has depth
     /// 1; the paper's Figures 1–2 model has depth 2).
+    #[must_use]
     pub fn depth(&self) -> usize {
         1 + self
             .blocks
@@ -58,6 +61,7 @@ impl Diagram {
     }
 
     /// Total number of blocks in the tree rooted here.
+    #[must_use]
     pub fn total_blocks(&self) -> usize {
         self.blocks.len()
             + self
@@ -103,6 +107,7 @@ impl Diagram {
     /// Finds a block by slash-separated path relative to this diagram
     /// (not including the diagram's own name), e.g.
     /// `"Server Box/CPU Module"`.
+    #[must_use]
     pub fn find(&self, path: &str) -> Option<&Block> {
         let mut parts = path.split('/');
         let first = parts.next()?;
@@ -142,6 +147,7 @@ pub struct SystemSpec {
 
 impl SystemSpec {
     /// Bundles a root diagram with global parameters.
+    #[must_use]
     pub fn new(root: Diagram, globals: GlobalParams) -> Self {
         SystemSpec { root, globals }
     }
@@ -190,6 +196,7 @@ impl SystemSpec {
     }
 
     /// Serializes to the text DSL; see [`crate::dsl`].
+    #[must_use]
     pub fn to_dsl(&self) -> String {
         crate::dsl::printer::print(self)
     }

@@ -11,6 +11,7 @@ use crate::block::{Block, RedundancyParams, Scenario};
 use crate::diagram::{Diagram, SystemSpec};
 
 /// Renders a specification as DSL text.
+#[must_use]
 pub fn print(spec: &SystemSpec) -> String {
     let mut out = String::new();
     let g = &spec.globals;

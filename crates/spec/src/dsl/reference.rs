@@ -198,6 +198,7 @@ pub const PARAMETERS: &[ParameterDoc] = &[
 ];
 
 /// Renders the reference as a Markdown document.
+#[must_use]
 pub fn markdown() -> String {
     let mut out = String::from("# `.rascad` parameter reference\n");
     for (section, title) in [

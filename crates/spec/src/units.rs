@@ -26,12 +26,14 @@ impl Hours {
     pub const PER_YEAR: f64 = 8760.0;
 
     /// Converts to minutes.
+    #[must_use]
     pub fn to_minutes(self) -> Minutes {
         Minutes(self.0 * 60.0)
     }
 
     /// The corresponding exponential rate (per hour); zero duration maps
     /// to an infinite rate and must be handled by callers.
+    #[must_use]
     pub fn to_rate(self) -> f64 {
         1.0 / self.0
     }
@@ -39,6 +41,7 @@ impl Hours {
 
 impl Minutes {
     /// Converts to hours.
+    #[must_use]
     pub fn to_hours(self) -> Hours {
         Hours(self.0 / 60.0)
     }
@@ -46,6 +49,7 @@ impl Minutes {
 
 impl Fit {
     /// Converts a FIT value to a per-hour rate.
+    #[must_use]
     pub fn to_rate_per_hour(self) -> f64 {
         self.0 * 1e-9
     }

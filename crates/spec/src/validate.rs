@@ -55,6 +55,7 @@ pub fn validate(spec: &SystemSpec) -> Result<(), SpecError> {
 
 /// Runs every Tier A analysis and returns all findings, in tree walk
 /// order (globals first, then blocks depth-first).
+#[must_use]
 pub fn analyze(spec: &SystemSpec) -> Vec<Diagnostic> {
     let mut a = Analyzer { diags: Vec::new() };
     a.globals(&spec.globals);

@@ -13,22 +13,52 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy --workspace --all-targets (deny warnings)"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+echo "==> cargo clippy --workspace --all-targets (deny warnings + promoted pedantic lints)"
+# The three most frequent lints from the pedantic report below are
+# promoted to hard errors; the rest stay report-only.
+cargo clippy --workspace --all-targets --offline -- -D warnings \
+    -D clippy::must-use-candidate \
+    -D clippy::float-cmp \
+    -D clippy::cast-precision-loss
 
 echo "==> cargo test --workspace"
 cargo test --workspace --offline -q
 
-# Every bundled spec and library model must lint clean: errors and
-# warnings block (exit 7); info-level notes are allowed.
-echo "==> rascad lint (bundled specs and library models, deny warnings)"
+# Every bundled spec and library model must lint clean through Tier C:
+# errors and warnings block (exit 7); info-level notes (including the
+# expected RAS2xx structural findings) are allowed.
+echo "==> rascad lint --tier-c (bundled specs and library models, deny warnings)"
 for spec in specs/*.rascad; do
-    cargo run --offline -q -p rascad-cli -- lint "$spec" --deny warnings > /dev/null
+    cargo run --offline -q -p rascad-cli -- lint "$spec" --tier-c --deny warnings > /dev/null
 done
 for model in datacenter e10000 cluster workgroup; do
     cargo run --offline -q -p rascad-cli -- library "$model" |
-        cargo run --offline -q -p rascad-cli -- lint - --deny warnings > /dev/null
+        cargo run --offline -q -p rascad-cli -- lint - --tier-c --deny warnings > /dev/null
 done
+
+# Tier C golden check: a seeded spec with a known single point of
+# failure must yield RAS201 at the declaring line:column ("Database"
+# is declared on line 7, name token at column 11).
+echo "==> tier C SPOF golden check (RAS201 at expected line:column)"
+cat > target/ci_spof.rascad <<'SPEC'
+diagram "Shop" {
+    block "Web" {
+        quantity = 2
+        min_quantity = 1
+        mtbf = 50000 h
+    }
+    block "Database" {
+        quantity = 1
+        min_quantity = 1
+        mtbf = 80000 h
+    }
+}
+SPEC
+cargo run --offline -q -p rascad-cli -- lint target/ci_spof.rascad \
+    --tier-c --format json > target/ci_spof.jsonl
+grep '"code":"RAS201"' target/ci_spof.jsonl |
+    grep '"path":"Shop/Database"' |
+    grep '"line":7' | grep -q '"column":11'
 
 # Non-blocking performance report: run the quick benchmark suite and
 # check that the emitted document is parseable and schema-valid. No

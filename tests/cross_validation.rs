@@ -180,6 +180,7 @@ fn simulated_outage_frequency_matches_analytic_failure_rate() {
             },
         )
         .unwrap();
+        #[allow(clippy::cast_precision_loss)] // outage counts stay far below 2^52
         rates.push(sim.example_log.outage_count() as f64 / 50_000.0);
     }
     let est = rascad::sim::Estimate::from_samples(&rates);

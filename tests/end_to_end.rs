@@ -1,6 +1,10 @@
 //! End-to-end integration: DSL text → parsed spec → generated models →
 //! solved measures → report, across crate boundaries.
 
+// Cross-boundary equivalence is asserted bit-exactly: the same spec
+// must produce the same measures whichever crate surface solves it.
+#![allow(clippy::float_cmp)]
+
 use rascad::core::{report, solve_spec};
 use rascad::library::datacenter::data_center;
 use rascad::spec::SystemSpec;
