@@ -31,6 +31,8 @@ pub struct BenchProfile {
     pub sim_horizon_hours: f64,
     /// Simulator replications.
     pub sim_replications: usize,
+    /// States in the large-chain sparse-solve workload (`--large`).
+    pub large_sparse_states: usize,
 }
 
 impl BenchProfile {
@@ -46,6 +48,7 @@ impl BenchProfile {
             sweep_points: 4,
             sim_horizon_hours: 2_000.0,
             sim_replications: 2,
+            large_sparse_states: 10_000,
         }
     }
 
@@ -61,6 +64,7 @@ impl BenchProfile {
             sweep_points: 12,
             sim_horizon_hours: 50_000.0,
             sim_replications: 8,
+            large_sparse_states: 100_000,
         }
     }
 }
@@ -210,6 +214,57 @@ pub fn power_chain() -> Ctmc {
     b.build().expect("bench power chain builds")
 }
 
+/// Builds the large-chain workload: a birth–death CTMC with `states`
+/// levels (a k-out-of-n pool of `states - 1` units), per-level failure
+/// rate `(n - j)·λ` and repair rate `(j + 1)·μ`. Rates span a benign
+/// range, so the chain is large but not stiff — the workload isolates
+/// state-space size, the one axis the sparse rung exists for.
+///
+/// # Panics
+///
+/// Panics if `states < 2`.
+#[must_use]
+#[allow(clippy::cast_precision_loss)] // state counts stay far below 2^52
+pub fn large_birth_death(states: usize) -> Ctmc {
+    assert!(states >= 2, "a birth–death chain needs at least 2 states");
+    let levels = states - 1;
+    let mut b = CtmcBuilder::new();
+    for j in 0..=levels {
+        b.add_state(format!("L{j}"), if j == 0 { 1.0 } else { 0.0 });
+    }
+    for j in 0..levels {
+        b.add_transition(j, j + 1, (levels - j) as f64 * 1e-5);
+        b.add_transition(j + 1, j, (j + 1) as f64 * 0.02);
+    }
+    b.build().expect("bench large chain builds")
+}
+
+/// Units in the thousand-unit k-out-of-n block workload.
+pub const LARGE_BLOCK_UNITS: u32 = 1000;
+
+/// Minimum working units in the thousand-unit block workload.
+pub const LARGE_BLOCK_MIN: u32 = 900;
+
+/// A thousand-unit k-out-of-n block: the generator's birth–death
+/// template collapses its `2^1000` product space to
+/// [`LARGE_BLOCK_UNITS`]` + 1` occupancy states, which is what lets the
+/// stage solve in milliseconds at all.
+#[must_use]
+pub fn large_block() -> BlockParams {
+    use rascad_spec::units::Hours;
+    use rascad_spec::RedundancyParams;
+    BlockParams::new("Large Pool", LARGE_BLOCK_UNITS, LARGE_BLOCK_MIN)
+        .with_mtbf(Hours(100_000.0))
+        .with_redundancy(RedundancyParams::default())
+}
+
+/// Units in the brute-force lump-proof workload: small enough that the
+/// full `2^n` product space solves directly for cross-validation.
+pub const LUMP_PROOF_UNITS: u32 = 8;
+
+/// Minimum working units in the lump-proof workload.
+pub const LUMP_PROOF_MIN: u32 = 6;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +321,22 @@ mod tests {
         assert!(q.iterations <= f.iterations);
         assert!(q.sweep_points < f.sweep_points);
         assert!(q.sim_horizon_hours < f.sim_horizon_hours);
+        assert!(q.large_sparse_states < f.large_sparse_states);
+    }
+
+    #[test]
+    fn large_birth_death_is_irreducible_and_sized() {
+        let chain = large_birth_death(1_000);
+        assert_eq!(chain.len(), 1_000);
+        let pi = chain.steady_state(SteadyStateMethod::Sparse).unwrap();
+        let mass: f64 = pi.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_block_expands_to_occupancy_states() {
+        let (model, measures) = solve_block(&large_block(), &crate::globals()).unwrap();
+        assert_eq!(model.chain.len(), LARGE_BLOCK_UNITS as usize + 1);
+        assert!(measures.availability > 0.999);
     }
 }

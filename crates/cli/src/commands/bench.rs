@@ -60,9 +60,10 @@ struct BenchArgs {
     floor_us: f64,
     residual_floor: f64,
     sweep: bool,
+    large: bool,
 }
 
-/// Runs `bench [--quick|--full] [--sweep] [--label L] [--out F]
+/// Runs `bench [--quick|--full] [--sweep|--large] [--label L] [--out F]
 /// [--json] [--compare BASE] [--warn-ratio R] [--fail-ratio R]
 /// [--floor-us US]` or `bench --validate <file>`.
 pub fn bench(args: &[&str]) -> Result<String, CliError> {
@@ -87,6 +88,7 @@ fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
         floor_us: 50.0,
         residual_floor: DEFAULT_RESIDUAL_FLOOR,
         sweep: false,
+        large: false,
     };
     let mut it = args.iter().copied();
     while let Some(arg) = it.next() {
@@ -94,6 +96,7 @@ fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
             "--quick" => parsed.profile = BenchProfile::quick(),
             "--full" => parsed.profile = BenchProfile::full(),
             "--sweep" => parsed.sweep = true,
+            "--large" => parsed.large = true,
             "--json" => parsed.json = true,
             "--label" => parsed.label = flag_value(&mut it, "--label")?.to_string(),
             "--out" => parsed.out = Some(flag_value(&mut it, "--out")?.to_string()),
@@ -107,10 +110,20 @@ fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
             }
         }
     }
+    if parsed.sweep && parsed.large {
+        return Err(CliError::usage("--sweep and --large are separate workloads; pick one"));
+    }
     if parsed.label.is_empty() {
-        // The sweep-scaling workload defaults to the committed baseline
-        // name so `bench --sweep` writes BENCH_sweep.json out of the box.
-        parsed.label = if parsed.sweep { "sweep".to_string() } else { "local".to_string() };
+        // The workload-specific suites default to their committed
+        // baseline names so `bench --sweep` / `bench --large` write
+        // BENCH_sweep.json / BENCH_large.json out of the box.
+        parsed.label = if parsed.sweep {
+            "sweep".to_string()
+        } else if parsed.large {
+            "large".to_string()
+        } else {
+            "local".to_string()
+        };
     }
     if !parsed.label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
         return Err(CliError::usage(format!(
@@ -554,6 +567,132 @@ fn sweep_scaling_json(s: &SweepScaling) -> Value {
     ])
 }
 
+// ---------------------------------------------------------------------------
+// Large-state-space workload (`--large`)
+// ---------------------------------------------------------------------------
+
+/// Results of the large-state-space workload: the sparse iterative
+/// rung on a 10^4–10^5-state birth–death chain, the generator's
+/// occupancy expansion of a thousand-unit k-out-of-n block, and a
+/// brute-force proof that exact lumping preserves the stationary
+/// vector on a `2^8`-state product space.
+struct LargeScaling {
+    sparse_states: usize,
+    sparse_solve_us: f64,
+    /// Repeated sparse solves of the same chain agree bit for bit
+    /// (the sweep order is fixed, so they must).
+    bit_identical: bool,
+    block_units: u32,
+    block_states: usize,
+    block_solve_us: f64,
+    block_availability: f64,
+    lump_proof_units: u32,
+    lump_full_states: usize,
+    lump_states: usize,
+    /// Worst classwise difference between the aggregated product-space
+    /// stationary vector and the lumped chain's.
+    lump_max_delta: f64,
+}
+
+fn run_large_stages(profile: &BenchProfile) -> Result<(Vec<StageResult>, LargeScaling), CliError> {
+    use rascad_markov::{identical_units_product, lump, occupancy_partition};
+
+    let reps = profile.iterations;
+    let mut stages = Vec::new();
+
+    // The headline chain: big enough that the core ladder routes it to
+    // the sparse rung on state count alone.
+    let chain = workloads::large_birth_death(profile.large_sparse_states);
+    let method = rascad_core::select_method(chain.len(), SteadyStateMethod::Gth);
+    let mut stage = time_stage("large_sparse", reps, || {
+        black_box(chain.steady_state(method).map_err(markov_err("large_sparse"))?);
+        Ok(())
+    })?;
+    stage.cert = steady_stage_cert(std::slice::from_ref(&chain), method, "sparse")?;
+    let sparse_solve_us = stage.min_us;
+    stages.push(stage);
+
+    let first = chain.steady_state(method).map_err(markov_err("large_sparse"))?;
+    let second = chain.steady_state(method).map_err(markov_err("large_sparse"))?;
+    let bit_identical = first.len() == second.len()
+        && first.iter().zip(&second).all(|(a, b)| a.to_bits() == b.to_bits());
+
+    // The generator's birth–death template: a thousand-unit block is
+    // 2^1000 product states on paper, N + 1 occupancy states in the
+    // emitted chain.
+    let globals = rascad_bench::globals();
+    let params = workloads::large_block();
+    stages.push(time_stage("large_block_generate", reps, || {
+        black_box(generate_block(&params, &globals)?);
+        Ok(())
+    })?);
+    let model = generate_block(&params, &globals)?;
+    let block_method = rascad_core::select_method(model.chain.len(), SteadyStateMethod::Gth);
+    let mut stage = time_stage("large_block_solve", reps, || {
+        black_box(model.chain.steady_state(block_method).map_err(markov_err("large_block_solve"))?);
+        Ok(())
+    })?;
+    stage.cert = steady_stage_cert(std::slice::from_ref(&model.chain), block_method, "sparse")?;
+    let block_solve_us = stage.min_us;
+    stages.push(stage);
+    let pi = model.chain.steady_state(block_method).map_err(markov_err("large_block_solve"))?;
+    let block_availability: f64 =
+        model.chain.states().iter().zip(&pi).map(|(s, p)| s.reward * p).sum();
+
+    // Brute-force lump proof: the full 2^8 product space against its
+    // 9-state occupancy lump.
+    let (lam, mu) = (1.0 / 20_000.0, 1.0 / 5.0);
+    let units = workloads::LUMP_PROOF_UNITS;
+    let full = identical_units_product(units, workloads::LUMP_PROOF_MIN, lam, mu)
+        .map_err(markov_err("lump_proof"))?;
+    let partition = occupancy_partition(units).map_err(markov_err("lump_proof"))?;
+    stages.push(time_stage("lump_proof", reps, || {
+        let small = lump(&full, &partition).map_err(markov_err("lump_proof"))?;
+        black_box(small.steady_state(SteadyStateMethod::Gth).map_err(markov_err("lump_proof"))?);
+        Ok(())
+    })?);
+    let small = lump(&full, &partition).map_err(markov_err("lump_proof"))?;
+    let pi_full = full.steady_state(SteadyStateMethod::Gth).map_err(markov_err("lump_proof"))?;
+    let pi_small = small.steady_state(SteadyStateMethod::Gth).map_err(markov_err("lump_proof"))?;
+    let lump_max_delta = partition
+        .aggregate(&pi_full)
+        .iter()
+        .zip(&pi_small)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    let scaling = LargeScaling {
+        sparse_states: chain.len(),
+        sparse_solve_us,
+        bit_identical,
+        block_units: workloads::LARGE_BLOCK_UNITS,
+        block_states: model.chain.len(),
+        block_solve_us,
+        block_availability,
+        lump_proof_units: units,
+        lump_full_states: full.len(),
+        lump_states: small.len(),
+        lump_max_delta,
+    };
+    Ok((stages, scaling))
+}
+
+fn large_scaling_json(s: &LargeScaling) -> Value {
+    Value::Obj(vec![
+        ("sparse_states".to_string(), Value::from(s.sparse_states)),
+        ("sparse_solve_us".to_string(), Value::Num(s.sparse_solve_us)),
+        ("bit_identical".to_string(), Value::from(s.bit_identical)),
+        ("block_units".to_string(), Value::from(s.block_units as usize)),
+        ("block_states".to_string(), Value::from(s.block_states)),
+        ("block_solve_us".to_string(), Value::Num(s.block_solve_us)),
+        ("block_availability".to_string(), Value::Num(s.block_availability)),
+        ("lump_proof_units".to_string(), Value::from(s.lump_proof_units as usize)),
+        ("lump_full_states".to_string(), Value::from(s.lump_full_states)),
+        ("lump_states".to_string(), Value::from(s.lump_states)),
+        ("lump_max_delta".to_string(), Value::Num(s.lump_max_delta)),
+    ])
+}
+
 fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
     // Capture telemetry through the obs layer unless the user already
     // routed it elsewhere with --trace/--timings (then the document's
@@ -569,17 +708,27 @@ fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
     }
     let guard = CaptureGuard { active: own_subscriber };
 
-    let (stages, checks, scaling) = if args.sweep {
+    let (stages, checks, scaling, large) = if args.sweep {
         let (stages, scaling) = run_sweep_stages(&args.profile)?;
         let checks = Checks {
             availability: scaling.availability,
             yearly_downtime_minutes: scaling.yearly_downtime_minutes,
             sim_availability: f64::NAN,
         };
-        (stages, checks, Some(scaling))
+        (stages, checks, Some(scaling), None)
+    } else if args.large {
+        let (stages, large) = run_large_stages(&args.profile)?;
+        let checks = Checks {
+            availability: large.block_availability,
+            yearly_downtime_minutes: (1.0 - large.block_availability)
+                * rascad_spec::units::Hours::PER_YEAR
+                * 60.0,
+            sim_availability: f64::NAN,
+        };
+        (stages, checks, None, Some(large))
     } else {
         let (stages, checks) = run_stages(&args.profile)?;
-        (stages, checks, None)
+        (stages, checks, None, None)
     };
 
     if own_subscriber {
@@ -587,7 +736,8 @@ fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
     }
     drop(guard);
 
-    let mut doc = document(args, &stages, &checks, scaling.as_ref(), &tree, &metrics);
+    let mut doc =
+        document(args, &stages, &checks, scaling.as_ref(), large.as_ref(), &tree, &metrics);
 
     let mut compare_report = None;
     if let Some(base_path) = &args.compare {
@@ -629,6 +779,7 @@ fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
         &stages,
         &checks,
         scaling.as_ref(),
+        large.as_ref(),
         compare_report.as_deref(),
         out_path.as_deref(),
     ))
@@ -643,6 +794,7 @@ fn document(
     stages: &[StageResult],
     checks: &Checks,
     scaling: Option<&SweepScaling>,
+    large: Option<&LargeScaling>,
     tree: &Arc<Mutex<SpanTreeAgg>>,
     metrics: &Arc<Mutex<Option<MetricsSummary>>>,
 ) -> Value {
@@ -704,9 +856,10 @@ fn document(
         ("availability".to_string(), Value::Num(checks.availability)),
         ("yearly_downtime_minutes".to_string(), Value::Num(checks.yearly_downtime_minutes)),
     ];
-    if scaling.is_none() {
-        // The sweep-scaling workload runs no simulator stage, so its
-        // documents omit the key rather than recording a null.
+    if scaling.is_none() && large.is_none() {
+        // The sweep-scaling and large-state-space workloads run no
+        // simulator stage, so their documents omit the key rather than
+        // recording a null.
         checks_fields.push(("sim_availability".to_string(), Value::Num(checks.sim_availability)));
     }
     let checks_json = Value::Obj(checks_fields);
@@ -725,6 +878,9 @@ fn document(
     ];
     if let Some(s) = scaling {
         fields.push(("sweep_scaling".to_string(), sweep_scaling_json(s)));
+    }
+    if let Some(l) = large {
+        fields.push(("large_scaling".to_string(), large_scaling_json(l)));
     }
     Value::Obj(fields)
 }
@@ -827,6 +983,76 @@ fn check_document(doc: &Value) -> Result<(String, String, usize), String> {
             .ok_or("sweep_scaling missing `bit_identical`")?;
         if !identical {
             return Err("sweep_scaling records bit_identical = false".to_string());
+        }
+    }
+    if let Some(large) = doc.get("large_scaling") {
+        large.as_object().ok_or("`large_scaling` is not an object")?;
+        for key in [
+            "sparse_states",
+            "sparse_solve_us",
+            "block_units",
+            "block_states",
+            "block_solve_us",
+            "block_availability",
+            "lump_proof_units",
+            "lump_full_states",
+            "lump_states",
+            "lump_max_delta",
+        ] {
+            let v = large
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("large_scaling missing numeric `{key}`"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("large_scaling has bad `{key}`: {v}"));
+            }
+        }
+        // The structural claims the workload exists to make — state
+        // counts and exactness — are machine-independent, so they gate
+        // validation outright (timings never do).
+        let num = |key: &str| large.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        if num("sparse_states") < 10_000.0 {
+            return Err(format!(
+                "large_scaling sparse chain has only {} states; the workload exists to \
+                 demonstrate >= 10000",
+                num("sparse_states")
+            ));
+        }
+        if (num("block_states") - num("block_units") - 1.0).abs() > 0.5 {
+            return Err(
+                "large_scaling block did not lump to units + 1 occupancy states".to_string()
+            );
+        }
+        if (num("lump_states") - num("lump_proof_units") - 1.0).abs() > 0.5 {
+            return Err("large_scaling lump proof did not collapse to n + 1 states".to_string());
+        }
+        let delta = num("lump_max_delta");
+        if delta.is_nan() || delta > 1e-9 {
+            return Err(format!("large_scaling lump proof deviates by {delta} (> 1e-9)"));
+        }
+        let identical = large
+            .get("bit_identical")
+            .and_then(Value::as_bool)
+            .ok_or("large_scaling missing `bit_identical`")?;
+        if !identical {
+            return Err("large_scaling records bit_identical = false".to_string());
+        }
+        // The headline solve must have run on the sparse rung and
+        // certified at the residual target.
+        let sparse = stages
+            .iter()
+            .find(|s| s.get("name").and_then(Value::as_str) == Some("large_sparse"))
+            .ok_or("large_scaling document has no `large_sparse` stage")?;
+        let cert = sparse.get("certificate").ok_or("`large_sparse` stage has no certificate")?;
+        if cert.get("method").and_then(Value::as_str) != Some("sparse") {
+            return Err("`large_sparse` stage was not solved by the sparse rung".to_string());
+        }
+        if cert.get("verdict").and_then(Value::as_str) != Some("ok") {
+            return Err("`large_sparse` certificate verdict is not ok".to_string());
+        }
+        let residual = cert.get("residual").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        if residual.is_nan() || residual >= 1e-9 {
+            return Err(format!("`large_sparse` certified residual {residual} is not < 1e-9"));
         }
     }
     Ok((label.to_string(), profile.to_string(), stages.len()))
@@ -1127,6 +1353,7 @@ fn render_human(
     stages: &[StageResult],
     checks: &Checks,
     scaling: Option<&SweepScaling>,
+    large: Option<&LargeScaling>,
     compare_report: Option<&str>,
     out_path: Option<&str>,
 ) -> String {
@@ -1164,6 +1391,32 @@ fn render_human(
             s.cache_misses,
             100.0 * s.cache_hit_rate,
             s.bit_identical
+        );
+        let _ = writeln!(
+            out,
+            "checks: availability {:.9} ({:.1} min/y downtime)",
+            checks.availability, checks.yearly_downtime_minutes
+        );
+    } else if let Some(l) = large {
+        let _ = writeln!(
+            out,
+            "large state space: {} states on the sparse rung in {:.0} us, \
+             repeated solves bit-identical: {}",
+            l.sparse_states, l.sparse_solve_us, l.bit_identical
+        );
+        let _ = writeln!(
+            out,
+            "  {}-of-{} block: 2^{} product states lumped to {}, solved in {:.0} us",
+            workloads::LARGE_BLOCK_MIN,
+            l.block_units,
+            l.block_units,
+            l.block_states,
+            l.block_solve_us
+        );
+        let _ = writeln!(
+            out,
+            "  lump proof: {} -> {} states, max classwise delta {:.2e}",
+            l.lump_full_states, l.lump_states, l.lump_max_delta
         );
         let _ = writeln!(
             out,
@@ -1333,6 +1586,75 @@ mod tests {
     }
 
     #[test]
+    fn large_mode_emits_scaling_section() {
+        let _lock = obs_test_lock();
+        let out = run_bench(&["--large", "--quick", "--json"]).unwrap();
+        let doc = json::parse(&out).unwrap();
+        let (label, profile, n) = check_document(&doc).unwrap();
+        assert_eq!(label, "large");
+        assert_eq!(profile, "quick");
+        assert_eq!(n, 4);
+
+        let names: Vec<&str> = doc
+            .get("stages")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            ["large_sparse", "large_block_generate", "large_block_solve", "lump_proof"]
+        );
+
+        // check_document already gated the structural claims (sparse
+        // rung, ok verdict, residual < 1e-9, lump exactness); pin the
+        // quick profile's sizes on top.
+        let scaling = doc.get("large_scaling").unwrap();
+        assert_eq!(scaling.get("sparse_states").unwrap().as_i64(), Some(10_000));
+        assert_eq!(scaling.get("block_units").unwrap().as_i64(), Some(1000));
+        assert_eq!(scaling.get("block_states").unwrap().as_i64(), Some(1001));
+        assert_eq!(scaling.get("lump_full_states").unwrap().as_i64(), Some(256));
+        assert_eq!(scaling.get("lump_states").unwrap().as_i64(), Some(9));
+
+        // No simulator stage ran, so the checks omit its key.
+        assert!(doc.get("checks").unwrap().get("sim_availability").is_none());
+        assert!(doc.get("checks").unwrap().get("availability").unwrap().as_f64().unwrap() > 0.99);
+    }
+
+    #[test]
+    fn sweep_and_large_are_mutually_exclusive() {
+        assert!(matches!(bench(&["--sweep", "--large"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn corrupt_large_scaling_fails_validation() {
+        // A baseline whose lump proof drifted past 1e-9 must be
+        // rejected outright, not compared.
+        let doc = json::parse(
+            r#"{"schema":"rascad-bench/v1","label":"large","profile":"quick",
+                "created_unix":0,
+                "env":{"os":"linux","arch":"x86_64","threads":1,
+                       "debug_assertions":false,"pkg_version":"0"},
+                "stages":[{"name":"large_sparse","runs":1,"min_us":1.0,
+                           "mean_us":1.0,"max_us":1.0,
+                           "certificate":{"method":"sparse","verdict":"ok",
+                                          "residual":1e-12,"prob_mass_error":0.0}}],
+                "spans":[],"counters":{},"values":{},"checks":{},
+                "large_scaling":{"sparse_states":100000,"sparse_solve_us":1.0,
+                                 "bit_identical":true,"block_units":1000,
+                                 "block_states":1001,"block_solve_us":1.0,
+                                 "block_availability":0.999,"lump_proof_units":8,
+                                 "lump_full_states":256,"lump_states":9,
+                                 "lump_max_delta":1e-6}}"#,
+        )
+        .unwrap();
+        let err = check_document(&doc).unwrap_err();
+        assert!(err.contains("lump proof deviates"), "{err}");
+    }
+
+    #[test]
     fn compare_against_own_baseline_passes() {
         let _lock = obs_test_lock();
         let path = tmp("rascad_bench_base_ok.json");
@@ -1451,6 +1773,7 @@ mod tests {
             floor_us: 50.0,
             residual_floor: DEFAULT_RESIDUAL_FLOOR,
             sweep: false,
+            large: false,
         };
         let baseline = mk(
             &[
@@ -1528,6 +1851,7 @@ mod tests {
             floor_us: 50.0,
             residual_floor: DEFAULT_RESIDUAL_FLOOR,
             sweep: false,
+            large: false,
         };
         let baseline = mk(&[
             ("blown", 1e-12, "ok"),

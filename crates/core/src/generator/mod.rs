@@ -12,12 +12,19 @@
 //! | Type 3 | `N > K`, nontransparent recovery, transparent repair |
 //! | Type 4 | `N > K`, nontransparent recovery, nontransparent repair |
 //!
+//! Redundant blocks with more than
+//! [`birth_death::BIRTH_DEATH_MIN_UNITS`] units expand to the
+//! k-out-of-n [`birth_death`] chain instead — `N + 1` occupancy levels
+//! with per-level failure and parallel-repair rates — which scales to
+//! thousands of units where the level-replicated templates cannot.
+//!
 //! States that cannot be entered (zero probability or zero rate) and
 //! zero-duration sojourns are elided, so the generated chain is always
 //! minimal; "due to the variation on the model size, the internal matrix
 //! representation … of the Markov models are generated" — here the
 //! internal representation is [`rascad_markov::Ctmc`].
 
+pub mod birth_death;
 pub mod rates;
 pub mod redundant;
 pub mod type0;
@@ -86,7 +93,12 @@ pub fn generate_block(
     span.record("k", params.min_quantity);
     let mut mb = ModelBuilder::new();
     if params.is_redundant() {
-        redundant::build(&mut mb, params, &rates);
+        if params.quantity > birth_death::BIRTH_DEATH_MIN_UNITS {
+            span.record("template", "birth-death");
+            birth_death::build(&mut mb, params, &rates);
+        } else {
+            redundant::build(&mut mb, params, &rates);
+        }
     } else {
         type0::build(&mut mb, params, &rates);
     }

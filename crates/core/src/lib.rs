@@ -75,5 +75,8 @@ pub use hierarchy::{
 };
 pub use measures::{BlockMeasures, IntervalMeasures, ReliabilityMeasures};
 pub use performability::{performability, PerformabilityMeasures};
-pub use solve::{solve_block, steady_state_ladder};
+pub use solve::{
+    method_name, select_method, solve_block, steady_state_ladder, DENSE_STATE_CAP,
+    SPARSE_STATE_THRESHOLD,
+};
 pub use sweep::{sweep, SweepPoint};

@@ -169,3 +169,33 @@ fn poisoned_cache_entry_never_serves_a_stale_solution() {
     let target = poisoned.block("Cluster/Target").unwrap();
     assert!(target.measures.availability > 0.9, "{}", target.measures.availability);
 }
+
+#[test]
+fn sparse_rung_is_bit_identical_across_thread_counts() {
+    // Two large k-out-of-n blocks expand to birth–death chains beyond
+    // the sparse threshold, so their solves run on the sparse iterative
+    // rung. Its sweep order is fixed, so thread count must not change a
+    // single bit of the result. A one-day mission keeps the transient
+    // interval-availability solve (uniformization steps scale with
+    // rate × horizon) cheap in debug builds.
+    let mut d = Diagram::new("Farm");
+    for (name, n, k) in [("ShelfA", 600_u32, 595_u32), ("ShelfB", 900, 894)] {
+        d.push(
+            BlockParams::new(name, n, k)
+                .with_mtbf(Hours(100_000.0))
+                .with_redundancy(RedundancyParams::default()),
+        );
+    }
+    let globals = GlobalParams { mission_time: Hours(24.0), ..GlobalParams::default() };
+    let spec = SystemSpec::new(d, globals);
+    let reference = Engine::sequential().solve_spec(&spec).unwrap();
+    for threads in [1, 8] {
+        let got = Engine::with_threads(threads).solve_spec(&spec).unwrap();
+        assert_eq!(got, reference, "threads={threads}");
+        assert_eq!(
+            got.system.availability.to_bits(),
+            reference.system.availability.to_bits(),
+            "threads={threads}"
+        );
+    }
+}

@@ -221,6 +221,15 @@ pub const CATALOG: &[CatalogEntry] = &[
         remedy: "no action needed; GTH is the numerically safest solver choice",
     },
     CatalogEntry {
+        code: tier_b::LARGE_STATE_SPACE,
+        severity: Severity::Info,
+        title: "large state space — sparse iterative rung recommended",
+        example: "a redundant block with hundreds of units (≥ 512 chain states)",
+        remedy: "no action needed; the solver ladder routes chains of this size \
+                 to the sparse Gauss–Seidel rung automatically, and the hint \
+                 cites a measured probe of its convergence",
+    },
+    CatalogEntry {
         code: crate::codes::TIERS_SKIPPED,
         severity: Severity::Info,
         title: "Tier B/C skipped: model not generated",
@@ -379,7 +388,14 @@ mod tests {
         };
         let tier_b: &[&str] = &{
             use crate::tier_b::codes::*;
-            [UNREACHABLE_STATE, ABSORBING_STATE, DISCONNECTED_CHAIN, STIFF_CHAIN, STIFFNESS_NOTE]
+            [
+                UNREACHABLE_STATE,
+                ABSORBING_STATE,
+                DISCONNECTED_CHAIN,
+                STIFF_CHAIN,
+                STIFFNESS_NOTE,
+                LARGE_STATE_SPACE,
+            ]
         };
         let tier_c: &[&str] = &{
             use crate::tier_c::codes::*;

@@ -161,6 +161,30 @@ fn tier_b_stiffness_note_matches_golden() {
 }
 
 #[test]
+fn tier_b_large_state_space_matches_golden() {
+    // Birth–death chain exactly at the sparse threshold, with a benign
+    // exit-rate spread so RAS106 is the only finding. The probe output
+    // embedded in the message (sweep cap, scaled residual) is
+    // deterministic, so it golden-pins cleanly.
+    let levels = tier_b::SPARSE_STATE_THRESHOLD - 1;
+    let mut b = CtmcBuilder::new();
+    for j in 0..=levels {
+        b.add_state(format!("L{j}"), if j == 0 { 1.0 } else { 0.0 });
+    }
+    #[allow(clippy::cast_precision_loss)]
+    for j in 0..levels {
+        b.add_transition(j, j + 1, (levels - j) as f64 * 1e-4);
+        b.add_transition(j + 1, j, (j + 1) as f64 * 0.1);
+    }
+    let chain = b.build().unwrap();
+    let mut report = LintReport::new();
+    report.extend(tier_b::analyze_chain("Plant/Shelf", &chain));
+    let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, ["RAS106"], "fixture must isolate RAS106");
+    check_report("tier_b_large", "RAS106", &report);
+}
+
+#[test]
 fn tiers_skipped_note_matches_golden() {
     // The driver appends the RAS199 note when Tier B/C were requested
     // but Tier A errors block model generation.
@@ -224,8 +248,8 @@ fn every_cataloged_code_is_golden_tested() {
         .iter()
         .copied()
         .chain([
-            "RAS014", "RAS101", "RAS102", "RAS103", "RAS104", "RAS105", "RAS199", "RAS201",
-            "RAS202", "RAS203", "RAS204", "RAS205",
+            "RAS014", "RAS101", "RAS102", "RAS103", "RAS104", "RAS105", "RAS106", "RAS199",
+            "RAS201", "RAS202", "RAS203", "RAS204", "RAS205",
         ])
         .collect();
     for entry in catalog::CATALOG {

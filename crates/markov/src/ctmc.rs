@@ -14,9 +14,22 @@ pub type StateId = usize;
 /// instead of a spuriously tiny (or zero) one.
 pub const POWER_WORK_BUDGET: usize = 50_000_000;
 
-/// Floor of the default power-iteration budget, whatever the chain
-/// size.
+/// Floor of the default power-iteration budget for chains below
+/// [`LARGE_CHAIN_STATES`].
 pub const MIN_POWER_ITERATIONS: usize = 1_000;
+
+/// Chains with at least this many states count as *large*: the default
+/// power budget drops to [`MIN_LARGE_POWER_ITERATIONS`] so a stalled
+/// power rung fails over to the sparse iterative rung in seconds instead
+/// of spinning a generous floor's worth of `O(nnz)` sweeps against the
+/// wall clock.
+pub const LARGE_CHAIN_STATES: usize = 10_000;
+
+/// Floor of the default power-iteration budget for chains at or above
+/// [`LARGE_CHAIN_STATES`]. Power is a fallback at that size — the sparse
+/// Gauss–Seidel rung is the primary — so the floor only needs to catch
+/// easy chains, not grind stiff ones.
+pub const MIN_LARGE_POWER_ITERATIONS: usize = 64;
 
 /// Budgets for the iterative and direct steady-state solvers.
 ///
@@ -50,11 +63,30 @@ impl Default for SolveOptions {
 impl SolveOptions {
     /// The power-iteration budget for an `n`-state chain: the explicit
     /// [`max_iterations`](Self::max_iterations) when set, else the
-    /// work-scaled default clamped to [`MIN_POWER_ITERATIONS`].
+    /// work-scaled default clamped to a state-count-aware floor —
+    /// [`MIN_POWER_ITERATIONS`] for ordinary chains,
+    /// [`MIN_LARGE_POWER_ITERATIONS`] at or above
+    /// [`LARGE_CHAIN_STATES`], where each iteration is expensive and the
+    /// sparse rung is the better escape hatch than a long grind.
     #[must_use]
     pub fn power_iteration_budget(&self, n: usize) -> usize {
-        self.max_iterations
-            .unwrap_or_else(|| (POWER_WORK_BUDGET / n.max(1)).max(MIN_POWER_ITERATIONS))
+        if let Some(explicit) = self.max_iterations {
+            return explicit;
+        }
+        let floor =
+            if n >= LARGE_CHAIN_STATES { MIN_LARGE_POWER_ITERATIONS } else { MIN_POWER_ITERATIONS };
+        (POWER_WORK_BUDGET / n.max(1)).max(floor)
+    }
+
+    /// The sweep budget for the sparse iterative rung: the explicit
+    /// [`max_iterations`](Self::max_iterations) when set, else
+    /// [`crate::iterative::SPARSE_SWEEP_BUDGET`]. Flat rather than
+    /// work-scaled — a Gauss–Seidel sweep is already `O(nnz)`, so the
+    /// per-sweep cost grows with the chain and the wall clock bounds the
+    /// total.
+    #[must_use]
+    pub fn sparse_sweep_budget(&self) -> usize {
+        self.max_iterations.unwrap_or(crate::iterative::SPARSE_SWEEP_BUDGET)
     }
 
     /// Whether `elapsed` has exhausted the wall-clock budget. Inclusive
@@ -102,6 +134,13 @@ pub enum SteadyStateMethod {
     /// independent numerical path used by the validation experiments.
     /// Slow for stiff chains; accuracy ~1e-12 in the iterate delta.
     Power,
+    /// Sparse iterative solver: Gauss–Seidel sweeps on the inflow
+    /// orientation of `Q`, with a damped-Jacobi fallback (see
+    /// [`crate::iterative`]). `O(nnz)` per sweep and allocation-free in
+    /// the inner loop, so it is the only rung that scales to the
+    /// 10^5–10^6-state chains the k-out-of-n expansion produces; the
+    /// core ladder selects it automatically by state count.
+    Sparse,
 }
 
 /// One state of a chain: a label plus a reward rate.
@@ -399,6 +438,7 @@ impl Ctmc {
             SteadyStateMethod::Gth => gth::stationary_gth_with(self, options),
             SteadyStateMethod::Lu => self.steady_state_lu(options),
             SteadyStateMethod::Power => self.steady_state_power(options),
+            SteadyStateMethod::Sparse => crate::iterative::steady_state_sparse(self, options),
         }
     }
 
@@ -409,6 +449,9 @@ impl Ctmc {
         let uni = crate::transient::uniformize(self);
         let n = self.len();
         let mut pi = vec![1.0 / n as f64; n];
+        // Ping-pong buffer for the SpMV so the hot loop allocates
+        // nothing per iteration.
+        let mut next = vec![0.0; n];
         // Uniformization keeps diagonals positive, so the DTMC is
         // aperiodic and plain power iteration converges; the iteration
         // budget guards against extreme stiffness and is floored so
@@ -430,9 +473,9 @@ impl Ctmc {
                     return Err(options.timeout_error("power", iter, elapsed));
                 }
             }
-            let next = uni.dtmc.vec_mul(&pi);
+            uni.dtmc.vec_mul_into(&pi, &mut next);
             residual = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
-            pi = next;
+            std::mem::swap(&mut pi, &mut next);
             trace.step(iter, residual);
             if residual < tolerance {
                 let z: f64 = pi.iter().sum();
@@ -784,17 +827,31 @@ mod tests {
     }
 
     #[test]
-    fn power_budget_is_floored_for_large_chains() {
+    fn power_budget_is_state_count_aware() {
         let opts = SolveOptions::default();
         // Small chains get the work-scaled budget...
         assert_eq!(opts.power_iteration_budget(2), POWER_WORK_BUDGET / 2);
-        // ...large chains hit the floor instead of collapsing to ~0.
-        assert_eq!(opts.power_iteration_budget(100_000_000), MIN_POWER_ITERATIONS);
+        // ...ordinary chains stay work-scaled (the generous floor never
+        // binds below LARGE_CHAIN_STATES because 50M/n is still big)...
+        assert_eq!(
+            opts.power_iteration_budget(LARGE_CHAIN_STATES - 1),
+            POWER_WORK_BUDGET / (LARGE_CHAIN_STATES - 1)
+        );
+        // ...but large chains get only the small floor, so a stalled
+        // power rung hands over to the sparse rung quickly instead of
+        // grinding 1000 expensive sweeps.
+        assert_eq!(opts.power_iteration_budget(100_000_000), MIN_LARGE_POWER_ITERATIONS);
+        assert_eq!(opts.power_iteration_budget(1_000_000), MIN_LARGE_POWER_ITERATIONS);
+        // At the boundary the work-scaled value still wins while it
+        // exceeds the floor.
+        assert_eq!(opts.power_iteration_budget(LARGE_CHAIN_STATES), 5_000);
         // Degenerate n=0 guards against division by zero.
         assert_eq!(opts.power_iteration_budget(0), POWER_WORK_BUDGET);
         // An explicit budget wins outright.
         let explicit = SolveOptions { max_iterations: Some(7), ..SolveOptions::default() };
         assert_eq!(explicit.power_iteration_budget(100_000_000), 7);
+        assert_eq!(explicit.sparse_sweep_budget(), 7);
+        assert_eq!(opts.sparse_sweep_budget(), crate::iterative::SPARSE_SWEEP_BUDGET);
     }
 
     #[test]
@@ -833,7 +890,12 @@ mod tests {
     #[test]
     fn steady_state_with_defaults_matches_steady_state() {
         let c = two_state(2e-3, 0.4);
-        for method in [SteadyStateMethod::Gth, SteadyStateMethod::Lu, SteadyStateMethod::Power] {
+        for method in [
+            SteadyStateMethod::Gth,
+            SteadyStateMethod::Lu,
+            SteadyStateMethod::Power,
+            SteadyStateMethod::Sparse,
+        ] {
             assert_eq!(
                 c.steady_state(method).unwrap(),
                 c.steady_state_with(method, &SolveOptions::default()).unwrap(),

@@ -88,6 +88,13 @@ pub enum MarkovError {
         /// One record per attempted rung, in attempt order.
         attempts: Vec<SolveAttempt>,
     },
+    /// A partition offered for exact lumping violates the lumpability
+    /// condition (members of a class disagree on rewards or on their
+    /// aggregate rate into some other class).
+    NotLumpable {
+        /// Human-readable description of the violation.
+        what: String,
+    },
     /// An option passed to a solver was out of range.
     InvalidOption {
         /// Human-readable description of the bad option.
@@ -169,6 +176,9 @@ impl fmt::Display for MarkovError {
                 }
                 Ok(())
             }
+            MarkovError::NotLumpable { what } => {
+                write!(f, "partition is not exactly lumpable: {what}")
+            }
             MarkovError::InvalidOption { what } => write!(f, "invalid option: {what}"),
             MarkovError::DimensionMismatch { what } => {
                 write!(f, "dimension mismatch: {what}")
@@ -212,6 +222,7 @@ mod tests {
                 residual: 1e-9,
                 tolerance: 1e-14,
             },
+            MarkovError::NotLumpable { what: "rewards differ".into() },
             MarkovError::InvalidOption { what: "epsilon".into() },
             MarkovError::DimensionMismatch { what: "3x2 generator".into() },
             MarkovError::Timeout { method: "power", iterations: 10, elapsed_ms: 31, budget_ms: 30 },

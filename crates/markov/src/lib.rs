@@ -66,6 +66,8 @@ pub mod dtmc;
 pub mod error;
 pub mod fingerprint;
 pub mod gth;
+pub mod iterative;
+pub mod lump;
 pub mod matrix;
 pub mod semi;
 pub mod sensitivity;
@@ -76,6 +78,9 @@ pub use ctmc::{Ctmc, CtmcBuilder, SolveOptions, StateId, SteadyStateMethod};
 pub use dtmc::{Dtmc, DtmcBuilder};
 pub use error::{MarkovError, SolveAttempt};
 pub use fingerprint::{Fingerprint, StableHasher};
+pub use lump::{
+    coarsest_exact_partition, identical_units_product, lump, occupancy_partition, Partition,
+};
 pub use matrix::SparseMatrix;
 pub use semi::{SemiMarkov, SemiMarkovBuilder, SojournDistribution};
 pub use transient::{TransientOptions, TransientSolution};

@@ -1,0 +1,470 @@
+//! Exact (ordinary/strong) lumping of CTMCs.
+//!
+//! A partition of the state space is *exactly lumpable* when every state
+//! of a class has the same total rate into each other class; the
+//! quotient chain over the classes is then itself a CTMC whose
+//! stationary distribution aggregates the original's exactly
+//! (Kemeny–Snell). The canonical payoff in availability modeling: `N`
+//! identical independently-failing units span a `2^N` product space, but
+//! the popcount partition (group by *how many* units are down, not
+//! *which*) is exactly lumpable, collapsing it to `N + 1` occupancy
+//! levels — the birth–death idiom the generator's k-out-of-n expansion
+//! emits directly, and the same collapse the Tier C lint's RAS204
+//! symmetry classes assert from the structure function.
+//!
+//! [`coarsest_exact_partition`] discovers such symmetry automatically by
+//! partition refinement; [`lump`] verifies a partition and builds the
+//! quotient; [`identical_units_product`] and [`occupancy_partition`]
+//! build the `2^N` reference space used by the brute-force equivalence
+//! tests.
+
+use std::collections::BTreeMap;
+
+use crate::ctmc::{Ctmc, CtmcBuilder, StateId};
+use crate::error::MarkovError;
+
+/// Relative tolerance for the exact-lumpability check. Symmetric
+/// chains produce bit-identical class flows, but quotients assembled
+/// from independently-derived rates may differ in the last few ulps.
+pub const LUMP_REL_TOL: f64 = 1e-12;
+
+/// A partition of a chain's states into contiguous classes `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    classes: Vec<usize>,
+    count: usize,
+}
+
+impl Partition {
+    /// Builds a partition from a per-state class map. Classes must be
+    /// numbered contiguously from 0 (every class below the maximum must
+    /// be non-empty).
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::InvalidOption`] if `classes` is empty or the class
+    /// numbering has gaps.
+    pub fn new(classes: Vec<usize>) -> Result<Self, MarkovError> {
+        let count = match classes.iter().max() {
+            Some(&m) => m + 1,
+            None => {
+                return Err(MarkovError::InvalidOption {
+                    what: "partition of an empty state space".into(),
+                })
+            }
+        };
+        let mut seen = vec![false; count];
+        for &c in &classes {
+            seen[c] = true;
+        }
+        if let Some(gap) = seen.iter().position(|s| !s) {
+            return Err(MarkovError::InvalidOption {
+                what: format!("partition class {gap} is empty (classes must be contiguous)"),
+            });
+        }
+        Ok(Partition { classes, count })
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the partition has no classes (never true for a built
+    /// partition).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The class of state `s`.
+    #[must_use]
+    pub fn class_of(&self, s: StateId) -> usize {
+        self.classes[s]
+    }
+
+    /// The per-state class map.
+    #[must_use]
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// Aggregates a stationary distribution of the original chain into
+    /// per-class probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != self.classes().len()`.
+    #[must_use]
+    pub fn aggregate(&self, pi: &[f64]) -> Vec<f64> {
+        assert_eq!(pi.len(), self.classes.len(), "dimension mismatch");
+        let mut out = vec![0.0; self.count];
+        for (s, &p) in pi.iter().enumerate() {
+            out[self.classes[s]] += p;
+        }
+        out
+    }
+}
+
+/// Verifies that `partition` is exactly lumpable for `chain` and builds
+/// the quotient CTMC.
+///
+/// Quotient state `c` carries the reward shared by every member of
+/// class `c` and the label of the class's first member (suffixed with
+/// the member count when the class is not a singleton); its rate into
+/// class `d` is the members' common aggregate rate.
+///
+/// # Errors
+///
+/// * [`MarkovError::NotLumpable`] when two states of a class disagree
+///   on a reward or on the total rate into some other class (beyond
+///   [`LUMP_REL_TOL`] relative).
+/// * [`MarkovError::InvalidOption`] when the partition does not cover
+///   the chain.
+pub fn lump(chain: &Ctmc, partition: &Partition) -> Result<Ctmc, MarkovError> {
+    let n = chain.len();
+    if partition.classes().len() != n {
+        return Err(MarkovError::InvalidOption {
+            what: format!("partition covers {} states, chain has {n}", partition.classes().len()),
+        });
+    }
+    let k = partition.len();
+    let mut span = rascad_obs::span("markov.lump");
+    span.record("states", n);
+    span.record("classes", k);
+
+    // Aggregate outflow per (state, target class), excluding internal
+    // class flows — ordinary lumpability only constrains cross-class
+    // rates.
+    let mut flows: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); n];
+    for t in chain.transitions() {
+        let (cf, ct) = (partition.class_of(t.from), partition.class_of(t.to));
+        if cf != ct {
+            *flows[t.from].entry(ct).or_insert(0.0) += t.rate;
+        }
+    }
+
+    // Representative (first member) of each class, checked against every
+    // other member.
+    let mut representative: Vec<Option<StateId>> = vec![None; k];
+    for s in 0..n {
+        let c = partition.class_of(s);
+        match representative[c] {
+            None => representative[c] = Some(s),
+            Some(rep) => {
+                let (ra, rb) = (chain.states()[rep].reward, chain.states()[s].reward);
+                if !close(ra, rb) {
+                    return Err(MarkovError::NotLumpable {
+                        what: format!(
+                            "states {rep} and {s} share class {c} but have rewards {ra} and {rb}"
+                        ),
+                    });
+                }
+                if let Some(d) = flow_mismatch(&flows[rep], &flows[s]) {
+                    return Err(MarkovError::NotLumpable {
+                        what: format!(
+                            "states {rep} and {s} share class {c} but disagree on the total \
+                             rate into class {d}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut sizes = vec![0usize; k];
+    for &c in partition.classes() {
+        sizes[c] += 1;
+    }
+    let mut b = CtmcBuilder::new();
+    for c in 0..k {
+        let rep = representative[c].expect("contiguous partition has no empty class");
+        let state = &chain.states()[rep];
+        let label = if sizes[c] == 1 {
+            state.label.clone()
+        } else {
+            format!("{}(+{})", state.label, sizes[c] - 1)
+        };
+        b.add_state(label, state.reward);
+    }
+    for (c, rep) in representative.iter().enumerate() {
+        let rep = rep.expect("contiguous partition has no empty class");
+        for (&d, &rate) in &flows[rep] {
+            b.add_transition(c, d, rate);
+        }
+    }
+    b.build()
+}
+
+/// Whether two aggregate-flow maps agree within [`LUMP_REL_TOL`];
+/// returns the first disagreeing target class otherwise.
+fn flow_mismatch(a: &BTreeMap<usize, f64>, b: &BTreeMap<usize, f64>) -> Option<usize> {
+    for (&d, &ra) in a {
+        if !close(ra, b.get(&d).copied().unwrap_or(0.0)) {
+            return Some(d);
+        }
+    }
+    for (&d, &rb) in b {
+        if !a.contains_key(&d) && !close(0.0, rb) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= LUMP_REL_TOL * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Finds the coarsest exactly-lumpable partition that respects rewards,
+/// by partition refinement: start from reward classes, then repeatedly
+/// split any class whose members disagree on their aggregate rate into
+/// some other class, until stable. Flow signatures are compared by f64
+/// bit pattern, so only genuinely symmetric states (bit-identical class
+/// flows, as produced by identical-unit structures) are merged — the
+/// result is always safe to pass to [`lump`].
+///
+/// Runs in `O(n · nnz)` worst case; class numbering follows first-member
+/// order, so the result is deterministic.
+#[must_use]
+pub fn coarsest_exact_partition(chain: &Ctmc) -> Partition {
+    let n = chain.len();
+    // Initial partition: states grouped by exact reward.
+    let mut classes =
+        number_by_key((0..n).map(|s| chain.states()[s].reward.to_bits()).collect::<Vec<_>>());
+    loop {
+        let count = classes.iter().max().map_or(0, |&m| m + 1);
+        // Signature of each state: current class + sorted cross-class
+        // flow vector (target class, summed rate bits).
+        let mut flows: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); n];
+        for t in chain.transitions() {
+            let (cf, ct) = (classes[t.from], classes[t.to]);
+            if cf != ct {
+                *flows[t.from].entry(ct).or_insert(0.0) += t.rate;
+            }
+        }
+        let keys: Vec<(usize, Vec<(usize, u64)>)> = (0..n)
+            .map(|s| (classes[s], flows[s].iter().map(|(&d, &r)| (d, r.to_bits())).collect()))
+            .collect();
+        let refined = number_by_key(keys);
+        let refined_count = refined.iter().max().map_or(0, |&m| m + 1);
+        if refined_count == count {
+            return Partition { classes: refined, count: refined_count };
+        }
+        classes = refined;
+    }
+}
+
+/// Renumbers arbitrary grouping keys into contiguous classes ordered by
+/// first appearance.
+fn number_by_key<K: Ord + Clone>(keys: Vec<K>) -> Vec<usize> {
+    let mut ids: BTreeMap<K, usize> = BTreeMap::new();
+    let mut next = 0usize;
+    let mut out = Vec::with_capacity(keys.len());
+    // Two passes so ids follow state order, not key order.
+    for k in &keys {
+        if !ids.contains_key(k) {
+            ids.insert(k.clone(), next);
+            next += 1;
+        }
+    }
+    // BTreeMap ordered insertion above assigns ids by first appearance
+    // already (insertion guarded by contains_key), so the lookup pass
+    // just reads them back.
+    for k in &keys {
+        out.push(ids[k]);
+    }
+    out
+}
+
+/// Builds the full `2^n` product chain of `n` identical units, each
+/// failing at `lambda` and repaired independently at `mu`, with reward 1
+/// while at least `k` units are up. State `mask` has unit `u` *failed*
+/// iff bit `u` is set; state 0 (all up) is first.
+///
+/// This is the unlumped reference space: exponential in `n`, intended
+/// for cross-validation at small `n` only.
+///
+/// # Errors
+///
+/// [`MarkovError::InvalidOption`] for `n == 0`, `n > 20` (the product
+/// space would be larger than a million states), or `k > n`.
+pub fn identical_units_product(n: u32, k: u32, lambda: f64, mu: f64) -> Result<Ctmc, MarkovError> {
+    if n == 0 || n > 20 || k > n {
+        return Err(MarkovError::InvalidOption {
+            what: format!(
+                "identical-units product space needs 0 < n <= 20 and k <= n, got n={n} k={k}"
+            ),
+        });
+    }
+    let states = 1usize << n;
+    let mut b = CtmcBuilder::new();
+    for mask in 0..states {
+        let failed = (mask as u32).count_ones();
+        let reward = if n - failed >= k { 1.0 } else { 0.0 };
+        b.add_state(format!("u{mask:0width$b}", width = n as usize), reward);
+    }
+    for mask in 0..states {
+        for u in 0..n {
+            let bit = 1usize << u;
+            if mask & bit == 0 {
+                b.add_transition(mask, mask | bit, lambda);
+            } else {
+                b.add_transition(mask, mask & !bit, mu);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The popcount (occupancy) partition of the `2^n` product space:
+/// class `j` holds every state with exactly `j` failed units. Exactly
+/// lumpable for [`identical_units_product`] chains, collapsing `2^n`
+/// states to `n + 1`.
+///
+/// # Errors
+///
+/// [`MarkovError::InvalidOption`] under the same bounds as
+/// [`identical_units_product`].
+pub fn occupancy_partition(n: u32) -> Result<Partition, MarkovError> {
+    if n == 0 || n > 20 {
+        return Err(MarkovError::InvalidOption {
+            what: format!("occupancy partition needs 0 < n <= 20, got n={n}"),
+        });
+    }
+    let classes = (0..1usize << n).map(|mask| (mask as u32).count_ones() as usize).collect();
+    Ok(Partition { classes, count: n as usize + 1 })
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts deterministic arithmetic
+mod tests {
+    use super::*;
+    use crate::ctmc::SteadyStateMethod;
+
+    #[test]
+    fn partition_rejects_gaps_and_empty() {
+        assert!(Partition::new(vec![]).is_err());
+        assert!(Partition::new(vec![0, 2]).is_err()); // class 1 empty
+        let p = Partition::new(vec![0, 1, 0]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.class_of(2), 0);
+    }
+
+    #[test]
+    fn aggregate_sums_classes() {
+        let p = Partition::new(vec![0, 1, 0]).unwrap();
+        assert_eq!(p.aggregate(&[0.25, 0.5, 0.25]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn product_space_lumps_to_occupancy_levels() {
+        let (n, k, lambda, mu) = (4, 2, 1e-3, 0.5);
+        let full = identical_units_product(n, k, lambda, mu).unwrap();
+        assert_eq!(full.len(), 16);
+        let part = occupancy_partition(n).unwrap();
+        let lumped = lump(&full, &part).unwrap();
+        assert_eq!(lumped.len(), 5);
+        // Level rates are the k-out-of-n birth–death rates.
+        for j in 0..4usize {
+            let down = lumped
+                .transitions()
+                .iter()
+                .find(|t| t.from == j && t.to == j + 1)
+                .map(|t| t.rate)
+                .unwrap();
+            assert!((down - (4 - j) as f64 * lambda).abs() < 1e-15, "level {j}");
+            let up = lumped
+                .transitions()
+                .iter()
+                .find(|t| t.from == j + 1 && t.to == j)
+                .map(|t| t.rate)
+                .unwrap();
+            assert!((up - (j + 1) as f64 * mu).abs() < 1e-15, "level {j}");
+        }
+    }
+
+    #[test]
+    fn lumped_stationary_aggregates_the_full_one() {
+        let (n, k, lambda, mu) = (5, 3, 2e-3, 0.4);
+        let full = identical_units_product(n, k, lambda, mu).unwrap();
+        let part = occupancy_partition(n).unwrap();
+        let lumped = lump(&full, &part).unwrap();
+        let pi_full = full.steady_state(SteadyStateMethod::Gth).unwrap();
+        let pi_lumped = lumped.steady_state(SteadyStateMethod::Gth).unwrap();
+        for (a, b) in part.aggregate(&pi_full).iter().zip(&pi_lumped) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        let a_full = full.expected_reward(&pi_full);
+        let a_lumped = lumped.expected_reward(&pi_lumped);
+        assert!((a_full - a_lumped).abs() < 1e-12, "{a_full} vs {a_lumped}");
+    }
+
+    #[test]
+    fn coarsest_partition_finds_the_symmetry() {
+        let full = identical_units_product(6, 4, 1e-3, 0.3).unwrap();
+        let p = coarsest_exact_partition(&full);
+        // 2^6 = 64 states collapse to the 7 occupancy levels.
+        assert_eq!(p.len(), 7);
+        let occ = occupancy_partition(6).unwrap();
+        assert_eq!(p.classes(), occ.classes());
+        // And the discovered partition is accepted by the verifier.
+        assert!(lump(&full, &p).is_ok());
+    }
+
+    #[test]
+    fn coarsest_partition_of_asymmetric_chain_is_discrete() {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.add_state("a", 1.0);
+        let s1 = b.add_state("b", 1.0);
+        let s2 = b.add_state("c", 0.0);
+        b.add_transition(s0, s2, 1.0);
+        b.add_transition(s1, s2, 2.0); // breaks the a/b symmetry
+        b.add_transition(s2, s0, 0.5);
+        b.add_transition(s2, s1, 0.5);
+        let c = b.build().unwrap();
+        assert_eq!(coarsest_exact_partition(&c).len(), 3);
+    }
+
+    #[test]
+    fn non_lumpable_partition_rejected() {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.add_state("a", 1.0);
+        let s1 = b.add_state("b", 1.0);
+        let s2 = b.add_state("c", 0.0);
+        b.add_transition(s0, s2, 1.0);
+        b.add_transition(s1, s2, 2.0);
+        b.add_transition(s2, s0, 1.0);
+        let c = b.build().unwrap();
+        let p = Partition::new(vec![0, 0, 1]).unwrap();
+        assert!(matches!(lump(&c, &p).unwrap_err(), MarkovError::NotLumpable { .. }));
+    }
+
+    #[test]
+    fn reward_mismatch_rejected() {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.add_state("a", 1.0);
+        let s1 = b.add_state("b", 0.0);
+        b.add_transition(s0, s1, 1.0);
+        b.add_transition(s1, s0, 1.0);
+        let c = b.build().unwrap();
+        let p = Partition::new(vec![0, 0]).unwrap();
+        assert!(matches!(lump(&c, &p).unwrap_err(), MarkovError::NotLumpable { .. }));
+    }
+
+    #[test]
+    fn partition_size_must_match_chain() {
+        let c = identical_units_product(2, 1, 0.1, 1.0).unwrap();
+        let p = Partition::new(vec![0, 1]).unwrap();
+        assert!(matches!(lump(&c, &p).unwrap_err(), MarkovError::InvalidOption { .. }));
+    }
+
+    #[test]
+    fn product_space_bounds_enforced() {
+        assert!(identical_units_product(0, 0, 0.1, 1.0).is_err());
+        assert!(identical_units_product(21, 1, 0.1, 1.0).is_err());
+        assert!(identical_units_product(3, 4, 0.1, 1.0).is_err());
+        assert!(occupancy_partition(0).is_err());
+    }
+}

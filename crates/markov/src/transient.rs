@@ -152,6 +152,9 @@ pub fn solve(
     }
 
     let mut steps = 0usize;
+    // Scratch iterate reused across every SpMV step so the Poisson
+    // series allocates nothing per term.
+    let mut next = vec![0.0; chain.len()];
     // Truncation-error series: tail[k] is exactly the Poisson mass not
     // yet captured after term k, i.e. the running truncation error.
     let mut trace = rascad_obs::trace::begin("transient", "truncation", chain.len());
@@ -162,13 +165,13 @@ pub fn solve(
         }
         trace.step(k + 1, tail[k]);
         if k < kmax {
-            let next = uni.dtmc.vec_mul(&probs);
+            uni.dtmc.vec_mul_into(&probs, &mut next);
             steps += 1;
             // Steady-state detection: once the DTMC iterates stop
             // moving, all remaining Poisson mass lands on the same
             // vector — close both series in one step.
             let delta: f64 = next.iter().zip(&probs).map(|(a, b)| (a - b).abs()).sum();
-            probs = next;
+            std::mem::swap(&mut probs, &mut next);
             if delta < opts.epsilon * 1e-3 {
                 for i in 0..chain.len() {
                     point_acc[i] += tail[k] * probs[i];
@@ -291,6 +294,9 @@ pub fn solve_grid(
     let mut point_acc = vec![0.0; times.len() * n];
     let mut cum_acc = vec![0.0; times.len() * n];
     let mut probs = p0.to_vec();
+    // Scratch iterate reused across every SpMV step (no per-term
+    // allocation in the shared-series sweep).
+    let mut next = vec![0.0; n];
     for k in 0..=kmax {
         for i in 0..times.len() {
             let (lo, hi) = (offsets[i], offsets[i + 1]);
@@ -307,7 +313,8 @@ pub fn solve_grid(
             }
         }
         if k < kmax {
-            probs = uni.dtmc.vec_mul(&probs);
+            uni.dtmc.vec_mul_into(&probs, &mut next);
+            std::mem::swap(&mut probs, &mut next);
         }
     }
     span.record("kmax", kmax);

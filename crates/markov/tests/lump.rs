@@ -1,0 +1,87 @@
+//! Brute-force validation of exact lumping against the full product
+//! space.
+//!
+//! For every `n <= 8` and every `k <= n`, the `2^n`-state chain of `n`
+//! identical units is solved directly and through the occupancy lump
+//! (`2^n -> n + 1` states). Exact (ordinary) lumpability guarantees the
+//! aggregated stationary vectors agree; these tests pin that agreement
+//! to 1e-9 across every class, availability included, and check that
+//! the automatic partition refinement discovers the same collapse.
+
+use rascad_markov::{
+    coarsest_exact_partition, identical_units_product, lump, occupancy_partition, SteadyStateMethod,
+};
+
+const LAMBDA: f64 = 1.0 / 20_000.0;
+const MU: f64 = 1.0 / 5.0;
+
+/// Reward-weighted stationary probability (availability).
+fn availability(pi: &[f64], rewards: impl Iterator<Item = f64>) -> f64 {
+    pi.iter().zip(rewards).map(|(p, r)| p * r).sum()
+}
+
+#[test]
+fn lumped_chain_matches_product_space_for_all_small_n_and_k() {
+    for n in 1..=8u32 {
+        for k in 0..=n {
+            let full = identical_units_product(n, k, LAMBDA, MU).unwrap();
+            let partition = occupancy_partition(n).unwrap();
+            let small = lump(&full, &partition).unwrap();
+            assert_eq!(small.len(), n as usize + 1, "n={n}");
+
+            let pi_full = full.steady_state(SteadyStateMethod::Gth).unwrap();
+            let pi_small = small.steady_state(SteadyStateMethod::Gth).unwrap();
+
+            // Classwise stationary mass agrees.
+            let aggregated = partition.aggregate(&pi_full);
+            for (j, (a, b)) in aggregated.iter().zip(&pi_small).enumerate() {
+                assert!((a - b).abs() <= 1e-9, "n={n} k={k} class {j}: {a} vs {b}");
+            }
+
+            // Availability agrees between the spaces.
+            let a_full = availability(&pi_full, full.states().iter().map(|s| s.reward));
+            let a_small = availability(&pi_small, small.states().iter().map(|s| s.reward));
+            assert!(
+                (a_full - a_small).abs() <= 1e-9,
+                "n={n} k={k}: availability {a_full} vs {a_small}"
+            );
+        }
+    }
+}
+
+#[test]
+fn refinement_discovers_the_occupancy_partition() {
+    // The coarsest exact partition of the symmetric product chain is
+    // precisely the popcount grouping: no coarser class is reward- and
+    // flow-compatible, and symmetry makes nothing finer necessary.
+    for n in 1..=6u32 {
+        let full = identical_units_product(n, 1, LAMBDA, MU).unwrap();
+        let found = coarsest_exact_partition(&full);
+        let expected = occupancy_partition(n).unwrap();
+        assert_eq!(found.len(), expected.len(), "n={n}");
+        // Class numberings may differ; compare as a relabelling.
+        let mut map = vec![usize::MAX; found.len()];
+        for s in 0..full.len() {
+            let (f, e) = (found.class_of(s), expected.class_of(s));
+            if map[f] == usize::MAX {
+                map[f] = e;
+            }
+            assert_eq!(map[f], e, "n={n} state {s}: partitions disagree");
+        }
+    }
+}
+
+#[test]
+fn lumping_then_solving_beats_the_full_space_at_n_eight() {
+    // Not a benchmark, just a sanity check that the lumped path stays
+    // exact at the largest brute-force size: 256 -> 9 states.
+    let full = identical_units_product(8, 6, LAMBDA, MU).unwrap();
+    let partition = occupancy_partition(8).unwrap();
+    let small = lump(&full, &partition).unwrap();
+    assert_eq!((full.len(), small.len()), (256, 9));
+    let pi_full = full.steady_state(SteadyStateMethod::Gth).unwrap();
+    let pi_small = small.steady_state(SteadyStateMethod::Gth).unwrap();
+    let agg = partition.aggregate(&pi_full);
+    let worst = agg.iter().zip(&pi_small).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    assert!(worst <= 1e-9, "worst classwise deviation {worst:.2e}");
+}

@@ -137,6 +137,18 @@ cargo run --offline -q -p rascad-cli -- bench --sweep --quick \
     --label sweep-tn --out target/bench_sweep_tn.json > /dev/null
 cargo run --offline -q -p rascad-cli -- bench --validate target/bench_sweep_tn.json
 
+# Large-state-space smoke: a fresh quick run must solve the 10^4-state
+# chain on the sparse rung with a certified ok residual, and the
+# committed 10^5-state baseline must stay structurally valid. The
+# validator gates the machine-independent claims outright (sparse-rung
+# certificate < 1e-9, occupancy lump to n+1 states, lump proof within
+# 1e-9, bit-identical repeats); timings are never gated across hosts.
+echo "==> bench large state space (quick smoke + committed baseline)"
+cargo run --offline -q -p rascad-cli -- bench --large --quick \
+    --label large-smoke --out target/bench_large_smoke.json > /dev/null
+cargo run --offline -q -p rascad-cli -- bench --validate target/bench_large_smoke.json
+cargo run --offline -q -p rascad-cli -- bench --validate BENCH_large.json
+
 # Determinism gate: the same sweep run at 1 thread and at 8 threads
 # must produce byte-identical reports.
 echo "==> sweep determinism (1 vs 8 threads, byte-identical output)"
