@@ -61,6 +61,7 @@ struct BenchArgs {
     residual_floor: f64,
     sweep: bool,
     large: bool,
+    serve: bool,
 }
 
 /// Runs `bench [--quick|--full] [--sweep|--large] [--label L] [--out F]
@@ -89,6 +90,7 @@ fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
         residual_floor: DEFAULT_RESIDUAL_FLOOR,
         sweep: false,
         large: false,
+        serve: false,
     };
     let mut it = args.iter().copied();
     while let Some(arg) = it.next() {
@@ -97,6 +99,7 @@ fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
             "--full" => parsed.profile = BenchProfile::full(),
             "--sweep" => parsed.sweep = true,
             "--large" => parsed.large = true,
+            "--serve" => parsed.serve = true,
             "--json" => parsed.json = true,
             "--label" => parsed.label = flag_value(&mut it, "--label")?.to_string(),
             "--out" => parsed.out = Some(flag_value(&mut it, "--out")?.to_string()),
@@ -110,17 +113,21 @@ fn parse_args(args: &[&str]) -> Result<BenchArgs, CliError> {
             }
         }
     }
-    if parsed.sweep && parsed.large {
-        return Err(CliError::usage("--sweep and --large are separate workloads; pick one"));
+    if usize::from(parsed.sweep) + usize::from(parsed.large) + usize::from(parsed.serve) > 1 {
+        return Err(CliError::usage(
+            "--sweep, --large, and --serve are separate workloads; pick one",
+        ));
     }
     if parsed.label.is_empty() {
         // The workload-specific suites default to their committed
-        // baseline names so `bench --sweep` / `bench --large` write
-        // BENCH_sweep.json / BENCH_large.json out of the box.
+        // baseline names so `bench --sweep` / `bench --large` /
+        // `bench --serve` write BENCH_<workload>.json out of the box.
         parsed.label = if parsed.sweep {
             "sweep".to_string()
         } else if parsed.large {
             "large".to_string()
+        } else if parsed.serve {
+            "serve".to_string()
         } else {
             "local".to_string()
         };
@@ -693,6 +700,308 @@ fn large_scaling_json(s: &LargeScaling) -> Value {
     ])
 }
 
+// ---------------------------------------------------------------------------
+// Service load workload (`--serve`)
+// ---------------------------------------------------------------------------
+
+/// Results of the service load workload: an in-process daemon driven
+/// over real sockets — a >= 1000-solve throughput phase with a latency
+/// histogram, a capacity-saturating burst that must shed, a 50 ms
+/// deadline probe on a 10^5-state chain that must abort typed, and a
+/// graceful drain.
+struct ServeLoad {
+    /// Successful (200) solves in the throughput phase.
+    solves: usize,
+    /// Every request the server answered across all phases.
+    requests: u64,
+    /// 429 responses observed during the burst phase.
+    shed: u64,
+    /// Shed fraction of the burst-phase attempts.
+    shed_rate: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    /// Round-trip of the 50 ms-deadline probe on the big chain.
+    deadline_probe_ms: f64,
+    /// The probe answered 504 with the typed `deadline` error kind.
+    deadline_typed: bool,
+    /// `/metrics` passed the Prometheus exposition validator.
+    metrics_page_valid: bool,
+    /// Two identical solve requests returned byte-identical bodies.
+    bit_identical: bool,
+    /// The shutdown drain finished inside the timeout.
+    drained_clean: bool,
+    /// System availability parsed back out of a solve response.
+    availability: f64,
+}
+
+/// One blocking HTTP exchange against the in-process daemon.
+fn serve_request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), CliError> {
+    use std::io::{Read as _, Write as _};
+    let err = |e: std::io::Error| CliError::Serve(format!("bench client: {e}"));
+    let mut stream = std::net::TcpStream::connect(addr).map_err(err)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(60))).map_err(err)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(err)?;
+    stream.write_all(body.as_bytes()).map_err(err)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(err)?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| CliError::Serve("bench client: truncated response".to_string()))?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| CliError::Serve(format!("bench client: bad status line `{head}`")))?;
+    Ok((status, body.to_string()))
+}
+
+/// JSON-string-escapes a DSL payload for embedding in a request body.
+fn json_escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// The throughput-phase spec: small, so the warm cross-request solve
+/// cache is what the phase measures.
+fn serve_small_spec() -> String {
+    use rascad_spec::{BlockParams, Diagram, GlobalParams};
+    let mut root = Diagram::new("BenchServe");
+    root.push(BlockParams::new("A", 2, 1).with_mtbf(Hours(10_000.0)));
+    root.push(BlockParams::new("B", 1, 1).with_mtbf(Hours(50_000.0)));
+    SystemSpec::new(root, GlobalParams::default()).to_dsl()
+}
+
+/// The deadline-probe spec: a redundant 100 000-unit block expands
+/// birth–death style to a ~10^5-state chain, far beyond a 50 ms budget.
+fn serve_big_spec() -> String {
+    use rascad_spec::{BlockParams, Diagram, GlobalParams};
+    let mut root = Diagram::new("BenchServeBig");
+    root.push(BlockParams::new("A", 100_000, 1).with_mtbf(Hours(10_000.0)));
+    SystemSpec::new(root, GlobalParams::default()).to_dsl()
+}
+
+/// Latency percentile over an unsorted sample, nearest-rank.
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_sign_loss)]
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[allow(clippy::cast_precision_loss)] // request counts stay far below 2^52
+#[allow(clippy::too_many_lines)]
+fn run_serve_stages(profile: &BenchProfile) -> Result<(Vec<StageResult>, ServeLoad), CliError> {
+    use rascad_serve::{AdmissionConfig, ServeConfig, Server};
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        admission: AdmissionConfig { max_inflight: 8, max_per_tenant: 4, retry_after_secs: 1 },
+        ..ServeConfig::default()
+    })
+    .map_err(|e| CliError::Serve(format!("bench cannot bind: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::Serve(format!("bench cannot read bound address: {e}")))?;
+    let handle = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    let small = json_escape(&serve_small_spec());
+    let big = json_escape(&serve_big_spec());
+    let mut stages = Vec::new();
+
+    // Throughput phase: four tenants, each storing the spec once and
+    // then solving it by name until the pooled target is reached. All
+    // requests go over real sockets, one connection per request.
+    const CLIENTS: usize = 4;
+    let target_solves = 500 * profile.iterations.max(2);
+    let per_client = target_solves.div_ceil(CLIENTS);
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(per_client * CLIENTS);
+    let mut solves = 0usize;
+    std::thread::scope(|scope| -> Result<(), CliError> {
+        let mut workers = Vec::new();
+        for client in 0..CLIENTS {
+            let small = &small;
+            workers.push(scope.spawn(move || -> Result<Vec<f64>, CliError> {
+                let tenant = format!("bench-{client}");
+                let put = format!(r#"{{"tenant":"{tenant}","name":"wl","spec":"{small}"}}"#);
+                let (status, body) = serve_request(addr, "POST", "/v1/specs", &put)?;
+                if status != 201 {
+                    return Err(CliError::Serve(format!("spec store answered {status}: {body}")));
+                }
+                let solve = format!(r#"{{"tenant":"{tenant}","spec_name":"wl"}}"#);
+                let mut lat = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let t = Instant::now();
+                    let (status, body) = serve_request(addr, "POST", "/v1/solve", &solve)?;
+                    if status != 200 {
+                        return Err(CliError::Serve(format!("solve answered {status}: {body}")));
+                    }
+                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                Ok(lat)
+            }));
+        }
+        for w in workers {
+            let lat = w
+                .join()
+                .map_err(|_| CliError::Serve("bench client thread panicked".to_string()))??;
+            solves += lat.len();
+            latencies_ms.extend(lat);
+        }
+        Ok(())
+    })?;
+    latencies_ms.sort_by(f64::total_cmp);
+    let sum_ms: f64 = latencies_ms.iter().sum();
+    stages.push(StageResult {
+        name: "serve_solve",
+        runs: solves,
+        min_us: latencies_ms.first().copied().unwrap_or(f64::NAN) * 1e3,
+        mean_us: sum_ms / solves.max(1) as f64 * 1e3,
+        max_us: latencies_ms.last().copied().unwrap_or(f64::NAN) * 1e3,
+        cert: None,
+    });
+
+    // Availability spot check + response bit-identity, on the warm cache.
+    let solve_body = r#"{"tenant":"bench-0","spec_name":"wl"}"#.to_string();
+    let (s1, b1) = serve_request(addr, "POST", "/v1/solve", &solve_body)?;
+    let (s2, b2) = serve_request(addr, "POST", "/v1/solve", &solve_body)?;
+    let bit_identical = s1 == 200 && s2 == 200 && b1 == b2;
+    let availability = json::parse(&b1)
+        .ok()
+        .and_then(|v| v.get("system")?.get("availability")?.as_f64())
+        .unwrap_or(f64::NAN);
+
+    // Burst phase: fill the whole admission capacity with deadline-
+    // bounded big-chain solves (they hold their slots for ~1.5 s), then
+    // hammer the gate — every burst attempt while saturated must shed.
+    let mut shed = 0u64;
+    let mut burst_attempts = 0u64;
+    let mut burst_latencies: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| -> Result<(), CliError> {
+        let mut holders = Vec::new();
+        for h in 0..8 {
+            let big = &big;
+            holders.push(scope.spawn(move || {
+                let tenant = format!("holder-{}", h % 2);
+                let body = format!(r#"{{"tenant":"{tenant}","spec":"{big}","deadline_ms":1500}}"#);
+                serve_request(addr, "POST", "/v1/solve", &body)
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let probe = format!(r#"{{"tenant":"burst","spec":"{small}"}}"#);
+        for _ in 0..40 {
+            let t = Instant::now();
+            let (status, _body) = serve_request(addr, "POST", "/v1/solve", &probe)?;
+            burst_latencies.push(t.elapsed().as_secs_f64() * 1e3);
+            burst_attempts += 1;
+            if status == 429 {
+                shed += 1;
+            }
+        }
+        for h in holders {
+            // Holders end typed (504 deadline after ~1.5 s, or 200 if
+            // this machine somehow solved 10^5 states in time).
+            let _ = h
+                .join()
+                .map_err(|_| CliError::Serve("bench holder thread panicked".to_string()))??;
+        }
+        Ok(())
+    })?;
+    let shed_rate = shed as f64 / burst_attempts.max(1) as f64;
+    burst_latencies.sort_by(f64::total_cmp);
+    let burst_sum: f64 = burst_latencies.iter().sum();
+    stages.push(StageResult {
+        name: "serve_shed_burst",
+        runs: burst_latencies.len(),
+        min_us: burst_latencies.first().copied().unwrap_or(f64::NAN) * 1e3,
+        mean_us: burst_sum / burst_latencies.len().max(1) as f64 * 1e3,
+        max_us: burst_latencies.last().copied().unwrap_or(f64::NAN) * 1e3,
+        cert: None,
+    });
+
+    // Deadline probe: the big chain under a 50 ms budget must abort
+    // with the typed deadline family, promptly.
+    let probe_body = format!(r#"{{"spec":"{big}","deadline_ms":50}}"#);
+    let t = Instant::now();
+    let (probe_status, probe_text) = serve_request(addr, "POST", "/v1/solve", &probe_body)?;
+    let deadline_probe_ms = t.elapsed().as_secs_f64() * 1e3;
+    let deadline_typed = probe_status == 504
+        && json::parse(&probe_text)
+            .ok()
+            .and_then(|v| Some(v.get("error")?.get("kind")?.as_str()? == "deadline"))
+            .unwrap_or(false);
+    stages.push(StageResult {
+        name: "serve_deadline_probe",
+        runs: 1,
+        min_us: deadline_probe_ms * 1e3,
+        mean_us: deadline_probe_ms * 1e3,
+        max_us: deadline_probe_ms * 1e3,
+        cert: None,
+    });
+
+    // Scrape phase: the exposition page must validate.
+    let mut metrics_page_valid = false;
+    stages.push(time_stage("serve_metrics_scrape", profile.iterations, || {
+        let (status, page) = serve_request(addr, "GET", "/metrics", "")?;
+        metrics_page_valid = status == 200 && rascad_obs::prometheus::validate(&page).is_ok();
+        Ok(())
+    })?);
+
+    // Graceful drain: stop the daemon and collect its run summary.
+    handle.shutdown();
+    let summary =
+        runner.join().map_err(|_| CliError::Serve("server thread panicked".to_string()))?;
+
+    let load = ServeLoad {
+        solves,
+        requests: summary.requests,
+        shed,
+        shed_rate,
+        p50_ms: percentile_ms(&latencies_ms, 50.0),
+        p90_ms: percentile_ms(&latencies_ms, 90.0),
+        p99_ms: percentile_ms(&latencies_ms, 99.0),
+        deadline_probe_ms,
+        deadline_typed,
+        metrics_page_valid,
+        bit_identical,
+        drained_clean: summary.drained_clean,
+        availability,
+    };
+    Ok((stages, load))
+}
+
+#[allow(clippy::cast_precision_loss)] // counters stay far below 2^52
+fn serve_load_json(s: &ServeLoad) -> Value {
+    Value::Obj(vec![
+        ("solves".to_string(), Value::from(s.solves)),
+        ("requests".to_string(), Value::from(s.requests as usize)),
+        ("shed".to_string(), Value::from(s.shed as usize)),
+        ("shed_rate".to_string(), Value::Num(s.shed_rate)),
+        ("p50_ms".to_string(), Value::Num(s.p50_ms)),
+        ("p90_ms".to_string(), Value::Num(s.p90_ms)),
+        ("p99_ms".to_string(), Value::Num(s.p99_ms)),
+        ("deadline_probe_ms".to_string(), Value::Num(s.deadline_probe_ms)),
+        ("deadline_typed".to_string(), Value::from(s.deadline_typed)),
+        ("metrics_page_valid".to_string(), Value::from(s.metrics_page_valid)),
+        ("bit_identical".to_string(), Value::from(s.bit_identical)),
+        ("drained_clean".to_string(), Value::from(s.drained_clean)),
+        ("availability".to_string(), Value::Num(s.availability)),
+    ])
+}
+
 fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
     // Capture telemetry through the obs layer unless the user already
     // routed it elsewhere with --trace/--timings (then the document's
@@ -708,14 +1017,14 @@ fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
     }
     let guard = CaptureGuard { active: own_subscriber };
 
-    let (stages, checks, scaling, large) = if args.sweep {
+    let (stages, checks, scaling, large, serve) = if args.sweep {
         let (stages, scaling) = run_sweep_stages(&args.profile)?;
         let checks = Checks {
             availability: scaling.availability,
             yearly_downtime_minutes: scaling.yearly_downtime_minutes,
             sim_availability: f64::NAN,
         };
-        (stages, checks, Some(scaling), None)
+        (stages, checks, Some(scaling), None, None)
     } else if args.large {
         let (stages, large) = run_large_stages(&args.profile)?;
         let checks = Checks {
@@ -725,10 +1034,20 @@ fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
                 * 60.0,
             sim_availability: f64::NAN,
         };
-        (stages, checks, None, Some(large))
+        (stages, checks, None, Some(large), None)
+    } else if args.serve {
+        let (stages, serve) = run_serve_stages(&args.profile)?;
+        let checks = Checks {
+            availability: serve.availability,
+            yearly_downtime_minutes: (1.0 - serve.availability)
+                * rascad_spec::units::Hours::PER_YEAR
+                * 60.0,
+            sim_availability: f64::NAN,
+        };
+        (stages, checks, None, None, Some(serve))
     } else {
         let (stages, checks) = run_stages(&args.profile)?;
-        (stages, checks, None, None)
+        (stages, checks, None, None, None)
     };
 
     if own_subscriber {
@@ -736,8 +1055,16 @@ fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
     }
     drop(guard);
 
-    let mut doc =
-        document(args, &stages, &checks, scaling.as_ref(), large.as_ref(), &tree, &metrics);
+    let mut doc = document(
+        args,
+        &stages,
+        &checks,
+        scaling.as_ref(),
+        large.as_ref(),
+        serve.as_ref(),
+        &tree,
+        &metrics,
+    );
 
     let mut compare_report = None;
     if let Some(base_path) = &args.compare {
@@ -780,6 +1107,7 @@ fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
         &checks,
         scaling.as_ref(),
         large.as_ref(),
+        serve.as_ref(),
         compare_report.as_deref(),
         out_path.as_deref(),
     ))
@@ -789,12 +1117,14 @@ fn run_suite(args: &BenchArgs) -> Result<String, CliError> {
 // Document
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)] // one optional section per workload
 fn document(
     args: &BenchArgs,
     stages: &[StageResult],
     checks: &Checks,
     scaling: Option<&SweepScaling>,
     large: Option<&LargeScaling>,
+    serve: Option<&ServeLoad>,
     tree: &Arc<Mutex<SpanTreeAgg>>,
     metrics: &Arc<Mutex<Option<MetricsSummary>>>,
 ) -> Value {
@@ -856,10 +1186,10 @@ fn document(
         ("availability".to_string(), Value::Num(checks.availability)),
         ("yearly_downtime_minutes".to_string(), Value::Num(checks.yearly_downtime_minutes)),
     ];
-    if scaling.is_none() && large.is_none() {
-        // The sweep-scaling and large-state-space workloads run no
-        // simulator stage, so their documents omit the key rather than
-        // recording a null.
+    if scaling.is_none() && large.is_none() && serve.is_none() {
+        // The sweep-scaling, large-state-space, and service workloads
+        // run no simulator stage, so their documents omit the key
+        // rather than recording a null.
         checks_fields.push(("sim_availability".to_string(), Value::Num(checks.sim_availability)));
     }
     let checks_json = Value::Obj(checks_fields);
@@ -881,6 +1211,9 @@ fn document(
     }
     if let Some(l) = large {
         fields.push(("large_scaling".to_string(), large_scaling_json(l)));
+    }
+    if let Some(s) = serve {
+        fields.push(("serve_load".to_string(), serve_load_json(s)));
     }
     Value::Obj(fields)
 }
@@ -1053,6 +1386,69 @@ fn check_document(doc: &Value) -> Result<(String, String, usize), String> {
         let residual = cert.get("residual").and_then(Value::as_f64).unwrap_or(f64::NAN);
         if residual.is_nan() || residual >= 1e-9 {
             return Err(format!("`large_sparse` certified residual {residual} is not < 1e-9"));
+        }
+    }
+    if let Some(serve) = doc.get("serve_load") {
+        serve.as_object().ok_or("`serve_load` is not an object")?;
+        for key in [
+            "solves",
+            "requests",
+            "shed",
+            "shed_rate",
+            "p50_ms",
+            "p90_ms",
+            "p99_ms",
+            "deadline_probe_ms",
+            "availability",
+        ] {
+            let v = serve
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("serve_load missing numeric `{key}`"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("serve_load has bad `{key}`: {v}"));
+            }
+        }
+        for key in ["deadline_typed", "metrics_page_valid", "bit_identical", "drained_clean"] {
+            let flag = serve
+                .get(key)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("serve_load missing `{key}`"))?;
+            if !flag {
+                return Err(format!("serve_load records {key} = false"));
+            }
+        }
+        // The robustness claims the workload exists to make — scale,
+        // shedding, typed deadlines — are machine-independent, so they
+        // gate validation outright (latency numbers never do).
+        let num = |key: &str| serve.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        if num("solves") < 1000.0 {
+            return Err(format!(
+                "serve_load ran only {} solves; the workload exists to demonstrate >= 1000",
+                num("solves")
+            ));
+        }
+        if num("requests") < num("solves") {
+            return Err("serve_load answered fewer requests than solves".to_string());
+        }
+        if num("shed") < 1.0 || num("shed_rate") <= 0.0 || num("shed_rate") > 1.0 {
+            return Err(format!(
+                "serve_load must shed under the saturating burst (shed {}, rate {})",
+                num("shed"),
+                num("shed_rate")
+            ));
+        }
+        if !(num("p50_ms") <= num("p90_ms") && num("p90_ms") <= num("p99_ms")) {
+            return Err("serve_load latency percentiles are not monotone".to_string());
+        }
+        let avail = num("availability");
+        if !(avail > 0.0 && avail <= 1.0) {
+            return Err(format!("serve_load availability {avail} is not in (0, 1]"));
+        }
+        for stage in ["serve_solve", "serve_shed_burst", "serve_deadline_probe"] {
+            if !stages.iter().any(|s| s.get("name").and_then(Value::as_str) == Some(stage)) {
+                return Err(format!("serve_load document has no `{stage}` stage"));
+            }
         }
     }
     Ok((label.to_string(), profile.to_string(), stages.len()))
@@ -1348,12 +1744,14 @@ fn compare_json(outcome: &CompareOutcome, base_path: &str, args: &BenchArgs) -> 
 // Human report
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)] // one optional section per workload
 fn render_human(
     args: &BenchArgs,
     stages: &[StageResult],
     checks: &Checks,
     scaling: Option<&SweepScaling>,
     large: Option<&LargeScaling>,
+    serve: Option<&ServeLoad>,
     compare_report: Option<&str>,
     out_path: Option<&str>,
 ) -> String {
@@ -1417,6 +1815,31 @@ fn render_human(
             out,
             "  lump proof: {} -> {} states, max classwise delta {:.2e}",
             l.lump_full_states, l.lump_states, l.lump_max_delta
+        );
+        let _ = writeln!(
+            out,
+            "checks: availability {:.9} ({:.1} min/y downtime)",
+            checks.availability, checks.yearly_downtime_minutes
+        );
+    } else if let Some(s) = serve {
+        let _ = writeln!(
+            out,
+            "serve load: {} solve(s) across {} request(s), latency p50 {:.1} / p90 {:.1} / \
+             p99 {:.1} ms",
+            s.solves, s.requests, s.p50_ms, s.p90_ms, s.p99_ms
+        );
+        let _ = writeln!(
+            out,
+            "  shed under burst: {} ({:.1}% of requests), responses bit-identical: {}",
+            s.shed,
+            100.0 * s.shed_rate,
+            s.bit_identical
+        );
+        let _ = writeln!(
+            out,
+            "  50 ms deadline probe: typed deadline error {} in {:.1} ms; metrics page valid: \
+             {}, drain clean: {}",
+            s.deadline_typed, s.deadline_probe_ms, s.metrics_page_valid, s.drained_clean
         );
         let _ = writeln!(
             out,
@@ -1624,8 +2047,51 @@ mod tests {
     }
 
     #[test]
-    fn sweep_and_large_are_mutually_exclusive() {
-        assert!(matches!(bench(&["--sweep", "--large"]), Err(CliError::Usage(_))));
+    fn serve_mode_emits_serve_load_section() {
+        let _lock = obs_test_lock();
+        let out = run_bench(&["--serve", "--quick", "--json"]).unwrap();
+        let doc = json::parse(&out).unwrap();
+        let (label, profile, n) = check_document(&doc).unwrap();
+        assert_eq!(label, "serve");
+        assert_eq!(profile, "quick");
+        assert_eq!(n, 4);
+
+        let names: Vec<&str> = doc
+            .get("stages")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            ["serve_solve", "serve_shed_burst", "serve_deadline_probe", "serve_metrics_scrape"]
+        );
+
+        // check_document already gated the structural claims (>= 1000
+        // solves, shed under burst, typed deadline, valid metrics page,
+        // bit-identical responses, clean drain); pin the workload shape.
+        let load = doc.get("serve_load").unwrap();
+        assert!(load.get("solves").unwrap().as_i64().unwrap() >= 1000);
+        assert_eq!(load.get("deadline_typed").unwrap().as_bool(), Some(true));
+        assert_eq!(load.get("drained_clean").unwrap().as_bool(), Some(true));
+
+        // No simulator stage ran, so the checks omit its key.
+        assert!(doc.get("checks").unwrap().get("sim_availability").is_none());
+        assert!(doc.get("checks").unwrap().get("availability").unwrap().as_f64().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn workload_flags_are_mutually_exclusive() {
+        for combo in [
+            &["--sweep", "--large"][..],
+            &["--sweep", "--serve"],
+            &["--large", "--serve"],
+            &["--sweep", "--large", "--serve"],
+        ] {
+            assert!(matches!(bench(combo), Err(CliError::Usage(_))), "{combo:?}");
+        }
     }
 
     #[test]
@@ -1774,6 +2240,7 @@ mod tests {
             residual_floor: DEFAULT_RESIDUAL_FLOOR,
             sweep: false,
             large: false,
+            serve: false,
         };
         let baseline = mk(
             &[
@@ -1852,6 +2319,7 @@ mod tests {
             residual_floor: DEFAULT_RESIDUAL_FLOOR,
             sweep: false,
             large: false,
+            serve: false,
         };
         let baseline = mk(&[
             ("blown", 1e-12, "ok"),

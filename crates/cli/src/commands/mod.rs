@@ -9,6 +9,7 @@ use std::fmt;
 mod bench;
 mod fielddata;
 mod lint;
+mod serve;
 mod simulate;
 mod solve;
 mod stats;
@@ -39,6 +40,9 @@ pub enum CliError {
     /// `main` prints the carried report to stdout (it is still the
     /// command's useful output) and the classification to stderr.
     Partial(String),
+    /// `serve` could not bind, or shut down without draining every
+    /// in-flight request inside the drain timeout. Exit code 9.
+    Serve(String),
 }
 
 impl CliError {
@@ -57,6 +61,7 @@ impl CliError {
             CliError::Regression(_) => 6,
             CliError::Lint(_) => 7,
             CliError::Partial(_) => 8,
+            CliError::Serve(_) => 9,
         }
     }
 }
@@ -79,6 +84,7 @@ impl fmt::Display for CliError {
             CliError::Partial(_) => {
                 f.write_str("partial result: some blocks failed to solve (best-effort mode)")
             }
+            CliError::Serve(msg) => write!(f, "serve failed: {msg}"),
         }
     }
 }
@@ -89,7 +95,8 @@ impl std::error::Error for CliError {
             CliError::Usage(_)
             | CliError::Regression(_)
             | CliError::Lint(_)
-            | CliError::Partial(_) => None,
+            | CliError::Partial(_)
+            | CliError::Serve(_) => None,
             CliError::Spec(e) => Some(e),
             CliError::Solver(e) => Some(e),
             CliError::Io { source, .. } => Some(source),
@@ -193,6 +200,18 @@ COMMANDS:
                                         the sweep-scaling workload instead (solve engine vs
                                         the sequential baseline, cache stats, bit-identity)
     bench --validate <file.json>        check that a BENCH document parses and is schema-valid
+    bench --serve [--validate] [--out F] [--label L]
+                                        load-test an in-process daemon (>=1k solves, bursts,
+                                        deadline probe) and write BENCH_serve.json with the
+                                        latency histogram and shed rate
+    serve [--addr HOST:PORT] [--max-inflight N] [--max-per-tenant N] [--retry-after SECS]
+          [--max-specs N] [--drain-secs N] [--metrics-final FILE]
+                                        run the availability-model daemon: POST /v1/specs
+                                        (multi-tenant spec store), /v1/solve (deadline_ms,
+                                        best_effort), /v1/sweep, /v1/lint; GET /metrics,
+                                        /healthz, /readyz; bounded admission sheds 429 +
+                                        Retry-After; SIGTERM drains in-flight solves and
+                                        exits 0 (unclean drain or bind failure exits 9)
     library [name]                      print a library model as DSL
                                         (names: datacenter, e10000, cluster, workgroup)
     reference                           print the DSL parameter reference (Markdown)
@@ -202,6 +221,7 @@ EXIT CODES:
     0 success   2 usage   3 invalid spec   4 solver failure   5 I/O error
     6 performance regression (bench --compare)   7 blocking lint diagnostics
     8 partial result (solve --best-effort with failed blocks)
+    9 serve failure (bind error or unclean drain)
 ";
 
 /// Observability options stripped from the command line before
@@ -426,6 +446,10 @@ fn dispatch(args: &[&str], lint_enabled: bool) -> Result<String, CliError> {
         Some("bench") => {
             let rest: Vec<&str> = it.collect();
             bench::bench(&rest)
+        }
+        Some("serve") => {
+            let rest: Vec<&str> = it.collect();
+            serve::serve(&rest)
         }
         Some("library") => {
             let name = it.next().unwrap_or("datacenter");

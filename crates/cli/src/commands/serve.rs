@@ -1,0 +1,139 @@
+//! `rascad serve` — run the availability-model daemon.
+//!
+//! Thin argument shim over [`rascad_serve::Server`]: parse flags into a
+//! [`rascad_serve::ServeConfig`], bind, wire SIGTERM/SIGINT to the
+//! graceful-shutdown handle, and serve until asked to stop. The run
+//! summary (requests, sheds, failures, drain outcome) is the command's
+//! output; a bind failure or an unclean drain exits 9.
+
+use std::time::Duration;
+
+use rascad_serve::{ServeConfig, Server};
+
+use super::CliError;
+
+/// Parses `serve` arguments into a config.
+fn parse_args(args: &[&str]) -> Result<ServeConfig, CliError> {
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter().copied();
+    while let Some(a) = it.next() {
+        let mut value =
+            |flag: &str| it.next().ok_or_else(|| CliError::usage(format!("{flag} needs a value")));
+        match a {
+            "--addr" => cfg.addr = value("--addr")?.to_string(),
+            "--max-inflight" => {
+                cfg.admission.max_inflight = parse_positive(value("--max-inflight")?, a)?;
+            }
+            "--max-per-tenant" => {
+                cfg.admission.max_per_tenant = parse_positive(value("--max-per-tenant")?, a)?;
+            }
+            "--retry-after" => {
+                cfg.admission.retry_after_secs = parse_positive(value("--retry-after")?, a)?;
+            }
+            "--max-specs" => {
+                cfg.max_specs_per_tenant = parse_positive(value("--max-specs")?, a)?;
+            }
+            "--drain-secs" => {
+                cfg.drain_timeout = Duration::from_secs(parse_positive(value("--drain-secs")?, a)?);
+            }
+            "--metrics-final" => {
+                cfg.final_metrics_out = Some(std::path::PathBuf::from(value("--metrics-final")?));
+            }
+            other => {
+                return Err(CliError::usage(format!("unknown serve option `{other}`")));
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+fn parse_positive<T: std::str::FromStr + PartialOrd + Default>(
+    s: &str,
+    flag: &str,
+) -> Result<T, CliError> {
+    s.parse()
+        .ok()
+        .filter(|n| *n > T::default())
+        .ok_or_else(|| CliError::usage(format!("bad value for {flag}: `{s}`")))
+}
+
+/// Runs the daemon until SIGTERM/SIGINT. Blocks the calling thread.
+pub fn serve(args: &[&str]) -> Result<String, CliError> {
+    let cfg = parse_args(args)?;
+    let server = Server::bind(cfg).map_err(|e| CliError::Serve(format!("cannot bind: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::Serve(format!("cannot read bound address: {e}")))?;
+    eprintln!("rascad serve: listening on http://{addr} (SIGTERM drains and exits)");
+    rascad_serve::server::signal::install(server.shutdown_handle());
+    let summary = server.run();
+    let report = format!(
+        "serve: {} request(s), {} shed, {} failure(s), drain {}\n",
+        summary.requests,
+        summary.shed,
+        summary.failures,
+        if summary.drained_clean { "clean" } else { "timed out" },
+    );
+    if summary.drained_clean {
+        Ok(report)
+    } else {
+        Err(CliError::Serve(format!("{report}in-flight requests outlived the drain timeout")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_into_the_config() {
+        let cfg = parse_args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--max-inflight",
+            "3",
+            "--max-per-tenant",
+            "2",
+            "--retry-after",
+            "9",
+            "--max-specs",
+            "5",
+            "--drain-secs",
+            "12",
+            "--metrics-final",
+            "/tmp/final.prom",
+        ])
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.admission.max_inflight, 3);
+        assert_eq!(cfg.admission.max_per_tenant, 2);
+        assert_eq!(cfg.admission.retry_after_secs, 9);
+        assert_eq!(cfg.max_specs_per_tenant, 5);
+        assert_eq!(cfg.drain_timeout, Duration::from_secs(12));
+        assert_eq!(cfg.final_metrics_out.as_deref(), Some(std::path::Path::new("/tmp/final.prom")));
+    }
+
+    #[test]
+    fn bad_flags_are_usage_errors() {
+        for bad in [
+            &["--max-inflight", "0"][..],
+            &["--max-inflight", "x"],
+            &["--drain-secs"],
+            &["--frobnicate"],
+        ] {
+            let err = parse_args(bad).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn bind_failure_is_a_serve_error() {
+        // `Server::bind` touches the process-global obs registry;
+        // serialize with the other registry-installing tests.
+        let _lock = super::super::obs_test_lock();
+        // An unresolvable bind address fails regardless of privileges.
+        let err = serve(&["--addr", "definitely-not-an-address"]).unwrap_err();
+        assert_eq!(err.exit_code(), 9);
+        assert!(matches!(err, CliError::Serve(_)));
+    }
+}

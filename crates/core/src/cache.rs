@@ -23,9 +23,10 @@
 //! * Lock poisoning is recovered, not propagated: a worker that
 //!   panicked while holding the lock can only have left the maps in a
 //!   consistent state (every critical section is a single HashMap
-//!   operation), and the engine wipes the cache after any panicked
-//!   batch anyway — so surviving workers must not be taken down by a
-//!   poisoned mutex.
+//!   operation), and the engine evicts every entry inserted by a
+//!   panicked batch's generation anyway — so surviving workers must
+//!   not be taken down by a poisoned mutex, and entries warmed by
+//!   earlier clean batches stay resident across the incident.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,9 +37,7 @@ use rascad_markov::{Ctmc, Fingerprint, SteadyStateMethod};
 use crate::certify::{SolutionCertificate, Verdict};
 use crate::error::CoreError;
 use crate::generator::BlockModel;
-use crate::measures::{
-    interval_measures, reliability_measures, steady_state_measures_with_certificate, BlockMeasures,
-};
+use crate::measures::{interval_measures, reliability_measures, BlockMeasures};
 
 /// Mission-horizon measures of one chain, the per-block inputs to the
 /// system-level mission roll-up.
@@ -100,11 +99,16 @@ struct SteadyEntry {
     chain: Ctmc,
     measures: BlockMeasures,
     certificate: SolutionCertificate,
+    /// Engine solve-batch generation that inserted this entry; panic
+    /// invalidation is scoped to one generation (see
+    /// [`SolveCache::evict_generation`]).
+    generation: u64,
 }
 
 struct MissionEntry {
     chain: Ctmc,
     measures: MissionMeasures,
+    generation: u64,
 }
 
 struct Maps {
@@ -175,6 +179,27 @@ impl SolveCache {
         maps.mission.clear();
     }
 
+    /// Drops only the entries inserted by solve-batch `generation` —
+    /// the panic-invalidation path. A worker panic taints at most the
+    /// batch it ran in; entries warmed by earlier (clean) batches stay
+    /// resident, so one poisoned tenant spec cannot evict a long-lived
+    /// server's warm cross-request cache.
+    pub fn evict_generation(&self, generation: u64) {
+        let mut maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        maps.steady.retain(|_, e| e.generation != generation);
+        maps.mission.retain(|_, e| e.generation != generation);
+        rascad_obs::gauge_set(
+            "core.cache.entries",
+            &[("kind", "steady")],
+            maps.steady.len() as f64,
+        );
+        rascad_obs::gauge_set(
+            "core.cache.entries",
+            &[("kind", "mission")],
+            maps.mission.len() as f64,
+        );
+    }
+
     fn note_hit(&self, kind: &str) {
         self.hits.fetch_add(1, Ordering::Relaxed);
         rascad_obs::counter_with("core.cache.hits", &[("kind", kind)], 1);
@@ -213,6 +238,27 @@ impl SolveCache {
         model: &BlockModel,
         method: SteadyStateMethod,
     ) -> Result<(BlockMeasures, SolutionCertificate), CoreError> {
+        self.steady_certified_with(model, method, &rascad_markov::SolveOptions::default(), 0)
+    }
+
+    /// [`SolveCache::steady_certified`] with caller-supplied solve
+    /// budgets and the engine batch `generation` tagging any insert.
+    /// Hits are options-blind — a stored solution is bit-identical no
+    /// matter what budget computed it — while misses solve under the
+    /// caller's deadline/cancellation budgets; errors (including
+    /// cancellations) are never cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and certification errors; errors are never
+    /// cached.
+    pub fn steady_certified_with(
+        &self,
+        model: &BlockModel,
+        method: SteadyStateMethod,
+        options: &rascad_markov::SolveOptions,
+        generation: u64,
+    ) -> Result<(BlockMeasures, SolutionCertificate), CoreError> {
         let key = (model.chain.fingerprint(), method);
         {
             let maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -224,14 +270,20 @@ impl SolveCache {
             }
         }
         self.note_miss("steady");
-        let (measures, certificate) = steady_state_measures_with_certificate(model, method)?;
+        let (measures, certificate) =
+            crate::measures::steady_state_measures_with_certificate_opts(model, method, options)?;
         let mut maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if maps.steady.len() >= self.capacity {
             maps.steady.clear();
         }
         maps.steady.insert(
             key,
-            SteadyEntry { chain: model.chain.clone(), measures, certificate: certificate.clone() },
+            SteadyEntry {
+                chain: model.chain.clone(),
+                measures,
+                certificate: certificate.clone(),
+                generation,
+            },
         );
         rascad_obs::gauge_set(
             "core.cache.entries",
@@ -253,6 +305,21 @@ impl SolveCache {
         model: &BlockModel,
         mission_hours: f64,
     ) -> Result<MissionMeasures, CoreError> {
+        self.mission_with(model, mission_hours, 0)
+    }
+
+    /// [`SolveCache::mission`] with the engine batch `generation`
+    /// tagging any insert (see [`SolveCache::evict_generation`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; errors are never cached.
+    pub fn mission_with(
+        &self,
+        model: &BlockModel,
+        mission_hours: f64,
+        generation: u64,
+    ) -> Result<MissionMeasures, CoreError> {
         let key = (model.chain.fingerprint(), mission_hours.to_bits());
         {
             let maps = self.maps.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -269,7 +336,7 @@ impl SolveCache {
         if maps.mission.len() >= self.capacity {
             maps.mission.clear();
         }
-        maps.mission.insert(key, MissionEntry { chain: model.chain.clone(), measures });
+        maps.mission.insert(key, MissionEntry { chain: model.chain.clone(), measures, generation });
         rascad_obs::gauge_set(
             "core.cache.entries",
             &[("kind", "mission")],
@@ -306,6 +373,7 @@ impl SolveCache {
                 chain: wrong_chain,
                 measures: wrong_measures,
                 certificate: bogus_certificate,
+                generation: 0,
             },
         );
     }
@@ -396,6 +464,28 @@ mod tests {
         assert_eq!(fresh_cert.verdict, Verdict::Ok);
         assert_eq!(fresh_cert.method, "gth");
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn evict_generation_is_scoped_to_its_batch() {
+        let cache = SolveCache::new();
+        let warm = model(10_000.0);
+        let tainted = model(20_000.0);
+        let opts = rascad_markov::SolveOptions::default();
+        // Generation 1 warms the cache cleanly; generation 2 inserts
+        // alongside a (hypothetical) panic.
+        cache.steady_certified_with(&warm, SteadyStateMethod::Gth, &opts, 1).unwrap();
+        cache.mission_with(&warm, 8760.0, 1).unwrap();
+        cache.steady_certified_with(&tainted, SteadyStateMethod::Gth, &opts, 2).unwrap();
+        cache.mission_with(&tainted, 8760.0, 2).unwrap();
+        assert_eq!(cache.stats().entries, 4);
+        cache.evict_generation(2);
+        assert_eq!(cache.stats().entries, 2);
+        // The warm generation still hits; the evicted one re-solves.
+        cache.steady_certified_with(&warm, SteadyStateMethod::Gth, &opts, 3).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        cache.steady_certified_with(&tainted, SteadyStateMethod::Gth, &opts, 3).unwrap();
+        assert_eq!(cache.stats().misses, 5);
     }
 
     #[test]

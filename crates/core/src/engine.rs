@@ -28,10 +28,10 @@
 //! loop inline, so a sweep uses exactly `threads` OS threads.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use rascad_markov::SteadyStateMethod;
+use rascad_markov::{MarkovError, SolveOptions, SteadyStateMethod};
 use rascad_spec::{Block, BlockParams, Diagram, GlobalParams, SystemSpec};
 
 use crate::cache::{CacheStats, MissionMeasures, SolveCache};
@@ -40,7 +40,7 @@ use crate::error::{CoreError, EngineError};
 use crate::generator::{generate_block, BlockModel};
 use crate::hierarchy::{BlockSolution, FailedBlock, SystemMeasures, SystemSolution};
 use crate::measures::{
-    steady_state_measures_certified, steady_state_measures_with_certificate, BlockMeasures,
+    steady_state_measures_certified, steady_state_measures_with_certificate_opts, BlockMeasures,
 };
 use crate::solve::ForcedFailure;
 use crate::sweep::SweepPoint;
@@ -196,6 +196,9 @@ pub(crate) enum InjectedFault {
     NanRate,
     /// Force every ladder rung to report a wall-clock timeout.
     Timeout,
+    /// Stall the worker for a real wall-clock delay before solving —
+    /// the chaos probe for request deadlines and cancellation.
+    Delay(std::time::Duration),
 }
 
 /// The fault the active plan injects at `path`, if any; records the
@@ -209,6 +212,7 @@ fn injected_fault(path: &str) -> Option<InjectedFault> {
         rascad_fault::FaultKind::NotConverged => InjectedFault::NotConverged,
         rascad_fault::FaultKind::NanRate => InjectedFault::NanRate,
         rascad_fault::FaultKind::Timeout => InjectedFault::Timeout,
+        rascad_fault::FaultKind::Delay => InjectedFault::Delay(rascad_fault::delay_for(path)?),
         _ => return None,
     };
     rascad_fault::note_fired(path, kind);
@@ -231,6 +235,11 @@ pub struct Engine {
     /// `None` disables memoization entirely (the sequential reference
     /// configuration).
     cache: Option<SolveCache>,
+    /// Monotonic solve-batch counter. Every `solve_spec*` batch gets
+    /// its own generation, tagged onto cache inserts so a panicked
+    /// batch can be evicted without touching warm entries (see
+    /// [`SolveCache::evict_generation`]).
+    generation: AtomicU64,
 }
 
 impl Default for Engine {
@@ -252,14 +261,22 @@ impl Engine {
     /// Engine with caching on and the dynamic default worker count.
     #[must_use]
     pub fn new() -> Self {
-        Engine { fixed_threads: None, cache: Some(SolveCache::new()) }
+        Engine {
+            fixed_threads: None,
+            cache: Some(SolveCache::new()),
+            generation: AtomicU64::new(0),
+        }
     }
 
     /// Engine with caching on and a pinned worker count (`0` is clamped
     /// to 1).
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        Engine { fixed_threads: Some(threads.max(1)), cache: Some(SolveCache::new()) }
+        Engine {
+            fixed_threads: Some(threads.max(1)),
+            cache: Some(SolveCache::new()),
+            generation: AtomicU64::new(0),
+        }
     }
 
     /// The sequential reference configuration: one thread, no cache.
@@ -267,7 +284,7 @@ impl Engine {
     /// benchmark baseline measure against this.
     #[must_use]
     pub fn sequential() -> Self {
-        Engine { fixed_threads: Some(1), cache: None }
+        Engine { fixed_threads: Some(1), cache: None, generation: AtomicU64::new(0) }
     }
 
     /// The shared process-wide engine used by the module-level
@@ -299,14 +316,23 @@ impl Engine {
         self.cache.as_ref()
     }
 
+    /// The next solve-batch generation (monotonic per engine, never 0
+    /// so the cache's "no generation" default is never evictable by a
+    /// real batch).
+    fn next_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     fn cached_steady(
         &self,
         model: &BlockModel,
         method: SteadyStateMethod,
+        options: &SolveOptions,
+        generation: u64,
     ) -> Result<(BlockMeasures, SolutionCertificate), CoreError> {
         match &self.cache {
-            Some(c) => c.steady_certified(model, method),
-            None => steady_state_measures_with_certificate(model, method),
+            Some(c) => c.steady_certified_with(model, method, options, generation),
+            None => steady_state_measures_with_certificate_opts(model, method, options),
         }
     }
 
@@ -314,9 +340,10 @@ impl Engine {
         &self,
         model: &BlockModel,
         mission_hours: f64,
+        generation: u64,
     ) -> Result<MissionMeasures, CoreError> {
         match &self.cache {
-            Some(c) => c.mission(model, mission_hours),
+            Some(c) => c.mission_with(model, mission_hours, generation),
             None => crate::cache::compute_mission_measures(model, mission_hours),
         }
     }
@@ -333,7 +360,8 @@ impl Engine {
         method: SteadyStateMethod,
     ) -> Result<(BlockModel, BlockMeasures), CoreError> {
         let model = generate_block(params, globals)?;
-        let (measures, _) = self.cached_steady(&model, method)?;
+        let (measures, _) =
+            self.cached_steady(&model, method, &SolveOptions::default(), self.next_generation())?;
         Ok((model, measures))
     }
 
@@ -361,7 +389,27 @@ impl Engine {
         spec: &SystemSpec,
         method: SteadyStateMethod,
     ) -> Result<SystemSolution, CoreError> {
-        self.solve_spec_mode(spec, method, false)
+        self.solve_spec_mode(spec, method, &SolveOptions::default(), false)
+    }
+
+    /// [`solve_spec_with`](Self::solve_spec_with) under caller-supplied
+    /// solve budgets: per-request wall-clock deadlines and cooperative
+    /// cancellation tokens propagate into every solver loop of the
+    /// batch. Cache hits are served regardless of budget (they cost no
+    /// solver work); misses solve under the caller's budgets, and a
+    /// tripped deadline or token surfaces as [`CoreError::Markov`]
+    /// wrapping the typed `Timeout`/`Cancelled` error.
+    ///
+    /// # Errors
+    ///
+    /// As [`solve_spec_with`](Self::solve_spec_with).
+    pub fn solve_spec_with_options(
+        &self,
+        spec: &SystemSpec,
+        method: SteadyStateMethod,
+        options: &SolveOptions,
+    ) -> Result<SystemSolution, CoreError> {
+        self.solve_spec_mode(spec, method, options, false)
     }
 
     /// [`solve_spec_with`](Self::solve_spec_with) in degraded
@@ -382,13 +430,30 @@ impl Engine {
         spec: &SystemSpec,
         method: SteadyStateMethod,
     ) -> Result<SystemSolution, CoreError> {
-        self.solve_spec_mode(spec, method, true)
+        self.solve_spec_mode(spec, method, &SolveOptions::default(), true)
+    }
+
+    /// [`solve_spec_best_effort`](Self::solve_spec_best_effort) under
+    /// caller-supplied solve budgets (see
+    /// [`solve_spec_with_options`](Self::solve_spec_with_options)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] only if the spec itself is invalid.
+    pub fn solve_spec_best_effort_with_options(
+        &self,
+        spec: &SystemSpec,
+        method: SteadyStateMethod,
+        options: &SolveOptions,
+    ) -> Result<SystemSolution, CoreError> {
+        self.solve_spec_mode(spec, method, options, true)
     }
 
     fn solve_spec_mode(
         &self,
         spec: &SystemSpec,
         method: SteadyStateMethod,
+        options: &SolveOptions,
         best_effort: bool,
     ) -> Result<SystemSolution, CoreError> {
         let mut span = rascad_obs::span("core.solve_spec");
@@ -397,6 +462,7 @@ impl Engine {
         span.record("threads", self.threads());
         spec.validate()?;
         let mission = spec.globals.mission_time.0;
+        let generation = self.next_generation();
 
         // Flatten the tree in walk (= solve) order, solve every block
         // independently (with per-item panic isolation), then recombine
@@ -404,7 +470,7 @@ impl Engine {
         let mut flat: Vec<(usize, String, &Block)> = Vec::new();
         spec.root.walk(&mut |level, path, block| flat.push((level, path.to_string(), block)));
         let results = par_map_caught(&flat, self.threads(), |_, (level, path, block)| {
-            self.solve_one(*level, path, block, &spec.globals, method, mission)
+            self.solve_one(*level, path, block, &spec.globals, method, mission, options, generation)
         });
         let mut any_panic = false;
         let mut tasks: Vec<Option<Result<SolvedBlock, FailedBlock>>> =
@@ -431,10 +497,13 @@ impl Engine {
             tasks.push(Some(item));
         }
         // A panicking worker may have died midway through a cache
-        // insert path; results computed in the same generation as a
-        // panic are never served again.
+        // insert path; entries inserted by this batch's generation are
+        // never served again, while warm entries from earlier clean
+        // batches keep their hits.
         if any_panic {
-            self.clear_cache();
+            if let Some(cache) = &self.cache {
+                cache.evict_generation(generation);
+            }
         }
         if !best_effort {
             if let Some(f) =
@@ -501,6 +570,7 @@ impl Engine {
         Ok(SystemSolution { system, blocks, failed })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn solve_one(
         &self,
         level: usize,
@@ -509,6 +579,8 @@ impl Engine {
         globals: &GlobalParams,
         method: SteadyStateMethod,
         mission: f64,
+        options: &SolveOptions,
+        generation: u64,
     ) -> Result<SolvedBlock, CoreError> {
         let mut span = rascad_obs::span("core.solve_block");
         span.record("path", path);
@@ -517,28 +589,52 @@ impl Engine {
         if fault == Some(InjectedFault::Panic) {
             panic!("injected fault: forced worker panic at {path}");
         }
+        if let Some(InjectedFault::Delay(stall)) = fault {
+            // A delay fault is a stall, not a failure: the worker sleeps
+            // (exercising deadlines, admission queues, and slow-path
+            // telemetry downstream) and then solves normally.
+            span.record("delay_ms", stall.as_millis() as f64);
+            std::thread::sleep(stall);
+        }
         let model = generate_block(&block.params, globals)?;
         span.record("states", model.state_count());
         // Injected solver faults bypass the cache entirely: no read (the
         // fault must fire even when an identical clean chain is cached)
         // and no write (a forced failure must never poison clean runs).
         let (measures, certificate) = match fault {
-            Some(InjectedFault::NotConverged) => {
-                steady_state_measures_certified(&model, method, Some(ForcedFailure::NotConverged))?
-            }
-            Some(InjectedFault::Timeout) => {
-                steady_state_measures_certified(&model, method, Some(ForcedFailure::Timeout))?
-            }
+            Some(InjectedFault::NotConverged) => steady_state_measures_certified(
+                &model,
+                method,
+                options,
+                Some(ForcedFailure::NotConverged),
+            )?,
+            Some(InjectedFault::Timeout) => steady_state_measures_certified(
+                &model,
+                method,
+                options,
+                Some(ForcedFailure::Timeout),
+            )?,
             Some(InjectedFault::NanRate) => {
                 // Simulate numerical corruption the solver itself cannot
                 // see: the solve succeeds, the distribution is poisoned
                 // to NaN, and residual certification must catch it as a
                 // fail-verdict certificate (CoreError::Certification).
-                steady_state_measures_certified(&model, method, Some(ForcedFailure::NanPi))?
+                steady_state_measures_certified(
+                    &model,
+                    method,
+                    options,
+                    Some(ForcedFailure::NanPi),
+                )?
             }
-            _ => self.cached_steady(&model, method)?,
+            _ => self.cached_steady(&model, method, options, generation)?,
         };
-        let mission_measures = self.cached_mission(&model, mission)?;
+        if options.cancel.as_ref().is_some_and(rascad_markov::CancelToken::is_cancelled) {
+            return Err(CoreError::Markov {
+                block: model.name.clone(),
+                source: MarkovError::Cancelled { method: "mission", iterations: 0 },
+            });
+        }
+        let mission_measures = self.cached_mission(&model, mission, generation)?;
         Ok(SolvedBlock {
             level,
             path: path.to_string(),

@@ -104,7 +104,8 @@ pub(crate) fn steady_state_measures_forced(
     method: SteadyStateMethod,
     forced: Option<crate::solve::ForcedFailure>,
 ) -> Result<BlockMeasures, CoreError> {
-    steady_state_measures_certified(model, method, forced).map(|(measures, _)| measures)
+    steady_state_measures_certified(model, method, &rascad_markov::SolveOptions::default(), forced)
+        .map(|(measures, _)| measures)
 }
 
 /// [`steady_state_measures`] plus the [`SolutionCertificate`] the
@@ -124,21 +125,35 @@ pub fn steady_state_measures_with_certificate(
     model: &BlockModel,
     method: SteadyStateMethod,
 ) -> Result<(BlockMeasures, SolutionCertificate), CoreError> {
-    steady_state_measures_certified(model, method, None)
+    steady_state_measures_certified(model, method, &rascad_markov::SolveOptions::default(), None)
+}
+
+/// [`steady_state_measures_with_certificate`] with caller-supplied
+/// solve budgets — the entry point long-lived callers (the serve
+/// daemon) use to propagate per-request deadlines and cancellation
+/// tokens into the solver loops.
+///
+/// # Errors
+///
+/// As [`steady_state_measures_with_certificate`], plus
+/// [`CoreError::Markov`] wrapping `MarkovError::Cancelled` when the
+/// request's cancellation token trips mid-solve.
+pub fn steady_state_measures_with_certificate_opts(
+    model: &BlockModel,
+    method: SteadyStateMethod,
+    options: &rascad_markov::SolveOptions,
+) -> Result<(BlockMeasures, SolutionCertificate), CoreError> {
+    steady_state_measures_certified(model, method, options, None)
 }
 
 pub(crate) fn steady_state_measures_certified(
     model: &BlockModel,
     method: SteadyStateMethod,
+    options: &rascad_markov::SolveOptions,
     forced: Option<crate::solve::ForcedFailure>,
 ) -> Result<(BlockMeasures, SolutionCertificate), CoreError> {
-    let outcome = crate::solve::steady_state_ladder_outcome(
-        &model.chain,
-        method,
-        &rascad_markov::SolveOptions::default(),
-        forced,
-    )
-    .map_err(|source| CoreError::Markov { block: model.name.clone(), source })?;
+    let outcome = crate::solve::steady_state_ladder_outcome(&model.chain, method, options, forced)
+        .map_err(|source| CoreError::Markov { block: model.name.clone(), source })?;
     let mut pi = outcome.pi;
     if forced == Some(crate::solve::ForcedFailure::NanPi) {
         // Injected numerical corruption *after* a successful solve: the

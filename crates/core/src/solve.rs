@@ -336,7 +336,8 @@ mod tests {
         let chain = two_state();
         // One iteration can never converge; the ladder must recover via
         // LU and produce the same distribution a direct solve gives.
-        let opts = SolveOptions { max_iterations: Some(1), wall_clock: None, tolerance: 1e-14 };
+        let opts =
+            SolveOptions { max_iterations: Some(1), wall_clock: None, ..SolveOptions::default() };
         let pi = steady_state_ladder(&chain, SteadyStateMethod::Power, &opts).unwrap();
         let direct = chain.steady_state(SteadyStateMethod::Lu).unwrap();
         assert_eq!(pi, direct);
@@ -345,7 +346,8 @@ mod tests {
     #[test]
     fn ladder_outcome_carries_method_and_trail() {
         let chain = two_state();
-        let opts = SolveOptions { max_iterations: Some(1), wall_clock: None, tolerance: 1e-14 };
+        let opts =
+            SolveOptions { max_iterations: Some(1), wall_clock: None, ..SolveOptions::default() };
         let out =
             steady_state_ladder_outcome(&chain, SteadyStateMethod::Power, &opts, None).unwrap();
         assert_eq!(out.method, "lu");

@@ -223,16 +223,49 @@ fn injected_blocks_bypass_the_cache_and_panic_generations_are_dropped() {
         assert_eq!(sol.failed[0].path, "Sys/A");
     }
 
-    // A panic generation wipes the cache entirely.
+    // A panic evicts only entries inserted by the panicked batch: the
+    // warm entries from the earlier clean generation survive untouched.
+    let warm = engine.cache_stats().entries;
     {
         let _g = PlanGuard::install(FaultPlan::single("Sys/B", FaultKind::Panic));
         let _ = engine.solve_spec_best_effort(&s, SteadyStateMethod::Gth).unwrap();
     }
-    assert_eq!(engine.cache_stats().entries, 0, "panic generation must clear the cache");
+    assert_eq!(
+        engine.cache_stats().entries,
+        warm,
+        "warm generations must survive a later batch's panic"
+    );
+
+    // A fresh engine panicking on its very first batch keeps nothing:
+    // everything it inserted shares the panicked generation.
+    let fresh = Engine::with_threads(2);
+    {
+        let _g = PlanGuard::install(FaultPlan::single("Sys/B", FaultKind::Panic));
+        let _ = fresh.solve_spec_best_effort(&s, SteadyStateMethod::Gth).unwrap();
+    }
+    assert_eq!(fresh.cache_stats().entries, 0, "panicked batch's own inserts must be dropped");
 
     // And the next clean solve still reproduces the reference exactly.
     let again = engine.solve_spec(&s).unwrap();
     assert_eq!(again, clean);
+}
+
+#[test]
+fn delay_fault_stalls_the_worker_but_never_changes_the_numbers() {
+    let _l = lock();
+    let s = spec();
+    let clean = Engine::sequential().solve_spec(&s).unwrap();
+
+    let _g = PlanGuard::install(FaultPlan::single("Sys/B", FaultKind::Delay));
+    let t0 = std::time::Instant::now();
+    let sol = Engine::with_threads(4).solve_spec(&s).unwrap();
+    // The seeded fallback delay is at least 10 ms; a stall is not a
+    // failure, so the solve succeeds bit-identically to the clean run.
+    assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+    assert_eq!(sol, clean);
+
+    let fired = rascad_fault::fired();
+    assert!(fired.iter().any(|(p, k)| p == "Sys/B" && *k == FaultKind::Delay), "{fired:?}");
 }
 
 #[test]

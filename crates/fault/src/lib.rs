@@ -28,7 +28,13 @@
 //! [[inject]]
 //! block = "Server Box/CPU Module"   # block path; the root diagram
 //!                                   # name may be included or omitted
-//! kind = "panic"                    # panic | not-converged | nan-rate | timeout
+//! kind = "panic"                    # panic | not-converged | nan-rate | timeout | delay
+//!
+//! [[inject]]
+//! block = "Server Box/Disk"
+//! kind = "delay"                    # stall the worker before solving
+//! ms = 25                           # optional; defaults to a seeded,
+//!                                   # path-keyed duration
 //! ```
 //!
 //! # Example
@@ -67,6 +73,12 @@ pub enum FaultKind {
     /// Force every rung of the solver fallback ladder to report a
     /// wall-clock budget timeout (no real time is spent).
     Timeout,
+    /// Stall the worker for a real wall-clock delay before solving the
+    /// block — the chaos probe for deadline/cancellation paths. The
+    /// duration is the entry's explicit `ms`, else a deterministic
+    /// seeded value keyed by the block path (see
+    /// [`FaultPlan::delay_for`]).
+    Delay,
 }
 
 impl FaultKind {
@@ -78,6 +90,7 @@ impl FaultKind {
             FaultKind::NotConverged => "not-converged",
             FaultKind::NanRate => "nan-rate",
             FaultKind::Timeout => "timeout",
+            FaultKind::Delay => "delay",
         }
     }
 
@@ -87,6 +100,7 @@ impl FaultKind {
             "not-converged" | "notconverged" => Some(FaultKind::NotConverged),
             "nan-rate" | "nan" => Some(FaultKind::NanRate),
             "timeout" => Some(FaultKind::Timeout),
+            "delay" => Some(FaultKind::Delay),
             _ => None,
         }
     }
@@ -108,6 +122,9 @@ pub struct Injection {
     pub block: String,
     /// The fault to inject.
     pub kind: FaultKind,
+    /// Explicit delay duration for [`FaultKind::Delay`] entries;
+    /// `None` falls back to the seeded, path-keyed default.
+    pub delay_ms: Option<u64>,
 }
 
 /// A parsed fault-injection plan.
@@ -144,21 +161,24 @@ impl FaultPlan {
     /// `[[inject]]`, comments, or blank.
     pub fn parse(text: &str) -> Result<FaultPlan, PlanError> {
         let mut plan = FaultPlan::default();
-        // (block, kind, line the entry started on)
-        let mut open: Option<(Option<String>, Option<FaultKind>, usize)> = None;
+        // (block, kind, delay ms, line the entry started on)
+        type Open = (Option<String>, Option<FaultKind>, Option<u64>, usize);
+        let mut open: Option<Open> = None;
         let err = |line: usize, message: String| PlanError { line, message };
-        let close = |open: &mut Option<(Option<String>, Option<FaultKind>, usize)>,
-                     entries: &mut Vec<Injection>|
-         -> Result<(), PlanError> {
-            if let Some((block, kind, at)) = open.take() {
-                let block =
-                    block.ok_or_else(|| err(at, "entry is missing `block = \"...\"`".into()))?;
-                let kind =
-                    kind.ok_or_else(|| err(at, "entry is missing `kind = \"...\"`".into()))?;
-                entries.push(Injection { block, kind });
-            }
-            Ok(())
-        };
+        let close =
+            |open: &mut Option<Open>, entries: &mut Vec<Injection>| -> Result<(), PlanError> {
+                if let Some((block, kind, delay_ms, at)) = open.take() {
+                    let block = block
+                        .ok_or_else(|| err(at, "entry is missing `block = \"...\"`".into()))?;
+                    let kind =
+                        kind.ok_or_else(|| err(at, "entry is missing `kind = \"...\"`".into()))?;
+                    if delay_ms.is_some() && kind != FaultKind::Delay {
+                        return Err(err(at, "`ms` is only valid for kind = \"delay\"".into()));
+                    }
+                    entries.push(Injection { block, kind, delay_ms });
+                }
+                Ok(())
+            };
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -167,7 +187,7 @@ impl FaultPlan {
             }
             if line == "[[inject]]" {
                 close(&mut open, &mut plan.entries)?;
-                open = Some((None, None, lineno));
+                open = Some((None, None, None, lineno));
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -201,8 +221,16 @@ impl FaultPlan {
                     entry.1 = Some(FaultKind::parse(v).ok_or_else(|| {
                         err(
                             lineno,
-                            format!("unknown kind `{v}` (panic, not-converged, nan-rate, timeout)"),
+                            format!(
+                                "unknown kind `{v}` (panic, not-converged, nan-rate, timeout, \
+                                 delay)"
+                            ),
                         )
+                    })?);
+                }
+                (Some(entry), "ms") => {
+                    entry.2 = Some(value.parse().map_err(|_| {
+                        err(lineno, format!("ms must be an unsigned integer, got `{value}`"))
                     })?);
                 }
                 (Some(_), other) => {
@@ -228,18 +256,45 @@ impl FaultPlan {
 
     /// Programmatic construction (used by the chaos test suites).
     pub fn single(block: impl Into<String>, kind: FaultKind) -> FaultPlan {
-        FaultPlan { entries: vec![Injection { block: block.into(), kind }], seed: None }
+        FaultPlan {
+            entries: vec![Injection { block: block.into(), kind, delay_ms: None }],
+            seed: None,
+        }
     }
 
     /// The first entry matching `path` (an engine walk path that
     /// includes the root-diagram segment, or a bare block path).
     #[must_use]
     pub fn fault_for(&self, path: &str) -> Option<FaultKind> {
+        self.entry_for(path).map(|e| e.kind)
+    }
+
+    /// The delay to inject at `path`, when the matching entry is a
+    /// [`FaultKind::Delay`]: the entry's explicit `ms`, else a
+    /// deterministic duration in `10..=49` ms derived from the plan
+    /// seed and an FNV-1a hash of the block path — so one seed
+    /// reproduces the whole chaos scenario, and distinct blocks stall
+    /// for distinct (but stable) durations.
+    #[must_use]
+    pub fn delay_for(&self, path: &str) -> Option<std::time::Duration> {
+        let entry = self.entry_for(path)?;
+        if entry.kind != FaultKind::Delay {
+            return None;
+        }
+        let ms = entry.delay_ms.unwrap_or_else(|| {
+            let mut h = 0xcbf2_9ce4_8422_2325_u64 ^ self.seed.unwrap_or(0);
+            for b in entry.block.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+            10 + h % 40
+        });
+        Some(std::time::Duration::from_millis(ms))
+    }
+
+    fn entry_for(&self, path: &str) -> Option<&Injection> {
         let stripped = path.split_once('/').map(|(_, rest)| rest);
-        self.entries
-            .iter()
-            .find(|e| e.block == path || stripped == Some(e.block.as_str()))
-            .map(|e| e.kind)
+        self.entries.iter().find(|e| e.block == path || stripped == Some(e.block.as_str()))
     }
 }
 
@@ -279,6 +334,18 @@ pub fn fault_for(path: &str) -> Option<FaultKind> {
         .unwrap_or_else(PoisonError::into_inner)
         .as_ref()
         .and_then(|p| p.fault_for(path))
+}
+
+/// The delay to inject for `path` under the active plan, if the
+/// matching entry is a [`FaultKind::Delay`] (see
+/// [`FaultPlan::delay_for`]).
+pub fn delay_for(path: &str) -> Option<std::time::Duration> {
+    REGISTRY
+        .plan
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .as_ref()
+        .and_then(|p| p.delay_for(path))
 }
 
 /// Records that an injection actually fired (called by the engine's
@@ -326,10 +393,39 @@ mod tests {
         assert_eq!(
             plan.entries(),
             &[
-                Injection { block: "A/B".into(), kind: FaultKind::Panic },
-                Injection { block: "C".into(), kind: FaultKind::NanRate },
+                Injection { block: "A/B".into(), kind: FaultKind::Panic, delay_ms: None },
+                Injection { block: "C".into(), kind: FaultKind::NanRate, delay_ms: None },
             ]
         );
+    }
+
+    #[test]
+    fn parses_delay_entries_with_and_without_ms() {
+        let plan = FaultPlan::parse(
+            "seed = 3\n[[inject]]\nblock = \"A\"\nkind = \"delay\"\nms = 25\n\n\
+             [[inject]]\nblock = \"B\"\nkind = \"delay\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.entries(),
+            &[
+                Injection { block: "A".into(), kind: FaultKind::Delay, delay_ms: Some(25) },
+                Injection { block: "B".into(), kind: FaultKind::Delay, delay_ms: None },
+            ]
+        );
+        // Explicit ms wins verbatim.
+        assert_eq!(plan.delay_for("Root/A"), Some(std::time::Duration::from_millis(25)));
+        // Seeded fallback is deterministic, bounded, and path-keyed.
+        let b = plan.delay_for("Root/B").unwrap();
+        assert_eq!(plan.delay_for("B"), Some(b));
+        assert!((10..50).contains(&u64::try_from(b.as_millis()).unwrap()), "{b:?}");
+        // A different seed shifts the fallback but not the explicit ms.
+        let reseeded =
+            FaultPlan::parse("seed = 4\n[[inject]]\nblock = \"B\"\nkind = \"delay\"\n").unwrap();
+        assert_ne!(reseeded.delay_for("B"), Some(b));
+        // Non-delay entries never report a delay.
+        let p = FaultPlan::single("X", FaultKind::Panic);
+        assert_eq!(p.delay_for("X"), None);
     }
 
     #[test]
@@ -343,6 +439,8 @@ mod tests {
             ("seed = x\n", "unsigned integer"),
             ("wat\n", "expected `key = value`"),
             ("[[inject]]\nblock = \"A\"\nwhen = \"now\"\n", "unknown entry key"),
+            ("[[inject]]\nblock = \"A\"\nkind = \"delay\"\nms = soon\n", "unsigned integer"),
+            ("[[inject]]\nblock = \"A\"\nkind = \"panic\"\nms = 5\n", "only valid for kind"),
         ] {
             let e = FaultPlan::parse(text).unwrap_err();
             assert!(e.to_string().contains(needle), "{text:?} -> {e}");
@@ -372,12 +470,28 @@ mod tests {
         }
         assert!(!is_active());
         assert_eq!(fault_for("X"), None);
+        assert_eq!(delay_for("X"), None);
+        {
+            let plan =
+                FaultPlan::parse("[[inject]]\nblock = \"D\"\nkind = \"delay\"\nms = 7\n").unwrap();
+            let _g = PlanGuard::install(plan);
+            assert_eq!(fault_for("Root/D"), Some(FaultKind::Delay));
+            assert_eq!(delay_for("Root/D"), Some(std::time::Duration::from_millis(7)));
+            note_fired("Root/D", FaultKind::Delay);
+            assert_eq!(fired(), vec![("Root/D".to_string(), FaultKind::Delay)]);
+        }
+        assert_eq!(delay_for("D"), None);
     }
 
     #[test]
     fn kind_spellings_round_trip() {
-        for k in [FaultKind::Panic, FaultKind::NotConverged, FaultKind::NanRate, FaultKind::Timeout]
-        {
+        for k in [
+            FaultKind::Panic,
+            FaultKind::NotConverged,
+            FaultKind::NanRate,
+            FaultKind::Timeout,
+            FaultKind::Delay,
+        ] {
             assert_eq!(FaultKind::parse(k.as_str()), Some(k));
             assert_eq!(k.to_string(), k.as_str());
         }

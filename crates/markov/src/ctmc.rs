@@ -31,6 +31,69 @@ pub const LARGE_CHAIN_STATES: usize = 10_000;
 /// easy chains, not grind stiff ones.
 pub const MIN_LARGE_POWER_ITERATIONS: usize = 64;
 
+/// Cooperative cancellation handle shared between a request owner and
+/// the solver hot loops.
+///
+/// A token is a cloneable flag plus an optional absolute deadline. The
+/// owner calls [`cancel`](CancelToken::cancel) (or lets the deadline
+/// pass); the solvers poll [`is_cancelled`](CancelToken::is_cancelled)
+/// at the same cadence as their wall-clock checks and abandon the
+/// attempt with the typed [`MarkovError::Cancelled`] — which, unlike
+/// `Timeout`, is *not* retryable, so a cancelled request exits the
+/// whole fallback ladder immediately instead of burning the remaining
+/// rungs.
+///
+/// Polling an atomic is cheap enough for the check cadences in use
+/// (every 1024 power iterations, every 32 GTH pivots, once per sparse
+/// sweep); `Instant::now()` is only taken when a deadline is set.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    deadline: Option<std::time::Instant>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token with no deadline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that reports cancelled once `deadline` has passed, in
+    /// addition to explicit [`cancel`](CancelToken::cancel) calls.
+    #[must_use]
+    pub fn with_deadline(deadline: std::time::Instant) -> Self {
+        CancelToken { flag: std::sync::Arc::default(), deadline: Some(deadline) }
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether the owner cancelled or the deadline has passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(std::sync::atomic::Ordering::Acquire)
+            || self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
+    /// The absolute deadline, when one was set at construction.
+    #[must_use]
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
+    }
+}
+
+/// Tokens compare by identity (same shared flag), not by state — two
+/// independently created tokens are never equal, so caching layers that
+/// compare options treat differently-cancellable requests as distinct.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.flag, &other.flag) && self.deadline == other.deadline
+    }
+}
+
 /// Budgets for the iterative and direct steady-state solvers.
 ///
 /// Every solve attempt is bounded twice: by an iteration budget (the
@@ -38,8 +101,10 @@ pub const MIN_LARGE_POWER_ITERATIONS: usize = 64;
 /// bound — a stiff chain must fail *typed*, with
 /// [`MarkovError::Timeout`], instead of hanging a worker). The
 /// wall-clock default is generous enough that well-posed RAScad models
-/// never hit it, keeping results independent of host speed.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// never hit it, keeping results independent of host speed. A third,
+/// externally-owned bound — [`CancelToken`] — lets a long-lived caller
+/// (the serve daemon) abort a solve mid-flight.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveOptions {
     /// Power-iteration budget; `None` scales [`POWER_WORK_BUDGET`] by
     /// the chain size (see [`SolveOptions::power_iteration_budget`]).
@@ -48,6 +113,10 @@ pub struct SolveOptions {
     pub tolerance: f64,
     /// Per-attempt wall-clock budget; `None` disables the clock.
     pub wall_clock: Option<std::time::Duration>,
+    /// Cooperative cancellation token; `None` means uncancellable.
+    /// Checked at the same cadence as the wall clock in every
+    /// iterative loop; trips [`MarkovError::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SolveOptions {
@@ -56,6 +125,7 @@ impl Default for SolveOptions {
             max_iterations: None,
             tolerance: 1e-14,
             wall_clock: Some(std::time::Duration::from_secs(30)),
+            cancel: None,
         }
     }
 }
@@ -94,6 +164,17 @@ impl SolveOptions {
     /// tests to force timeouts without real waiting).
     pub(crate) fn over_budget(&self, elapsed: std::time::Duration) -> bool {
         self.wall_clock.is_some_and(|budget| elapsed >= budget)
+    }
+
+    /// Whether the caller's cancellation token has tripped (explicitly
+    /// or via its deadline). Checked wherever the wall clock is.
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Builds the typed cancellation error for an abandoned attempt.
+    pub(crate) fn cancelled_error(&self, method: &'static str, iterations: usize) -> MarkovError {
+        MarkovError::Cancelled { method, iterations }
     }
 
     /// Builds the typed timeout error for an attempt that ran out of
@@ -466,6 +547,11 @@ impl Ctmc {
         let mut residual = f64::INFINITY;
         for iter in 1..=max_iter {
             if iter & CLOCK_MASK == 0 {
+                if options.cancelled() {
+                    span.record("iterations", iter);
+                    trace.finish("cancelled");
+                    return Err(options.cancelled_error("power", iter));
+                }
                 let elapsed = start.elapsed();
                 if options.over_budget(elapsed) {
                     span.record("iterations", iter);
@@ -517,9 +603,13 @@ impl Ctmc {
     }
 
     fn steady_state_lu(&self, options: &SolveOptions) -> Result<Vec<f64>, MarkovError> {
-        // The dense factorization is uninterruptible, so the budget is
-        // only honored up front: a zero (or already-spent) budget fails
-        // typed instead of starting work it cannot abandon.
+        // The dense factorization is uninterruptible, so the budget and
+        // cancellation token are only honored up front: a zero (or
+        // already-spent) budget fails typed instead of starting work it
+        // cannot abandon.
+        if options.cancelled() {
+            return Err(options.cancelled_error("lu", 0));
+        }
         if options.over_budget(std::time::Duration::ZERO) {
             return Err(options.timeout_error("lu", 0, std::time::Duration::ZERO));
         }
@@ -860,6 +950,7 @@ mod tests {
             max_iterations: Some(3),
             tolerance: 0.0, // unreachable: force budget exhaustion
             wall_clock: None,
+            ..SolveOptions::default()
         };
         let err = two_state(0.1, 0.9).steady_state_with(SteadyStateMethod::Power, &opts);
         match err {
@@ -877,6 +968,7 @@ mod tests {
             max_iterations: Some(1_000_000),
             tolerance: 0.0, // keep power iterating until the clock check
             wall_clock: Some(std::time::Duration::ZERO),
+            ..SolveOptions::default()
         };
         let c = two_state(0.1, 0.9);
         for method in [SteadyStateMethod::Power, SteadyStateMethod::Lu, SteadyStateMethod::Gth] {
@@ -885,6 +977,61 @@ mod tests {
                 other => panic!("expected Timeout for {method:?}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_every_method_typed() {
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = SolveOptions {
+            max_iterations: Some(1_000_000),
+            tolerance: 0.0, // keep iterating until the cancel check
+            wall_clock: None,
+            cancel: Some(token),
+        };
+        let c = two_state(0.1, 0.9);
+        for method in [
+            SteadyStateMethod::Power,
+            SteadyStateMethod::Lu,
+            SteadyStateMethod::Gth,
+            SteadyStateMethod::Sparse,
+        ] {
+            match c.steady_state_with(method, &opts) {
+                Err(MarkovError::Cancelled { .. }) => {}
+                other => panic!("expected Cancelled for {method:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_counts_as_cancelled() {
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let token = CancelToken::with_deadline(past);
+        assert!(token.is_cancelled());
+        assert_eq!(token.deadline(), Some(past));
+        let opts = SolveOptions {
+            max_iterations: Some(1_000_000),
+            tolerance: 0.0,
+            wall_clock: None,
+            cancel: Some(token),
+        };
+        match two_state(0.1, 0.9).steady_state_with(SteadyStateMethod::Power, &opts) {
+            Err(MarkovError::Cancelled { method: "power", .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_tokens_compare_by_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, CancelToken::new());
+        // Cancelling either clone is visible through the other.
+        b.cancel();
+        assert!(a.is_cancelled());
+        // A live token without a deadline is not cancelled.
+        assert!(!CancelToken::new().is_cancelled());
     }
 
     #[test]

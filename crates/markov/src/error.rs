@@ -81,6 +81,17 @@ pub enum MarkovError {
         /// The configured budget, milliseconds.
         budget_ms: u64,
     },
+    /// The caller cancelled the solve mid-flight (explicitly or via a
+    /// request deadline on its [`crate::ctmc::CancelToken`]). Unlike
+    /// [`Timeout`](MarkovError::Timeout), this is not retryable: the
+    /// fallback ladder aborts instead of trying the next rung.
+    Cancelled {
+        /// Solver name, e.g. `"sparse"` or `"power"`.
+        method: &'static str,
+        /// Iterations (or elimination steps) completed before the
+        /// cancellation was observed.
+        iterations: usize,
+    },
     /// Every rung of the solver fallback ladder failed; carries the
     /// full attempt trail so diagnostics can show why *each* rung
     /// failed, not just the last (see `rascad-core`'s ladder).
@@ -169,6 +180,9 @@ impl fmt::Display for MarkovError {
                 "{method} solve exceeded its wall-clock budget: {elapsed_ms} ms spent \
                  ({iterations} iterations) against a budget of {budget_ms} ms"
             ),
+            MarkovError::Cancelled { method, iterations } => {
+                write!(f, "{method} solve cancelled by the caller after {iterations} iterations")
+            }
             MarkovError::FallbackExhausted { attempts } => {
                 write!(f, "solver fallback ladder exhausted after {} rung(s)", attempts.len())?;
                 for a in attempts {
@@ -226,6 +240,7 @@ mod tests {
             MarkovError::InvalidOption { what: "epsilon".into() },
             MarkovError::DimensionMismatch { what: "3x2 generator".into() },
             MarkovError::Timeout { method: "power", iterations: 10, elapsed_ms: 31, budget_ms: 30 },
+            MarkovError::Cancelled { method: "sparse", iterations: 17 },
             MarkovError::FallbackExhausted {
                 attempts: vec![SolveAttempt {
                     method: "gth",

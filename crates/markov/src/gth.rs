@@ -92,6 +92,10 @@ pub fn stationary_gth_dense_with(
     let mut trace = rascad_obs::trace::begin("gth", "pivot", n);
     for (step, k) in (1..n).rev().enumerate() {
         if step % GTH_CLOCK_STRIDE == 0 {
+            if options.cancelled() {
+                trace.finish("cancelled");
+                return Err(options.cancelled_error("gth", step));
+            }
             let elapsed = start.elapsed();
             if options.over_budget(elapsed) {
                 trace.finish("timeout");

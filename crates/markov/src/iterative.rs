@@ -201,6 +201,9 @@ fn run_scheme(
     let mut worsening = 0usize;
     let mut last_delta = f64::INFINITY;
     for sweep in 1..=budget {
+        if options.cancelled() {
+            return Err(Stop::Failed(options.cancelled_error("sparse", sweep)));
+        }
         let elapsed = start.elapsed();
         if options.over_budget(elapsed) {
             return Err(Stop::Failed(options.timeout_error("sparse", sweep, elapsed)));
@@ -396,6 +399,7 @@ mod tests {
             max_iterations: Some(2),
             tolerance: 0.0, // unreachable: force budget exhaustion
             wall_clock: None,
+            ..SolveOptions::default()
         };
         let err = two_state(0.1, 0.9).steady_state_with(SteadyStateMethod::Sparse, &opts);
         match err {
@@ -413,6 +417,7 @@ mod tests {
             max_iterations: None,
             tolerance: 1e-14,
             wall_clock: Some(std::time::Duration::ZERO),
+            ..SolveOptions::default()
         };
         match two_state(0.1, 0.9).steady_state_with(SteadyStateMethod::Sparse, &opts) {
             Err(MarkovError::Timeout { method: "sparse", budget_ms: 0, .. }) => {}

@@ -74,7 +74,7 @@ pub mod sensitivity;
 pub mod transient;
 
 pub use absorbing::{AbsorbingAnalysis, ReliabilityCurve};
-pub use ctmc::{Ctmc, CtmcBuilder, SolveOptions, StateId, SteadyStateMethod};
+pub use ctmc::{CancelToken, Ctmc, CtmcBuilder, SolveOptions, StateId, SteadyStateMethod};
 pub use dtmc::{Dtmc, DtmcBuilder};
 pub use error::{MarkovError, SolveAttempt};
 pub use fingerprint::{Fingerprint, StableHasher};

@@ -242,6 +242,30 @@ pub const CATALOG: &[MetricDesc] = &[
         help: "Reliability-block-diagram availability evaluations",
     },
     MetricDesc {
+        name: "serve.inflight",
+        kind: MetricKind::Gauge,
+        labels: &[],
+        help: "Requests currently admitted and executing in the service",
+    },
+    MetricDesc {
+        name: "serve.latency",
+        kind: MetricKind::Histogram,
+        labels: &[],
+        help: "End-to-end request latency in milliseconds",
+    },
+    MetricDesc {
+        name: "serve.requests",
+        kind: MetricKind::Counter,
+        labels: &["route", "status"],
+        help: "HTTP requests served by route and status class",
+    },
+    MetricDesc {
+        name: "serve.shed",
+        kind: MetricKind::Counter,
+        labels: &[],
+        help: "Requests shed by admission control (429 Retry-After)",
+    },
+    MetricDesc {
         name: "sim.availability",
         kind: MetricKind::Histogram,
         labels: &[],

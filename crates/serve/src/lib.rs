@@ -1,0 +1,38 @@
+//! `rascad-serve` — a dependency-free HTTP/1.1 + JSON daemon over the
+//! RAScad solve pipeline.
+//!
+//! The paper's tool ran as a long-lived service behind a GUI; this
+//! crate reproduces that deployment shape with robustness as the
+//! design center. Everything is hand-rolled on `std::net` — no tokio,
+//! no hyper, no serde — because the build environment is offline and
+//! because every robustness property (timeouts, byte caps, admission,
+//! cancellation, panic isolation, drain) is easier to certify when the
+//! whole stack is a few small modules in this crate.
+//!
+//! # Endpoints
+//!
+//! | Route | Method | Purpose |
+//! |---|---|---|
+//! | `/v1/specs` | POST | store a validated spec for a tenant |
+//! | `/v1/solve` | POST | solve (stored or inline spec), deadline-aware |
+//! | `/v1/sweep` | POST | parametric sweep |
+//! | `/v1/lint` | POST | static analysis, JSON findings |
+//! | `/metrics` | GET | Prometheus exposition page |
+//! | `/healthz` | GET | liveness |
+//! | `/readyz` | GET | readiness (503 while draining) |
+//!
+//! See [`server`] for the request lifecycle and the robustness
+//! properties in order, [`admission`] for load shedding, and [`api`]
+//! for the typed error vocabulary.
+
+pub mod admission;
+pub mod api;
+pub mod http;
+pub mod server;
+pub mod store;
+
+pub use admission::{Admission, AdmissionConfig, ShedReason};
+pub use api::ApiResponse;
+pub use http::HttpLimits;
+pub use server::{ServeConfig, ServeSummary, Server, ShutdownHandle};
+pub use store::SpecStore;

@@ -1,0 +1,136 @@
+//! Multi-tenant in-memory spec store.
+//!
+//! `POST /v1/specs` parses and validates once at admission; solves then
+//! reference the stored, known-good spec by `(tenant, name)`. The store
+//! is bounded per tenant so a misbehaving client cannot grow the
+//! daemon's memory without limit.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use rascad_spec::SystemSpec;
+
+/// Default per-tenant spec quota.
+pub const DEFAULT_MAX_SPECS_PER_TENANT: usize = 64;
+
+/// Why a spec could not be stored.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The tenant is at its quota and `name` is not an overwrite.
+    QuotaExhausted { limit: usize },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::QuotaExhausted { limit } => {
+                write!(f, "tenant spec quota exhausted ({limit} specs)")
+            }
+        }
+    }
+}
+
+/// The store. One per server; interior mutability behind a mutex (spec
+/// payloads are small and reads clone, so contention is negligible
+/// next to a solve).
+pub struct SpecStore {
+    max_per_tenant: usize,
+    specs: Mutex<HashMap<String, HashMap<String, SystemSpec>>>,
+}
+
+impl SpecStore {
+    #[must_use]
+    pub fn new(max_per_tenant: usize) -> SpecStore {
+        SpecStore { max_per_tenant, specs: Mutex::new(HashMap::new()) }
+    }
+
+    /// Stores (or overwrites) `name` for `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::QuotaExhausted`] when the tenant is at quota and
+    /// `name` is new.
+    pub fn put(&self, tenant: &str, name: &str, spec: SystemSpec) -> Result<(), StoreError> {
+        let mut specs = self.specs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let shelf = specs.entry(tenant.to_string()).or_default();
+        if shelf.len() >= self.max_per_tenant && !shelf.contains_key(name) {
+            return Err(StoreError::QuotaExhausted { limit: self.max_per_tenant });
+        }
+        shelf.insert(name.to_string(), spec);
+        Ok(())
+    }
+
+    /// Fetches a clone of `(tenant, name)`, if stored.
+    #[must_use]
+    pub fn get(&self, tenant: &str, name: &str) -> Option<SystemSpec> {
+        self.specs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(tenant)
+            .and_then(|shelf| shelf.get(name))
+            .cloned()
+    }
+
+    /// Total stored specs across tenants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+            .map(HashMap::len)
+            .sum()
+    }
+
+    /// Whether the store holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SpecStore {
+    fn default() -> Self {
+        SpecStore::new(DEFAULT_MAX_SPECS_PER_TENANT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rascad_spec::units::Hours;
+    use rascad_spec::{BlockParams, Diagram, GlobalParams};
+
+    fn spec(name: &str) -> SystemSpec {
+        let mut root = Diagram::new(name);
+        root.push(BlockParams::new("A", 1, 1).with_mtbf(Hours(10_000.0)));
+        SystemSpec::new(root, GlobalParams::default())
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let store = SpecStore::default();
+        store.put("t1", "s", spec("One")).unwrap();
+        store.put("t2", "s", spec("Two")).unwrap();
+        assert_eq!(store.get("t1", "s").unwrap().root.name, "One");
+        assert_eq!(store.get("t2", "s").unwrap().root.name, "Two");
+        assert!(store.get("t3", "s").is_none());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn quota_blocks_new_names_but_allows_overwrites() {
+        let store = SpecStore::new(2);
+        store.put("t", "a", spec("A")).unwrap();
+        store.put("t", "b", spec("B")).unwrap();
+        assert_eq!(
+            store.put("t", "c", spec("C")).unwrap_err(),
+            StoreError::QuotaExhausted { limit: 2 }
+        );
+        // Overwriting an existing name is always allowed.
+        store.put("t", "a", spec("A2")).unwrap();
+        assert_eq!(store.get("t", "a").unwrap().root.name, "A2");
+        // Another tenant has its own quota.
+        store.put("u", "c", spec("C")).unwrap();
+    }
+}

@@ -149,6 +149,78 @@ cargo run --offline -q -p rascad-cli -- bench --large --quick \
 cargo run --offline -q -p rascad-cli -- bench --validate target/bench_large_smoke.json
 cargo run --offline -q -p rascad-cli -- bench --validate BENCH_large.json
 
+# Serve smoke: boot the daemon on an ephemeral port, drive the
+# store -> solve -> metrics path over real TCP, then SIGTERM it and
+# require a clean drain (exit 0). A 50 ms deadline on a 10^5-state
+# chain must come back as a typed 504 without taking the service down.
+echo "==> serve smoke (store, solve, deadline 504, metrics, SIGTERM drain)"
+cargo build --offline -q -p rascad-cli
+rm -f target/ci_serve_out.txt target/ci_serve_err.txt target/ci_serve_final.prom
+target/debug/rascad serve --addr 127.0.0.1:0 \
+    --metrics-final target/ci_serve_final.prom \
+    > target/ci_serve_out.txt 2> target/ci_serve_err.txt &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" target/ci_serve_err.txt 2>/dev/null && break
+    sleep 0.1
+done
+serve_addr=$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' target/ci_serve_err.txt)
+test -n "$serve_addr"
+SERVE_ADDR="$serve_addr" python3 - <<'PY'
+import http.client, json, os
+
+host, port = os.environ["SERVE_ADDR"].rsplit(":", 1)
+
+def req(method, path, body=None):
+    conn = http.client.HTTPConnection(host, int(port), timeout=60)
+    conn.request(method, path, body=body)
+    resp = conn.getresponse()
+    data = resp.read().decode()
+    conn.close()
+    return resp.status, data
+
+spec = ('diagram "CiServe" { block "A" { quantity = 2\n'
+        ' min_quantity = 1\n mtbf = 10000 h } }')
+status, body = req("POST", "/v1/specs",
+                   json.dumps({"tenant": "ci", "name": "smoke", "spec": spec}))
+assert status == 201, (status, body)
+status, body = req("POST", "/v1/solve", json.dumps({"tenant": "ci", "spec_name": "smoke"}))
+assert status == 200, (status, body)
+doc = json.loads(body)
+assert 0.0 < doc["system"]["availability"] <= 1.0, doc
+
+big = ('diagram "CiBig" { block "A" { quantity = 100000\n'
+       ' min_quantity = 1\n mtbf = 10000 h } }')
+status, body = req("POST", "/v1/solve",
+                   json.dumps({"tenant": "ci", "spec": big, "deadline_ms": 50}))
+assert status == 504, (status, body)
+assert json.loads(body)["error"]["kind"] == "deadline", body
+
+# The deadline miss must not have taken the service down.
+status, _ = req("GET", "/healthz")
+assert status == 200
+status, page = req("GET", "/metrics")
+assert status == 200 and "rascad_serve_requests" in page, page[:400]
+PY
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+grep -q "drain clean" target/ci_serve_out.txt
+test -s target/ci_serve_final.prom
+grep -q '^rascad_serve_requests{route="solve",status="200"} ' target/ci_serve_final.prom
+grep -q '^rascad_serve_requests{route="solve",status="504"} ' target/ci_serve_final.prom
+
+# Serve load smoke: a fresh `bench --serve` run must sustain >= 1000
+# solves through the daemon, shed under the admission burst, answer the
+# 50 ms deadline probe with a typed error, scrape a validator-clean
+# metrics page, and drain cleanly — the validator gates all of those
+# structural claims outright. The committed baseline must stay valid
+# too; latency numbers are recorded, never gated across hosts.
+echo "==> bench serve load (fresh run + committed baseline)"
+cargo run --offline -q -p rascad-cli -- bench --serve --quick \
+    --label serve-smoke --out target/bench_serve_smoke.json > /dev/null
+cargo run --offline -q -p rascad-cli -- bench --validate target/bench_serve_smoke.json
+cargo run --offline -q -p rascad-cli -- bench --validate BENCH_serve.json
+
 # Determinism gate: the same sweep run at 1 thread and at 8 threads
 # must produce byte-identical reports.
 echo "==> sweep determinism (1 vs 8 threads, byte-identical output)"
